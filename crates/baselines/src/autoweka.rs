@@ -1,0 +1,217 @@
+//! The Auto-Weka simulation: joint-space Bayesian optimisation.
+
+use smartml_classifiers::{Algorithm, ParamConfig, ParamSpace, ParamSpec};
+use smartml_data::{accuracy, Dataset};
+use smartml_smac::{ClassifierObjective, Objective, OptOptions, Optimizer, RandomSearch, Smac, Tpe, Trial};
+use std::time::Duration;
+
+/// Which optimiser drives the joint search (Auto-Weka supports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JointOptimizer {
+    /// Sequential model-based algorithm configuration.
+    Smac,
+    /// Tree-structured Parzen estimator.
+    Tpe,
+    /// Uniform random (for ablations).
+    Random,
+}
+
+/// Result of a baseline AutoML run.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The winning algorithm.
+    pub algorithm: Algorithm,
+    /// Its configuration (algorithm-selector key removed).
+    pub config: ParamConfig,
+    /// Inner-CV score of the winner.
+    pub cv_accuracy: f64,
+    /// Accuracy on the held-out validation rows.
+    pub validation_accuracy: f64,
+    /// Full trial history (anytime curve).
+    pub history: Vec<Trial>,
+}
+
+/// Auto-Weka 2.0 strategy over SmartML's 15 classifiers.
+pub struct AutoWekaSim {
+    /// The optimiser flavour.
+    pub optimizer: JointOptimizer,
+    /// Inner CV folds.
+    pub cv_folds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AutoWekaSim {
+    fn default() -> Self {
+        AutoWekaSim { optimizer: JointOptimizer::Smac, cv_folds: 3, seed: 0 }
+    }
+}
+
+/// Key of the synthetic algorithm-selector dimension.
+const ALGO_KEY: &str = "__algorithm";
+
+/// Builds the joint space: one categorical selector over all 15 algorithm
+/// names plus the union of every algorithm's parameters, prefixed to avoid
+/// collisions (Auto-Weka's hierarchical space, flattened).
+pub(crate) fn joint_space() -> ParamSpace {
+    let mut params = vec![ParamSpec::Cat {
+        name: ALGO_KEY.into(),
+        choices: Algorithm::ALL.iter().map(|a| a.paper_name().to_string()).collect(),
+    }];
+    for alg in Algorithm::ALL {
+        for spec in alg.param_space().params {
+            params.push(prefix_spec(alg, spec));
+        }
+    }
+    ParamSpace::new(params)
+}
+
+fn prefix_spec(alg: Algorithm, spec: ParamSpec) -> ParamSpec {
+    let prefixed = |name: &str| format!("{}::{name}", alg.paper_name());
+    match spec {
+        ParamSpec::Real { name, lo, hi, log } => {
+            ParamSpec::Real { name: prefixed(&name), lo, hi, log }
+        }
+        ParamSpec::Int { name, lo, hi, log } => {
+            ParamSpec::Int { name: prefixed(&name), lo, hi, log }
+        }
+        ParamSpec::Cat { name, choices } => ParamSpec::Cat { name: prefixed(&name), choices },
+    }
+}
+
+/// Extracts (algorithm, its own config) from a joint configuration.
+pub(crate) fn split_joint(config: &ParamConfig) -> (Algorithm, ParamConfig) {
+    let name = config.str_or(ALGO_KEY, "RandomForest");
+    let algorithm = Algorithm::parse(name).unwrap_or(Algorithm::RandomForest);
+    let prefix = format!("{}::", algorithm.paper_name());
+    let mut own = ParamConfig::default();
+    for (key, value) in &config.values {
+        if let Some(stripped) = key.strip_prefix(&prefix) {
+            own.values.insert(stripped.to_string(), value.clone());
+        }
+    }
+    (algorithm, own)
+}
+
+/// Joint objective: dispatch each configuration to the selected algorithm's
+/// per-algorithm CV objective.
+struct JointObjective {
+    objectives: Vec<ClassifierObjective>,
+    cv_folds: usize,
+}
+
+impl Objective for JointObjective {
+    fn n_folds(&self) -> usize {
+        self.cv_folds
+    }
+
+    fn evaluate_fold(&self, config: &ParamConfig, fold: usize) -> Result<f64, String> {
+        let (algorithm, own) = split_joint(config);
+        let idx = Algorithm::ALL
+            .iter()
+            .position(|&a| a == algorithm)
+            .expect("algorithm from registry");
+        self.objectives[idx].evaluate_fold(&own, fold)
+    }
+}
+
+impl AutoWekaSim {
+    /// Runs the joint optimisation on the train rows and scores the winner
+    /// on the validation rows. `max_trials`/`wall_clock` mirror SmartML's
+    /// budget so comparisons are budget-equal.
+    pub fn run(
+        &self,
+        data: &Dataset,
+        train_rows: &[usize],
+        valid_rows: &[usize],
+        max_trials: usize,
+        wall_clock: Option<Duration>,
+    ) -> BaselineOutcome {
+        let space = joint_space();
+        let objective = JointObjective {
+            objectives: Algorithm::ALL
+                .iter()
+                .map(|&a| ClassifierObjective::new(a, data, train_rows, self.cv_folds, self.seed))
+                .collect(),
+            cv_folds: self.cv_folds,
+        };
+        let options = OptOptions {
+            max_trials,
+            wall_clock,
+            seed: self.seed,
+            initial_configs: Vec::new(), // no meta-learning, no warm starts
+        };
+        let result = match self.optimizer {
+            JointOptimizer::Smac => Smac::default().optimize(&space, &objective, &options),
+            JointOptimizer::Tpe => Tpe::default().optimize(&space, &objective, &options),
+            JointOptimizer::Random => RandomSearch.optimize(&space, &objective, &options),
+        };
+        let (algorithm, config) = split_joint(&result.best_config);
+        let validation_accuracy = match algorithm.build(&config).fit(data, train_rows) {
+            Ok(model) => accuracy(
+                &data.labels_for(valid_rows),
+                &model.predict(data, valid_rows),
+            ),
+            Err(_) => 0.0,
+        };
+        BaselineOutcome {
+            algorithm,
+            config,
+            cv_accuracy: result.best_score,
+            validation_accuracy,
+            history: result.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_data::train_valid_split;
+
+    #[test]
+    fn joint_space_covers_all_algorithms() {
+        let space = joint_space();
+        // 1 selector + 44 algorithm parameters (sum of the Table 3
+        // categorical+numeric counts: 5+2+1+5+3+3+3+5+4+2+2+1+2+1+5).
+        let total_params: usize =
+            Algorithm::ALL.iter().map(|a| a.param_space().n_params()).sum();
+        assert_eq!(space.n_params(), 1 + total_params);
+        assert_eq!(total_params, 44);
+    }
+
+    #[test]
+    fn split_joint_roundtrip() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let space = joint_space();
+        for _ in 0..20 {
+            let joint = space.sample(&mut rng);
+            let (alg, own) = split_joint(&joint);
+            assert!(alg.param_space().validates(&own), "{alg}: {own}");
+        }
+    }
+
+    #[test]
+    fn autoweka_finds_a_decent_model() {
+        let d = gaussian_blobs("aw", 160, 3, 2, 0.8, 1);
+        let (train, valid) = train_valid_split(&d, 0.3, 5);
+        let outcome = AutoWekaSim { cv_folds: 2, ..Default::default() }
+            .run(&d, &train, &valid, 8, None);
+        assert!(outcome.validation_accuracy > 0.6, "{}", outcome.validation_accuracy);
+        assert!(!outcome.history.is_empty());
+    }
+
+    #[test]
+    fn random_flavour_runs() {
+        let d = gaussian_blobs("awr", 140, 3, 2, 1.0, 2);
+        let (train, valid) = train_valid_split(&d, 0.3, 5);
+        let outcome = AutoWekaSim {
+            optimizer: JointOptimizer::Random,
+            cv_folds: 2,
+            seed: 3,
+        }
+        .run(&d, &train, &valid, 6, None);
+        assert!(outcome.validation_accuracy > 0.4);
+    }
+}

@@ -1,0 +1,24 @@
+//! AutoML baselines — the comparison systems of paper Tables 1 and 4.
+//!
+//! - [`AutoWekaSim`] — the Auto-Weka 2.0 strategy: Bayesian optimisation
+//!   (SMAC or TPE) over the **joint** space {algorithm} × {hyperparameters},
+//!   treating algorithm selection "as one of the parameters to be tuned"
+//!   (paper §1), with **no** meta-learning and **no** warm starts. The
+//!   classifier zoo is held equal to SmartML's 15 so Table 4 isolates the
+//!   meta-learning effect (`DESIGN.md`, substitution 6).
+//! - [`RandomSearchAutoML`] — the Google-Vizier-style strategy: uniform
+//!   random (algorithm, configuration) draws.
+//! - [`TpotLite`] — a TPOT-flavoured genetic programme over
+//!   (preprocessing, algorithm, configuration) pipelines: tournament
+//!   selection, mutation, crossover.
+//!
+//! All baselines share SmartML's evaluation protocol: tuning on the train
+//! split (inner CV), final score on the held-out validation split.
+
+mod autoweka;
+mod random_automl;
+mod tpot;
+
+pub use autoweka::{AutoWekaSim, BaselineOutcome, JointOptimizer};
+pub use random_automl::RandomSearchAutoML;
+pub use tpot::{TpotLite, TpotPipeline};

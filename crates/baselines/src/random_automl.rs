@@ -1,0 +1,55 @@
+//! Vizier-style AutoML: uniform random search over (algorithm, config).
+
+use crate::autoweka::{AutoWekaSim, BaselineOutcome, JointOptimizer};
+use smartml_data::Dataset;
+use std::time::Duration;
+
+/// Random-search AutoML (paper Table 1 lists Google Vizier as "grid or
+/// random search"). A thin preset over the joint space.
+pub struct RandomSearchAutoML {
+    /// Inner CV folds.
+    pub cv_folds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSearchAutoML {
+    fn default() -> Self {
+        RandomSearchAutoML { cv_folds: 3, seed: 0 }
+    }
+}
+
+impl RandomSearchAutoML {
+    /// Runs random AutoML with the given budget.
+    pub fn run(
+        &self,
+        data: &Dataset,
+        train_rows: &[usize],
+        valid_rows: &[usize],
+        max_trials: usize,
+        wall_clock: Option<Duration>,
+    ) -> BaselineOutcome {
+        AutoWekaSim {
+            optimizer: JointOptimizer::Random,
+            cv_folds: self.cv_folds,
+            seed: self.seed,
+        }
+        .run(data, train_rows, valid_rows, max_trials, wall_clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_data::train_valid_split;
+
+    #[test]
+    fn runs_and_reports() {
+        let d = gaussian_blobs("rs", 140, 3, 2, 0.8, 1);
+        let (train, valid) = train_valid_split(&d, 0.3, 2);
+        let out = RandomSearchAutoML { cv_folds: 2, seed: 1 }.run(&d, &train, &valid, 6, None);
+        assert!(out.validation_accuracy > 0.4);
+        assert_eq!(out.history.len(), 6);
+    }
+}

@@ -1,0 +1,230 @@
+//! TPOT-lite: genetic programming over (preprocessing, classifier, config)
+//! pipelines — the paper's Table-1 TPOT row ("Genetic Programming and
+//! Pareto Optimization", no meta-learning, no preprocessing in the original;
+//! this lite version evolves an optional preprocessing op as part of the
+//! genome, which is TPOT's pipeline-search spirit).
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::{accuracy, Dataset};
+use smartml_preprocess::{fit_apply, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One genome: an optional preprocessing op, an algorithm, a configuration.
+#[derive(Debug, Clone)]
+pub struct TpotPipeline {
+    /// Optional preprocessing op applied before the classifier.
+    pub preprocess: Option<Op>,
+    /// The classifier.
+    pub algorithm: Algorithm,
+    /// Its configuration.
+    pub config: ParamConfig,
+}
+
+/// TPOT-lite: generational GP with tournament selection.
+pub struct TpotLite {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Tournament size.
+    pub tournament: usize,
+    /// Per-individual mutation probability.
+    pub mutation_prob: f64,
+    /// Per-individual crossover probability.
+    pub crossover_prob: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for TpotLite {
+    fn default() -> Self {
+        TpotLite {
+            population: 12,
+            tournament: 3,
+            mutation_prob: 0.7,
+            crossover_prob: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// Preprocessing genes TPOT-lite may evolve (cheap, always-applicable ops).
+const PREPROCESS_GENES: [Option<Op>; 4] = [None, Some(Op::Zv), Some(Op::Scale), Some(Op::Range)];
+
+impl TpotLite {
+    /// Evolves pipelines for at most `max_evaluations` fitness evaluations
+    /// (budget-equal with the other systems) and scores the champion on the
+    /// validation rows. Returns `(champion, validation_accuracy, evaluations)`.
+    pub fn run(
+        &self,
+        data: &Dataset,
+        train_rows: &[usize],
+        valid_rows: &[usize],
+        max_evaluations: usize,
+        wall_clock: Option<Duration>,
+    ) -> (TpotPipeline, f64, usize) {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Inner split of the training rows for fitness (no validation leak).
+        let half = train_rows.len() / 2;
+        let (fit_rows, score_rows) = train_rows.split_at(half.max(1));
+        let mut evaluations = 0usize;
+        let fitness_of = |p: &TpotPipeline, evaluations: &mut usize| -> f64 {
+            *evaluations += 1;
+            let working = match p.preprocess {
+                Some(op) => match fit_apply(data, fit_rows, &[op]) {
+                    Ok(d) => d,
+                    Err(_) => return 0.0,
+                },
+                None => data.clone(),
+            };
+            match p.algorithm.build(&p.config).fit(&working, fit_rows) {
+                Ok(model) => accuracy(
+                    &working.labels_for(score_rows),
+                    &model.predict(&working, score_rows),
+                ),
+                Err(_) => 0.0,
+            }
+        };
+
+        let mut population: Vec<(TpotPipeline, f64)> = Vec::with_capacity(self.population);
+        for _ in 0..self.population {
+            if evaluations >= max_evaluations {
+                break;
+            }
+            let p = random_pipeline(&mut rng);
+            let f = fitness_of(&p, &mut evaluations);
+            population.push((p, f));
+        }
+        while evaluations < max_evaluations
+            && wall_clock.is_none_or(|b| start.elapsed() < b)
+        {
+            // Tournament-select a parent.
+            let parent = tournament_pick(&population, self.tournament, &mut rng).clone();
+            let mut child = parent.0.clone();
+            if rng.gen_bool(self.crossover_prob) && population.len() >= 2 {
+                let mate = tournament_pick(&population, self.tournament, &mut rng);
+                child = crossover(&child, &mate.0, &mut rng);
+            }
+            if rng.gen_bool(self.mutation_prob) {
+                child = mutate(child, &mut rng);
+            }
+            let f = fitness_of(&child, &mut evaluations);
+            // Steady-state replacement: replace the worst individual.
+            if let Some(worst) = population
+                .iter_mut()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            {
+                if f > worst.1 {
+                    *worst = (child, f);
+                }
+            }
+        }
+        let champion = population
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(p, _)| p)
+            .unwrap_or_else(|| random_pipeline(&mut rng));
+        // Final: refit champion on all training rows, score on validation.
+        let working = match champion.preprocess {
+            Some(op) => fit_apply(data, train_rows, &[op]).unwrap_or_else(|_| data.clone()),
+            None => data.clone(),
+        };
+        let valid_acc = match champion.algorithm.build(&champion.config).fit(&working, train_rows)
+        {
+            Ok(model) => accuracy(
+                &working.labels_for(valid_rows),
+                &model.predict(&working, valid_rows),
+            ),
+            Err(_) => 0.0,
+        };
+        (champion, valid_acc, evaluations)
+    }
+}
+
+fn random_pipeline(rng: &mut StdRng) -> TpotPipeline {
+    let algorithm = Algorithm::ALL[rng.gen_range(0..Algorithm::ALL.len())];
+    TpotPipeline {
+        preprocess: PREPROCESS_GENES[rng.gen_range(0..PREPROCESS_GENES.len())],
+        config: algorithm.param_space().sample(rng),
+        algorithm,
+    }
+}
+
+fn tournament_pick<'a>(
+    population: &'a [(TpotPipeline, f64)],
+    k: usize,
+    rng: &mut StdRng,
+) -> &'a (TpotPipeline, f64) {
+    let mut best: Option<&(TpotPipeline, f64)> = None;
+    for _ in 0..k.max(1) {
+        let cand = &population[rng.gen_range(0..population.len())];
+        if best.is_none_or(|b| cand.1 > b.1) {
+            best = Some(cand);
+        }
+    }
+    best.expect("population nonempty")
+}
+
+fn mutate(mut p: TpotPipeline, rng: &mut StdRng) -> TpotPipeline {
+    match rng.gen_range(0..3) {
+        // Swap the preprocessing gene.
+        0 => p.preprocess = PREPROCESS_GENES[rng.gen_range(0..PREPROCESS_GENES.len())],
+        // Perturb the configuration.
+        1 => p.config = p.algorithm.param_space().neighbor(&p.config, 0.5, rng),
+        // Swap the algorithm entirely (fresh configuration).
+        _ => {
+            p.algorithm = Algorithm::ALL[rng.gen_range(0..Algorithm::ALL.len())];
+            p.config = p.algorithm.param_space().sample(rng);
+        }
+    }
+    p
+}
+
+/// Crossover: child keeps one parent's algorithm+config and may take the
+/// other's preprocessing gene.
+fn crossover(a: &TpotPipeline, b: &TpotPipeline, rng: &mut StdRng) -> TpotPipeline {
+    TpotPipeline {
+        preprocess: if rng.gen_bool(0.5) { a.preprocess } else { b.preprocess },
+        algorithm: a.algorithm,
+        config: a.config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_data::train_valid_split;
+
+    #[test]
+    fn evolves_a_working_pipeline() {
+        let d = gaussian_blobs("tpot", 160, 3, 2, 0.8, 1);
+        let (train, valid) = train_valid_split(&d, 0.3, 2);
+        let (champion, acc, evals) =
+            TpotLite { population: 6, ..Default::default() }.run(&d, &train, &valid, 12, None);
+        assert!(acc > 0.5, "champion acc {acc} ({champion:?})");
+        assert!(evals <= 12);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let d = gaussian_blobs("tpot2", 120, 2, 2, 1.0, 2);
+        let (train, valid) = train_valid_split(&d, 0.3, 3);
+        let (_, _, evals) =
+            TpotLite { population: 4, ..Default::default() }.run(&d, &train, &valid, 7, None);
+        assert!(evals <= 7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = gaussian_blobs("tpot3", 120, 2, 2, 1.0, 3);
+        let (train, valid) = train_valid_split(&d, 0.3, 4);
+        let run = || {
+            let (c, a, _) = TpotLite { population: 4, seed: 9, ..Default::default() }
+                .run(&d, &train, &valid, 8, None);
+            (c.algorithm, a)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for SmartML's hot paths: meta-feature
+//! extraction, KB similarity queries, SMAC iterations on a synthetic
+//! objective, and representative classifier fits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartml::bootstrap::{bootstrap_dataset, BootstrapProfile};
+use smartml::KnowledgeBase;
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::synth::{gaussian_blobs, SynthSpec};
+use smartml_kb::QueryOptions;
+use smartml_metafeatures::extract;
+use smartml_smac::{OptOptions, Optimizer, RandomSearch, Smac, StaticObjective, Tpe};
+
+fn bench_metafeatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metafeatures");
+    for &(n, d) in &[(200usize, 8usize), (500, 16), (500, 48)] {
+        let data = gaussian_blobs("mf", n, d, 4, 1.0, 1);
+        let rows = data.all_rows();
+        group.bench_with_input(BenchmarkId::new("extract", format!("{n}x{d}")), &(), |b, _| {
+            b.iter(|| extract(&data, &rows))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kb_query(c: &mut Criterion) {
+    let mut kb = KnowledgeBase::new();
+    let profile = BootstrapProfile::fast();
+    for i in 0..50u64 {
+        let data = SynthSpec::Blobs { n: 80, d: 4, k: 2, spread: 1.0 }
+            .generate(&format!("kb{i}"), i);
+        bootstrap_dataset(&mut kb, &data, &profile);
+    }
+    let query = extract(
+        &gaussian_blobs("q", 100, 4, 2, 1.0, 99),
+        &(0..100).collect::<Vec<_>>(),
+    );
+    c.bench_function("kb/recommend_50_datasets", |b| {
+        b.iter(|| kb.recommend(&query, &QueryOptions::default()))
+    });
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let space = Algorithm::Svm.param_space();
+    let objective = StaticObjective {
+        folds: 3,
+        f: |cfg: &ParamConfig, fold| {
+            // Cheap smooth surrogate of a tuning landscape.
+            let cost = cfg.f64_or("cost", 1.0).ln();
+            let gamma = cfg.f64_or("gamma", 0.1).ln();
+            1.0 / (1.0 + (cost - 1.5).powi(2) * 0.1 + (gamma + 2.0).powi(2) * 0.1)
+                + fold as f64 * 1e-3
+        },
+    };
+    let options = OptOptions { max_trials: 30, ..Default::default() };
+    let mut group = c.benchmark_group("optimizer/30_trials_svm_space");
+    group.bench_function("smac", |b| {
+        b.iter(|| Smac::default().optimize(&space, &objective, &options))
+    });
+    group.bench_function("tpe", |b| {
+        b.iter(|| Tpe::default().optimize(&space, &objective, &options))
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| RandomSearch.optimize(&space, &objective, &options))
+    });
+    group.finish();
+}
+
+fn bench_classifier_fits(c: &mut Criterion) {
+    let data = gaussian_blobs("fit", 300, 8, 3, 1.0, 5);
+    let rows = data.all_rows();
+    let mut group = c.benchmark_group("classifier/fit_300x8");
+    for alg in [
+        Algorithm::Knn,
+        Algorithm::NaiveBayes,
+        Algorithm::Rpart,
+        Algorithm::J48,
+        Algorithm::RandomForest,
+        Algorithm::Lda,
+        Algorithm::Svm,
+    ] {
+        let config = alg.param_space().default_config();
+        group.bench_function(alg.paper_name(), |b| {
+            b.iter(|| alg.build(&config).fit(&data, &rows).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictions(c: &mut Criterion) {
+    let data = gaussian_blobs("pred", 400, 8, 3, 1.0, 6);
+    let (train, test): (Vec<usize>, Vec<usize>) = (0..400).partition(|i| i % 2 == 0);
+    let model = Algorithm::RandomForest
+        .build(&Algorithm::RandomForest.param_space().default_config())
+        .fit(&data, &train)
+        .unwrap();
+    c.bench_function("classifier/predict_forest_200rows", |b| {
+        b.iter(|| model.predict(&data, &test))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_metafeatures, bench_kb_query, bench_optimizers,
+              bench_classifier_fits, bench_predictions
+}
+criterion_main!(benches);

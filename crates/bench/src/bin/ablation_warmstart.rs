@@ -1,0 +1,71 @@
+//! Ablation A: meta-learning warm start vs cold start — the paper's central
+//! claim: "SmartML can outperform other tools especially at small running
+//! time budgets by reaching better parameter configurations faster."
+//!
+//! For a sweep of budgets, compares (a) SmartML with the bootstrapped KB,
+//! (b) SmartML with an empty KB (cold portfolio, no warm starts), and
+//! (c) the Auto-Weka joint optimiser — anytime accuracy at each budget.
+
+use smartml::{Budget, KnowledgeBase, SmartML, SmartMlOptions};
+use smartml_baselines::AutoWekaSim;
+use smartml_bench::{render_table, shared_bootstrapped_kb, Scale};
+use smartml_data::synth::benchmark_suite;
+use smartml_data::train_valid_split;
+
+fn main() {
+    let scale = Scale::from_env();
+    let kb = shared_bootstrapped_kb(scale);
+    let budgets: &[usize] = match scale {
+        Scale::Quick => &[6, 12, 24],
+        Scale::Full => &[6, 12, 24, 48, 96],
+    };
+    // Three representative benchmark rows with distinct KB regions.
+    let suite = benchmark_suite();
+    let picks = ["madelon", "yeast", "kin8nm"];
+    let mut rows = Vec::new();
+    for name in picks {
+        let bench = suite.iter().find(|b| b.paper_name == name).expect("known benchmark");
+        let data = bench.generate(2019);
+        let (train, valid) = train_valid_split(&data, 0.3, 7);
+        for &budget in budgets {
+            let make_options = || SmartMlOptions {
+                budget: Budget::Trials(budget),
+                top_n_algorithms: 3,
+                cv_folds: 3,
+                valid_fraction: 0.3,
+                seed: 7,
+                update_kb: false,
+                ..Default::default()
+            };
+            let warm_acc = SmartML::with_kb(kb.clone(), make_options())
+                .run(&data)
+                .map(|o| o.report.best.validation_accuracy)
+                .unwrap_or(0.0);
+            let cold_acc = SmartML::with_kb(KnowledgeBase::new(), make_options())
+                .run(&data)
+                .map(|o| o.report.best.validation_accuracy)
+                .unwrap_or(0.0);
+            let aw = AutoWekaSim { cv_folds: 3, seed: 11, ..Default::default() }
+                .run(&data, &train, &valid, budget, None);
+            rows.push(vec![
+                name.to_string(),
+                budget.to_string(),
+                format!("{:.2}", warm_acc * 100.0),
+                format!("{:.2}", cold_acc * 100.0),
+                format!("{:.2}", aw.validation_accuracy * 100.0),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Ablation A: warm start (KB) vs cold start vs Auto-Weka joint search,\nanytime accuracy by trial budget",
+            &["dataset", "budget", "SmartML+KB %", "SmartML cold %", "Auto-Weka %"],
+            &rows,
+        )
+    );
+    println!(
+        "Expected shape: the +KB column dominates at the smallest budgets and the\n\
+         gap narrows as the budget grows (all optimisers converge eventually)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Paper Figure 1: the SmartML framework architecture — regenerated as a
+//! phase-by-phase execution trace of one real run, showing each box of the
+//! figure (input definition → preprocessing → algorithm selection →
+//! parameter tuning → output & KB update) doing its work.
+
+use smartml::{Budget, SmartML, SmartMlOptions};
+use smartml_bench::{shared_bootstrapped_kb, Scale};
+use smartml_data::synth::SynthSpec;
+use smartml_preprocess::Op;
+
+fn main() {
+    let scale = Scale::from_env();
+    let kb = shared_bootstrapped_kb(scale);
+    let kb_before = (kb.len(), kb.n_runs());
+    let data =
+        SynthSpec::Blobs { n: 300, d: 5, k: 3, spread: 1.2 }.generate("figure1-walkthrough", 3);
+
+    println!("Figure 1: SmartML framework architecture — live trace");
+    println!("=====================================================\n");
+    println!("[Input Definition]");
+    println!(
+        "  dataset '{}': {} rows x {} features, {} classes; budget = {} trials; \n  options: preprocessing=[zv,scale], ensembling=on, interpretability=on\n",
+        data.name,
+        data.n_rows(),
+        data.n_features(),
+        data.n_classes(),
+        scale.tuning_trials()
+    );
+
+    let options = SmartMlOptions {
+        preprocessing: vec![Op::Zv, Op::Scale],
+        budget: Budget::Trials(scale.tuning_trials()),
+        ensembling: true,
+        interpretability: true,
+        ..Default::default()
+    };
+    let mut engine = SmartML::with_kb(kb, options);
+    let outcome = engine.run(&data).expect("walkthrough run succeeds");
+    let report = &outcome.report;
+
+    for phase in &report.phases {
+        println!("[{}]  ({:.3}s)", phase.phase, phase.secs);
+        println!("  {}\n", phase.detail);
+        if phase.phase == "Algorithm Selection" {
+            println!("  nearest KB datasets (Retrieve arrow):");
+            for (id, dist) in report.kb_neighbors.iter().take(5) {
+                println!("    {id:<16} distance {dist:.3}");
+            }
+            println!();
+        }
+    }
+    println!("[Computing Output]");
+    print!("{}", report.render());
+    let kb_after = (engine.kb().len(), engine.kb().n_runs());
+    println!(
+        "\n[Update arrow] knowledge base: {} datasets/{} runs -> {} datasets/{} runs",
+        kb_before.0, kb_before.1, kb_after.0, kb_after.1
+    );
+    assert!(kb_after.1 > kb_before.1, "the Update arrow must add runs");
+}

@@ -1,0 +1,39 @@
+//! Paper Figure 2: the experiment-configuration screen — regenerated as the
+//! JSON request the API accepts plus its text rendering (the Shiny UI is
+//! substituted by the JSON API; DESIGN.md, substitution 4).
+
+use smartml::api::{DatasetPayload, ExperimentOptions, Request};
+
+fn main() {
+    let request = Request::RunExperiment {
+        name: "user-dataset".into(),
+        dataset: DatasetPayload::Csv {
+            content: "<uploaded file or URL content>".into(),
+            target: Some("class".into()),
+        },
+        options: ExperimentOptions {
+            preprocessing: vec!["zv".into(), "scale".into(), "pca".into()],
+            feature_selection: Some(20),
+            budget_trials: Some(60),
+            budget_seconds: None,
+            top_n_algorithms: Some(3),
+            ensembling: true,
+            interpretability: true,
+            seed: Some(42),
+        },
+    };
+    println!("Figure 2: Configuring an experiment for a dataset");
+    println!("==================================================\n");
+    println!("Form fields of the paper's configuration screen and their API equivalents:\n");
+    println!("  Upload dataset file / URL  -> dataset.csv.content (csv or arff payload)");
+    println!("  Select target column       -> dataset.csv.target");
+    println!("  Feature preprocessing      -> options.preprocessing (Table 2 names)");
+    println!("  Feature selection          -> options.feature_selection (top-k)");
+    println!("  Selection + tuning or      -> action: run_experiment | select_algorithms");
+    println!("    selection only (meta-features upload)");
+    println!("  Model interpretability     -> options.interpretability");
+    println!("  Ensembling                 -> options.ensembling");
+    println!("  Time budget                -> options.budget_trials | budget_seconds\n");
+    println!("The equivalent REST request body:\n");
+    println!("{}", serde_json::to_string_pretty(&request).expect("serialises"));
+}

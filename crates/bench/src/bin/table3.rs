@@ -1,0 +1,58 @@
+//! Paper Table 3: the integrated classifier algorithms with their
+//! categorical/numeric hyperparameter counts — printed from the live
+//! registry and asserted against the paper's numbers.
+
+use smartml::Algorithm;
+use smartml_bench::render_table;
+
+/// `(categorical, numeric)` counts exactly as printed in paper Table 3.
+const PAPER_COUNTS: [(&str, usize, usize, &str); 15] = [
+    ("SVM", 1, 4, "e1071"),
+    ("NaiveBayes", 0, 2, "klaR"),
+    ("KNN", 0, 1, "FNN"),
+    ("Bagging", 0, 5, "ipred"),
+    ("part", 1, 2, "RWeka"),
+    ("J48", 1, 2, "RWeka"),
+    ("RandomForest", 0, 3, "randomForest"),
+    ("c50", 3, 2, "C50"),
+    ("rpart", 0, 4, "rpart"),
+    ("LDA", 1, 1, "MASS"),
+    ("PLSDA", 1, 1, "caret"),
+    ("LMT", 0, 1, "RWeka"),
+    ("RDA", 0, 2, "klaR"),
+    ("NeuralNet", 0, 1, "nnet"),
+    ("DeepBoost", 1, 4, "deepboost"),
+];
+
+fn main() {
+    let mut rows = Vec::new();
+    for (alg, &(name, cat, num, pkg)) in Algorithm::ALL.iter().zip(&PAPER_COUNTS) {
+        let spec = alg.spec();
+        assert_eq!(alg.paper_name(), name, "registry order matches the paper");
+        assert_eq!(spec.n_categorical, cat, "{name}: categorical count matches Table 3");
+        assert_eq!(spec.n_numeric, num, "{name}: numeric count matches Table 3");
+        assert_eq!(alg.paper_package(), pkg, "{name}: package column matches Table 3");
+        let params: Vec<String> = spec
+            .space
+            .params
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect();
+        rows.push(vec![
+            name.to_string(),
+            cat.to_string(),
+            num.to_string(),
+            pkg.to_string(),
+            params.join(","),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 3: Integrated Classifier Algorithms (counts verified against the registry)",
+            &["Algorithm", "categorical", "numerical", "paper package", "tuned parameters (this repo)"],
+            &rows,
+        )
+    );
+    println!("All 15 rows verified: registry parameter-space shapes match paper Table 3.");
+}

@@ -1,0 +1,110 @@
+//! Paper Table 4: the headline experiment — SmartML vs Auto-Weka on the 10
+//! benchmark datasets with a shared per-dataset budget and SmartML's KB
+//! bootstrapped from 50 datasets.
+//!
+//! Substitutions (DESIGN.md): the datasets are shape/difficulty-matched
+//! synthetic analogues; the 10-minute wall-clock budget becomes an equal
+//! trial budget for both systems. The *shape* of the result — SmartML
+//! matching or beating the joint-space optimiser at a small budget on most
+//! rows, with the biggest gaps where the KB has close neighbours — is the
+//! reproduction target, not the absolute accuracies.
+
+use smartml::{Budget, SmartML, SmartMlOptions};
+use smartml_baselines::AutoWekaSim;
+use smartml_bench::{render_table, shared_bootstrapped_kb, Scale};
+use smartml_data::synth::benchmark_suite;
+use smartml_data::train_valid_split;
+
+fn main() {
+    let scale = Scale::from_env();
+    let trials = scale.tuning_trials();
+    // SMARTML_BENCH_SEEDS > 1 averages each cell over several split/tuner
+    // seeds (slower, lower variance).
+    let n_seeds: u64 = std::env::var("SMARTML_BENCH_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .clamp(1, 10);
+    let kb = shared_bootstrapped_kb(scale);
+    let mut rows = Vec::new();
+    let mut smartml_wins = 0usize;
+    let mut ties = 0usize;
+    let suite = benchmark_suite();
+    for bench in &suite {
+        let data = bench.generate(2019);
+        let mut aw_total = 0.0;
+        let mut sm_total = 0.0;
+        let mut last_winners = (String::new(), String::new());
+        for seed_idx in 0..n_seeds {
+            let split_seed = 7 + seed_idx;
+            let (train, valid) = train_valid_split(&data, 0.3, split_seed);
+
+            // Auto-Weka sim: joint-space SMAC, no meta-learning, same budget.
+            let aw = AutoWekaSim { cv_folds: 3, seed: 11 + seed_idx, ..Default::default() }
+                .run(&data, &train, &valid, trials, None);
+
+            // SmartML: KB-nominated algorithms + warm-started SMAC, same budget.
+            let options = SmartMlOptions {
+                budget: Budget::Trials(trials),
+                top_n_algorithms: 3,
+                cv_folds: 3,
+                valid_fraction: 0.3,
+                seed: split_seed,
+                update_kb: false, // frozen KB: identical conditions across rows
+                ..Default::default()
+            };
+            let mut engine = SmartML::with_kb(kb.clone(), options);
+            let run = engine.run(&data).expect("benchmark dataset runs");
+            aw_total += aw.validation_accuracy;
+            sm_total += run.report.best.validation_accuracy;
+            last_winners = (
+                run.report.best.algorithm.paper_name().to_string(),
+                aw.algorithm.paper_name().to_string(),
+            );
+        }
+        let aw_acc = aw_total / n_seeds as f64;
+        let sm_acc = sm_total / n_seeds as f64;
+
+        if sm_acc > aw_acc + 1e-9 {
+            smartml_wins += 1;
+        } else if (sm_acc - aw_acc).abs() <= 1e-9 {
+            ties += 1;
+        }
+        rows.push(vec![
+            bench.paper_name.to_string(),
+            format!("{}", data.n_features()),
+            format!("{}", data.n_classes()),
+            format!("{}", data.n_rows()),
+            format!("{:.2}", aw_acc * 100.0),
+            format!("{:.2}", sm_acc * 100.0),
+            format!("{:.2}", bench.paper_autoweka_acc),
+            format!("{:.2}", bench.paper_smartml_acc),
+            format!("{} ({})", last_winners.0, last_winners.1),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Table 4: Performance Comparison — SmartML vs Auto-Weka (sim), {trials} trials each,\nKB bootstrapped with 50 synthetic datasets (scale: {scale:?}, {n_seeds} seed(s))"
+            ),
+            &[
+                "Dataset",
+                "#Att",
+                "#Cls",
+                "#Inst",
+                "Auto-Weka %",
+                "SmartML %",
+                "paper AW %",
+                "paper SM %",
+                "winner alg (AW alg)",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "SmartML wins {smartml_wins}/{} (ties {ties}). Paper reports 10/10 wins on the real\n\
+         datasets; the reproduced shape holds when SmartML wins or ties the majority of rows.",
+        suite.len()
+    );
+}

@@ -1,0 +1,134 @@
+//! Shared harness utilities for the table/figure binaries.
+//!
+//! Every binary regenerates one artifact of the paper's evaluation (see
+//! `DESIGN.md`'s experiment index and `EXPERIMENTS.md` for recorded
+//! results). The knowledge base bootstrapped over the 50-dataset corpus is
+//! cached on disk so the Table-4 run and the ablations share it.
+
+use smartml::bootstrap::{bootstrap_kb, BootstrapProfile};
+use smartml::KnowledgeBase;
+use std::path::PathBuf;
+
+/// Harness scale, set by `SMARTML_BENCH_SCALE` (`quick` | `full`, default
+/// `quick`). `quick` shrinks budgets so the whole suite replays in minutes;
+/// `full` uses the paper-faithful budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized budgets.
+    Quick,
+    /// Paper-faithful budgets.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("SMARTML_BENCH_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Tuning trials granted to each system per dataset.
+    pub fn tuning_trials(self) -> usize {
+        match self {
+            Scale::Quick => 15,
+            Scale::Full => 60,
+        }
+    }
+
+    /// Bootstrap profile for the shared KB.
+    pub fn bootstrap_profile(self) -> BootstrapProfile {
+        match self {
+            Scale::Quick => BootstrapProfile {
+                configs_per_algorithm: 2,
+                ..BootstrapProfile::default()
+            },
+            Scale::Full => BootstrapProfile::default(),
+        }
+    }
+
+    /// Cache file name for the bootstrapped KB.
+    fn kb_cache_path(self) -> PathBuf {
+        let dir = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+        PathBuf::from(dir).join(match self {
+            Scale::Quick => "smartml-kb-quick.json",
+            Scale::Full => "smartml-kb-full.json",
+        })
+    }
+}
+
+/// Loads the corpus-bootstrapped KB from cache, building it on first use.
+pub fn shared_bootstrapped_kb(scale: Scale) -> KnowledgeBase {
+    let path = scale.kb_cache_path();
+    if let Ok(kb) = KnowledgeBase::load(&path) {
+        if !kb.is_empty() {
+            eprintln!(
+                "[harness] using cached KB ({} datasets / {} runs) from {}",
+                kb.len(),
+                kb.n_runs(),
+                path.display()
+            );
+            return kb;
+        }
+    }
+    eprintln!("[harness] bootstrapping KB over the 50-dataset corpus (first run; cached after)…");
+    let kb = bootstrap_kb(&scale.bootstrap_profile());
+    if let Err(e) = kb.save(&path) {
+        eprintln!("[harness] warning: could not cache KB: {e}");
+    }
+    eprintln!("[harness] bootstrapped {} datasets / {} runs", kb.len(), kb.n_runs());
+    kb
+}
+
+/// Renders a fixed-width text table: `header` then rows.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = format!("{title}\n");
+    let line = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&line(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_quick() {
+        // Not setting the env var in tests; default must be quick.
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        assert!(Scale::Quick.tuning_trials() < Scale::Full.tuning_trials());
+    }
+
+    #[test]
+    fn table_renderer_aligns() {
+        let table = render_table(
+            "T",
+            &["a", "bb"],
+            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+        );
+        assert!(table.contains("long  z"));
+        assert!(table.starts_with("T\n"));
+    }
+}

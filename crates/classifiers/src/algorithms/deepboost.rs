@@ -1,0 +1,230 @@
+//! DeepBoost (paper: the `deepboost` R package, after Cortes, Mohri &
+//! Syed 2014; 1 categorical + 4 numeric parameters).
+//!
+//! Deep boosting is boosting over a hypothesis family of trees whose
+//! *complexity enters the objective*: each round's tree is scored by its
+//! weighted error **plus** a capacity penalty `λ·leaves + β`, and the round
+//! weight α is derived from the penalised error. Multiclass is handled with
+//! SAMME, the same reduction the R package uses. `loss` switches between the
+//! exponential and logistic weight updates of the original paper.
+
+use crate::api::{check_fit_preconditions, normalize_scores, Classifier, ClassifierError, TrainedModel};
+use crate::common::tree::{DecisionTree, Pruning, SplitCriterion, TreeConfig};
+use crate::params::ParamConfig;
+use smartml_data::Dataset;
+use smartml_linalg::vecops;
+
+/// Loss used for the instance-weight update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoostLoss {
+    /// AdaBoost-style exponential reweighting.
+    Exponential,
+    /// Bounded logistic reweighting (more noise-tolerant).
+    Logistic,
+}
+
+/// A configured DeepBoost ensemble.
+pub struct DeepBoost {
+    /// Weight-update loss.
+    pub loss: BoostLoss,
+    /// Flat complexity penalty β added to each round's penalised error.
+    pub beta: f64,
+    /// Per-leaf complexity penalty λ.
+    pub lambda: f64,
+    /// Base-tree depth.
+    pub tree_depth: usize,
+    /// Boosting rounds.
+    pub num_iter: usize,
+}
+
+impl DeepBoost {
+    /// Builds from a [`ParamConfig`]
+    /// (`loss`, `beta`, `lambda`, `tree_depth`, `num_iter`).
+    pub fn from_config(config: &ParamConfig) -> Self {
+        DeepBoost {
+            loss: if config.str_or("loss", "exponential") == "logistic" {
+                BoostLoss::Logistic
+            } else {
+                BoostLoss::Exponential
+            },
+            beta: config.f64_or("beta", 1e-4).max(0.0),
+            lambda: config.f64_or("lambda", 1e-4).max(0.0),
+            tree_depth: config.i64_or("tree_depth", 3).clamp(1, 12) as usize,
+            num_iter: config.i64_or("num_iter", 30).clamp(1, 500) as usize,
+        }
+    }
+}
+
+struct TrainedDeepBoost {
+    trees: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl Classifier for DeepBoost {
+    fn name(&self) -> &'static str {
+        "DeepBoost"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        let n_classes = check_fit_preconditions("DeepBoost", data, rows, 4)?;
+        let n = rows.len() as f64;
+        let k = n_classes as f64;
+        // Natural-unit weights (sum = n): keeps tree count thresholds valid.
+        let mut weights = vec![0.0; data.n_rows()];
+        for &r in rows {
+            weights[r] = 1.0;
+        }
+        let mut trees: Vec<(DecisionTree, f64)> = Vec::with_capacity(self.num_iter);
+        for t in 0..self.num_iter {
+            let config = TreeConfig {
+                criterion: SplitCriterion::GainRatio,
+                max_depth: self.tree_depth,
+                min_split: 2.0,
+                min_leaf: 1.0,
+                cp: 0.0,
+                mtry: None,
+                seed: t as u64,
+                pruning: Pruning::None,
+            };
+            let tree = DecisionTree::fit_weighted(data, rows, &weights, &config);
+            let mut err = 0.0;
+            let mut total = 0.0;
+            let mut miss = Vec::with_capacity(rows.len());
+            for &r in rows {
+                let p = tree.row_proba(data, r);
+                let pred = vecops::argmax(&p).unwrap_or(0) as u32;
+                let wrong = pred != data.label(r);
+                miss.push(wrong);
+                total += weights[r];
+                if wrong {
+                    err += weights[r];
+                }
+            }
+            let raw_err = err / total.max(1e-300);
+            // Capacity-penalised error — the deep-boosting objective: richer
+            // trees must earn their complexity.
+            let penalised =
+                (raw_err + self.lambda * tree.n_leaves() as f64 / n + self.beta).clamp(1e-6, 1.0 - 1e-6);
+            if penalised >= 1.0 - 1.0 / k {
+                if trees.is_empty() {
+                    trees.push((tree, 1.0));
+                }
+                break;
+            }
+            let alpha = ((1.0 - penalised) / penalised).ln() + (k - 1.0).ln();
+            // Weight update.
+            let mut new_total = 0.0;
+            for (i, &r) in rows.iter().enumerate() {
+                if miss[i] {
+                    let bump = match self.loss {
+                        BoostLoss::Exponential => alpha.exp().min(1e6),
+                        // Logistic: bounded multiplicative update.
+                        BoostLoss::Logistic => 1.0 + alpha.min(20.0),
+                    };
+                    weights[r] *= bump;
+                }
+                new_total += weights[r];
+            }
+            let renorm = n / new_total;
+            for &r in rows {
+                weights[r] *= renorm;
+            }
+            trees.push((tree, alpha));
+            if raw_err < 1e-5 {
+                break;
+            }
+        }
+        Ok(Box::new(TrainedDeepBoost { trees, n_classes }))
+    }
+}
+
+impl TrainedModel for TrainedDeepBoost {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|&r| {
+                let mut scores = vec![0.0; self.n_classes];
+                for (tree, alpha) in &self.trees {
+                    let p = tree.row_proba(data, r);
+                    let winner = vecops::argmax(&p).unwrap_or(0);
+                    scores[winner] += alpha;
+                }
+                normalize_scores(scores)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::accuracy;
+    use smartml_data::synth::{gaussian_blobs, two_spirals};
+
+    fn holdout(clf: &dyn Classifier, d: &Dataset) -> f64 {
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..d.n_rows()).partition(|i| i % 2 == 0);
+        let model = clf.fit(d, &train).unwrap();
+        accuracy(&d.labels_for(&test), &model.predict(d, &test))
+    }
+
+    fn db() -> DeepBoost {
+        DeepBoost {
+            loss: BoostLoss::Exponential,
+            beta: 1e-4,
+            lambda: 1e-4,
+            tree_depth: 3,
+            num_iter: 30,
+        }
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let d = gaussian_blobs("b", 200, 3, 2, 0.8, 1);
+        assert!(holdout(&db(), &d) > 0.85);
+    }
+
+    #[test]
+    fn shallow_trees_boost_past_a_single_shallow_tree() {
+        // Spirals: depth-3 trees are weak alone; boosting composes them
+        // into a fine-grained boundary. (XOR is NOT used here: greedy trees
+        // have zero first-split gain on parity data.)
+        let d = two_spirals("s", 400, 0.15, 2);
+        let single = crate::algorithms::RpartClassifier {
+            cp: 0.0,
+            minsplit: 2.0,
+            minbucket: 1.0,
+            maxdepth: 3,
+        };
+        let a_single = holdout(&single, &d);
+        let a_boost = holdout(&db(), &d);
+        assert!(a_boost > a_single + 0.05, "boost {a_boost} vs single depth-3 {a_single}");
+        assert!(a_boost > 0.8, "boost {a_boost}");
+    }
+
+    #[test]
+    fn heavy_penalty_shrinks_effective_ensemble() {
+        let d = gaussian_blobs("b", 150, 3, 2, 1.5, 3);
+        let rows = d.all_rows();
+        let light = db().fit(&d, &rows).unwrap();
+        let heavy = DeepBoost { lambda: 0.5, beta: 0.3, ..db() }.fit(&d, &rows).unwrap();
+        // Both predict; heavy-penalty alphas are much smaller so the
+        // ensemble is flatter. Just verify validity and a working fit.
+        for p in heavy.predict_proba(&d, &rows).iter().chain(light.predict_proba(&d, &rows).iter()) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn logistic_loss_variant_runs() {
+        let d = two_spirals("s", 300, 0.2, 4);
+        let clf = DeepBoost { loss: BoostLoss::Logistic, ..db() };
+        let acc = holdout(&clf, &d);
+        assert!(acc > 0.6, "acc {acc}");
+    }
+
+    #[test]
+    fn from_config_parses_loss() {
+        let cfg = ParamConfig::default().with("loss", crate::params::ParamValue::Cat("logistic".into()));
+        assert_eq!(DeepBoost::from_config(&cfg).loss, BoostLoss::Logistic);
+        assert_eq!(DeepBoost::from_config(&ParamConfig::default()).loss, BoostLoss::Exponential);
+    }
+}

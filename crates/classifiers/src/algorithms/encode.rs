@@ -1,0 +1,97 @@
+//! Dense numeric encoding with train-fitted standardisation, shared by the
+//! numeric-only classifiers (SVM, KNN, LDA/RDA, PLSDA, NeuralNet, LMT
+//! leaves). The encoder remembers training means/stds so validation rows are
+//! standardised with *training* statistics.
+
+use smartml_data::Dataset;
+use smartml_linalg::{vecops, Matrix};
+
+/// One-hot + standardisation encoder fitted on training rows.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseEncoder {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    standardize: bool,
+}
+
+impl DenseEncoder {
+    /// Fits the encoder and returns it with the encoded training matrix.
+    pub fn fit(data: &Dataset, rows: &[usize], standardize: bool) -> (DenseEncoder, Matrix) {
+        let (mut m, _) = data.to_numeric_matrix(rows);
+        let d = m.cols();
+        let mut means = vec![0.0; d];
+        let mut stds = vec![1.0; d];
+        if standardize {
+            for c in 0..d {
+                let col: Vec<f64> = (0..m.rows()).map(|r| m[(r, c)]).collect();
+                means[c] = vecops::mean(&col);
+                let s = vecops::std_dev(&col);
+                stds[c] = if s > 1e-12 { s } else { 1.0 };
+            }
+            apply(&mut m, &means, &stds);
+        }
+        (DenseEncoder { means, stds, standardize }, m)
+    }
+
+    /// Encodes arbitrary rows with the fitted statistics.
+    pub fn encode(&self, data: &Dataset, rows: &[usize]) -> Matrix {
+        let (mut m, _) = data.to_numeric_matrix(rows);
+        if self.standardize {
+            // Column count can only change if the dataset schema changed
+            // between fit and predict, which the pipeline never does.
+            assert_eq!(m.cols(), self.dim(), "schema changed between fit and predict");
+            apply(&mut m, &self.means, &self.stds);
+        }
+        m
+    }
+
+    /// Encoded feature dimension.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+}
+
+fn apply(m: &mut Matrix, means: &[f64], stds: &[f64]) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        for ((v, &mu), &sd) in row.iter_mut().zip(means).zip(stds) {
+            *v = (*v - mu) / sd;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::gaussian_blobs;
+
+    #[test]
+    fn train_stats_applied_to_test() {
+        let d = gaussian_blobs("b", 100, 3, 2, 1.0, 1);
+        let train: Vec<usize> = (0..50).collect();
+        let test: Vec<usize> = (50..100).collect();
+        let (enc, xtrain) = DenseEncoder::fit(&d, &train, true);
+        // Training columns are standardised.
+        for c in 0..xtrain.cols() {
+            let col: Vec<f64> = (0..xtrain.rows()).map(|r| xtrain[(r, c)]).collect();
+            assert!(vecops::mean(&col).abs() < 1e-9);
+        }
+        // Test columns use train statistics: near-standard but not exact.
+        let xtest = enc.encode(&d, &test);
+        assert_eq!(xtest.cols(), enc.dim());
+        for c in 0..xtest.cols() {
+            let col: Vec<f64> = (0..xtest.rows()).map(|r| xtest[(r, c)]).collect();
+            assert!(vecops::mean(&col).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn no_standardize_passthrough() {
+        let d = gaussian_blobs("b", 20, 2, 2, 1.0, 2);
+        let rows = d.all_rows();
+        let (enc, x) = DenseEncoder::fit(&d, &rows, false);
+        let (raw, _) = d.to_numeric_matrix(&rows);
+        assert_eq!(x, raw);
+        assert_eq!(enc.encode(&d, &rows), raw);
+    }
+}

@@ -1,0 +1,233 @@
+//! Bootstrap-ensemble classifiers: Bagging (ipred) and RandomForest
+//! (randomForest).
+
+use crate::api::{check_fit_preconditions, Classifier, ClassifierError, TrainedModel};
+use crate::common::tree::{DecisionTree, Pruning, SplitCriterion, TreeConfig};
+use crate::params::ParamConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartml_data::Dataset;
+
+/// Bagging — bootstrap-aggregated CART trees.
+/// Paper space: 0 categorical + 5 numeric
+/// (`nbagg`, `maxdepth`, `minsplit`, `minbucket`, `cp`).
+pub struct BaggingClassifier {
+    /// Number of bootstrap trees.
+    pub nbagg: usize,
+    /// Per-tree maximum depth.
+    pub maxdepth: usize,
+    /// Per-tree minimum split size.
+    pub minsplit: f64,
+    /// Per-tree minimum leaf size.
+    pub minbucket: f64,
+    /// Per-tree complexity parameter.
+    pub cp: f64,
+}
+
+impl BaggingClassifier {
+    /// Builds from a [`ParamConfig`].
+    pub fn from_config(config: &ParamConfig) -> Self {
+        BaggingClassifier {
+            nbagg: config.i64_or("nbagg", 25).clamp(1, 500) as usize,
+            maxdepth: config.i64_or("maxdepth", 30).clamp(1, 40) as usize,
+            minsplit: config.i64_or("minsplit", 2).max(2) as f64,
+            minbucket: config.i64_or("minbucket", 1).max(1) as f64,
+            cp: config.f64_or("cp", 0.01).max(0.0),
+        }
+    }
+}
+
+/// RandomForest — bagging + per-split feature subsampling.
+/// Paper space: 0 categorical + 3 numeric (`ntree`, `mtry`, `nodesize`).
+pub struct RandomForest {
+    /// Number of trees.
+    pub ntree: usize,
+    /// Features sampled per split (clamped to the feature count at fit).
+    pub mtry: usize,
+    /// Minimum leaf size.
+    pub nodesize: f64,
+}
+
+impl RandomForest {
+    /// Builds from a [`ParamConfig`].
+    pub fn from_config(config: &ParamConfig) -> Self {
+        RandomForest {
+            ntree: config.i64_or("ntree", 100).clamp(1, 1000) as usize,
+            mtry: config.i64_or("mtry", 0).max(0) as usize, // 0 = sqrt(d) at fit
+            nodesize: config.i64_or("nodesize", 1).max(1) as f64,
+        }
+    }
+}
+
+/// Shared trained form: average of per-tree probability estimates.
+struct TreeEnsemble {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl TrainedModel for TreeEnsemble {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|&r| {
+                let mut avg = vec![0.0; self.n_classes];
+                for tree in &self.trees {
+                    for (a, p) in avg.iter_mut().zip(tree.row_proba(data, r)) {
+                        *a += p;
+                    }
+                }
+                let scale = 1.0 / self.trees.len() as f64;
+                for a in &mut avg {
+                    *a *= scale;
+                }
+                avg
+            })
+            .collect()
+    }
+}
+
+/// Draws a bootstrap sample of `rows` (with replacement, same size).
+fn bootstrap(rows: &[usize], rng: &mut StdRng) -> Vec<usize> {
+    (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect()
+}
+
+fn fit_ensemble(
+    data: &Dataset,
+    rows: &[usize],
+    n_trees: usize,
+    make_config: impl Fn(u64) -> TreeConfig,
+    seed: u64,
+) -> TreeEnsemble {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trees = (0..n_trees)
+        .map(|t| {
+            let sample = bootstrap(rows, &mut rng);
+            DecisionTree::fit(data, &sample, &make_config(t as u64))
+        })
+        .collect();
+    TreeEnsemble { trees, n_classes: data.n_classes() }
+}
+
+impl Classifier for BaggingClassifier {
+    fn name(&self) -> &'static str {
+        "Bagging"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        check_fit_preconditions("Bagging", data, rows, 2)?;
+        let ensemble = fit_ensemble(
+            data,
+            rows,
+            self.nbagg,
+            |t| TreeConfig {
+                criterion: SplitCriterion::Gini,
+                max_depth: self.maxdepth,
+                min_split: self.minsplit,
+                min_leaf: self.minbucket,
+                cp: self.cp,
+                mtry: None,
+                seed: t,
+                pruning: Pruning::None,
+            },
+            0xBA66,
+        );
+        Ok(Box::new(ensemble))
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        check_fit_preconditions("RandomForest", data, rows, 2)?;
+        let d = data.n_features();
+        let mtry = if self.mtry == 0 {
+            ((d as f64).sqrt().round() as usize).clamp(1, d)
+        } else {
+            self.mtry.clamp(1, d)
+        };
+        let ensemble = fit_ensemble(
+            data,
+            rows,
+            self.ntree,
+            |t| TreeConfig {
+                criterion: SplitCriterion::Gini,
+                max_depth: 40,
+                min_split: 2.0 * self.nodesize,
+                min_leaf: self.nodesize,
+                cp: 0.0,
+                mtry: Some(mtry),
+                seed: 0xF0 ^ t,
+                pruning: Pruning::None,
+            },
+            0xF04E57,
+        );
+        Ok(Box::new(ensemble))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::accuracy;
+    use smartml_data::synth::{gaussian_blobs, xor_parity};
+
+    fn holdout(clf: &dyn Classifier, d: &Dataset) -> f64 {
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..d.n_rows()).partition(|i| i % 2 == 0);
+        let model = clf.fit(d, &train).unwrap();
+        accuracy(&d.labels_for(&test), &model.predict(d, &test))
+    }
+
+    #[test]
+    fn bagging_learns_blobs() {
+        let d = gaussian_blobs("b", 200, 4, 3, 1.0, 1);
+        let bag = BaggingClassifier::from_config(&ParamConfig::default());
+        assert!(holdout(&bag, &d) > 0.85);
+    }
+
+    #[test]
+    fn forest_learns_noisy_xor() {
+        let d = xor_parity("x", 500, 2, 6, 0.05, 2);
+        let rf = RandomForest { ntree: 60, mtry: 3, nodesize: 1.0 };
+        let acc = holdout(&rf, &d);
+        assert!(acc > 0.7, "acc {acc}");
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_tree_on_noise() {
+        let d = xor_parity("x", 400, 2, 15, 0.1, 3);
+        let rf = RandomForest { ntree: 50, mtry: 0, nodesize: 1.0 };
+        let single = crate::algorithms::RpartClassifier::from_config(&ParamConfig::default());
+        let a_rf = holdout(&rf, &d);
+        let a_tree = holdout(&single, &d);
+        assert!(a_rf + 0.05 >= a_tree, "forest {a_rf} vs tree {a_tree}");
+    }
+
+    #[test]
+    fn deterministic_across_fits() {
+        let d = gaussian_blobs("b", 100, 3, 2, 1.0, 4);
+        let rows = d.all_rows();
+        let rf = RandomForest { ntree: 10, mtry: 2, nodesize: 1.0 };
+        let m1 = rf.fit(&d, &rows).unwrap();
+        let m2 = rf.fit(&d, &rows).unwrap();
+        assert_eq!(m1.predict(&d, &rows), m2.predict(&d, &rows));
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let d = gaussian_blobs("b", 80, 2, 3, 1.5, 5);
+        let rows = d.all_rows();
+        let model = BaggingClassifier::from_config(&ParamConfig::default()).fit(&d, &rows).unwrap();
+        for p in model.predict_proba(&d, &rows) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn mtry_zero_means_sqrt_d() {
+        let rf = RandomForest::from_config(&ParamConfig::default());
+        assert_eq!(rf.mtry, 0); // resolved at fit time
+    }
+}

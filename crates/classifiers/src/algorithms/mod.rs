@@ -1,0 +1,26 @@
+//! The 15 classifier implementations of paper Table 3.
+
+mod deepboost;
+mod discriminant;
+pub(crate) mod encode;
+mod ensemble;
+mod knn;
+mod lmt;
+mod naive_bayes;
+mod neuralnet;
+mod plsda;
+mod rules;
+mod svm;
+mod trees;
+
+pub use deepboost::DeepBoost;
+pub use discriminant::{Lda, Rda};
+pub use ensemble::{BaggingClassifier, RandomForest};
+pub use knn::Knn;
+pub use lmt::LmtClassifier;
+pub use naive_bayes::NaiveBayes;
+pub use neuralnet::NeuralNet;
+pub use plsda::Plsda;
+pub use rules::PartClassifier;
+pub use svm::{Kernel, Svm};
+pub use trees::{C50Classifier, J48Classifier, RpartClassifier};

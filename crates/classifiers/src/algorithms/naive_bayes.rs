@@ -1,0 +1,218 @@
+//! Naive Bayes (paper: the `klaR` R package; 2 numeric parameters:
+//! Laplace smoothing for categorical likelihoods and a bandwidth `adjust`
+//! factor scaling the Gaussian likelihood spread).
+
+use crate::api::{check_fit_preconditions, Classifier, ClassifierError, TrainedModel};
+use crate::params::ParamConfig;
+use smartml_data::dataset::MISSING_CODE;
+use smartml_data::{Dataset, Feature};
+use smartml_linalg::vecops;
+
+/// Mixed-type naive Bayes: Gaussian likelihoods for numeric features,
+/// Laplace-smoothed multinomials for categoricals.
+pub struct NaiveBayes {
+    /// Laplace smoothing count for categorical likelihoods.
+    pub laplace: f64,
+    /// Multiplier on per-class standard deviations (klaR's `adjust`).
+    pub adjust: f64,
+}
+
+impl NaiveBayes {
+    /// Builds from a [`ParamConfig`] (`laplace`, `adjust`).
+    pub fn from_config(config: &ParamConfig) -> Self {
+        NaiveBayes {
+            laplace: config.f64_or("laplace", 1.0).max(0.0),
+            adjust: config.f64_or("adjust", 1.0).max(1e-3),
+        }
+    }
+}
+
+enum FeatureModel {
+    /// Per-class (mean, std).
+    Gaussian(Vec<(f64, f64)>),
+    /// Per-class log-probability per level (+1 slot for unseen levels).
+    Categorical(Vec<Vec<f64>>),
+}
+
+struct TrainedNb {
+    log_priors: Vec<f64>,
+    features: Vec<FeatureModel>,
+    n_classes: usize,
+}
+
+impl Classifier for NaiveBayes {
+    fn name(&self) -> &'static str {
+        "NaiveBayes"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        let n_classes = check_fit_preconditions("NaiveBayes", data, rows, 2)?;
+        let counts = data.class_counts_for(rows);
+        let total = rows.len() as f64;
+        let log_priors: Vec<f64> = counts
+            .iter()
+            .map(|&c| ((c as f64 + 1.0) / (total + n_classes as f64)).ln())
+            .collect();
+        // Pooled std floor prevents zero-variance spikes.
+        let mut features = Vec::with_capacity(data.n_features());
+        for feat in data.features() {
+            match feat {
+                Feature::Numeric { values, .. } => {
+                    let pooled: Vec<f64> =
+                        rows.iter().map(|&r| values[r]).filter(|v| !v.is_nan()).collect();
+                    let floor = (vecops::std_dev(&pooled) * 1e-3).max(1e-9);
+                    let mut params = Vec::with_capacity(n_classes);
+                    for c in 0..n_classes {
+                        let xs: Vec<f64> = rows
+                            .iter()
+                            .filter(|&&r| data.label(r) as usize == c)
+                            .map(|&r| values[r])
+                            .filter(|v| !v.is_nan())
+                            .collect();
+                        let mean = vecops::mean(&xs);
+                        let std = (vecops::std_dev(&xs) * self.adjust).max(floor);
+                        params.push((mean, std));
+                    }
+                    features.push(FeatureModel::Gaussian(params));
+                }
+                Feature::Categorical { codes, levels, .. } => {
+                    let n_levels = levels.len();
+                    let mut table = vec![vec![0.0f64; n_levels + 1]; n_classes];
+                    for &r in rows {
+                        let code = codes[r];
+                        if code != MISSING_CODE {
+                            table[data.label(r) as usize][code as usize] += 1.0;
+                        }
+                    }
+                    for class_row in &mut table {
+                        let class_total: f64 = class_row.iter().sum();
+                        let denom = class_total + self.laplace * (n_levels + 1) as f64;
+                        for v in class_row.iter_mut() {
+                            // Laplace floor keeps unseen (class, level) pairs finite.
+                            *v = ((*v + self.laplace.max(1e-9)) / denom.max(1e-9)).ln();
+                        }
+                    }
+                    features.push(FeatureModel::Categorical(table));
+                }
+            }
+        }
+        Ok(Box::new(TrainedNb { log_priors, features, n_classes }))
+    }
+}
+
+impl TrainedModel for TrainedNb {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|&r| {
+                let mut log_post = self.log_priors.clone();
+                for (feat, model) in data.features().iter().zip(&self.features) {
+                    match (feat, model) {
+                        (Feature::Numeric { values, .. }, FeatureModel::Gaussian(params)) => {
+                            let v = values[r];
+                            if v.is_nan() {
+                                continue; // missing feature: skip its likelihood
+                            }
+                            for (c, &(mean, std)) in params.iter().enumerate() {
+                                let z = (v - mean) / std;
+                                log_post[c] += -0.5 * z * z - std.ln();
+                            }
+                        }
+                        (Feature::Categorical { codes, .. }, FeatureModel::Categorical(table)) => {
+                            let code = codes[r];
+                            if code == MISSING_CODE {
+                                continue;
+                            }
+                            for (c, class_row) in table.iter().enumerate() {
+                                let idx = (code as usize).min(class_row.len() - 1);
+                                log_post[c] += class_row[idx];
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                vecops::softmax_inplace(&mut log_post);
+                log_post
+            })
+            .collect()
+    }
+}
+
+// Use the class count to silence dead-code when only proba is used.
+impl TrainedNb {
+    #[allow(dead_code)]
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::{categorical_mixture, gaussian_blobs, sparse_counts};
+    use smartml_data::accuracy;
+
+    fn holdout(clf: &dyn Classifier, d: &Dataset) -> f64 {
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..d.n_rows()).partition(|i| i % 2 == 0);
+        let model = clf.fit(d, &train).unwrap();
+        accuracy(&d.labels_for(&test), &model.predict(d, &test))
+    }
+
+    #[test]
+    fn gaussian_blobs_learned() {
+        let d = gaussian_blobs("b", 200, 4, 3, 0.8, 1);
+        let nb = NaiveBayes { laplace: 1.0, adjust: 1.0 };
+        assert!(holdout(&nb, &d) > 0.85);
+    }
+
+    #[test]
+    fn categorical_data_learned() {
+        let d = categorical_mixture("c", 400, 4, 0, 2, 3, 2);
+        let nb = NaiveBayes { laplace: 1.0, adjust: 1.0 };
+        assert!(holdout(&nb, &d) > 0.6);
+    }
+
+    #[test]
+    fn sparse_counts_suit_nb() {
+        // Bag-of-words-like data is naive Bayes home turf.
+        let d = sparse_counts("s", 300, 40, 4, 40, 3);
+        let nb = NaiveBayes { laplace: 1.0, adjust: 1.0 };
+        assert!(holdout(&nb, &d) > 0.7);
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let d = gaussian_blobs("b", 60, 2, 2, 1.0, 4);
+        let rows = d.all_rows();
+        let model = NaiveBayes { laplace: 0.5, adjust: 2.0 }.fit(&d, &rows).unwrap();
+        for p in model.predict_proba(&d, &rows) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn missing_values_skipped_not_fatal() {
+        use smartml_data::Feature;
+        let d = Dataset::new(
+            "m",
+            vec![Feature::Numeric {
+                name: "x".into(),
+                values: vec![0.0, 0.1, 5.0, 5.1, f64::NAN],
+            }],
+            vec![0, 0, 1, 1, 0],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let model = NaiveBayes { laplace: 1.0, adjust: 1.0 }.fit(&d, &d.all_rows()).unwrap();
+        let proba = model.predict_proba(&d, &[4]);
+        assert!(proba[0].iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn from_config_clamps() {
+        let nb = NaiveBayes::from_config(
+            &ParamConfig::default().with("laplace", crate::params::ParamValue::Real(-5.0)),
+        );
+        assert_eq!(nb.laplace, 0.0);
+        assert_eq!(nb.adjust, 1.0);
+    }
+}

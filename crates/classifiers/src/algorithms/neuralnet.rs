@@ -1,0 +1,238 @@
+//! NeuralNet — single-hidden-layer perceptron (paper: nnet; 1 numeric
+//! parameter, the hidden-layer `size`). Tanh hidden units, softmax output,
+//! cross-entropy loss, full-batch gradient descent with momentum and a small
+//! fixed weight decay (nnet's `decay` is not in the paper's tuned set).
+
+use super::encode::DenseEncoder;
+use crate::api::{check_fit_preconditions, Classifier, ClassifierError, TrainedModel};
+use crate::params::ParamConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartml_data::Dataset;
+use smartml_linalg::{vecops, Matrix};
+
+/// A configured MLP.
+pub struct NeuralNet {
+    /// Hidden-layer width.
+    pub size: usize,
+    /// Training epochs (fixed, not paper-tuned).
+    pub epochs: usize,
+    /// Weight decay (fixed, not paper-tuned).
+    pub decay: f64,
+    /// Initialisation seed.
+    pub seed: u64,
+}
+
+impl NeuralNet {
+    /// Builds from a [`ParamConfig`] (`size`).
+    pub fn from_config(config: &ParamConfig) -> Self {
+        NeuralNet {
+            size: config.i64_or("size", 5).clamp(1, 200) as usize,
+            epochs: 200,
+            decay: 1e-4,
+            seed: 7,
+        }
+    }
+}
+
+struct TrainedNet {
+    encoder: DenseEncoder,
+    /// `h x (d+1)` input→hidden weights (last column bias).
+    w1: Matrix,
+    /// `k x (h+1)` hidden→output weights (last column bias).
+    w2: Matrix,
+    n_classes: usize,
+}
+
+impl TrainedNet {
+    fn forward(&self, input: &[f64], hidden: &mut [f64], out: &mut [f64]) {
+        let d = input.len();
+        for (h, hv) in hidden.iter_mut().enumerate() {
+            let row = self.w1.row(h);
+            *hv = (vecops::dot(&row[..d], input) + row[d]).tanh();
+        }
+        let hl = hidden.len();
+        for (k, ov) in out.iter_mut().enumerate() {
+            let row = self.w2.row(k);
+            *ov = vecops::dot(&row[..hl], hidden) + row[hl];
+        }
+        vecops::softmax_inplace(out);
+    }
+}
+
+impl Classifier for NeuralNet {
+    fn name(&self) -> &'static str {
+        "NeuralNet"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        let n_classes = check_fit_preconditions("NeuralNet", data, rows, 4)?;
+        let (encoder, x) = DenseEncoder::fit(data, rows, true);
+        let y = data.labels_for(rows);
+        let (n, d) = x.shape();
+        let h = self.size;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let init = |rng: &mut StdRng, fan_in: usize| -> f64 {
+            let scale = (1.0 / fan_in.max(1) as f64).sqrt();
+            rng.gen_range(-scale..scale)
+        };
+        let mut w1 = Matrix::zeros(h, d + 1);
+        for r in 0..h {
+            for c in 0..=d {
+                w1[(r, c)] = init(&mut rng, d);
+            }
+        }
+        let mut w2 = Matrix::zeros(n_classes, h + 1);
+        for r in 0..n_classes {
+            for c in 0..=h {
+                w2[(r, c)] = init(&mut rng, h);
+            }
+        }
+        let mut v1 = Matrix::zeros(h, d + 1);
+        let mut v2 = Matrix::zeros(n_classes, h + 1);
+        let lr = 0.2;
+        let momentum = 0.9;
+        let mut hidden = vec![0.0; h];
+        let mut out = vec![0.0; n_classes];
+        let mut delta_out = vec![0.0; n_classes];
+        let mut delta_hidden = vec![0.0; h];
+        for _ in 0..self.epochs {
+            let mut g1 = Matrix::zeros(h, d + 1);
+            let mut g2 = Matrix::zeros(n_classes, h + 1);
+            for r in 0..n {
+                let input = x.row(r);
+                // Forward.
+                for (hh, hv) in hidden.iter_mut().enumerate() {
+                    let row = w1.row(hh);
+                    *hv = (vecops::dot(&row[..d], input) + row[d]).tanh();
+                }
+                for (k, ov) in out.iter_mut().enumerate() {
+                    let row = w2.row(k);
+                    *ov = vecops::dot(&row[..h], &hidden) + row[h];
+                }
+                vecops::softmax_inplace(&mut out);
+                // Backward.
+                let truth = y[r] as usize;
+                for k in 0..n_classes {
+                    delta_out[k] = out[k] - if k == truth { 1.0 } else { 0.0 };
+                }
+                for hh in 0..h {
+                    let mut s = 0.0;
+                    for k in 0..n_classes {
+                        s += delta_out[k] * w2[(k, hh)];
+                    }
+                    delta_hidden[hh] = s * (1.0 - hidden[hh] * hidden[hh]);
+                }
+                for k in 0..n_classes {
+                    let grow = g2.row_mut(k);
+                    for hh in 0..h {
+                        grow[hh] += delta_out[k] * hidden[hh];
+                    }
+                    grow[h] += delta_out[k];
+                }
+                for hh in 0..h {
+                    let grow = g1.row_mut(hh);
+                    for c in 0..d {
+                        grow[c] += delta_hidden[hh] * input[c];
+                    }
+                    grow[d] += delta_hidden[hh];
+                }
+            }
+            let scale = 1.0 / n as f64;
+            for rr in 0..h {
+                for c in 0..=d {
+                    let g = g1[(rr, c)] * scale + self.decay * w1[(rr, c)];
+                    v1[(rr, c)] = momentum * v1[(rr, c)] - lr * g;
+                    w1[(rr, c)] += v1[(rr, c)];
+                }
+            }
+            for rr in 0..n_classes {
+                for c in 0..=h {
+                    let g = g2[(rr, c)] * scale + self.decay * w2[(rr, c)];
+                    v2[(rr, c)] = momentum * v2[(rr, c)] - lr * g;
+                    w2[(rr, c)] += v2[(rr, c)];
+                }
+            }
+        }
+        Ok(Box::new(TrainedNet { encoder, w1, w2, n_classes }))
+    }
+}
+
+impl TrainedModel for TrainedNet {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        let x = self.encoder.encode(data, rows);
+        let h = self.w1.rows();
+        let mut hidden = vec![0.0; h];
+        let mut out = vec![0.0; self.n_classes];
+        (0..x.rows())
+            .map(|r| {
+                self.forward(x.row(r), &mut hidden, &mut out);
+                out.clone()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::accuracy;
+    use smartml_data::synth::{gaussian_blobs, kinematics, xor_parity};
+
+    fn holdout(clf: &dyn Classifier, d: &Dataset) -> f64 {
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..d.n_rows()).partition(|i| i % 2 == 0);
+        let model = clf.fit(d, &train).unwrap();
+        accuracy(&d.labels_for(&test), &model.predict(d, &test))
+    }
+
+    fn net(size: usize) -> NeuralNet {
+        NeuralNet { size, epochs: 300, decay: 1e-4, seed: 7 }
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let d = gaussian_blobs("b", 200, 3, 3, 0.8, 1);
+        assert!(holdout(&net(8), &d) > 0.85);
+    }
+
+    #[test]
+    fn hidden_layer_solves_xor() {
+        let d = xor_parity("x", 300, 2, 0, 0.0, 2);
+        let acc = holdout(&net(8), &d);
+        assert!(acc > 0.85, "acc {acc}");
+    }
+
+    #[test]
+    fn smooth_nonlinear_boundary() {
+        let d = kinematics("k", 300, 4, 0.1, 3);
+        let acc = holdout(&net(12), &d);
+        assert!(acc > 0.7, "acc {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = gaussian_blobs("b", 80, 2, 2, 1.0, 4);
+        let rows = d.all_rows();
+        let m1 = net(4).fit(&d, &rows).unwrap();
+        let m2 = net(4).fit(&d, &rows).unwrap();
+        assert_eq!(m1.predict(&d, &rows), m2.predict(&d, &rows));
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let d = gaussian_blobs("b", 60, 2, 4, 1.5, 5);
+        let rows = d.all_rows();
+        let model = net(6).fit(&d, &rows).unwrap();
+        for p in model.predict_proba(&d, &rows) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_config_reads_size() {
+        let nn = NeuralNet::from_config(
+            &ParamConfig::default().with("size", crate::params::ParamValue::Int(12)),
+        );
+        assert_eq!(nn.size, 12);
+    }
+}

@@ -1,0 +1,260 @@
+//! PLS-DA — partial least squares discriminant analysis (paper: caret;
+//! 1 categorical + 1 numeric parameter).
+//!
+//! PLS2 components are extracted with NIPALS against the one-hot class
+//! indicator matrix; prediction regresses indicators on the scores and maps
+//! them to probabilities via `prob_method` (`softmax`, caret's default, or
+//! `bayes`, which normalises the clipped indicator estimates).
+
+use super::encode::DenseEncoder;
+use crate::api::{check_fit_preconditions, normalize_scores, Classifier, ClassifierError, TrainedModel};
+use crate::params::ParamConfig;
+use smartml_data::Dataset;
+use smartml_linalg::{vecops, Matrix};
+
+/// A configured PLS-DA model.
+pub struct Plsda {
+    /// Probability mapping: `true` = softmax, `false` = Bayes normalisation.
+    pub softmax: bool,
+    /// Number of PLS components.
+    pub ncomp: usize,
+}
+
+impl Plsda {
+    /// Builds from a [`ParamConfig`] (`prob_method`, `ncomp`).
+    pub fn from_config(config: &ParamConfig) -> Self {
+        Plsda {
+            softmax: config.str_or("prob_method", "softmax") == "softmax",
+            ncomp: config.i64_or("ncomp", 3).clamp(1, 50) as usize,
+        }
+    }
+}
+
+struct TrainedPlsda {
+    encoder: DenseEncoder,
+    /// `d x k` X-weights (already composed for direct projection).
+    projection: Matrix,
+    /// `k x c` regression from scores to class indicators.
+    coef: Matrix,
+    /// Indicator intercepts (class means).
+    intercept: Vec<f64>,
+    softmax: bool,
+    n_classes: usize,
+}
+
+impl Classifier for Plsda {
+    fn name(&self) -> &'static str {
+        "PLSDA"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        let n_classes = check_fit_preconditions("PLSDA", data, rows, 4)?;
+        let (encoder, x0) = DenseEncoder::fit(data, rows, true);
+        let labels = data.labels_for(rows);
+        let (n, d) = x0.shape();
+        let ncomp = self.ncomp.min(d).min(n.saturating_sub(1)).max(1);
+        // Centered one-hot indicator matrix Y.
+        let mut intercept = vec![0.0; n_classes];
+        for &l in &labels {
+            intercept[l as usize] += 1.0 / n as f64;
+        }
+        let mut y = Matrix::zeros(n, n_classes);
+        for (r, &l) in labels.iter().enumerate() {
+            for c in 0..n_classes {
+                y[(r, c)] = if c == l as usize { 1.0 } else { 0.0 } - intercept[c];
+            }
+        }
+        let mut x = x0.clone();
+        // NIPALS PLS2.
+        let mut weights = Matrix::zeros(d, ncomp); // W
+        let mut loadings = Matrix::zeros(d, ncomp); // P
+        let mut scores_all = Matrix::zeros(n, ncomp); // T
+        for comp in 0..ncomp {
+            // u = first Y column with variance (or the dominant one).
+            let mut u: Vec<f64> = y.col(0);
+            if vecops::variance(&u) < 1e-12 {
+                for c in 1..n_classes {
+                    u = y.col(c);
+                    if vecops::variance(&u) >= 1e-12 {
+                        break;
+                    }
+                }
+            }
+            let mut w = vec![0.0; d];
+            let mut t = vec![0.0; n];
+            for _ in 0..100 {
+                // w = Xᵀu / ‖Xᵀu‖
+                for (j, wv) in w.iter_mut().enumerate() {
+                    *wv = (0..n).map(|r| x[(r, j)] * u[r]).sum();
+                }
+                let wn = vecops::norm(&w);
+                if wn < 1e-12 {
+                    break;
+                }
+                for wv in &mut w {
+                    *wv /= wn;
+                }
+                // t = Xw
+                for (r, tv) in t.iter_mut().enumerate() {
+                    *tv = vecops::dot(x.row(r), &w);
+                }
+                let tt = vecops::dot(&t, &t).max(1e-300);
+                // q = Yᵀt / tᵀt
+                let q: Vec<f64> = (0..n_classes)
+                    .map(|c| (0..n).map(|r| y[(r, c)] * t[r]).sum::<f64>() / tt)
+                    .collect();
+                // u_new = Yq / qᵀq
+                let qq = vecops::dot(&q, &q).max(1e-300);
+                let u_new: Vec<f64> =
+                    (0..n).map(|r| (0..n_classes).map(|c| y[(r, c)] * q[c]).sum::<f64>() / qq).collect();
+                let delta = vecops::euclidean_distance(&u, &u_new);
+                u = u_new;
+                if delta < 1e-10 {
+                    break;
+                }
+            }
+            let tt = vecops::dot(&t, &t).max(1e-300);
+            // p = Xᵀt / tᵀt; deflate X.
+            let p: Vec<f64> = (0..d)
+                .map(|j| (0..n).map(|r| x[(r, j)] * t[r]).sum::<f64>() / tt)
+                .collect();
+            for r in 0..n {
+                for j in 0..d {
+                    let sub = t[r] * p[j];
+                    x[(r, j)] -= sub;
+                }
+            }
+            for j in 0..d {
+                weights[(j, comp)] = w[j];
+                loadings[(j, comp)] = p[j];
+            }
+            for r in 0..n {
+                scores_all[(r, comp)] = t[r];
+            }
+        }
+        // Direct projection R = W (PᵀW)⁻¹ so scores = X·R for new data.
+        let ptw = loadings.transpose().matmul(&weights);
+        let r_mat = match invert_small(&ptw) {
+            Some(inv) => weights.matmul(&inv),
+            None => weights.clone(), // near-singular: raw weights still project
+        };
+        // Regress centered indicators on scores: coef = (TᵀT)⁻¹ TᵀY.
+        let ttt = scores_all.transpose().matmul(&scores_all);
+        let tty = scores_all.transpose().matmul(&y);
+        let coef = match invert_small(&ttt) {
+            Some(inv) => inv.matmul(&tty),
+            None => {
+                return Err(ClassifierError::Numerical {
+                    algorithm: "PLSDA",
+                    detail: "score covariance is singular".into(),
+                })
+            }
+        };
+        Ok(Box::new(TrainedPlsda {
+            encoder,
+            projection: r_mat,
+            coef,
+            intercept,
+            softmax: self.softmax,
+            n_classes,
+        }))
+    }
+}
+
+/// Inverts a small square matrix via LU solves (None when singular).
+fn invert_small(m: &Matrix) -> Option<Matrix> {
+    let n = m.rows();
+    let mut inv = Matrix::zeros(n, n);
+    for c in 0..n {
+        let mut e = vec![0.0; n];
+        e[c] = 1.0;
+        let col = smartml_linalg::solve(m, &e).ok()?;
+        for r in 0..n {
+            inv[(r, c)] = col[r];
+        }
+    }
+    Some(inv)
+}
+
+impl TrainedModel for TrainedPlsda {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        let x = self.encoder.encode(data, rows);
+        let scores = x.matmul(&self.projection);
+        let estimates = scores.matmul(&self.coef);
+        (0..estimates.rows())
+            .map(|r| {
+                let mut vals: Vec<f64> = (0..self.n_classes)
+                    .map(|c| estimates[(r, c)] + self.intercept[c])
+                    .collect();
+                if self.softmax {
+                    // Sharpen indicator estimates into probabilities.
+                    for v in &mut vals {
+                        *v *= 4.0;
+                    }
+                    vecops::softmax_inplace(&mut vals);
+                    vals
+                } else {
+                    normalize_scores(vals.into_iter().map(|v| v.max(0.0)).collect())
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::accuracy;
+    use smartml_data::synth::{gaussian_blobs, prototype_noise};
+
+    fn holdout(clf: &dyn Classifier, d: &Dataset) -> f64 {
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..d.n_rows()).partition(|i| i % 2 == 0);
+        let model = clf.fit(d, &train).unwrap();
+        accuracy(&d.labels_for(&test), &model.predict(d, &test))
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let d = gaussian_blobs("b", 200, 4, 2, 0.8, 1);
+        let pls = Plsda { softmax: true, ncomp: 2 };
+        assert!(holdout(&pls, &d) > 0.9);
+    }
+
+    #[test]
+    fn high_dimensional_prototypes() {
+        // PLS thrives when d is large relative to n.
+        let d = prototype_noise("p", 120, 30, 3, 1.0, 2);
+        let pls = Plsda { softmax: true, ncomp: 4 };
+        let acc = holdout(&pls, &d);
+        assert!(acc > 0.7, "acc {acc}");
+    }
+
+    #[test]
+    fn both_prob_methods_valid() {
+        let d = gaussian_blobs("b", 100, 3, 3, 1.0, 3);
+        let rows = d.all_rows();
+        for softmax in [true, false] {
+            let model = Plsda { softmax, ncomp: 2 }.fit(&d, &rows).unwrap();
+            for p in model.predict_proba(&d, &rows) {
+                assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{p:?}");
+                assert!(p.iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn ncomp_clamped_to_dimension() {
+        let d = gaussian_blobs("b", 60, 2, 2, 1.0, 4);
+        let rows = d.all_rows();
+        let model = Plsda { softmax: true, ncomp: 50 }.fit(&d, &rows);
+        assert!(model.is_ok());
+    }
+
+    #[test]
+    fn more_components_do_not_hurt_much() {
+        let d = gaussian_blobs("b", 150, 5, 2, 1.0, 5);
+        let a1 = holdout(&Plsda { softmax: true, ncomp: 1 }, &d);
+        let a4 = holdout(&Plsda { softmax: true, ncomp: 4 }, &d);
+        assert!(a4 >= a1 - 0.1, "ncomp=1 {a1} vs ncomp=4 {a4}");
+    }
+}

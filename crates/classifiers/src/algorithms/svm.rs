@@ -1,0 +1,355 @@
+//! Support vector machine (paper: the `e1071` R package wrapping libsvm;
+//! 1 categorical parameter — the kernel — and 4 numeric: cost, gamma,
+//! degree, coef0).
+//!
+//! Binary subproblems are trained with simplified SMO (Platt's algorithm in
+//! the two-multiplier working-set form); multiclass uses one-vs-one voting,
+//! the same decomposition libsvm/e1071 uses.
+
+use super::encode::DenseEncoder;
+use crate::api::{check_fit_preconditions, normalize_scores, Classifier, ClassifierError, TrainedModel};
+use crate::params::ParamConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartml_data::Dataset;
+use smartml_linalg::Matrix;
+
+/// Kernel functions supported by e1071.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `u · v`
+    Linear,
+    /// `exp(-γ‖u−v‖²)`
+    Radial,
+    /// `(γ u·v + coef0)^degree`
+    Polynomial,
+    /// `tanh(γ u·v + coef0)`
+    Sigmoid,
+}
+
+/// A configured SVM.
+pub struct Svm {
+    /// Kernel choice.
+    pub kernel: Kernel,
+    /// Soft-margin cost C.
+    pub cost: f64,
+    /// Kernel width γ.
+    pub gamma: f64,
+    /// Polynomial degree.
+    pub degree: i64,
+    /// Kernel offset coef0.
+    pub coef0: f64,
+}
+
+impl Svm {
+    /// Builds from a [`ParamConfig`] (`kernel`, `cost`, `gamma`, `degree`, `coef0`).
+    pub fn from_config(config: &ParamConfig) -> Self {
+        let kernel = match config.str_or("kernel", "radial") {
+            "linear" => Kernel::Linear,
+            "polynomial" => Kernel::Polynomial,
+            "sigmoid" => Kernel::Sigmoid,
+            _ => Kernel::Radial,
+        };
+        Svm {
+            kernel,
+            cost: config.f64_or("cost", 1.0).max(1e-6),
+            gamma: config.f64_or("gamma", 0.1).max(1e-9),
+            degree: config.i64_or("degree", 3).clamp(1, 10),
+            coef0: config.f64_or("coef0", 0.0),
+        }
+    }
+
+    fn kernel_eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        match self.kernel {
+            Kernel::Linear => dot,
+            Kernel::Radial => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-self.gamma * d2).exp()
+            }
+            Kernel::Polynomial => (self.gamma * dot + self.coef0).powi(self.degree as i32),
+            Kernel::Sigmoid => (self.gamma * dot + self.coef0).tanh(),
+        }
+    }
+}
+
+/// One trained binary subproblem (classes `pos` vs `neg`).
+struct BinarySvm {
+    /// Indices into the stored support-vector matrix.
+    sv_rows: Vec<usize>,
+    /// α_i · y_i per support vector.
+    alpha_y: Vec<f64>,
+    bias: f64,
+    pos: u32,
+    neg: u32,
+}
+
+struct TrainedSvm {
+    encoder: DenseEncoder,
+    /// All training rows (kernel evaluations index into this).
+    x: Matrix,
+    machines: Vec<BinarySvm>,
+    n_classes: usize,
+    params: Svm,
+}
+
+impl Classifier for Svm {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        let n_classes = check_fit_preconditions("SVM", data, rows, 4)?;
+        let (encoder, x) = DenseEncoder::fit(data, rows, true);
+        let labels = data.labels_for(rows);
+        // One-vs-one over the classes actually present.
+        let counts = data.class_counts_for(rows);
+        let present: Vec<u32> = (0..n_classes as u32)
+            .filter(|&c| counts[c as usize] > 0)
+            .collect();
+        let mut machines = Vec::new();
+        for i in 0..present.len() {
+            for j in (i + 1)..present.len() {
+                let (pos, neg) = (present[i], present[j]);
+                let sub: Vec<usize> = (0..labels.len())
+                    .filter(|&r| labels[r] == pos || labels[r] == neg)
+                    .collect();
+                let y: Vec<f64> = sub
+                    .iter()
+                    .map(|&r| if labels[r] == pos { 1.0 } else { -1.0 })
+                    .collect();
+                if let Some(machine) = smo_train(self, &x, &sub, &y, pos, neg) {
+                    machines.push(machine);
+                }
+            }
+        }
+        if machines.is_empty() {
+            return Err(ClassifierError::Numerical {
+                algorithm: "SVM",
+                detail: "no binary subproblem could be trained".into(),
+            });
+        }
+        Ok(Box::new(TrainedSvm {
+            encoder,
+            x,
+            machines,
+            n_classes,
+            params: Svm {
+                kernel: self.kernel,
+                cost: self.cost,
+                gamma: self.gamma,
+                degree: self.degree,
+                coef0: self.coef0,
+            },
+        }))
+    }
+}
+
+/// Simplified SMO on the rows `sub` of `x` with ±1 targets `y`.
+fn smo_train(
+    params: &Svm,
+    x: &Matrix,
+    sub: &[usize],
+    y: &[f64],
+    pos: u32,
+    neg: u32,
+) -> Option<BinarySvm> {
+    let n = sub.len();
+    if n < 2 {
+        return None;
+    }
+    let c = params.cost;
+    let tol = 1e-3;
+    let max_passes = 8;
+    let max_total_iters = 300 * n; // hard cap keeps SMAC loops bounded
+    let mut alpha = vec![0.0f64; n];
+    let mut bias = 0.0f64;
+    let mut rng = StdRng::seed_from_u64(0xD1CE ^ (pos as u64) << 16 ^ neg as u64);
+    // Precompute the kernel sub-matrix (n ≤ a few hundred in this workspace).
+    let mut kmat = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in i..n {
+            let v = params.kernel_eval(x.row(sub[i]), x.row(sub[j]));
+            kmat[i * n + j] = v;
+            kmat[j * n + i] = v;
+        }
+    }
+    let f = |alpha: &[f64], bias: f64, kmat: &[f64], y: &[f64], i: usize| -> f64 {
+        let mut s = bias;
+        for (t, &a) in alpha.iter().enumerate() {
+            if a != 0.0 {
+                s += a * y[t] * kmat[t * n + i];
+            }
+        }
+        s
+    };
+    let mut passes = 0;
+    let mut total = 0usize;
+    while passes < max_passes && total < max_total_iters {
+        let mut changed = 0;
+        for i in 0..n {
+            total += 1;
+            let ei = f(&alpha, bias, &kmat, y, i) - y[i];
+            if (y[i] * ei < -tol && alpha[i] < c) || (y[i] * ei > tol && alpha[i] > 0.0) {
+                // Pick a random j ≠ i.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = f(&alpha, bias, &kmat, y, j) - y[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > 1e-12 {
+                    ((aj_old - ai_old).max(0.0), (c + aj_old - ai_old).min(c))
+                } else {
+                    ((ai_old + aj_old - c).max(0.0), (ai_old + aj_old).min(c))
+                };
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * kmat[i * n + j] - kmat[i * n + i] - kmat[j * n + j];
+                if eta >= -1e-12 {
+                    continue;
+                }
+                let mut aj = aj_old - y[j] * (ei - ej) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - aj_old).abs() < 1e-7 {
+                    continue;
+                }
+                let ai = ai_old + y[i] * y[j] * (aj_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+                let b1 = bias - ei
+                    - y[i] * (ai - ai_old) * kmat[i * n + i]
+                    - y[j] * (aj - aj_old) * kmat[i * n + j];
+                let b2 = bias - ej
+                    - y[i] * (ai - ai_old) * kmat[i * n + j]
+                    - y[j] * (aj - aj_old) * kmat[j * n + j];
+                bias = if ai > 0.0 && ai < c {
+                    b1
+                } else if aj > 0.0 && aj < c {
+                    b2
+                } else {
+                    0.5 * (b1 + b2)
+                };
+                changed += 1;
+            }
+        }
+        if changed == 0 {
+            passes += 1;
+        } else {
+            passes = 0;
+        }
+    }
+    let mut sv_rows = Vec::new();
+    let mut alpha_y = Vec::new();
+    for (t, &a) in alpha.iter().enumerate() {
+        if a > 1e-8 {
+            sv_rows.push(sub[t]);
+            alpha_y.push(a * y[t]);
+        }
+    }
+    if sv_rows.is_empty() {
+        // Degenerate solve: fall back to a bias-only machine voting for the
+        // majority of this pair.
+        let pos_count = y.iter().filter(|&&v| v > 0.0).count();
+        bias = if pos_count * 2 >= n { 1.0 } else { -1.0 };
+    }
+    Some(BinarySvm { sv_rows, alpha_y, bias, pos, neg })
+}
+
+impl TrainedModel for TrainedSvm {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        let xq = self.encoder.encode(data, rows);
+        (0..xq.rows())
+            .map(|q| {
+                let qrow = xq.row(q);
+                let mut votes = vec![0.0; self.n_classes];
+                for m in &self.machines {
+                    let mut score = m.bias;
+                    for (&sv, &ay) in m.sv_rows.iter().zip(&m.alpha_y) {
+                        score += ay * self.params.kernel_eval(self.x.row(sv), qrow);
+                    }
+                    if score >= 0.0 {
+                        votes[m.pos as usize] += 1.0;
+                    } else {
+                        votes[m.neg as usize] += 1.0;
+                    }
+                }
+                normalize_scores(votes)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::accuracy;
+    use smartml_data::synth::{gaussian_blobs, two_spirals};
+
+    fn holdout(clf: &Svm, d: &Dataset) -> f64 {
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..d.n_rows()).partition(|i| i % 2 == 0);
+        let model = clf.fit(d, &train).unwrap();
+        accuracy(&d.labels_for(&test), &model.predict(d, &test))
+    }
+
+    fn rbf() -> Svm {
+        Svm { kernel: Kernel::Radial, cost: 1.0, gamma: 0.5, degree: 3, coef0: 0.0 }
+    }
+
+    #[test]
+    fn linear_kernel_separable_blobs() {
+        let d = gaussian_blobs("b", 200, 3, 2, 0.5, 1);
+        let svm = Svm { kernel: Kernel::Linear, ..rbf() };
+        assert!(holdout(&svm, &d) > 0.9);
+    }
+
+    #[test]
+    fn rbf_solves_spirals() {
+        let d = two_spirals("s", 300, 0.05, 2);
+        let svm = Svm { gamma: 1.0, cost: 10.0, ..rbf() };
+        let acc = holdout(&svm, &d);
+        assert!(acc > 0.8, "acc {acc}");
+    }
+
+    #[test]
+    fn multiclass_one_vs_one() {
+        let d = gaussian_blobs("b", 240, 4, 4, 0.6, 3);
+        let acc = holdout(&rbf(), &d);
+        assert!(acc > 0.8, "acc {acc}");
+    }
+
+    #[test]
+    fn polynomial_and_sigmoid_run() {
+        let d = gaussian_blobs("b", 120, 3, 2, 0.8, 4);
+        let poly = Svm { kernel: Kernel::Polynomial, gamma: 0.05, cost: 1.0, coef0: 1.0, degree: 2 };
+        assert!(holdout(&poly, &d) > 0.6, "poly acc {}", holdout(&poly, &d));
+        // Sigmoid kernels are notoriously fragile; require validity plus
+        // not-catastrophic accuracy only.
+        let sig = Svm { kernel: Kernel::Sigmoid, coef0: 1.0, ..rbf() };
+        assert!(holdout(&sig, &d) >= 0.4, "sigmoid acc {}", holdout(&sig, &d));
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let d = gaussian_blobs("b", 90, 2, 3, 1.0, 5);
+        let rows = d.all_rows();
+        let model = rbf().fit(&d, &rows).unwrap();
+        for p in model.predict_proba(&d, &rows) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_config_parses_kernel() {
+        let cfg = ParamConfig::default().with("kernel", crate::params::ParamValue::Cat("linear".into()));
+        assert_eq!(Svm::from_config(&cfg).kernel, Kernel::Linear);
+        assert_eq!(Svm::from_config(&ParamConfig::default()).kernel, Kernel::Radial);
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let d = gaussian_blobs("b", 10, 2, 2, 0.5, 6);
+        assert!(rbf().fit(&d, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! The single-tree and boosted-tree classifiers of Table 3:
+//! J48 (C4.5, RWeka), rpart (CART), and c50 (C5.0 = C4.5 + boosting).
+
+use crate::api::{check_fit_preconditions, Classifier, ClassifierError, TrainedModel};
+use crate::common::tree::{DecisionTree, Pruning, SplitCriterion, TreeConfig};
+use crate::params::ParamConfig;
+use smartml_data::Dataset;
+use smartml_linalg::vecops;
+
+/// J48 — C4.5: gain-ratio splits, optional pessimistic pruning.
+/// Paper space: 1 categorical (`pruned`) + 2 numeric (`confidence`, `min_obj`).
+pub struct J48Classifier {
+    /// Apply C4.5 pessimistic post-pruning.
+    pub pruned: bool,
+    /// Pruning confidence factor (WEKA `-C`).
+    pub confidence: f64,
+    /// Minimum instances per leaf (WEKA `-M`).
+    pub min_obj: f64,
+}
+
+impl J48Classifier {
+    /// Builds from a [`ParamConfig`].
+    pub fn from_config(config: &ParamConfig) -> Self {
+        J48Classifier {
+            pruned: config.str_or("pruned", "yes") == "yes",
+            confidence: config.f64_or("confidence", 0.25).clamp(0.001, 0.5),
+            min_obj: config.i64_or("min_obj", 2).max(1) as f64,
+        }
+    }
+
+    pub(crate) fn tree_config(&self, seed: u64) -> TreeConfig {
+        TreeConfig {
+            criterion: SplitCriterion::GainRatio,
+            max_depth: 40,
+            min_split: 2.0 * self.min_obj,
+            min_leaf: self.min_obj,
+            cp: 0.0,
+            mtry: None,
+            seed,
+            pruning: if self.pruned {
+                Pruning::Pessimistic { cf: self.confidence }
+            } else {
+                Pruning::None
+            },
+        }
+    }
+}
+
+struct SingleTree {
+    tree: DecisionTree,
+}
+
+impl TrainedModel for SingleTree {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        self.tree.predict_proba(data, rows)
+    }
+}
+
+impl Classifier for J48Classifier {
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        check_fit_preconditions("J48", data, rows, 2)?;
+        let tree = DecisionTree::fit(data, rows, &self.tree_config(0));
+        Ok(Box::new(SingleTree { tree }))
+    }
+}
+
+/// rpart — CART: Gini splits with cost-complexity pre-pruning.
+/// Paper space: 0 categorical + 4 numeric (`cp`, `minsplit`, `minbucket`,
+/// `maxdepth`).
+pub struct RpartClassifier {
+    /// Complexity parameter: minimum relative impurity decrease per split.
+    pub cp: f64,
+    /// Minimum node size to attempt a split.
+    pub minsplit: f64,
+    /// Minimum instances per leaf.
+    pub minbucket: f64,
+    /// Maximum depth.
+    pub maxdepth: usize,
+}
+
+impl RpartClassifier {
+    /// Builds from a [`ParamConfig`].
+    pub fn from_config(config: &ParamConfig) -> Self {
+        RpartClassifier {
+            cp: config.f64_or("cp", 0.01).max(0.0),
+            minsplit: config.i64_or("minsplit", 20).max(2) as f64,
+            minbucket: config.i64_or("minbucket", 7).max(1) as f64,
+            maxdepth: config.i64_or("maxdepth", 30).clamp(1, 40) as usize,
+        }
+    }
+}
+
+impl Classifier for RpartClassifier {
+    fn name(&self) -> &'static str {
+        "rpart"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        check_fit_preconditions("rpart", data, rows, 2)?;
+        let config = TreeConfig {
+            criterion: SplitCriterion::Gini,
+            max_depth: self.maxdepth,
+            min_split: self.minsplit,
+            min_leaf: self.minbucket,
+            cp: self.cp,
+            mtry: None,
+            seed: 0,
+            pruning: Pruning::None,
+        };
+        let tree = DecisionTree::fit(data, rows, &config);
+        Ok(Box::new(SingleTree { tree }))
+    }
+}
+
+/// c50 — C5.0: boosted C4.5 trees via multiclass AdaBoost (SAMME).
+/// Paper space: 3 categorical (`winnow`, `rules`, `global_pruning`) +
+/// 2 numeric (`trials`, `cf`).
+///
+/// Differences from the commercial C5.0, documented in `DESIGN.md`:
+/// `winnow=yes` pre-screens features by mutual information with the label
+/// (C5.0's winnowing also removes features pre-tree); `rules=yes` uses
+/// depth-limited base trees (C5.0's rulesets flatten trees into rules —
+/// behaviourally close to shallow trees under boosting).
+pub struct C50Classifier {
+    /// Winnow (pre-screen) uninformative features.
+    pub winnow: bool,
+    /// Rules mode (shallow base learners).
+    pub rules: bool,
+    /// Apply pessimistic global pruning to base trees.
+    pub global_pruning: bool,
+    /// Boosting trials.
+    pub trials: usize,
+    /// Pruning confidence factor.
+    pub cf: f64,
+}
+
+impl C50Classifier {
+    /// Builds from a [`ParamConfig`].
+    pub fn from_config(config: &ParamConfig) -> Self {
+        C50Classifier {
+            winnow: config.str_or("winnow", "no") == "yes",
+            rules: config.str_or("rules", "no") == "yes",
+            global_pruning: config.str_or("global_pruning", "yes") == "yes",
+            trials: config.i64_or("trials", 10).clamp(1, 100) as usize,
+            cf: config.f64_or("cf", 0.25).clamp(0.001, 0.5),
+        }
+    }
+}
+
+struct BoostedTrees {
+    trees: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl TrainedModel for BoostedTrees {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|&r| {
+                let mut scores = vec![0.0; self.n_classes];
+                for (tree, alpha) in &self.trees {
+                    let p = tree.row_proba(data, r);
+                    let winner = vecops::argmax(&p).unwrap_or(0);
+                    scores[winner] += alpha;
+                }
+                crate::api::normalize_scores(scores)
+            })
+            .collect()
+    }
+}
+
+impl Classifier for C50Classifier {
+    fn name(&self) -> &'static str {
+        "c50"
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        let n_classes = check_fit_preconditions("c50", data, rows, 4)?;
+        // Winnowing: keep features whose MI with the label clears a floor.
+        let winnowed = if self.winnow { winnow_features(data, rows) } else { None };
+        let working = match &winnowed {
+            Some(keep) => data.with_features(
+                keep.iter().map(|&i| data.feature(i).clone()).collect(),
+            ),
+            None => data.clone(),
+        };
+        let base_depth = if self.rules { 4 } else { 40 };
+        // Weights kept in natural units (summing to the row count) so the
+        // tree's count-based thresholds and pruning statistics stay valid.
+        let mut weights = vec![1.0; data.n_rows()];
+        let mut trees = Vec::with_capacity(self.trials);
+        let k = n_classes as f64;
+        for t in 0..self.trials {
+            let config = TreeConfig {
+                criterion: SplitCriterion::GainRatio,
+                max_depth: base_depth,
+                min_split: 4.0,
+                min_leaf: 1.0,
+                cp: 0.0,
+                mtry: None,
+                seed: t as u64,
+                pruning: if self.global_pruning {
+                    Pruning::Pessimistic { cf: self.cf }
+                } else {
+                    Pruning::None
+                },
+            };
+            let tree = DecisionTree::fit_weighted(&working, rows, &weights, &config);
+            // Weighted training error (SAMME).
+            let mut err = 0.0;
+            let mut total = 0.0;
+            let mut predictions = Vec::with_capacity(rows.len());
+            for &r in rows {
+                let p = tree.row_proba(&working, r);
+                let pred = vecops::argmax(&p).unwrap_or(0) as u32;
+                predictions.push(pred);
+                total += weights[r];
+                if pred != working.label(r) {
+                    err += weights[r];
+                }
+            }
+            let err = (err / total.max(1e-300)).clamp(1e-6, 1.0 - 1e-6);
+            if err >= 1.0 - 1.0 / k {
+                // Worse than chance: stop boosting (keep at least one tree).
+                if trees.is_empty() {
+                    trees.push((tree, 1.0));
+                }
+                break;
+            }
+            let alpha = ((1.0 - err) / err).ln() + (k - 1.0).ln();
+            // Reweight misclassified rows up.
+            let mut new_total = 0.0;
+            for (i, &r) in rows.iter().enumerate() {
+                if predictions[i] != working.label(r) {
+                    weights[r] *= alpha.exp().min(1e6);
+                }
+                new_total += weights[r];
+            }
+            let renorm = rows.len() as f64 / new_total;
+            for &r in rows {
+                weights[r] *= renorm;
+            }
+            trees.push((tree, alpha));
+            if err < 1e-5 {
+                break; // perfect fit: further rounds are no-ops
+            }
+        }
+        Ok(Box::new(C50Model { inner: BoostedTrees { trees, n_classes }, winnowed }))
+    }
+}
+
+/// c50 wrapper that re-applies winnowing at prediction time.
+struct C50Model {
+    inner: BoostedTrees,
+    winnowed: Option<Vec<usize>>,
+}
+
+impl TrainedModel for C50Model {
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        match &self.winnowed {
+            Some(keep) => {
+                let working =
+                    data.with_features(keep.iter().map(|&i| data.feature(i).clone()).collect());
+                self.inner.predict_proba(&working, rows)
+            }
+            None => self.inner.predict_proba(data, rows),
+        }
+    }
+}
+
+/// Keeps the upper half of features by label mutual information (at least 1).
+fn winnow_features(data: &Dataset, rows: &[usize]) -> Option<Vec<usize>> {
+    use smartml_data::Feature;
+    let labels: Vec<u32> = rows.iter().map(|&r| data.label(r)).collect();
+    let mut scored: Vec<(usize, f64)> = data
+        .features()
+        .iter()
+        .enumerate()
+        .map(|(i, feat)| {
+            // Coarse MI proxy: correlation of class-mean rank for numerics,
+            // level-purity for categoricals.
+            let score = match feat {
+                Feature::Numeric { values, .. } => {
+                    // Skip missing cells pairwise — NaNs would poison the
+                    // correlation and the later sort.
+                    let mut xs = Vec::with_capacity(rows.len());
+                    let mut ys = Vec::with_capacity(rows.len());
+                    for (&r, &l) in rows.iter().zip(&labels) {
+                        if !values[r].is_nan() {
+                            xs.push(values[r]);
+                            ys.push(l as f64);
+                        }
+                    }
+                    smartml_linalg::pearson_correlation(&xs, &ys).abs()
+                }
+                Feature::Categorical { codes, levels, .. } => {
+                    let n_levels = levels.len();
+                    let mut level_class: Vec<Vec<usize>> =
+                        vec![vec![0; data.n_classes()]; n_levels + 1];
+                    for (&r, &l) in rows.iter().zip(&labels) {
+                        let c = codes[r];
+                        let idx = if c == smartml_data::dataset::MISSING_CODE {
+                            n_levels
+                        } else {
+                            c as usize
+                        };
+                        level_class[idx][l as usize] += 1;
+                    }
+                    // Mean purity over non-empty levels.
+                    let mut purity = 0.0;
+                    let mut seen = 0usize;
+                    for counts in &level_class {
+                        let total: usize = counts.iter().sum();
+                        if total > 0 {
+                            purity += *counts.iter().max().unwrap() as f64 / total as f64;
+                            seen += 1;
+                        }
+                    }
+                    if seen > 0 {
+                        purity / seen as f64
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            (i, score)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let keep_n = (scored.len() / 2).max(1);
+    let mut keep: Vec<usize> = scored.into_iter().take(keep_n).map(|(i, _)| i).collect();
+    keep.sort_unstable();
+    Some(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::accuracy;
+    use smartml_data::synth::{gaussian_blobs, two_spirals, xor_parity};
+
+    fn holdout(clf: &dyn Classifier, d: &Dataset) -> f64 {
+        let (train, test): (Vec<usize>, Vec<usize>) = (0..d.n_rows()).partition(|i| i % 2 == 0);
+        let model = clf.fit(d, &train).unwrap();
+        accuracy(&d.labels_for(&test), &model.predict(d, &test))
+    }
+
+    #[test]
+    fn j48_learns_blobs() {
+        let d = gaussian_blobs("b", 200, 3, 3, 0.8, 1);
+        let j48 = J48Classifier::from_config(&ParamConfig::default());
+        assert!(holdout(&j48, &d) > 0.8);
+    }
+
+    #[test]
+    fn j48_pruning_reduces_overfit_on_noise() {
+        let d = two_spirals("s", 300, 0.6, 2);
+        let pruned = J48Classifier { pruned: true, confidence: 0.1, min_obj: 2.0 };
+        let unpruned = J48Classifier { pruned: false, confidence: 0.25, min_obj: 1.0 };
+        // Both run; pruned is never much worse, usually better on noise.
+        let ap = holdout(&pruned, &d);
+        let au = holdout(&unpruned, &d);
+        assert!(ap > 0.5 && au > 0.5, "pruned {ap}, unpruned {au}");
+    }
+
+    #[test]
+    fn rpart_learns_and_cp_regularises() {
+        let d = gaussian_blobs("b", 200, 4, 2, 1.2, 3);
+        let default = RpartClassifier::from_config(&ParamConfig::default());
+        assert!(holdout(&default, &d) > 0.8);
+    }
+
+    #[test]
+    fn c50_boosting_competitive_with_single_tree() {
+        let d = two_spirals("s", 400, 0.25, 4);
+        let single = J48Classifier { pruned: false, confidence: 0.25, min_obj: 2.0 };
+        let boosted = C50Classifier {
+            winnow: false,
+            rules: false,
+            global_pruning: false,
+            trials: 15,
+            cf: 0.25,
+        };
+        let a_single = holdout(&single, &d);
+        let a_boost = holdout(&boosted, &d);
+        assert!(
+            a_boost >= a_single - 0.05,
+            "boosted {a_boost} much worse than single {a_single}"
+        );
+        assert!(a_boost > 0.7, "boosted {a_boost}");
+    }
+
+    #[test]
+    fn c50_rules_mode_runs() {
+        let d = gaussian_blobs("b", 150, 3, 2, 1.0, 5);
+        let c50 = C50Classifier { winnow: false, rules: true, global_pruning: true, trials: 5, cf: 0.25 };
+        assert!(holdout(&c50, &d) > 0.7);
+    }
+
+    #[test]
+    fn c50_winnow_keeps_informative_features() {
+        let d = xor_parity("x", 300, 2, 10, 0.0, 6);
+        let keep = winnow_features(&d, &d.all_rows()).unwrap();
+        assert!(!keep.is_empty() && keep.len() <= 6);
+    }
+
+    #[test]
+    fn c50_winnowed_predicts_consistently() {
+        let d = gaussian_blobs("b", 160, 6, 2, 0.8, 7);
+        let c50 = C50Classifier { winnow: true, rules: false, global_pruning: true, trials: 5, cf: 0.25 };
+        assert!(holdout(&c50, &d) > 0.75);
+    }
+
+    #[test]
+    fn from_config_parses_flags() {
+        let cfg = ParamConfig::default()
+            .with("winnow", crate::params::ParamValue::Cat("yes".into()))
+            .with("trials", crate::params::ParamValue::Int(7));
+        let c50 = C50Classifier::from_config(&cfg);
+        assert!(c50.winnow);
+        assert_eq!(c50.trials, 7);
+    }
+}

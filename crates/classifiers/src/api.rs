@@ -1,0 +1,127 @@
+//! The classifier trait pair: an untrained [`Classifier`] is fitted into an
+//! immutable [`TrainedModel`] that predicts class probabilities.
+
+use smartml_data::Dataset;
+use smartml_linalg::vecops;
+
+/// Errors from fitting a classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifierError {
+    /// Too few training rows for this algorithm.
+    TooFewRows { algorithm: &'static str, needed: usize, got: usize },
+    /// Fewer than two classes present in the training rows.
+    SingleClass { algorithm: &'static str },
+    /// A numerical failure (singular matrix, divergence, …).
+    Numerical { algorithm: &'static str, detail: String },
+    /// A hyperparameter was missing or out of its domain.
+    BadParam { algorithm: &'static str, param: String, detail: String },
+}
+
+impl std::fmt::Display for ClassifierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifierError::TooFewRows { algorithm, needed, got } => {
+                write!(f, "{algorithm}: needs >= {needed} rows, got {got}")
+            }
+            ClassifierError::SingleClass { algorithm } => {
+                write!(f, "{algorithm}: training rows contain a single class")
+            }
+            ClassifierError::Numerical { algorithm, detail } => {
+                write!(f, "{algorithm}: numerical failure: {detail}")
+            }
+            ClassifierError::BadParam { algorithm, param, detail } => {
+                write!(f, "{algorithm}: bad parameter '{param}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassifierError {}
+
+/// An untrained, configured classifier.
+pub trait Classifier: Send {
+    /// Stable algorithm name (matches [`crate::Algorithm::paper_name`]).
+    fn name(&self) -> &'static str;
+
+    /// Fits on `rows` of `data`, returning an immutable trained model.
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError>;
+}
+
+/// A fitted model.
+pub trait TrainedModel: Send {
+    /// Per-row class probability vectors (each sums to 1).
+    fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>>;
+
+    /// Hard class predictions (argmax of probabilities by default).
+    fn predict(&self, data: &Dataset, rows: &[usize]) -> Vec<u32> {
+        self.predict_proba(data, rows)
+            .iter()
+            .map(|p| vecops::argmax(p).unwrap_or(0) as u32)
+            .collect()
+    }
+}
+
+/// Validates common fit preconditions and returns the class count.
+pub(crate) fn check_fit_preconditions(
+    algorithm: &'static str,
+    data: &Dataset,
+    rows: &[usize],
+    min_rows: usize,
+) -> Result<usize, ClassifierError> {
+    if rows.len() < min_rows {
+        return Err(ClassifierError::TooFewRows { algorithm, needed: min_rows, got: rows.len() });
+    }
+    let counts = data.class_counts_for(rows);
+    let present = counts.iter().filter(|&&c| c > 0).count();
+    if present < 2 {
+        return Err(ClassifierError::SingleClass { algorithm });
+    }
+    Ok(data.n_classes())
+}
+
+/// Normalises a non-negative score vector into a probability distribution;
+/// uniform when the total is zero.
+pub(crate) fn normalize_scores(mut scores: Vec<f64>) -> Vec<f64> {
+    let total: f64 = scores.iter().sum();
+    if total > 1e-300 {
+        for s in &mut scores {
+            *s /= total;
+        }
+    } else {
+        let k = scores.len().max(1);
+        scores = vec![1.0 / k as f64; k];
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::Feature;
+
+    #[test]
+    fn preconditions_enforced() {
+        let d = Dataset::new(
+            "t",
+            vec![Feature::Numeric { name: "x".into(), values: vec![1.0, 2.0, 3.0] }],
+            vec![0, 0, 1],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        assert!(matches!(
+            check_fit_preconditions("x", &d, &[0], 2),
+            Err(ClassifierError::TooFewRows { .. })
+        ));
+        assert!(matches!(
+            check_fit_preconditions("x", &d, &[0, 1], 2),
+            Err(ClassifierError::SingleClass { .. })
+        ));
+        assert_eq!(check_fit_preconditions("x", &d, &[0, 2], 2), Ok(2));
+    }
+
+    #[test]
+    fn normalize_scores_cases() {
+        assert_eq!(normalize_scores(vec![1.0, 3.0]), vec![0.25, 0.75]);
+        assert_eq!(normalize_scores(vec![0.0, 0.0]), vec![0.5, 0.5]);
+    }
+}

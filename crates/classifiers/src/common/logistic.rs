@@ -1,0 +1,178 @@
+//! Multinomial logistic regression trained by batch gradient descent with
+//! momentum and L2 decay. Used as the leaf model of LMT and as a shared
+//! building block.
+
+use smartml_linalg::{vecops, Matrix};
+
+/// A trained multinomial logistic model over dense numeric inputs.
+#[derive(Debug, Clone)]
+pub struct LogisticModel {
+    /// `k x (d+1)` weights; last column is the bias.
+    weights: Matrix,
+    n_classes: usize,
+}
+
+impl LogisticModel {
+    /// Fits on `x` (n×d) and labels, with `epochs` full-batch steps.
+    ///
+    /// `l2` is the weight-decay strength. Inputs are standardised internally
+    /// (mean/std absorbed into the weights afterwards) so the fixed learning
+    /// rate is scale-free.
+    pub fn fit(x: &Matrix, y: &[u32], n_classes: usize, epochs: usize, l2: f64) -> LogisticModel {
+        let (n, d) = x.shape();
+        assert_eq!(y.len(), n);
+        // Standardise columns for conditioning.
+        let mut means = vec![0.0; d];
+        let mut stds = vec![1.0; d];
+        for c in 0..d {
+            let col: Vec<f64> = (0..n).map(|r| x[(r, c)]).collect();
+            means[c] = vecops::mean(&col);
+            let s = vecops::std_dev(&col);
+            stds[c] = if s > 1e-12 { s } else { 1.0 };
+        }
+        let mut w = Matrix::zeros(n_classes, d + 1);
+        let mut velocity = Matrix::zeros(n_classes, d + 1);
+        let lr = 0.5;
+        let momentum = 0.9;
+        let mut scores = vec![0.0; n_classes];
+        let mut xs = vec![0.0; d];
+        for _ in 0..epochs.max(1) {
+            let mut grad = Matrix::zeros(n_classes, d + 1);
+            for r in 0..n {
+                for c in 0..d {
+                    xs[c] = (x[(r, c)] - means[c]) / stds[c];
+                }
+                for k in 0..n_classes {
+                    let row = w.row(k);
+                    scores[k] = vecops::dot(&row[..d], &xs) + row[d];
+                }
+                vecops::softmax_inplace(&mut scores);
+                let truth = y[r] as usize;
+                for k in 0..n_classes {
+                    let err = scores[k] - if k == truth { 1.0 } else { 0.0 };
+                    let grow = grad.row_mut(k);
+                    for c in 0..d {
+                        grow[c] += err * xs[c];
+                    }
+                    grow[d] += err;
+                }
+            }
+            let scale = 1.0 / n as f64;
+            for k in 0..n_classes {
+                for c in 0..=d {
+                    let g = grad[(k, c)] * scale + l2 * w[(k, c)];
+                    velocity[(k, c)] = momentum * velocity[(k, c)] - lr * g;
+                    w[(k, c)] += velocity[(k, c)];
+                }
+            }
+        }
+        // Fold standardisation into the weights: w'ᵀx = wᵀ((x-μ)/σ) + b.
+        let mut folded = Matrix::zeros(n_classes, d + 1);
+        for k in 0..n_classes {
+            let mut bias = w[(k, d)];
+            for c in 0..d {
+                let wc = w[(k, c)] / stds[c];
+                folded[(k, c)] = wc;
+                bias -= wc * means[c];
+            }
+            folded[(k, d)] = bias;
+        }
+        LogisticModel { weights: folded, n_classes }
+    }
+
+    /// Class-probability prediction for one dense row.
+    pub fn predict_row(&self, row: &[f64]) -> Vec<f64> {
+        let d = self.weights.cols() - 1;
+        debug_assert_eq!(row.len(), d);
+        let mut scores: Vec<f64> = (0..self.n_classes)
+            .map(|k| {
+                let wrow = self.weights.row(k);
+                vecops::dot(&wrow[..d], row) + wrow[d]
+            })
+            .collect();
+        vecops::softmax_inplace(&mut scores);
+        scores
+    }
+
+    /// Class probabilities for every row of `x`.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<Vec<f64>> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable 2-class data on a 1-D feature.
+    fn line_data(n: usize) -> (Matrix, Vec<u32>) {
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = i as f64 / n as f64 * 10.0 - 5.0;
+            rows.push(vec![v]);
+            y.push(u32::from(v > 0.0));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn separable_line_learned() {
+        let (x, y) = line_data(100);
+        let m = LogisticModel::fit(&x, &y, 2, 300, 1e-4);
+        let proba = m.predict_proba(&x);
+        let correct = proba
+            .iter()
+            .zip(&y)
+            .filter(|(p, &t)| vecops::argmax(p).unwrap() as u32 == t)
+            .count();
+        assert!(correct >= 97, "{correct}/100");
+    }
+
+    #[test]
+    fn three_class_softmax() {
+        // Three clusters on a line at -4, 0, +4.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            let center = (c as f64 - 1.0) * 4.0;
+            rows.push(vec![center + ((i * 17) % 10) as f64 / 10.0 - 0.5]);
+            y.push(c as u32);
+        }
+        let x = Matrix::from_rows(&rows);
+        let m = LogisticModel::fit(&x, &y, 3, 400, 1e-4);
+        let pred: Vec<u32> = m
+            .predict_proba(&x)
+            .iter()
+            .map(|p| vecops::argmax(p).unwrap() as u32)
+            .collect();
+        let acc = pred.iter().zip(&y).filter(|(a, b)| a == b).count() as f64 / 150.0;
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn probabilities_valid() {
+        let (x, y) = line_data(40);
+        let m = LogisticModel::fit(&x, &y, 2, 100, 1e-3);
+        for p in m.predict_proba(&x) {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn l2_shrinks_confidence() {
+        let (x, y) = line_data(60);
+        let weak = LogisticModel::fit(&x, &y, 2, 300, 1e-6);
+        let strong = LogisticModel::fit(&x, &y, 2, 300, 1.0);
+        // Strong decay keeps probabilities closer to 0.5.
+        let conf = |m: &LogisticModel| {
+            m.predict_proba(&x)
+                .iter()
+                .map(|p| p.iter().copied().fold(0.0, f64::max))
+                .sum::<f64>()
+        };
+        assert!(conf(&strong) < conf(&weak));
+    }
+}

@@ -1,0 +1,9 @@
+//! Shared model-building machinery: the generic decision tree used by the
+//! J48/part/c50/rpart/Bagging/RandomForest/LMT/DeepBoost family, and the
+//! multinomial logistic regression used by LMT leaves.
+
+pub mod logistic;
+pub mod tree;
+
+pub use logistic::LogisticModel;
+pub use tree::{DecisionTree, Pruning, SplitCriterion, TreeConfig};

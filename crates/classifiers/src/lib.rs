@@ -1,0 +1,50 @@
+//! The SmartML classifier zoo — the 15 algorithms of paper Table 3, each
+//! re-implemented from scratch in Rust with the same hyperparameter space
+//! *shape* (categorical/numeric parameter counts) as the R package the paper
+//! wraps. See `DESIGN.md`, substitution 2.
+//!
+//! | Algorithm     | cat | num | R package     | here                         |
+//! |---------------|-----|-----|---------------|------------------------------|
+//! | SVM           | 1   | 4   | e1071         | SMO, one-vs-one              |
+//! | NaiveBayes    | 0   | 2   | klaR          | Gaussian + categorical NB    |
+//! | KNN           | 0   | 1   | FNN           | brute-force k-NN             |
+//! | Bagging       | 0   | 5   | ipred         | bagged CART trees            |
+//! | part          | 1   | 2   | RWeka         | rule list from C4.5 trees    |
+//! | J48           | 1   | 2   | RWeka         | C4.5 (gain ratio + pruning)  |
+//! | RandomForest  | 0   | 3   | randomForest  | random forest                |
+//! | c50           | 3   | 2   | C50           | boosted C4.5                 |
+//! | rpart         | 0   | 4   | rpart         | CART (Gini + cp)             |
+//! | LDA           | 1   | 1   | MASS          | linear discriminant          |
+//! | PLSDA         | 1   | 1   | caret         | PLS-DA (NIPALS)              |
+//! | LMT           | 0   | 1   | RWeka         | logistic model tree          |
+//! | RDA           | 0   | 2   | klaR          | regularised discriminant     |
+//! | NeuralNet     | 0   | 1   | nnet          | 1-hidden-layer MLP           |
+//! | DeepBoost     | 1   | 4   | deepboost     | margin-penalised boosting    |
+//!
+//! All classifiers implement [`Classifier`]; the registry maps
+//! [`Algorithm`] ids to hyperparameter spaces ([`ParamSpace`]) and
+//! constructors, which is the interface the SMAC tuner and the knowledge
+//! base operate through.
+
+//! ```
+//! use smartml_classifiers::{Algorithm, ParamConfig, ParamValue};
+//! use smartml_data::synth::gaussian_blobs;
+//! use smartml_data::accuracy;
+//!
+//! let data = gaussian_blobs("demo", 200, 3, 2, 0.6, 1);
+//! let (train, test): (Vec<usize>, Vec<usize>) = (0..200).partition(|i| i % 2 == 0);
+//! let config = ParamConfig::default().with("ntree", ParamValue::Int(40));
+//! let model = Algorithm::RandomForest.build(&config).fit(&data, &train).unwrap();
+//! let acc = accuracy(&data.labels_for(&test), &model.predict(&data, &test));
+//! assert!(acc > 0.9);
+//! ```
+
+pub mod algorithms;
+mod api;
+pub mod common;
+mod params;
+mod registry;
+
+pub use api::{Classifier, ClassifierError, TrainedModel};
+pub use params::{ParamConfig, ParamSpace, ParamSpec, ParamValue};
+pub use registry::{Algorithm, AlgorithmSpec};

@@ -1,0 +1,501 @@
+//! Hyperparameter space description, sampling, and neighbourhood moves.
+//!
+//! A [`ParamSpace`] declares each tunable parameter's type and domain; a
+//! [`ParamConfig`] is a concrete assignment. The SMAC tuner samples from the
+//! space, perturbs configurations to generate local-search neighbours, and
+//! encodes configurations as numeric vectors for its random-forest surrogate.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The specification of one hyperparameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamSpec {
+    /// A real parameter on `[lo, hi]`; `log` samples on a log scale.
+    Real { name: String, lo: f64, hi: f64, log: bool },
+    /// An integer parameter on `[lo, hi]` inclusive; `log` samples log-scaled.
+    Int { name: String, lo: i64, hi: i64, log: bool },
+    /// A categorical parameter over named choices.
+    Cat { name: String, choices: Vec<String> },
+}
+
+impl ParamSpec {
+    /// Parameter name.
+    pub fn name(&self) -> &str {
+        match self {
+            ParamSpec::Real { name, .. }
+            | ParamSpec::Int { name, .. }
+            | ParamSpec::Cat { name, .. } => name,
+        }
+    }
+
+    /// True for categorical parameters (paper Table 3's "categorical" count).
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, ParamSpec::Cat { .. })
+    }
+
+    /// Samples a uniform random value from the domain.
+    pub fn sample(&self, rng: &mut StdRng) -> ParamValue {
+        match self {
+            ParamSpec::Real { lo, hi, log, .. } => {
+                let v = if *log {
+                    let (llo, lhi) = (lo.ln(), hi.ln());
+                    rng.gen_range(llo..=lhi).exp()
+                } else {
+                    rng.gen_range(*lo..=*hi)
+                };
+                ParamValue::Real(v)
+            }
+            ParamSpec::Int { lo, hi, log, .. } => {
+                let v = if *log && *lo >= 1 {
+                    let (llo, lhi) = ((*lo as f64).ln(), (*hi as f64).ln());
+                    (rng.gen_range(llo..=lhi).exp().round() as i64).clamp(*lo, *hi)
+                } else {
+                    rng.gen_range(*lo..=*hi)
+                };
+                ParamValue::Int(v)
+            }
+            ParamSpec::Cat { choices, .. } => {
+                ParamValue::Cat(choices[rng.gen_range(0..choices.len())].clone())
+            }
+        }
+    }
+
+    /// The domain's default value: domain midpoint / first choice.
+    pub fn default_value(&self) -> ParamValue {
+        match self {
+            ParamSpec::Real { lo, hi, log, .. } => {
+                // Log midpoint is the geometric mean; linear is the arithmetic mean.
+                let v = if *log { ((lo.ln() + hi.ln()) / 2.0).exp() } else { (lo + hi) / 2.0 };
+                ParamValue::Real(v)
+            }
+            ParamSpec::Int { lo, hi, log, .. } => {
+                let v = if *log && *lo >= 1 {
+                    (((*lo as f64).ln() + (*hi as f64).ln()) / 2.0).exp().round() as i64
+                } else {
+                    (lo + hi) / 2
+                };
+                ParamValue::Int(v.clamp(*lo, *hi))
+            }
+            ParamSpec::Cat { choices, .. } => ParamValue::Cat(choices[0].clone()),
+        }
+    }
+
+    /// A local perturbation of `current` (SMAC's neighbourhood move):
+    /// reals/ints move by a Gaussian step of ~20% of the (log-)range;
+    /// categoricals resample a different choice.
+    pub fn neighbor(&self, current: &ParamValue, rng: &mut StdRng) -> ParamValue {
+        let gauss = |rng: &mut StdRng| -> f64 {
+            // Box-Muller.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        match (self, current) {
+            (ParamSpec::Real { lo, hi, log, .. }, ParamValue::Real(v)) => {
+                let v = if *log {
+                    let span = hi.ln() - lo.ln();
+                    (v.ln() + gauss(rng) * 0.2 * span).exp()
+                } else {
+                    v + gauss(rng) * 0.2 * (hi - lo)
+                };
+                ParamValue::Real(v.clamp(*lo, *hi))
+            }
+            (ParamSpec::Int { lo, hi, log, .. }, ParamValue::Int(v)) => {
+                let v = if *log && *lo >= 1 {
+                    let span = (*hi as f64).ln() - (*lo as f64).ln();
+                    ((*v as f64).ln() + gauss(rng) * 0.2 * span).exp().round() as i64
+                } else {
+                    let span = (hi - lo) as f64;
+                    (*v as f64 + gauss(rng) * 0.2 * span).round() as i64
+                };
+                ParamValue::Int(v.clamp(*lo, *hi))
+            }
+            (ParamSpec::Cat { choices, .. }, ParamValue::Cat(c)) => {
+                if choices.len() < 2 {
+                    return current.clone();
+                }
+                loop {
+                    let pick = &choices[rng.gen_range(0..choices.len())];
+                    if pick != c {
+                        return ParamValue::Cat(pick.clone());
+                    }
+                }
+            }
+            // Type mismatch (config from an older space): fall back to resampling.
+            _ => self.sample(rng),
+        }
+    }
+
+    /// Encodes a value into `[0, 1]` for the surrogate model
+    /// (categoricals map to their choice index / (len-1)).
+    pub fn encode(&self, value: &ParamValue) -> f64 {
+        match (self, value) {
+            (ParamSpec::Real { lo, hi, log, .. }, ParamValue::Real(v)) => {
+                if *log {
+                    (v.ln() - lo.ln()) / (hi.ln() - lo.ln()).max(1e-300)
+                } else {
+                    (v - lo) / (hi - lo).max(1e-300)
+                }
+            }
+            (ParamSpec::Int { lo, hi, log, .. }, ParamValue::Int(v)) => {
+                if *log && *lo >= 1 {
+                    ((*v as f64).ln() - (*lo as f64).ln())
+                        / ((*hi as f64).ln() - (*lo as f64).ln()).max(1e-300)
+                } else {
+                    (*v - lo) as f64 / ((*hi - *lo) as f64).max(1e-300)
+                }
+            }
+            (ParamSpec::Cat { choices, .. }, ParamValue::Cat(c)) => {
+                let idx = choices.iter().position(|x| x == c).unwrap_or(0);
+                if choices.len() < 2 {
+                    0.0
+                } else {
+                    idx as f64 / (choices.len() - 1) as f64
+                }
+            }
+            _ => 0.5,
+        }
+    }
+
+    /// True when `value` lies inside the declared domain.
+    pub fn contains(&self, value: &ParamValue) -> bool {
+        match (self, value) {
+            (ParamSpec::Real { lo, hi, .. }, ParamValue::Real(v)) => (*lo..=*hi).contains(v),
+            (ParamSpec::Int { lo, hi, .. }, ParamValue::Int(v)) => (*lo..=*hi).contains(v),
+            (ParamSpec::Cat { choices, .. }, ParamValue::Cat(c)) => choices.contains(c),
+            _ => false,
+        }
+    }
+}
+
+/// A concrete hyperparameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Real-valued parameter.
+    Real(f64),
+    /// Integer parameter.
+    Int(i64),
+    /// Categorical choice.
+    Cat(String),
+}
+
+impl ParamValue {
+    /// As f64, converting integers; panics on categoricals.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ParamValue::Real(v) => *v,
+            ParamValue::Int(v) => *v as f64,
+            ParamValue::Cat(c) => panic!("categorical parameter '{c}' used as numeric"),
+        }
+    }
+
+    /// As i64, rounding reals; panics on categoricals.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            ParamValue::Real(v) => v.round() as i64,
+            ParamValue::Int(v) => *v,
+            ParamValue::Cat(c) => panic!("categorical parameter '{c}' used as integer"),
+        }
+    }
+
+    /// As &str; panics on numerics.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ParamValue::Cat(c) => c,
+            other => panic!("numeric parameter {other:?} used as categorical"),
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Real(v) => write!(f, "{v:.6}"),
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Cat(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A concrete assignment of every parameter in a space.
+///
+/// Stored as a sorted map so serialisation is stable — configurations are
+/// persisted in the knowledge base and compared across runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParamConfig {
+    /// Parameter name → value.
+    pub values: BTreeMap<String, ParamValue>,
+}
+
+impl ParamConfig {
+    /// Looks a parameter up by name.
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.values.get(name)
+    }
+
+    /// Numeric parameter by name, or `default` when absent.
+    pub fn f64_or(&self, name: &str, default: f64) -> f64 {
+        self.get(name).map_or(default, ParamValue::as_f64)
+    }
+
+    /// Integer parameter by name, or `default` when absent.
+    pub fn i64_or(&self, name: &str, default: i64) -> i64 {
+        self.get(name).map_or(default, ParamValue::as_i64)
+    }
+
+    /// Categorical parameter by name, or `default` when absent.
+    pub fn str_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).map_or(default, |v| v.as_str())
+    }
+
+    /// Inserts a value (builder style).
+    pub fn with(mut self, name: &str, value: ParamValue) -> Self {
+        self.values.insert(name.to_string(), value);
+        self
+    }
+
+    /// Compact single-line rendering, `name=value` pairs.
+    pub fn summary(&self) -> String {
+        self.values
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for ParamConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+/// The full hyperparameter space of one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    /// Parameter specifications, in declaration order.
+    pub params: Vec<ParamSpec>,
+}
+
+impl ParamSpace {
+    /// A space over the given parameters.
+    pub fn new(params: Vec<ParamSpec>) -> Self {
+        ParamSpace { params }
+    }
+
+    /// Number of categorical parameters (paper Table 3 column 2).
+    pub fn n_categorical(&self) -> usize {
+        self.params.iter().filter(|p| p.is_categorical()).count()
+    }
+
+    /// Number of numeric (real or integer) parameters (Table 3 column 3).
+    pub fn n_numeric(&self) -> usize {
+        self.params.len() - self.n_categorical()
+    }
+
+    /// Total parameter count — the paper divides the tuning budget among
+    /// algorithms proportional to this.
+    pub fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Uniform random configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> ParamConfig {
+        let mut config = ParamConfig::default();
+        for p in &self.params {
+            config.values.insert(p.name().to_string(), p.sample(rng));
+        }
+        config
+    }
+
+    /// Default configuration (midpoints / first choices).
+    pub fn default_config(&self) -> ParamConfig {
+        let mut config = ParamConfig::default();
+        for p in &self.params {
+            config.values.insert(p.name().to_string(), p.default_value());
+        }
+        config
+    }
+
+    /// A neighbour of `config`: perturbs each parameter independently with
+    /// probability `move_prob` (at least one parameter always moves).
+    pub fn neighbor(&self, config: &ParamConfig, move_prob: f64, rng: &mut StdRng) -> ParamConfig {
+        let mut out = config.clone();
+        let mut moved = false;
+        for p in &self.params {
+            if rng.gen_bool(move_prob) {
+                if let Some(cur) = config.get(p.name()) {
+                    out.values.insert(p.name().to_string(), p.neighbor(cur, rng));
+                    moved = true;
+                }
+            }
+        }
+        if !moved && !self.params.is_empty() {
+            let p = &self.params[rng.gen_range(0..self.params.len())];
+            if let Some(cur) = config.get(p.name()) {
+                out.values.insert(p.name().to_string(), p.neighbor(cur, rng));
+            }
+        }
+        out
+    }
+
+    /// Encodes a configuration as a `[0,1]^d` vector for the surrogate.
+    pub fn encode(&self, config: &ParamConfig) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|p| config.get(p.name()).map_or(0.5, |v| p.encode(v)))
+            .collect()
+    }
+
+    /// Clamps/repairs a configuration into the space: missing parameters get
+    /// defaults, out-of-domain values are clamped or replaced. Used when
+    /// warm-start configurations come from the knowledge base.
+    pub fn repair(&self, config: &ParamConfig) -> ParamConfig {
+        let mut out = ParamConfig::default();
+        for p in &self.params {
+            let v = match config.get(p.name()) {
+                Some(v) if p.contains(v) => v.clone(),
+                Some(v) => clamp_into(p, v),
+                None => p.default_value(),
+            };
+            out.values.insert(p.name().to_string(), v);
+        }
+        out
+    }
+
+    /// True when `config` assigns every parameter a value in its domain.
+    pub fn validates(&self, config: &ParamConfig) -> bool {
+        self.params
+            .iter()
+            .all(|p| config.get(p.name()).is_some_and(|v| p.contains(v)))
+    }
+}
+
+fn clamp_into(spec: &ParamSpec, value: &ParamValue) -> ParamValue {
+    match (spec, value) {
+        (ParamSpec::Real { lo, hi, .. }, ParamValue::Real(v)) => ParamValue::Real(v.clamp(*lo, *hi)),
+        (ParamSpec::Real { lo, hi, .. }, ParamValue::Int(v)) => {
+            ParamValue::Real((*v as f64).clamp(*lo, *hi))
+        }
+        (ParamSpec::Int { lo, hi, .. }, ParamValue::Int(v)) => ParamValue::Int((*v).clamp(*lo, *hi)),
+        (ParamSpec::Int { lo, hi, .. }, ParamValue::Real(v)) => {
+            ParamValue::Int((v.round() as i64).clamp(*lo, *hi))
+        }
+        _ => spec.default_value(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::Real { name: "cost".into(), lo: 0.01, hi: 100.0, log: true },
+            ParamSpec::Int { name: "k".into(), lo: 1, hi: 50, log: true },
+            ParamSpec::Cat { name: "kernel".into(), choices: vec!["linear".into(), "rbf".into()] },
+        ])
+    }
+
+    #[test]
+    fn counts_match() {
+        let s = space();
+        assert_eq!(s.n_categorical(), 1);
+        assert_eq!(s.n_numeric(), 2);
+        assert_eq!(s.n_params(), 3);
+    }
+
+    #[test]
+    fn samples_in_domain() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = s.sample(&mut rng);
+            assert!(s.validates(&c), "{c}");
+        }
+    }
+
+    #[test]
+    fn default_config_in_domain() {
+        let s = space();
+        assert!(s.validates(&s.default_config()));
+        // Log-scale default is the geometric mean.
+        let cost = s.default_config().f64_or("cost", 0.0);
+        assert!((cost - 1.0).abs() < 1e-9, "geometric mean of [0.01, 100] is 1, got {cost}");
+    }
+
+    #[test]
+    fn neighbors_stay_in_domain_and_differ() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = s.default_config();
+        let mut any_diff = false;
+        for _ in 0..100 {
+            let n = s.neighbor(&base, 0.5, &mut rng);
+            assert!(s.validates(&n), "{n}");
+            if n != base {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn encode_is_unit_box() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = s.sample(&mut rng);
+            for (i, v) in s.encode(&c).iter().enumerate() {
+                assert!((-1e-9..=1.0 + 1e-9).contains(v), "param {i} encoded to {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn repair_fills_and_clamps() {
+        let s = space();
+        let broken = ParamConfig::default()
+            .with("cost", ParamValue::Real(1e9))
+            .with("kernel", ParamValue::Cat("bogus".into()));
+        let fixed = s.repair(&broken);
+        assert!(s.validates(&fixed));
+        assert_eq!(fixed.f64_or("cost", 0.0), 100.0);
+        assert_eq!(fixed.str_or("kernel", ""), "linear"); // replaced by default
+        assert!(fixed.get("k").is_some()); // filled in
+    }
+
+    #[test]
+    fn config_accessors() {
+        let c = ParamConfig::default()
+            .with("a", ParamValue::Real(2.5))
+            .with("b", ParamValue::Int(7))
+            .with("c", ParamValue::Cat("x".into()));
+        assert_eq!(c.f64_or("a", 0.0), 2.5);
+        assert_eq!(c.i64_or("b", 0), 7);
+        assert_eq!(c.str_or("c", ""), "x");
+        assert_eq!(c.f64_or("missing", 9.0), 9.0);
+        assert_eq!(c.summary(), "a=2.500000, b=7, c=x");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = space();
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = s.sample(&mut rng);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ParamConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "used as numeric")]
+    fn cat_as_f64_panics() {
+        ParamValue::Cat("x".into()).as_f64();
+    }
+}

@@ -1,0 +1,350 @@
+//! The algorithm registry: paper Table 3 as code.
+//!
+//! Each [`Algorithm`] knows its hyperparameter space (with the same
+//! categorical/numeric split as Table 3) and how to construct a configured
+//! [`Classifier`]. The SMAC tuner, the knowledge base, and the SmartML
+//! pipeline all address classifiers through this registry.
+
+use crate::algorithms::*;
+use crate::params::{ParamConfig, ParamSpace, ParamSpec};
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// The 15 classification algorithms of paper Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Support vector machine (paper: e1071).
+    Svm,
+    /// Naive Bayes (paper: klaR).
+    NaiveBayes,
+    /// k-nearest neighbours (paper: FNN).
+    Knn,
+    /// Bagged CART trees (paper: ipred).
+    Bagging,
+    /// PART rule learner (paper: RWeka).
+    Part,
+    /// C4.5 decision tree (paper: RWeka).
+    J48,
+    /// Random forest (paper: randomForest).
+    RandomForest,
+    /// C5.0 boosted trees (paper: C50).
+    C50,
+    /// CART decision tree (paper: rpart).
+    Rpart,
+    /// Linear discriminant analysis (paper: MASS).
+    Lda,
+    /// Partial least squares discriminant analysis (paper: caret).
+    Plsda,
+    /// Logistic model tree (paper: RWeka).
+    Lmt,
+    /// Regularised discriminant analysis (paper: klaR).
+    Rda,
+    /// Single-hidden-layer neural network (paper: nnet).
+    NeuralNet,
+    /// Deep boosting (paper: deepboost).
+    DeepBoost,
+}
+
+impl Algorithm {
+    /// All 15 algorithms, in paper Table 3 order.
+    pub const ALL: [Algorithm; 15] = [
+        Algorithm::Svm,
+        Algorithm::NaiveBayes,
+        Algorithm::Knn,
+        Algorithm::Bagging,
+        Algorithm::Part,
+        Algorithm::J48,
+        Algorithm::RandomForest,
+        Algorithm::C50,
+        Algorithm::Rpart,
+        Algorithm::Lda,
+        Algorithm::Plsda,
+        Algorithm::Lmt,
+        Algorithm::Rda,
+        Algorithm::NeuralNet,
+        Algorithm::DeepBoost,
+    ];
+
+    /// The algorithm name as printed in paper Table 3.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Algorithm::Svm => "SVM",
+            Algorithm::NaiveBayes => "NaiveBayes",
+            Algorithm::Knn => "KNN",
+            Algorithm::Bagging => "Bagging",
+            Algorithm::Part => "part",
+            Algorithm::J48 => "J48",
+            Algorithm::RandomForest => "RandomForest",
+            Algorithm::C50 => "c50",
+            Algorithm::Rpart => "rpart",
+            Algorithm::Lda => "LDA",
+            Algorithm::Plsda => "PLSDA",
+            Algorithm::Lmt => "LMT",
+            Algorithm::Rda => "RDA",
+            Algorithm::NeuralNet => "NeuralNet",
+            Algorithm::DeepBoost => "DeepBoost",
+        }
+    }
+
+    /// The R package the paper wraps for this algorithm (Table 3 column 4).
+    pub fn paper_package(self) -> &'static str {
+        match self {
+            Algorithm::Svm => "e1071",
+            Algorithm::NaiveBayes => "klaR",
+            Algorithm::Knn => "FNN",
+            Algorithm::Bagging => "ipred",
+            Algorithm::Part => "RWeka",
+            Algorithm::J48 => "RWeka",
+            Algorithm::RandomForest => "randomForest",
+            Algorithm::C50 => "C50",
+            Algorithm::Rpart => "rpart",
+            Algorithm::Lda => "MASS",
+            Algorithm::Plsda => "caret",
+            Algorithm::Lmt => "RWeka",
+            Algorithm::Rda => "klaR",
+            Algorithm::NeuralNet => "nnet",
+            Algorithm::DeepBoost => "deepboost",
+        }
+    }
+
+    /// Parses a paper name back to the id.
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        Algorithm::ALL.into_iter().find(|a| a.paper_name() == s)
+    }
+
+    /// The hyperparameter space (categorical/numeric counts match Table 3).
+    pub fn param_space(self) -> ParamSpace {
+        let real = |name: &str, lo: f64, hi: f64, log: bool| ParamSpec::Real {
+            name: name.into(),
+            lo,
+            hi,
+            log,
+        };
+        let int = |name: &str, lo: i64, hi: i64, log: bool| ParamSpec::Int {
+            name: name.into(),
+            lo,
+            hi,
+            log,
+        };
+        let cat = |name: &str, choices: &[&str]| ParamSpec::Cat {
+            name: name.into(),
+            choices: choices.iter().map(|s| s.to_string()).collect(),
+        };
+        match self {
+            // 1 categorical + 4 numeric.
+            Algorithm::Svm => ParamSpace::new(vec![
+                cat("kernel", &["linear", "radial", "polynomial", "sigmoid"]),
+                real("cost", 1e-2, 1e3, true),
+                real("gamma", 1e-4, 10.0, true),
+                int("degree", 2, 5, false),
+                real("coef0", 0.0, 1.0, false),
+            ]),
+            // 0 + 2.
+            Algorithm::NaiveBayes => ParamSpace::new(vec![
+                real("laplace", 0.0, 10.0, false),
+                real("adjust", 0.25, 4.0, true),
+            ]),
+            // 0 + 1.
+            Algorithm::Knn => ParamSpace::new(vec![int("k", 1, 50, true)]),
+            // 0 + 5.
+            Algorithm::Bagging => ParamSpace::new(vec![
+                int("nbagg", 5, 60, true),
+                int("maxdepth", 1, 30, false),
+                int("minsplit", 2, 20, false),
+                int("minbucket", 1, 10, false),
+                real("cp", 1e-4, 0.1, true),
+            ]),
+            // 1 + 2.
+            Algorithm::Part => ParamSpace::new(vec![
+                cat("pruned", &["yes", "no"]),
+                real("confidence", 0.05, 0.5, false),
+                int("min_obj", 1, 10, false),
+            ]),
+            // 1 + 2.
+            Algorithm::J48 => ParamSpace::new(vec![
+                cat("pruned", &["yes", "no"]),
+                real("confidence", 0.05, 0.5, false),
+                int("min_obj", 1, 10, false),
+            ]),
+            // 0 + 3.
+            Algorithm::RandomForest => ParamSpace::new(vec![
+                int("ntree", 10, 150, true),
+                int("mtry", 1, 24, true),
+                int("nodesize", 1, 10, false),
+            ]),
+            // 3 + 2.
+            Algorithm::C50 => ParamSpace::new(vec![
+                cat("winnow", &["yes", "no"]),
+                cat("rules", &["yes", "no"]),
+                cat("global_pruning", &["yes", "no"]),
+                int("trials", 1, 30, true),
+                real("cf", 0.05, 0.5, false),
+            ]),
+            // 0 + 4.
+            Algorithm::Rpart => ParamSpace::new(vec![
+                real("cp", 1e-4, 0.2, true),
+                int("minsplit", 2, 20, false),
+                int("minbucket", 1, 10, false),
+                int("maxdepth", 2, 30, false),
+            ]),
+            // 1 + 1.
+            Algorithm::Lda => ParamSpace::new(vec![
+                cat("method", &["moment", "shrinkage"]),
+                real("tol", 1e-6, 0.5, true),
+            ]),
+            // 1 + 1.
+            Algorithm::Plsda => ParamSpace::new(vec![
+                cat("prob_method", &["softmax", "bayes"]),
+                int("ncomp", 1, 10, false),
+            ]),
+            // 0 + 1.
+            Algorithm::Lmt => ParamSpace::new(vec![int("min_instances", 5, 60, true)]),
+            // 0 + 2.
+            Algorithm::Rda => ParamSpace::new(vec![
+                real("gamma", 0.0, 1.0, false),
+                real("lambda", 0.0, 1.0, false),
+            ]),
+            // 0 + 1.
+            Algorithm::NeuralNet => ParamSpace::new(vec![int("size", 1, 24, true)]),
+            // 1 + 4.
+            Algorithm::DeepBoost => ParamSpace::new(vec![
+                cat("loss", &["exponential", "logistic"]),
+                real("beta", 1e-6, 0.1, true),
+                real("lambda", 1e-6, 0.1, true),
+                int("tree_depth", 1, 6, false),
+                int("num_iter", 10, 80, true),
+            ]),
+        }
+    }
+
+    /// Builds a configured, untrained classifier. Out-of-domain or missing
+    /// values are repaired against the space first, so any KB-stored
+    /// configuration is safe to use.
+    pub fn build(self, config: &ParamConfig) -> Box<dyn Classifier> {
+        let config = self.param_space().repair(config);
+        match self {
+            Algorithm::Svm => Box::new(Svm::from_config(&config)),
+            Algorithm::NaiveBayes => Box::new(NaiveBayes::from_config(&config)),
+            Algorithm::Knn => Box::new(Knn::from_config(&config)),
+            Algorithm::Bagging => Box::new(BaggingClassifier::from_config(&config)),
+            Algorithm::Part => Box::new(PartClassifier::from_config(&config)),
+            Algorithm::J48 => Box::new(J48Classifier::from_config(&config)),
+            Algorithm::RandomForest => Box::new(RandomForest::from_config(&config)),
+            Algorithm::C50 => Box::new(C50Classifier::from_config(&config)),
+            Algorithm::Rpart => Box::new(RpartClassifier::from_config(&config)),
+            Algorithm::Lda => Box::new(Lda::from_config(&config)),
+            Algorithm::Plsda => Box::new(Plsda::from_config(&config)),
+            Algorithm::Lmt => Box::new(LmtClassifier::from_config(&config)),
+            Algorithm::Rda => Box::new(Rda::from_config(&config)),
+            Algorithm::NeuralNet => Box::new(NeuralNet::from_config(&config)),
+            Algorithm::DeepBoost => Box::new(DeepBoost::from_config(&config)),
+        }
+    }
+
+    /// Full spec (space + metadata) for display.
+    pub fn spec(self) -> AlgorithmSpec {
+        let space = self.param_space();
+        AlgorithmSpec {
+            algorithm: self,
+            n_categorical: space.n_categorical(),
+            n_numeric: space.n_numeric(),
+            space,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// An algorithm's registry entry.
+#[derive(Debug, Clone)]
+pub struct AlgorithmSpec {
+    /// Which algorithm.
+    pub algorithm: Algorithm,
+    /// Number of categorical hyperparameters (paper Table 3).
+    pub n_categorical: usize,
+    /// Number of numeric hyperparameters (paper Table 3).
+    pub n_numeric: usize,
+    /// The full space.
+    pub space: ParamSpace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 3 (categorical, numeric) counts, in `Algorithm::ALL` order.
+    const PAPER_COUNTS: [(usize, usize); 15] = [
+        (1, 4), // SVM
+        (0, 2), // NaiveBayes
+        (0, 1), // KNN
+        (0, 5), // Bagging
+        (1, 2), // part
+        (1, 2), // J48
+        (0, 3), // RandomForest
+        (3, 2), // c50
+        (0, 4), // rpart
+        (1, 1), // LDA
+        (1, 1), // PLSDA
+        (0, 1), // LMT
+        (0, 2), // RDA
+        (0, 1), // NeuralNet
+        (1, 4), // DeepBoost
+    ];
+
+    #[test]
+    fn param_counts_match_paper_table3() {
+        for (alg, &(cat, num)) in Algorithm::ALL.iter().zip(&PAPER_COUNTS) {
+            let space = alg.param_space();
+            assert_eq!(space.n_categorical(), cat, "{alg} categorical count");
+            assert_eq!(space.n_numeric(), num, "{alg} numeric count");
+        }
+    }
+
+    #[test]
+    fn there_are_15_classifiers() {
+        assert_eq!(Algorithm::ALL.len(), 15);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for alg in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(alg.paper_name()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("xgboost"), None);
+    }
+
+    #[test]
+    fn packages_match_paper() {
+        assert_eq!(Algorithm::Svm.paper_package(), "e1071");
+        assert_eq!(Algorithm::Lmt.paper_package(), "RWeka");
+        assert_eq!(Algorithm::DeepBoost.paper_package(), "deepboost");
+    }
+
+    #[test]
+    fn build_works_from_default_configs() {
+        for alg in Algorithm::ALL {
+            let config = alg.param_space().default_config();
+            let clf = alg.build(&config);
+            assert_eq!(clf.name(), alg.paper_name());
+        }
+    }
+
+    #[test]
+    fn build_repairs_empty_config() {
+        for alg in Algorithm::ALL {
+            let clf = alg.build(&ParamConfig::default());
+            assert_eq!(clf.name(), alg.paper_name());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Algorithm::J48).unwrap();
+        let back: Algorithm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Algorithm::J48);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the classifier substrate: decision-tree
+//! invariants, hyperparameter-space laws, and the registry contract.
+
+use proptest::prelude::*;
+use smartml_classifiers::common::tree::{DecisionTree, Pruning, SplitCriterion, TreeConfig};
+use smartml_classifiers::{Algorithm, ParamConfig, ParamValue};
+use smartml_data::synth::SynthSpec;
+use smartml_data::Dataset;
+
+fn blob(n: usize, d: usize, k: usize, spread: f64, seed: u64) -> Dataset {
+    SynthSpec::Blobs { n, d, k, spread }.generate("prop", seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_depth_and_leaf_bounds_hold(
+        n in 30usize..150,
+        max_depth in 1usize..8,
+        min_leaf in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let data = blob(n, 3, 2, 1.5, seed);
+        let config = TreeConfig {
+            max_depth,
+            min_leaf: min_leaf as f64,
+            min_split: 2.0 * min_leaf as f64,
+            ..TreeConfig::default()
+        };
+        let rows = data.all_rows();
+        let tree = DecisionTree::fit(&data, &rows, &config);
+        prop_assert!(tree.depth() <= max_depth);
+        // A binary tree of depth D has at most 2^D leaves; min_leaf bounds
+        // leaves by n/min_leaf.
+        prop_assert!(tree.n_leaves() <= (1usize << max_depth.min(20)));
+        prop_assert!(tree.n_leaves() <= n / min_leaf + 1);
+    }
+
+    #[test]
+    fn tree_probabilities_are_distributions(
+        n in 30usize..120,
+        k in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let data = blob(n, 3, k, 1.0, seed);
+        let rows = data.all_rows();
+        let tree = DecisionTree::fit(&data, &rows, &TreeConfig::default());
+        for p in tree.predict_proba(&data, &rows) {
+            let total: f64 = p.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert_eq!(p.len(), k);
+        }
+    }
+
+    #[test]
+    fn pruned_tree_never_larger(
+        n in 40usize..150,
+        spread in 1.0f64..4.0,
+        seed in 0u64..500,
+    ) {
+        let data = blob(n, 3, 2, spread, seed);
+        let rows = data.all_rows();
+        let unpruned = DecisionTree::fit(&data, &rows, &TreeConfig::default());
+        let pruned = DecisionTree::fit(
+            &data,
+            &rows,
+            &TreeConfig { pruning: Pruning::Pessimistic { cf: 0.25 }, ..TreeConfig::default() },
+        );
+        prop_assert!(pruned.n_leaves() <= unpruned.n_leaves());
+    }
+
+    #[test]
+    fn gain_ratio_and_gini_both_learn_separable_data(seed in 0u64..200) {
+        let data = blob(120, 3, 2, 0.4, seed);
+        let rows = data.all_rows();
+        for criterion in [SplitCriterion::Gini, SplitCriterion::GainRatio] {
+            let tree = DecisionTree::fit(
+                &data,
+                &rows,
+                &TreeConfig { criterion, ..TreeConfig::default() },
+            );
+            let correct = rows
+                .iter()
+                .filter(|&&r| {
+                    let p = tree.row_proba(&data, r);
+                    smartml_linalg::vecops::argmax(&p).unwrap() as u32 == data.label(r)
+                })
+                .count();
+            prop_assert!(
+                correct as f64 / rows.len() as f64 > 0.9,
+                "{criterion:?}: train accuracy {}",
+                correct as f64 / rows.len() as f64
+            );
+        }
+    }
+
+    #[test]
+    fn rules_partition_matches_leaf_count(
+        n in 30usize..100,
+        seed in 0u64..300,
+    ) {
+        let data = blob(n, 2, 2, 1.0, seed);
+        let rows = data.all_rows();
+        let tree = DecisionTree::fit(&data, &rows, &TreeConfig::default());
+        let rules = tree.extract_rules();
+        prop_assert_eq!(rules.len(), tree.n_leaves());
+        let coverage: f64 = rules.iter().map(|r| r.coverage()).sum();
+        prop_assert!((coverage - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_space_samples_neighbours_encodes(
+        alg_idx in 0usize..15,
+        seed in 0u64..1000,
+    ) {
+        let alg = Algorithm::ALL[alg_idx];
+        let space = alg.param_space();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let config = space.sample(&mut rng);
+        prop_assert!(space.validates(&config));
+        let neighbour = space.neighbor(&config, 0.5, &mut rng);
+        prop_assert!(space.validates(&neighbour));
+        let encoded = space.encode(&config);
+        prop_assert_eq!(encoded.len(), space.n_params());
+        prop_assert!(encoded.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)));
+    }
+
+    #[test]
+    fn repair_is_idempotent(
+        alg_idx in 0usize..15,
+        junk in -1e6f64..1e6,
+        seed in 0u64..1000,
+    ) {
+        let alg = Algorithm::ALL[alg_idx];
+        let space = alg.param_space();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let mut broken = space.sample(&mut rng);
+        // Corrupt one parameter with an arbitrary real.
+        if let Some(name) = space.params.first().map(|p| p.name().to_string()) {
+            broken.values.insert(name, ParamValue::Real(junk));
+        }
+        let fixed = space.repair(&broken);
+        prop_assert!(space.validates(&fixed), "{alg}: {fixed}");
+        prop_assert_eq!(space.repair(&fixed), fixed.clone());
+    }
+
+    #[test]
+    fn repaired_empty_config_builds_every_algorithm(alg_idx in 0usize..15) {
+        let alg = Algorithm::ALL[alg_idx];
+        let clf = alg.build(&ParamConfig::default());
+        prop_assert_eq!(clf.name(), alg.paper_name());
+    }
+}

@@ -1,0 +1,199 @@
+//! Robustness suite: every one of the 15 classifiers against degenerate
+//! and adversarial inputs. The contract: `fit` either succeeds (and then
+//! `predict_proba` returns valid distributions) or returns a structured
+//! error — never a panic, never NaN probabilities.
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::dataset::MISSING_CODE;
+use smartml_data::synth::{categorical_mixture, gaussian_blobs};
+use smartml_data::{Dataset, Feature};
+
+/// Checks the contract for one algorithm on one dataset.
+fn check(alg: Algorithm, data: &Dataset, label: &str) {
+    let rows = data.all_rows();
+    let clf = alg.build(&ParamConfig::default());
+    match clf.fit(data, &rows) {
+        Ok(model) => {
+            let proba = model.predict_proba(data, &rows);
+            assert_eq!(proba.len(), rows.len(), "{alg} on {label}: row count");
+            for (i, p) in proba.iter().enumerate() {
+                assert_eq!(p.len(), data.n_classes(), "{alg} on {label}: class count");
+                let total: f64 = p.iter().sum();
+                assert!(
+                    (total - 1.0).abs() < 1e-6,
+                    "{alg} on {label}: row {i} sums to {total}"
+                );
+                assert!(
+                    p.iter().all(|v| v.is_finite() && *v >= -1e-12),
+                    "{alg} on {label}: row {i} has invalid probabilities {p:?}"
+                );
+            }
+            let preds = model.predict(data, &rows);
+            assert!(
+                preds.iter().all(|&c| (c as usize) < data.n_classes()),
+                "{alg} on {label}: out-of-range class prediction"
+            );
+        }
+        Err(e) => {
+            // Structured failure is acceptable on degenerate input.
+            assert!(!e.to_string().is_empty(), "{alg} on {label}: empty error");
+        }
+    }
+}
+
+fn all_algorithms(data: &Dataset, label: &str) {
+    for alg in Algorithm::ALL {
+        check(alg, data, label);
+    }
+}
+
+#[test]
+fn constant_features() {
+    let d = Dataset::new(
+        "constant",
+        vec![
+            Feature::Numeric { name: "c1".into(), values: vec![1.0; 40] },
+            Feature::Numeric { name: "c2".into(), values: vec![-3.5; 40] },
+        ],
+        (0..40).map(|i| (i % 2) as u32).collect(),
+        vec!["a".into(), "b".into()],
+    )
+    .unwrap();
+    all_algorithms(&d, "constant features");
+}
+
+#[test]
+fn minimum_viable_dataset() {
+    // Four rows, two per class — the smallest thing most fitters accept.
+    let d = Dataset::new(
+        "tiny",
+        vec![Feature::Numeric { name: "x".into(), values: vec![0.0, 0.1, 5.0, 5.1] }],
+        vec![0, 0, 1, 1],
+        vec!["a".into(), "b".into()],
+    )
+    .unwrap();
+    all_algorithms(&d, "4-row dataset");
+}
+
+#[test]
+fn all_categorical_features() {
+    let d = categorical_mixture("all-cat", 120, 5, 0, 3, 4, 1);
+    assert_eq!(d.numeric_feature_indices().len(), 0);
+    all_algorithms(&d, "all-categorical");
+}
+
+#[test]
+fn heavy_missingness() {
+    // 40% missing cells in both column types.
+    let n = 100;
+    let mut numeric: Vec<f64> = (0..n).map(|i| (i % 2) as f64 * 4.0 + (i % 7) as f64 * 0.1).collect();
+    let mut codes: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+    for i in 0..n {
+        if i % 5 < 2 {
+            numeric[i] = f64::NAN;
+            codes[i] = MISSING_CODE;
+        }
+    }
+    let d = Dataset::new(
+        "missing",
+        vec![
+            Feature::Numeric { name: "x".into(), values: numeric },
+            Feature::Categorical {
+                name: "c".into(),
+                codes,
+                levels: vec!["p".into(), "q".into(), "r".into()],
+            },
+        ],
+        (0..n).map(|i| (i % 2) as u32).collect(),
+        vec!["a".into(), "b".into()],
+    )
+    .unwrap();
+    all_algorithms(&d, "40% missing");
+}
+
+#[test]
+fn severe_class_imbalance() {
+    // 95:5 imbalance with 100 rows.
+    let labels: Vec<u32> = (0..100).map(|i| u32::from(i >= 95)).collect();
+    let values: Vec<f64> = labels.iter().map(|&l| l as f64 * 3.0 + (l as f64 + 1.0) * 0.01).collect();
+    let jitter: Vec<f64> = (0..100).map(|i| ((i * 37) % 13) as f64 * 0.05).collect();
+    let d = Dataset::new(
+        "imbalanced",
+        vec![
+            Feature::Numeric { name: "x".into(), values },
+            Feature::Numeric { name: "j".into(), values: jitter },
+        ],
+        labels,
+        vec!["major".into(), "minor".into()],
+    )
+    .unwrap();
+    all_algorithms(&d, "95:5 imbalance");
+}
+
+#[test]
+fn many_classes_few_rows_each() {
+    // 8 classes x 6 rows.
+    let d = gaussian_blobs("many-classes", 48, 3, 8, 0.5, 3);
+    all_algorithms(&d, "8 classes x 6 rows");
+}
+
+#[test]
+fn duplicated_rows() {
+    // Every row appears 5 times: ties everywhere in sort-based code paths.
+    let base = gaussian_blobs("dup-base", 20, 2, 2, 1.0, 4);
+    let rows: Vec<usize> = (0..20).flat_map(|r| std::iter::repeat_n(r, 5)).collect();
+    let d = base.subset(&rows);
+    all_algorithms(&d, "duplicated rows");
+}
+
+#[test]
+fn extreme_feature_scales() {
+    // One feature in 1e9 units, one in 1e-9 — standardisation must cope.
+    let labels: Vec<u32> = (0..60).map(|i| (i % 2) as u32).collect();
+    let big: Vec<f64> = labels.iter().enumerate().map(|(i, &l)| 1e9 * (l as f64 + 1.0) + i as f64).collect();
+    let small: Vec<f64> = labels.iter().enumerate().map(|(i, &l)| 1e-9 * (l as f64 + 1.0) + 1e-12 * i as f64).collect();
+    let d = Dataset::new(
+        "scales",
+        vec![
+            Feature::Numeric { name: "big".into(), values: big },
+            Feature::Numeric { name: "small".into(), values: small },
+        ],
+        labels,
+        vec!["a".into(), "b".into()],
+    )
+    .unwrap();
+    all_algorithms(&d, "extreme scales");
+}
+
+#[test]
+fn unseen_categorical_level_at_predict_time() {
+    // Train on rows where level "z" never appears; predict on a row with it.
+    let levels = vec!["x".into(), "y".into(), "z".into()];
+    let codes: Vec<u32> = (0..60).map(|i| (i % 2) as u32).chain(std::iter::once(2)).collect();
+    let numeric: Vec<f64> = (0..61).map(|i| (i % 2) as f64 * 2.0 + (i % 5) as f64 * 0.1).collect();
+    let labels: Vec<u32> = (0..61).map(|i| (i % 2) as u32).collect();
+    let d = Dataset::new(
+        "unseen-level",
+        vec![
+            Feature::Categorical { name: "c".into(), codes, levels },
+            Feature::Numeric { name: "x".into(), values: numeric },
+        ],
+        labels,
+        vec!["a".into(), "b".into()],
+    )
+    .unwrap();
+    let train: Vec<usize> = (0..60).collect();
+    for alg in Algorithm::ALL {
+        let clf = alg.build(&ParamConfig::default());
+        if let Ok(model) = clf.fit(&d, &train) {
+            // Row 60 carries the never-seen level "z".
+            let p = model.predict_proba(&d, &[60]);
+            let total: f64 = p[0].iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-6 && p[0].iter().all(|v| v.is_finite()),
+                "{alg}: unseen level broke prediction: {:?}",
+                p[0]
+            );
+        }
+    }
+}

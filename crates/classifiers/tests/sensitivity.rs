@@ -1,0 +1,204 @@
+//! Hyperparameter sensitivity: the parameters SMAC tunes must actually
+//! change model behaviour. For each algorithm family, two configurations at
+//! the extremes of a key parameter must produce measurably different models
+//! — otherwise tuning that parameter is theatre.
+
+use smartml_classifiers::{Algorithm, Classifier, ParamConfig, ParamValue};
+use smartml_data::synth::{gaussian_blobs, two_spirals};
+use smartml_data::{accuracy, Dataset};
+
+fn holdout(clf: &dyn Classifier, data: &Dataset) -> f64 {
+    let (train, test): (Vec<usize>, Vec<usize>) = (0..data.n_rows()).partition(|i| i % 2 == 0);
+    match clf.fit(data, &train) {
+        Ok(model) => accuracy(&data.labels_for(&test), &model.predict(data, &test)),
+        Err(_) => f64::NAN,
+    }
+}
+
+/// Two configs of the same algorithm whose holdout predictions differ.
+fn assert_predictions_differ(alg: Algorithm, a: ParamConfig, b: ParamConfig, data: &Dataset) {
+    let (train, test): (Vec<usize>, Vec<usize>) = (0..data.n_rows()).partition(|i| i % 2 == 0);
+    let ma = alg.build(&a).fit(data, &train).expect("config a fits");
+    let mb = alg.build(&b).fit(data, &train).expect("config b fits");
+    let pa = ma.predict(data, &test);
+    let pb = mb.predict(data, &test);
+    assert_ne!(pa, pb, "{alg}: configs {a} and {b} predict identically");
+}
+
+#[test]
+fn knn_k_controls_smoothness() {
+    // k=1 memorises; k=49 over-smooths a fine-grained boundary.
+    let d = two_spirals("knn-k", 300, 0.1, 1);
+    let k1 = ParamConfig::default().with("k", ParamValue::Int(1));
+    let k49 = ParamConfig::default().with("k", ParamValue::Int(49));
+    let a1 = holdout(&*Algorithm::Knn.build(&k1), &d);
+    let a49 = holdout(&*Algorithm::Knn.build(&k49), &d);
+    assert!(a1 > a49 + 0.05, "k=1 {a1} vs k=49 {a49} on spirals");
+}
+
+#[test]
+fn svm_kernel_choice_matters() {
+    // Spirals: linear fails, RBF works.
+    let d = two_spirals("svm-kernel", 300, 0.1, 2);
+    let linear = ParamConfig::default()
+        .with("kernel", ParamValue::Cat("linear".into()))
+        .with("cost", ParamValue::Real(1.0));
+    let rbf = ParamConfig::default()
+        .with("kernel", ParamValue::Cat("radial".into()))
+        .with("cost", ParamValue::Real(10.0))
+        .with("gamma", ParamValue::Real(1.0));
+    let a_lin = holdout(&*Algorithm::Svm.build(&linear), &d);
+    let a_rbf = holdout(&*Algorithm::Svm.build(&rbf), &d);
+    assert!(a_rbf > a_lin + 0.1, "rbf {a_rbf} vs linear {a_lin} on spirals");
+}
+
+#[test]
+fn rpart_maxdepth_limits_capacity() {
+    let d = two_spirals("rpart-depth", 300, 0.1, 3);
+    let shallow = ParamConfig::default()
+        .with("maxdepth", ParamValue::Int(2))
+        .with("cp", ParamValue::Real(1e-4));
+    let deep = ParamConfig::default()
+        .with("maxdepth", ParamValue::Int(20))
+        .with("cp", ParamValue::Real(1e-4))
+        .with("minsplit", ParamValue::Int(2))
+        .with("minbucket", ParamValue::Int(1));
+    let a_shallow = holdout(&*Algorithm::Rpart.build(&shallow), &d);
+    let a_deep = holdout(&*Algorithm::Rpart.build(&deep), &d);
+    assert!(a_deep > a_shallow + 0.05, "deep {a_deep} vs shallow {a_shallow}");
+}
+
+#[test]
+fn random_forest_ntree_stabilises() {
+    // More trees should not hurt, and usually helps, on noisy data.
+    let d = two_spirals("rf-ntree", 300, 0.4, 4);
+    let few = ParamConfig::default()
+        .with("ntree", ParamValue::Int(10))
+        .with("mtry", ParamValue::Int(1));
+    let many = ParamConfig::default()
+        .with("ntree", ParamValue::Int(120))
+        .with("mtry", ParamValue::Int(1));
+    let a_few = holdout(&*Algorithm::RandomForest.build(&few), &d);
+    let a_many = holdout(&*Algorithm::RandomForest.build(&many), &d);
+    assert!(a_many >= a_few - 0.03, "120 trees {a_many} vs 10 trees {a_few}");
+}
+
+#[test]
+fn nb_adjust_changes_probability_sharpness() {
+    let d = gaussian_blobs("nb-adjust", 150, 3, 2, 1.5, 5);
+    let rows = d.all_rows();
+    let sharp = Algorithm::NaiveBayes
+        .build(&ParamConfig::default().with("adjust", ParamValue::Real(0.25)))
+        .fit(&d, &rows)
+        .unwrap();
+    let smooth = Algorithm::NaiveBayes
+        .build(&ParamConfig::default().with("adjust", ParamValue::Real(4.0)))
+        .fit(&d, &rows)
+        .unwrap();
+    // Wider likelihoods → probabilities closer to uniform.
+    let conf = |m: &dyn smartml_classifiers::TrainedModel| {
+        m.predict_proba(&d, &rows)
+            .iter()
+            .map(|p| p.iter().copied().fold(0.0, f64::max))
+            .sum::<f64>()
+    };
+    assert!(
+        conf(sharp.as_ref()) > conf(smooth.as_ref()),
+        "bandwidth adjust had no effect on confidence"
+    );
+}
+
+#[test]
+fn neuralnet_size_changes_capacity() {
+    let d = two_spirals("nn-size", 300, 0.1, 6);
+    assert_predictions_differ(
+        Algorithm::NeuralNet,
+        ParamConfig::default().with("size", ParamValue::Int(1)),
+        ParamConfig::default().with("size", ParamValue::Int(20)),
+        &d,
+    );
+    let a1 = holdout(
+        &*Algorithm::NeuralNet.build(&ParamConfig::default().with("size", ParamValue::Int(1))),
+        &d,
+    );
+    let a20 = holdout(
+        &*Algorithm::NeuralNet.build(&ParamConfig::default().with("size", ParamValue::Int(20))),
+        &d,
+    );
+    assert!(a20 > a1, "size=20 {a20} not better than size=1 {a1} on spirals");
+}
+
+#[test]
+fn deepboost_iterations_matter() {
+    let d = two_spirals("db-iter", 300, 0.15, 7);
+    let one = ParamConfig::default()
+        .with("num_iter", ParamValue::Int(1))
+        .with("tree_depth", ParamValue::Int(2));
+    let many = ParamConfig::default()
+        .with("num_iter", ParamValue::Int(60))
+        .with("tree_depth", ParamValue::Int(2));
+    let a1 = holdout(&*Algorithm::DeepBoost.build(&one), &d);
+    let a60 = holdout(&*Algorithm::DeepBoost.build(&many), &d);
+    assert!(a60 > a1 + 0.05, "60 rounds {a60} vs 1 round {a1}");
+}
+
+#[test]
+fn rda_regularisation_helps_when_d_is_large() {
+    // 40 features, 80 rows: raw per-class covariance is singular territory.
+    let d = gaussian_blobs("rda-reg", 80, 40, 2, 1.0, 8);
+    let raw = ParamConfig::default()
+        .with("gamma", ParamValue::Real(0.0))
+        .with("lambda", ParamValue::Real(0.0));
+    let reg = ParamConfig::default()
+        .with("gamma", ParamValue::Real(0.6))
+        .with("lambda", ParamValue::Real(0.8));
+    let a_raw = holdout(&*Algorithm::Rda.build(&raw), &d);
+    let a_reg = holdout(&*Algorithm::Rda.build(&reg), &d);
+    // raw may fail (NaN) or underperform; regularised must work well.
+    assert!(a_reg > 0.8, "regularised RDA {a_reg}");
+    assert!(a_raw.is_nan() || a_reg >= a_raw - 0.05, "raw {a_raw} reg {a_reg}");
+}
+
+#[test]
+fn plsda_ncomp_matters() {
+    let d = gaussian_blobs("pls-ncomp", 160, 10, 3, 1.0, 9);
+    assert_predictions_differ(
+        Algorithm::Plsda,
+        ParamConfig::default().with("ncomp", ParamValue::Int(1)),
+        ParamConfig::default().with("ncomp", ParamValue::Int(6)),
+        &d,
+    );
+}
+
+#[test]
+fn j48_min_obj_controls_leaf_granularity() {
+    let d = two_spirals("j48-minobj", 240, 0.2, 10);
+    assert_predictions_differ(
+        Algorithm::J48,
+        ParamConfig::default().with("min_obj", ParamValue::Int(1)),
+        ParamConfig::default().with("min_obj", ParamValue::Int(10)),
+        &d,
+    );
+}
+
+#[test]
+fn lmt_min_instances_trades_tree_vs_logistic() {
+    let d = two_spirals("lmt-min", 240, 0.2, 11);
+    assert_predictions_differ(
+        Algorithm::Lmt,
+        ParamConfig::default().with("min_instances", ParamValue::Int(5)),
+        ParamConfig::default().with("min_instances", ParamValue::Int(60)),
+        &d,
+    );
+}
+
+#[test]
+fn bagging_nbagg_changes_predictions() {
+    let d = two_spirals("bag-n", 240, 0.3, 12);
+    assert_predictions_differ(
+        Algorithm::Bagging,
+        ParamConfig::default().with("nbagg", ParamValue::Int(5)),
+        ParamConfig::default().with("nbagg", ParamValue::Int(60)),
+        &d,
+    );
+}

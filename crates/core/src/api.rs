@@ -1,0 +1,416 @@
+//! The language-agnostic request/response API.
+//!
+//! The paper exposes SmartML "as a Web application … designed to be
+//! programming-language agnostic so that it can be embedded in any
+//! programming language using its available REST APIs". This module is that
+//! surface without the HTTP transport: JSON in, JSON out
+//! (`DESIGN.md`, substitution 4). Any web framework can mount
+//! [`handle_json`] directly.
+
+use crate::options::{Budget, SmartMlOptions};
+use crate::pipeline::SmartML;
+use crate::report::RunReport;
+use serde::{Deserialize, Serialize};
+use smartml_data::io::{parse_arff, parse_csv};
+use smartml_kb::{KnowledgeBase, QueryOptions};
+use smartml_metafeatures::{MetaFeatures, N_META_FEATURES, NAMES};
+use smartml_preprocess::Op;
+
+/// Dataset payload formats the paper accepts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DatasetPayload {
+    /// CSV text; last column (or `target`) is the label.
+    Csv { content: String, target: Option<String> },
+    /// ARFF text; last attribute is the label.
+    Arff { content: String },
+}
+
+impl DatasetPayload {
+    fn parse(&self, name: &str) -> Result<smartml_data::Dataset, String> {
+        match self {
+            DatasetPayload::Csv { content, target } => {
+                parse_csv(name, content, target.as_deref()).map_err(|e| e.to_string())
+            }
+            DatasetPayload::Arff { content } => parse_arff(name, content).map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Experiment options mirroring the Figure-2 configuration screen.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct ExperimentOptions {
+    /// Preprocessing op names (paper Table 2: "center", "pca", …).
+    #[serde(default)]
+    pub preprocessing: Vec<String>,
+    /// Keep only the top-k features (feature selection toggle).
+    #[serde(default)]
+    pub feature_selection: Option<usize>,
+    /// Tuning budget in trials.
+    #[serde(default)]
+    pub budget_trials: Option<usize>,
+    /// Tuning budget in seconds (overrides trials when set).
+    #[serde(default)]
+    pub budget_seconds: Option<f64>,
+    /// Number of algorithms to nominate.
+    #[serde(default)]
+    pub top_n_algorithms: Option<usize>,
+    /// Request a weighted ensemble.
+    #[serde(default)]
+    pub ensembling: bool,
+    /// Request permutation feature importance.
+    #[serde(default)]
+    pub interpretability: bool,
+    /// Random seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl ExperimentOptions {
+    fn build(&self) -> Result<SmartMlOptions, String> {
+        let mut ops = Vec::new();
+        for name in &self.preprocessing {
+            match Op::parse(name) {
+                Some(op) => ops.push(op),
+                None => return Err(format!("unknown preprocessing op '{name}'")),
+            }
+        }
+        if ops.is_empty() {
+            ops.push(Op::Zv);
+        }
+        let mut options = SmartMlOptions::default().with_preprocessing(ops);
+        options.feature_selection = self.feature_selection;
+        if let Some(secs) = self.budget_seconds {
+            options.budget = Budget::Time(std::time::Duration::from_secs_f64(secs.max(0.1)));
+        } else if let Some(trials) = self.budget_trials {
+            options.budget = Budget::Trials(trials.max(3));
+        }
+        if let Some(n) = self.top_n_algorithms {
+            options = options.with_top_n(n);
+        }
+        options.ensembling = self.ensembling;
+        options.interpretability = self.interpretability;
+        if let Some(seed) = self.seed {
+            options = options.with_seed(seed);
+        }
+        Ok(options)
+    }
+}
+
+/// API requests (the REST endpoint set).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum Request {
+    /// Full pipeline: selection + tuning (the main endpoint).
+    RunExperiment {
+        /// Dataset name.
+        name: String,
+        /// Dataset content.
+        dataset: DatasetPayload,
+        /// Experiment options.
+        #[serde(default)]
+        options: ExperimentOptions,
+    },
+    /// Extract the 25 meta-features only.
+    ExtractMetaFeatures {
+        /// Dataset name.
+        name: String,
+        /// Dataset content.
+        dataset: DatasetPayload,
+    },
+    /// Algorithm selection only, from a meta-features vector (the paper:
+    /// "it is possible to upload only the dataset meta-features file
+    /// instead of the whole dataset").
+    SelectAlgorithms {
+        /// The 25 meta-feature values, in canonical order.
+        meta_features: Vec<f64>,
+        /// How many algorithms to nominate.
+        #[serde(default)]
+        top_n: Option<usize>,
+    },
+    /// Knowledge-base statistics.
+    KbInfo,
+    /// The classifier registry (paper Table 3) — what a UI's algorithm
+    /// picker shows.
+    ListAlgorithms,
+    /// The preprocessing operations (paper Table 2) — what a UI's
+    /// preprocessing picker shows.
+    ListPreprocessing,
+}
+
+/// API responses.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum Response {
+    /// A completed experiment.
+    Experiment {
+        /// The full run report.
+        report: Box<RunReport>,
+    },
+    /// Extracted meta-features, `(name, value)` pairs.
+    MetaFeatures {
+        /// Named values in canonical order.
+        features: Vec<(String, f64)>,
+    },
+    /// Nominated algorithms with scores.
+    Algorithms {
+        /// `(paper name, vote score)`, best first.
+        nominated: Vec<(String, f64)>,
+    },
+    /// KB statistics.
+    Kb {
+        /// Datasets known.
+        datasets: usize,
+        /// Total recorded runs.
+        runs: usize,
+    },
+    /// The classifier registry.
+    AlgorithmList {
+        /// `(paper name, categorical params, numeric params)`.
+        algorithms: Vec<(String, usize, usize)>,
+    },
+    /// The preprocessing registry.
+    PreprocessingList {
+        /// `(paper name, description)`.
+        operations: Vec<(String, String)>,
+    },
+    /// A failure.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Dispatches one request against an engine state.
+pub fn handle(kb: &mut KnowledgeBase, request: Request) -> Response {
+    match request {
+        Request::RunExperiment { name, dataset, options } => {
+            let data = match dataset.parse(&name) {
+                Ok(d) => d,
+                Err(message) => return Response::Error { message },
+            };
+            let opts = match options.build() {
+                Ok(o) => o,
+                Err(message) => return Response::Error { message },
+            };
+            let mut engine = SmartML::with_kb(std::mem::take(kb), opts);
+            let result = engine.run(&data);
+            *kb = engine.into_kb();
+            match result {
+                Ok(outcome) => Response::Experiment { report: Box::new(outcome.report) },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::ExtractMetaFeatures { name, dataset } => match dataset.parse(&name) {
+            Ok(data) => {
+                let mf = smartml_metafeatures::extract(&data, &data.all_rows());
+                Response::MetaFeatures {
+                    features: NAMES
+                        .iter()
+                        .map(|s| s.to_string())
+                        .zip(mf.values.iter().copied())
+                        .collect(),
+                }
+            }
+            Err(message) => Response::Error { message },
+        },
+        Request::SelectAlgorithms { meta_features, top_n } => {
+            if meta_features.len() != N_META_FEATURES {
+                return Response::Error {
+                    message: format!(
+                        "expected {N_META_FEATURES} meta-features, got {}",
+                        meta_features.len()
+                    ),
+                };
+            }
+            let mf = MetaFeatures { values: meta_features };
+            let rec = kb.recommend(
+                &mf,
+                &QueryOptions { top_n: top_n.unwrap_or(3), ..Default::default() },
+            );
+            Response::Algorithms {
+                nominated: rec
+                    .algorithms
+                    .iter()
+                    .map(|a| (a.algorithm.paper_name().to_string(), a.score))
+                    .collect(),
+            }
+        }
+        Request::KbInfo => Response::Kb { datasets: kb.len(), runs: kb.n_runs() },
+        Request::ListAlgorithms => Response::AlgorithmList {
+            algorithms: smartml_classifiers::Algorithm::ALL
+                .iter()
+                .map(|a| {
+                    let spec = a.spec();
+                    (a.paper_name().to_string(), spec.n_categorical, spec.n_numeric)
+                })
+                .collect(),
+        },
+        Request::ListPreprocessing => Response::PreprocessingList {
+            operations: Op::ALL
+                .iter()
+                .map(|op| (op.paper_name().to_string(), op.description().to_string()))
+                .collect(),
+        },
+    }
+}
+
+/// JSON-in / JSON-out entry point (the "REST" surface).
+pub fn handle_json(kb: &mut KnowledgeBase, request_json: &str) -> String {
+    let response = match serde_json::from_str::<Request>(request_json) {
+        Ok(request) => handle(kb, request),
+        Err(e) => Response::Error { message: format!("bad request: {e}") },
+    };
+    serde_json::to_string_pretty(&response).expect("response serialisation cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "\
+a,b,y
+1.0,2.0,x
+1.1,2.2,x
+4.8,5.2,z
+5.0,5.0,z
+1.2,2.1,x
+4.9,5.1,z
+1.3,1.9,x
+5.1,4.9,z
+0.9,2.3,x
+5.2,5.3,z
+1.0,2.4,x
+4.7,5.4,z
+1.4,2.2,x
+4.6,4.8,z
+1.1,1.8,x
+5.3,5.2,z
+0.8,2.0,x
+4.5,5.0,z
+1.2,2.3,x
+5.0,4.7,z
+1.05,2.15,x
+4.85,5.05,z
+1.15,2.05,x
+4.95,5.15,z
+";
+
+    #[test]
+    fn metafeatures_endpoint() {
+        let mut kb = KnowledgeBase::new();
+        let resp = handle(
+            &mut kb,
+            Request::ExtractMetaFeatures {
+                name: "toy".into(),
+                dataset: DatasetPayload::Csv { content: CSV.into(), target: None },
+            },
+        );
+        match resp {
+            Response::MetaFeatures { features } => {
+                assert_eq!(features.len(), N_META_FEATURES);
+                assert_eq!(features[0].0, "n_instances");
+                assert_eq!(features[0].1, 24.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_experiment_endpoint_and_kb_update() {
+        let mut kb = KnowledgeBase::new();
+        let resp = handle(
+            &mut kb,
+            Request::RunExperiment {
+                name: "toy".into(),
+                dataset: DatasetPayload::Csv { content: CSV.into(), target: None },
+                options: ExperimentOptions {
+                    budget_trials: Some(6),
+                    top_n_algorithms: Some(2),
+                    ..Default::default()
+                },
+            },
+        );
+        match resp {
+            Response::Experiment { report } => {
+                assert!(report.best.validation_accuracy > 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The KB grew (Figure 1's update arrow crossed the API boundary).
+        match handle(&mut kb, Request::KbInfo) {
+            Response::Kb { datasets, runs } => {
+                assert_eq!(datasets, 1);
+                assert!(runs >= 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_algorithms_validates_length() {
+        let mut kb = KnowledgeBase::new();
+        let resp = handle(
+            &mut kb,
+            Request::SelectAlgorithms { meta_features: vec![1.0; 3], top_n: None },
+        );
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn bad_json_yields_error_response() {
+        let mut kb = KnowledgeBase::new();
+        let out = handle_json(&mut kb, "{nope");
+        assert!(out.contains("\"status\""));
+        assert!(out.contains("error"));
+    }
+
+    #[test]
+    fn json_roundtrip_endpoint() {
+        let mut kb = KnowledgeBase::new();
+        let req = serde_json::json!({
+            "action": "extract_meta_features",
+            "name": "toy",
+            "dataset": {"csv": {"content": CSV, "target": null}},
+        });
+        let out = handle_json(&mut kb, &req.to_string());
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed["status"], "meta_features");
+    }
+
+    #[test]
+    fn registry_endpoints_list_paper_tables() {
+        let mut kb = KnowledgeBase::new();
+        match handle(&mut kb, Request::ListAlgorithms) {
+            Response::AlgorithmList { algorithms } => {
+                assert_eq!(algorithms.len(), 15);
+                assert_eq!(algorithms[0], ("SVM".to_string(), 1, 4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match handle(&mut kb, Request::ListPreprocessing) {
+            Response::PreprocessingList { operations } => {
+                assert_eq!(operations.len(), 8);
+                assert_eq!(operations[0].0, "center");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_preprocessing_op_rejected() {
+        let mut kb = KnowledgeBase::new();
+        let resp = handle(
+            &mut kb,
+            Request::RunExperiment {
+                name: "toy".into(),
+                dataset: DatasetPayload::Csv { content: CSV.into(), target: None },
+                options: ExperimentOptions {
+                    preprocessing: vec!["bogus".into()],
+                    ..Default::default()
+                },
+            },
+        );
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+}

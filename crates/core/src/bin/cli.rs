@@ -1,0 +1,196 @@
+//! `smartml-cli` — the command-line face of SmartML (the package/API
+//! access path of the paper; the Shiny UI is substituted by text output).
+//!
+//! ```text
+//! smartml-cli run <data.csv|data.arff> [--target COL] [--budget N]
+//!                 [--kb PATH] [--ensemble] [--interpret] [--top-n N]
+//!                 [--preprocess op1,op2] [--seed N] [--markdown] [--json]
+//! smartml-cli metafeatures <data.csv|data.arff>
+//! smartml-cli describe <data.csv|data.arff>
+//! smartml-cli algorithms
+//! smartml-cli bootstrap --kb PATH [--fast]
+//! smartml-cli api < request.json
+//! ```
+
+use smartml::bootstrap::{bootstrap_kb, BootstrapProfile};
+use smartml::{api, Budget, KnowledgeBase, Op, SmartML, SmartMlOptions};
+use smartml_classifiers::Algorithm;
+use smartml_data::io::{parse_arff, parse_csv};
+use smartml_data::Dataset;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("metafeatures") => cmd_metafeatures(&args[1..]),
+        Some("describe") => cmd_describe(&args[1..]),
+        Some("algorithms") => cmd_algorithms(),
+        Some("bootstrap") => cmd_bootstrap(&args[1..]),
+        Some("api") => cmd_api(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: smartml-cli <run|metafeatures|describe|algorithms|bootstrap|api> ..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn load_dataset(path: &str, target: Option<&str>) -> Result<Dataset, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    if path.ends_with(".arff") {
+        parse_arff(&name, &text).map_err(|e| e.to_string())
+    } else {
+        parse_csv(&name, &text, target).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("run: missing dataset path")?;
+    let data = load_dataset(path, flag_value(args, "--target"))?;
+    let mut options = SmartMlOptions::default();
+    if let Some(budget) = flag_value(args, "--budget") {
+        let trials: usize = budget.parse().map_err(|_| "--budget expects a number")?;
+        options.budget = Budget::Trials(trials.max(3));
+    }
+    if let Some(secs) = flag_value(args, "--budget-seconds") {
+        let s: f64 = secs.parse().map_err(|_| "--budget-seconds expects a number")?;
+        options.budget = Budget::Time(std::time::Duration::from_secs_f64(s.max(0.1)));
+    }
+    if let Some(n) = flag_value(args, "--top-n") {
+        options.top_n_algorithms = n.parse().map_err(|_| "--top-n expects a number")?;
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        options.seed = seed.parse().map_err(|_| "--seed expects a number")?;
+    }
+    if let Some(ops) = flag_value(args, "--preprocess") {
+        let mut parsed = Vec::new();
+        for name in ops.split(',') {
+            parsed.push(Op::parse(name).ok_or_else(|| format!("unknown op '{name}'"))?);
+        }
+        options.preprocessing = parsed;
+    }
+    options.ensembling = has_flag(args, "--ensemble");
+    options.interpretability = has_flag(args, "--interpret");
+
+    let kb_path = flag_value(args, "--kb").map(PathBuf::from);
+    let kb = match &kb_path {
+        Some(p) => KnowledgeBase::load(p).map_err(|e| e.to_string())?,
+        None => KnowledgeBase::new(),
+    };
+    println!(
+        "knowledge base: {} datasets / {} runs",
+        kb.len(),
+        kb.n_runs()
+    );
+    let mut engine = SmartML::with_kb(kb, options);
+    let outcome = engine.run(&data).map_err(|e| e.to_string())?;
+    if has_flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome.report).map_err(|e| e.to_string())?
+        );
+    } else if has_flag(args, "--markdown") {
+        print!("{}", outcome.report.render_markdown());
+    } else {
+        print!("{}", outcome.report.render());
+    }
+    if let Some(p) = kb_path {
+        engine.into_kb().save(&p).map_err(|e| e.to_string())?;
+        println!("knowledge base saved to {}", p.display());
+    }
+    Ok(())
+}
+
+fn cmd_metafeatures(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("metafeatures: missing dataset path")?;
+    let data = load_dataset(path, flag_value(args, "--target"))?;
+    let mf = smartml_metafeatures::extract(&data, &data.all_rows());
+    for (name, value) in mf.named() {
+        println!("{name:<32} {value:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_describe(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("describe: missing dataset path")?;
+    let data = load_dataset(path, flag_value(args, "--target"))?;
+    print!("{}", data.describe());
+    Ok(())
+}
+
+fn cmd_algorithms() -> Result<(), String> {
+    println!("{:<14} {:>11} {:>9}  R package (paper)", "Algorithm", "categorical", "numeric");
+    for alg in Algorithm::ALL {
+        let spec = alg.spec();
+        println!(
+            "{:<14} {:>11} {:>9}  {}",
+            alg.paper_name(),
+            spec.n_categorical,
+            spec.n_numeric,
+            alg.paper_package()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bootstrap(args: &[String]) -> Result<(), String> {
+    let kb_path = flag_value(args, "--kb").ok_or("bootstrap: --kb PATH required")?;
+    let profile = if has_flag(args, "--fast") {
+        BootstrapProfile::fast()
+    } else {
+        BootstrapProfile::default()
+    };
+    println!(
+        "bootstrapping knowledge base over the 50-dataset corpus ({} algorithms x {} configs)…",
+        profile.algorithms.len(),
+        profile.configs_per_algorithm
+    );
+    let kb = bootstrap_kb(&profile);
+    println!("bootstrapped: {} datasets / {} runs", kb.len(), kb.n_runs());
+    kb.save(Path::new(kb_path)).map_err(|e| e.to_string())?;
+    println!("saved to {kb_path}");
+    Ok(())
+}
+
+fn cmd_api(args: &[String]) -> Result<(), String> {
+    let mut request = String::new();
+    std::io::stdin()
+        .read_to_string(&mut request)
+        .map_err(|e| e.to_string())?;
+    let kb_path = flag_value(args, "--kb").map(PathBuf::from);
+    let mut kb = match &kb_path {
+        Some(p) => KnowledgeBase::load(p).map_err(|e| e.to_string())?,
+        None => KnowledgeBase::new(),
+    };
+    println!("{}", api::handle_json(&mut kb, &request));
+    if let Some(p) = kb_path {
+        kb.save(&p).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}

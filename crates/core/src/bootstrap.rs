@@ -1,0 +1,123 @@
+//! Knowledge-base bootstrapping — the paper seeds SmartML's KB with 50
+//! datasets "from various sources including OpenML, UCI repository and
+//! Kaggle"; here the 50-dataset synthetic corpus plays that role
+//! (`DESIGN.md`, substitution 1).
+
+use smartml_classifiers::Algorithm;
+use smartml_data::{accuracy, train_valid_split, Dataset};
+use smartml_kb::{AlgorithmRun, KnowledgeBase};
+use smartml_metafeatures::{extract, landmarkers};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How thoroughly each corpus dataset is explored during bootstrap.
+#[derive(Debug, Clone)]
+pub struct BootstrapProfile {
+    /// Algorithms evaluated per dataset.
+    pub algorithms: Vec<Algorithm>,
+    /// Configurations per algorithm (first is always the default).
+    pub configs_per_algorithm: usize,
+    /// Validation fraction for the holdout evaluation.
+    pub valid_fraction: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for BootstrapProfile {
+    fn default() -> Self {
+        BootstrapProfile {
+            algorithms: Algorithm::ALL.to_vec(),
+            configs_per_algorithm: 3,
+            valid_fraction: 0.3,
+            seed: 2019,
+        }
+    }
+}
+
+impl BootstrapProfile {
+    /// A cheap profile for tests: few fast algorithms, default configs only.
+    pub fn fast() -> Self {
+        BootstrapProfile {
+            algorithms: vec![
+                Algorithm::Knn,
+                Algorithm::NaiveBayes,
+                Algorithm::Rpart,
+                Algorithm::Lda,
+            ],
+            configs_per_algorithm: 1,
+            valid_fraction: 0.3,
+            seed: 2019,
+        }
+    }
+}
+
+/// Evaluates the profile's algorithm × configuration grid on one dataset and
+/// records every successful run into `kb`.
+pub fn bootstrap_dataset(kb: &mut KnowledgeBase, data: &Dataset, profile: &BootstrapProfile) {
+    let (train, valid) = train_valid_split(data, profile.valid_fraction, profile.seed);
+    let meta = extract(data, &train);
+    let marks = landmarkers(data, &train);
+    let mut rng = StdRng::seed_from_u64(profile.seed ^ data.n_rows() as u64);
+    for &algorithm in &profile.algorithms {
+        let space = algorithm.param_space();
+        let mut configs = vec![space.default_config()];
+        for _ in 1..profile.configs_per_algorithm {
+            configs.push(space.sample(&mut rng));
+        }
+        for config in configs {
+            let clf = algorithm.build(&config);
+            let Ok(model) = clf.fit(data, &train) else { continue };
+            let acc = accuracy(&data.labels_for(&valid), &model.predict(data, &valid));
+            kb.record_run(
+                &data.name,
+                &meta,
+                AlgorithmRun { algorithm, config: config.clone(), accuracy: acc },
+            );
+        }
+    }
+    kb.set_landmarkers(&data.name, marks);
+}
+
+/// Bootstraps a KB over the standard 50-dataset corpus.
+pub fn bootstrap_kb(profile: &BootstrapProfile) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    for (i, (name, spec)) in smartml_data::synth::kb_bootstrap_corpus().iter().enumerate() {
+        let data = spec.generate(name, profile.seed ^ i as u64);
+        bootstrap_dataset(&mut kb, &data, profile);
+    }
+    kb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::gaussian_blobs;
+
+    #[test]
+    fn bootstrap_one_dataset_records_runs() {
+        let mut kb = KnowledgeBase::new();
+        let d = gaussian_blobs("boot", 120, 3, 2, 0.8, 1);
+        bootstrap_dataset(&mut kb, &d, &BootstrapProfile::fast());
+        assert_eq!(kb.len(), 1);
+        assert_eq!(kb.n_runs(), 4); // 4 fast algorithms x 1 config
+        let entry = kb.get("boot").unwrap();
+        assert!(entry.best_run().unwrap().accuracy > 0.5);
+        // Landmarkers travel with the entry (extended-similarity mode).
+        let marks = entry.landmarkers.expect("landmarkers recorded");
+        assert!((0.0..=1.0).contains(&marks.decision_stump));
+        assert!((0.0..=1.0).contains(&marks.nearest_centroid));
+    }
+
+    #[test]
+    fn multiple_configs_recorded() {
+        let mut kb = KnowledgeBase::new();
+        let d = gaussian_blobs("boot2", 100, 3, 2, 1.0, 2);
+        let profile = BootstrapProfile {
+            algorithms: vec![Algorithm::Knn],
+            configs_per_algorithm: 3,
+            ..BootstrapProfile::fast()
+        };
+        bootstrap_dataset(&mut kb, &d, &profile);
+        assert_eq!(kb.n_runs(), 3);
+    }
+}

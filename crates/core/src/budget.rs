@@ -1,0 +1,73 @@
+//! Budget division among nominated algorithms.
+//!
+//! Paper §2: "this budget is divided among all the selected algorithms
+//! according to the number of hyper-parameters to tune in each algorithm
+//! (Table 3)" — more parameters, more budget.
+
+use crate::options::Budget;
+use smartml_classifiers::Algorithm;
+
+/// Splits `total` across `algorithms` proportionally to each algorithm's
+/// hyperparameter count. Every algorithm receives a non-zero floor share
+/// (3 trials / 50 ms) so even one-parameter models get tuned.
+pub fn divide_budget(total: Budget, algorithms: &[Algorithm]) -> Vec<(Algorithm, Budget)> {
+    let weights: Vec<f64> = algorithms
+        .iter()
+        .map(|a| a.param_space().n_params() as f64)
+        .collect();
+    let sum: f64 = weights.iter().sum::<f64>().max(1.0);
+    algorithms
+        .iter()
+        .zip(&weights)
+        .map(|(&a, &w)| (a, total.share(w / sum)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_to_param_counts() {
+        // SVM has 5 params, KNN has 1: SVM gets 5x the trials (before floor).
+        let shares = divide_budget(Budget::Trials(60), &[Algorithm::Svm, Algorithm::Knn]);
+        let svm = match shares[0].1 {
+            Budget::Trials(t) => t,
+            _ => panic!(),
+        };
+        let knn = match shares[1].1 {
+            Budget::Trials(t) => t,
+            _ => panic!(),
+        };
+        assert_eq!(svm, 50);
+        assert_eq!(knn, 10);
+    }
+
+    #[test]
+    fn floor_guarantees_minimum() {
+        let shares = divide_budget(
+            Budget::Trials(6),
+            &[Algorithm::Svm, Algorithm::Knn, Algorithm::NeuralNet],
+        );
+        for (_, b) in shares {
+            match b {
+                Budget::Trials(t) => assert!(t >= 3),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn single_algorithm_gets_everything() {
+        let shares = divide_budget(Budget::Trials(40), &[Algorithm::Rpart]);
+        assert_eq!(shares.len(), 1);
+        assert_eq!(shares[0].1, Budget::Trials(40));
+    }
+
+    #[test]
+    fn equal_param_counts_split_evenly() {
+        // J48 and part both have 3 params.
+        let shares = divide_budget(Budget::Trials(20), &[Algorithm::J48, Algorithm::Part]);
+        assert_eq!(shares[0].1, shares[1].1);
+    }
+}

@@ -1,0 +1,57 @@
+//! # SmartML
+//!
+//! A meta-learning based framework for automated algorithm selection and
+//! hyperparameter tuning of machine-learning classifiers — a from-scratch
+//! Rust reproduction of Maher & Sakr, *SmartML*, EDBT 2019.
+//!
+//! The pipeline (paper Figure 1) runs five phases:
+//!
+//! 1. **Input definition** — a [`Dataset`] (CSV/ARFF
+//!    readers in `smartml-data`) plus [`SmartMlOptions`].
+//! 2. **Dataset preprocessing** — feature preprocessing (paper Table 2),
+//!    stratified train/validation split, 25 meta-features extracted from the
+//!    training split.
+//! 3. **Algorithm selection** — the knowledge base nominates the top-n
+//!    classifiers by weighted nearest-neighbour meta-feature similarity.
+//! 4. **Hyper-parameter tuning** — the time/trial budget is divided among
+//!    the nominated algorithms proportionally to their hyperparameter counts
+//!    (paper Table 3) and each is tuned with SMAC, warm-started from the
+//!    knowledge base's stored configurations.
+//! 5. **Output & KB update** — finalists are compared on the validation
+//!    split; optionally a validation-weighted soft-vote ensemble is built
+//!    and permutation feature importance (the `iml` substitute) computed;
+//!    every result is recorded back into the knowledge base.
+//!
+//! ```no_run
+//! use smartml::{SmartML, SmartMlOptions};
+//! use smartml_data::synth::gaussian_blobs;
+//!
+//! let data = gaussian_blobs("demo", 300, 4, 3, 1.0, 42);
+//! let mut smartml = SmartML::new(SmartMlOptions::default());
+//! let outcome = smartml.run(&data).unwrap();
+//! println!("best: {} ({:.1}% validation accuracy)",
+//!          outcome.report.best.algorithm,
+//!          outcome.report.best.validation_accuracy * 100.0);
+//! ```
+
+pub mod api;
+pub mod bootstrap;
+mod budget;
+mod ensemble;
+mod interpret;
+mod options;
+mod pipeline;
+mod report;
+
+pub use budget::divide_budget;
+pub use ensemble::WeightedEnsemble;
+pub use interpret::{explain_prediction, permutation_importance, FeatureImportance};
+pub use options::{Budget, SmartMlOptions};
+pub use pipeline::{RunOutcome, SmartML, SmartMlError};
+pub use report::{AlgorithmTuning, BestModel, EnsembleReport, PhaseTrace, RunReport};
+
+// Re-export the workspace surface a downstream user needs.
+pub use smartml_classifiers::{Algorithm, ParamConfig, ParamValue};
+pub use smartml_data::Dataset;
+pub use smartml_kb::KnowledgeBase;
+pub use smartml_preprocess::Op;

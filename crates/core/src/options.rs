@@ -1,0 +1,146 @@
+//! Run options — the knobs of the paper's input-definition screen
+//! (Figure 2): preprocessing, feature selection, ensembling,
+//! interpretability, time budget, validation split.
+
+use smartml_preprocess::Op;
+use std::time::Duration;
+
+/// Tuning budget: the paper uses wall-clock ("the time budget constraint
+/// specified by the end user"); a trial budget gives deterministic tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Budget {
+    /// Total configuration evaluations across all algorithms.
+    Trials(usize),
+    /// Total wall-clock time across all algorithms.
+    Time(Duration),
+}
+
+impl Budget {
+    /// A per-algorithm share of this budget given its weight fraction.
+    pub(crate) fn share(&self, fraction: f64) -> Budget {
+        match *self {
+            Budget::Trials(t) => {
+                Budget::Trials(((t as f64 * fraction).round() as usize).max(3))
+            }
+            Budget::Time(d) => Budget::Time(Duration::from_secs_f64(
+                (d.as_secs_f64() * fraction).max(0.05),
+            )),
+        }
+    }
+}
+
+/// Options for a SmartML run.
+#[derive(Debug, Clone)]
+pub struct SmartMlOptions {
+    /// Preprocessing operations applied before modelling (paper Table 2).
+    pub preprocessing: Vec<Op>,
+    /// Keep only the top-k features by mutual information (None = keep all).
+    pub feature_selection: Option<usize>,
+    /// Fraction of rows held out for validation.
+    pub valid_fraction: f64,
+    /// Number of algorithms the KB nominates.
+    pub top_n_algorithms: usize,
+    /// Neighbour datasets consulted during selection.
+    pub n_neighbors: usize,
+    /// Total tuning budget, divided among nominated algorithms
+    /// proportionally to their hyperparameter counts.
+    pub budget: Budget,
+    /// Inner cross-validation folds used by the tuner.
+    pub cv_folds: usize,
+    /// Build a validation-weighted ensemble of the finalists.
+    pub ensembling: bool,
+    /// Compute permutation feature importance for the winner.
+    pub interpretability: bool,
+    /// Extend KB similarity with landmarker accuracies (extension over the
+    /// paper; see the `ablation_similarity` bench).
+    pub use_landmarkers: bool,
+    /// Record results back into the knowledge base.
+    pub update_kb: bool,
+    /// Master seed (splits, tuner, ensemble).
+    pub seed: u64,
+}
+
+impl Default for SmartMlOptions {
+    fn default() -> Self {
+        SmartMlOptions {
+            preprocessing: vec![Op::Zv],
+            feature_selection: None,
+            valid_fraction: 0.25,
+            top_n_algorithms: 3,
+            n_neighbors: 5,
+            budget: Budget::Trials(30),
+            cv_folds: 3,
+            ensembling: false,
+            interpretability: false,
+            use_landmarkers: false,
+            update_kb: true,
+            seed: 42,
+        }
+    }
+}
+
+impl SmartMlOptions {
+    /// Sets the tuning budget (builder style).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the preprocessing pipeline.
+    pub fn with_preprocessing(mut self, ops: Vec<Op>) -> Self {
+        self.preprocessing = ops;
+        self
+    }
+
+    /// Enables ensembling.
+    pub fn with_ensembling(mut self, on: bool) -> Self {
+        self.ensembling = on;
+        self
+    }
+
+    /// Enables interpretability output.
+    pub fn with_interpretability(mut self, on: bool) -> Self {
+        self.interpretability = on;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many algorithms are nominated.
+    pub fn with_top_n(mut self, n: usize) -> Self {
+        self.top_n_algorithms = n.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let opts = SmartMlOptions::default()
+            .with_budget(Budget::Trials(99))
+            .with_ensembling(true)
+            .with_top_n(5)
+            .with_seed(7);
+        assert_eq!(opts.budget, Budget::Trials(99));
+        assert!(opts.ensembling);
+        assert_eq!(opts.top_n_algorithms, 5);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn budget_share_floors() {
+        assert_eq!(Budget::Trials(100).share(0.5), Budget::Trials(50));
+        assert_eq!(Budget::Trials(10).share(0.01), Budget::Trials(3));
+        match Budget::Time(Duration::from_secs(10)).share(0.25) {
+            Budget::Time(d) => assert!((d.as_secs_f64() - 2.5).abs() < 1e-9),
+            _ => panic!(),
+        }
+    }
+}

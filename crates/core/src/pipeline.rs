@@ -1,0 +1,490 @@
+//! The SmartML pipeline: the five phases of paper Figure 1.
+
+use crate::budget::divide_budget;
+use crate::ensemble::WeightedEnsemble;
+use crate::interpret::permutation_importance;
+use crate::options::{Budget, SmartMlOptions};
+use crate::report::{AlgorithmTuning, BestModel, EnsembleReport, PhaseTrace, RunReport};
+use smartml_classifiers::{Algorithm, ParamConfig, TrainedModel};
+use smartml_data::{accuracy, train_valid_split, Dataset};
+use smartml_kb::{AlgorithmRun, KnowledgeBase, QueryOptions};
+use smartml_metafeatures::{extract, landmarkers};
+use smartml_preprocess::{pipeline_from_ops, MutualInfoSelect, PreprocessError, Transform};
+use smartml_smac::{ClassifierObjective, OptOptions, Optimizer, Smac};
+use std::time::{Duration, Instant};
+
+/// Errors from a SmartML run.
+#[derive(Debug)]
+pub enum SmartMlError {
+    /// Preprocessing failed (e.g. PCA on all-categorical data).
+    Preprocess(PreprocessError),
+    /// No algorithm produced a usable model.
+    NoModel,
+    /// The dataset is unusable (too small / single class).
+    BadDataset(String),
+}
+
+impl std::fmt::Display for SmartMlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmartMlError::Preprocess(e) => write!(f, "preprocessing failed: {e}"),
+            SmartMlError::NoModel => write!(f, "no algorithm produced a usable model"),
+            SmartMlError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SmartMlError {}
+
+impl From<PreprocessError> for SmartMlError {
+    fn from(e: PreprocessError) -> Self {
+        SmartMlError::Preprocess(e)
+    }
+}
+
+/// Result of [`SmartML::run`]: the report plus live models for prediction.
+pub struct RunOutcome {
+    /// The structured report (Figure-3 content).
+    pub report: RunReport,
+    /// The winning model, refit on the training split of the preprocessed
+    /// dataset. Predict with the dataset stored in `preprocessed`.
+    pub model: Box<dyn TrainedModel>,
+    /// The ensemble, when ensembling was enabled.
+    pub ensemble: Option<WeightedEnsemble>,
+    /// The preprocessed dataset the models operate on.
+    pub preprocessed: Dataset,
+    /// Validation rows (indices into `preprocessed`).
+    pub valid_rows: Vec<usize>,
+    /// Training rows (indices into `preprocessed`).
+    pub train_rows: Vec<usize>,
+}
+
+/// The SmartML engine: a knowledge base plus run options.
+pub struct SmartML {
+    kb: KnowledgeBase,
+    options: SmartMlOptions,
+}
+
+impl SmartML {
+    /// Engine with an empty knowledge base (cold start).
+    pub fn new(options: SmartMlOptions) -> Self {
+        SmartML { kb: KnowledgeBase::new(), options }
+    }
+
+    /// Engine with an existing (e.g. bootstrapped) knowledge base.
+    pub fn with_kb(kb: KnowledgeBase, options: SmartMlOptions) -> Self {
+        SmartML { kb, options }
+    }
+
+    /// Borrow the knowledge base (it grows with every run).
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Take the knowledge base out (e.g. to persist it).
+    pub fn into_kb(self) -> KnowledgeBase {
+        self.kb
+    }
+
+    /// Borrow the options.
+    pub fn options(&self) -> &SmartMlOptions {
+        &self.options
+    }
+
+    /// Runs the full pipeline on a dataset.
+    pub fn run(&mut self, data: &Dataset) -> Result<RunOutcome, SmartMlError> {
+        let opts = self.options.clone();
+        let mut phases: Vec<PhaseTrace> = Vec::new();
+
+        if data.n_rows() < 20 {
+            return Err(SmartMlError::BadDataset(format!(
+                "need at least 20 rows, got {}",
+                data.n_rows()
+            )));
+        }
+        if data.n_classes() < 2 {
+            return Err(SmartMlError::BadDataset("need at least 2 classes".into()));
+        }
+
+        // ------ Phase 2: dataset preprocessing -------------------------
+        let t = Instant::now();
+        let (train_rows, valid_rows) = train_valid_split(data, opts.valid_fraction, opts.seed);
+        let pipeline = pipeline_from_ops(&opts.preprocessing);
+        let fitted = pipeline.fit(data, &train_rows)?;
+        let mut preprocessed = fitted.apply(data);
+        if let Some(k) = opts.feature_selection {
+            let selector = MutualInfoSelect::new(k);
+            let fitted_sel = selector.fit(&preprocessed, &train_rows)?;
+            preprocessed = fitted_sel.apply(&preprocessed);
+        }
+        let meta_features = extract(&preprocessed, &train_rows);
+        let query_landmarkers = opts
+            .use_landmarkers
+            .then(|| landmarkers(&preprocessed, &train_rows));
+        phases.push(PhaseTrace {
+            phase: "Dataset Preprocessing".into(),
+            secs: t.elapsed().as_secs_f64(),
+            detail: format!(
+                "ops=[{}] selection={:?} split={}train/{}valid, 25 meta-features",
+                opts.preprocessing
+                    .iter()
+                    .map(|o| o.paper_name())
+                    .collect::<Vec<_>>()
+                    .join(","),
+                opts.feature_selection,
+                train_rows.len(),
+                valid_rows.len()
+            ),
+        });
+
+        // ------ Phase 3: algorithm selection ----------------------------
+        let t = Instant::now();
+        let recommendation = self.kb.recommend_extended(
+            &meta_features,
+            query_landmarkers,
+            &QueryOptions {
+                top_n: opts.top_n_algorithms,
+                n_neighbors: opts.n_neighbors,
+                performance_weight: 1.0,
+                use_landmarkers: opts.use_landmarkers,
+            },
+        );
+        // Cold start (empty KB): fall back to a diverse default portfolio.
+        let nominations: Vec<(Algorithm, f64, Vec<ParamConfig>)> =
+            if recommendation.algorithms.is_empty() {
+                default_portfolio(opts.top_n_algorithms)
+                    .into_iter()
+                    .map(|a| (a, 0.0, Vec::new()))
+                    .collect()
+            } else {
+                recommendation
+                    .algorithms
+                    .iter()
+                    .map(|r| (r.algorithm, r.score, r.warm_starts.clone()))
+                    .collect()
+            };
+        phases.push(PhaseTrace {
+            phase: "Algorithm Selection".into(),
+            secs: t.elapsed().as_secs_f64(),
+            detail: format!(
+                "KB({} datasets) nominated [{}]",
+                self.kb.len(),
+                nominations
+                    .iter()
+                    .map(|(a, _, _)| a.paper_name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+
+        // ------ Phase 4: hyper-parameter tuning -------------------------
+        let t = Instant::now();
+        let algorithms: Vec<Algorithm> = nominations.iter().map(|(a, _, _)| *a).collect();
+        let shares = divide_budget(opts.budget, &algorithms);
+        let mut tuning: Vec<AlgorithmTuning> = Vec::new();
+        let mut finalists: Vec<(Algorithm, ParamConfig, Box<dyn TrainedModel>, f64)> = Vec::new();
+        for ((algorithm, score, warm_starts), (_, share)) in nominations.iter().zip(&shares) {
+            let objective = ClassifierObjective::new(
+                *algorithm,
+                &preprocessed,
+                &train_rows,
+                opts.cv_folds,
+                opts.seed,
+            );
+            let (max_trials, wall_clock) = match share {
+                Budget::Trials(n) => (*n, None),
+                Budget::Time(d) => (usize::MAX, Some(*d)),
+            };
+            let result = Smac::default().optimize(
+                &algorithm.param_space(),
+                &objective,
+                &OptOptions {
+                    max_trials,
+                    wall_clock,
+                    seed: opts.seed ^ (*algorithm as u64) << 8,
+                    initial_configs: warm_starts.clone(),
+                },
+            );
+            // Refit the best configuration on the full training split and
+            // measure held-out validation accuracy.
+            let clf = algorithm.build(&result.best_config);
+            let valid_acc = match clf.fit(&preprocessed, &train_rows) {
+                Ok(model) => {
+                    let acc = accuracy(
+                        &preprocessed.labels_for(&valid_rows),
+                        &model.predict(&preprocessed, &valid_rows),
+                    );
+                    finalists.push((*algorithm, result.best_config.clone(), model, acc));
+                    acc
+                }
+                Err(_) => 0.0,
+            };
+            tuning.push(AlgorithmTuning {
+                algorithm: *algorithm,
+                selection_score: *score,
+                trials: result.history.len(),
+                best_cv_accuracy: result.best_score,
+                best_config: result.best_config,
+                validation_accuracy: valid_acc,
+                n_warm_starts: warm_starts.len(),
+            });
+        }
+        phases.push(PhaseTrace {
+            phase: "Hyper-parameter Tuning".into(),
+            secs: t.elapsed().as_secs_f64(),
+            detail: format!(
+                "budget {:?} divided by #params -> {} trials total",
+                opts.budget,
+                tuning.iter().map(|t| t.trials).sum::<usize>()
+            ),
+        });
+
+        // ------ Phase 5: output + KB update ------------------------------
+        let t = Instant::now();
+        if finalists.is_empty() {
+            return Err(SmartMlError::NoModel);
+        }
+        let best_idx = finalists
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .3.partial_cmp(&b.1 .3).unwrap())
+            .map(|(i, _)| i)
+            .expect("finalists nonempty");
+        let best = BestModel {
+            algorithm: finalists[best_idx].0,
+            config: finalists[best_idx].1.clone(),
+            validation_accuracy: finalists[best_idx].3,
+        };
+
+        // Ensemble (optional): all finalists weighted by validation accuracy.
+        let mut ensemble_report = None;
+        let mut ensemble_model = None;
+        if opts.ensembling && finalists.len() >= 2 {
+            let member_info: Vec<(Algorithm, f64)> =
+                finalists.iter().map(|(a, _, _, acc)| (*a, *acc)).collect();
+            let members: Vec<(Box<dyn TrainedModel>, f64)> = std::mem::take(&mut finalists)
+                .into_iter()
+                .map(|(_, _, m, acc)| (m, acc))
+                .collect();
+            let ens = WeightedEnsemble::new(members, preprocessed.n_classes());
+            let ens_acc = accuracy(
+                &preprocessed.labels_for(&valid_rows),
+                &ens.predict(&preprocessed, &valid_rows),
+            );
+            let weights = ens.weights();
+            ensemble_report = Some(EnsembleReport {
+                members: member_info
+                    .iter()
+                    .zip(&weights)
+                    .map(|((a, _), &w)| (*a, w))
+                    .collect(),
+                validation_accuracy: ens_acc,
+            });
+            ensemble_model = Some(ens);
+        }
+
+        // The winner model: if the ensemble consumed the finalists, refit.
+        let model: Box<dyn TrainedModel> = if let Some((_, _, m, _)) =
+            (!finalists.is_empty()).then(|| finalists.swap_remove(best_idx))
+        {
+            m
+        } else {
+            best.algorithm
+                .build(&best.config)
+                .fit(&preprocessed, &train_rows)
+                .map_err(|_| SmartMlError::NoModel)?
+        };
+
+        // Interpretability (optional).
+        let importance = if opts.interpretability {
+            Some(permutation_importance(
+                model.as_ref(),
+                &preprocessed,
+                &valid_rows,
+                3,
+                opts.seed,
+            ))
+        } else {
+            None
+        };
+
+        // Continuous KB update (Figure 1's "Update" arrow).
+        if opts.update_kb {
+            for tune in &tuning {
+                self.kb.record_run(
+                    &data.name,
+                    &meta_features,
+                    AlgorithmRun {
+                        algorithm: tune.algorithm,
+                        config: tune.best_config.clone(),
+                        accuracy: tune.validation_accuracy,
+                    },
+                );
+            }
+            if let Some(marks) = query_landmarkers {
+                self.kb.set_landmarkers(&data.name, marks);
+            }
+        }
+        phases.push(PhaseTrace {
+            phase: "Output & KB Update".into(),
+            secs: t.elapsed().as_secs_f64(),
+            detail: format!(
+                "winner {} @ {:.4}; KB now {} datasets / {} runs",
+                best.algorithm.paper_name(),
+                best.validation_accuracy,
+                self.kb.len(),
+                self.kb.n_runs()
+            ),
+        });
+
+        let report = RunReport {
+            dataset: data.name.clone(),
+            n_rows: preprocessed.n_rows(),
+            n_features: preprocessed.n_features(),
+            n_classes: preprocessed.n_classes(),
+            phases,
+            meta_features,
+            kb_neighbors: recommendation.neighbors,
+            tuning,
+            best,
+            ensemble: ensemble_report,
+            importance,
+        };
+        Ok(RunOutcome {
+            report,
+            model,
+            ensemble: ensemble_model,
+            preprocessed,
+            valid_rows,
+            train_rows,
+        })
+    }
+}
+
+/// Cold-start portfolio: a family-diverse subset in fixed priority order,
+/// used when the knowledge base has nothing to say.
+pub fn default_portfolio(n: usize) -> Vec<Algorithm> {
+    const PRIORITY: [Algorithm; 15] = [
+        Algorithm::RandomForest,
+        Algorithm::Svm,
+        Algorithm::NaiveBayes,
+        Algorithm::Knn,
+        Algorithm::J48,
+        Algorithm::Lda,
+        Algorithm::DeepBoost,
+        Algorithm::NeuralNet,
+        Algorithm::Rpart,
+        Algorithm::C50,
+        Algorithm::Bagging,
+        Algorithm::Plsda,
+        Algorithm::Rda,
+        Algorithm::Lmt,
+        Algorithm::Part,
+    ];
+    PRIORITY.iter().copied().take(n.clamp(1, 15)).collect()
+}
+
+// `Duration` is used by the time-budget match arm via options::Budget.
+#[allow(unused)]
+fn _assert_duration_in_scope(_: Duration) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_preprocess::Op;
+
+    fn quick_options() -> SmartMlOptions {
+        SmartMlOptions {
+            budget: Budget::Trials(8),
+            top_n_algorithms: 2,
+            cv_folds: 2,
+            preprocessing: vec![Op::Zv],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cold_start_run_completes() {
+        let d = gaussian_blobs("cold", 150, 3, 2, 0.8, 1);
+        let mut engine = SmartML::new(quick_options());
+        let outcome = engine.run(&d).unwrap();
+        assert!(outcome.report.best.validation_accuracy > 0.7);
+        assert_eq!(outcome.report.phases.len(), 4);
+        assert_eq!(outcome.report.tuning.len(), 2);
+        // KB was updated.
+        assert_eq!(engine.kb().len(), 1);
+        assert_eq!(engine.kb().n_runs(), 2);
+    }
+
+    #[test]
+    fn model_predicts_on_validation_rows() {
+        let d = gaussian_blobs("pred", 160, 3, 2, 0.6, 2);
+        let mut engine = SmartML::new(quick_options());
+        let outcome = engine.run(&d).unwrap();
+        let preds = outcome.model.predict(&outcome.preprocessed, &outcome.valid_rows);
+        assert_eq!(preds.len(), outcome.valid_rows.len());
+        let acc = accuracy(&outcome.preprocessed.labels_for(&outcome.valid_rows), &preds);
+        assert!((acc - outcome.report.best.validation_accuracy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_kb_changes_selection() {
+        let d1 = gaussian_blobs("first", 150, 4, 2, 0.8, 3);
+        let mut engine = SmartML::new(quick_options());
+        engine.run(&d1).unwrap();
+        // Second run on a similar dataset: KB has neighbours now.
+        let d2 = gaussian_blobs("second", 150, 4, 2, 0.8, 4);
+        let outcome = engine.run(&d2).unwrap();
+        assert!(!outcome.report.kb_neighbors.is_empty());
+    }
+
+    #[test]
+    fn ensembling_produces_report_and_model() {
+        let d = gaussian_blobs("ens", 180, 3, 3, 1.0, 5);
+        let mut engine = SmartML::new(quick_options().with_ensembling(true));
+        let outcome = engine.run(&d).unwrap();
+        let ens = outcome.report.ensemble.expect("ensemble requested");
+        assert_eq!(ens.members.len(), 2);
+        assert!(outcome.ensemble.is_some());
+        assert!(ens.validation_accuracy > 0.5);
+    }
+
+    #[test]
+    fn interpretability_lists_all_features() {
+        let d = gaussian_blobs("imp", 150, 4, 2, 0.8, 6);
+        let mut engine = SmartML::new(quick_options().with_interpretability(true));
+        let outcome = engine.run(&d).unwrap();
+        let imp = outcome.report.importance.expect("importance requested");
+        assert_eq!(imp.len(), outcome.report.n_features);
+    }
+
+    #[test]
+    fn rejects_tiny_or_single_class_data() {
+        let tiny = gaussian_blobs("tiny", 10, 2, 2, 0.5, 7);
+        let mut engine = SmartML::new(quick_options());
+        assert!(matches!(engine.run(&tiny), Err(SmartMlError::BadDataset(_))));
+    }
+
+    #[test]
+    fn update_kb_false_keeps_kb_frozen() {
+        let d = gaussian_blobs("frozen", 140, 3, 2, 0.8, 8);
+        let mut opts = quick_options();
+        opts.update_kb = false;
+        let mut engine = SmartML::new(opts);
+        engine.run(&d).unwrap();
+        assert!(engine.kb().is_empty());
+    }
+
+    #[test]
+    fn default_portfolio_is_diverse_and_bounded() {
+        assert_eq!(default_portfolio(3).len(), 3);
+        assert_eq!(default_portfolio(100).len(), 15);
+        assert_eq!(default_portfolio(0).len(), 1);
+        let p = default_portfolio(15);
+        let mut sorted = p.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15, "portfolio must cover all algorithms");
+    }
+}

@@ -1,0 +1,246 @@
+//! Run reports — the structured output of a SmartML run (what the paper's
+//! Figure 3 result screen displays).
+
+use crate::interpret::FeatureImportance;
+use serde::{Deserialize, Serialize};
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_metafeatures::MetaFeatures;
+
+/// Timing + detail for one pipeline phase (Figure 1 trace).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseTrace {
+    /// Phase name as in Figure 1.
+    pub phase: String,
+    /// Wall-clock seconds spent.
+    pub secs: f64,
+    /// Human-readable summary of what happened.
+    pub detail: String,
+}
+
+/// Tuning summary for one nominated algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgorithmTuning {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// KB nomination score.
+    pub selection_score: f64,
+    /// Trials the tuner evaluated.
+    pub trials: usize,
+    /// Best inner cross-validation accuracy.
+    pub best_cv_accuracy: f64,
+    /// The best configuration found.
+    pub best_config: ParamConfig,
+    /// Accuracy of the refit model on the held-out validation split.
+    pub validation_accuracy: f64,
+    /// Warm-start configurations the KB provided.
+    pub n_warm_starts: usize,
+}
+
+/// The recommended model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BestModel {
+    /// Winning algorithm.
+    pub algorithm: Algorithm,
+    /// Winning configuration.
+    pub config: ParamConfig,
+    /// Validation accuracy.
+    pub validation_accuracy: f64,
+}
+
+/// Ensemble summary (when ensembling was requested).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnsembleReport {
+    /// Member algorithms with their normalised weights.
+    pub members: Vec<(Algorithm, f64)>,
+    /// Ensemble validation accuracy.
+    pub validation_accuracy: f64,
+}
+
+/// Full report of one SmartML run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Dataset name.
+    pub dataset: String,
+    /// Rows / features / classes after preprocessing.
+    pub n_rows: usize,
+    /// Feature count after preprocessing.
+    pub n_features: usize,
+    /// Class count.
+    pub n_classes: usize,
+    /// Phase-by-phase trace (Figure 1).
+    pub phases: Vec<PhaseTrace>,
+    /// The extracted 25 meta-features.
+    pub meta_features: MetaFeatures,
+    /// Neighbour datasets the KB consulted: `(id, distance)`.
+    pub kb_neighbors: Vec<(String, f64)>,
+    /// Per-algorithm tuning results, KB-score order.
+    pub tuning: Vec<AlgorithmTuning>,
+    /// The recommended model.
+    pub best: BestModel,
+    /// Ensemble result, when requested.
+    pub ensemble: Option<EnsembleReport>,
+    /// Permutation feature importance of the winner, when requested.
+    pub importance: Option<Vec<FeatureImportance>>,
+}
+
+impl RunReport {
+    /// Renders the report as the text analogue of the paper's Figure-3
+    /// output screen.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("SmartML results for '{}'\n", self.dataset));
+        out.push_str(&format!(
+            "  {} rows x {} features, {} classes\n",
+            self.n_rows, self.n_features, self.n_classes
+        ));
+        out.push_str("  Phases:\n");
+        for p in &self.phases {
+            out.push_str(&format!("    {:<28} {:>8.3}s  {}\n", p.phase, p.secs, p.detail));
+        }
+        out.push_str("  Tuned algorithms:\n");
+        for t in &self.tuning {
+            out.push_str(&format!(
+                "    {:<14} cv={:.4} valid={:.4} trials={} warm-starts={}\n",
+                t.algorithm.paper_name(),
+                t.best_cv_accuracy,
+                t.validation_accuracy,
+                t.trials,
+                t.n_warm_starts
+            ));
+        }
+        out.push_str(&format!(
+            "  Recommended: {} ({:.2}% validation accuracy)\n    {}\n",
+            self.best.algorithm.paper_name(),
+            self.best.validation_accuracy * 100.0,
+            self.best.config.summary()
+        ));
+        if let Some(e) = &self.ensemble {
+            let members: Vec<String> = e
+                .members
+                .iter()
+                .map(|(a, w)| format!("{}({:.2})", a.paper_name(), w))
+                .collect();
+            out.push_str(&format!(
+                "  Ensemble [{}]: {:.2}% validation accuracy\n",
+                members.join(", "),
+                e.validation_accuracy * 100.0
+            ));
+        }
+        if let Some(imp) = &self.importance {
+            out.push_str("  Feature importance (permutation):\n");
+            for fi in imp.iter().take(10) {
+                out.push_str(&format!("    {:<20} {:+.4}\n", fi.feature, fi.importance));
+            }
+        }
+        out
+    }
+}
+
+impl RunReport {
+    /// Renders the report as Markdown — for READMEs, issue reports, and
+    /// notebook-style summaries.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## SmartML results — `{}`\n\n", self.dataset));
+        out.push_str(&format!(
+            "{} rows × {} features, {} classes\n\n",
+            self.n_rows, self.n_features, self.n_classes
+        ));
+        out.push_str("| phase | time (s) | detail |\n|---|---:|---|\n");
+        for p in &self.phases {
+            out.push_str(&format!("| {} | {:.3} | {} |\n", p.phase, p.secs, p.detail));
+        }
+        out.push_str("\n| algorithm | cv acc | valid acc | trials | warm starts |\n");
+        out.push_str("|---|---:|---:|---:|---:|\n");
+        for t in &self.tuning {
+            out.push_str(&format!(
+                "| {} | {:.4} | {:.4} | {} | {} |\n",
+                t.algorithm.paper_name(),
+                t.best_cv_accuracy,
+                t.validation_accuracy,
+                t.trials,
+                t.n_warm_starts
+            ));
+        }
+        out.push_str(&format!(
+            "\n**Recommended:** `{}` at **{:.2}%** validation accuracy \n`{}`\n",
+            self.best.algorithm.paper_name(),
+            self.best.validation_accuracy * 100.0,
+            self.best.config.summary()
+        ));
+        if let Some(e) = &self.ensemble {
+            let members: Vec<String> = e
+                .members
+                .iter()
+                .map(|(a, w)| format!("{} ({w:.2})", a.paper_name()))
+                .collect();
+            out.push_str(&format!(
+                "\n**Ensemble** [{}]: {:.2}%\n",
+                members.join(", "),
+                e.validation_accuracy * 100.0
+            ));
+        }
+        if let Some(imp) = &self.importance {
+            out.push_str("\n| feature | permutation importance |\n|---|---:|\n");
+            for fi in imp.iter().take(10) {
+                out.push_str(&format!("| {} | {:+.4} |\n", fi.feature, fi.importance));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_metafeatures::N_META_FEATURES;
+
+    fn dummy_report() -> RunReport {
+        RunReport {
+            dataset: "toy".into(),
+            n_rows: 10,
+            n_features: 2,
+            n_classes: 2,
+            phases: vec![PhaseTrace {
+                phase: "Preprocessing".into(),
+                secs: 0.01,
+                detail: "zv".into(),
+            }],
+            meta_features: MetaFeatures { values: vec![0.0; N_META_FEATURES] },
+            kb_neighbors: vec![("other".into(), 1.5)],
+            tuning: vec![],
+            best: BestModel {
+                algorithm: Algorithm::Knn,
+                config: ParamConfig::default(),
+                validation_accuracy: 0.91,
+            },
+            ensemble: None,
+            importance: None,
+        }
+    }
+
+    #[test]
+    fn render_contains_key_facts() {
+        let text = dummy_report().render();
+        assert!(text.contains("toy"));
+        assert!(text.contains("Recommended: KNN"));
+        assert!(text.contains("91.00%"));
+    }
+
+    #[test]
+    fn markdown_render_contains_tables() {
+        let md = dummy_report().render_markdown();
+        assert!(md.starts_with("## SmartML results"));
+        assert!(md.contains("| phase | time (s) | detail |"));
+        assert!(md.contains("**Recommended:** `KNN`"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let report = dummy_report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.dataset, "toy");
+        assert_eq!(back.best.algorithm, Algorithm::Knn);
+    }
+}

@@ -1,0 +1,202 @@
+//! ARFF (Attribute-Relation File Format) reader.
+//!
+//! Supports `@relation`, `@attribute <name> numeric|real|integer|{a,b,...}`,
+//! `@data` with comma-separated rows, `%` comments, `'quoted names'`, and
+//! `?` missing values. Sparse ARFF and date/string attributes are not
+//! supported (the paper's pipeline does not use them); encountering one is a
+//! parse error rather than silent misreading.
+
+use crate::dataset::{Dataset, DatasetError};
+use crate::io::csv::columns_to_dataset;
+
+#[derive(Debug)]
+enum AttrType {
+    Numeric,
+    Nominal(Vec<String>),
+}
+
+/// Parses ARFF text into a [`Dataset`]. The last attribute is the class.
+pub fn parse_arff(name: &str, text: &str) -> Result<Dataset, DatasetError> {
+    let mut attrs: Vec<(String, AttrType)> = Vec::new();
+    let mut rows: Vec<Vec<Option<String>>> = Vec::new();
+    let mut in_data = false;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| DatasetError::Parse(format!("line {}: {msg}", line_no + 1));
+        if !in_data {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("@relation") {
+                continue;
+            } else if lower.starts_with("@attribute") {
+                let rest = line["@attribute".len()..].trim();
+                let (attr_name, rest) = take_name(rest).ok_or_else(|| err("bad attribute"))?;
+                let type_str = rest.trim();
+                let attr_type = parse_attr_type(type_str)
+                    .ok_or_else(|| err(&format!("unsupported attribute type '{type_str}'")))?;
+                attrs.push((attr_name, attr_type));
+            } else if lower.starts_with("@data") {
+                if attrs.len() < 2 {
+                    return Err(err("need at least one feature and a class attribute"));
+                }
+                in_data = true;
+            } else {
+                return Err(err(&format!("unexpected header line '{line}'")));
+            }
+        } else {
+            if line.starts_with('{') {
+                return Err(err("sparse ARFF rows are not supported"));
+            }
+            let fields: Vec<Option<String>> = line
+                .split(',')
+                .map(|f| {
+                    let t = f.trim().trim_matches('\'').trim_matches('"');
+                    if t.is_empty() || t == "?" {
+                        None
+                    } else {
+                        Some(t.to_string())
+                    }
+                })
+                .collect();
+            if fields.len() != attrs.len() {
+                return Err(err(&format!(
+                    "{} fields, expected {}",
+                    fields.len(),
+                    attrs.len()
+                )));
+            }
+            // Validate nominal values against their declared domain.
+            for (f, (attr_name, attr_type)) in fields.iter().zip(&attrs) {
+                if let (Some(v), AttrType::Nominal(levels)) = (f, attr_type) {
+                    if !levels.iter().any(|l| l == v) {
+                        return Err(err(&format!(
+                            "value '{v}' not in domain of nominal attribute '{attr_name}'"
+                        )));
+                    }
+                }
+            }
+            rows.push(fields);
+        }
+    }
+    if rows.is_empty() {
+        return Err(DatasetError::Parse("no data rows".into()));
+    }
+    let header: Vec<String> = attrs.iter().map(|(n, _)| n.clone()).collect();
+    let target_idx = attrs.len() - 1;
+    columns_to_dataset(name, &header, &rows, target_idx)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('%') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Extracts a (possibly quoted) attribute name; returns (name, remainder).
+fn take_name(s: &str) -> Option<(String, &str)> {
+    let s = s.trim_start();
+    if let Some(rest) = s.strip_prefix('\'') {
+        let end = rest.find('\'')?;
+        Some((rest[..end].to_string(), &rest[end + 1..]))
+    } else {
+        let end = s.find(char::is_whitespace)?;
+        Some((s[..end].to_string(), &s[end..]))
+    }
+}
+
+fn parse_attr_type(s: &str) -> Option<AttrType> {
+    let lower = s.to_ascii_lowercase();
+    if lower == "numeric" || lower == "real" || lower == "integer" {
+        return Some(AttrType::Numeric);
+    }
+    if s.starts_with('{') && s.ends_with('}') {
+        let levels = s[1..s.len() - 1]
+            .split(',')
+            .map(|v| v.trim().trim_matches('\'').trim_matches('"').to_string())
+            .collect();
+        return Some(AttrType::Nominal(levels));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Feature;
+
+    const SAMPLE: &str = "\
+% weather toy data
+@relation weather
+@attribute outlook {sunny, overcast, rainy}
+@attribute temperature numeric
+@attribute 'wind speed' real
+@attribute play {yes, no}
+@data
+sunny, 85, 3.2, no
+overcast, 83, ?, yes
+rainy, 70, 12.0, yes  % inline comment
+";
+
+    #[test]
+    fn parses_weather() {
+        let d = parse_arff("weather", SAMPLE).unwrap();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.feature(0).name(), "outlook");
+        assert!(!d.feature(0).is_numeric());
+        assert!(d.feature(1).is_numeric());
+        assert_eq!(d.feature(2).name(), "wind speed");
+        assert_eq!(d.missing_cells(), 1);
+        assert_eq!(d.class_names(), &["no".to_string(), "yes".to_string()]);
+    }
+
+    #[test]
+    fn rejects_out_of_domain_nominal() {
+        let bad = SAMPLE.replace("rainy, 70", "snowy, 70");
+        assert!(parse_arff("w", &bad).is_err());
+    }
+
+    #[test]
+    fn rejects_sparse_rows() {
+        let text = "@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n{0 1, 1 x}\n";
+        assert!(parse_arff("s", text).is_err());
+    }
+
+    #[test]
+    fn rejects_string_attribute() {
+        let text = "@relation r\n@attribute a string\n@attribute c {x,y}\n@data\nfoo,x\n";
+        assert!(parse_arff("s", text).is_err());
+    }
+
+    #[test]
+    fn rejects_field_count_mismatch() {
+        let text = "@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n1,x,extra\n";
+        assert!(parse_arff("m", text).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let text = "@relation r\n@attribute a numeric\n@attribute c {x,y}\n@data\n";
+        assert!(parse_arff("e", text).is_err());
+    }
+
+    #[test]
+    fn comment_only_lines_skipped() {
+        let text = "% hi\n@relation r\n% mid\n@attribute a numeric\n@attribute c {x,y}\n@data\n% before\n1,x\n2,y\n";
+        let d = parse_arff("c", text).unwrap();
+        assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn numeric_column_values() {
+        let d = parse_arff("weather", SAMPLE).unwrap();
+        match d.feature(1) {
+            Feature::Numeric { values, .. } => assert_eq!(values, &[85.0, 83.0, 70.0]),
+            _ => panic!("expected numeric"),
+        }
+    }
+}

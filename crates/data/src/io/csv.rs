@@ -1,0 +1,233 @@
+//! Minimal CSV reader with type inference.
+//!
+//! Supports quoted fields (RFC-4180 double-quote escaping), a header row,
+//! and `?` / empty cells as missing values. Each column is inferred as
+//! numeric when every non-missing cell parses as `f64`, otherwise
+//! categorical with levels in first-appearance order. The last column (or a
+//! caller-chosen one) is the class label.
+
+use crate::dataset::{Dataset, DatasetError, Feature, MISSING_CODE};
+
+/// Parses CSV text into a [`Dataset`].
+///
+/// `target` selects the label column by name; `None` uses the last column.
+pub fn parse_csv(name: &str, text: &str, target: Option<&str>) -> Result<Dataset, DatasetError> {
+    let mut rows: Vec<Vec<Option<String>>> = Vec::new();
+    let mut header: Option<Vec<String>> = None;
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line)
+            .map_err(|e| DatasetError::Parse(format!("line {}: {e}", line_no + 1)))?;
+        if header.is_none() {
+            header = Some(fields.into_iter().map(|f| f.unwrap_or_default()).collect());
+            continue;
+        }
+        rows.push(fields);
+    }
+    let header = header.ok_or_else(|| DatasetError::Parse("empty file".into()))?;
+    if rows.is_empty() {
+        return Err(DatasetError::Parse("no data rows".into()));
+    }
+    let n_cols = header.len();
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != n_cols {
+            return Err(DatasetError::Parse(format!(
+                "row {} has {} fields, expected {n_cols}",
+                i + 2,
+                row.len()
+            )));
+        }
+    }
+    let target_idx = match target {
+        Some(t) => header
+            .iter()
+            .position(|h| h == t)
+            .ok_or_else(|| DatasetError::Parse(format!("target column '{t}' not found")))?,
+        None => n_cols - 1,
+    };
+    columns_to_dataset(name, &header, &rows, target_idx)
+}
+
+/// Splits one CSV line honouring quotes. `?` and empty fields become `None`.
+fn split_csv_line(line: &str) -> Result<Vec<Option<String>>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if cur.is_empty() => in_quotes = true,
+            Some('"') => return Err("unexpected quote mid-field".into()),
+            Some(',') if !in_quotes => {
+                fields.push(finish_field(std::mem::take(&mut cur)));
+            }
+            Some(c) => cur.push(c),
+            None => {
+                if in_quotes {
+                    return Err("unterminated quote".into());
+                }
+                fields.push(finish_field(cur));
+                return Ok(fields);
+            }
+        }
+    }
+}
+
+fn finish_field(s: String) -> Option<String> {
+    let t = s.trim();
+    if t.is_empty() || t == "?" {
+        None
+    } else {
+        Some(t.to_string())
+    }
+}
+
+/// Shared column-builder used by both the CSV and ARFF readers.
+pub(crate) fn columns_to_dataset(
+    name: &str,
+    header: &[String],
+    rows: &[Vec<Option<String>>],
+    target_idx: usize,
+) -> Result<Dataset, DatasetError> {
+    let n_cols = header.len();
+    let mut features = Vec::with_capacity(n_cols - 1);
+    for c in 0..n_cols {
+        if c == target_idx {
+            continue;
+        }
+        features.push(infer_column(&header[c], rows, c));
+    }
+    // Label column: categorical code table over first-appearance order.
+    let mut class_names: Vec<String> = Vec::new();
+    let mut labels = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let cell = row[target_idx]
+            .as_deref()
+            .ok_or_else(|| DatasetError::Parse(format!("row {}: missing class label", i + 1)))?;
+        let code = match class_names.iter().position(|c| c == cell) {
+            Some(p) => p as u32,
+            None => {
+                class_names.push(cell.to_string());
+                (class_names.len() - 1) as u32
+            }
+        };
+        labels.push(code);
+    }
+    Dataset::new(name, features, labels, class_names)
+}
+
+fn infer_column(name: &str, rows: &[Vec<Option<String>>], col: usize) -> Feature {
+    let all_numeric = rows
+        .iter()
+        .filter_map(|r| r[col].as_deref())
+        .all(|v| v.parse::<f64>().is_ok());
+    if all_numeric {
+        let values = rows
+            .iter()
+            .map(|r| r[col].as_deref().map_or(f64::NAN, |v| v.parse().unwrap()))
+            .collect();
+        Feature::Numeric { name: name.to_string(), values }
+    } else {
+        let mut levels: Vec<String> = Vec::new();
+        let codes = rows
+            .iter()
+            .map(|r| match r[col].as_deref() {
+                None => MISSING_CODE,
+                Some(v) => match levels.iter().position(|l| l == v) {
+                    Some(p) => p as u32,
+                    None => {
+                        levels.push(v.to_string());
+                        (levels.len() - 1) as u32
+                    }
+                },
+            })
+            .collect();
+        Feature::Categorical { name: name.to_string(), codes, levels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+sepal,petal,color,species
+5.1,1.4,red,setosa
+4.9,?,blue,setosa
+6.2,4.5,red,virginica
+";
+
+    #[test]
+    fn parses_types_and_missing() {
+        let d = parse_csv("iris", SAMPLE, None).unwrap();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.n_classes(), 2);
+        assert!(d.feature(0).is_numeric());
+        assert!(d.feature(1).is_numeric());
+        assert!(!d.feature(2).is_numeric());
+        assert_eq!(d.missing_cells(), 1);
+        assert_eq!(d.class_names(), &["setosa".to_string(), "virginica".to_string()]);
+        assert_eq!(d.labels(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn explicit_target_column() {
+        let d = parse_csv("iris", SAMPLE, Some("color")).unwrap();
+        assert_eq!(d.n_classes(), 2); // red, blue
+        assert_eq!(d.n_features(), 3); // sepal, petal, species
+        assert_eq!(d.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn missing_target_column_errors() {
+        assert!(parse_csv("x", SAMPLE, Some("nope")).is_err());
+    }
+
+    #[test]
+    fn quoted_fields_with_commas() {
+        let text = "a,b\n\"hello, world\",1\n\"say \"\"hi\"\"\",0\n";
+        let d = parse_csv("q", text, None).unwrap();
+        match d.feature(0) {
+            Feature::Categorical { levels, .. } => {
+                assert_eq!(levels[0], "hello, world");
+                assert_eq!(levels[1], "say \"hi\"");
+            }
+            _ => panic!("expected categorical"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let text = "a,b,y\n1,2,0\n1,0\n";
+        assert!(matches!(parse_csv("r", text, None), Err(DatasetError::Parse(_))));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert!(parse_csv("e", "", None).is_err());
+        assert!(parse_csv("e", "a,b\n", None).is_err());
+    }
+
+    #[test]
+    fn missing_label_rejected() {
+        let text = "a,y\n1,0\n2,?\n";
+        assert!(parse_csv("m", text, None).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let text = "a,y\n\"oops,0\n";
+        assert!(parse_csv("u", text, None).is_err());
+    }
+}

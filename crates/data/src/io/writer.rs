@@ -1,0 +1,182 @@
+//! Dataset writers: serialise a [`Dataset`] back to CSV or ARFF text.
+//! Round-trips with the readers in this module (modulo float formatting).
+
+use crate::dataset::{Dataset, Feature, MISSING_CODE};
+
+/// Serialises a dataset to CSV with a header row; the label column comes
+/// last, named `class`. Missing values are written as `?`.
+pub fn write_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let mut header: Vec<String> = data.features().iter().map(|f| f.name().to_string()).collect();
+    header.push("class".into());
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in 0..data.n_rows() {
+        for feature in data.features() {
+            match feature {
+                Feature::Numeric { values, .. } => {
+                    if values[row].is_nan() {
+                        out.push('?');
+                    } else {
+                        out.push_str(&format!("{}", values[row]));
+                    }
+                }
+                Feature::Categorical { codes, levels, .. } => {
+                    if codes[row] == MISSING_CODE {
+                        out.push('?');
+                    } else {
+                        out.push_str(&levels[codes[row] as usize]);
+                    }
+                }
+            }
+            out.push(',');
+        }
+        out.push_str(&data.class_names()[data.label(row) as usize]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises a dataset to ARFF; the label attribute comes last, named
+/// `class`. Missing values are written as `?`.
+pub fn write_arff(data: &Dataset) -> String {
+    let mut out = format!("@relation {}\n", sanitise(&data.name));
+    for feature in data.features() {
+        match feature {
+            Feature::Numeric { name, .. } => {
+                out.push_str(&format!("@attribute {} numeric\n", sanitise(name)));
+            }
+            Feature::Categorical { name, levels, .. } => {
+                out.push_str(&format!(
+                    "@attribute {} {{{}}}\n",
+                    sanitise(name),
+                    levels.join(",")
+                ));
+            }
+        }
+    }
+    out.push_str(&format!("@attribute class {{{}}}\n@data\n", data.class_names().join(",")));
+    for row in 0..data.n_rows() {
+        let mut cells: Vec<String> = Vec::with_capacity(data.n_features() + 1);
+        for feature in data.features() {
+            match feature {
+                Feature::Numeric { values, .. } => {
+                    cells.push(if values[row].is_nan() {
+                        "?".into()
+                    } else {
+                        format!("{}", values[row])
+                    });
+                }
+                Feature::Categorical { codes, levels, .. } => {
+                    cells.push(if codes[row] == MISSING_CODE {
+                        "?".into()
+                    } else {
+                        levels[codes[row] as usize].clone()
+                    });
+                }
+            }
+        }
+        cells.push(data.class_names()[data.label(row) as usize].clone());
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Replaces whitespace in attribute/relation names (readers treat names as
+/// single tokens).
+fn sanitise(name: &str) -> String {
+    name.replace(char::is_whitespace, "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{parse_arff, parse_csv};
+    use crate::synth::categorical_mixture;
+
+    fn with_missing() -> Dataset {
+        let base = categorical_mixture("writer test", 40, 2, 2, 2, 3, 1);
+        let features = base
+            .features()
+            .iter()
+            .enumerate()
+            .map(|(fi, f)| match f {
+                Feature::Numeric { name, values } => Feature::Numeric {
+                    name: name.clone(),
+                    values: values
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| if (i + fi) % 7 == 0 { f64::NAN } else { v })
+                        .collect(),
+                },
+                Feature::Categorical { name, codes, levels } => Feature::Categorical {
+                    name: name.clone(),
+                    codes: codes
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| if (i + fi) % 7 == 0 { MISSING_CODE } else { c })
+                        .collect(),
+                    levels: levels.clone(),
+                },
+            })
+            .collect();
+        base.with_features(features)
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_shape_and_labels() {
+        let d = with_missing();
+        let text = write_csv(&d);
+        let back = parse_csv("rt", &text, None).unwrap();
+        assert_eq!(back.n_rows(), d.n_rows());
+        assert_eq!(back.n_features(), d.n_features());
+        assert_eq!(back.n_classes(), d.n_classes());
+        assert_eq!(back.missing_cells(), d.missing_cells());
+        // Labels survive (class names may reorder by first appearance, so
+        // compare via names).
+        for row in 0..d.n_rows() {
+            assert_eq!(
+                back.class_names()[back.label(row) as usize],
+                d.class_names()[d.label(row) as usize],
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn arff_roundtrip_preserves_types() {
+        let d = with_missing();
+        let text = write_arff(&d);
+        let back = parse_arff("rt", &text).unwrap();
+        assert_eq!(back.n_rows(), d.n_rows());
+        assert_eq!(back.n_features(), d.n_features());
+        assert_eq!(
+            back.categorical_feature_indices().len(),
+            d.categorical_feature_indices().len()
+        );
+        assert_eq!(back.missing_cells(), d.missing_cells());
+    }
+
+    #[test]
+    fn numeric_values_roundtrip_exactly() {
+        use crate::synth::gaussian_blobs;
+        let d = gaussian_blobs("exact", 30, 3, 2, 1.0, 2);
+        let back = parse_csv("rt", &write_csv(&d), None).unwrap();
+        for (fa, fb) in d.features().iter().zip(back.features()) {
+            if let (Feature::Numeric { values: va, .. }, Feature::Numeric { values: vb, .. }) =
+                (fa, fb)
+            {
+                // `{}` float formatting is shortest-roundtrip in Rust.
+                assert_eq!(va, vb);
+            }
+        }
+    }
+
+    #[test]
+    fn relation_name_sanitised() {
+        let d = with_missing();
+        let text = write_arff(&d);
+        assert!(text.starts_with("@relation writer_test\n"));
+    }
+}

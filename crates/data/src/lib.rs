@@ -1,0 +1,19 @@
+//! Dataset substrate for SmartML.
+//!
+//! Provides the columnar [`Dataset`] type the whole workspace operates on,
+//! CSV and ARFF parsers (the two input formats the paper accepts), stratified
+//! train/validation splitting and k-fold cross validation, classification
+//! metrics, and — because the paper's OpenML/UCI/Kaggle corpora are not
+//! available here — a family of deterministic synthetic dataset generators
+//! that reproduce the *shape and difficulty profile* of each evaluation
+//! dataset (see `DESIGN.md`, substitution 1).
+
+pub mod dataset;
+pub mod io;
+pub mod metrics;
+pub mod split;
+pub mod synth;
+
+pub use dataset::{Dataset, DatasetError, Feature};
+pub use metrics::{accuracy, balanced_accuracy, confusion_matrix, log_loss, macro_f1};
+pub use split::{kfold_indices, stratified_kfold, train_valid_split};

@@ -1,0 +1,164 @@
+//! Classification metrics.
+//!
+//! The paper reports plain accuracy (Table 4); balanced accuracy, macro-F1,
+//! log-loss and the confusion matrix are additionally provided because the
+//! ensembling and interpretability phases use them.
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn accuracy(truth: &[u32], pred: &[u32]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    let correct = truth.iter().zip(pred).filter(|(t, p)| t == p).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Confusion matrix `m[true][pred]` with `n_classes` rows and columns.
+pub fn confusion_matrix(truth: &[u32], pred: &[u32], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        m[t as usize][p as usize] += 1;
+    }
+    m
+}
+
+/// Mean per-class recall. Classes absent from `truth` are skipped.
+pub fn balanced_accuracy(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
+    let m = confusion_matrix(truth, pred, n_classes);
+    let mut total = 0.0;
+    let mut present = 0usize;
+    for (c, row) in m.iter().enumerate() {
+        let support: usize = row.iter().sum();
+        if support > 0 {
+            total += row[c] as f64 / support as f64;
+            present += 1;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        total / present as f64
+    }
+}
+
+/// Macro-averaged F1 score. A class with no support and no predictions
+/// contributes nothing; a class with zero precision+recall contributes 0.
+pub fn macro_f1(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
+    let m = confusion_matrix(truth, pred, n_classes);
+    let mut f1_sum = 0.0;
+    let mut counted = 0usize;
+    for c in 0..n_classes {
+        let tp = m[c][c] as f64;
+        let support: usize = m[c].iter().sum();
+        let predicted: usize = (0..n_classes).map(|t| m[t][c]).sum();
+        if support == 0 && predicted == 0 {
+            continue;
+        }
+        counted += 1;
+        if tp == 0.0 {
+            continue; // f1 = 0 for this class
+        }
+        let precision = tp / predicted as f64;
+        let recall = tp / support as f64;
+        f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        f1_sum / counted as f64
+    }
+}
+
+/// Multiclass logarithmic loss given per-row class probability vectors.
+///
+/// Probabilities are clipped to `[1e-15, 1 - 1e-15]` for numerical safety.
+///
+/// # Panics
+/// Panics on length mismatch or when a probability row is shorter than the
+/// largest label.
+pub fn log_loss(truth: &[u32], proba: &[Vec<f64>]) -> f64 {
+    assert_eq!(truth.len(), proba.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty input");
+    let mut total = 0.0;
+    for (&t, row) in truth.iter().zip(proba) {
+        let p = row[t as usize].clamp(1e-15, 1.0 - 1e-15);
+        total -= p.ln();
+    }
+    total / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+        assert_eq!(accuracy(&[1], &[0]), 0.0);
+    }
+
+    #[test]
+    fn confusion_known() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(m, vec![vec![1, 1], vec![0, 2]]);
+    }
+
+    #[test]
+    fn balanced_accuracy_handles_imbalance() {
+        // 9 of class 0 all right, 1 of class 1 wrong → acc 0.9, bacc 0.5.
+        let truth: Vec<u32> = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let pred: Vec<u32> = vec![0; 10];
+        assert_eq!(accuracy(&truth, &pred), 0.9);
+        assert_eq!(balanced_accuracy(&truth, &pred, 2), 0.5);
+    }
+
+    #[test]
+    fn balanced_accuracy_skips_absent_classes() {
+        let truth = vec![0, 0];
+        let pred = vec![0, 0];
+        assert_eq!(balanced_accuracy(&truth, &pred, 3), 1.0);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_worst() {
+        assert_eq!(macro_f1(&[0, 1, 2], &[0, 1, 2], 3), 1.0);
+        assert_eq!(macro_f1(&[0, 0], &[1, 1], 2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_known_value() {
+        // class 0: p=1, r=0.5 → f1 = 2/3; class 1: p=0.5, r=1 → f1 = 2/3.
+        let truth = vec![0, 0, 1];
+        let pred = vec![0, 1, 1];
+        let f1 = macro_f1(&truth, &pred, 2);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_perfect_prediction_near_zero() {
+        let l = log_loss(&[0, 1], &[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(l < 1e-10);
+    }
+
+    #[test]
+    fn log_loss_uniform_is_ln_k() {
+        let l = log_loss(&[0, 1, 2], &vec![vec![1.0 / 3.0; 3]; 3]);
+        assert!((l - 3f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_loss_clips_zeros() {
+        let l = log_loss(&[0], &[vec![0.0, 1.0]]);
+        assert!(l.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch_panics() {
+        accuracy(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Train/validation splitting and cross-validation folds.
+//!
+//! SmartML's preprocessing phase "randomly splits the dataset into training
+//! and validation partitions"; the SMAC intensification loop additionally
+//! races configurations on incrementally many CV folds. Both splitters here
+//! are stratified so small or imbalanced classes stay represented, and both
+//! are deterministic given a seed.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Stratified train/validation split of all rows of `data`.
+///
+/// `valid_fraction` of each class (rounded down, but at least one row when
+/// the class has ≥ 2 rows) goes to the validation set. Returns
+/// `(train_rows, valid_rows)`.
+///
+/// # Panics
+/// Panics if `valid_fraction` is outside `(0, 1)`.
+pub fn train_valid_split(data: &Dataset, valid_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        valid_fraction > 0.0 && valid_fraction < 1.0,
+        "valid_fraction must be in (0,1), got {valid_fraction}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
+    for (row, &label) in data.labels().iter().enumerate() {
+        by_class[label as usize].push(row);
+    }
+    let mut train = Vec::new();
+    let mut valid = Vec::new();
+    for rows in &mut by_class {
+        rows.shuffle(&mut rng);
+        let n = rows.len();
+        let mut n_valid = (n as f64 * valid_fraction).floor() as usize;
+        if n_valid == 0 && n >= 2 {
+            n_valid = 1;
+        }
+        valid.extend_from_slice(&rows[..n_valid]);
+        train.extend_from_slice(&rows[n_valid..]);
+    }
+    train.sort_unstable();
+    valid.sort_unstable();
+    (train, valid)
+}
+
+/// Plain (unstratified) k-fold partition of `n` indices.
+///
+/// Returns `k` disjoint folds covering `0..n`; fold sizes differ by at most 1.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "k must be >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::with_capacity(n / k + 1); k];
+    for (i, row) in idx.into_iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    folds
+}
+
+/// Stratified k-fold over a row subset of `data`.
+///
+/// Each fold preserves the class proportions of `rows` as closely as
+/// possible. Returns `k` disjoint folds whose union is `rows`.
+pub fn stratified_kfold(data: &Dataset, rows: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "k must be >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
+    for &row in rows {
+        by_class[data.label(row) as usize].push(row);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    // Round-robin each class's shuffled rows across folds, rotating the
+    // starting fold per class so small classes don't all pile into fold 0.
+    for (class, class_rows) in by_class.iter_mut().enumerate() {
+        class_rows.shuffle(&mut rng);
+        for (i, &row) in class_rows.iter().enumerate() {
+            folds[(i + class) % k].push(row);
+        }
+    }
+    for fold in &mut folds {
+        fold.sort_unstable();
+    }
+    folds
+}
+
+/// Train rows for CV: every row in `rows` not in `fold`.
+pub fn complement(rows: &[usize], fold: &[usize]) -> Vec<usize> {
+    let in_fold: std::collections::HashSet<usize> = fold.iter().copied().collect();
+    rows.iter().copied().filter(|r| !in_fold.contains(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Feature;
+
+    fn dataset(labels: Vec<u32>, n_classes: usize) -> Dataset {
+        let n = labels.len();
+        Dataset::new(
+            "t",
+            vec![Feature::Numeric { name: "x".into(), values: vec![0.0; n] }],
+            labels,
+            (0..n_classes).map(|c| format!("c{c}")).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let d = dataset(vec![0, 0, 0, 0, 1, 1, 1, 1, 1, 1], 2);
+        let (train, valid) = train_valid_split(&d, 0.3, 7);
+        let mut all: Vec<usize> = train.iter().chain(&valid).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_stratified() {
+        let d = dataset(vec![0; 80].into_iter().chain(vec![1; 20]).collect(), 2);
+        let (_, valid) = train_valid_split(&d, 0.25, 3);
+        let counts = d.class_counts_for(&valid);
+        assert_eq!(counts[0], 20);
+        assert_eq!(counts[1], 5);
+    }
+
+    #[test]
+    fn split_small_class_gets_validation_row() {
+        let d = dataset(vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1], 2);
+        let (_, valid) = train_valid_split(&d, 0.2, 1);
+        assert!(d.class_counts_for(&valid)[1] >= 1);
+    }
+
+    #[test]
+    fn split_deterministic_per_seed() {
+        let d = dataset(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        assert_eq!(train_valid_split(&d, 0.25, 42), train_valid_split(&d, 0.25, 42));
+        assert_ne!(train_valid_split(&d, 0.25, 42).1, train_valid_split(&d, 0.25, 43).1);
+    }
+
+    #[test]
+    fn kfold_partitions() {
+        let folds = kfold_indices(10, 3, 5);
+        assert_eq!(folds.len(), 3);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() == 3 || f.len() == 4);
+        }
+    }
+
+    #[test]
+    fn stratified_kfold_preserves_proportions() {
+        let labels: Vec<u32> = (0..100).map(|i| u32::from(i % 5 == 0)).collect();
+        let d = dataset(labels, 2);
+        let rows = d.all_rows();
+        let folds = stratified_kfold(&d, &rows, 4, 11);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, rows);
+        for fold in &folds {
+            let counts = d.class_counts_for(fold);
+            assert_eq!(counts[0], 20);
+            assert_eq!(counts[1], 5);
+        }
+    }
+
+    #[test]
+    fn complement_excludes_fold() {
+        let rows = vec![0, 1, 2, 3, 4];
+        let fold = vec![1, 3];
+        assert_eq!(complement(&rows, &fold), vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid_fraction")]
+    fn bad_fraction_panics() {
+        let d = dataset(vec![0, 1], 2);
+        train_valid_split(&d, 1.5, 0);
+    }
+}

@@ -1,0 +1,563 @@
+//! Generator primitives for synthetic classification datasets.
+//!
+//! Each generator covers a different *difficulty profile* so that the
+//! meta-learning knowledge base has genuinely distinct regions: linear
+//! ellipsoidal mixtures (LDA/SVM territory), XOR parity with overwhelming
+//! noise features (tree/boosting territory), high-dimensional low-SNR
+//! prototypes (regularised/nearest-neighbour territory), sparse count data
+//! (naive-Bayes territory), smooth nonlinear response surfaces (kernel/MLP
+//! territory), and heavily imbalanced overlapping mixtures.
+
+use crate::dataset::{Dataset, Feature};
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully-specified synthetic dataset: generator family plus parameters.
+///
+/// This is the unit the KB bootstrap corpus and the benchmark suite are
+/// described in; [`SynthSpec::generate`] is deterministic given the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthSpec {
+    /// Gaussian class blobs; `spread` ≥ 1 means increasing overlap.
+    Blobs { n: usize, d: usize, k: usize, spread: f64 },
+    /// Parity (XOR) of `informative` binary-ish dims buried in `noise` noise dims.
+    XorParity { n: usize, informative: usize, noise: usize, flip: f64 },
+    /// Class prototypes in `d` dims observed at signal-to-noise ratio `snr`.
+    PrototypeNoise { n: usize, d: usize, k: usize, snr: f64 },
+    /// Sparse multinomial count features from per-class topic distributions.
+    SparseCounts { n: usize, d: usize, k: usize, doc_len: usize },
+    /// Smooth nonlinear function of `d` inputs thresholded into 2 classes.
+    Kinematics { n: usize, d: usize, noise: f64 },
+    /// Imbalanced overlapping mixture with a geometric class-size decay.
+    ImbalancedMixture { n: usize, d: usize, k: usize, overlap: f64 },
+    /// Near-separable low-dimensional sensor data with drift noise.
+    SensorDrift { n: usize, d: usize, drift: f64 },
+    /// Two interleaved spirals (binary, 2-D) — classic nonlinear benchmark.
+    TwoSpirals { n: usize, noise: f64 },
+    /// Mixed categorical + numeric columns with class-dependent level odds.
+    CategoricalMixture { n: usize, d_cat: usize, d_num: usize, k: usize, cardinality: usize },
+}
+
+impl SynthSpec {
+    /// Generates the dataset. Same spec + seed → identical dataset.
+    pub fn generate(&self, name: &str, seed: u64) -> Dataset {
+        match *self {
+            SynthSpec::Blobs { n, d, k, spread } => gaussian_blobs(name, n, d, k, spread, seed),
+            SynthSpec::XorParity { n, informative, noise, flip } => {
+                xor_parity(name, n, informative, noise, flip, seed)
+            }
+            SynthSpec::PrototypeNoise { n, d, k, snr } => prototype_noise(name, n, d, k, snr, seed),
+            SynthSpec::SparseCounts { n, d, k, doc_len } => {
+                sparse_counts(name, n, d, k, doc_len, seed)
+            }
+            SynthSpec::Kinematics { n, d, noise } => kinematics(name, n, d, noise, seed),
+            SynthSpec::ImbalancedMixture { n, d, k, overlap } => {
+                imbalanced_mixture(name, n, d, k, overlap, seed)
+            }
+            SynthSpec::SensorDrift { n, d, drift } => sensor_drift(name, n, d, drift, seed),
+            SynthSpec::TwoSpirals { n, noise } => two_spirals(name, n, noise, seed),
+            SynthSpec::CategoricalMixture { n, d_cat, d_num, k, cardinality } => {
+                categorical_mixture(name, n, d_cat, d_num, k, cardinality, seed)
+            }
+        }
+    }
+
+    /// Number of classes the generated dataset will have.
+    pub fn n_classes(&self) -> usize {
+        match *self {
+            SynthSpec::Blobs { k, .. }
+            | SynthSpec::PrototypeNoise { k, .. }
+            | SynthSpec::SparseCounts { k, .. }
+            | SynthSpec::ImbalancedMixture { k, .. }
+            | SynthSpec::CategoricalMixture { k, .. } => k,
+            _ => 2,
+        }
+    }
+}
+
+/// Standard normal sample via Box-Muller (avoids a rand_distr dependency).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn numeric_features(cols: Vec<Vec<f64>>) -> Vec<Feature> {
+    cols.into_iter()
+        .enumerate()
+        .map(|(i, values)| Feature::Numeric { name: format!("f{i}"), values })
+        .collect()
+}
+
+fn class_names(k: usize) -> Vec<String> {
+    (0..k).map(|c| format!("class{c}")).collect()
+}
+
+fn build(name: &str, cols: Vec<Vec<f64>>, labels: Vec<u32>, k: usize) -> Dataset {
+    Dataset::new(name, numeric_features(cols), labels, class_names(k))
+        .expect("generator produced consistent columns")
+}
+
+/// Deterministically permutes the rows of a dataset. Generators emit rows in
+/// class round-robin order; shuffling makes any contiguous or strided subset
+/// class-mixed, like real data.
+fn shuffle_rows(data: Dataset, seed: u64) -> Dataset {
+    let mut perm: Vec<usize> = (0..data.n_rows()).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE_5EED);
+    use rand::seq::SliceRandom;
+    perm.shuffle(&mut rng);
+    data.subset(&perm)
+}
+
+/// Gaussian blobs: `k` class centroids on a scaled simplex, unit-variance
+/// clouds. `spread` < 1 ⇒ nearly separable; larger ⇒ increasing Bayes error.
+pub fn gaussian_blobs(name: &str, n: usize, d: usize, k: usize, spread: f64, seed: u64) -> Dataset {
+    assert!(k >= 2 && d >= 1 && n >= k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..d).map(|_| normal(&mut rng) * 3.0).collect())
+        .collect();
+    // Enforce a minimum pairwise center distance of 2.0 so `spread` (not an
+    // unlucky center draw) controls the class overlap: rescale the whole
+    // center constellation if the closest pair is too close.
+    let mut min_dist = f64::INFINITY;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let dist: f64 = centers[i]
+                .iter()
+                .zip(&centers[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            min_dist = min_dist.min(dist);
+        }
+    }
+    if min_dist < 2.0 {
+        let scale = if min_dist > 1e-9 { 2.0 / min_dist } else { 2.0 };
+        for c in &mut centers {
+            for v in c.iter_mut() {
+                *v *= scale;
+                // Fully degenerate draw: nudge apart deterministically.
+                if min_dist <= 1e-9 {
+                    *v += normal(&mut rng);
+                }
+            }
+        }
+    }
+    let mut cols = vec![Vec::with_capacity(n); d];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        labels.push(c as u32);
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push(centers[c][j] + normal(&mut rng) * spread);
+        }
+    }
+    shuffle_rows(build(name, cols, labels, k), seed)
+}
+
+/// XOR parity: the label is the parity of the signs of `informative`
+/// latent dimensions; `noise` pure-noise features are appended and `flip`
+/// fraction of labels is corrupted. A madelon-style problem: linear models
+/// sit at chance, tree ensembles and boosting can solve it.
+pub fn xor_parity(
+    name: &str,
+    n: usize,
+    informative: usize,
+    noise: usize,
+    flip: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(informative >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = informative + noise;
+    let mut cols = vec![Vec::with_capacity(n); d];
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut parity = 0u32;
+        for (j, col) in cols.iter_mut().enumerate() {
+            if j < informative {
+                // Bimodal informative dimension: cluster at ±2 with jitter.
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                if sign > 0.0 {
+                    parity ^= 1;
+                }
+                col.push(sign * 2.0 + normal(&mut rng) * 0.6);
+            } else {
+                col.push(normal(&mut rng) * 2.0);
+            }
+        }
+        let label = if rng.gen_bool(flip) { 1 - parity } else { parity };
+        labels.push(label);
+    }
+    shuffle_rows(build(name, cols, labels, 2), seed)
+}
+
+/// Prototype-plus-noise: each class has a fixed prototype vector; instances
+/// are the prototype scaled by `snr` plus unit Gaussian noise. Models image
+/// digit/object datasets (mnist/semeion/cifar analogues): high-dimensional,
+/// every pixel weakly informative.
+pub fn prototype_noise(name: &str, n: usize, d: usize, k: usize, snr: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let prototypes: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..d).map(|_| normal(&mut rng)).collect())
+        .collect();
+    let mut cols = vec![Vec::with_capacity(n); d];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        labels.push(c as u32);
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push(prototypes[c][j] * snr + normal(&mut rng));
+        }
+    }
+    shuffle_rows(build(name, cols, labels, k), seed)
+}
+
+/// Sparse multinomial counts: per-class topic distribution over `d` symbols,
+/// each row is `doc_len` draws. Bag-of-words analogue (amazon reviews):
+/// most cells zero, class signal in relative frequencies.
+pub fn sparse_counts(name: &str, n: usize, d: usize, k: usize, doc_len: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Per-class Zipf-ish topic weights over a class-specific symbol ordering.
+    let topics: Vec<Vec<f64>> = (0..k)
+        .map(|_| {
+            let mut order: Vec<usize> = (0..d).collect();
+            for i in (1..d).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut w = vec![0.0; d];
+            for (rank, &sym) in order.iter().enumerate() {
+                w[sym] = 1.0 / (rank + 1) as f64;
+            }
+            let z: f64 = w.iter().sum();
+            w.iter().map(|x| x / z).collect()
+        })
+        .collect();
+    let mut cols = vec![Vec::with_capacity(n); d];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        labels.push(c as u32);
+        let mut counts = vec![0.0; d];
+        for _ in 0..doc_len {
+            // Inverse-CDF multinomial draw.
+            let mut u: f64 = rng.gen();
+            let mut sym = d - 1;
+            for (s, &w) in topics[c].iter().enumerate() {
+                if u < w {
+                    sym = s;
+                    break;
+                }
+                u -= w;
+            }
+            counts[sym] += 1.0;
+        }
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push(counts[j]);
+        }
+    }
+    shuffle_rows(build(name, cols, labels, k), seed)
+}
+
+/// Kinematics analogue (kin8nm): label = whether a smooth trigonometric
+/// function of the `d` joint angles exceeds its median, plus observation
+/// noise. Smooth nonlinear boundary — kernel methods and MLPs shine.
+pub fn kinematics(name: &str, n: usize, d: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols = vec![Vec::with_capacity(n); d];
+    let mut response = Vec::with_capacity(n);
+    for _ in 0..n {
+        let angles: Vec<f64> = (0..d)
+            .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+            .collect();
+        // Forward-kinematics-style chained sum of sines of cumulative angles.
+        let mut cum = 0.0;
+        let mut y = 0.0;
+        for &a in &angles {
+            cum += a;
+            y += cum.sin();
+        }
+        y += normal(&mut rng) * noise;
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push(angles[j]);
+        }
+        response.push(y);
+    }
+    let median = smartml_linalg::vecops::median(&response);
+    let labels: Vec<u32> = response.iter().map(|&y| u32::from(y > median)).collect();
+    shuffle_rows(build(name, cols, labels, 2), seed)
+}
+
+/// Imbalanced overlapping Gaussian mixture: class `c` has relative size
+/// `0.6^c` (geometric decay) and centroids drawn close together (`overlap`
+/// controls proximity). Yeast/abalone analogue: many classes, heavy
+/// imbalance, irreducible overlap.
+pub fn imbalanced_mixture(name: &str, n: usize, d: usize, k: usize, overlap: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..d).map(|_| normal(&mut rng) * (2.0 / overlap.max(0.1))).collect())
+        .collect();
+    // Geometric class weights.
+    let weights: Vec<f64> = (0..k).map(|c| 0.6f64.powi(c as i32)).collect();
+    let z: f64 = weights.iter().sum();
+    let mut cols = vec![Vec::with_capacity(n); d];
+    let mut labels = Vec::with_capacity(n);
+    // Guarantee at least 2 rows of every class, then sample the rest.
+    for c in 0..k {
+        for _ in 0..2 {
+            labels.push(c as u32);
+            for (j, col) in cols.iter_mut().enumerate() {
+                col.push(centers[c][j] + normal(&mut rng));
+            }
+        }
+    }
+    while labels.len() < n {
+        let mut u: f64 = rng.gen::<f64>() * z;
+        let mut c = k - 1;
+        for (i, &w) in weights.iter().enumerate() {
+            if u < w {
+                c = i;
+                break;
+            }
+            u -= w;
+        }
+        labels.push(c as u32);
+        for (j, col) in cols.iter_mut().enumerate() {
+            col.push(centers[c][j] + normal(&mut rng));
+        }
+    }
+    shuffle_rows(build(name, cols, labels, k), seed)
+}
+
+/// Occupancy analogue: `d` correlated sensor channels, two regimes that are
+/// nearly linearly separable, plus slow sinusoidal drift that a robust model
+/// must ignore.
+pub fn sensor_drift(name: &str, n: usize, d: usize, drift: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols = vec![Vec::with_capacity(n); d];
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let occupied = rng.gen_bool(0.35);
+        labels.push(u32::from(occupied));
+        let t = i as f64 / n as f64;
+        let base = if occupied { 1.5 } else { -1.5 };
+        let shared = normal(&mut rng) * 0.5; // common-mode sensor noise
+        for (j, col) in cols.iter_mut().enumerate() {
+            let phase = (j + 1) as f64;
+            let drift_term = drift * (t * std::f64::consts::TAU * phase).sin();
+            col.push(base * (1.0 - 0.1 * j as f64) + shared + drift_term + normal(&mut rng) * 0.4);
+        }
+    }
+    shuffle_rows(build(name, cols, labels, 2), seed)
+}
+
+/// Two interleaved spirals in 2-D with Gaussian jitter.
+pub fn two_spirals(name: &str, n: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let t = 0.5 + 3.0 * (i as f64 / n as f64) * std::f64::consts::PI;
+        let r = t;
+        let angle = t + class as f64 * std::f64::consts::PI;
+        x.push(r * angle.cos() + normal(&mut rng) * noise);
+        y.push(r * angle.sin() + normal(&mut rng) * noise);
+        labels.push(class as u32);
+    }
+    shuffle_rows(build(name, vec![x, y], labels, 2), seed)
+}
+
+/// Mixed-type dataset: `d_cat` categorical columns whose level odds depend on
+/// the class, plus `d_num` numeric columns with shifted means. Exercises the
+/// categorical handling of trees and naive Bayes and the one-hot path of
+/// numeric-only models.
+pub fn categorical_mixture(
+    name: &str,
+    n: usize,
+    d_cat: usize,
+    d_num: usize,
+    k: usize,
+    cardinality: usize,
+    seed: u64,
+) -> Dataset {
+    assert!(cardinality >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        labels.push((i % k) as u32);
+    }
+    let mut features = Vec::with_capacity(d_cat + d_num);
+    for j in 0..d_cat {
+        let levels: Vec<String> = (0..cardinality).map(|l| format!("v{l}")).collect();
+        let codes: Vec<u32> = labels
+            .iter()
+            .map(|&c| {
+                // Each class prefers level (c + j) mod cardinality with prob 0.6.
+                if rng.gen_bool(0.6) {
+                    ((c as usize + j) % cardinality) as u32
+                } else {
+                    rng.gen_range(0..cardinality) as u32
+                }
+            })
+            .collect();
+        features.push(Feature::Categorical { name: format!("cat{j}"), codes, levels });
+    }
+    for j in 0..d_num {
+        let values: Vec<f64> = labels
+            .iter()
+            .map(|&c| c as f64 * 0.8 + normal(&mut rng))
+            .collect();
+        features.push(Feature::Numeric { name: format!("num{j}"), values });
+    }
+    shuffle_rows(
+        Dataset::new(name, features, labels, class_names(k)).expect("consistent columns"),
+        seed,
+    )
+}
+
+// `Distribution` is pulled in so callers can plug rand distributions in
+// without re-importing; silence the unused warning when they don't.
+#[allow(unused)]
+fn _assert_distribution_usable<D: Distribution<f64>>(_: D) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn blobs_shape_and_determinism() {
+        let d1 = gaussian_blobs("b", 60, 4, 3, 0.5, 9);
+        assert_eq!(d1.n_rows(), 60);
+        assert_eq!(d1.n_features(), 4);
+        assert_eq!(d1.n_classes(), 3);
+        let d2 = gaussian_blobs("b", 60, 4, 3, 0.5, 9);
+        match (d1.feature(0), d2.feature(0)) {
+            (Feature::Numeric { values: v1, .. }, Feature::Numeric { values: v2, .. }) => {
+                assert_eq!(v1, v2);
+            }
+            _ => panic!("expected numeric"),
+        }
+    }
+
+    #[test]
+    fn blobs_different_seeds_differ() {
+        let d1 = gaussian_blobs("b", 20, 2, 2, 0.5, 1);
+        let d2 = gaussian_blobs("b", 20, 2, 2, 0.5, 2);
+        match (d1.feature(0), d2.feature(0)) {
+            (Feature::Numeric { values: v1, .. }, Feature::Numeric { values: v2, .. }) => {
+                assert_ne!(v1, v2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    /// Nearest-centroid on separable blobs should be near-perfect — sanity
+    /// check that the class signal actually exists.
+    #[test]
+    fn blobs_are_learnable() {
+        let d = gaussian_blobs("b", 200, 3, 2, 0.4, 5);
+        let rows = d.all_rows();
+        let (m, _) = d.to_numeric_matrix(&rows);
+        // Compute class centroids on first half, classify second half.
+        let half = 100;
+        let mut centroids = vec![vec![0.0; 3]; 2];
+        let mut counts = [0usize; 2];
+        for r in 0..half {
+            let c = d.label(r) as usize;
+            counts[c] += 1;
+            for j in 0..3 {
+                centroids[c][j] += m[(r, j)];
+            }
+        }
+        for c in 0..2 {
+            for j in 0..3 {
+                centroids[c][j] /= counts[c] as f64;
+            }
+        }
+        let mut pred = Vec::new();
+        let mut truth = Vec::new();
+        for r in half..200 {
+            let row: Vec<f64> = (0..3).map(|j| m[(r, j)]).collect();
+            let d0 = smartml_linalg::vecops::euclidean_distance(&row, &centroids[0]);
+            let d1 = smartml_linalg::vecops::euclidean_distance(&row, &centroids[1]);
+            pred.push(u32::from(d1 < d0));
+            truth.push(d.label(r));
+        }
+        assert!(accuracy(&truth, &pred) > 0.95);
+    }
+
+    #[test]
+    fn xor_parity_balanced_and_shaped() {
+        let d = xor_parity("x", 400, 3, 10, 0.02, 7);
+        assert_eq!(d.n_features(), 13);
+        assert_eq!(d.n_classes(), 2);
+        let counts = d.class_counts();
+        // Parity of fair coin flips is balanced in expectation.
+        assert!(counts[0] > 120 && counts[1] > 120, "{counts:?}");
+    }
+
+    #[test]
+    fn sparse_counts_mostly_zero() {
+        let d = sparse_counts("s", 50, 100, 3, 30, 3);
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for f in d.features() {
+            if let Feature::Numeric { values, .. } = f {
+                zeros += values.iter().filter(|&&v| v == 0.0).count();
+                total += values.len();
+            }
+        }
+        assert!(zeros as f64 / total as f64 > 0.5, "sparsity {}", zeros as f64 / total as f64);
+    }
+
+    #[test]
+    fn kinematics_is_balanced_by_median_split() {
+        let d = kinematics("k", 201, 8, 0.1, 11);
+        let counts = d.class_counts();
+        assert!((counts[0] as i64 - counts[1] as i64).abs() <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn imbalanced_mixture_has_all_classes_and_decay() {
+        let d = imbalanced_mixture("i", 500, 6, 8, 1.0, 13);
+        let counts = d.class_counts();
+        assert!(counts.iter().all(|&c| c >= 2), "{counts:?}");
+        assert!(counts[0] > counts[7], "{counts:?}");
+    }
+
+    #[test]
+    fn sensor_drift_shape() {
+        let d = sensor_drift("o", 300, 5, 0.5, 17);
+        assert_eq!(d.n_features(), 5);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn two_spirals_shape() {
+        let d = two_spirals("sp", 200, 0.1, 19);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.class_counts(), vec![100, 100]);
+    }
+
+    #[test]
+    fn categorical_mixture_types() {
+        let d = categorical_mixture("c", 120, 3, 2, 4, 5, 23);
+        assert_eq!(d.categorical_feature_indices().len(), 3);
+        assert_eq!(d.numeric_feature_indices().len(), 2);
+        assert_eq!(d.n_classes(), 4);
+    }
+
+    #[test]
+    fn spec_generate_dispatch() {
+        let spec = SynthSpec::Blobs { n: 30, d: 2, k: 2, spread: 0.5 };
+        let d = spec.generate("via-spec", 1);
+        assert_eq!(d.name, "via-spec");
+        assert_eq!(d.n_rows(), 30);
+        assert_eq!(spec.n_classes(), 2);
+    }
+}

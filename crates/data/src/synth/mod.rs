@@ -1,0 +1,20 @@
+//! Synthetic dataset generation.
+//!
+//! The paper evaluates on 10 OpenML/UCI/Kaggle datasets and bootstraps its
+//! knowledge base with 50 more. Neither corpus is available offline, so this
+//! module provides deterministic generators that reproduce each evaluation
+//! dataset's *shape* (attribute count, class count, instance count — scaled
+//! down where the original is large) and *difficulty profile* (which
+//! algorithm families do well on it). See `DESIGN.md`, substitution 1.
+//!
+//! Everything is seeded: the same [`SynthSpec`] and seed always produce the
+//! same dataset.
+
+mod corpus;
+mod generators;
+
+pub use corpus::{benchmark_suite, kb_bootstrap_corpus, BenchmarkDataset};
+pub use generators::{
+    categorical_mixture, gaussian_blobs, imbalanced_mixture, kinematics, prototype_noise,
+    sensor_drift, sparse_counts, two_spirals, xor_parity, SynthSpec,
+};

@@ -1,0 +1,17 @@
+//! Dense linear algebra substrate for SmartML.
+//!
+//! The original SmartML delegates numerical work to R/LAPACK; this crate provides
+//! the minimal, well-tested dense kernel set the rest of the workspace needs:
+//! a row-major [`Matrix`], LU and Cholesky factorisations, a cyclic Jacobi
+//! symmetric eigendecomposition, and statistical helpers (covariance,
+//! column means). Datasets in this domain are small-to-medium, so the
+//! implementations favour clarity and numerical robustness over peak FLOPs.
+
+mod decomp;
+mod matrix;
+mod stats;
+pub mod vecops;
+
+pub use decomp::{cholesky, eigh, lu_decompose, solve, solve_lower_triangular, LinalgError};
+pub use matrix::Matrix;
+pub use stats::{column_means, covariance_matrix, pearson_correlation};

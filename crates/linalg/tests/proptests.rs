@@ -1,0 +1,107 @@
+//! Property-based tests for the linear algebra substrate.
+
+use proptest::prelude::*;
+use smartml_linalg::{cholesky, eigh, solve, vecops, Matrix};
+
+/// Strategy: square matrix of the given size with bounded entries.
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// Strategy: a symmetric positive definite matrix built as AᵀA + εI.
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    square_matrix(n).prop_map(move |a| {
+        let ata = a.transpose().matmul(&a);
+        ata.add(&Matrix::identity(n).scale(0.5))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in square_matrix(4)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in square_matrix(3)) {
+        let i = Matrix::identity(3);
+        prop_assert!(m.matmul(&i).max_abs_diff(&m) < 1e-12);
+        prop_assert!(i.matmul(&m).max_abs_diff(&m) < 1e-12);
+    }
+
+    #[test]
+    fn solve_then_multiply_recovers_rhs(
+        a in spd_matrix(4),
+        b in prop::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        let x = solve(&a, &b).expect("SPD is nonsingular");
+        let back = a.matvec(&x);
+        for (got, want) in back.iter().zip(&b) {
+            prop_assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd(a in spd_matrix(4)) {
+        let l = cholesky(&a).expect("SPD must factor");
+        let recon = l.matmul(&l.transpose());
+        prop_assert!(recon.max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn eigh_reconstructs_symmetric(m in square_matrix(4)) {
+        // Symmetrise to get a valid input.
+        let s = m.add(&m.transpose()).scale(0.5);
+        let (vals, vecs) = eigh(&s);
+        let mut d = Matrix::zeros(4, 4);
+        for i in 0..4 { d[(i, i)] = vals[i]; }
+        let recon = vecs.matmul(&d).matmul(&vecs.transpose());
+        prop_assert!(recon.max_abs_diff(&s) < 1e-7);
+        // Eigenvalues are sorted descending.
+        for w in vals.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigh_vectors_orthonormal(m in square_matrix(5)) {
+        let s = m.add(&m.transpose()).scale(0.5);
+        let (_, vecs) = eigh(&s);
+        let vtv = vecs.transpose().matmul(&vecs);
+        prop_assert!(vtv.max_abs_diff(&Matrix::identity(5)) < 1e-7);
+    }
+
+    #[test]
+    fn variance_nonnegative(xs in prop::collection::vec(-1e6..1e6f64, 0..200)) {
+        prop_assert!(vecops::variance(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        a in prop::collection::vec(-100.0..100.0f64, 6),
+        b in prop::collection::vec(-100.0..100.0f64, 6),
+        c in prop::collection::vec(-100.0..100.0f64, 6),
+    ) {
+        let ab = vecops::euclidean_distance(&a, &b);
+        let bc = vecops::euclidean_distance(&b, &c);
+        let ac = vecops::euclidean_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn softmax_is_distribution(mut xs in prop::collection::vec(-50.0..50.0f64, 1..10)) {
+        vecops::softmax_inplace(&mut xs);
+        let total: f64 = xs.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(xs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_support(counts in prop::collection::vec(0usize..1000, 1..12)) {
+        let h = vecops::entropy_from_counts(&counts);
+        let support = counts.iter().filter(|&&c| c > 0).count().max(1);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (support as f64).ln() + 1e-9);
+    }
+}

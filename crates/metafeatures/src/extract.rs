@@ -1,0 +1,376 @@
+//! The canonical 25 meta-features.
+
+use serde::{Deserialize, Serialize};
+use smartml_data::dataset::MISSING_CODE;
+use smartml_data::{Dataset, Feature};
+use smartml_linalg::{covariance_matrix, eigh, pearson_correlation, vecops, Matrix};
+
+/// Number of meta-features (fixed by the paper).
+pub const N_META_FEATURES: usize = 25;
+
+/// Names of the 25 meta-features, in vector order.
+pub const NAMES: [&str; N_META_FEATURES] = [
+    "n_instances",
+    "log_n_instances",
+    "n_features",
+    "log_n_features",
+    "n_classes",
+    "n_numeric_features",
+    "n_categorical_features",
+    "categorical_ratio",
+    "dimensionality",
+    "missing_fraction",
+    "class_entropy",
+    "majority_class_fraction",
+    "minority_class_fraction",
+    "skewness_mean",
+    "skewness_sd",
+    "skewness_min",
+    "skewness_max",
+    "kurtosis_mean",
+    "kurtosis_sd",
+    "kurtosis_min",
+    "kurtosis_max",
+    "categorical_cardinality_mean",
+    "categorical_cardinality_max",
+    "mean_abs_correlation",
+    "pca_first_component_fraction",
+];
+
+/// A dataset's meta-feature vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetaFeatures {
+    /// The 25 values, ordered as [`NAMES`].
+    pub values: Vec<f64>,
+}
+
+impl MetaFeatures {
+    /// `(name, value)` pairs for display.
+    pub fn named(&self) -> Vec<(&'static str, f64)> {
+        NAMES.iter().copied().zip(self.values.iter().copied()).collect()
+    }
+
+    /// Value by meta-feature name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        NAMES.iter().position(|&n| n == name).map(|i| self.values[i])
+    }
+}
+
+/// Extracts the 25 meta-features from the training rows of a dataset.
+///
+/// Only `rows` participate — the paper extracts meta-features "from the
+/// training split" so the validation partition never influences the KB key.
+pub fn extract(data: &Dataset, rows: &[usize]) -> MetaFeatures {
+    assert!(!rows.is_empty(), "meta-features need at least one row");
+    let n = rows.len() as f64;
+    let n_features = data.n_features() as f64;
+    let numeric_idx = data.numeric_feature_indices();
+    let categorical_idx = data.categorical_feature_indices();
+
+    // Class distribution.
+    let class_counts = data.class_counts_for(rows);
+    let class_entropy = vecops::entropy_from_counts(&class_counts);
+    let present: Vec<f64> = class_counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| c as f64 / n)
+        .collect();
+    let majority = present.iter().copied().fold(0.0, f64::max);
+    let minority = present.iter().copied().fold(1.0, f64::min);
+
+    // Missing fraction over the training rows.
+    let total_cells = rows.len() * data.n_features();
+    let missing = count_missing(data, rows);
+    let missing_fraction = if total_cells > 0 { missing as f64 / total_cells as f64 } else { 0.0 };
+
+    // Numeric moment aggregates.
+    let mut skews = Vec::with_capacity(numeric_idx.len());
+    let mut kurts = Vec::with_capacity(numeric_idx.len());
+    let mut numeric_cols: Vec<Vec<f64>> = Vec::with_capacity(numeric_idx.len());
+    for &i in &numeric_idx {
+        if let Feature::Numeric { values, .. } = data.feature(i) {
+            let col: Vec<f64> =
+                rows.iter().map(|&r| values[r]).filter(|v| !v.is_nan()).collect();
+            skews.push(vecops::skewness(&col));
+            kurts.push(vecops::kurtosis(&col));
+            numeric_cols.push(col);
+        }
+    }
+    let agg = |xs: &[f64]| -> (f64, f64, f64, f64) {
+        if xs.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            (vecops::mean(xs), vecops::std_dev(xs), vecops::min(xs), vecops::max(xs))
+        }
+    };
+    let (skew_mean, skew_sd, skew_min, skew_max) = agg(&skews);
+    let (kurt_mean, kurt_sd, kurt_min, kurt_max) = agg(&kurts);
+
+    // Categorical symbol statistics.
+    let mut cards: Vec<f64> = Vec::with_capacity(categorical_idx.len());
+    for &i in &categorical_idx {
+        if let Feature::Categorical { codes, levels, .. } = data.feature(i) {
+            // Observed cardinality over the training rows, not the schema.
+            let mut seen = vec![false; levels.len()];
+            for &r in rows {
+                let c = codes[r];
+                if c != MISSING_CODE {
+                    seen[c as usize] = true;
+                }
+            }
+            cards.push(seen.iter().filter(|&&s| s).count() as f64);
+        }
+    }
+    let card_mean = vecops::mean(&cards);
+    let card_max = if cards.is_empty() { 0.0 } else { vecops::max(&cards) };
+
+    // Correlation structure: mean |pearson| over numeric column pairs.
+    // Capped at 40 columns (first 40) — O(d²·n) gets heavy on wide data and
+    // the aggregate is stable under this truncation.
+    let mean_abs_corr = mean_abs_correlation(&numeric_cols, rows.len());
+
+    // PCA landmark: fraction of total variance on the first principal axis.
+    let pca_fraction = pca_first_fraction(data, rows, &numeric_idx);
+
+    let values = vec![
+        n,
+        n.ln(),
+        n_features,
+        (n_features.max(1.0)).ln(),
+        data.n_classes() as f64,
+        numeric_idx.len() as f64,
+        categorical_idx.len() as f64,
+        if n_features > 0.0 { categorical_idx.len() as f64 / n_features } else { 0.0 },
+        if n > 0.0 { n_features / n } else { 0.0 },
+        missing_fraction,
+        class_entropy,
+        majority,
+        minority,
+        skew_mean,
+        skew_sd,
+        skew_min,
+        skew_max,
+        kurt_mean,
+        kurt_sd,
+        kurt_min,
+        kurt_max,
+        card_mean,
+        card_max,
+        mean_abs_corr,
+        pca_fraction,
+    ];
+    debug_assert_eq!(values.len(), N_META_FEATURES);
+    MetaFeatures { values }
+}
+
+fn count_missing(data: &Dataset, rows: &[usize]) -> usize {
+    let mut missing = 0usize;
+    for feat in data.features() {
+        match feat {
+            Feature::Numeric { values, .. } => {
+                missing += rows.iter().filter(|&&r| values[r].is_nan()).count();
+            }
+            Feature::Categorical { codes, .. } => {
+                missing += rows.iter().filter(|&&r| codes[r] == MISSING_CODE).count();
+            }
+        }
+    }
+    missing
+}
+
+fn mean_abs_correlation(numeric_cols: &[Vec<f64>], n_rows: usize) -> f64 {
+    let usable: Vec<&Vec<f64>> = numeric_cols
+        .iter()
+        .filter(|c| c.len() == n_rows) // skip columns that had missing values
+        .take(40)
+        .collect();
+    if usable.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..usable.len() {
+        for j in (i + 1)..usable.len() {
+            total += pearson_correlation(usable[i], usable[j]).abs();
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+fn pca_first_fraction(data: &Dataset, rows: &[usize], numeric_idx: &[usize]) -> f64 {
+    if numeric_idx.is_empty() || rows.len() < 3 {
+        return 0.0;
+    }
+    // Cap at 40 columns for the same cost reason as correlations.
+    let cols: Vec<&Vec<f64>> = numeric_idx
+        .iter()
+        .take(40)
+        .filter_map(|&i| match data.feature(i) {
+            Feature::Numeric { values, .. } => Some(values),
+            _ => None,
+        })
+        .collect();
+    let d = cols.len();
+    let mut m = Matrix::zeros(rows.len(), d);
+    for (c, colv) in cols.iter().enumerate() {
+        // NaN → 0 contribution; meta-extraction runs pre-imputation.
+        let mean = {
+            let vals: Vec<f64> =
+                rows.iter().map(|&r| colv[r]).filter(|v| !v.is_nan()).collect();
+            vecops::mean(&vals)
+        };
+        for (i, &r) in rows.iter().enumerate() {
+            let v = colv[r];
+            m[(i, c)] = if v.is_nan() { mean } else { v };
+        }
+    }
+    let cov = covariance_matrix(&m);
+    let (vals, _) = eigh(&cov);
+    let total: f64 = vals.iter().map(|v| v.max(0.0)).sum();
+    if total <= 1e-300 {
+        0.0
+    } else {
+        vals[0].max(0.0) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::{gaussian_blobs, SynthSpec};
+
+    #[test]
+    fn names_and_length_consistent() {
+        assert_eq!(NAMES.len(), N_META_FEATURES);
+        let d = gaussian_blobs("b", 100, 4, 3, 1.0, 1);
+        let mf = extract(&d, &d.all_rows());
+        assert_eq!(mf.values.len(), N_META_FEATURES);
+        assert_eq!(mf.named().len(), N_META_FEATURES);
+    }
+
+    #[test]
+    fn simple_counts_correct() {
+        let d = gaussian_blobs("b", 120, 6, 4, 1.0, 2);
+        let mf = extract(&d, &d.all_rows());
+        assert_eq!(mf.get("n_instances"), Some(120.0));
+        assert_eq!(mf.get("n_features"), Some(6.0));
+        assert_eq!(mf.get("n_classes"), Some(4.0));
+        assert_eq!(mf.get("n_numeric_features"), Some(6.0));
+        assert_eq!(mf.get("n_categorical_features"), Some(0.0));
+        assert_eq!(mf.get("categorical_ratio"), Some(0.0));
+        assert!((mf.get("log_n_instances").unwrap() - 120f64.ln()).abs() < 1e-12);
+        assert!((mf.get("dimensionality").unwrap() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restricted_rows_change_counts() {
+        let d = gaussian_blobs("b", 100, 3, 2, 1.0, 3);
+        let mf = extract(&d, &[0, 1, 2, 3]);
+        assert_eq!(mf.get("n_instances"), Some(4.0));
+    }
+
+    #[test]
+    fn class_stats_for_balanced_data() {
+        let d = gaussian_blobs("b", 100, 3, 2, 1.0, 4);
+        let mf = extract(&d, &d.all_rows());
+        assert!((mf.get("class_entropy").unwrap() - 2f64.ln()).abs() < 1e-9);
+        assert!((mf.get("majority_class_fraction").unwrap() - 0.5).abs() < 1e-9);
+        assert!((mf.get("minority_class_fraction").unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalanced_data_has_lower_entropy() {
+        let spec = SynthSpec::ImbalancedMixture { n: 300, d: 4, k: 6, overlap: 1.0 };
+        let d = spec.generate("imb", 5);
+        let mf = extract(&d, &d.all_rows());
+        let max_entropy = 6f64.ln();
+        assert!(mf.get("class_entropy").unwrap() < max_entropy - 0.1);
+        assert!(mf.get("majority_class_fraction").unwrap() > 1.0 / 6.0 + 0.05);
+    }
+
+    #[test]
+    fn categorical_statistics() {
+        let spec = SynthSpec::CategoricalMixture { n: 200, d_cat: 3, d_num: 2, k: 2, cardinality: 4 };
+        let d = spec.generate("cat", 6);
+        let mf = extract(&d, &d.all_rows());
+        assert_eq!(mf.get("n_categorical_features"), Some(3.0));
+        assert!((mf.get("categorical_ratio").unwrap() - 0.6).abs() < 1e-12);
+        assert!(mf.get("categorical_cardinality_mean").unwrap() > 1.0);
+        assert!(mf.get("categorical_cardinality_max").unwrap() <= 4.0);
+    }
+
+    #[test]
+    fn missing_fraction_counts() {
+        use smartml_data::Feature;
+        let d = Dataset::new(
+            "m",
+            vec![Feature::Numeric { name: "x".into(), values: vec![1.0, f64::NAN, 3.0, f64::NAN] }],
+            vec![0, 0, 1, 1],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let mf = extract(&d, &d.all_rows());
+        assert!((mf.get("missing_fraction").unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_columns_raise_mean_abs_correlation() {
+        use smartml_data::Feature;
+        let base: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d_corr = Dataset::new(
+            "c",
+            vec![
+                Feature::Numeric { name: "a".into(), values: base.clone() },
+                Feature::Numeric { name: "b".into(), values: base.iter().map(|v| v * 2.0).collect() },
+            ],
+            vec![0; 100],
+            vec!["x".into()],
+        )
+        .unwrap();
+        let mf = extract(&d_corr, &d_corr.all_rows());
+        assert!((mf.get("mean_abs_correlation").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pca_fraction_in_unit_interval() {
+        let d = gaussian_blobs("b", 80, 5, 2, 1.5, 7);
+        let mf = extract(&d, &d.all_rows());
+        let f = mf.get("pca_first_component_fraction").unwrap();
+        assert!((0.0..=1.0 + 1e-9).contains(&f), "{f}");
+    }
+
+    #[test]
+    fn all_values_finite_across_generators() {
+        for (i, spec) in [
+            SynthSpec::Blobs { n: 60, d: 3, k: 2, spread: 1.0 },
+            SynthSpec::XorParity { n: 80, informative: 2, noise: 5, flip: 0.05 },
+            SynthSpec::SparseCounts { n: 60, d: 30, k: 3, doc_len: 20 },
+            SynthSpec::CategoricalMixture { n: 60, d_cat: 8, d_num: 0, k: 3, cardinality: 3 },
+            SynthSpec::TwoSpirals { n: 60, noise: 0.1 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let d = spec.generate(&format!("g{i}"), 11);
+            let mf = extract(&d, &d.all_rows());
+            assert!(
+                mf.values.iter().all(|v| v.is_finite()),
+                "non-finite meta-feature for generator {i}: {:?}",
+                mf.named()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = gaussian_blobs("b", 50, 3, 2, 1.0, 8);
+        let mf = extract(&d, &d.all_rows());
+        let json = serde_json::to_string(&mf).unwrap();
+        let back: MetaFeatures = serde_json::from_str(&json).unwrap();
+        // JSON float formatting may perturb the last ULP.
+        for (a, b) in back.values.iter().zip(&mf.values) {
+            assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Landmarker meta-features: accuracies of two extremely cheap models,
+//! evaluated by a 2-fold split of the training rows. Landmarkers capture
+//! *how learnable* a dataset is along two axes — axis-aligned separability
+//! (decision stump) and centroid separability (nearest centroid) — which the
+//! simple statistics of the canonical 25 can miss. Used by the
+//! extended-similarity ablation.
+
+use serde::{Deserialize, Serialize};
+use smartml_data::{accuracy, Dataset};
+use smartml_linalg::vecops;
+
+/// The two landmarker accuracies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Landmarkers {
+    /// Accuracy of the best single-feature threshold split.
+    pub decision_stump: f64,
+    /// Accuracy of nearest-class-centroid classification.
+    pub nearest_centroid: f64,
+}
+
+/// Computes the landmarkers on `rows` of `data` with a half/half split.
+pub fn landmarkers(data: &Dataset, rows: &[usize]) -> Landmarkers {
+    let mid = rows.len() / 2;
+    if mid == 0 || rows.len() - mid == 0 {
+        return Landmarkers { decision_stump: 0.0, nearest_centroid: 0.0 };
+    }
+    let (train, test) = rows.split_at(mid);
+    let (x_train, _) = data.to_numeric_matrix(train);
+    let (x_test, _) = data.to_numeric_matrix(test);
+    let y_train = data.labels_for(train);
+    let y_test = data.labels_for(test);
+    let k = data.n_classes();
+
+    // Decision stump: best (feature, threshold, left-class, right-class).
+    let stump_pred = fit_predict_stump(&x_train, &y_train, &x_test, k);
+    let decision_stump = accuracy(&y_test, &stump_pred);
+
+    // Nearest centroid.
+    let centroid_pred = fit_predict_centroid(&x_train, &y_train, &x_test, k);
+    let nearest_centroid = accuracy(&y_test, &centroid_pred);
+
+    Landmarkers { decision_stump, nearest_centroid }
+}
+
+fn fit_predict_stump(
+    x_train: &smartml_linalg::Matrix,
+    y_train: &[u32],
+    x_test: &smartml_linalg::Matrix,
+    n_classes: usize,
+) -> Vec<u32> {
+    let n = x_train.rows();
+    let d = x_train.cols();
+    let mut best = (0usize, 0.0f64, 0u32, 0u32, 0usize); // (feat, thr, left, right, correct)
+    for f in 0..d {
+        let mut vals: Vec<f64> = (0..n).map(|r| x_train[(r, f)]).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.dedup();
+        // Candidate thresholds: midpoints of up to 16 quantile cuts.
+        let step = (vals.len() / 16).max(1);
+        for w in vals.windows(2).step_by(step) {
+            let thr = 0.5 * (w[0] + w[1]);
+            let mut left_counts = vec![0usize; n_classes];
+            let mut right_counts = vec![0usize; n_classes];
+            for r in 0..n {
+                if x_train[(r, f)] <= thr {
+                    left_counts[y_train[r] as usize] += 1;
+                } else {
+                    right_counts[y_train[r] as usize] += 1;
+                }
+            }
+            let left = vecops::argmax(&left_counts.iter().map(|&c| c as f64).collect::<Vec<_>>())
+                .unwrap_or(0) as u32;
+            let right = vecops::argmax(&right_counts.iter().map(|&c| c as f64).collect::<Vec<_>>())
+                .unwrap_or(0) as u32;
+            let correct = left_counts[left as usize] + right_counts[right as usize];
+            if correct > best.4 {
+                best = (f, thr, left, right, correct);
+            }
+        }
+    }
+    (0..x_test.rows())
+        .map(|r| if x_test[(r, best.0)] <= best.1 { best.2 } else { best.3 })
+        .collect()
+}
+
+fn fit_predict_centroid(
+    x_train: &smartml_linalg::Matrix,
+    y_train: &[u32],
+    x_test: &smartml_linalg::Matrix,
+    n_classes: usize,
+) -> Vec<u32> {
+    let d = x_train.cols();
+    let mut centroids = vec![vec![0.0; d]; n_classes];
+    let mut counts = vec![0usize; n_classes];
+    for r in 0..x_train.rows() {
+        let c = y_train[r] as usize;
+        counts[c] += 1;
+        for (j, v) in centroids[c].iter_mut().enumerate() {
+            *v += x_train[(r, j)];
+        }
+    }
+    for (c, centroid) in centroids.iter_mut().enumerate() {
+        if counts[c] > 0 {
+            for v in centroid.iter_mut() {
+                *v /= counts[c] as f64;
+            }
+        }
+    }
+    (0..x_test.rows())
+        .map(|r| {
+            let row: Vec<f64> = (0..d).map(|j| x_test[(r, j)]).collect();
+            let mut best = (0u32, f64::INFINITY);
+            for (c, centroid) in centroids.iter().enumerate() {
+                if counts[c] == 0 {
+                    continue;
+                }
+                let dist = vecops::euclidean_distance(&row, centroid);
+                if dist < best.1 {
+                    best = (c as u32, dist);
+                }
+            }
+            best.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::{gaussian_blobs, two_spirals};
+
+    #[test]
+    fn separable_blobs_score_high() {
+        let d = gaussian_blobs("b", 200, 4, 2, 0.3, 1);
+        let lm = landmarkers(&d, &d.all_rows());
+        assert!(lm.nearest_centroid > 0.9, "centroid {}", lm.nearest_centroid);
+        assert!(lm.decision_stump > 0.7, "stump {}", lm.decision_stump);
+    }
+
+    #[test]
+    fn spirals_defeat_both_landmarkers() {
+        let d = two_spirals("s", 300, 0.05, 2);
+        let lm = landmarkers(&d, &d.all_rows());
+        // Spirals wrap around each other: both simple models stay weak.
+        assert!(lm.nearest_centroid < 0.75, "centroid {}", lm.nearest_centroid);
+        assert!(lm.decision_stump < 0.75, "stump {}", lm.decision_stump);
+    }
+
+    #[test]
+    fn degenerate_input_is_safe() {
+        let d = gaussian_blobs("b", 4, 2, 2, 0.5, 3);
+        let lm = landmarkers(&d, &[0]);
+        assert_eq!(lm.decision_stump, 0.0);
+        assert_eq!(lm.nearest_centroid, 0.0);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let d = gaussian_blobs("b", 100, 3, 3, 2.0, 4);
+        let lm = landmarkers(&d, &d.all_rows());
+        assert!((0.0..=1.0).contains(&lm.decision_stump));
+        assert!((0.0..=1.0).contains(&lm.nearest_centroid));
+    }
+}

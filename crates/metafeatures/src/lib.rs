@@ -1,0 +1,30 @@
+//! Meta-feature extraction — the knowledge-base key of SmartML.
+//!
+//! The paper: "a list of 25 meta-features are extracted from the training
+//! split describing the dataset characteristics. Examples of these features
+//! include number of instances, number of classes, skewness and kurtosis of
+//! numerical features, and symbols of categorical features." The paper lists
+//! examples rather than the full set; the 25 here follow the conventions of
+//! Reif et al. 2012 and auto-sklearn: simple counts and ratios, class
+//! distribution statistics, numeric moment aggregates, categorical symbol
+//! statistics, correlation and PCA structure.
+//!
+//! [`extract`] computes the canonical 25-vector; [`landmarkers`] adds two
+//! cheap landmarker accuracies (decision stump, nearest centroid) used by the
+//! extended-similarity ablation.
+
+//! ```
+//! use smartml_metafeatures::{extract, N_META_FEATURES};
+//! use smartml_data::synth::gaussian_blobs;
+//!
+//! let data = gaussian_blobs("demo", 150, 6, 3, 1.0, 5);
+//! let mf = extract(&data, &data.all_rows());
+//! assert_eq!(mf.values.len(), N_META_FEATURES);
+//! assert_eq!(mf.get("n_classes"), Some(3.0));
+//! ```
+
+mod extract;
+mod landmark;
+
+pub use extract::{extract, MetaFeatures, N_META_FEATURES, NAMES};
+pub use landmark::{landmarkers, Landmarkers};

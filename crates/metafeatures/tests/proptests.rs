@@ -1,0 +1,100 @@
+//! Property tests for meta-feature extraction: structural invariants that
+//! must hold for any dataset the generators can produce.
+
+use proptest::prelude::*;
+use smartml_metafeatures::{extract, landmarkers, N_META_FEATURES};
+use smartml_data::synth::SynthSpec;
+
+fn any_spec() -> impl Strategy<Value = (SynthSpec, u64)> {
+    let blobs = (40usize..120, 2usize..8, 2usize..5, 0.3f64..2.5)
+        .prop_map(|(n, d, k, spread)| SynthSpec::Blobs { n, d, k, spread });
+    let xor = (40usize..120, 1usize..3, 0usize..6, 0.0f64..0.2)
+        .prop_map(|(n, informative, noise, flip)| SynthSpec::XorParity {
+            n,
+            informative,
+            noise,
+            flip,
+        });
+    let cats = (40usize..120, 1usize..4, 0usize..3, 2usize..4, 2usize..5)
+        .prop_map(|(n, d_cat, d_num, k, cardinality)| SynthSpec::CategoricalMixture {
+            n,
+            d_cat,
+            d_num,
+            k,
+            cardinality,
+        });
+    (prop_oneof![blobs, xor, cats], 0u64..10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn always_25_finite_features((spec, seed) in any_spec()) {
+        let data = spec.generate("prop", seed);
+        let mf = extract(&data, &data.all_rows());
+        prop_assert_eq!(mf.values.len(), N_META_FEATURES);
+        prop_assert!(mf.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn count_features_match_dataset((spec, seed) in any_spec()) {
+        let data = spec.generate("prop", seed);
+        let mf = extract(&data, &data.all_rows());
+        prop_assert_eq!(mf.get("n_instances"), Some(data.n_rows() as f64));
+        prop_assert_eq!(mf.get("n_features"), Some(data.n_features() as f64));
+        prop_assert_eq!(mf.get("n_classes"), Some(data.n_classes() as f64));
+        let n_num = mf.get("n_numeric_features").unwrap();
+        let n_cat = mf.get("n_categorical_features").unwrap();
+        prop_assert_eq!(n_num + n_cat, data.n_features() as f64);
+    }
+
+    #[test]
+    fn bounded_features_stay_in_bounds((spec, seed) in any_spec()) {
+        let data = spec.generate("prop", seed);
+        let mf = extract(&data, &data.all_rows());
+        for name in [
+            "categorical_ratio",
+            "missing_fraction",
+            "majority_class_fraction",
+            "minority_class_fraction",
+            "mean_abs_correlation",
+            "pca_first_component_fraction",
+        ] {
+            let v = mf.get(name).unwrap();
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "{name} = {v}");
+        }
+        // Entropy bounded by ln(k); majority >= minority.
+        let h = mf.get("class_entropy").unwrap();
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (data.n_classes() as f64).ln() + 1e-9);
+        prop_assert!(
+            mf.get("majority_class_fraction").unwrap()
+                >= mf.get("minority_class_fraction").unwrap() - 1e-12
+        );
+    }
+
+    #[test]
+    fn subset_extraction_uses_only_given_rows((spec, seed) in any_spec()) {
+        let data = spec.generate("prop", seed);
+        let half: Vec<usize> = (0..data.n_rows() / 2).collect();
+        let mf = extract(&data, &half);
+        prop_assert_eq!(mf.get("n_instances"), Some(half.len() as f64));
+    }
+
+    #[test]
+    fn extraction_is_deterministic((spec, seed) in any_spec()) {
+        let data = spec.generate("prop", seed);
+        let a = extract(&data, &data.all_rows());
+        let b = extract(&data, &data.all_rows());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn landmarkers_are_probabilities((spec, seed) in any_spec()) {
+        let data = spec.generate("prop", seed);
+        let lm = landmarkers(&data, &data.all_rows());
+        prop_assert!((0.0..=1.0).contains(&lm.decision_stump));
+        prop_assert!((0.0..=1.0).contains(&lm.nearest_centroid));
+    }
+}

@@ -1,0 +1,151 @@
+//! Missing-value imputation: numeric → training mean, categorical →
+//! training mode. Runs first in every SmartML pipeline so downstream fitted
+//! transforms see complete data.
+
+use crate::transform::{numeric_train_column, FittedTransform, PreprocessError, Transform};
+use smartml_data::dataset::MISSING_CODE;
+use smartml_data::{Dataset, Feature};
+use smartml_linalg::vecops;
+
+/// Mean/mode imputation fitted on training rows.
+pub struct Impute;
+
+enum ColumnFill {
+    Numeric(f64),
+    Categorical(u32),
+}
+
+struct FittedImpute {
+    fills: Vec<ColumnFill>,
+}
+
+impl Transform for Impute {
+    fn name(&self) -> &'static str {
+        "impute"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let fills = data
+            .features()
+            .iter()
+            .map(|feat| match feat {
+                Feature::Numeric { values, .. } => {
+                    let col = numeric_train_column(values, rows);
+                    ColumnFill::Numeric(vecops::mean(&col))
+                }
+                Feature::Categorical { codes, levels, .. } => {
+                    let mut counts = vec![0usize; levels.len()];
+                    for &r in rows {
+                        let c = codes[r];
+                        if c != MISSING_CODE {
+                            counts[c as usize] += 1;
+                        }
+                    }
+                    let mode = counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &c)| c)
+                        .map_or(0, |(i, _)| i as u32);
+                    ColumnFill::Categorical(mode)
+                }
+            })
+            .collect();
+        Ok(Box::new(FittedImpute { fills }))
+    }
+}
+
+impl FittedTransform for FittedImpute {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        let features = data
+            .features()
+            .iter()
+            .zip(&self.fills)
+            .map(|(feat, fill)| match (feat, fill) {
+                (Feature::Numeric { name, values }, ColumnFill::Numeric(mean)) => {
+                    Feature::Numeric {
+                        name: name.clone(),
+                        values: values.iter().map(|&v| if v.is_nan() { *mean } else { v }).collect(),
+                    }
+                }
+                (Feature::Categorical { name, codes, levels }, ColumnFill::Categorical(mode)) => {
+                    Feature::Categorical {
+                        name: name.clone(),
+                        codes: codes
+                            .iter()
+                            .map(|&c| if c == MISSING_CODE { *mode } else { c })
+                            .collect(),
+                        levels: levels.clone(),
+                    }
+                }
+                // Column types can't change between fit and apply in this
+                // pipeline; reaching here is a bug.
+                _ => unreachable!("imputer fitted on a different schema"),
+            })
+            .collect();
+        data.with_features(features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "t",
+            vec![
+                Feature::Numeric { name: "x".into(), values: vec![1.0, f64::NAN, 3.0, 100.0] },
+                Feature::Categorical {
+                    name: "c".into(),
+                    codes: vec![0, 0, MISSING_CODE, 1],
+                    levels: vec!["a".into(), "b".into()],
+                },
+            ],
+            vec![0, 0, 1, 1],
+            vec!["n".into(), "p".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_mean_from_train_rows_only() {
+        let d = toy();
+        // Train on rows 0..3: mean of (1, 3) = 2 (NaN skipped; row 3 excluded).
+        let f = Impute.fit(&d, &[0, 1, 2]).unwrap();
+        let out = f.apply(&d);
+        match out.feature(0) {
+            Feature::Numeric { values, .. } => assert_eq!(values, &[1.0, 2.0, 3.0, 100.0]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn categorical_mode() {
+        let d = toy();
+        let f = Impute.fit(&d, &[0, 1, 2, 3]).unwrap();
+        let out = f.apply(&d);
+        match out.feature(1) {
+            Feature::Categorical { codes, .. } => assert_eq!(codes, &[0, 0, 0, 1]),
+            _ => panic!(),
+        }
+        assert_eq!(out.missing_cells(), 0);
+    }
+
+    #[test]
+    fn no_missing_is_identity() {
+        let d = toy();
+        let f = Impute.fit(&d, &[0, 3]).unwrap();
+        let out = f.apply(&d);
+        // Rows 0 and 3 had no missing values; they must be unchanged.
+        match out.feature(0) {
+            Feature::Numeric { values, .. } => {
+                assert_eq!(values[0], 1.0);
+                assert_eq!(values[3], 100.0);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Feature preprocessing for SmartML — the eight operations of paper
+//! Table 2 (`center`, `scale`, `range`, `zv`, `boxcox`, `yeojohnson`, `pca`,
+//! `ica`) plus the supporting steps the pipeline needs (missing-value
+//! imputation and feature selection).
+//!
+//! Every operation follows a strict fit/apply split: statistics (means,
+//! ranges, λ, projection bases, …) are estimated on the **training rows
+//! only** and then applied to the whole dataset, so validation data never
+//! leaks into fitted parameters. [`Pipeline`] composes steps in order.
+
+//! ```
+//! use smartml_preprocess::{fit_apply, Op};
+//! use smartml_data::synth::gaussian_blobs;
+//!
+//! let data = gaussian_blobs("demo", 100, 4, 2, 1.0, 7);
+//! let train_rows: Vec<usize> = (0..70).collect(); // fit on train only
+//! let out = fit_apply(&data, &train_rows, &[Op::Zv, Op::Center, Op::Scale]).unwrap();
+//! assert_eq!(out.n_rows(), data.n_rows());
+//! ```
+
+mod impute;
+mod moments;
+mod power;
+mod projection;
+mod select;
+mod transform;
+
+pub use impute::Impute;
+pub use moments::{Center, Range, Scale, ZeroVariance};
+pub use power::{BoxCox, YeoJohnson};
+pub use projection::{FastIca, Pca};
+pub use select::{MutualInfoSelect, VarianceThreshold};
+pub use transform::{FittedTransform, Pipeline, PreprocessError, Transform};
+
+use smartml_data::Dataset;
+
+/// The preprocessing operations of paper Table 2, by their paper names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Subtract the (training) mean from values.
+    Center,
+    /// Divide values by the (training) standard deviation.
+    Scale,
+    /// Normalise values to the `[0, 1]` range.
+    Range,
+    /// Remove attributes with zero variance.
+    Zv,
+    /// Box-Cox transform on strictly positive columns.
+    BoxCox,
+    /// Yeo-Johnson transform on all values.
+    YeoJohnson,
+    /// Project data onto its principal components.
+    Pca,
+    /// Project data onto independent components.
+    Ica,
+}
+
+impl Op {
+    /// All eight operations in Table 2 order.
+    pub const ALL: [Op; 8] =
+        [Op::Center, Op::Scale, Op::Range, Op::Zv, Op::BoxCox, Op::YeoJohnson, Op::Pca, Op::Ica];
+
+    /// The paper's name for the operation.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Op::Center => "center",
+            Op::Scale => "scale",
+            Op::Range => "range",
+            Op::Zv => "zv",
+            Op::BoxCox => "boxcox",
+            Op::YeoJohnson => "yeojohnson",
+            Op::Pca => "pca",
+            Op::Ica => "ica",
+        }
+    }
+
+    /// The paper's one-line description (Table 2).
+    pub fn description(self) -> &'static str {
+        match self {
+            Op::Center => "subtract mean from values",
+            Op::Scale => "divide values by standard deviation",
+            Op::Range => "values normalization",
+            Op::Zv => "remove attributes with zero variance",
+            Op::BoxCox => "apply box-cox transform to non-zero positive values",
+            Op::YeoJohnson => "apply Yeo-Johnson transform to all values",
+            Op::Pca => "transform data to the principal components",
+            Op::Ica => "transform data to their independent components",
+        }
+    }
+
+    /// Instantiates the operation with default parameters.
+    pub fn to_transform(self) -> Box<dyn Transform> {
+        match self {
+            Op::Center => Box::new(Center),
+            Op::Scale => Box::new(Scale),
+            Op::Range => Box::new(Range),
+            Op::Zv => Box::new(ZeroVariance),
+            Op::BoxCox => Box::new(BoxCox),
+            Op::YeoJohnson => Box::new(YeoJohnson),
+            Op::Pca => Box::new(Pca::default()),
+            Op::Ica => Box::new(FastIca::default()),
+        }
+    }
+
+    /// Parses a paper name (`"center"`, `"pca"`, …) back into an [`Op`].
+    pub fn parse(s: &str) -> Option<Op> {
+        Op::ALL.into_iter().find(|op| op.paper_name() == s)
+    }
+}
+
+/// Builds a pipeline from a list of paper-named operations, always prefixed
+/// with missing-value imputation (fitted transforms require complete data).
+pub fn pipeline_from_ops(ops: &[Op]) -> Pipeline {
+    let mut steps: Vec<Box<dyn Transform>> = vec![Box::new(Impute)];
+    steps.extend(ops.iter().map(|op| op.to_transform()));
+    Pipeline::new(steps)
+}
+
+/// Convenience: fit ops on `train_rows` of `data` and return the fully
+/// transformed dataset (same row order/count as the input).
+pub fn fit_apply(
+    data: &Dataset,
+    train_rows: &[usize],
+    ops: &[Op],
+) -> Result<Dataset, PreprocessError> {
+    let pipeline = pipeline_from_ops(ops);
+    let fitted = pipeline.fit(data, train_rows)?;
+    Ok(fitted.apply(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_roundtrip_names() {
+        for op in Op::ALL {
+            assert_eq!(Op::parse(op.paper_name()), Some(op));
+        }
+        assert_eq!(Op::parse("nope"), None);
+    }
+
+    #[test]
+    fn descriptions_match_table2() {
+        assert_eq!(Op::Center.description(), "subtract mean from values");
+        assert_eq!(Op::Zv.description(), "remove attributes with zero variance");
+        assert_eq!(Op::ALL.len(), 8);
+    }
+}

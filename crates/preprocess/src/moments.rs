@@ -1,0 +1,291 @@
+//! Moment-based transforms: `center`, `scale`, `range`, and `zv`
+//! (paper Table 2, rows 1–4).
+
+use crate::transform::{
+    map_numeric_columns, numeric_train_column, FittedTransform, PreprocessError, Transform,
+};
+use smartml_data::{Dataset, Feature};
+use smartml_linalg::vecops;
+
+/// `center` — subtract the training mean from every numeric value.
+pub struct Center;
+
+struct FittedCenter {
+    means: Vec<f64>,
+}
+
+impl Transform for Center {
+    fn name(&self) -> &'static str {
+        "center"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let means = numeric_column_stats(data, rows, vecops::mean);
+        Ok(Box::new(FittedCenter { means }))
+    }
+}
+
+impl FittedTransform for FittedCenter {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        map_numeric_columns(data, |i, v| v - self.means[i])
+    }
+}
+
+/// `scale` — divide every numeric value by the training standard deviation.
+/// Constant columns (σ = 0) pass through unchanged.
+pub struct Scale;
+
+struct FittedScale {
+    stds: Vec<f64>,
+}
+
+impl Transform for Scale {
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let stds = numeric_column_stats(data, rows, vecops::std_dev);
+        Ok(Box::new(FittedScale { stds }))
+    }
+}
+
+impl FittedTransform for FittedScale {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        map_numeric_columns(data, |i, v| {
+            let s = self.stds[i];
+            if s > 1e-300 {
+                v / s
+            } else {
+                v
+            }
+        })
+    }
+}
+
+/// `range` — min-max normalise numeric values to `[0, 1]` using training
+/// extremes. Constant columns map to 0. Validation rows outside the training
+/// range extrapolate linearly (standard caret behaviour).
+pub struct Range;
+
+struct FittedRange {
+    mins: Vec<f64>,
+    spans: Vec<f64>,
+}
+
+impl Transform for Range {
+    fn name(&self) -> &'static str {
+        "range"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let mins = numeric_column_stats(data, rows, vecops::min);
+        let maxs = numeric_column_stats(data, rows, vecops::max);
+        let spans = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+        Ok(Box::new(FittedRange { mins, spans }))
+    }
+}
+
+impl FittedTransform for FittedRange {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        map_numeric_columns(data, |i, v| {
+            let span = self.spans[i];
+            if span > 1e-300 && span.is_finite() {
+                (v - self.mins[i]) / span
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// `zv` — remove attributes with zero variance on the training rows.
+/// Numeric columns with σ = 0 and categorical columns where a single level
+/// covers all training rows are dropped.
+pub struct ZeroVariance;
+
+struct FittedZeroVariance {
+    /// Feature indices (into the input dataset) to keep, in order.
+    keep: Vec<usize>,
+}
+
+impl Transform for ZeroVariance {
+    fn name(&self) -> &'static str {
+        "zv"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let mut keep = Vec::with_capacity(data.n_features());
+        for (idx, feat) in data.features().iter().enumerate() {
+            let varies = match feat {
+                Feature::Numeric { values, .. } => {
+                    let col = numeric_train_column(values, rows);
+                    vecops::variance(&col) > 1e-300
+                }
+                Feature::Categorical { codes, .. } => {
+                    let mut seen: Option<u32> = None;
+                    let mut varies = false;
+                    for &r in rows {
+                        let c = codes[r];
+                        match seen {
+                            None => seen = Some(c),
+                            Some(prev) if prev != c => {
+                                varies = true;
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                    varies
+                }
+            };
+            if varies {
+                keep.push(idx);
+            }
+        }
+        Ok(Box::new(FittedZeroVariance { keep }))
+    }
+}
+
+impl FittedTransform for FittedZeroVariance {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        let features = self.keep.iter().map(|&i| data.feature(i).clone()).collect();
+        data.with_features(features)
+    }
+}
+
+/// Computes `stat` over the training rows of each numeric column, in
+/// numeric-column order (the order [`map_numeric_columns`] indexes with).
+fn numeric_column_stats(
+    data: &Dataset,
+    rows: &[usize],
+    stat: impl Fn(&[f64]) -> f64,
+) -> Vec<f64> {
+    data.features()
+        .iter()
+        .filter_map(|f| match f {
+            Feature::Numeric { values, .. } => Some(stat(&numeric_train_column(values, rows))),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(cols: Vec<Vec<f64>>) -> Dataset {
+        let n = cols[0].len();
+        let features = cols
+            .into_iter()
+            .enumerate()
+            .map(|(i, values)| Feature::Numeric { name: format!("f{i}"), values })
+            .collect();
+        Dataset::new("t", features, vec![0; n], vec!["a".into()]).unwrap()
+    }
+
+    fn col(d: &Dataset, i: usize) -> &[f64] {
+        match d.feature(i) {
+            Feature::Numeric { values, .. } => values,
+            _ => panic!("expected numeric"),
+        }
+    }
+
+    #[test]
+    fn center_zeroes_train_mean() {
+        let d = dataset(vec![vec![1.0, 2.0, 3.0, 100.0]]);
+        // Fit on first three rows only; mean = 2.
+        let f = Center.fit(&d, &[0, 1, 2]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(col(&out, 0), &[-1.0, 0.0, 1.0, 98.0]);
+    }
+
+    #[test]
+    fn scale_unit_variance() {
+        let d = dataset(vec![vec![0.0, 2.0, 4.0]]);
+        let f = Scale.fit(&d, &[0, 1, 2]).unwrap();
+        let out = f.apply(&d);
+        let s = vecops::std_dev(&[0.0, 2.0, 4.0]);
+        assert!((col(&out, 0)[2] - 4.0 / s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_constant_column_passthrough() {
+        let d = dataset(vec![vec![5.0, 5.0, 5.0]]);
+        let f = Scale.fit(&d, &[0, 1, 2]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(col(&out, 0), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn range_maps_to_unit_interval() {
+        let d = dataset(vec![vec![10.0, 20.0, 30.0]]);
+        let f = Range.fit(&d, &[0, 1, 2]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(col(&out, 0), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn range_extrapolates_outside_train() {
+        let d = dataset(vec![vec![10.0, 20.0, 40.0]]);
+        let f = Range.fit(&d, &[0, 1]).unwrap(); // train range [10, 20]
+        let out = f.apply(&d);
+        assert_eq!(col(&out, 0), &[0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn zv_drops_constant_numeric() {
+        let d = dataset(vec![vec![1.0, 2.0], vec![7.0, 7.0]]);
+        let f = ZeroVariance.fit(&d, &[0, 1]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(out.n_features(), 1);
+        assert_eq!(out.feature(0).name(), "f0");
+    }
+
+    #[test]
+    fn zv_drops_single_level_categorical() {
+        let d = Dataset::new(
+            "t",
+            vec![
+                Feature::Categorical {
+                    name: "const".into(),
+                    codes: vec![0, 0],
+                    levels: vec!["a".into(), "b".into()],
+                },
+                Feature::Categorical {
+                    name: "varies".into(),
+                    codes: vec![0, 1],
+                    levels: vec!["a".into(), "b".into()],
+                },
+            ],
+            vec![0, 1],
+            vec!["x".into(), "y".into()],
+        )
+        .unwrap();
+        let f = ZeroVariance.fit(&d, &[0, 1]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(out.n_features(), 1);
+        assert_eq!(out.feature(0).name(), "varies");
+    }
+
+    #[test]
+    fn zv_variance_judged_on_train_rows_only() {
+        // Column varies overall but is constant on the training rows.
+        let d = dataset(vec![vec![3.0, 3.0, 9.0]]);
+        let f = ZeroVariance.fit(&d, &[0, 1]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(out.n_features(), 0);
+    }
+}

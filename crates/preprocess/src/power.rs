@@ -1,0 +1,268 @@
+//! Power transforms: `boxcox` and `yeojohnson` (paper Table 2, rows 5–6).
+//!
+//! Both estimate the power parameter λ per column by maximising the profile
+//! log-likelihood of the transformed sample over a fixed grid — the same
+//! approach `caret::preProcess` uses, with λ ∈ [-2, 2].
+
+use crate::transform::{
+    map_numeric_columns, numeric_train_column, FittedTransform, PreprocessError, Transform,
+};
+use smartml_data::{Dataset, Feature};
+use smartml_linalg::vecops;
+
+/// Grid of candidate λ values, [-2, 2] in steps of 0.1.
+fn lambda_grid() -> impl Iterator<Item = f64> {
+    (-20..=20).map(|i| i as f64 / 10.0)
+}
+
+/// Box-Cox: `y = (x^λ - 1) / λ` (λ ≠ 0), `ln x` (λ = 0).
+/// Only defined for strictly positive values; columns containing any
+/// non-positive training value are left untransformed (λ recorded as `None`),
+/// matching the paper's "non-zero positive values" restriction.
+#[derive(Default)]
+pub struct BoxCox;
+
+struct FittedBoxCox {
+    /// Per numeric column: `Some(λ)` when applicable, `None` to pass through.
+    lambdas: Vec<Option<f64>>,
+}
+
+/// The Box-Cox transform for a single value; caller guarantees `x > 0`.
+pub(crate) fn boxcox_value(x: f64, lambda: f64) -> f64 {
+    if lambda.abs() < 1e-12 {
+        x.ln()
+    } else {
+        (x.powf(lambda) - 1.0) / lambda
+    }
+}
+
+/// Profile log-likelihood of Box-Cox at λ (up to constants):
+/// `-n/2 · ln σ̂²(y) + (λ-1) Σ ln x`.
+fn boxcox_loglik(xs: &[f64], lambda: f64) -> f64 {
+    let n = xs.len() as f64;
+    let transformed: Vec<f64> = xs.iter().map(|&x| boxcox_value(x, lambda)).collect();
+    let var = population_variance(&transformed);
+    if var <= 1e-300 {
+        return f64::NEG_INFINITY;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.ln()).sum();
+    -n / 2.0 * var.ln() + (lambda - 1.0) * log_sum
+}
+
+impl Transform for BoxCox {
+    fn name(&self) -> &'static str {
+        "boxcox"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let mut lambdas = Vec::new();
+        for feat in data.features() {
+            if let Feature::Numeric { values, .. } = feat {
+                let col = numeric_train_column(values, rows);
+                if col.len() < 3 || col.iter().any(|&x| x <= 0.0) {
+                    lambdas.push(None);
+                    continue;
+                }
+                let best = lambda_grid()
+                    .map(|l| (l, boxcox_loglik(&col, l)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .map(|(l, _)| l);
+                lambdas.push(best);
+            }
+        }
+        Ok(Box::new(FittedBoxCox { lambdas }))
+    }
+}
+
+impl FittedTransform for FittedBoxCox {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        map_numeric_columns(data, |i, v| match self.lambdas[i] {
+            // Non-positive values can still appear outside the training rows;
+            // leave them unchanged rather than producing NaN.
+            Some(l) if v > 0.0 => boxcox_value(v, l),
+            _ => v,
+        })
+    }
+}
+
+/// Yeo-Johnson: a Box-Cox extension defined on all reals.
+#[derive(Default)]
+pub struct YeoJohnson;
+
+struct FittedYeoJohnson {
+    lambdas: Vec<f64>,
+}
+
+/// The Yeo-Johnson transform for a single value.
+pub(crate) fn yeojohnson_value(x: f64, lambda: f64) -> f64 {
+    if x >= 0.0 {
+        if lambda.abs() < 1e-12 {
+            (x + 1.0).ln()
+        } else {
+            ((x + 1.0).powf(lambda) - 1.0) / lambda
+        }
+    } else if (lambda - 2.0).abs() < 1e-12 {
+        -(-x + 1.0).ln()
+    } else {
+        -((-x + 1.0).powf(2.0 - lambda) - 1.0) / (2.0 - lambda)
+    }
+}
+
+/// Profile log-likelihood of Yeo-Johnson at λ (up to constants).
+fn yeojohnson_loglik(xs: &[f64], lambda: f64) -> f64 {
+    let n = xs.len() as f64;
+    let transformed: Vec<f64> = xs.iter().map(|&x| yeojohnson_value(x, lambda)).collect();
+    let var = population_variance(&transformed);
+    if var <= 1e-300 {
+        return f64::NEG_INFINITY;
+    }
+    let log_jacobian: f64 = xs.iter().map(|&x| x.signum() * (x.abs() + 1.0).ln()).sum();
+    -n / 2.0 * var.ln() + (lambda - 1.0) * log_jacobian
+}
+
+impl Transform for YeoJohnson {
+    fn name(&self) -> &'static str {
+        "yeojohnson"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let mut lambdas = Vec::new();
+        for feat in data.features() {
+            if let Feature::Numeric { values, .. } = feat {
+                let col = numeric_train_column(values, rows);
+                if col.len() < 3 || vecops::variance(&col) <= 1e-300 {
+                    lambdas.push(1.0); // identity-ish λ
+                    continue;
+                }
+                let best = lambda_grid()
+                    .map(|l| (l, yeojohnson_loglik(&col, l)))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .map(|(l, _)| l)
+                    .unwrap_or(1.0);
+                lambdas.push(best);
+            }
+        }
+        Ok(Box::new(FittedYeoJohnson { lambdas }))
+    }
+}
+
+impl FittedTransform for FittedYeoJohnson {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        map_numeric_columns(data, |i, v| yeojohnson_value(v, self.lambdas[i]))
+    }
+}
+
+fn population_variance(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    if n < 1.0 {
+        return 0.0;
+    }
+    let m = vecops::mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(values: Vec<f64>) -> Dataset {
+        let n = values.len();
+        Dataset::new(
+            "t",
+            vec![Feature::Numeric { name: "x".into(), values }],
+            vec![0; n],
+            vec!["a".into()],
+        )
+        .unwrap()
+    }
+
+    fn col(d: &Dataset) -> &[f64] {
+        match d.feature(0) {
+            Feature::Numeric { values, .. } => values,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn boxcox_value_lambda_zero_is_log() {
+        assert!((boxcox_value(std::f64::consts::E, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxcox_value_lambda_one_is_shift() {
+        assert!((boxcox_value(5.0, 1.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boxcox_reduces_skewness_of_lognormal() {
+        // Log-normal-ish sample: exp of a symmetric sample is right-skewed.
+        let xs: Vec<f64> = (0..200).map(|i| ((i as f64 / 40.0) - 2.5).exp()).collect();
+        let before = vecops::skewness(&xs);
+        let d = dataset(xs);
+        let rows: Vec<usize> = (0..200).collect();
+        let f = BoxCox.fit(&d, &rows).unwrap();
+        let out = f.apply(&d);
+        let after = vecops::skewness(col(&out));
+        assert!(after.abs() < before.abs(), "skew before {before}, after {after}");
+    }
+
+    #[test]
+    fn boxcox_skips_nonpositive_column() {
+        let d = dataset(vec![-1.0, 2.0, 3.0]);
+        let f = BoxCox.fit(&d, &[0, 1, 2]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(col(&out), &[-1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn yeojohnson_handles_negatives() {
+        let d = dataset(vec![-5.0, -1.0, 0.0, 1.0, 5.0]);
+        let f = YeoJohnson.fit(&d, &[0, 1, 2, 3, 4]).unwrap();
+        let out = f.apply(&d);
+        assert!(col(&out).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn yeojohnson_is_monotone() {
+        for lambda in [-2.0, -0.5, 0.0, 0.5, 1.0, 2.0] {
+            let pts: Vec<f64> = (-10..=10).map(|i| i as f64 / 2.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|&x| yeojohnson_value(x, lambda)).collect();
+            for w in ys.windows(2) {
+                assert!(w[1] > w[0], "not monotone at λ={lambda}: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn yeojohnson_lambda_one_near_identity() {
+        // λ = 1: y = x for x >= 0 and y = x for x < 0.
+        assert!((yeojohnson_value(3.0, 1.0) - 3.0).abs() < 1e-12);
+        assert!((yeojohnson_value(-3.0, 1.0) + 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yeojohnson_reduces_skewness() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i as f64 / 40.0) - 2.5).exp() - 0.5).collect();
+        let before = vecops::skewness(&xs);
+        let d = dataset(xs);
+        let rows: Vec<usize> = (0..200).collect();
+        let f = YeoJohnson.fit(&d, &rows).unwrap();
+        let out = f.apply(&d);
+        let after = vecops::skewness(col(&out));
+        assert!(after.abs() < before.abs(), "skew before {before}, after {after}");
+    }
+
+    #[test]
+    fn constant_column_gets_identity_lambda() {
+        let d = dataset(vec![2.0, 2.0, 2.0, 2.0]);
+        let f = YeoJohnson.fit(&d, &[0, 1, 2, 3]).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(col(&out), &[2.0, 2.0, 2.0, 2.0]);
+    }
+}

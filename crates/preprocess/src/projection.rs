@@ -1,0 +1,471 @@
+//! Projection transforms: `pca` and `ica` (paper Table 2, rows 7–8).
+//!
+//! Both operate on the numeric columns only: the fitted projection replaces
+//! all numeric columns with component columns (`PC1..`, `IC1..`) and keeps
+//! categorical columns unchanged.
+
+use crate::transform::{FittedTransform, PreprocessError, Transform};
+use smartml_data::{Dataset, Feature};
+use smartml_linalg::{covariance_matrix, eigh, Matrix};
+
+/// `pca` — principal component analysis via the covariance eigenproblem.
+pub struct Pca {
+    /// Keep the smallest number of components explaining at least this
+    /// fraction of total variance (capped by `max_components`).
+    pub variance_to_keep: f64,
+    /// Hard cap on the number of components (0 = no cap).
+    pub max_components: usize,
+}
+
+impl Default for Pca {
+    fn default() -> Self {
+        Pca { variance_to_keep: 0.95, max_components: 0 }
+    }
+}
+
+struct FittedPca {
+    means: Vec<f64>,
+    /// `d x k` projection: columns are the kept eigenvectors.
+    components: Matrix,
+}
+
+impl Transform for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let (x, means) = numeric_train_matrix(data, rows, "pca")?;
+        if x.rows() < 2 {
+            return Err(PreprocessError::TooFewRows { step: "pca", needed: 2, got: x.rows() });
+        }
+        let cov = covariance_matrix(&x);
+        let (vals, vecs) = eigh(&cov);
+        let total: f64 = vals.iter().map(|v| v.max(0.0)).sum();
+        let mut k = 0usize;
+        if total > 1e-300 {
+            let mut acc = 0.0;
+            for &v in &vals {
+                acc += v.max(0.0);
+                k += 1;
+                if acc / total >= self.variance_to_keep {
+                    break;
+                }
+            }
+        } else {
+            k = 1; // degenerate data: keep a single (arbitrary) direction
+        }
+        if self.max_components > 0 {
+            k = k.min(self.max_components);
+        }
+        k = k.max(1);
+        let d = cov.rows();
+        let mut components = Matrix::zeros(d, k);
+        for c in 0..k {
+            for r in 0..d {
+                components[(r, c)] = vecs[(r, c)];
+            }
+        }
+        Ok(Box::new(FittedPca { means, components }))
+    }
+}
+
+impl FittedTransform for FittedPca {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        project(data, &self.means, &self.components, "PC")
+    }
+}
+
+/// `ica` — FastICA with the tanh contrast function and symmetric
+/// decorrelation, after PCA whitening.
+pub struct FastIca {
+    /// Number of independent components (0 = as many as whitened dims, ≤ 10).
+    pub n_components: usize,
+    /// Maximum fixed-point iterations.
+    pub max_iter: usize,
+}
+
+impl Default for FastIca {
+    fn default() -> Self {
+        FastIca { n_components: 0, max_iter: 200 }
+    }
+}
+
+struct FittedIca {
+    means: Vec<f64>,
+    /// Combined whitening + unmixing projection, `d x k`.
+    projection: Matrix,
+}
+
+impl Transform for FastIca {
+    fn name(&self) -> &'static str {
+        "ica"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let (x, means) = numeric_train_matrix(data, rows, "ica")?;
+        let n = x.rows();
+        if n < 3 {
+            return Err(PreprocessError::TooFewRows { step: "ica", needed: 3, got: n });
+        }
+        // Whiten: keep eigendirections with non-negligible variance.
+        let cov = covariance_matrix(&x);
+        let (vals, vecs) = eigh(&cov);
+        let d = cov.rows();
+        let usable: usize = vals.iter().filter(|&&v| v > 1e-10).count();
+        if usable == 0 {
+            return Err(PreprocessError::Numerical {
+                step: "ica",
+                detail: "all numeric columns are constant".into(),
+            });
+        }
+        let mut k = if self.n_components == 0 { usable.min(10) } else { self.n_components };
+        k = k.min(usable).max(1);
+        // Whitening matrix W_white: d x k, columns = v_i / sqrt(λ_i).
+        let mut white = Matrix::zeros(d, k);
+        for c in 0..k {
+            let scale = 1.0 / vals[c].sqrt();
+            for r in 0..d {
+                white[(r, c)] = vecs[(r, c)] * scale;
+            }
+        }
+        // Centered data, whitened: z = (x - mean) * white, n x k.
+        let centered = center(&x, &means);
+        let z = centered.matmul(&white);
+        // FastICA fixed-point with symmetric decorrelation.
+        let mut w = deterministic_orthogonal_init(k);
+        for _ in 0..self.max_iter {
+            let prev = w.clone();
+            // For each component i: w_i <- E[z g(w_i·z)] - E[g'(w_i·z)] w_i.
+            let mut new_w = Matrix::zeros(k, k);
+            for i in 0..k {
+                let wi: Vec<f64> = (0..k).map(|j| w[(i, j)]).collect();
+                let mut ezg = vec![0.0; k];
+                let mut eg_prime = 0.0;
+                for r in 0..z.rows() {
+                    let zr = z.row(r);
+                    let s: f64 = zr.iter().zip(&wi).map(|(a, b)| a * b).sum();
+                    let g = s.tanh();
+                    let g_prime = 1.0 - g * g;
+                    eg_prime += g_prime;
+                    for (e, &zv) in ezg.iter_mut().zip(zr) {
+                        *e += zv * g;
+                    }
+                }
+                let nf = z.rows() as f64;
+                for j in 0..k {
+                    new_w[(i, j)] = ezg[j] / nf - eg_prime / nf * wi[j];
+                }
+            }
+            w = symmetric_decorrelate(&new_w);
+            // Convergence: every |<w_i, w_i_prev>| near 1.
+            let mut converged = true;
+            for i in 0..k {
+                let dot: f64 = (0..k).map(|j| w[(i, j)] * prev[(i, j)]).sum();
+                if (dot.abs() - 1.0).abs() > 1e-6 {
+                    converged = false;
+                    break;
+                }
+            }
+            if converged {
+                break;
+            }
+        }
+        // Full projection: centered_x * white * wᵀ  →  d x k overall.
+        let projection = white.matmul(&w.transpose());
+        Ok(Box::new(FittedIca { means, projection }))
+    }
+}
+
+impl FittedTransform for FittedIca {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        project(data, &self.means, &self.projection, "IC")
+    }
+}
+
+/// Symmetric decorrelation: `W <- (W Wᵀ)^{-1/2} W`.
+fn symmetric_decorrelate(w: &Matrix) -> Matrix {
+    let wwt = w.matmul(&w.transpose());
+    let (vals, vecs) = eigh(&wwt);
+    let k = wwt.rows();
+    let mut inv_sqrt = Matrix::zeros(k, k);
+    for i in 0..k {
+        let v = vals[i].max(1e-12);
+        inv_sqrt[(i, i)] = 1.0 / v.sqrt();
+    }
+    vecs.matmul(&inv_sqrt).matmul(&vecs.transpose()).matmul(w)
+}
+
+/// Deterministic full-rank starting matrix (seedless reproducibility):
+/// identity plus small off-diagonal ripple, then decorrelated.
+fn deterministic_orthogonal_init(k: usize) -> Matrix {
+    let mut m = Matrix::identity(k);
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                m[(i, j)] = 0.1 * ((i * 31 + j * 17) % 7) as f64 / 7.0;
+            }
+        }
+    }
+    symmetric_decorrelate(&m)
+}
+
+/// Gathers numeric columns over training rows into a matrix; NaNs replaced by
+/// train means (imputation is expected to have run first; this is a safety net).
+fn numeric_train_matrix(
+    data: &Dataset,
+    rows: &[usize],
+    step: &'static str,
+) -> Result<(Matrix, Vec<f64>), PreprocessError> {
+    let numeric_cols: Vec<&Vec<f64>> = data
+        .features()
+        .iter()
+        .filter_map(|f| match f {
+            Feature::Numeric { values, .. } => Some(values),
+            _ => None,
+        })
+        .collect();
+    if numeric_cols.is_empty() {
+        return Err(PreprocessError::NoNumericColumns { step });
+    }
+    let d = numeric_cols.len();
+    let mut means = vec![0.0; d];
+    let mut m = Matrix::zeros(rows.len(), d);
+    for (c, colv) in numeric_cols.iter().enumerate() {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for &r in rows {
+            if !colv[r].is_nan() {
+                sum += colv[r];
+                count += 1;
+            }
+        }
+        let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+        means[c] = mean;
+        for (i, &r) in rows.iter().enumerate() {
+            m[(i, c)] = if colv[r].is_nan() { mean } else { colv[r] };
+        }
+    }
+    Ok((m, means))
+}
+
+fn center(x: &Matrix, means: &[f64]) -> Matrix {
+    let mut out = x.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        for (v, &m) in row.iter_mut().zip(means) {
+            *v -= m;
+        }
+    }
+    out
+}
+
+/// Applies a fitted projection to every row, producing `prefix{1..k}` numeric
+/// columns and passing categorical columns through.
+fn project(data: &Dataset, means: &[f64], projection: &Matrix, prefix: &str) -> Dataset {
+    let n = data.n_rows();
+    let k = projection.cols();
+    // Gather all numeric values row-wise (NaN → fitted mean).
+    let numeric_cols: Vec<&Vec<f64>> = data
+        .features()
+        .iter()
+        .filter_map(|f| match f {
+            Feature::Numeric { values, .. } => Some(values),
+            _ => None,
+        })
+        .collect();
+    let mut out_cols = vec![vec![0.0; n]; k];
+    let mut row_buf = vec![0.0; numeric_cols.len()];
+    for r in 0..n {
+        for (c, colv) in numeric_cols.iter().enumerate() {
+            let v = colv[r];
+            row_buf[c] = if v.is_nan() { means[c] } else { v } - means[c];
+        }
+        for (c, out) in out_cols.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for (j, &rv) in row_buf.iter().enumerate() {
+                s += rv * projection[(j, c)];
+            }
+            out[r] = s;
+        }
+    }
+    let mut features: Vec<Feature> = out_cols
+        .into_iter()
+        .enumerate()
+        .map(|(i, values)| Feature::Numeric { name: format!("{prefix}{}", i + 1), values })
+        .collect();
+    for f in data.features() {
+        if let Feature::Categorical { .. } = f {
+            features.push(f.clone());
+        }
+    }
+    data.with_features(features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_linalg::vecops;
+
+    /// 2-D data stretched along the (1,1) diagonal.
+    fn diagonal_data(n: usize) -> Dataset {
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = (i as f64 / n as f64 - 0.5) * 10.0;
+            let jitter = ((i * 37) % 11) as f64 / 11.0 - 0.5;
+            x.push(t + jitter * 0.3);
+            y.push(t - jitter * 0.3);
+        }
+        Dataset::new(
+            "diag",
+            vec![
+                Feature::Numeric { name: "x".into(), values: x },
+                Feature::Numeric { name: "y".into(), values: y },
+            ],
+            vec![0; n],
+            vec!["a".into()],
+        )
+        .unwrap()
+    }
+
+    fn col(d: &Dataset, i: usize) -> &[f64] {
+        match d.feature(i) {
+            Feature::Numeric { values, .. } => values,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pca_keeps_dominant_direction() {
+        let d = diagonal_data(100);
+        let rows = d.all_rows();
+        let f = Pca::default().fit(&d, &rows).unwrap();
+        let out = f.apply(&d);
+        // 95% variance of a strongly diagonal cloud is one component.
+        assert_eq!(out.n_features(), 1);
+        assert_eq!(out.feature(0).name(), "PC1");
+        // The component variance should be close to the total input variance.
+        let pc1_var = vecops::variance(col(&out, 0));
+        let in_var = vecops::variance(col(&d, 0)) + vecops::variance(col(&d, 1));
+        assert!(pc1_var > 0.9 * in_var, "pc1 {pc1_var} vs total {in_var}");
+    }
+
+    #[test]
+    fn pca_components_are_centered() {
+        let d = diagonal_data(60);
+        let rows = d.all_rows();
+        let f = Pca::default().fit(&d, &rows).unwrap();
+        let out = f.apply(&d);
+        assert!(vecops::mean(col(&out, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pca_max_components_cap() {
+        let d = diagonal_data(50);
+        let rows = d.all_rows();
+        let f = Pca { variance_to_keep: 1.0, max_components: 1 }.fit(&d, &rows).unwrap();
+        let out = f.apply(&d);
+        assert_eq!(out.n_features(), 1);
+    }
+
+    #[test]
+    fn pca_rejects_all_categorical() {
+        let d = Dataset::new(
+            "c",
+            vec![Feature::Categorical {
+                name: "c".into(),
+                codes: vec![0, 1],
+                levels: vec!["a".into(), "b".into()],
+            }],
+            vec![0, 1],
+            vec!["x".into(), "y".into()],
+        )
+        .unwrap();
+        assert!(matches!(
+            Pca::default().fit(&d, &[0, 1]),
+            Err(PreprocessError::NoNumericColumns { .. })
+        ));
+    }
+
+    #[test]
+    fn pca_keeps_categorical_columns() {
+        let mut d = diagonal_data(40);
+        let mut features: Vec<Feature> = d.features().to_vec();
+        features.push(Feature::Categorical {
+            name: "cat".into(),
+            codes: (0..40).map(|i| (i % 2) as u32).collect(),
+            levels: vec!["a".into(), "b".into()],
+        });
+        d = d.with_features(features);
+        let rows = d.all_rows();
+        let out = Pca::default().fit(&d, &rows).unwrap().apply(&d);
+        assert!(out.features().iter().any(|f| f.name() == "cat"));
+    }
+
+    /// Two independent uniform sources mixed linearly: ICA components should
+    /// be much less Gaussian (higher |kurtosis|) than the mixed inputs.
+    #[test]
+    fn ica_unmixes_uniform_sources() {
+        let n = 400;
+        let mut s1 = Vec::with_capacity(n);
+        let mut s2 = Vec::with_capacity(n);
+        for i in 0..n {
+            // Deterministic pseudo-uniform sources.
+            s1.push(((i * 7919) % 1000) as f64 / 1000.0 - 0.5);
+            s2.push(((i * 104729) % 1000) as f64 / 1000.0 - 0.5);
+        }
+        let x: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| a + 0.5 * b).collect();
+        let y: Vec<f64> = s1.iter().zip(&s2).map(|(a, b)| 0.3 * a - b).collect();
+        let d = Dataset::new(
+            "mix",
+            vec![
+                Feature::Numeric { name: "x".into(), values: x },
+                Feature::Numeric { name: "y".into(), values: y },
+            ],
+            vec![0; n],
+            vec!["a".into()],
+        )
+        .unwrap();
+        let rows = d.all_rows();
+        let out = FastIca::default().fit(&d, &rows).unwrap().apply(&d);
+        assert_eq!(out.n_features(), 2);
+        assert!(out.feature(0).name().starts_with("IC"));
+        // Unmixed uniform sources have kurtosis near -1.2; check both
+        // components are clearly sub-Gaussian.
+        for i in 0..2 {
+            let kurt = vecops::kurtosis(col(&out, i));
+            assert!(kurt < -0.6, "component {i} kurtosis {kurt} not sub-Gaussian");
+        }
+    }
+
+    #[test]
+    fn ica_components_unit_variance() {
+        let d = diagonal_data(100);
+        let rows = d.all_rows();
+        let out = FastIca::default().fit(&d, &rows).unwrap().apply(&d);
+        for i in 0..out.n_features() {
+            let v = vecops::variance(col(&out, i));
+            assert!((v - 1.0).abs() < 0.2, "component {i} variance {v}");
+        }
+    }
+
+    #[test]
+    fn ica_rejects_constant_data() {
+        let d = Dataset::new(
+            "k",
+            vec![Feature::Numeric { name: "x".into(), values: vec![1.0; 10] }],
+            vec![0; 10],
+            vec!["a".into()],
+        )
+        .unwrap();
+        let rows = d.all_rows();
+        assert!(FastIca::default().fit(&d, &rows).is_err());
+    }
+}

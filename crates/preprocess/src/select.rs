@@ -1,0 +1,276 @@
+//! Feature selection — SmartML's input-definition phase lets the user
+//! request feature selection before modelling. Two selectors are provided:
+//! a variance floor and supervised mutual-information top-k.
+
+use crate::transform::{numeric_train_column, FittedTransform, PreprocessError, Transform};
+use smartml_data::dataset::MISSING_CODE;
+use smartml_data::{Dataset, Feature};
+use smartml_linalg::vecops;
+
+/// Keep features whose training variance exceeds a threshold (numeric) or
+/// that take more than one level (categorical).
+pub struct VarianceThreshold {
+    /// Minimum variance a numeric column must exceed to be kept.
+    pub threshold: f64,
+}
+
+impl Default for VarianceThreshold {
+    fn default() -> Self {
+        VarianceThreshold { threshold: 1e-8 }
+    }
+}
+
+struct FittedKeep {
+    keep: Vec<usize>,
+}
+
+impl Transform for VarianceThreshold {
+    fn name(&self) -> &'static str {
+        "variance-threshold"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        let mut keep = Vec::new();
+        for (idx, feat) in data.features().iter().enumerate() {
+            let keep_it = match feat {
+                Feature::Numeric { values, .. } => {
+                    vecops::variance(&numeric_train_column(values, rows)) > self.threshold
+                }
+                Feature::Categorical { codes, .. } => {
+                    let mut first = None;
+                    rows.iter().any(|&r| {
+                        let c = codes[r];
+                        if c == MISSING_CODE {
+                            return false;
+                        }
+                        match first {
+                            None => {
+                                first = Some(c);
+                                false
+                            }
+                            Some(f) => f != c,
+                        }
+                    })
+                }
+            };
+            if keep_it {
+                keep.push(idx);
+            }
+        }
+        Ok(Box::new(FittedKeep { keep }))
+    }
+}
+
+impl FittedTransform for FittedKeep {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        let features = self.keep.iter().map(|&i| data.feature(i).clone()).collect();
+        data.with_features(features)
+    }
+}
+
+/// Keep the `k` features with the highest mutual information with the label,
+/// estimated on training rows (numeric features discretised into
+/// equal-frequency bins).
+pub struct MutualInfoSelect {
+    /// Number of features to keep.
+    pub k: usize,
+    /// Bin count for numeric discretisation.
+    pub bins: usize,
+}
+
+impl MutualInfoSelect {
+    /// Selector keeping the top `k` features with default binning.
+    pub fn new(k: usize) -> Self {
+        MutualInfoSelect { k, bins: 10 }
+    }
+}
+
+impl Transform for MutualInfoSelect {
+    fn name(&self) -> &'static str {
+        "mutual-info-select"
+    }
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+        if rows.len() < 2 {
+            return Err(PreprocessError::TooFewRows {
+                step: "mutual-info-select",
+                needed: 2,
+                got: rows.len(),
+            });
+        }
+        let labels: Vec<u32> = rows.iter().map(|&r| data.label(r)).collect();
+        let mut scored: Vec<(usize, f64)> = data
+            .features()
+            .iter()
+            .enumerate()
+            .map(|(idx, feat)| {
+                let bins = discretise(feat, rows, self.bins);
+                (idx, mutual_information(&bins, &labels, data.n_classes()))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let mut keep: Vec<usize> = scored.iter().take(self.k.max(1)).map(|&(i, _)| i).collect();
+        keep.sort_unstable();
+        Ok(Box::new(FittedKeep { keep }))
+    }
+}
+
+/// Discretises a feature over `rows` into small integer bin ids.
+fn discretise(feat: &Feature, rows: &[usize], bins: usize) -> Vec<usize> {
+    match feat {
+        Feature::Categorical { codes, levels, .. } => rows
+            .iter()
+            .map(|&r| {
+                let c = codes[r];
+                if c == MISSING_CODE {
+                    levels.len() // dedicated missing bin
+                } else {
+                    c as usize
+                }
+            })
+            .collect(),
+        Feature::Numeric { values, .. } => {
+            // Equal-frequency binning by rank.
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            order.sort_by(|&a, &b| {
+                let va = values[rows[a]];
+                let vb = values[rows[b]];
+                va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut out = vec![0usize; rows.len()];
+            let per_bin = rows.len().div_ceil(bins);
+            for (rank, &pos) in order.iter().enumerate() {
+                out[pos] = rank / per_bin.max(1);
+            }
+            out
+        }
+    }
+}
+
+/// Empirical mutual information (nats) between a discretised feature and the
+/// class labels.
+fn mutual_information(bins: &[usize], labels: &[u32], n_classes: usize) -> f64 {
+    debug_assert_eq!(bins.len(), labels.len());
+    let n = bins.len() as f64;
+    let n_bins = bins.iter().copied().max().map_or(0, |m| m + 1);
+    let mut joint = vec![vec![0usize; n_classes]; n_bins];
+    let mut bin_counts = vec![0usize; n_bins];
+    let mut class_counts = vec![0usize; n_classes];
+    for (&b, &l) in bins.iter().zip(labels) {
+        joint[b][l as usize] += 1;
+        bin_counts[b] += 1;
+        class_counts[l as usize] += 1;
+    }
+    let mut mi = 0.0;
+    for (b, row) in joint.iter().enumerate() {
+        for (c, &cnt) in row.iter().enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            let p_joint = cnt as f64 / n;
+            let p_b = bin_counts[b] as f64 / n;
+            let p_c = class_counts[c] as f64 / n;
+            mi += p_joint * (p_joint / (p_b * p_c)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One informative numeric column, one noise column, one constant column.
+    fn toy() -> Dataset {
+        let n = 100;
+        let labels: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let informative: Vec<f64> = labels.iter().map(|&l| l as f64 * 5.0 + ((l as f64 + 1.0) * 0.01)).collect();
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 37) % 17) as f64).collect();
+        Dataset::new(
+            "t",
+            vec![
+                Feature::Numeric { name: "informative".into(), values: informative },
+                Feature::Numeric { name: "noise".into(), values: noise },
+                Feature::Numeric { name: "constant".into(), values: vec![1.0; n] },
+            ],
+            labels,
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn variance_threshold_drops_constant() {
+        let d = toy();
+        let rows = d.all_rows();
+        let out = VarianceThreshold::default().fit(&d, &rows).unwrap().apply(&d);
+        assert_eq!(out.n_features(), 2);
+        assert!(out.features().iter().all(|f| f.name() != "constant"));
+    }
+
+    #[test]
+    fn mutual_info_picks_informative_first() {
+        let d = toy();
+        let rows = d.all_rows();
+        let out = MutualInfoSelect::new(1).fit(&d, &rows).unwrap().apply(&d);
+        assert_eq!(out.n_features(), 1);
+        assert_eq!(out.feature(0).name(), "informative");
+    }
+
+    #[test]
+    fn mutual_info_k_larger_than_features_keeps_all() {
+        let d = toy();
+        let rows = d.all_rows();
+        let out = MutualInfoSelect::new(10).fit(&d, &rows).unwrap().apply(&d);
+        assert_eq!(out.n_features(), 3);
+    }
+
+    #[test]
+    fn mutual_info_handles_categorical() {
+        let n = 60;
+        let labels: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let d = Dataset::new(
+            "t",
+            vec![
+                Feature::Categorical {
+                    name: "aligned".into(),
+                    codes: labels.clone(),
+                    levels: vec!["x".into(), "y".into()],
+                },
+                Feature::Categorical {
+                    name: "random".into(),
+                    codes: (0..n).map(|i| ((i * 7) % 2) as u32).collect(),
+                    levels: vec!["x".into(), "y".into()],
+                },
+            ],
+            labels,
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let rows = d.all_rows();
+        let out = MutualInfoSelect::new(1).fit(&d, &rows).unwrap().apply(&d);
+        assert_eq!(out.feature(0).name(), "aligned");
+    }
+
+    #[test]
+    fn mi_of_perfectly_aligned_is_ln2() {
+        let bins: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        let labels: Vec<u32> = bins.iter().map(|&b| b as u32).collect();
+        let mi = mutual_information(&bins, &labels, 2);
+        assert!((mi - 2f64.ln()).abs() < 1e-9, "mi {mi}");
+    }
+
+    #[test]
+    fn mi_of_independent_is_near_zero() {
+        let bins: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let labels: Vec<u32> = (0..100).map(|i| ((i / 2) % 2) as u32).collect();
+        let mi = mutual_information(&bins, &labels, 2);
+        assert!(mi < 0.01, "mi {mi}");
+    }
+}

@@ -1,0 +1,220 @@
+//! The fit/apply transform abstraction and pipeline composition.
+
+use smartml_data::Dataset;
+
+/// Errors from fitting preprocessing steps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreprocessError {
+    /// The step needs at least this many training rows.
+    TooFewRows { step: &'static str, needed: usize, got: usize },
+    /// The step needs at least one numeric column (e.g. PCA on all-categorical data).
+    NoNumericColumns { step: &'static str },
+    /// A numerical failure with context (e.g. eigendecomposition degenerated).
+    Numerical { step: &'static str, detail: String },
+}
+
+impl std::fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreprocessError::TooFewRows { step, needed, got } => {
+                write!(f, "{step}: needs >= {needed} training rows, got {got}")
+            }
+            PreprocessError::NoNumericColumns { step } => {
+                write!(f, "{step}: dataset has no numeric columns")
+            }
+            PreprocessError::Numerical { step, detail } => write!(f, "{step}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// A preprocessing step before fitting: holds configuration only.
+pub trait Transform {
+    /// Stable step name (used in error messages and pipeline descriptions).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the step's parameters from `rows` of `data` (training rows).
+    fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<Box<dyn FittedTransform>, PreprocessError>;
+}
+
+/// A fitted preprocessing step: pure function of datasets.
+pub trait FittedTransform: Send {
+    /// Applies the fitted parameters to every row of `data`.
+    ///
+    /// The output has the same row count and label column; only feature
+    /// columns change (values transformed, columns dropped, or replaced by
+    /// projections).
+    fn apply(&self, data: &Dataset) -> Dataset;
+}
+
+/// An ordered list of transforms fitted and applied sequentially.
+///
+/// Fitting step *i+1* sees the output of fitted steps *1..=i* — exactly how
+/// the chain behaves at apply time.
+pub struct Pipeline {
+    steps: Vec<Box<dyn Transform>>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline from steps applied in order.
+    pub fn new(steps: Vec<Box<dyn Transform>>) -> Self {
+        Pipeline { steps }
+    }
+
+    /// Names of the steps, in order.
+    pub fn step_names(&self) -> Vec<&'static str> {
+        self.steps.iter().map(|s| s.name()).collect()
+    }
+
+    /// Fits every step on `rows` (training rows), chaining outputs.
+    pub fn fit(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+    ) -> Result<FittedPipeline, PreprocessError> {
+        let mut fitted = Vec::with_capacity(self.steps.len());
+        let mut current = data.clone();
+        for step in &self.steps {
+            let f = step.fit(&current, rows)?;
+            current = f.apply(&current);
+            fitted.push(f);
+        }
+        Ok(FittedPipeline { steps: fitted })
+    }
+}
+
+/// A fitted [`Pipeline`].
+pub struct FittedPipeline {
+    steps: Vec<Box<dyn FittedTransform>>,
+}
+
+impl FittedPipeline {
+    /// Applies all fitted steps in order.
+    pub fn apply(&self, data: &Dataset) -> Dataset {
+        let mut current = data.clone();
+        for step in &self.steps {
+            current = step.apply(&current);
+        }
+        current
+    }
+}
+
+impl FittedTransform for FittedPipeline {
+    fn apply(&self, data: &Dataset) -> Dataset {
+        FittedPipeline::apply(self, data)
+    }
+}
+
+/// Helper for steps that rewrite each numeric column independently:
+/// applies `f(column_index_in_numeric_order, value) -> value` to every
+/// numeric cell and leaves categorical columns untouched.
+pub(crate) fn map_numeric_columns(
+    data: &Dataset,
+    f: impl Fn(usize, f64) -> f64,
+) -> Dataset {
+    use smartml_data::Feature;
+    let mut numeric_idx = 0usize;
+    let features = data
+        .features()
+        .iter()
+        .map(|feat| match feat {
+            Feature::Numeric { name, values } => {
+                let idx = numeric_idx;
+                numeric_idx += 1;
+                Feature::Numeric {
+                    name: name.clone(),
+                    values: values.iter().map(|&v| if v.is_nan() { v } else { f(idx, v) }).collect(),
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    data.with_features(features)
+}
+
+/// Helper: numeric column values restricted to training rows, skipping NaNs.
+pub(crate) fn numeric_train_column(values: &[f64], rows: &[usize]) -> Vec<f64> {
+    rows.iter().map(|&r| values[r]).filter(|v| !v.is_nan()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::Feature;
+
+    struct AddOne;
+    struct FittedAddOne;
+
+    impl Transform for AddOne {
+        fn name(&self) -> &'static str {
+            "add-one"
+        }
+        fn fit(
+            &self,
+            _data: &Dataset,
+            _rows: &[usize],
+        ) -> Result<Box<dyn FittedTransform>, PreprocessError> {
+            Ok(Box::new(FittedAddOne))
+        }
+    }
+
+    impl FittedTransform for FittedAddOne {
+        fn apply(&self, data: &Dataset) -> Dataset {
+            map_numeric_columns(data, |_, v| v + 1.0)
+        }
+    }
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "t",
+            vec![Feature::Numeric { name: "x".into(), values: vec![1.0, 2.0] }],
+            vec![0, 1],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pipeline_chains_steps() {
+        let p = Pipeline::new(vec![Box::new(AddOne), Box::new(AddOne)]);
+        assert_eq!(p.step_names(), vec!["add-one", "add-one"]);
+        let fitted = p.fit(&toy(), &[0, 1]).unwrap();
+        let out = fitted.apply(&toy());
+        match out.feature(0) {
+            Feature::Numeric { values, .. } => assert_eq!(values, &[3.0, 4.0]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn map_numeric_skips_nan_and_categorical() {
+        let d = Dataset::new(
+            "t",
+            vec![
+                Feature::Numeric { name: "x".into(), values: vec![1.0, f64::NAN] },
+                Feature::Categorical {
+                    name: "c".into(),
+                    codes: vec![0, 1],
+                    levels: vec!["a".into(), "b".into()],
+                },
+            ],
+            vec![0, 1],
+            vec!["a".into(), "b".into()],
+        )
+        .unwrap();
+        let out = map_numeric_columns(&d, |_, v| v * 10.0);
+        match out.feature(0) {
+            Feature::Numeric { values, .. } => {
+                assert_eq!(values[0], 10.0);
+                assert!(values[1].is_nan());
+            }
+            _ => panic!(),
+        }
+        assert_eq!(out.feature(1), d.feature(1));
+    }
+}

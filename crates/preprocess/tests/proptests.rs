@@ -1,0 +1,127 @@
+//! Property-based tests for preprocessing invariants.
+
+use proptest::prelude::*;
+use smartml_data::{Dataset, Feature};
+use smartml_preprocess::{fit_apply, Op};
+use smartml_linalg::vecops;
+
+/// Strategy: a small numeric dataset with 2 columns and n rows.
+fn numeric_dataset() -> impl Strategy<Value = Dataset> {
+    (5usize..40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0..100.0f64, n),
+            prop::collection::vec(0.1..50.0f64, n),
+        )
+            .prop_map(move |(a, b)| {
+                let labels: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+                Dataset::new(
+                    "prop",
+                    vec![
+                        Feature::Numeric { name: "a".into(), values: a },
+                        Feature::Numeric { name: "b".into(), values: b },
+                    ],
+                    labels,
+                    vec!["x".into(), "y".into()],
+                )
+                .unwrap()
+            })
+    })
+}
+
+fn col(d: &Dataset, i: usize) -> &[f64] {
+    match d.feature(i) {
+        Feature::Numeric { values, .. } => values,
+        _ => panic!("expected numeric"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn center_makes_train_mean_zero(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::Center]).unwrap();
+        for i in 0..out.n_features() {
+            prop_assert!(vecops::mean(col(&out, i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scale_then_center_gives_unit_variance(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::Center, Op::Scale]).unwrap();
+        for i in 0..out.n_features() {
+            let v = vecops::variance(col(&out, i));
+            // Constant columns stay constant (variance 0); others become 1.
+            prop_assert!(v.abs() < 1e-9 || (v - 1.0).abs() < 1e-9, "var {v}");
+        }
+    }
+
+    #[test]
+    fn range_bounds_train_rows(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::Range]).unwrap();
+        for i in 0..out.n_features() {
+            for &v in col(&out, i) {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zv_output_has_no_constant_columns(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::Zv]).unwrap();
+        for i in 0..out.n_features() {
+            prop_assert!(vecops::variance(col(&out, i)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn yeojohnson_preserves_order(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::YeoJohnson]).unwrap();
+        for i in 0..d.n_features() {
+            let before = col(&d, i);
+            let after = col(&out, i);
+            // Monotone transform preserves pairwise order.
+            for j in 1..before.len() {
+                if before[j] > before[0] {
+                    prop_assert!(after[j] >= after[0] - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boxcox_preserves_order_on_positive(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::BoxCox]).unwrap();
+        // Column b is strictly positive so Box-Cox applies there.
+        let before = col(&d, 1);
+        let after = col(&out, 1);
+        for j in 1..before.len() {
+            if before[j] > before[0] {
+                prop_assert!(after[j] >= after[0] - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_preserves_rows_and_labels(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::Center, Op::Scale, Op::Zv]).unwrap();
+        prop_assert_eq!(out.n_rows(), d.n_rows());
+        prop_assert_eq!(out.labels(), d.labels());
+    }
+
+    #[test]
+    fn pca_output_finite_and_row_preserving(d in numeric_dataset()) {
+        let rows = d.all_rows();
+        let out = fit_apply(&d, &rows, &[Op::Pca]).unwrap();
+        prop_assert_eq!(out.n_rows(), d.n_rows());
+        prop_assert!(out.n_features() >= 1);
+        for i in 0..out.n_features() {
+            prop_assert!(col(&out, i).iter().all(|v| v.is_finite()));
+        }
+    }
+}

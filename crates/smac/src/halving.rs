@@ -1,0 +1,244 @@
+//! Successive halving — a budget-racing optimiser (Jamieson & Talwalkar,
+//! AISTATS 2016), included as an extension: where SMAC races *challenger vs
+//! incumbent*, successive halving races a whole cohort, discarding the worst
+//! half at each rung of increasing fidelity. Fidelity here is the number of
+//! CV folds evaluated, the same axis the paper's SMAC intensification uses
+//! ("discard low performance configurations quickly after the evaluation on
+//! a low number of folds").
+
+use crate::objective::Objective;
+use crate::smac::{OptOptions, OptResult, Optimizer, Trial};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smartml_classifiers::{ParamConfig, ParamSpace};
+use std::time::Instant;
+
+/// The successive-halving optimiser.
+pub struct SuccessiveHalving {
+    /// Cohort reduction factor per rung (η; 2 = drop the worst half).
+    pub eta: usize,
+}
+
+impl Default for SuccessiveHalving {
+    fn default() -> Self {
+        SuccessiveHalving { eta: 2 }
+    }
+}
+
+struct Member {
+    config: ParamConfig,
+    fold_scores: Vec<f64>,
+    failed: bool,
+}
+
+impl Member {
+    fn mean(&self) -> f64 {
+        if self.failed || self.fold_scores.is_empty() {
+            f64::NEG_INFINITY
+        } else {
+            self.fold_scores.iter().sum::<f64>() / self.fold_scores.len() as f64
+        }
+    }
+}
+
+impl Optimizer for SuccessiveHalving {
+    fn name(&self) -> &'static str {
+        "SuccessiveHalving"
+    }
+
+    fn optimize(
+        &self,
+        space: &ParamSpace,
+        objective: &dyn Objective,
+        options: &OptOptions,
+    ) -> OptResult {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let eta = self.eta.max(2);
+        let n_folds = objective.n_folds();
+        // Budget accounting in fold-evaluations: `max_trials` full
+        // evaluations worth, same currency the other optimisers spend.
+        let budget_folds = options.max_trials.saturating_mul(n_folds).max(n_folds);
+
+        // Initial cohort: warm starts first, then random samples. A cohort
+        // of size n costs roughly n + n/η·1 + n/η²·2 … fold-evals with the
+        // doubling fidelity schedule below; sizing n = budget·(η-1)/η keeps
+        // the total within budget for η = 2 while using most of it.
+        let cohort_size = ((budget_folds * (eta - 1)) / eta).clamp(eta, 4096);
+        let mut cohort: Vec<Member> = options
+            .initial_configs
+            .iter()
+            .map(|c| space.repair(c))
+            .chain((0..cohort_size).map(|_| space.sample(&mut rng)))
+            .take(cohort_size)
+            .map(|config| Member { config, fold_scores: Vec::new(), failed: false })
+            .collect();
+
+        let mut history: Vec<Trial> = Vec::new();
+        let mut folds_spent = 0usize;
+        let mut fidelity = 1usize; // folds each survivor is evaluated to
+        loop {
+            let out_of_time = options.wall_clock.is_some_and(|b| start.elapsed() >= b);
+            // Evaluate every member up to the current fidelity.
+            for member in &mut cohort {
+                while !member.failed
+                    && member.fold_scores.len() < fidelity.min(n_folds)
+                    && folds_spent < budget_folds
+                    && !out_of_time
+                {
+                    let fold = member.fold_scores.len();
+                    folds_spent += 1;
+                    match objective.evaluate_fold(&member.config, fold) {
+                        Ok(score) => member.fold_scores.push(score),
+                        Err(_) => member.failed = true,
+                    }
+                }
+            }
+            // Record this rung's state for every member (anytime curve).
+            for member in &cohort {
+                history.push(Trial {
+                    config: member.config.clone(),
+                    score: if member.failed { 0.0 } else { member.mean().max(0.0) },
+                    folds_evaluated: member.fold_scores.len(),
+                    elapsed_secs: start.elapsed().as_secs_f64(),
+                });
+            }
+            // Stop when one survivor remains at full fidelity or the budget
+            // is gone.
+            let done = cohort.len() <= 1 && fidelity >= n_folds;
+            if done || folds_spent >= budget_folds || out_of_time {
+                break;
+            }
+            // Keep the best 1/η (at least one), raise fidelity.
+            cohort.sort_by(|a, b| b.mean().partial_cmp(&a.mean()).unwrap());
+            let keep = (cohort.len() / eta).max(1);
+            cohort.truncate(keep);
+            fidelity = (fidelity * eta).min(n_folds);
+        }
+
+        cohort.sort_by(|a, b| b.mean().partial_cmp(&a.mean()).unwrap());
+        match cohort.first() {
+            Some(best) if !best.failed => OptResult {
+                best_config: best.config.clone(),
+                best_score: best.mean().max(0.0),
+                history,
+            },
+            _ => OptResult {
+                best_config: space.default_config(),
+                best_score: 0.0,
+                history,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::StaticObjective;
+    use smartml_classifiers::{ParamSpec, ParamValue};
+
+    fn space_1d() -> ParamSpace {
+        ParamSpace::new(vec![ParamSpec::Real { name: "x".into(), lo: 0.0, hi: 1.0, log: false }])
+    }
+
+    fn peak() -> StaticObjective<impl Fn(&ParamConfig, usize) -> f64 + Send> {
+        StaticObjective {
+            folds: 4,
+            f: |c: &ParamConfig, fold| {
+                1.0 - (c.f64_or("x", 0.0) - 0.6).powi(2) + fold as f64 * 1e-3
+            },
+        }
+    }
+
+    #[test]
+    fn finds_the_peak_region() {
+        let result = SuccessiveHalving::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions { max_trials: 60, ..Default::default() },
+        );
+        let x = result.best_config.f64_or("x", 0.0);
+        assert!((x - 0.6).abs() < 0.15, "best x = {x}");
+    }
+
+    #[test]
+    fn survivors_reach_full_fidelity_losers_do_not() {
+        let result = SuccessiveHalving::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions { max_trials: 40, ..Default::default() },
+        );
+        let max_folds = result.history.iter().map(|t| t.folds_evaluated).max().unwrap();
+        let min_folds = result.history.iter().map(|t| t.folds_evaluated).min().unwrap();
+        assert_eq!(max_folds, 4, "a survivor must be fully evaluated");
+        assert!(min_folds < 4, "early-rung members must have been cut early");
+    }
+
+    #[test]
+    fn fold_budget_respected() {
+        // Count actual objective calls via a side channel.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let obj = StaticObjective {
+            folds: 4,
+            f: |c: &ParamConfig, _| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                c.f64_or("x", 0.0)
+            },
+        };
+        CALLS.store(0, Ordering::Relaxed);
+        let budget_trials = 20; // = 80 fold-evals
+        SuccessiveHalving::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: budget_trials, ..Default::default() },
+        );
+        let calls = CALLS.load(Ordering::Relaxed);
+        assert!(calls <= budget_trials * 4, "spent {calls} fold-evals");
+    }
+
+    #[test]
+    fn warm_starts_join_the_cohort() {
+        let warm = ParamConfig::default().with("x", ParamValue::Real(0.6));
+        let result = SuccessiveHalving::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions {
+                max_trials: 30,
+                initial_configs: vec![warm.clone()],
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        // The warm start sits at the optimum; it must win.
+        assert!((result.best_config.f64_or("x", 0.0) - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn all_failures_degrade_gracefully() {
+        struct Fails;
+        impl crate::Objective for Fails {
+            fn n_folds(&self) -> usize {
+                2
+            }
+            fn evaluate_fold(&self, _: &ParamConfig, _: usize) -> Result<f64, String> {
+                Err("nope".into())
+            }
+        }
+        let result = SuccessiveHalving::default().optimize(
+            &space_1d(),
+            &Fails,
+            &OptOptions { max_trials: 8, ..Default::default() },
+        );
+        assert_eq!(result.best_score, 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let opts = OptOptions { max_trials: 25, seed: 11, ..Default::default() };
+        let a = SuccessiveHalving::default().optimize(&space_1d(), &peak(), &opts);
+        let b = SuccessiveHalving::default().optimize(&space_1d(), &peak(), &opts);
+        assert_eq!(a.best_config, b.best_config);
+    }
+}

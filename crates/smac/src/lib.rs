@@ -1,0 +1,50 @@
+//! Hyperparameter optimisation for SmartML.
+//!
+//! The paper tunes with **SMAC** (Hutter et al., LION 2011): a random-forest
+//! surrogate predicts the performance mean and variance of unseen
+//! configurations, expected improvement proposes challengers, and an
+//! intensification race evaluates challengers on incrementally many CV folds
+//! so poor configurations are discarded "quickly after the evaluation on a
+//! low number of folds" (paper §2).
+//!
+//! [`RandomSearch`] and [`GridSearch`] (Google Vizier's "grid or random
+//! search", paper Table 1) and [`Tpe`] (tree-structured Parzen estimator,
+//! half of Auto-Weka's optimiser pair) share the same
+//! [`Objective`]/[`Optimizer`] interface so baselines and ablations are
+//! drop-in swaps.
+//!
+//! ```
+//! use smartml_smac::{Optimizer, OptOptions, Smac, StaticObjective};
+//! use smartml_classifiers::{ParamConfig, ParamSpace, ParamSpec};
+//!
+//! // Maximise 1 - (x - 0.7)^2 over x in [0, 1].
+//! let space = ParamSpace::new(vec![ParamSpec::Real {
+//!     name: "x".into(), lo: 0.0, hi: 1.0, log: false,
+//! }]);
+//! let objective = StaticObjective {
+//!     folds: 1,
+//!     f: |c: &ParamConfig, _| 1.0 - (c.f64_or("x", 0.0) - 0.7).powi(2),
+//! };
+//! let result = Smac::default().optimize(
+//!     &space,
+//!     &objective,
+//!     &OptOptions { max_trials: 40, ..Default::default() },
+//! );
+//! assert!((result.best_config.f64_or("x", 0.0) - 0.7).abs() < 0.15);
+//! ```
+
+mod grid;
+mod halving;
+mod objective;
+mod random_search;
+mod smac;
+mod surrogate;
+mod tpe;
+
+pub use grid::GridSearch;
+pub use halving::SuccessiveHalving;
+pub use objective::{ClassifierObjective, Objective, StaticObjective};
+pub use random_search::RandomSearch;
+pub use smac::{OptOptions, OptResult, Optimizer, Smac, Trial};
+pub use surrogate::RandomForestSurrogate;
+pub use tpe::Tpe;

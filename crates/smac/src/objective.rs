@@ -1,0 +1,146 @@
+//! Optimisation objectives: what a configuration's score means.
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::{accuracy, stratified_kfold, Dataset};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A maximisation objective evaluable fold-by-fold (for racing).
+pub trait Objective: Send {
+    /// Number of independent folds a full evaluation consists of.
+    fn n_folds(&self) -> usize;
+
+    /// Scores `config` on one fold; higher is better. `Err` marks an
+    /// infeasible configuration (treated as the worst possible score).
+    fn evaluate_fold(&self, config: &ParamConfig, fold: usize) -> Result<f64, String>;
+
+    /// Mean score over all folds (convenience for non-racing callers).
+    fn evaluate_full(&self, config: &ParamConfig) -> Result<f64, String> {
+        let mut total = 0.0;
+        for fold in 0..self.n_folds() {
+            total += self.evaluate_fold(config, fold)?;
+        }
+        Ok(total / self.n_folds() as f64)
+    }
+}
+
+/// The production objective: cross-validated accuracy of one algorithm on a
+/// dataset's training rows.
+///
+/// The k folds are stratified and fixed at construction so every
+/// configuration is compared on identical splits. Fold evaluations are
+/// memoised — intensification re-visits incumbent folds frequently.
+pub struct ClassifierObjective {
+    algorithm: Algorithm,
+    data: Dataset,
+    folds: Vec<(Vec<usize>, Vec<usize>)>,
+    cache: Mutex<HashMap<(String, usize), Result<f64, String>>>,
+}
+
+impl ClassifierObjective {
+    /// Builds a k-fold objective over `rows` of `data`.
+    pub fn new(algorithm: Algorithm, data: &Dataset, rows: &[usize], k: usize, seed: u64) -> Self {
+        let fold_sets = stratified_kfold(data, rows, k.max(2), seed);
+        let folds = fold_sets
+            .iter()
+            .map(|valid| {
+                let valid_set: std::collections::HashSet<usize> = valid.iter().copied().collect();
+                let train: Vec<usize> =
+                    rows.iter().copied().filter(|r| !valid_set.contains(r)).collect();
+                (train, valid.clone())
+            })
+            .collect();
+        ClassifierObjective {
+            algorithm,
+            data: data.clone(),
+            folds,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The algorithm being tuned.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+}
+
+impl Objective for ClassifierObjective {
+    fn n_folds(&self) -> usize {
+        self.folds.len()
+    }
+
+    fn evaluate_fold(&self, config: &ParamConfig, fold: usize) -> Result<f64, String> {
+        let key = (config.summary(), fold);
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            return hit.clone();
+        }
+        let (train, valid) = &self.folds[fold];
+        let result = (|| {
+            let clf = self.algorithm.build(config);
+            let model = clf.fit(&self.data, train).map_err(|e| e.to_string())?;
+            let pred = model.predict(&self.data, valid);
+            Ok(accuracy(&self.data.labels_for(valid), &pred))
+        })();
+        self.cache.lock().unwrap().insert(key, result.clone());
+        result
+    }
+}
+
+/// A synthetic objective over an explicit function — used by the optimiser
+/// test-suites and the micro-benchmarks, where classifier training would
+/// drown the signal.
+pub struct StaticObjective<F: Fn(&ParamConfig, usize) -> f64 + Send> {
+    /// Number of folds reported.
+    pub folds: usize,
+    /// The scoring function `(config, fold) -> score`.
+    pub f: F,
+}
+
+impl<F: Fn(&ParamConfig, usize) -> f64 + Send> Objective for StaticObjective<F> {
+    fn n_folds(&self) -> usize {
+        self.folds
+    }
+
+    fn evaluate_fold(&self, config: &ParamConfig, fold: usize) -> Result<f64, String> {
+        Ok((self.f)(config, fold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_data::synth::gaussian_blobs;
+
+    #[test]
+    fn classifier_objective_scores_real_configs() {
+        let d = gaussian_blobs("b", 150, 3, 2, 0.8, 1);
+        let rows = d.all_rows();
+        let obj = ClassifierObjective::new(Algorithm::Knn, &d, &rows, 3, 7);
+        assert_eq!(obj.n_folds(), 3);
+        let config = Algorithm::Knn.param_space().default_config();
+        let s0 = obj.evaluate_fold(&config, 0).unwrap();
+        assert!((0.0..=1.0).contains(&s0));
+        let full = obj.evaluate_full(&config).unwrap();
+        assert!(full > 0.8, "knn on separable blobs scored {full}");
+    }
+
+    #[test]
+    fn fold_results_are_memoised() {
+        let d = gaussian_blobs("b", 120, 2, 2, 1.0, 2);
+        let rows = d.all_rows();
+        let obj = ClassifierObjective::new(Algorithm::Rpart, &d, &rows, 2, 3);
+        let config = Algorithm::Rpart.param_space().default_config();
+        let a = obj.evaluate_fold(&config, 0).unwrap();
+        let b = obj.evaluate_fold(&config, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(obj.cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn static_objective_wraps_function() {
+        let obj = StaticObjective { folds: 2, f: |c: &ParamConfig, fold| c.f64_or("x", 0.0) + fold as f64 };
+        let config = ParamConfig::default().with("x", smartml_classifiers::ParamValue::Real(1.0));
+        assert_eq!(obj.evaluate_fold(&config, 1).unwrap(), 2.0);
+        assert_eq!(obj.evaluate_full(&config).unwrap(), 1.5);
+    }
+}

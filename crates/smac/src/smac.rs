@@ -1,0 +1,513 @@
+//! The SMAC optimisation loop: surrogate → expected improvement →
+//! intensification racing.
+
+use crate::objective::Objective;
+use crate::surrogate::RandomForestSurrogate;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smartml_classifiers::{ParamConfig, ParamSpace};
+use std::time::{Duration, Instant};
+
+/// One evaluated configuration in the optimisation history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trial {
+    /// The configuration.
+    pub config: ParamConfig,
+    /// Mean score over the folds evaluated so far (higher = better).
+    pub score: f64,
+    /// How many folds this configuration was evaluated on.
+    pub folds_evaluated: usize,
+    /// Seconds since the optimisation started when this trial finished.
+    pub elapsed_secs: f64,
+}
+
+/// Result of an optimisation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OptResult {
+    /// Best configuration found.
+    pub best_config: ParamConfig,
+    /// Its mean score.
+    pub best_score: f64,
+    /// All evaluated trials, in evaluation order (the anytime curve).
+    pub history: Vec<Trial>,
+}
+
+impl OptResult {
+    /// The best score seen at or before `t` seconds — anytime-performance
+    /// queries for the warm-start ablation.
+    pub fn best_before(&self, t: f64) -> Option<f64> {
+        self.history
+            .iter()
+            .filter(|trial| trial.elapsed_secs <= t)
+            .map(|trial| trial.score)
+            .fold(None, |acc, s| Some(acc.map_or(s, |a: f64| a.max(s))))
+    }
+}
+
+/// Shared optimiser options.
+#[derive(Debug, Clone)]
+pub struct OptOptions {
+    /// Maximum configurations to evaluate.
+    pub max_trials: usize,
+    /// Wall-clock budget; `None` = trials-only budget.
+    pub wall_clock: Option<Duration>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Warm-start configurations evaluated first (the SmartML KB hook:
+    /// "configurations of the nominated best performing algorithms are used
+    /// to initialize the hyper-parameter tuning process").
+    pub initial_configs: Vec<ParamConfig>,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions { max_trials: 50, wall_clock: None, seed: 0, initial_configs: Vec::new() }
+    }
+}
+
+/// A hyperparameter optimiser over a [`ParamSpace`].
+pub trait Optimizer {
+    /// Human-readable optimiser name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the optimisation.
+    fn optimize(&self, space: &ParamSpace, objective: &dyn Objective, options: &OptOptions)
+        -> OptResult;
+}
+
+/// The SMAC optimiser.
+pub struct Smac {
+    /// Trees in the surrogate forest.
+    pub n_surrogate_trees: usize,
+    /// Random candidates scored by EI per iteration.
+    pub n_random_candidates: usize,
+    /// Local-search neighbours of the incumbent scored by EI per iteration.
+    pub n_local_candidates: usize,
+    /// Fraction of iterations that evaluate a pure-random configuration
+    /// (SMAC's random interleaving, keeps the search ergodic).
+    pub random_interleave: f64,
+}
+
+impl Default for Smac {
+    fn default() -> Self {
+        Smac {
+            n_surrogate_trees: 20,
+            n_random_candidates: 24,
+            n_local_candidates: 12,
+            random_interleave: 0.25,
+        }
+    }
+}
+
+/// Internal racing state for one configuration.
+struct Raced {
+    config: ParamConfig,
+    encoded: Vec<f64>,
+    fold_scores: Vec<f64>,
+    failed: bool,
+}
+
+impl Raced {
+    fn mean(&self) -> f64 {
+        if self.failed || self.fold_scores.is_empty() {
+            f64::NEG_INFINITY
+        } else {
+            self.fold_scores.iter().sum::<f64>() / self.fold_scores.len() as f64
+        }
+    }
+}
+
+impl Optimizer for Smac {
+    fn name(&self) -> &'static str {
+        "SMAC"
+    }
+
+    fn optimize(
+        &self,
+        space: &ParamSpace,
+        objective: &dyn Objective,
+        options: &OptOptions,
+    ) -> OptResult {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let n_folds = objective.n_folds();
+        let out_of_budget = |trials: usize| {
+            trials >= options.max_trials
+                || options.wall_clock.is_some_and(|b| start.elapsed() >= b)
+        };
+
+        let mut history: Vec<Trial> = Vec::new();
+        let mut incumbent: Option<Raced> = None;
+
+        // Initial design: warm starts (KB), then the space default, then one
+        // random configuration.
+        let mut initial: Vec<ParamConfig> =
+            options.initial_configs.iter().map(|c| space.repair(c)).collect();
+        initial.push(space.default_config());
+        initial.push(space.sample(&mut rng));
+        initial.dedup();
+
+        let mut trials = 0usize;
+        for config in initial {
+            if out_of_budget(trials) {
+                break;
+            }
+            let challenger = race(
+                objective,
+                space,
+                config,
+                incumbent.as_ref(),
+                n_folds,
+                start,
+                &mut history,
+            );
+            trials += 1;
+            if challenger_wins(&challenger, incumbent.as_ref()) {
+                incumbent = Some(challenger);
+            }
+        }
+
+        // Main loop.
+        while !out_of_budget(trials) {
+            let candidate = if rand::Rng::gen_bool(&mut rng, self.random_interleave)
+                || history.len() < 2
+            {
+                space.sample(&mut rng)
+            } else {
+                self.propose(space, &history, incumbent.as_ref(), &mut rng, options.seed)
+            };
+            let challenger = race(
+                objective,
+                space,
+                candidate,
+                incumbent.as_ref(),
+                n_folds,
+                start,
+                &mut history,
+            );
+            trials += 1;
+            if challenger_wins(&challenger, incumbent.as_ref()) {
+                incumbent = Some(challenger);
+            }
+        }
+
+        let incumbent = incumbent.unwrap_or_else(|| Raced {
+            config: space.default_config(),
+            encoded: space.encode(&space.default_config()),
+            fold_scores: vec![],
+            failed: true,
+        });
+        OptResult {
+            best_score: incumbent.mean().max(0.0),
+            best_config: incumbent.config,
+            history,
+        }
+    }
+}
+
+impl Smac {
+    /// EI-maximising proposal: fit the surrogate on history, score random
+    /// candidates plus local perturbations of the incumbent.
+    fn propose(
+        &self,
+        space: &ParamSpace,
+        history: &[Trial],
+        incumbent: Option<&Raced>,
+        rng: &mut StdRng,
+        seed: u64,
+    ) -> ParamConfig {
+        let xs: Vec<Vec<f64>> = history.iter().map(|t| space.encode(&t.config)).collect();
+        let ys: Vec<f64> = history.iter().map(|t| t.score).collect();
+        let best = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let forest = RandomForestSurrogate::fit(&xs, &ys, self.n_surrogate_trees, seed ^ history.len() as u64);
+        let mut candidates: Vec<ParamConfig> =
+            (0..self.n_random_candidates).map(|_| space.sample(rng)).collect();
+        if let Some(inc) = incumbent {
+            for _ in 0..self.n_local_candidates {
+                candidates.push(space.neighbor(&inc.config, 0.4, rng));
+            }
+        }
+        candidates
+            .into_iter()
+            .map(|c| {
+                let ei = forest.expected_improvement(&space.encode(&c), best, 0.01);
+                (c, ei)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(c, _)| c)
+            .expect("candidate list is never empty")
+    }
+}
+
+/// Intensification race: evaluate the challenger fold-by-fold, dropping it
+/// as soon as its running mean falls clearly below the incumbent's mean on
+/// the same number of folds.
+fn race(
+    objective: &dyn Objective,
+    space: &ParamSpace,
+    config: ParamConfig,
+    incumbent: Option<&Raced>,
+    n_folds: usize,
+    start: Instant,
+    history: &mut Vec<Trial>,
+) -> Raced {
+    let mut raced = Raced {
+        encoded: space.encode(&config),
+        config,
+        fold_scores: Vec::with_capacity(n_folds),
+        failed: false,
+    };
+    for fold in 0..n_folds {
+        match objective.evaluate_fold(&raced.config, fold) {
+            Ok(score) => raced.fold_scores.push(score),
+            Err(_) => {
+                raced.failed = true;
+                break;
+            }
+        }
+        // Early discard: challenger's optimistic bound below incumbent mean.
+        if let Some(inc) = incumbent {
+            if fold + 1 < n_folds {
+                let mean_so_far = raced.mean();
+                let optimistic = mean_so_far
+                    + (n_folds - fold - 1) as f64 / n_folds as f64 * 0.5 * (1.0 - mean_so_far).max(0.0);
+                if optimistic < inc.mean() - 0.02 {
+                    break;
+                }
+            }
+        }
+    }
+    history.push(Trial {
+        config: raced.config.clone(),
+        score: if raced.failed { 0.0 } else { raced.mean() },
+        folds_evaluated: raced.fold_scores.len(),
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    });
+    raced
+}
+
+fn challenger_wins(challenger: &Raced, incumbent: Option<&Raced>) -> bool {
+    match incumbent {
+        None => !challenger.failed,
+        Some(inc) => {
+            // Only a fully-evaluated challenger can displace the incumbent.
+            !challenger.failed
+                && challenger.fold_scores.len() >= inc.fold_scores.len()
+                && challenger.mean() > inc.mean()
+        }
+    }
+}
+
+// Keep encoded vectors in the struct for surrogate reuse; silence dead-code
+// until the trajectory-analysis ablation consumes them.
+impl Raced {
+    #[allow(dead_code)]
+    fn encoded(&self) -> &[f64] {
+        &self.encoded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::StaticObjective;
+    use smartml_classifiers::{ParamSpec, ParamValue};
+
+    fn space_1d() -> ParamSpace {
+        ParamSpace::new(vec![ParamSpec::Real { name: "x".into(), lo: 0.0, hi: 1.0, log: false }])
+    }
+
+    /// Smooth unimodal objective with optimum at x = 0.7.
+    fn peak_objective() -> StaticObjective<impl Fn(&ParamConfig, usize) -> f64 + Send> {
+        StaticObjective {
+            folds: 3,
+            f: |c: &ParamConfig, fold| {
+                let x = c.f64_or("x", 0.0);
+                let noise = (fold as f64 - 1.0) * 0.005;
+                1.0 - (x - 0.7) * (x - 0.7) + noise
+            },
+        }
+    }
+
+    #[test]
+    fn smac_finds_the_peak() {
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &peak_objective(),
+            &OptOptions { max_trials: 60, ..Default::default() },
+        );
+        let x = result.best_config.f64_or("x", 0.0);
+        assert!((x - 0.7).abs() < 0.12, "best x = {x}");
+        assert!(result.best_score > 0.97);
+    }
+
+    #[test]
+    fn respects_trial_budget() {
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &peak_objective(),
+            &OptOptions { max_trials: 10, ..Default::default() },
+        );
+        assert!(result.history.len() <= 10);
+    }
+
+    #[test]
+    fn warm_start_is_evaluated_first() {
+        let warm = ParamConfig::default().with("x", ParamValue::Real(0.69));
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &peak_objective(),
+            &OptOptions { max_trials: 5, initial_configs: vec![warm.clone()], ..Default::default() },
+        );
+        assert_eq!(result.history[0].config, warm);
+        // Warm start at the optimum: best score is immediately excellent.
+        assert!(result.history[0].score > 0.99);
+    }
+
+    #[test]
+    fn warm_start_speeds_up_early_performance() {
+        let cold = Smac::default().optimize(
+            &space_1d(),
+            &peak_objective(),
+            &OptOptions { max_trials: 3, seed: 5, ..Default::default() },
+        );
+        let warm = Smac::default().optimize(
+            &space_1d(),
+            &peak_objective(),
+            &OptOptions {
+                max_trials: 3,
+                seed: 5,
+                initial_configs: vec![ParamConfig::default().with("x", ParamValue::Real(0.7))],
+                ..Default::default()
+            },
+        );
+        assert!(warm.best_score >= cold.best_score);
+    }
+
+    #[test]
+    fn failed_configs_do_not_become_incumbent() {
+        let obj = StaticObjective {
+            folds: 2,
+            f: |_: &ParamConfig, _| 0.5,
+        };
+        // All configs succeed here; check an all-failure objective separately.
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: 4, ..Default::default() },
+        );
+        assert!(result.best_score > 0.0);
+    }
+
+    #[test]
+    fn anytime_curve_is_queryable() {
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &peak_objective(),
+            &OptOptions { max_trials: 20, ..Default::default() },
+        );
+        let early = result.best_before(1e9).unwrap();
+        assert!(early > 0.0);
+        assert!(result.best_before(-1.0).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let opts = OptOptions { max_trials: 15, seed: 42, ..Default::default() };
+        let a = Smac::default().optimize(&space_1d(), &peak_objective(), &opts);
+        let b = Smac::default().optimize(&space_1d(), &peak_objective(), &opts);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn wall_clock_budget_stops_the_loop() {
+        use std::time::Duration;
+        // An objective that sleeps 5ms per fold: 50ms budget caps trials.
+        let obj = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| {
+                std::thread::sleep(Duration::from_millis(5));
+                c.f64_or("x", 0.0)
+            },
+        };
+        let start = std::time::Instant::now();
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions {
+                max_trials: 10_000,
+                wall_clock: Some(Duration::from_millis(60)),
+                ..Default::default()
+            },
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(result.history.len() < 100, "{} trials", result.history.len());
+    }
+
+    #[test]
+    fn partially_failing_objective_still_finds_feasible_optimum() {
+        // Configurations with x < 0.5 fail; the optimum of the feasible
+        // region is at x = 1.0.
+        let obj = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| c.f64_or("x", 0.0),
+        };
+        struct Gated<O>(O);
+        impl<O: crate::Objective> crate::Objective for Gated<O> {
+            fn n_folds(&self) -> usize {
+                self.0.n_folds()
+            }
+            fn evaluate_fold(&self, c: &ParamConfig, fold: usize) -> Result<f64, String> {
+                if c.f64_or("x", 0.0) < 0.5 {
+                    Err("infeasible region".into())
+                } else {
+                    self.0.evaluate_fold(c, fold)
+                }
+            }
+        }
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &Gated(obj),
+            &OptOptions { max_trials: 40, ..Default::default() },
+        );
+        let x = result.best_config.f64_or("x", 0.0);
+        assert!(x >= 0.5, "incumbent in the infeasible region: {x}");
+        assert!(result.best_score > 0.8, "best {}", result.best_score);
+    }
+
+    #[test]
+    fn all_failing_objective_degrades_gracefully() {
+        struct AlwaysFails;
+        impl crate::Objective for AlwaysFails {
+            fn n_folds(&self) -> usize {
+                2
+            }
+            fn evaluate_fold(&self, _: &ParamConfig, _: usize) -> Result<f64, String> {
+                Err("nope".into())
+            }
+        }
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &AlwaysFails,
+            &OptOptions { max_trials: 6, ..Default::default() },
+        );
+        // No usable incumbent: default config, zero score, history recorded.
+        assert_eq!(result.best_score, 0.0);
+        assert!(!result.history.is_empty());
+    }
+
+    #[test]
+    fn racing_saves_fold_evaluations() {
+        // Configurations far from the peak should be raced out early once a
+        // good incumbent exists.
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &peak_objective(),
+            &OptOptions { max_trials: 40, ..Default::default() },
+        );
+        let partial = result.history.iter().filter(|t| t.folds_evaluated < 3).count();
+        assert!(partial > 0, "no challenger was ever discarded early");
+    }
+}

@@ -1,0 +1,78 @@
+//! AutoML shootout: SmartML vs the Auto-Weka simulation vs random-search
+//! AutoML vs TPOT-lite — all four systems, one dataset, identical budget.
+//! A miniature of the paper's Table 4 protocol on a single task.
+//!
+//! ```text
+//! cargo run --release -p smartml-examples --bin automl_shootout
+//! ```
+
+use smartml::bootstrap::{bootstrap_dataset, BootstrapProfile};
+use smartml::{Budget, KnowledgeBase, SmartML, SmartMlOptions};
+use smartml_baselines::{AutoWekaSim, RandomSearchAutoML, TpotLite};
+use smartml_data::synth::{imbalanced_mixture, SynthSpec};
+use smartml_data::train_valid_split;
+
+const BUDGET: usize = 18;
+
+fn main() {
+    // The contested dataset: yeast-like (10 imbalanced overlapping classes).
+    let data = imbalanced_mixture("shootout", 450, 8, 10, 2.0, 21);
+    let (train, valid) = train_valid_split(&data, 0.3, 7);
+    println!(
+        "dataset: {} rows, {} features, {} classes; budget {} evaluations each\n",
+        data.n_rows(),
+        data.n_features(),
+        data.n_classes(),
+        BUDGET
+    );
+
+    // SmartML gets a small KB of related past tasks (its defining asset).
+    let mut kb = KnowledgeBase::new();
+    let profile = BootstrapProfile { configs_per_algorithm: 2, ..BootstrapProfile::fast() };
+    for seed in 0..4u64 {
+        let spec = SynthSpec::ImbalancedMixture { n: 300, d: 8, k: 10, overlap: 1.8 };
+        let past = spec.generate(&format!("past-{seed}"), seed);
+        bootstrap_dataset(&mut kb, &past, &profile);
+    }
+    let options = SmartMlOptions {
+        budget: Budget::Trials(BUDGET),
+        top_n_algorithms: 3,
+        valid_fraction: 0.3,
+        seed: 7,
+        ..Default::default()
+    };
+    let smartml_acc = SmartML::with_kb(kb, options)
+        .run(&data)
+        .map(|o| o.report.best.validation_accuracy)
+        .unwrap_or(0.0);
+
+    let autoweka = AutoWekaSim { cv_folds: 3, seed: 11, ..Default::default() }
+        .run(&data, &train, &valid, BUDGET, None);
+    let random = RandomSearchAutoML { cv_folds: 3, seed: 13 }
+        .run(&data, &train, &valid, BUDGET, None);
+    let (tpot_champion, tpot_acc, _) = TpotLite { seed: 17, ..Default::default() }
+        .run(&data, &train, &valid, BUDGET, None);
+
+    println!("results (validation accuracy):");
+    println!("  SmartML (KB + warm-started SMAC)   {:>6.2}%", smartml_acc * 100.0);
+    println!(
+        "  Auto-Weka sim (joint SMAC)         {:>6.2}%   winner: {}",
+        autoweka.validation_accuracy * 100.0,
+        autoweka.algorithm.paper_name()
+    );
+    println!(
+        "  Random-search AutoML (Vizier)      {:>6.2}%   winner: {}",
+        random.validation_accuracy * 100.0,
+        random.algorithm.paper_name()
+    );
+    println!(
+        "  TPOT-lite (genetic programming)    {:>6.2}%   winner: {} (+{:?})",
+        tpot_acc * 100.0,
+        tpot_champion.algorithm.paper_name(),
+        tpot_champion.preprocess.map(|o| o.paper_name())
+    );
+    println!(
+        "\nAt this small budget the KB's head start is SmartML's edge — exactly the\n\
+         regime the paper demonstrates (\"especially at small running time budgets\")."
+    );
+}

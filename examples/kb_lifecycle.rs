@@ -1,0 +1,69 @@
+//! The meta-learning lifecycle: bootstrap a knowledge base, persist it to
+//! disk, reload it in a "new session", and watch algorithm selection use
+//! the accumulated experience — the paper's "SmartML gets smarter by
+//! getting more experience" loop.
+//!
+//! ```text
+//! cargo run --release -p smartml-examples --bin kb_lifecycle
+//! ```
+
+use smartml::bootstrap::{bootstrap_dataset, BootstrapProfile};
+use smartml::{Budget, KnowledgeBase, SmartML, SmartMlOptions};
+use smartml_data::synth::{gaussian_blobs, xor_parity};
+use smartml_kb::QueryOptions;
+use smartml_metafeatures::extract;
+
+fn main() {
+    let kb_path = std::env::temp_dir().join("smartml-lifecycle-kb.json");
+
+    // Session 1: bootstrap from a handful of past tasks and persist.
+    let mut kb = KnowledgeBase::new();
+    let profile = BootstrapProfile { configs_per_algorithm: 2, ..BootstrapProfile::fast() };
+    for seed in 0..4u64 {
+        let blobs = gaussian_blobs(&format!("past-blobs-{seed}"), 200, 4, 2, 0.8, seed);
+        bootstrap_dataset(&mut kb, &blobs, &profile);
+        let xor = xor_parity(&format!("past-xor-{seed}"), 300, 2, 10, 0.02, seed);
+        bootstrap_dataset(&mut kb, &xor, &profile);
+    }
+    kb.save(&kb_path).expect("KB saves");
+    println!(
+        "session 1: bootstrapped {} datasets / {} runs, saved to {}\n",
+        kb.len(),
+        kb.n_runs(),
+        kb_path.display()
+    );
+
+    // Session 2: a fresh process reloads the KB and asks for advice.
+    let kb = KnowledgeBase::load(&kb_path).expect("KB loads");
+    let new_task = xor_parity("new-task", 320, 2, 12, 0.02, 77);
+    let meta = extract(&new_task, &new_task.all_rows());
+    let recommendation = kb.recommend(&meta, &QueryOptions::default());
+    println!("session 2: KB advice for '{}' (xor-like):", new_task.name);
+    for rec in &recommendation.algorithms {
+        println!(
+            "  {:<14} score {:.3}  ({} warm-start configs)",
+            rec.algorithm.paper_name(),
+            rec.score,
+            rec.warm_starts.len()
+        );
+    }
+
+    // Run the full pipeline with the reloaded KB; the run itself grows it.
+    let options = SmartMlOptions::default().with_budget(Budget::Trials(15)).with_seed(3);
+    let mut engine = SmartML::with_kb(kb, options);
+    let before = engine.kb().n_runs();
+    let outcome = engine.run(&new_task).expect("pipeline runs");
+    println!(
+        "\nwinner: {} at {:.1}% validation accuracy",
+        outcome.report.best.algorithm.paper_name(),
+        outcome.report.best.validation_accuracy * 100.0
+    );
+    let kb = engine.into_kb();
+    println!(
+        "KB grew {} -> {} runs; persisting for session 3.",
+        before,
+        kb.n_runs()
+    );
+    kb.save(&kb_path).expect("KB saves again");
+    std::fs::remove_file(&kb_path).ok();
+}

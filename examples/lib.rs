@@ -1,0 +1,13 @@
+//! Runnable examples for SmartML. Each binary is a self-contained scenario:
+//!
+//! - `quickstart` — the 20-line happy path: dataset in, best model out.
+//! - `sensor_monitoring` — a room-occupancy-style deployment: CSV workflow,
+//!   preprocessing, interpretability, and prediction on fresh data.
+//! - `text_categorization` — sparse bag-of-words data: feature selection,
+//!   ensembling, and why the KB nominates naive Bayes there.
+//! - `kb_lifecycle` — the meta-learning loop: bootstrap, persist, reload,
+//!   and watch recommendations improve.
+//! - `automl_shootout` — SmartML vs the Auto-Weka simulation vs TPOT-lite
+//!   on the same dataset and budget.
+//!
+//! Run with `cargo run --release -p smartml-examples --bin <name>`.

@@ -1,0 +1,34 @@
+//! Quickstart: hand SmartML a dataset, get back a tuned model.
+//!
+//! ```text
+//! cargo run --release -p smartml-examples --bin quickstart
+//! ```
+
+use smartml::{Budget, SmartML, SmartMlOptions};
+use smartml_data::synth::gaussian_blobs;
+
+fn main() {
+    // Any `smartml_data::Dataset` works — CSV/ARFF files via
+    // `smartml_data::io`, or a generator as here.
+    let data = gaussian_blobs("quickstart", 300, 5, 3, 1.0, 42);
+
+    let options = SmartMlOptions::default().with_budget(Budget::Trials(20));
+    let mut engine = SmartML::new(options); // cold start: empty knowledge base
+    let outcome = engine.run(&data).expect("pipeline runs");
+
+    print!("{}", outcome.report.render());
+
+    // The outcome carries a live model: predict on the held-out rows.
+    let predictions = outcome.model.predict(&outcome.preprocessed, &outcome.valid_rows);
+    println!(
+        "\npredicted {} validation rows; first five: {:?}",
+        predictions.len(),
+        &predictions[..5.min(predictions.len())]
+    );
+    println!(
+        "the run was recorded into the KB: {} dataset(s), {} run(s) — the next\n\
+         call to run() on similar data will warm-start from it.",
+        engine.kb().len(),
+        engine.kb().n_runs()
+    );
+}

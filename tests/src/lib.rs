@@ -1,0 +1,4 @@
+//! Integration-test crate for the SmartML workspace. All tests live under
+//! `tests/tests/` and exercise cross-crate behaviour: the full pipeline,
+//! the meta-learning loop, the API surface, and SmartML-vs-baseline
+//! comparisons.

@@ -1,0 +1,136 @@
+//! Integration tests for the JSON API surface and the baseline systems'
+//! comparability with SmartML.
+
+use smartml::api::{handle_json, DatasetPayload, ExperimentOptions, Request};
+use smartml::KnowledgeBase;
+use smartml_baselines::{AutoWekaSim, JointOptimizer, RandomSearchAutoML, TpotLite};
+use smartml_data::synth::gaussian_blobs;
+use smartml_data::{train_valid_split, Feature};
+
+fn blob_csv(n: usize, seed: u64) -> String {
+    let data = gaussian_blobs("api", n, 3, 2, 0.8, seed);
+    let mut out = String::from("f0,f1,f2,label\n");
+    for row in 0..data.n_rows() {
+        for f in data.features() {
+            if let Feature::Numeric { values, .. } = f {
+                out.push_str(&format!("{:.5},", values[row]));
+            }
+        }
+        out.push_str(&data.class_names()[data.label(row) as usize]);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn json_api_full_experiment_roundtrip() {
+    let mut kb = KnowledgeBase::new();
+    let request = Request::RunExperiment {
+        name: "api-test".into(),
+        dataset: DatasetPayload::Csv { content: blob_csv(150, 1), target: Some("label".into()) },
+        options: ExperimentOptions {
+            budget_trials: Some(8),
+            top_n_algorithms: Some(2),
+            ensembling: true,
+            interpretability: true,
+            seed: Some(3),
+            ..Default::default()
+        },
+    };
+    let json = serde_json::to_string(&request).unwrap();
+    let out = handle_json(&mut kb, &json);
+    let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert_eq!(parsed["status"], "experiment", "{out}");
+    let report = &parsed["report"];
+    assert!(report["best"]["validation_accuracy"].as_f64().unwrap() > 0.6);
+    assert!(report["ensemble"].is_object());
+    assert!(report["importance"].is_array());
+    // The run updated the server-side KB.
+    assert_eq!(kb.len(), 1);
+}
+
+#[test]
+fn json_api_meta_feature_and_selection_chain() {
+    let mut kb = KnowledgeBase::new();
+    // First, populate the KB with one experiment.
+    let run_req = serde_json::json!({
+        "action": "run_experiment",
+        "name": "seed-task",
+        "dataset": {"csv": {"content": blob_csv(150, 2), "target": "label"}},
+        "options": {"budget_trials": 6, "top_n_algorithms": 2, "seed": 4},
+    });
+    let out = handle_json(&mut kb, &run_req.to_string());
+    assert!(out.contains("\"status\": \"experiment\""), "{out}");
+
+    // Extract meta-features of a new dataset…
+    let mf_req = serde_json::json!({
+        "action": "extract_meta_features",
+        "name": "new-task",
+        "dataset": {"csv": {"content": blob_csv(150, 3), "target": "label"}},
+    });
+    let out = handle_json(&mut kb, &mf_req.to_string());
+    let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+    let values: Vec<f64> = parsed["features"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|pair| pair[1].as_f64().unwrap())
+        .collect();
+    assert_eq!(values.len(), 25);
+
+    // …and ask for algorithm selection from the meta-features alone (the
+    // paper's meta-features-only upload path).
+    let sel_req = serde_json::json!({
+        "action": "select_algorithms",
+        "meta_features": values,
+        "top_n": 2,
+    });
+    let out = handle_json(&mut kb, &sel_req.to_string());
+    let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+    assert_eq!(parsed["status"], "algorithms");
+    assert_eq!(parsed["nominated"].as_array().unwrap().len(), 2);
+}
+
+#[test]
+fn all_baselines_run_on_equal_footing() {
+    let data = gaussian_blobs("baselines", 160, 3, 2, 0.8, 5);
+    let (train, valid) = train_valid_split(&data, 0.3, 7);
+    let budget = 8;
+
+    let aw = AutoWekaSim { cv_folds: 2, seed: 1, ..Default::default() }
+        .run(&data, &train, &valid, budget, None);
+    let aw_tpe = AutoWekaSim { optimizer: JointOptimizer::Tpe, cv_folds: 2, seed: 1 }
+        .run(&data, &train, &valid, budget, None);
+    let rs = RandomSearchAutoML { cv_folds: 2, seed: 1 }.run(&data, &train, &valid, budget, None);
+    let (_, tpot_acc, tpot_evals) =
+        TpotLite { population: 4, seed: 1, ..Default::default() }
+            .run(&data, &train, &valid, budget, None);
+
+    for (name, acc) in [
+        ("autoweka-smac", aw.validation_accuracy),
+        ("autoweka-tpe", aw_tpe.validation_accuracy),
+        ("random", rs.validation_accuracy),
+        ("tpot", tpot_acc),
+    ] {
+        assert!(
+            acc > 0.4,
+            "{name} collapsed on separable blobs: {acc}"
+        );
+    }
+    assert!(aw.history.len() <= budget);
+    assert!(tpot_evals <= budget);
+}
+
+#[test]
+fn autoweka_history_is_an_anytime_curve() {
+    let data = gaussian_blobs("anytime", 140, 3, 2, 1.0, 6);
+    let (train, valid) = train_valid_split(&data, 0.3, 7);
+    let aw = AutoWekaSim { cv_folds: 2, seed: 2, ..Default::default() }
+        .run(&data, &train, &valid, 10, None);
+    // Timestamps are monotone.
+    for w in aw.history.windows(2) {
+        assert!(w[1].elapsed_secs >= w[0].elapsed_secs);
+    }
+    // Every trial carries a config that parses back to some algorithm.
+    assert!(aw.history.iter().all(|t| !t.config.values.is_empty()));
+}

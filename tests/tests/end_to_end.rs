@@ -1,0 +1,205 @@
+//! End-to-end pipeline tests: the full Figure-1 flow from raw file text to
+//! a tuned model, spanning every crate in the workspace.
+
+use smartml::{Budget, Op, SmartML, SmartMlOptions};
+use smartml_data::io::{parse_arff, parse_csv};
+use smartml_data::synth::{categorical_mixture, gaussian_blobs, SynthSpec};
+use smartml_data::{accuracy, Feature};
+
+fn quick_options() -> SmartMlOptions {
+    SmartMlOptions {
+        budget: Budget::Trials(9),
+        top_n_algorithms: 2,
+        cv_folds: 2,
+        ..Default::default()
+    }
+}
+
+/// CSV text for a generated dataset (numeric features only).
+fn dataset_to_csv(data: &smartml_data::Dataset) -> String {
+    let mut out: String = data
+        .features()
+        .iter()
+        .map(|f| f.name().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(",label\n");
+    for row in 0..data.n_rows() {
+        for f in data.features() {
+            if let Feature::Numeric { values, .. } = f {
+                out.push_str(&format!("{:.6},", values[row]));
+            }
+        }
+        out.push_str(&data.class_names()[data.label(row) as usize]);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn csv_text_to_tuned_model() {
+    let generated = gaussian_blobs("e2e-csv", 200, 4, 2, 0.8, 1);
+    let csv = dataset_to_csv(&generated);
+    let data = parse_csv("e2e-csv", &csv, None).expect("round-tripped CSV parses");
+    assert_eq!(data.n_rows(), 200);
+    let mut engine = SmartML::new(quick_options());
+    let outcome = engine.run(&data).expect("pipeline runs");
+    assert!(
+        outcome.report.best.validation_accuracy > 0.8,
+        "separable blobs should score well, got {}",
+        outcome.report.best.validation_accuracy
+    );
+}
+
+#[test]
+fn arff_to_tuned_model_with_categoricals() {
+    // Build a small ARFF with nominal + numeric attributes.
+    let data = categorical_mixture("e2e-arff", 160, 2, 2, 2, 3, 2);
+    let mut arff = String::from("@relation e2e\n");
+    for f in data.features() {
+        match f {
+            Feature::Categorical { name, levels, .. } => {
+                arff.push_str(&format!("@attribute {name} {{{}}}\n", levels.join(",")));
+            }
+            Feature::Numeric { name, .. } => {
+                arff.push_str(&format!("@attribute {name} numeric\n"));
+            }
+        }
+    }
+    arff.push_str("@attribute class {class0,class1}\n@data\n");
+    for row in 0..data.n_rows() {
+        let mut cells = Vec::new();
+        for f in data.features() {
+            match f {
+                Feature::Categorical { codes, levels, .. } => {
+                    cells.push(levels[codes[row] as usize].clone());
+                }
+                Feature::Numeric { values, .. } => cells.push(format!("{:.4}", values[row])),
+            }
+        }
+        cells.push(data.class_names()[data.label(row) as usize].clone());
+        arff.push_str(&cells.join(","));
+        arff.push('\n');
+    }
+    let parsed = parse_arff("e2e-arff", &arff).expect("generated ARFF parses");
+    assert_eq!(parsed.categorical_feature_indices().len(), 2);
+    let mut engine = SmartML::new(quick_options());
+    let outcome = engine.run(&parsed).expect("pipeline handles mixed types");
+    assert!(outcome.report.best.validation_accuracy > 0.5);
+}
+
+#[test]
+fn full_preprocessing_chain_runs() {
+    let data = gaussian_blobs("e2e-prep", 220, 6, 3, 1.2, 3);
+    let mut options = quick_options();
+    options.preprocessing = vec![Op::Zv, Op::YeoJohnson, Op::Center, Op::Scale, Op::Pca];
+    let mut engine = SmartML::new(options);
+    let outcome = engine.run(&data).expect("long chain runs");
+    // PCA replaced the feature columns.
+    assert!(outcome.preprocessed.features()[0].name().starts_with("PC"));
+    assert!(outcome.report.best.validation_accuracy > 0.6);
+}
+
+#[test]
+fn every_synth_family_survives_the_pipeline() {
+    let specs = [
+        SynthSpec::Blobs { n: 150, d: 3, k: 2, spread: 1.0 },
+        SynthSpec::XorParity { n: 150, informative: 2, noise: 4, flip: 0.02 },
+        SynthSpec::PrototypeNoise { n: 150, d: 16, k: 4, snr: 0.8 },
+        SynthSpec::SparseCounts { n: 150, d: 30, k: 3, doc_len: 20 },
+        SynthSpec::Kinematics { n: 150, d: 4, noise: 0.2 },
+        SynthSpec::ImbalancedMixture { n: 150, d: 4, k: 5, overlap: 1.5 },
+        SynthSpec::SensorDrift { n: 150, d: 4, drift: 0.5 },
+        SynthSpec::TwoSpirals { n: 150, noise: 0.2 },
+        SynthSpec::CategoricalMixture { n: 150, d_cat: 3, d_num: 2, k: 3, cardinality: 3 },
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let data = spec.generate(&format!("family-{i}"), 11);
+        let mut engine = SmartML::new(quick_options());
+        let outcome = engine
+            .run(&data)
+            .unwrap_or_else(|e| panic!("family {i} failed: {e}"));
+        assert!(
+            outcome.report.best.validation_accuracy >= 0.0,
+            "family {i} produced a model"
+        );
+    }
+}
+
+#[test]
+fn outcome_model_predictions_match_report() {
+    let data = gaussian_blobs("e2e-pred", 180, 3, 2, 0.7, 5);
+    let mut engine = SmartML::new(quick_options());
+    let outcome = engine.run(&data).expect("runs");
+    let acc = accuracy(
+        &outcome.preprocessed.labels_for(&outcome.valid_rows),
+        &outcome.model.predict(&outcome.preprocessed, &outcome.valid_rows),
+    );
+    assert!((acc - outcome.report.best.validation_accuracy).abs() < 1e-12);
+    // Train + valid rows partition the dataset.
+    let mut all: Vec<usize> = outcome
+        .train_rows
+        .iter()
+        .chain(&outcome.valid_rows)
+        .copied()
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..data.n_rows()).collect::<Vec<_>>());
+}
+
+#[test]
+fn missing_values_flow_through_the_whole_pipeline() {
+    use smartml_data::dataset::MISSING_CODE;
+    // Start from a clean generated dataset and punch 20% holes in it.
+    let base = categorical_mixture("e2e-missing", 200, 2, 3, 2, 3, 9);
+    let features: Vec<Feature> = base
+        .features()
+        .iter()
+        .map(|f| match f {
+            Feature::Numeric { name, values } => Feature::Numeric {
+                name: name.clone(),
+                values: values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| if i % 5 == 0 { f64::NAN } else { v })
+                    .collect(),
+            },
+            Feature::Categorical { name, codes, levels } => Feature::Categorical {
+                name: name.clone(),
+                codes: codes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| if i % 5 == 0 { MISSING_CODE } else { c })
+                    .collect(),
+                levels: levels.clone(),
+            },
+        })
+        .collect();
+    let holey = base.with_features(features);
+    assert!(holey.missing_cells() > 100);
+    let mut options = quick_options();
+    options.preprocessing = vec![Op::Zv, Op::Scale];
+    options.interpretability = true;
+    let mut engine = SmartML::new(options);
+    let outcome = engine.run(&holey).expect("missing data handled end to end");
+    // The imputation step (always first) removed every hole.
+    assert_eq!(outcome.preprocessed.missing_cells(), 0);
+    assert!(outcome.report.best.validation_accuracy > 0.4);
+}
+
+#[test]
+fn time_budget_is_respected() {
+    let data = gaussian_blobs("e2e-time", 200, 4, 2, 1.0, 6);
+    let mut options = quick_options();
+    options.budget = Budget::Time(std::time::Duration::from_millis(900));
+    let mut engine = SmartML::new(options);
+    let start = std::time::Instant::now();
+    let outcome = engine.run(&data).expect("time-budgeted run completes");
+    // Generous bound: budget + fit/refit overhead.
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "run took {:?}",
+        start.elapsed()
+    );
+    assert!(outcome.report.best.validation_accuracy > 0.0);
+}

@@ -1,0 +1,189 @@
+//! Meta-learning loop tests: the paper's central claims, verified
+//! end-to-end — KB warm starts help at small budgets, the KB grows with
+//! every run, and selection routes dataset families to the right
+//! algorithm regions.
+
+use smartml::bootstrap::{bootstrap_dataset, BootstrapProfile};
+use smartml::{Algorithm, Budget, KnowledgeBase, SmartML, SmartMlOptions};
+use smartml_data::synth::{gaussian_blobs, sparse_counts, xor_parity, SynthSpec};
+use smartml_kb::QueryOptions;
+use smartml_metafeatures::extract;
+
+fn options(trials: usize) -> SmartMlOptions {
+    SmartMlOptions {
+        budget: Budget::Trials(trials),
+        top_n_algorithms: 2,
+        cv_folds: 2,
+        seed: 7,
+        update_kb: false,
+        ..Default::default()
+    }
+}
+
+/// A KB with experience on two distinct dataset families.
+fn two_region_kb() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    let profile = BootstrapProfile {
+        algorithms: vec![
+            Algorithm::Knn,
+            Algorithm::NaiveBayes,
+            Algorithm::Lda,
+            Algorithm::RandomForest,
+            Algorithm::J48,
+        ],
+        configs_per_algorithm: 2,
+        ..BootstrapProfile::fast()
+    };
+    for seed in 0..3u64 {
+        bootstrap_dataset(&mut kb, &gaussian_blobs(&format!("blob{seed}"), 200, 4, 3, 0.8, seed), &profile);
+        bootstrap_dataset(&mut kb, &xor_parity(&format!("xor{seed}"), 250, 2, 10, 0.02, seed), &profile);
+        bootstrap_dataset(&mut kb, &sparse_counts(&format!("text{seed}"), 200, 40, 4, 30, seed), &profile);
+    }
+    kb
+}
+
+#[test]
+fn warm_kb_matches_or_beats_cold_start_at_small_budget() {
+    let kb = two_region_kb();
+    // Average over a few query datasets to tame seed noise.
+    let mut warm_total = 0.0;
+    let mut cold_total = 0.0;
+    for seed in [100u64, 101, 102] {
+        let task = xor_parity(&format!("task{seed}"), 280, 2, 10, 0.02, seed);
+        let warm = SmartML::with_kb(kb.clone(), options(6))
+            .run(&task)
+            .expect("warm run")
+            .report
+            .best
+            .validation_accuracy;
+        let cold = SmartML::new(options(6))
+            .run(&task)
+            .expect("cold run")
+            .report
+            .best
+            .validation_accuracy;
+        warm_total += warm;
+        cold_total += cold;
+    }
+    assert!(
+        warm_total >= cold_total - 0.05,
+        "warm {warm_total} clearly below cold {cold_total}"
+    );
+}
+
+#[test]
+fn kb_routes_families_to_different_algorithms() {
+    let kb = two_region_kb();
+    let blob_task = gaussian_blobs("q-blob", 220, 4, 3, 0.8, 50);
+    let xor_task = xor_parity("q-xor", 260, 2, 11, 0.02, 50);
+    let blob_rec = kb.recommend(
+        &extract(&blob_task, &blob_task.all_rows()),
+        &QueryOptions::default(),
+    );
+    let xor_rec = kb.recommend(
+        &extract(&xor_task, &xor_task.all_rows()),
+        &QueryOptions::default(),
+    );
+    // Moment-based meta-features vary a lot *within* a family (random
+    // centers), so exact nearest-1 is noisy; the query's own family must
+    // still be well represented in the neighbour set, and the xor query's
+    // top hit is unambiguous (different d, k and entropy profile).
+    assert!(xor_rec.neighbors[0].0.starts_with("xor"), "{:?}", xor_rec.neighbors);
+    let blob_hits = blob_rec
+        .neighbors
+        .iter()
+        .filter(|(id, _)| id.starts_with("blob"))
+        .count();
+    assert!(blob_hits >= 2, "{:?}", blob_rec.neighbors);
+    // And the sparse-text family must NOT appear near the blob query.
+    assert!(
+        !blob_rec.neighbors.iter().any(|(id, _)| id.starts_with("text")),
+        "{:?}",
+        blob_rec.neighbors
+    );
+}
+
+#[test]
+fn kb_accumulates_across_runs_and_persists() {
+    let dir = std::env::temp_dir().join("smartml-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kb-accumulate.json");
+    let mut opts = options(6);
+    opts.update_kb = true;
+    let mut engine = SmartML::new(opts);
+    for seed in 0..3u64 {
+        let task = gaussian_blobs(&format!("acc{seed}"), 150, 3, 2, 1.0, seed);
+        engine.run(&task).expect("run succeeds");
+    }
+    assert_eq!(engine.kb().len(), 3);
+    let runs = engine.kb().n_runs();
+    assert!(runs >= 6, "2 algorithms per run x 3 runs, got {runs}");
+    let kb = engine.into_kb();
+    kb.save(&path).unwrap();
+    let reloaded = KnowledgeBase::load(&path).unwrap();
+    assert_eq!(reloaded.len(), 3);
+    assert_eq!(reloaded.n_runs(), runs);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn warm_starts_flow_from_kb_into_tuning() {
+    let kb = two_region_kb();
+    let task = gaussian_blobs("warm-flow", 200, 4, 3, 0.8, 60);
+    let outcome = SmartML::with_kb(kb, options(8)).run(&task).expect("runs");
+    // At least one nominated algorithm must have received warm starts.
+    assert!(
+        outcome.report.tuning.iter().any(|t| t.n_warm_starts > 0),
+        "{:?}",
+        outcome
+            .report
+            .tuning
+            .iter()
+            .map(|t| (t.algorithm, t.n_warm_starts))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn bootstrap_corpus_covers_benchmark_neighbourhoods() {
+    // Every benchmark analogue must find at least one KB-corpus neighbour
+    // within a sane distance — the precondition for Table 4's protocol.
+    let profile = BootstrapProfile {
+        algorithms: vec![Algorithm::Knn],
+        configs_per_algorithm: 1,
+        ..BootstrapProfile::fast()
+    };
+    let mut kb = KnowledgeBase::new();
+    for (i, (name, spec)) in smartml_data::synth::kb_bootstrap_corpus()
+        .iter()
+        .enumerate()
+        .take(25)
+    {
+        let data = spec.generate(name, i as u64);
+        bootstrap_dataset(&mut kb, &data, &profile);
+    }
+    for bench in smartml_data::synth::benchmark_suite() {
+        let data = bench.generate(2019);
+        let meta = extract(&data, &data.all_rows());
+        let rec = kb.recommend(&meta, &QueryOptions::default());
+        assert!(
+            !rec.neighbors.is_empty(),
+            "{} found no neighbours",
+            bench.paper_name
+        );
+    }
+}
+
+#[test]
+fn per_algorithm_budget_sums_to_total() {
+    let task = SynthSpec::Blobs { n: 200, d: 4, k: 2, spread: 1.0 }.generate("budget-sum", 9);
+    let mut opts = options(20);
+    opts.top_n_algorithms = 3;
+    let outcome = SmartML::new(opts).run(&task).expect("runs");
+    let total: usize = outcome.report.tuning.iter().map(|t| t.trials).sum();
+    // Proportional shares round and floor at 3; total stays near budget.
+    assert!(
+        (14..=30).contains(&total),
+        "trials {total} far from the 20-trial budget"
+    );
+}

@@ -1,0 +1,92 @@
+//! Cross-crate property tests: invariants that must hold for any generated
+//! dataset and any sampled configuration.
+
+use proptest::prelude::*;
+use smartml::{Algorithm, Budget, SmartML, SmartMlOptions};
+use smartml_data::synth::SynthSpec;
+use smartml_data::train_valid_split;
+use smartml_metafeatures::{extract, N_META_FEATURES};
+
+/// Strategy: a small but valid blob dataset spec.
+fn blob_spec() -> impl Strategy<Value = (SynthSpec, u64)> {
+    (60usize..150, 2usize..6, 2usize..4, 0.3f64..2.0, 0u64..1000).prop_map(
+        |(n, d, k, spread, seed)| (SynthSpec::Blobs { n, d, k, spread }, seed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn metafeatures_always_25_and_finite((spec, seed) in blob_spec()) {
+        let data = spec.generate("prop", seed);
+        let mf = extract(&data, &data.all_rows());
+        prop_assert_eq!(mf.values.len(), N_META_FEATURES);
+        prop_assert!(mf.values.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn splits_partition_any_dataset((spec, seed) in blob_spec()) {
+        let data = spec.generate("prop", seed);
+        let (train, valid) = train_valid_split(&data, 0.25, seed);
+        let mut all: Vec<usize> = train.iter().chain(&valid).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..data.n_rows()).collect::<Vec<_>>());
+        // Both splits see every class (stratified, n >= 60, k <= 3).
+        prop_assert!(data.class_counts_for(&train).iter().all(|&c| c > 0));
+        prop_assert!(data.class_counts_for(&valid).iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn sampled_configs_always_build_and_fit(
+        (spec, seed) in blob_spec(),
+        alg_idx in 0usize..15,
+    ) {
+        let data = spec.generate("prop", seed);
+        let algorithm = Algorithm::ALL[alg_idx];
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let config = algorithm.param_space().sample(&mut rng);
+        let rows = data.all_rows();
+        // Building never panics; fitting either succeeds or returns a
+        // structured error.
+        let clf = algorithm.build(&config);
+        match clf.fit(&data, &rows) {
+            Ok(model) => {
+                let proba = model.predict_proba(&data, &rows[..5.min(rows.len())]);
+                for p in proba {
+                    let total: f64 = p.iter().sum();
+                    prop_assert!((total - 1.0).abs() < 1e-6, "{algorithm}: sums to {total}");
+                    prop_assert!(p.iter().all(|v| v.is_finite()));
+                }
+            }
+            Err(e) => {
+                // Acceptable structured failure (tiny class, degenerate data).
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}
+
+// The full pipeline is too slow for many proptest cases; one representative
+// randomised case via a fixed set of seeds.
+#[test]
+fn pipeline_never_reports_out_of_range_accuracy() {
+    for seed in [3u64, 17, 99] {
+        let data = SynthSpec::Blobs { n: 120, d: 3, k: 2, spread: 1.0 }
+            .generate(&format!("range{seed}"), seed);
+        let options = SmartMlOptions {
+            budget: Budget::Trials(6),
+            top_n_algorithms: 2,
+            cv_folds: 2,
+            seed,
+            ..Default::default()
+        };
+        let outcome = SmartML::new(options).run(&data).expect("runs");
+        let acc = outcome.report.best.validation_accuracy;
+        assert!((0.0..=1.0).contains(&acc), "accuracy {acc} out of range");
+        for tune in &outcome.report.tuning {
+            assert!((0.0..=1.0).contains(&tune.best_cv_accuracy));
+            assert!((0.0..=1.0).contains(&tune.validation_accuracy));
+        }
+    }
+}
