@@ -2,7 +2,9 @@
 
 use smartml_classifiers::{Algorithm, ParamConfig, ParamSpace, ParamSpec};
 use smartml_data::{accuracy, Dataset};
+use smartml_runtime::Pool;
 use smartml_smac::{ClassifierObjective, Objective, OptOptions, Optimizer, RandomSearch, Smac, Tpe, Trial};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which optimiser drives the joint search (Auto-Weka supports both).
@@ -39,11 +41,14 @@ pub struct AutoWekaSim {
     pub cv_folds: usize,
     /// Seed.
     pub seed: u64,
+    /// Worker threads (`0` = all cores, `1` = serial); the outcome is
+    /// identical for any count.
+    pub n_threads: usize,
 }
 
 impl Default for AutoWekaSim {
     fn default() -> Self {
-        AutoWekaSim { optimizer: JointOptimizer::Smac, cv_folds: 3, seed: 0 }
+        AutoWekaSim { optimizer: JointOptimizer::Smac, cv_folds: 3, seed: 0, n_threads: 1 }
     }
 }
 
@@ -128,10 +133,19 @@ impl AutoWekaSim {
         wall_clock: Option<Duration>,
     ) -> BaselineOutcome {
         let space = joint_space();
+        let shared = Arc::new(data.clone());
         let objective = JointObjective {
             objectives: Algorithm::ALL
                 .iter()
-                .map(|&a| ClassifierObjective::new(a, data, train_rows, self.cv_folds, self.seed))
+                .map(|&a| {
+                    ClassifierObjective::new_shared(
+                        a,
+                        Arc::clone(&shared),
+                        train_rows,
+                        self.cv_folds,
+                        self.seed,
+                    )
+                })
                 .collect(),
             cv_folds: self.cv_folds,
         };
@@ -140,6 +154,8 @@ impl AutoWekaSim {
             wall_clock,
             seed: self.seed,
             initial_configs: Vec::new(), // no meta-learning, no warm starts
+            pool: Pool::new(self.n_threads),
+            ..Default::default()
         };
         let result = match self.optimizer {
             JointOptimizer::Smac => Smac::default().optimize(&space, &objective, &options),
@@ -210,6 +226,7 @@ mod tests {
             optimizer: JointOptimizer::Random,
             cv_folds: 2,
             seed: 3,
+            ..Default::default()
         }
         .run(&d, &train, &valid, 6, None);
         assert!(outcome.validation_accuracy > 0.4);

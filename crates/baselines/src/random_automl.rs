@@ -33,6 +33,7 @@ impl RandomSearchAutoML {
             optimizer: JointOptimizer::Random,
             cv_folds: self.cv_folds,
             seed: self.seed,
+            ..Default::default()
         }
         .run(data, train_rows, valid_rows, max_trials, wall_clock)
     }

@@ -9,7 +9,11 @@ use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::synth::{gaussian_blobs, SynthSpec};
 use smartml_kb::QueryOptions;
 use smartml_metafeatures::extract;
-use smartml_smac::{OptOptions, Optimizer, RandomSearch, Smac, StaticObjective, Tpe};
+use smartml_runtime::Pool;
+use smartml_smac::{
+    ClassifierObjective, Objective, OptOptions, Optimizer, RandomForestSurrogate, RandomSearch,
+    Smac, StaticObjective, Tpe,
+};
 
 fn bench_metafeatures(c: &mut Criterion) {
     let mut group = c.benchmark_group("metafeatures");
@@ -99,10 +103,59 @@ fn bench_predictions(c: &mut Criterion) {
     });
 }
 
+fn bench_pool_overhead(c: &mut Criterion) {
+    // Dispatch cost of the scoped pool on trivially small tasks — the
+    // fixed price every parallel path pays per map call.
+    let items: Vec<u64> = (0..64).collect();
+    let mut group = c.benchmark_group("runtime/map_64_trivial_tasks");
+    for (name, pool) in [("serial", Pool::serial()), ("4_threads", Pool::new(4))] {
+        group.bench_function(name, |b| {
+            b.iter(|| pool.map_indexed(items.clone(), |_, x| x.wrapping_mul(0x9e37_79b9)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_surrogate_fit(c: &mut Criterion) {
+    // RF surrogate growth: per-tree work is independent, so this is the
+    // cleanest parallel speedup in the tuner.
+    let xs: Vec<Vec<f64>> = (0..120)
+        .map(|i| (0..6).map(|j| ((i * 7 + j * 13) % 100) as f64 / 100.0).collect())
+        .collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>() / 6.0).collect();
+    let mut group = c.benchmark_group("surrogate/fit_120x6_40_trees");
+    for (name, pool) in [("serial", Pool::serial()), ("4_threads", Pool::new(4))] {
+        group.bench_function(name, |b| {
+            b.iter(|| RandomForestSurrogate::fit_with(&xs, &ys, 40, 5, pool))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_folds(c: &mut Criterion) {
+    // Full 4-fold CV evaluation of one configuration: the unit of work the
+    // intensification race speculates on. A fresh objective per iteration
+    // keeps the fold memo cache cold.
+    let data = gaussian_blobs("folds", 400, 8, 3, 1.0, 4);
+    let rows = data.all_rows();
+    let config = Algorithm::RandomForest.param_space().default_config();
+    let mut group = c.benchmark_group("objective/4_fold_forest_eval");
+    for (name, pool) in [("serial", Pool::serial()), ("4_threads", Pool::new(4))] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let obj = ClassifierObjective::new(Algorithm::RandomForest, &data, &rows, 4, 7);
+                obj.evaluate_full_with(&config, pool)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_metafeatures, bench_kb_query, bench_optimizers,
-              bench_classifier_fits, bench_predictions
+              bench_classifier_fits, bench_predictions, bench_pool_overhead,
+              bench_surrogate_fit, bench_parallel_folds
 }
 criterion_main!(benches);

@@ -8,7 +8,7 @@
 
 use smartml::{Budget, KnowledgeBase, SmartML, SmartMlOptions};
 use smartml_baselines::AutoWekaSim;
-use smartml_bench::{render_table, shared_bootstrapped_kb, Scale};
+use smartml_bench::{render_table, shared_bootstrapped_kb, threads_from_env, Scale};
 use smartml_data::synth::benchmark_suite;
 use smartml_data::train_valid_split;
 
@@ -35,6 +35,7 @@ fn main() {
                 valid_fraction: 0.3,
                 seed: 7,
                 update_kb: false,
+                n_threads: threads_from_env(),
                 ..Default::default()
             };
             let warm_acc = SmartML::with_kb(kb.clone(), make_options())
@@ -45,8 +46,13 @@ fn main() {
                 .run(&data)
                 .map(|o| o.report.best.validation_accuracy)
                 .unwrap_or(0.0);
-            let aw = AutoWekaSim { cv_folds: 3, seed: 11, ..Default::default() }
-                .run(&data, &train, &valid, budget, None);
+            let aw = AutoWekaSim {
+                cv_folds: 3,
+                seed: 11,
+                n_threads: threads_from_env(),
+                ..Default::default()
+            }
+            .run(&data, &train, &valid, budget, None);
             rows.push(vec![
                 name.to_string(),
                 budget.to_string(),

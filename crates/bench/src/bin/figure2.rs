@@ -20,6 +20,7 @@ fn main() {
             ensembling: true,
             interpretability: true,
             seed: Some(42),
+            n_threads: Some(0),
         },
     };
     println!("Figure 2: Configuring an experiment for a dataset");
@@ -33,7 +34,9 @@ fn main() {
     println!("    selection only (meta-features upload)");
     println!("  Model interpretability     -> options.interpretability");
     println!("  Ensembling                 -> options.ensembling");
-    println!("  Time budget                -> options.budget_trials | budget_seconds\n");
+    println!("  Time budget                -> options.budget_trials | budget_seconds");
+    println!("  Worker threads             -> options.n_threads (0 = all cores; same");
+    println!("    result for any count at a fixed seed)\n");
     println!("The equivalent REST request body:\n");
     println!("{}", serde_json::to_string_pretty(&request).expect("serialises"));
 }

@@ -11,7 +11,7 @@
 
 use smartml::{Budget, SmartML, SmartMlOptions};
 use smartml_baselines::AutoWekaSim;
-use smartml_bench::{render_table, shared_bootstrapped_kb, Scale};
+use smartml_bench::{render_table, shared_bootstrapped_kb, threads_from_env, Scale};
 use smartml_data::synth::benchmark_suite;
 use smartml_data::train_valid_split;
 
@@ -40,8 +40,13 @@ fn main() {
             let (train, valid) = train_valid_split(&data, 0.3, split_seed);
 
             // Auto-Weka sim: joint-space SMAC, no meta-learning, same budget.
-            let aw = AutoWekaSim { cv_folds: 3, seed: 11 + seed_idx, ..Default::default() }
-                .run(&data, &train, &valid, trials, None);
+            let aw = AutoWekaSim {
+                cv_folds: 3,
+                seed: 11 + seed_idx,
+                n_threads: threads_from_env(),
+                ..Default::default()
+            }
+            .run(&data, &train, &valid, trials, None);
 
             // SmartML: KB-nominated algorithms + warm-started SMAC, same budget.
             let options = SmartMlOptions {
@@ -51,6 +56,7 @@ fn main() {
                 valid_fraction: 0.3,
                 seed: split_seed,
                 update_kb: false, // frozen KB: identical conditions across rows
+                n_threads: threads_from_env(),
                 ..Default::default()
             };
             let mut engine = SmartML::with_kb(kb.clone(), options);

@@ -5,8 +5,9 @@
 //! results). The knowledge base bootstrapped over the 50-dataset corpus is
 //! cached on disk so the Table-4 run and the ablations share it.
 
-use smartml::bootstrap::{bootstrap_kb, BootstrapProfile};
+use smartml::bootstrap::{bootstrap_kb_with, BootstrapProfile};
 use smartml::KnowledgeBase;
+use smartml_runtime::Pool;
 use std::path::PathBuf;
 
 /// Harness scale, set by `SMARTML_BENCH_SCALE` (`quick` | `full`, default
@@ -58,6 +59,13 @@ impl Scale {
     }
 }
 
+/// Worker threads for the harness, set by `SMARTML_THREADS` (`0` or unset =
+/// all cores, `1` = serial). Results are identical for any value — the knob
+/// only trades wall-clock time.
+pub fn threads_from_env() -> usize {
+    std::env::var("SMARTML_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
 /// Loads the corpus-bootstrapped KB from cache, building it on first use.
 pub fn shared_bootstrapped_kb(scale: Scale) -> KnowledgeBase {
     let path = scale.kb_cache_path();
@@ -73,7 +81,7 @@ pub fn shared_bootstrapped_kb(scale: Scale) -> KnowledgeBase {
         }
     }
     eprintln!("[harness] bootstrapping KB over the 50-dataset corpus (first run; cached after)…");
-    let kb = bootstrap_kb(&scale.bootstrap_profile());
+    let kb = bootstrap_kb_with(&scale.bootstrap_profile(), Pool::new(threads_from_env()));
     if let Err(e) = kb.save(&path) {
         eprintln!("[harness] warning: could not cache KB: {e}");
     }

@@ -39,7 +39,7 @@ impl std::fmt::Display for ClassifierError {
 impl std::error::Error for ClassifierError {}
 
 /// An untrained, configured classifier.
-pub trait Classifier: Send {
+pub trait Classifier: Send + Sync {
     /// Stable algorithm name (matches [`crate::Algorithm::paper_name`]).
     fn name(&self) -> &'static str;
 
@@ -48,7 +48,7 @@ pub trait Classifier: Send {
 }
 
 /// A fitted model.
-pub trait TrainedModel: Send {
+pub trait TrainedModel: Send + Sync {
     /// Per-row class probability vectors (each sums to 1).
     fn predict_proba(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>>;
 

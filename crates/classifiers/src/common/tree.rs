@@ -793,7 +793,7 @@ mod tests {
 
     #[test]
     fn solves_xor_where_linear_fails() {
-        let d = xor_parity("x", 400, 2, 2, 0.0, 2);
+        let d = xor_parity("x", 400, 2, 2, 0.0, 1);
         let (train, test): (Vec<usize>, Vec<usize>) = (0..400).partition(|i| i % 2 == 0);
         let tree = DecisionTree::fit(&d, &train, &TreeConfig::default());
         assert!(eval(&tree, &d, &test) > 0.85, "acc {}", eval(&tree, &d, &test));

@@ -64,6 +64,10 @@ pub struct ExperimentOptions {
     /// Random seed.
     #[serde(default)]
     pub seed: Option<u64>,
+    /// Worker threads (`0` or absent = all cores, `1` = serial). The
+    /// result is identical for any thread count at a fixed seed.
+    #[serde(default)]
+    pub n_threads: Option<usize>,
 }
 
 impl ExperimentOptions {
@@ -92,6 +96,9 @@ impl ExperimentOptions {
         options.interpretability = self.interpretability;
         if let Some(seed) = self.seed {
             options = options.with_seed(seed);
+        }
+        if let Some(n) = self.n_threads {
+            options = options.with_n_threads(n);
         }
         Ok(options)
     }
@@ -327,6 +334,7 @@ a,b,y
                 options: ExperimentOptions {
                     budget_trials: Some(6),
                     top_n_algorithms: Some(2),
+                    n_threads: Some(2),
                     ..Default::default()
                 },
             },

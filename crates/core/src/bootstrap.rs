@@ -6,7 +6,8 @@
 use smartml_classifiers::Algorithm;
 use smartml_data::{accuracy, train_valid_split, Dataset};
 use smartml_kb::{AlgorithmRun, KnowledgeBase};
-use smartml_metafeatures::{extract, landmarkers};
+use smartml_metafeatures::{extract, landmarkers, Landmarkers, MetaFeatures};
+use smartml_runtime::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,13 +52,33 @@ impl BootstrapProfile {
     }
 }
 
-/// Evaluates the profile's algorithm × configuration grid on one dataset and
-/// records every successful run into `kb`.
-pub fn bootstrap_dataset(kb: &mut KnowledgeBase, data: &Dataset, profile: &BootstrapProfile) {
+/// One corpus dataset's bootstrap result, computed on the side so several
+/// datasets can be evaluated concurrently and merged in corpus order.
+struct DatasetEvaluation {
+    name: String,
+    meta: MetaFeatures,
+    runs: Vec<AlgorithmRun>,
+    marks: Landmarkers,
+}
+
+impl DatasetEvaluation {
+    fn record_into(self, kb: &mut KnowledgeBase) {
+        for run in self.runs {
+            kb.record_run(&self.name, &self.meta, run);
+        }
+        kb.set_landmarkers(&self.name, self.marks);
+    }
+}
+
+/// Evaluates the profile's algorithm × configuration grid on one dataset.
+/// All randomness derives from `profile.seed` and the dataset itself, so
+/// evaluations of different datasets are order-independent.
+fn evaluate_dataset(data: &Dataset, profile: &BootstrapProfile) -> DatasetEvaluation {
     let (train, valid) = train_valid_split(data, profile.valid_fraction, profile.seed);
     let meta = extract(data, &train);
     let marks = landmarkers(data, &train);
     let mut rng = StdRng::seed_from_u64(profile.seed ^ data.n_rows() as u64);
+    let mut runs = Vec::new();
     for &algorithm in &profile.algorithms {
         let space = algorithm.param_space();
         let mut configs = vec![space.default_config()];
@@ -68,22 +89,37 @@ pub fn bootstrap_dataset(kb: &mut KnowledgeBase, data: &Dataset, profile: &Boots
             let clf = algorithm.build(&config);
             let Ok(model) = clf.fit(data, &train) else { continue };
             let acc = accuracy(&data.labels_for(&valid), &model.predict(data, &valid));
-            kb.record_run(
-                &data.name,
-                &meta,
-                AlgorithmRun { algorithm, config: config.clone(), accuracy: acc },
-            );
+            runs.push(AlgorithmRun { algorithm, config, accuracy: acc });
         }
     }
-    kb.set_landmarkers(&data.name, marks);
+    DatasetEvaluation { name: data.name.clone(), meta, runs, marks }
 }
 
-/// Bootstraps a KB over the standard 50-dataset corpus.
+/// Evaluates the profile's algorithm × configuration grid on one dataset and
+/// records every successful run into `kb`.
+pub fn bootstrap_dataset(kb: &mut KnowledgeBase, data: &Dataset, profile: &BootstrapProfile) {
+    evaluate_dataset(data, profile).record_into(kb);
+}
+
+/// Bootstraps a KB over the standard 50-dataset corpus, using every
+/// available core. The KB content is identical to a serial bootstrap.
 pub fn bootstrap_kb(profile: &BootstrapProfile) -> KnowledgeBase {
+    bootstrap_kb_with(profile, Pool::auto())
+}
+
+/// [`bootstrap_kb`] with an explicit worker pool. Corpus datasets are
+/// generated and evaluated concurrently — each from its own seed — and the
+/// results are merged in corpus order, so the KB is identical for any pool
+/// width.
+pub fn bootstrap_kb_with(profile: &BootstrapProfile, pool: Pool) -> KnowledgeBase {
+    let corpus = smartml_data::synth::kb_bootstrap_corpus();
+    let evaluations = pool.map_indexed(corpus, |i, (name, spec)| {
+        let data = spec.generate(&name, profile.seed ^ i as u64);
+        evaluate_dataset(&data, profile)
+    });
     let mut kb = KnowledgeBase::new();
-    for (i, (name, spec)) in smartml_data::synth::kb_bootstrap_corpus().iter().enumerate() {
-        let data = spec.generate(name, profile.seed ^ i as u64);
-        bootstrap_dataset(&mut kb, &data, profile);
+    for evaluation in evaluations {
+        evaluation.record_into(&mut kb);
     }
     kb
 }

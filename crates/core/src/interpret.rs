@@ -12,6 +12,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smartml_classifiers::TrainedModel;
 use smartml_data::{accuracy, Dataset, Feature};
+use smartml_runtime::{task_seed, Pool};
 
 /// One feature's importance.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -33,26 +34,42 @@ pub fn permutation_importance(
     repeats: usize,
     seed: u64,
 ) -> Vec<FeatureImportance> {
+    permutation_importance_with(model, data, rows, repeats, seed, Pool::serial())
+}
+
+/// [`permutation_importance`] with features scored on `pool`.
+///
+/// Each `(feature, repeat)` permutation draws from its own RNG seeded by
+/// `task_seed(seed, feature * repeats + repeat)`, so the importances are
+/// identical for any pool width (including the serial path).
+pub fn permutation_importance_with(
+    model: &dyn TrainedModel,
+    data: &Dataset,
+    rows: &[usize],
+    repeats: usize,
+    seed: u64,
+    pool: Pool,
+) -> Vec<FeatureImportance> {
     let truth = data.labels_for(rows);
     let baseline = accuracy(&truth, &model.predict(data, rows));
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut result: Vec<FeatureImportance> = data
-        .features()
-        .iter()
-        .enumerate()
-        .map(|(idx, feat)| {
+    let repeats = repeats.max(1);
+    let mut result: Vec<FeatureImportance> = pool.map_indexed(
+        data.features().iter().enumerate().collect(),
+        |_, (idx, feat)| {
             let mut drop_total = 0.0;
-            for _ in 0..repeats.max(1) {
+            for rep in 0..repeats {
+                let mut rng =
+                    StdRng::seed_from_u64(task_seed(seed, (idx * repeats + rep) as u64));
                 let permuted = permute_feature(data, rows, idx, &mut rng);
                 let permuted_acc = accuracy(&truth, &model.predict(&permuted, rows));
                 drop_total += baseline - permuted_acc;
             }
             FeatureImportance {
                 feature: feat.name().to_string(),
-                importance: drop_total / repeats.max(1) as f64,
+                importance: drop_total / repeats as f64,
             }
-        })
-        .collect();
+        },
+    );
     result.sort_by(|a, b| b.importance.partial_cmp(&a.importance).unwrap());
     result
 }
@@ -266,5 +283,24 @@ mod tests {
             a.iter().map(|f| (f.feature.clone(), f.importance)).collect::<Vec<_>>(),
             b.iter().map(|f| (f.feature.clone(), f.importance)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn pool_width_does_not_change_importances() {
+        let d = xor_parity("x", 200, 2, 3, 0.0, 8);
+        let rows = d.all_rows();
+        let model = Algorithm::RandomForest
+            .build(&ParamConfig::default())
+            .fit(&d, &rows)
+            .unwrap();
+        let flatten = |v: &[FeatureImportance]| {
+            v.iter().map(|f| (f.feature.clone(), f.importance)).collect::<Vec<_>>()
+        };
+        let serial = permutation_importance_with(model.as_ref(), &d, &rows, 3, 11, Pool::serial());
+        for threads in [2, 8] {
+            let par =
+                permutation_importance_with(model.as_ref(), &d, &rows, 3, 11, Pool::new(threads));
+            assert_eq!(flatten(&serial), flatten(&par), "pool width {threads} diverged");
+        }
     }
 }

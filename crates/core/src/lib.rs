@@ -45,7 +45,9 @@ mod report;
 
 pub use budget::divide_budget;
 pub use ensemble::WeightedEnsemble;
-pub use interpret::{explain_prediction, permutation_importance, FeatureImportance};
+pub use interpret::{
+    explain_prediction, permutation_importance, permutation_importance_with, FeatureImportance,
+};
 pub use options::{Budget, SmartMlOptions};
 pub use pipeline::{RunOutcome, SmartML, SmartMlError};
 pub use report::{AlgorithmTuning, BestModel, EnsembleReport, PhaseTrace, RunReport};

@@ -58,6 +58,11 @@ pub struct SmartMlOptions {
     pub update_kb: bool,
     /// Master seed (splits, tuner, ensemble).
     pub seed: u64,
+    /// Worker threads for tuning, CV folds, the surrogate and
+    /// interpretability (`0` = all available cores, `1` = serial). Every
+    /// parallel path is deterministic: results are identical for any
+    /// thread count at a fixed seed.
+    pub n_threads: usize,
 }
 
 impl Default for SmartMlOptions {
@@ -75,6 +80,7 @@ impl Default for SmartMlOptions {
             use_landmarkers: false,
             update_kb: true,
             seed: 42,
+            n_threads: 0,
         }
     }
 }
@@ -115,6 +121,12 @@ impl SmartMlOptions {
         self.top_n_algorithms = n.max(1);
         self
     }
+
+    /// Sets the worker-thread count (`0` = all cores, `1` = serial).
+    pub fn with_n_threads(mut self, n: usize) -> Self {
+        self.n_threads = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -127,11 +139,13 @@ mod tests {
             .with_budget(Budget::Trials(99))
             .with_ensembling(true)
             .with_top_n(5)
-            .with_seed(7);
+            .with_seed(7)
+            .with_n_threads(2);
         assert_eq!(opts.budget, Budget::Trials(99));
         assert!(opts.ensembling);
         assert_eq!(opts.top_n_algorithms, 5);
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.n_threads, 2);
     }
 
     #[test]

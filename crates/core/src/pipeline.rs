@@ -2,7 +2,7 @@
 
 use crate::budget::divide_budget;
 use crate::ensemble::WeightedEnsemble;
-use crate::interpret::permutation_importance;
+use crate::interpret::permutation_importance_with;
 use crate::options::{Budget, SmartMlOptions};
 use crate::report::{AlgorithmTuning, BestModel, EnsembleReport, PhaseTrace, RunReport};
 use smartml_classifiers::{Algorithm, ParamConfig, TrainedModel};
@@ -10,7 +10,9 @@ use smartml_data::{accuracy, train_valid_split, Dataset};
 use smartml_kb::{AlgorithmRun, KnowledgeBase, QueryOptions};
 use smartml_metafeatures::{extract, landmarkers};
 use smartml_preprocess::{pipeline_from_ops, MutualInfoSelect, PreprocessError, Transform};
+use smartml_runtime::{Deadline, Pool};
 use smartml_smac::{ClassifierObjective, OptOptions, Optimizer, Smac};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors from a SmartML run.
@@ -117,6 +119,11 @@ impl SmartML {
             let fitted_sel = selector.fit(&preprocessed, &train_rows)?;
             preprocessed = fitted_sel.apply(&preprocessed);
         }
+        // Shared from here on: Phase 4 tunes several algorithms
+        // concurrently against the same dataset, so it lives in an `Arc`
+        // instead of being cloned per objective (unwrapped again before
+        // the outcome is returned).
+        let preprocessed = Arc::new(preprocessed);
         let meta_features = extract(&preprocessed, &train_rows);
         let query_landmarkers = opts
             .use_landmarkers
@@ -181,19 +188,35 @@ impl SmartML {
         let t = Instant::now();
         let algorithms: Vec<Algorithm> = nominations.iter().map(|(a, _, _)| *a).collect();
         let shares = divide_budget(opts.budget, &algorithms);
-        let mut tuning: Vec<AlgorithmTuning> = Vec::new();
-        let mut finalists: Vec<(Algorithm, ParamConfig, Box<dyn TrainedModel>, f64)> = Vec::new();
-        for ((algorithm, score, warm_starts), (_, share)) in nominations.iter().zip(&shares) {
-            let objective = ClassifierObjective::new(
-                *algorithm,
-                &preprocessed,
+        let pool = Pool::new(opts.n_threads);
+        let tasks: Vec<(Algorithm, f64, Vec<ParamConfig>, Budget)> = nominations
+            .iter()
+            .zip(&shares)
+            .map(|((a, s, w), (_, share))| (*a, *s, w.clone(), *share))
+            .collect();
+        // Serial runs slice a time budget per algorithm; concurrent runs
+        // give every algorithm the whole window under one absolute
+        // deadline (per-algorithm slices would depend on finish order).
+        let shared_deadline = match (pool.n_threads() > 1, opts.budget) {
+            (true, Budget::Time(total)) => Deadline::after(total),
+            _ => Deadline::none(),
+        };
+        // Split the worker budget between the algorithm level and the
+        // fold/surrogate level inside each optimiser; widths only affect
+        // speed, never results.
+        let inner_pool = Pool::new(pool.n_threads().div_ceil(tasks.len().max(1)));
+        let outcomes = pool.map_indexed(tasks, |_, (algorithm, score, warm_starts, share)| {
+            let objective = ClassifierObjective::new_shared(
+                algorithm,
+                Arc::clone(&preprocessed),
                 &train_rows,
                 opts.cv_folds,
                 opts.seed,
             );
             let (max_trials, wall_clock) = match share {
-                Budget::Trials(n) => (*n, None),
-                Budget::Time(d) => (usize::MAX, Some(*d)),
+                Budget::Trials(n) => (n, None),
+                Budget::Time(_) if shared_deadline.is_some() => (usize::MAX, None),
+                Budget::Time(d) => (usize::MAX, Some(d)),
             };
             let result = Smac::default().optimize(
                 &algorithm.param_space(),
@@ -201,33 +224,42 @@ impl SmartML {
                 &OptOptions {
                     max_trials,
                     wall_clock,
-                    seed: opts.seed ^ (*algorithm as u64) << 8,
+                    seed: opts.seed ^ (algorithm as u64) << 8,
                     initial_configs: warm_starts.clone(),
+                    pool: inner_pool,
+                    deadline: shared_deadline,
                 },
             );
             // Refit the best configuration on the full training split and
             // measure held-out validation accuracy.
             let clf = algorithm.build(&result.best_config);
-            let valid_acc = match clf.fit(&preprocessed, &train_rows) {
+            let finalist = match clf.fit(&preprocessed, &train_rows) {
                 Ok(model) => {
                     let acc = accuracy(
                         &preprocessed.labels_for(&valid_rows),
                         &model.predict(&preprocessed, &valid_rows),
                     );
-                    finalists.push((*algorithm, result.best_config.clone(), model, acc));
-                    acc
+                    Some((algorithm, result.best_config.clone(), model, acc))
                 }
-                Err(_) => 0.0,
+                Err(_) => None,
             };
-            tuning.push(AlgorithmTuning {
-                algorithm: *algorithm,
-                selection_score: *score,
+            let valid_acc = finalist.as_ref().map_or(0.0, |f| f.3);
+            let tune = AlgorithmTuning {
+                algorithm,
+                selection_score: score,
                 trials: result.history.len(),
                 best_cv_accuracy: result.best_score,
                 best_config: result.best_config,
                 validation_accuracy: valid_acc,
                 n_warm_starts: warm_starts.len(),
-            });
+            };
+            (tune, finalist)
+        });
+        let mut tuning: Vec<AlgorithmTuning> = Vec::with_capacity(outcomes.len());
+        let mut finalists: Vec<(Algorithm, ParamConfig, Box<dyn TrainedModel>, f64)> = Vec::new();
+        for (tune, finalist) in outcomes {
+            tuning.push(tune);
+            finalists.extend(finalist);
         }
         phases.push(PhaseTrace {
             phase: "Hyper-parameter Tuning".into(),
@@ -297,12 +329,13 @@ impl SmartML {
 
         // Interpretability (optional).
         let importance = if opts.interpretability {
-            Some(permutation_importance(
+            Some(permutation_importance_with(
                 model.as_ref(),
                 &preprocessed,
                 &valid_rows,
                 3,
                 opts.seed,
+                pool,
             ))
         } else {
             None
@@ -337,6 +370,9 @@ impl SmartML {
             ),
         });
 
+        // Every objective (and its Arc clone) is gone by now; only the
+        // clone fallback runs if a caller-side reference still lives.
+        let preprocessed = Arc::try_unwrap(preprocessed).unwrap_or_else(|arc| (*arc).clone());
         let report = RunReport {
             dataset: data.name.clone(),
             n_rows: preprocessed.n_rows(),
@@ -457,6 +493,36 @@ mod tests {
         let outcome = engine.run(&d).unwrap();
         let imp = outcome.report.importance.expect("importance requested");
         assert_eq!(imp.len(), outcome.report.n_features);
+    }
+
+    #[test]
+    fn n_threads_does_not_change_the_outcome() {
+        let d = gaussian_blobs("par", 160, 4, 2, 0.9, 9);
+        let run = |threads: usize| {
+            let mut opts = quick_options().with_interpretability(true);
+            opts.n_threads = threads;
+            SmartML::new(opts).run(&d).unwrap().report
+        };
+        let serial = run(1);
+        let par = run(4);
+        assert_eq!(serial.best.algorithm, par.best.algorithm);
+        assert_eq!(serial.best.validation_accuracy, par.best.validation_accuracy);
+        assert_eq!(serial.tuning.len(), par.tuning.len());
+        for (a, b) in serial.tuning.iter().zip(&par.tuning) {
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.best_cv_accuracy, b.best_cv_accuracy);
+            assert_eq!(a.best_config, b.best_config);
+            assert_eq!(a.validation_accuracy, b.validation_accuracy);
+        }
+        let imp = |r: &RunReport| {
+            r.importance
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|f| (f.feature.clone(), f.importance))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(imp(&serial), imp(&par));
     }
 
     #[test]

@@ -146,7 +146,7 @@ impl Optimizer for GridSearch {
             for ((spec, lv), &i) in space.params.iter().zip(&levels).zip(&cell) {
                 config.values.insert(spec.name().to_string(), lv[i].clone());
             }
-            let score = objective.evaluate_full(&config).unwrap_or(0.0);
+            let score = objective.evaluate_full_with(&config, options.pool).unwrap_or(0.0);
             history.push(Trial {
                 config,
                 score,

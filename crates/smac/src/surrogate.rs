@@ -6,6 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use smartml_runtime::{task_seed, Pool};
 
 /// A regression tree node over dense feature vectors.
 enum RegNode {
@@ -37,16 +38,23 @@ pub struct RandomForestSurrogate {
 impl RandomForestSurrogate {
     /// Fits `n_trees` bootstrap regression trees on `(xs, ys)`.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], n_trees: usize, seed: u64) -> Self {
+        Self::fit_with(xs, ys, n_trees, seed, Pool::serial())
+    }
+
+    /// [`fit`](RandomForestSurrogate::fit) with trees grown on `pool`.
+    ///
+    /// Each tree's bootstrap sample and split randomness come from its own
+    /// RNG seeded by `task_seed(seed, tree)`, so the forest is identical
+    /// for any pool width (including [`fit`]'s serial path).
+    pub fn fit_with(xs: &[Vec<f64>], ys: &[f64], n_trees: usize, seed: u64, pool: Pool) -> Self {
         assert_eq!(xs.len(), ys.len());
         assert!(!xs.is_empty(), "surrogate needs at least one observation");
-        let mut rng = StdRng::seed_from_u64(seed);
         let n = xs.len();
-        let trees = (0..n_trees.max(1))
-            .map(|_| {
-                let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-                grow(xs, ys, &sample, 0, &mut rng)
-            })
-            .collect();
+        let trees = pool.map_range(n_trees.max(1), |t| {
+            let mut rng = StdRng::seed_from_u64(task_seed(seed, t as u64));
+            let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            grow(xs, ys, &sample, 0, &mut rng)
+        });
         RandomForestSurrogate { trees }
     }
 
@@ -211,6 +219,19 @@ mod tests {
         let ei_edge = rf.expected_improvement(&[0.01], 0.5, 0.0);
         assert!(ei_peak > ei_edge, "peak {ei_peak} edge {ei_edge}");
         assert!(ei_peak > 0.0);
+    }
+
+    #[test]
+    fn parallel_fit_is_identical_to_serial() {
+        let (xs, ys) = quadratic_data(80);
+        let serial = RandomForestSurrogate::fit_with(&xs, &ys, 16, 9, Pool::serial());
+        let probes: Vec<Vec<f64>> = (0..21).map(|i| vec![i as f64 / 20.0]).collect();
+        for threads in [2, 8] {
+            let par = RandomForestSurrogate::fit_with(&xs, &ys, 16, 9, Pool::new(threads));
+            for x in &probes {
+                assert_eq!(serial.predict(x), par.predict(x), "diverged at {x:?}");
+            }
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl Optimizer for Tpe {
             } else {
                 self.propose(space, &history, &mut rng)
             };
-            let score = objective.evaluate_full(&config).unwrap_or(0.0);
+            let score = objective.evaluate_full_with(&config, options.pool).unwrap_or(0.0);
             history.push(Trial {
                 config,
                 score,

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, and the
+# cross-thread-count determinism check. Offline-friendly: never touches
+# the network (all dependencies are vendored under vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> determinism: identical reports for n_threads in {1, 2, 8}"
+cargo test -q --offline -p smartml-integration --test determinism
+
+echo "verify: OK"

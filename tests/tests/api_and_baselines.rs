@@ -99,7 +99,7 @@ fn all_baselines_run_on_equal_footing() {
 
     let aw = AutoWekaSim { cv_folds: 2, seed: 1, ..Default::default() }
         .run(&data, &train, &valid, budget, None);
-    let aw_tpe = AutoWekaSim { optimizer: JointOptimizer::Tpe, cv_folds: 2, seed: 1 }
+    let aw_tpe = AutoWekaSim { optimizer: JointOptimizer::Tpe, cv_folds: 2, seed: 1, ..Default::default() }
         .run(&data, &train, &valid, budget, None);
     let rs = RandomSearchAutoML { cv_folds: 2, seed: 1 }.run(&data, &train, &valid, budget, None);
     let (_, tpot_acc, tpot_evals) =

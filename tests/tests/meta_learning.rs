@@ -48,7 +48,7 @@ fn warm_kb_matches_or_beats_cold_start_at_small_budget() {
     // Average over a few query datasets to tame seed noise.
     let mut warm_total = 0.0;
     let mut cold_total = 0.0;
-    for seed in [100u64, 101, 102] {
+    for seed in [100u64, 101, 102, 103, 104] {
         let task = xor_parity(&format!("task{seed}"), 280, 2, 10, 0.02, seed);
         let warm = SmartML::with_kb(kb.clone(), options(6))
             .run(&task)
@@ -66,7 +66,7 @@ fn warm_kb_matches_or_beats_cold_start_at_small_budget() {
         cold_total += cold;
     }
     assert!(
-        warm_total >= cold_total - 0.05,
+        warm_total >= cold_total - 0.08,
         "warm {warm_total} clearly below cold {cold_total}"
     );
 }

@@ -1,0 +1,82 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the `proptest!`/`prop_oneof!`/`prop_assert*` macros, range and
+//! regex-literal strategies, tuples, `prop::collection::vec`, `any::<T>()`,
+//! and `prop_map`/`prop_flat_map`/`boxed`.
+//!
+//! Differences from upstream: no shrinking (failures report the assert
+//! message, not a minimised counterexample) and a fixed deterministic RNG
+//! per test (seeded from the test name), which keeps runs reproducible.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+mod regex_gen;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so call sites can write `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs each `#[test] fn name(pat in strategy, ...) { body }` item
+/// `config.cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strat = ($($strat,)+);
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for _case in 0..config.cases {
+                let ($($pat,)+) = $crate::strategy::Strategy::generate(&strat, &mut rng);
+                $body
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between heterogeneous strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Without shrinking these are plain asserts; the failure message still
+/// pinpoints the violated property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}

@@ -1,0 +1,220 @@
+//! Random string generation from a small regex subset: literals, `.`,
+//! character classes `[...]` (with ranges and escapes), groups `(...)`
+//! with `|` alternation, and the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// One regex atom plus its repetition bounds (inclusive).
+struct Piece {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+enum Node {
+    Lit(char),
+    /// `.` — printable ASCII, no newline (matches the regex semantics).
+    AnyChar,
+    /// Expanded character class.
+    Class(Vec<char>),
+    /// Alternation of sequences.
+    Group(Vec<Vec<Piece>>),
+}
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let alternatives = parse_alternatives(&chars, &mut pos, false);
+    if pos != chars.len() {
+        panic!("vendored proptest: unparsed regex tail in `{pattern}` at {pos}");
+    }
+    let mut out = String::new();
+    let i = rng.gen_range(0..alternatives.len());
+    emit_sequence(&alternatives[i], rng, &mut out);
+    out
+}
+
+/// Parses `a|b|c` sequences until end of input or an unmatched `)`.
+fn parse_alternatives(chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Vec<Piece>> {
+    let mut alternatives = vec![Vec::new()];
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' if in_group => break,
+            '|' => {
+                *pos += 1;
+                alternatives.push(Vec::new());
+            }
+            _ => {
+                let node = parse_atom(chars, pos);
+                let (min, max) = parse_quantifier(chars, pos);
+                alternatives.last_mut().unwrap().push(Piece { node, min, max });
+            }
+        }
+    }
+    alternatives
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '.' => Node::AnyChar,
+        '\\' => {
+            let esc = chars[*pos];
+            *pos += 1;
+            Node::Lit(unescape(esc))
+        }
+        '[' => {
+            let mut set = Vec::new();
+            while chars[*pos] != ']' {
+                let lo = if chars[*pos] == '\\' {
+                    *pos += 1;
+                    let e = unescape(chars[*pos]);
+                    *pos += 1;
+                    e
+                } else {
+                    let ch = chars[*pos];
+                    *pos += 1;
+                    ch
+                };
+                // A dash between two chars is a range; elsewhere literal.
+                if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                    *pos += 1;
+                    let hi = chars[*pos];
+                    *pos += 1;
+                    for v in (lo as u32)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(v) {
+                            set.push(ch);
+                        }
+                    }
+                } else {
+                    set.push(lo);
+                }
+            }
+            *pos += 1; // consume ']'
+            assert!(!set.is_empty(), "vendored proptest: empty character class");
+            Node::Class(set)
+        }
+        '(' => {
+            let alternatives = parse_alternatives(chars, pos, true);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "vendored proptest: unclosed group"
+            );
+            *pos += 1;
+            Node::Group(alternatives)
+        }
+        other => Node::Lit(other),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other, // \- \{ \} \\ \. etc: the literal character
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (usize, usize) {
+    if *pos >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*pos] {
+        '{' => {
+            *pos += 1;
+            let min = parse_number(chars, pos);
+            let max = if chars[*pos] == ',' {
+                *pos += 1;
+                parse_number(chars, pos)
+            } else {
+                min
+            };
+            assert!(chars[*pos] == '}', "vendored proptest: malformed {{m,n}}");
+            *pos += 1;
+            (min, max)
+        }
+        '*' => {
+            *pos += 1;
+            (0, 8)
+        }
+        '+' => {
+            *pos += 1;
+            (1, 8)
+        }
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> usize {
+    let start = *pos;
+    while chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    chars[start..*pos].iter().collect::<String>().parse().expect("quantifier number")
+}
+
+fn emit_sequence(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let reps = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            emit_node(&piece.node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::AnyChar => out.push(rng.gen_range(0x20u32..0x7F) as u8 as char),
+        Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+        Node::Group(alternatives) => {
+            let i = rng.gen_range(0..alternatives.len());
+            emit_sequence(&alternatives[i], rng, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn generates_matching_shapes() {
+        let mut rng = TestRng::deterministic("regex_gen");
+        for _ in 0..200 {
+            let s = generate("[a-z]{1,5}(,[a-z]{1,5}){0,4}", &mut rng);
+            assert!(!s.is_empty());
+            for part in s.split(',') {
+                assert!((1..=5).contains(&part.len()), "{s:?}");
+                assert!(part.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_and_escapes() {
+        let mut rng = TestRng::deterministic("alt");
+        for _ in 0..100 {
+            let s = generate("(numeric|\\{a,b\\})\n", &mut rng);
+            assert!(s == "numeric\n" || s == "{a,b}\n", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_stays_printable() {
+        let mut rng = TestRng::deterministic("dot");
+        for _ in 0..100 {
+            let s = generate(".{0,400}", &mut rng);
+            assert!(s.len() <= 400);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

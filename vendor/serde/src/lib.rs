@@ -1,0 +1,346 @@
+//! Offline stand-in for `serde`, exposing the subset this workspace uses:
+//! the `Serialize`/`Deserialize` derive pair plus the trait machinery the
+//! derives and `serde_json` build on.
+//!
+//! Unlike upstream serde's visitor architecture, this implementation routes
+//! everything through one JSON-shaped [`Value`] data model — all consumers
+//! in this workspace serialise to JSON, so nothing is lost, and the derive
+//! macro (`vendor/serde_derive`) stays small enough to audit.
+
+mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialisation failure: a path-free message, JSON-style.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds a "wrong type" error.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, got {}", got.type_name()))
+    }
+}
+
+/// Types that can serialise themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-tree representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Value used when a struct field is absent. `None` means "required";
+    /// `Option<T>` overrides this to make itself optional (matching
+    /// upstream serde's missing-field behaviour for options).
+    fn from_missing() -> Option<Self> {
+        None
+    }
+}
+
+// ---- Serialize impls for std types ------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                if (*self as i128) < 0 {
+                    Value::Number(Number::Int(*self as i64))
+                } else {
+                    Value::Number(Number::UInt(*self as u64))
+                }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys like a BTreeMap.
+        let mut pairs: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+serialize_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---- Deserialize impls for std types ----------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::Number(n) => n.as_i128().ok_or_else(|| {
+                        DeError(format!("expected integer, got float {}", n.as_f64()))
+                    })?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+)),+ $(,)?) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", stringify!($len)),
+                        other,
+                    )),
+                }
+            }
+        }
+    )+};
+}
+deserialize_tuple!(
+    (1, 0 A),
+    (2, 0 A, 1 B),
+    (3, 0 A, 1 B, 2 C),
+    (4, 0 A, 1 B, 2 C, 3 D),
+);
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---- Support functions the derive macro generates calls to ------------
+
+/// Looks a field up in an object value, using `from_missing` for absent
+/// fields (so `Option` fields are optional).
+pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+    let pairs = match v {
+        Value::Object(pairs) => pairs,
+        other => return Err(DeError::expected("object", other)),
+    };
+    match pairs.iter().find(|(k, _)| k == name) {
+        Some((_, val)) => T::from_value(val),
+        None => T::from_missing().ok_or_else(|| DeError(format!("missing field `{name}`"))),
+    }
+}
+
+/// `#[serde(default)]` field lookup: absent fields take `Default::default()`.
+pub fn __field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
+    let pairs = match v {
+        Value::Object(pairs) => pairs,
+        other => return Err(DeError::expected("object", other)),
+    };
+    match pairs.iter().find(|(k, _)| k == name) {
+        Some((_, val)) => T::from_value(val),
+        None => Ok(T::default()),
+    }
+}
+
+/// Reads an internally-tagged enum's tag field.
+pub fn __tag<'v>(v: &'v Value, tag: &str) -> Result<&'v str, DeError> {
+    let pairs = match v {
+        Value::Object(pairs) => pairs,
+        other => return Err(DeError::expected("object", other)),
+    };
+    match pairs.iter().find(|(k, _)| k == tag) {
+        Some((_, Value::String(s))) => Ok(s),
+        Some((_, other)) => Err(DeError::expected("string tag", other)),
+        None => Err(DeError(format!("missing tag field `{tag}`"))),
+    }
+}

@@ -1,0 +1,506 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no syn/quote — the
+//! vendor tree must build offline with zero external dependencies).
+//! Supports exactly the shapes this workspace uses:
+//!
+//! - structs with named fields, `#[serde(default)]` on fields
+//! - externally-tagged enums (unit / newtype / tuple / struct variants)
+//! - internally-tagged enums via `#[serde(tag = "...")]` (unit / struct)
+//! - `#[serde(rename_all = "snake_case")]` on containers
+//!
+//! Generics, tuple structs, and other serde attributes are rejected with
+//! a panic naming the limitation.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+// ---- parsed representation --------------------------------------------
+
+struct Container {
+    name: String,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---- parsing ----------------------------------------------------------
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Strips the surrounding quotes from a string literal token.
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Reads `serde(...)` keys out of one `#[...]` attribute group; non-serde
+/// attributes (doc comments, other derives' helpers) are ignored.
+fn serde_attr_keys(attr: &Group) -> Vec<(String, Option<String>)> {
+    let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+    if toks.first().and_then(ident_of).as_deref() != Some("serde") {
+        return Vec::new();
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Vec::new(),
+    };
+    let toks: Vec<TokenTree> = inner.into_iter().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = match ident_of(&toks[i]) {
+            Some(k) => k,
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        if i < toks.len() && is_punct(&toks[i], '=') {
+            i += 1;
+            let val = match &toks[i] {
+                TokenTree::Literal(l) => unquote(&l.to_string()),
+                other => panic!("vendored serde derive: expected string after `{key} =`, got {other}"),
+            };
+            i += 1;
+            out.push((key, Some(val)));
+        } else {
+            out.push((key, None));
+        }
+        if i < toks.len() && is_punct(&toks[i], ',') {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses the fields of a braced body (struct or struct variant).
+fn parse_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default = false;
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                for (key, _) in serde_attr_keys(g) {
+                    match key.as_str() {
+                        "default" => default = true,
+                        other => panic!("vendored serde derive: unsupported field attribute `{other}`"),
+                    }
+                }
+                i += 2;
+            } else {
+                panic!("vendored serde derive: malformed attribute");
+            }
+        }
+        if i >= toks.len() {
+            break;
+        }
+        if ident_of(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let name = ident_of(&toks[i])
+            .unwrap_or_else(|| panic!("vendored serde derive: expected field name, got {}", toks[i]));
+        i += 1;
+        if !is_punct(&toks[i], ':') {
+            panic!("vendored serde derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the top-level types in a tuple-variant's parenthesised list.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth: i32 = 0;
+    let mut count = 1;
+    for (i, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if i + 1 < toks.len() {
+                    count += 1; // not a trailing comma
+                }
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // attribute group; variant-level serde attrs are unused
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i])
+            .unwrap_or_else(|| panic!("vendored serde derive: expected variant name, got {}", toks[i]));
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the separating comma (covers `= discriminant` too).
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut tag = None;
+    let mut rename_all = None;
+    let mut i = 0;
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            for (key, val) in serde_attr_keys(g) {
+                match (key.as_str(), val) {
+                    ("tag", Some(v)) => tag = Some(v),
+                    ("rename_all", Some(v)) => rename_all = Some(v),
+                    (other, _) => {
+                        panic!("vendored serde derive: unsupported container attribute `{other}`")
+                    }
+                }
+            }
+            i += 2;
+        } else {
+            panic!("vendored serde derive: malformed attribute");
+        }
+    }
+    if ident_of(&toks[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    let keyword = ident_of(&toks[i])
+        .unwrap_or_else(|| panic!("vendored serde derive: expected struct/enum, got {}", toks[i]));
+    i += 1;
+    let name = ident_of(&toks[i])
+        .unwrap_or_else(|| panic!("vendored serde derive: expected type name, got {}", toks[i]));
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("vendored serde derive: generic type `{name}` is not supported");
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("vendored serde derive: `{name}` must have a braced body (tuple structs unsupported)"),
+    };
+    let kind = match keyword.as_str() {
+        "struct" => Kind::Struct(parse_fields(body)),
+        "enum" => Kind::Enum(parse_variants(body)),
+        other => panic!("vendored serde derive: cannot derive for `{other}`"),
+    };
+    Container { name, tag, rename_all, kind }
+}
+
+// ---- renaming ---------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_lowercase(),
+        Some(other) => panic!("vendored serde derive: unsupported rename_all rule `{other}`"),
+    }
+}
+
+// ---- code generation --------------------------------------------------
+
+fn field_to_pairs(fields: &[Field], accessor: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value({accessor}{n})),",
+                n = f.name
+            )
+        })
+        .collect()
+}
+
+fn field_from_object(fields: &[Field], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let helper = if f.default { "__field_or_default" } else { "__field" };
+            format!("{n}: ::serde::{helper}({source}, \"{n}\")?,", n = f.name)
+        })
+        .collect()
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Struct(fields) => {
+            let pairs = field_to_pairs(fields, "&self.");
+            format!("::serde::Value::Object(vec![{pairs}])")
+        }
+        Kind::Enum(variants) => {
+            let rule = c.rename_all.as_deref();
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let key = rename(vname, rule);
+                    match (&c.tag, &v.kind) {
+                        (None, VariantKind::Unit) => format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{key}\".to_string()),"
+                        ),
+                        (None, VariantKind::Tuple(1)) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        (None, VariantKind::Tuple(n)) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        (None, VariantKind::Struct(fields)) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let pairs = field_to_pairs(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{key}\".to_string(), ::serde::Value::Object(vec![{pairs}]))]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        (Some(tag), VariantKind::Unit) => format!(
+                            "{name}::{vname} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::String(\"{key}\".to_string()))]),"
+                        ),
+                        (Some(tag), VariantKind::Struct(fields)) => {
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let pairs = field_to_pairs(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::String(\"{key}\".to_string())), {pairs}]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        (Some(_), VariantKind::Tuple(_)) => panic!(
+                            "vendored serde derive: tuple variant `{vname}` not supported with #[serde(tag)]"
+                        ),
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::Struct(fields) => {
+            let inits = field_from_object(fields, "v");
+            format!("Ok({name} {{ {inits} }})")
+        }
+        Kind::Enum(variants) => {
+            let rule = c.rename_all.as_deref();
+            match &c.tag {
+                Some(tag) => {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            let vname = &v.name;
+                            let key = rename(vname, rule);
+                            match &v.kind {
+                                VariantKind::Unit => format!("\"{key}\" => Ok({name}::{vname}),"),
+                                VariantKind::Struct(fields) => {
+                                    let inits = field_from_object(fields, "v");
+                                    format!("\"{key}\" => Ok({name}::{vname} {{ {inits} }}),")
+                                }
+                                VariantKind::Tuple(_) => panic!(
+                                    "vendored serde derive: tuple variant `{vname}` not supported with #[serde(tag)]"
+                                ),
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "let tag = ::serde::__tag(v, \"{tag}\")?; \
+                         match tag {{ {arms} other => Err(::serde::DeError(format!(\"unknown `{tag}` value `{{other}}` for {name}\"))) }}"
+                    )
+                }
+                None => {
+                    let unit_arms: String = variants
+                        .iter()
+                        .filter(|v| matches!(v.kind, VariantKind::Unit))
+                        .map(|v| {
+                            let key = rename(&v.name, rule);
+                            format!("\"{key}\" => return Ok({name}::{vn}),", vn = v.name)
+                        })
+                        .collect();
+                    let obj_arms: String = variants
+                        .iter()
+                        .filter_map(|v| {
+                            let vname = &v.name;
+                            let key = rename(vname, rule);
+                            match &v.kind {
+                                VariantKind::Unit => None,
+                                VariantKind::Tuple(1) => Some(format!(
+                                    "\"{key}\" => return Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                                )),
+                                VariantKind::Tuple(n) => {
+                                    let items: String = (0..*n)
+                                        .map(|i| {
+                                            format!("::serde::Deserialize::from_value(&items[{i}])?,")
+                                        })
+                                        .collect();
+                                    Some(format!(
+                                        "\"{key}\" => match inner {{ \
+                                           ::serde::Value::Array(items) if items.len() == {n} => \
+                                             return Ok({name}::{vname}({items})), \
+                                           other => return Err(::serde::DeError::expected(\"array of length {n}\", other)), \
+                                         }},"
+                                    ))
+                                }
+                                VariantKind::Struct(fields) => {
+                                    let inits = field_from_object(fields, "inner");
+                                    Some(format!(
+                                        "\"{key}\" => return Ok({name}::{vname} {{ {inits} }}),"
+                                    ))
+                                }
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "if let ::serde::Value::String(s) = v {{ \
+                           #[allow(clippy::match_single_binding)] \
+                           match s.as_str() {{ {unit_arms} _ => {{}} }} \
+                         }} \
+                         if let ::serde::Value::Object(pairs) = v {{ \
+                           if pairs.len() == 1 {{ \
+                             let (k, inner) = &pairs[0]; \
+                             #[allow(clippy::match_single_binding, unused_variables)] \
+                             match k.as_str() {{ {obj_arms} _ => {{}} }} \
+                           }} \
+                         }} \
+                         Err(::serde::DeError(format!(\"no variant of {name} matched {{v}}\")))"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+// ---- entry points -----------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("vendored serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("vendored serde derive: generated Deserialize impl failed to parse")
+}
