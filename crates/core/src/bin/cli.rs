@@ -3,20 +3,29 @@
 //!
 //! ```text
 //! smartml-cli run <data.csv|data.arff> [--target COL] [--budget N]
-//!                 [--kb PATH] [--ensemble] [--interpret] [--top-n N]
+//!                 [--kb SPEC] [--ensemble] [--interpret] [--top-n N]
 //!                 [--preprocess op1,op2] [--seed N] [--markdown] [--json]
 //! smartml-cli metafeatures <data.csv|data.arff>
 //! smartml-cli describe <data.csv|data.arff>
 //! smartml-cli algorithms
 //! smartml-cli bootstrap --kb PATH [--fast]
 //! smartml-cli api < request.json
+//! smartml-cli kb serve --dir DIR [--addr HOST:PORT] [--no-fsync]
+//! smartml-cli kb stats|snapshot --kb SPEC
+//! smartml-cli kb query <data> --kb SPEC [--top-n N]
+//! smartml-cli kb record <data> --kb SPEC --algorithm NAME --accuracy X
 //! ```
+//!
+//! `--kb SPEC` accepts a plain JSON path, `wal:DIR` for the durable
+//! write-ahead-logged store, or `tcp:HOST:PORT` for a running `smartmld`.
 
 use smartml::bootstrap::{bootstrap_kb, BootstrapProfile};
-use smartml::{api, Budget, KnowledgeBase, Op, SmartML, SmartMlOptions};
-use smartml_classifiers::Algorithm;
+use smartml::{api, Budget, KbSource, KnowledgeBase, Op, SmartML, SmartMlOptions};
+use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::io::{parse_arff, parse_csv};
 use smartml_data::Dataset;
+use smartml_kb::{AlgorithmRun, KbBackend, QueryOptions};
+use smartml_kbd::{DurableKb, DurableOptions, KbClient, Server, ServerOptions};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -30,9 +39,10 @@ fn main() -> ExitCode {
         Some("algorithms") => cmd_algorithms(),
         Some("bootstrap") => cmd_bootstrap(&args[1..]),
         Some("api") => cmd_api(&args[1..]),
+        Some("kb") => cmd_kb(&args[1..]),
         _ => {
             eprintln!(
-                "usage: smartml-cli <run|metafeatures|describe|algorithms|bootstrap|api> ..."
+                "usage: smartml-cli <run|metafeatures|describe|algorithms|bootstrap|api|kb> ..."
             );
             return ExitCode::from(2);
         }
@@ -98,18 +108,50 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     options.ensembling = has_flag(args, "--ensemble");
     options.interpretability = has_flag(args, "--interpret");
 
-    let kb_path = flag_value(args, "--kb").map(PathBuf::from);
-    let kb = match &kb_path {
-        Some(p) => KnowledgeBase::load(p).map_err(|e| e.to_string())?,
-        None => KnowledgeBase::new(),
-    };
+    let kb_spec = flag_value(args, "--kb").map(KbSource::parse).transpose()?;
+    match kb_spec {
+        None => {
+            run_engine(KnowledgeBase::new(), options, &data, args)?;
+        }
+        Some(KbSource::File(p)) => {
+            let kb = KnowledgeBase::load(&p).map_err(|e| e.to_string())?;
+            let kb = run_engine(kb, options, &data, args)?;
+            kb.save(&p).map_err(|e| e.to_string())?;
+            println!("knowledge base saved to {}", p.display());
+        }
+        Some(KbSource::Wal(d)) => {
+            let kb = DurableKb::open(&d).map_err(|e| e.to_string())?;
+            let kb = run_engine(kb, options, &data, args)?;
+            println!(
+                "knowledge base WAL at {} (active segment {})",
+                kb.dir().display(),
+                kb.active_segment()
+            );
+        }
+        Some(KbSource::Remote(addr)) => {
+            let client = KbClient::connect(addr);
+            client.ping().map_err(|e| e.to_string())?;
+            run_engine(client, options, &data, args)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runs the pipeline against any KB backend and prints the report.
+fn run_engine<B: KbBackend>(
+    kb: B,
+    options: SmartMlOptions,
+    data: &Dataset,
+    args: &[String],
+) -> Result<B, String> {
     println!(
-        "knowledge base: {} datasets / {} runs",
-        kb.len(),
-        kb.n_runs()
+        "knowledge base: {} ({} datasets / {} runs)",
+        kb.kb_describe(),
+        kb.kb_len(),
+        kb.kb_n_runs()
     );
-    let mut engine = SmartML::with_kb(kb, options);
-    let outcome = engine.run(&data).map_err(|e| e.to_string())?;
+    let mut engine = SmartML::with_backend(kb, options);
+    let outcome = engine.run(data).map_err(|e| e.to_string())?;
     if has_flag(args, "--json") {
         println!(
             "{}",
@@ -120,11 +162,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         print!("{}", outcome.report.render());
     }
-    if let Some(p) = kb_path {
-        engine.into_kb().save(&p).map_err(|e| e.to_string())?;
-        println!("knowledge base saved to {}", p.display());
-    }
-    Ok(())
+    Ok(engine.into_kb())
 }
 
 fn cmd_metafeatures(args: &[String]) -> Result<(), String> {
@@ -176,6 +214,185 @@ fn cmd_bootstrap(args: &[String]) -> Result<(), String> {
     kb.save(Path::new(kb_path)).map_err(|e| e.to_string())?;
     println!("saved to {kb_path}");
     Ok(())
+}
+
+fn cmd_kb(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("serve") => kb_serve(&args[1..]),
+        Some("stats") => kb_stats(&args[1..]),
+        Some("query") => kb_query(&args[1..]),
+        Some("record") => kb_record(&args[1..]),
+        Some("snapshot") => kb_snapshot(&args[1..]),
+        _ => Err("usage: smartml-cli kb <serve|stats|query|record|snapshot> ...".into()),
+    }
+}
+
+fn parse_kb_spec(args: &[String]) -> Result<KbSource, String> {
+    KbSource::parse(flag_value(args, "--kb").ok_or("--kb SPEC required")?)
+}
+
+/// `kb serve`: host a durable KB over TCP (same engine as `smartmld`).
+fn kb_serve(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag_value(args, "--dir").ok_or("kb serve: --dir DIR required")?);
+    let mut options = ServerOptions {
+        dir,
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:7878").to_string(),
+        ..ServerOptions::default()
+    };
+    if has_flag(args, "--no-fsync") {
+        options.durable = DurableOptions { fsync_writes: false, ..Default::default() };
+    }
+    let server = Server::bind(options).map_err(|e| e.to_string())?;
+    let r = server.recovery();
+    println!(
+        "recovered {} datasets / {} runs (snapshot {:?}, {} WAL records replayed{})",
+        server.shared().len(),
+        server.shared().n_runs(),
+        r.snapshot_seq,
+        r.records_replayed,
+        if r.truncated_tail { ", torn tail truncated" } else { "" }
+    );
+    println!(
+        "smartmld: listening on {}",
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+fn kb_stats(args: &[String]) -> Result<(), String> {
+    match parse_kb_spec(args)? {
+        KbSource::File(p) => {
+            let kb = KnowledgeBase::load(&p).map_err(|e| e.to_string())?;
+            println!("{}: {} datasets / {} runs", p.display(), kb.len(), kb.n_runs());
+        }
+        KbSource::Wal(d) => {
+            let kb = DurableKb::open(&d).map_err(|e| e.to_string())?;
+            let r = kb.recovery();
+            println!(
+                "wal:{}: {} datasets / {} runs (snapshot {:?}, active segment {}, {} records replayed{})",
+                d.display(),
+                kb.kb().len(),
+                kb.kb().n_runs(),
+                r.snapshot_seq,
+                kb.active_segment(),
+                r.records_replayed,
+                if r.truncated_tail { ", torn tail truncated" } else { "" }
+            );
+        }
+        KbSource::Remote(addr) => {
+            let stats = KbClient::connect(&*addr).stats().map_err(|e| e.to_string())?;
+            println!(
+                "tcp:{addr}: {} datasets / {} runs ({} WAL segments, active {}, snapshot {:?})",
+                stats.datasets,
+                stats.runs,
+                stats.wal_segments,
+                stats.active_segment,
+                stats.snapshot_seq
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `kb query`: extract meta-features from a dataset and ask the KB for
+/// algorithm nominations without running the pipeline.
+fn kb_query(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("kb query: missing dataset path")?;
+    let data = load_dataset(path, flag_value(args, "--target"))?;
+    let mf = smartml_metafeatures::extract(&data, &data.all_rows());
+    let mut options = QueryOptions::default();
+    if let Some(n) = flag_value(args, "--top-n") {
+        options.top_n = n.parse().map_err(|_| "--top-n expects a number")?;
+    }
+    if let Some(n) = flag_value(args, "--neighbors") {
+        options.n_neighbors = n.parse().map_err(|_| "--neighbors expects a number")?;
+    }
+    let rec = match parse_kb_spec(args)? {
+        KbSource::File(p) => KnowledgeBase::load(&p)
+            .map_err(|e| e.to_string())?
+            .kb_recommend(&mf, None, &options),
+        KbSource::Wal(d) => DurableKb::open(&d)
+            .map_err(|e| e.to_string())?
+            .kb_recommend(&mf, None, &options),
+        KbSource::Remote(addr) => KbClient::connect(addr).recommend(&mf, None, &options),
+    }
+    .map_err(|e| e.to_string())?;
+    if rec.algorithms.is_empty() {
+        println!("knowledge base has no experience yet — no nominations");
+        return Ok(());
+    }
+    println!("{:<14} {:>8}  warm starts", "Algorithm", "score");
+    for a in &rec.algorithms {
+        println!("{:<14} {:>8.4}  {}", a.algorithm.paper_name(), a.score, a.warm_starts.len());
+    }
+    println!("nearest datasets:");
+    for (id, d) in &rec.neighbors {
+        println!("  {id} (distance {d:.4})");
+    }
+    Ok(())
+}
+
+/// `kb record`: append one observed run to the KB.
+fn kb_record(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("kb record: missing dataset path")?;
+    let data = load_dataset(path, flag_value(args, "--target"))?;
+    let mf = smartml_metafeatures::extract(&data, &data.all_rows());
+    let name = flag_value(args, "--algorithm").ok_or("kb record: --algorithm NAME required")?;
+    let algorithm = Algorithm::parse(name).ok_or_else(|| format!("unknown algorithm '{name}'"))?;
+    let accuracy: f64 = flag_value(args, "--accuracy")
+        .ok_or("kb record: --accuracy X required")?
+        .parse()
+        .map_err(|_| "--accuracy expects a number")?;
+    let run = AlgorithmRun { algorithm, config: ParamConfig::default(), accuracy };
+    match parse_kb_spec(args)? {
+        KbSource::File(p) => {
+            let mut kb = match KnowledgeBase::load(&p) {
+                Ok(kb) => kb,
+                Err(_) if !p.exists() => KnowledgeBase::new(),
+                Err(e) => return Err(e.to_string()),
+            };
+            kb.record_run(&data.name, &mf, run);
+            kb.save(&p).map_err(|e| e.to_string())?;
+            println!("recorded; {}: {} datasets / {} runs", p.display(), kb.len(), kb.n_runs());
+        }
+        KbSource::Wal(d) => {
+            let mut kb = DurableKb::open(&d).map_err(|e| e.to_string())?;
+            kb.record_run(&data.name, &mf, run).map_err(|e| e.to_string())?;
+            println!(
+                "recorded; wal:{}: {} datasets / {} runs",
+                d.display(),
+                kb.kb().len(),
+                kb.kb().n_runs()
+            );
+        }
+        KbSource::Remote(addr) => {
+            let (datasets, runs) = KbClient::connect(&*addr)
+                .record_run(&data.name, &mf, run)
+                .map_err(|e| e.to_string())?;
+            println!("recorded; tcp:{addr}: {datasets} datasets / {runs} runs");
+        }
+    }
+    Ok(())
+}
+
+/// `kb snapshot`: compact a durable KB (local WAL dir or live server).
+fn kb_snapshot(args: &[String]) -> Result<(), String> {
+    match parse_kb_spec(args)? {
+        KbSource::File(_) => {
+            Err("kb snapshot applies to wal: and tcp: knowledge bases only".into())
+        }
+        KbSource::Wal(d) => {
+            let mut kb = DurableKb::open(&d).map_err(|e| e.to_string())?;
+            let seq = kb.snapshot().map_err(|e| e.to_string())?;
+            println!("snapshotted wal:{} at segment {seq}", d.display());
+            Ok(())
+        }
+        KbSource::Remote(addr) => {
+            let seq = KbClient::connect(&*addr).snapshot().map_err(|e| e.to_string())?;
+            println!("snapshotted tcp:{addr} at segment {seq}");
+            Ok(())
+        }
+    }
 }
 
 fn cmd_api(args: &[String]) -> Result<(), String> {

@@ -3,7 +3,60 @@
 //! interpretability, time budget, validation split.
 
 use smartml_preprocess::Op;
+use std::path::PathBuf;
 use std::time::Duration;
+
+/// Where a knowledge base lives, parsed from a CLI/user spec string:
+///
+/// - `path/to/kb.json` — single-file JSON store (the default),
+/// - `wal:DIR` — durable write-ahead-logged store in `DIR`,
+/// - `tcp:HOST:PORT` — remote `smartmld` server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbSource {
+    /// Single-file JSON persistence (`KnowledgeBase::load`/`save`).
+    File(PathBuf),
+    /// WAL-backed durable store directory (`smartml-kbd::DurableKb`).
+    Wal(PathBuf),
+    /// Remote `smartmld` address (`smartml-kbd::KbClient`).
+    Remote(String),
+}
+
+impl KbSource {
+    /// Parses a spec string. `wal:` and `tcp:` prefixes select the
+    /// durable and remote backends; anything else is a plain file path.
+    pub fn parse(spec: &str) -> Result<KbSource, String> {
+        if let Some(dir) = spec.strip_prefix("wal:") {
+            if dir.is_empty() {
+                return Err("wal: spec needs a directory, e.g. wal:kb-dir".into());
+            }
+            return Ok(KbSource::Wal(PathBuf::from(dir)));
+        }
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            if addr.rsplit_once(':').map_or(true, |(h, p)| {
+                h.is_empty() || p.parse::<u16>().is_err()
+            }) {
+                return Err(format!(
+                    "tcp: spec needs HOST:PORT, got {addr:?} (e.g. tcp:127.0.0.1:7878)"
+                ));
+            }
+            return Ok(KbSource::Remote(addr.to_string()));
+        }
+        if spec.is_empty() {
+            return Err("empty knowledge-base spec".into());
+        }
+        Ok(KbSource::File(PathBuf::from(spec)))
+    }
+}
+
+impl std::fmt::Display for KbSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KbSource::File(p) => write!(f, "{}", p.display()),
+            KbSource::Wal(d) => write!(f, "wal:{}", d.display()),
+            KbSource::Remote(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
 
 /// Tuning budget: the paper uses wall-clock ("the time budget constraint
 /// specified by the end user"); a trial budget gives deterministic tests.
@@ -146,6 +199,31 @@ mod tests {
         assert_eq!(opts.top_n_algorithms, 5);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.n_threads, 2);
+    }
+
+    #[test]
+    fn kb_source_parses_all_schemes() {
+        assert_eq!(
+            KbSource::parse("kb.json").unwrap(),
+            KbSource::File(PathBuf::from("kb.json"))
+        );
+        assert_eq!(
+            KbSource::parse("wal:my-kb").unwrap(),
+            KbSource::Wal(PathBuf::from("my-kb"))
+        );
+        assert_eq!(
+            KbSource::parse("tcp:127.0.0.1:7878").unwrap(),
+            KbSource::Remote("127.0.0.1:7878".into())
+        );
+        assert!(KbSource::parse("wal:").is_err());
+        assert!(KbSource::parse("tcp:nohost").is_err());
+        assert!(KbSource::parse("tcp::99").is_err());
+        assert!(KbSource::parse("").is_err());
+        assert_eq!(KbSource::parse("wal:d").unwrap().to_string(), "wal:d");
+        assert_eq!(
+            KbSource::parse("tcp:localhost:1234").unwrap().to_string(),
+            "tcp:localhost:1234"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::options::{Budget, SmartMlOptions};
 use crate::report::{AlgorithmTuning, BestModel, EnsembleReport, PhaseTrace, RunReport};
 use smartml_classifiers::{Algorithm, ParamConfig, TrainedModel};
 use smartml_data::{accuracy, train_valid_split, Dataset};
-use smartml_kb::{AlgorithmRun, KnowledgeBase, QueryOptions};
+use smartml_kb::{AlgorithmRun, KbBackend, KbError, KnowledgeBase, QueryOptions};
 use smartml_metafeatures::{extract, landmarkers};
 use smartml_preprocess::{pipeline_from_ops, MutualInfoSelect, PreprocessError, Transform};
 use smartml_runtime::{Deadline, Pool};
@@ -24,6 +24,8 @@ pub enum SmartMlError {
     NoModel,
     /// The dataset is unusable (too small / single class).
     BadDataset(String),
+    /// The knowledge-base backend failed (durable store or remote server).
+    Kb(KbError),
 }
 
 impl std::fmt::Display for SmartMlError {
@@ -32,6 +34,7 @@ impl std::fmt::Display for SmartMlError {
             SmartMlError::Preprocess(e) => write!(f, "preprocessing failed: {e}"),
             SmartMlError::NoModel => write!(f, "no algorithm produced a usable model"),
             SmartMlError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            SmartMlError::Kb(e) => write!(f, "knowledge base failed: {e}"),
         }
     }
 }
@@ -41,6 +44,12 @@ impl std::error::Error for SmartMlError {}
 impl From<PreprocessError> for SmartMlError {
     fn from(e: PreprocessError) -> Self {
         SmartMlError::Preprocess(e)
+    }
+}
+
+impl From<KbError> for SmartMlError {
+    fn from(e: KbError) -> Self {
+        SmartMlError::Kb(e)
     }
 }
 
@@ -62,12 +71,17 @@ pub struct RunOutcome {
 }
 
 /// The SmartML engine: a knowledge base plus run options.
-pub struct SmartML {
-    kb: KnowledgeBase,
+///
+/// Generic over where the knowledge base lives: the default `B` is the
+/// in-process [`KnowledgeBase`], but any [`KbBackend`] works — a
+/// WAL-backed durable store or a remote `smartmld` client plug in via
+/// [`SmartML::with_backend`] without changing the pipeline.
+pub struct SmartML<B: KbBackend = KnowledgeBase> {
+    kb: B,
     options: SmartMlOptions,
 }
 
-impl SmartML {
+impl SmartML<KnowledgeBase> {
     /// Engine with an empty knowledge base (cold start).
     pub fn new(options: SmartMlOptions) -> Self {
         SmartML { kb: KnowledgeBase::new(), options }
@@ -77,14 +91,22 @@ impl SmartML {
     pub fn with_kb(kb: KnowledgeBase, options: SmartMlOptions) -> Self {
         SmartML { kb, options }
     }
+}
+
+impl<B: KbBackend> SmartML<B> {
+    /// Engine over any knowledge-base backend (durable store, remote
+    /// `smartmld`, shared in-process index).
+    pub fn with_backend(kb: B, options: SmartMlOptions) -> Self {
+        SmartML { kb, options }
+    }
 
     /// Borrow the knowledge base (it grows with every run).
-    pub fn kb(&self) -> &KnowledgeBase {
+    pub fn kb(&self) -> &B {
         &self.kb
     }
 
     /// Take the knowledge base out (e.g. to persist it).
-    pub fn into_kb(self) -> KnowledgeBase {
+    pub fn into_kb(self) -> B {
         self.kb
     }
 
@@ -146,16 +168,16 @@ impl SmartML {
 
         // ------ Phase 3: algorithm selection ----------------------------
         let t = Instant::now();
-        let recommendation = self.kb.recommend_extended(
+        let recommendation = self.kb.kb_recommend(
             &meta_features,
-            query_landmarkers,
+            query_landmarkers.clone(),
             &QueryOptions {
                 top_n: opts.top_n_algorithms,
                 n_neighbors: opts.n_neighbors,
                 performance_weight: 1.0,
                 use_landmarkers: opts.use_landmarkers,
             },
-        );
+        )?;
         // Cold start (empty KB): fall back to a diverse default portfolio.
         let nominations: Vec<(Algorithm, f64, Vec<ParamConfig>)> =
             if recommendation.algorithms.is_empty() {
@@ -174,8 +196,9 @@ impl SmartML {
             phase: "Algorithm Selection".into(),
             secs: t.elapsed().as_secs_f64(),
             detail: format!(
-                "KB({} datasets) nominated [{}]",
-                self.kb.len(),
+                "KB({}, {} datasets) nominated [{}]",
+                self.kb.kb_describe(),
+                self.kb.kb_len(),
                 nominations
                     .iter()
                     .map(|(a, _, _)| a.paper_name())
@@ -344,7 +367,7 @@ impl SmartML {
         // Continuous KB update (Figure 1's "Update" arrow).
         if opts.update_kb {
             for tune in &tuning {
-                self.kb.record_run(
+                self.kb.kb_record_run(
                     &data.name,
                     &meta_features,
                     AlgorithmRun {
@@ -352,10 +375,10 @@ impl SmartML {
                         config: tune.best_config.clone(),
                         accuracy: tune.validation_accuracy,
                     },
-                );
+                )?;
             }
             if let Some(marks) = query_landmarkers {
-                self.kb.set_landmarkers(&data.name, marks);
+                self.kb.kb_set_landmarkers(&data.name, marks)?;
             }
         }
         phases.push(PhaseTrace {
@@ -365,8 +388,8 @@ impl SmartML {
                 "winner {} @ {:.4}; KB now {} datasets / {} runs",
                 best.algorithm.paper_name(),
                 best.validation_accuracy,
-                self.kb.len(),
-                self.kb.n_runs()
+                self.kb.kb_len(),
+                self.kb.kb_n_runs()
             ),
         });
 

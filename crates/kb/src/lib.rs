@@ -42,8 +42,10 @@
 //! assert_eq!(rec.algorithms[0].warm_starts.len(), 1);
 //! ```
 
+mod backend;
 mod query;
 mod store;
 
-pub use query::{AlgorithmRecommendation, QueryOptions, Recommendation};
+pub use backend::KbBackend;
+pub use query::{AlgorithmRecommendation, NormStats, QueryOptions, Recommendation};
 pub use store::{AlgorithmRun, KbEntry, KbError, KnowledgeBase};

@@ -1,11 +1,14 @@
 //! Algorithm selection by weighted nearest-neighbour retrieval.
 
 use crate::store::{KnowledgeBase, KbEntry};
+use serde::{Deserialize, Serialize};
 use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_metafeatures::{Landmarkers, MetaFeatures, N_META_FEATURES};
 
-/// Query knobs.
-#[derive(Debug, Clone)]
+/// Query knobs. Serialisable because a remote `smartmld` query carries
+/// them over the wire (a request that omits the options object gets
+/// [`QueryOptions::default`]; one that sends it must send every knob).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryOptions {
     /// How many algorithms to nominate.
     pub top_n: usize,
@@ -25,8 +28,19 @@ impl Default for QueryOptions {
     }
 }
 
+/// Per-meta-feature z-score statistics over a whole KB — the quantity a
+/// long-lived serving process caches between writes so that concurrent
+/// readers skip the full O(entries × features) re-normalisation pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormStats {
+    /// Per-feature means.
+    pub means: Vec<f64>,
+    /// Per-feature standard deviations (constant features pinned to 1).
+    pub stds: Vec<f64>,
+}
+
 /// One nominated algorithm with its warm-start configurations.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AlgorithmRecommendation {
     /// The nominated classifier.
     pub algorithm: Algorithm,
@@ -38,7 +52,7 @@ pub struct AlgorithmRecommendation {
 }
 
 /// Result of an algorithm-selection query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
     /// Nominated algorithms, best first.
     pub algorithms: Vec<AlgorithmRecommendation>,
@@ -73,14 +87,34 @@ impl KnowledgeBase {
         if self.is_empty() {
             return Recommendation { algorithms: Vec::new(), neighbors: Vec::new() };
         }
-        let (means, stds) = self.normalisation_stats();
-        let query = normalise(&meta_features.values, &means, &stds);
+        let stats = self.normalisation_stats();
+        self.recommend_extended_with_stats(meta_features, query_landmarkers, options, &stats)
+    }
+
+    /// [`KnowledgeBase::recommend_extended`] with the z-score statistics
+    /// supplied by the caller. A serving layer computes
+    /// [`KnowledgeBase::normalisation_stats`] once per write generation and
+    /// reuses it across every concurrent read, so this is the hot-path
+    /// entry point; results are bit-identical to `recommend_extended` as
+    /// long as `stats` matches the current entries.
+    pub fn recommend_extended_with_stats(
+        &self,
+        meta_features: &MetaFeatures,
+        query_landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+        stats: &NormStats,
+    ) -> Recommendation {
+        if self.is_empty() {
+            return Recommendation { algorithms: Vec::new(), neighbors: Vec::new() };
+        }
+        let NormStats { means, stds } = stats;
+        let query = normalise(&meta_features.values, means, stds);
         // Rank datasets by distance.
         let mut ranked: Vec<(&KbEntry, f64)> = self
             .entries()
             .iter()
             .map(|e| {
-                let z = normalise(&e.meta_features.values, &means, &stds);
+                let z = normalise(&e.meta_features.values, means, stds);
                 let mut dist = euclidean(&query, &z);
                 if options.use_landmarkers {
                     if let (Some(q), Some(el)) = (query_landmarkers, e.landmarkers) {
@@ -136,7 +170,10 @@ impl KnowledgeBase {
     }
 
     /// Per-meta-feature mean and std over all entries (for z-scoring).
-    fn normalisation_stats(&self) -> (Vec<f64>, Vec<f64>) {
+    /// Callers that serve many queries between writes should cache the
+    /// result and pass it to
+    /// [`KnowledgeBase::recommend_extended_with_stats`].
+    pub fn normalisation_stats(&self) -> NormStats {
         let n = self.len() as f64;
         let mut means = vec![0.0; N_META_FEATURES];
         for e in self.entries() {
@@ -159,7 +196,7 @@ impl KnowledgeBase {
                 *s = 1.0; // constant meta-feature carries no signal
             }
         }
-        (means, stds)
+        NormStats { means, stds }
     }
 }
 
@@ -341,6 +378,23 @@ mod tests {
         );
         // Entry has no landmarkers: distance is plain (0 for identical meta).
         assert!(rec.neighbors[0].1 < 1e-9, "{:?}", rec.neighbors);
+    }
+
+    #[test]
+    fn cached_stats_path_matches_recompute_path() {
+        let kb = regional_kb();
+        let stats = kb.normalisation_stats();
+        let q = xor_parity("query", 320, 3, 22, 0.02, 5);
+        let mf = mf_of(&q);
+        let opts = QueryOptions::default();
+        let fresh = kb.recommend_extended(&mf, None, &opts);
+        let cached = kb.recommend_extended_with_stats(&mf, None, &opts, &stats);
+        assert_eq!(fresh, cached, "stats injection must not change results");
+        // JSON round-trip: the recommendation is a wire type for the
+        // KB service.
+        let json = serde_json::to_string(&fresh).unwrap();
+        let back: Recommendation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fresh);
     }
 
     #[test]

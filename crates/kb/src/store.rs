@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_metafeatures::{Landmarkers, MetaFeatures};
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// One recorded (algorithm, configuration) → performance observation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,20 +48,37 @@ impl KbEntry {
     }
 }
 
-/// Errors from KB persistence.
+/// Errors from KB persistence and KB backends.
 #[derive(Debug)]
 pub enum KbError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// The stored JSON could not be parsed.
-    Corrupt(serde_json::Error),
+    /// Stored data could not be parsed. `path` names the offending file
+    /// when the data came from disk (`None` for in-memory strings), so a
+    /// user with several KB files knows which one to repair — a missing
+    /// file is *not* corruption and loads as an empty KB instead.
+    Corrupt {
+        /// The file that failed to parse, when known.
+        path: Option<PathBuf>,
+        /// Parser diagnostics.
+        detail: String,
+    },
+    /// A remote or service-backed knowledge base failed (connection,
+    /// protocol, or server-side error).
+    Backend(String),
 }
 
 impl std::fmt::Display for KbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KbError::Io(e) => write!(f, "knowledge base I/O error: {e}"),
-            KbError::Corrupt(e) => write!(f, "knowledge base is corrupt: {e}"),
+            KbError::Corrupt { path: Some(p), detail } => {
+                write!(f, "knowledge base file `{}` is corrupt: {detail}", p.display())
+            }
+            KbError::Corrupt { path: None, detail } => {
+                write!(f, "knowledge base is corrupt: {detail}")
+            }
+            KbError::Backend(msg) => write!(f, "knowledge base backend error: {msg}"),
         }
     }
 }
@@ -180,25 +197,49 @@ impl KnowledgeBase {
 
     /// Parses a KB from JSON.
     pub fn from_json(json: &str) -> Result<Self, KbError> {
-        serde_json::from_str(json).map_err(KbError::Corrupt)
+        serde_json::from_str(json)
+            .map_err(|e| KbError::Corrupt { path: None, detail: e.to_string() })
     }
 
-    /// Saves atomically (write to `.tmp`, then rename).
+    /// Saves atomically: write the full JSON to a sibling `<name>.tmp`
+    /// file, fsync it, then rename over `path` and fsync the directory.
+    /// A crash at any point leaves either the old KB or the new one —
+    /// never a truncated file. The temporary name *appends* `.tmp`
+    /// (rather than replacing the extension) so `kb.json` and `kb.bin`
+    /// in the same directory never race on one temp file.
     pub fn save(&self, path: &Path) -> Result<(), KbError> {
-        let tmp = path.with_extension("tmp");
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "kb".into());
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(self.to_json().as_bytes())?;
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        // Durable rename: fsync the containing directory so a power loss
+        // cannot roll the directory entry back to the old file.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 
-    /// Loads from disk; a missing file yields an empty KB (first run).
+    /// Loads from disk. A *missing* file is the normal first-run state and
+    /// yields an empty KB; a file that exists but fails to parse is a real
+    /// fault and surfaces as [`KbError::Corrupt`] naming the path, instead
+    /// of being silently reinterpreted as "no experience yet".
     pub fn load(path: &Path) -> Result<Self, KbError> {
         match std::fs::read_to_string(path) {
-            Ok(json) => Self::from_json(&json),
+            Ok(json) => serde_json::from_str(&json).map_err(|e| KbError::Corrupt {
+                path: Some(path.to_path_buf()),
+                detail: e.to_string(),
+            }),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(KnowledgeBase::new()),
             Err(e) => Err(KbError::Io(e)),
         }
@@ -304,7 +345,40 @@ mod tests {
     fn corrupt_json_rejected() {
         assert!(matches!(
             KnowledgeBase::from_json("{not json"),
-            Err(KbError::Corrupt(_))
+            Err(KbError::Corrupt { path: None, .. })
         ));
+    }
+
+    #[test]
+    fn corrupt_file_error_names_the_path() {
+        let dir = std::env::temp_dir().join("smartml-kb-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{definitely not a KB").unwrap();
+        match KnowledgeBase::load(&path) {
+            Err(KbError::Corrupt { path: Some(p), .. }) => assert_eq!(p, path),
+            other => panic!("expected Corrupt with path, got {other:?}"),
+        }
+        // The rendered message points the user at the file.
+        let msg = KnowledgeBase::load(&path).unwrap_err().to_string();
+        assert!(msg.contains("broken.json"), "{msg}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn save_appends_tmp_suffix_instead_of_replacing_extension() {
+        let dir = std::env::temp_dir().join("smartml-kb-tmpname-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A sibling file that `with_extension("tmp")` would have clobbered.
+        let decoy = dir.join("kb.tmp");
+        std::fs::write(&decoy, "precious").unwrap();
+        let path = dir.join("kb.json");
+        let mut kb = KnowledgeBase::new();
+        kb.record_run("d1", &mf(), run(Algorithm::Knn, 0.5));
+        kb.save(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&decoy).unwrap(), "precious");
+        assert!(!dir.join("kb.json.tmp").exists(), "temp file must not linger");
+        assert_eq!(KnowledgeBase::load(&path).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,124 @@
+//! `kb_bench` — recommend-request throughput / latency against a live
+//! `smartmld` over a bootstrap-sized KB (50 datasets, as in the paper's
+//! corpus). Spins the server in-process on an ephemeral port, then
+//! drives it from 1 and 4 client threads and reports p50/p99 latency and
+//! requests/second as JSON (recorded in `BENCH_kb_service.json`).
+//!
+//! ```text
+//! cargo run --release -p smartml-kbd --bin kb_bench [REQUESTS_PER_THREAD]
+//! ```
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::synth::gaussian_blobs;
+use smartml_kb::QueryOptions;
+use smartml_kbd::{DurableOptions, KbClient, Server, ServerOptions};
+use smartml_metafeatures::{extract, MetaFeatures};
+use std::time::Instant;
+
+const N_DATASETS: usize = 50;
+
+fn main() {
+    let requests: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2000);
+
+    let dir = std::env::temp_dir().join(format!("smartml-kb-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(ServerOptions {
+        dir: dir.clone(),
+        durable: DurableOptions { fsync_writes: false, ..Default::default() },
+        // Seed connection + up to 4 bench workers, regardless of cores.
+        max_connections: 16,
+        ..ServerOptions::default()
+    })
+    .expect("server binds");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    // Populate: 50 datasets x 3 runs, like a paper-scale bootstrap.
+    let seed_client = KbClient::connect(addr.clone());
+    let mut queries: Vec<MetaFeatures> = Vec::new();
+    for i in 0..N_DATASETS {
+        let d = gaussian_blobs(
+            &format!("bench-{i}"),
+            80 + (i % 7) * 20,
+            3 + i % 5,
+            2 + i % 3,
+            0.6 + (i % 4) as f64 * 0.2,
+            i as u64,
+        );
+        let mf = extract(&d, &d.all_rows());
+        for (j, alg) in [Algorithm::RandomForest, Algorithm::Svm, Algorithm::Knn]
+            .into_iter()
+            .enumerate()
+        {
+            let run = smartml_kb::AlgorithmRun {
+                algorithm: alg,
+                config: ParamConfig::default(),
+                accuracy: 0.6 + (i * 3 + j) as f64 % 35.0 / 100.0,
+            };
+            seed_client.record_run(&format!("bench-{i}"), &mf, run).expect("record");
+        }
+        queries.push(mf);
+    }
+    let stats = seed_client.stats().expect("stats");
+    assert_eq!(stats.datasets, N_DATASETS);
+
+    let mut results = Vec::new();
+    for &threads in &[1usize, 4] {
+        // Warm the normalisation-stats cache out of band.
+        seed_client
+            .recommend(&queries[0], None, &QueryOptions::default())
+            .expect("warmup");
+        let started = Instant::now();
+        let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let addr = addr.clone();
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        let client = KbClient::connect(addr);
+                        let mut micros = Vec::with_capacity(requests);
+                        for r in 0..requests {
+                            let q = &queries[(t * 31 + r) % queries.len()];
+                            let begin = Instant::now();
+                            let rec = client
+                                .recommend(q, None, &QueryOptions::default())
+                                .expect("recommend");
+                            assert!(!rec.algorithms.is_empty());
+                            micros.push(begin.elapsed().as_micros() as u64);
+                        }
+                        micros
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("bench thread")).collect()
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let mut all: Vec<u64> = lat.into_iter().flatten().collect();
+        all.sort_unstable();
+        let total = all.len();
+        let pct = |p: f64| all[((total as f64 * p) as usize).min(total - 1)];
+        results.push(format!(
+            "    {{\"client_threads\": {threads}, \"requests\": {total}, \
+             \"throughput_rps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"mean_us\": {:.1}}}",
+            total as f64 / elapsed,
+            pct(0.50),
+            pct(0.99),
+            all.iter().sum::<u64>() as f64 / total as f64,
+        ));
+    }
+
+    seed_client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "{{\n  \"bench\": \"kb_service_recommend\",\n  \"kb\": {{\"datasets\": {}, \"runs\": {}}},\n  \"results\": [\n{}\n  ]\n}}",
+        stats.datasets,
+        stats.runs,
+        results.join(",\n")
+    );
+}

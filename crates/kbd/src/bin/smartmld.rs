@@ -1,0 +1,80 @@
+//! `smartmld` — the SmartML knowledge-base daemon.
+//!
+//! ```text
+//! smartmld --dir KB_DIR [--addr HOST:PORT] [--segment-bytes N]
+//!          [--timeout-ms N] [--max-connections N] [--no-fsync]
+//! ```
+//!
+//! Serves `recommend` / `record_run` / `set_landmarkers` / `stats` /
+//! `snapshot` / `ping` / `shutdown` as JSON lines over TCP (see
+//! `smartml_kbd::protocol`). `--addr` defaulting to port `0` picks an
+//! ephemeral port; the chosen address is printed on the `listening on`
+//! line so scripts can scrape it.
+
+use smartml_kbd::{DurableOptions, Server, ServerOptions};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: smartmld --dir KB_DIR [--addr HOST:PORT] [--segment-bytes N] \
+             [--timeout-ms N] [--max-connections N] [--no-fsync]"
+        );
+        return ExitCode::from(2);
+    }
+    match serve(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("smartmld: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let dir = flag_value(args, "--dir").ok_or("--dir KB_DIR is required")?;
+    let mut options = ServerOptions {
+        dir: dir.into(),
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        ..ServerOptions::default()
+    };
+    let mut durable = DurableOptions::default();
+    if let Some(n) = flag_value(args, "--segment-bytes") {
+        durable.segment_bytes = n.parse().map_err(|_| "--segment-bytes expects a number")?;
+    }
+    if args.iter().any(|a| a == "--no-fsync") {
+        durable.fsync_writes = false;
+    }
+    options.durable = durable;
+    if let Some(ms) = flag_value(args, "--timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--timeout-ms expects a number")?;
+        options.request_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(n) = flag_value(args, "--max-connections") {
+        options.max_connections =
+            n.parse().map_err(|_| "--max-connections expects a number")?;
+    }
+
+    let server = Server::bind(options).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let recovery = server.recovery();
+    let (datasets, runs) = server.shared().read(|s| (s.kb().len(), s.kb().n_runs()));
+    println!(
+        "smartmld: recovered {datasets} datasets / {runs} runs \
+         (snapshot {:?}, {} wal records replayed{})",
+        recovery.snapshot_seq,
+        recovery.records_replayed,
+        if recovery.truncated_tail { ", torn tail truncated" } else { "" }
+    );
+    // Scraped by scripts/verify.sh and tests: keep the format stable.
+    println!("smartmld: listening on {addr}");
+    server.run().map_err(|e| e.to_string())?;
+    println!("smartmld: shut down cleanly");
+    Ok(())
+}

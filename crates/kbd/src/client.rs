@@ -1,0 +1,265 @@
+//! [`KbClient`]: a small blocking client for `smartmld`.
+//!
+//! One TCP connection, reused across requests and transparently
+//! re-established after a server restart (a stale-connection failure is
+//! retried exactly once on a fresh socket). All calls block; timeouts
+//! come from a [`Deadline`] per request.
+
+use crate::protocol::{KbStats, Request, Response};
+use smartml_kb::{
+    AlgorithmRun, KbBackend, KbError, QueryOptions, Recommendation,
+};
+use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use smartml_runtime::Deadline;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A blocking `smartmld` client; safe to share behind a `Mutex`-guarded
+/// connection (each request holds the lock for its round trip).
+pub struct KbClient {
+    addr: String,
+    timeout: Option<Duration>,
+    conn: Mutex<Option<Conn>>,
+}
+
+impl KbClient {
+    /// A client for `host:port` with a 10-second per-request timeout.
+    pub fn connect(addr: impl Into<String>) -> KbClient {
+        KbClient::with_timeout(addr, Some(Duration::from_secs(10)))
+    }
+
+    /// A client with an explicit per-request timeout (`None` = wait
+    /// forever). No I/O happens until the first request.
+    pub fn with_timeout(addr: impl Into<String>, timeout: Option<Duration>) -> KbClient {
+        KbClient { addr: addr.into(), timeout, conn: Mutex::new(None) }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn open(&self, deadline: Deadline) -> Result<Conn, KbError> {
+        let mut last_err: Option<std::io::Error> = None;
+        let addrs = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| KbError::Backend(format!("cannot resolve `{}`: {e}", self.addr)))?;
+        for addr in addrs {
+            let attempt = match deadline.io_timeout() {
+                Some(t) => TcpStream::connect_timeout(&addr, t),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    // Request/response ping-pong: Nagle + delayed ACK
+                    // would add ~40ms per round trip.
+                    let _ = stream.set_nodelay(true);
+                    let reader = BufReader::new(stream.try_clone().map_err(|e| {
+                        KbError::Backend(format!("cannot clone socket: {e}"))
+                    })?);
+                    return Ok(Conn { reader, writer: stream });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(KbError::Backend(format!(
+            "cannot connect to smartmld at {}: {}",
+            self.addr,
+            last_err.map_or_else(|| "no addresses".to_string(), |e| e.to_string())
+        )))
+    }
+
+    fn round_trip(conn: &mut Conn, line: &str, deadline: Deadline) -> std::io::Result<String> {
+        conn.writer.set_write_timeout(deadline.io_timeout())?;
+        conn.writer.write_all(line.as_bytes())?;
+        conn.writer.write_all(b"\n")?;
+        conn.writer.flush()?;
+        conn.reader.get_ref().set_read_timeout(deadline.io_timeout())?;
+        let mut response = String::new();
+        if conn.reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Sends one request and parses the response. A failure on a *reused*
+    /// connection (e.g. the server restarted) is retried once on a fresh
+    /// one; failures on a fresh connection surface immediately.
+    pub fn request(&self, request: &Request) -> Result<Response, KbError> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| KbError::Backend(format!("request serialisation failed: {e}")))?;
+        let deadline = match self.timeout {
+            Some(t) => Deadline::after(t),
+            None => Deadline::none(),
+        };
+        let mut guard = self.conn.lock().expect("client connection poisoned");
+        let reused = guard.is_some();
+        if guard.is_none() {
+            *guard = Some(self.open(deadline)?);
+        }
+        let conn = guard.as_mut().expect("connection just ensured");
+        let text = match Self::round_trip(conn, &line, deadline) {
+            Ok(text) => text,
+            Err(first) => {
+                *guard = None; // drop the stale socket
+                if !reused {
+                    return Err(KbError::Backend(format!(
+                        "smartmld request failed: {first}"
+                    )));
+                }
+                let mut fresh = self.open(deadline)?;
+                let text = Self::round_trip(&mut fresh, &line, deadline).map_err(|e| {
+                    KbError::Backend(format!("smartmld request failed after retry: {e}"))
+                })?;
+                *guard = Some(fresh);
+                text
+            }
+        };
+        let response: Response = serde_json::from_str(text.trim())
+            .map_err(|e| KbError::Backend(format!("bad response from server: {e}")))?;
+        if let Response::Error { message } = response {
+            return Err(KbError::Backend(message));
+        }
+        Ok(response)
+    }
+
+    /// Nominate algorithms for a meta-feature vector.
+    pub fn recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Result<Recommendation, KbError> {
+        match self.request(&Request::Recommend {
+            meta_features: meta_features.clone(),
+            landmarkers,
+            options: Some(options.clone()),
+        })? {
+            Response::Recommendation { recommendation } => Ok(recommendation),
+            other => Err(unexpected("recommendation", &other)),
+        }
+    }
+
+    /// Record one run; returns `(datasets, runs)` after the write.
+    pub fn record_run(
+        &self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(usize, usize), KbError> {
+        match self.request(&Request::RecordRun {
+            dataset_id: dataset_id.to_string(),
+            meta_features: meta_features.clone(),
+            run,
+        })? {
+            Response::Recorded { datasets, runs } => Ok((datasets, runs)),
+            other => Err(unexpected("recorded", &other)),
+        }
+    }
+
+    /// Attach landmarkers; returns `(datasets, runs)` after the write.
+    pub fn set_landmarkers(
+        &self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(usize, usize), KbError> {
+        match self.request(&Request::SetLandmarkers {
+            dataset_id: dataset_id.to_string(),
+            landmarkers,
+        })? {
+            Response::Recorded { datasets, runs } => Ok((datasets, runs)),
+            other => Err(unexpected("recorded", &other)),
+        }
+    }
+
+    /// Fetch store/WAL statistics.
+    pub fn stats(&self) -> Result<KbStats, KbError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Ask the server to fold the WAL into a snapshot.
+    pub fn snapshot(&self) -> Result<u64, KbError> {
+        match self.request(&Request::Snapshot)? {
+            Response::Snapshotted { snapshot_seq } => Ok(snapshot_seq),
+            other => Err(unexpected("snapshotted", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), KbError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Ask the server to exit its serve loop.
+    pub fn shutdown(&self) -> Result<(), KbError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> KbError {
+    KbError::Backend(format!("expected `{wanted}` response, got {got:?}"))
+}
+
+/// A remote `smartmld` is a [`KbBackend`], so `SmartML::with_backend`
+/// can run the whole pipeline against a shared KB service. The size
+/// accessors are best-effort (0 when the server is unreachable) because
+/// they only feed progress traces.
+impl KbBackend for KbClient {
+    fn kb_recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        query_landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Result<Recommendation, KbError> {
+        self.recommend(meta_features, query_landmarkers, options)
+    }
+
+    fn kb_record_run(
+        &mut self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        KbClient::record_run(self, dataset_id, meta_features, run).map(|_| ())
+    }
+
+    fn kb_set_landmarkers(
+        &mut self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        KbClient::set_landmarkers(self, dataset_id, landmarkers).map(|_| ())
+    }
+
+    fn kb_len(&self) -> usize {
+        self.stats().map(|s| s.datasets).unwrap_or(0)
+    }
+
+    fn kb_n_runs(&self) -> usize {
+        self.stats().map(|s| s.runs).unwrap_or(0)
+    }
+
+    fn kb_describe(&self) -> String {
+        format!("smartmld@{}", self.addr)
+    }
+}

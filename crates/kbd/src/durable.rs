@@ -1,0 +1,363 @@
+//! [`DurableKb`]: a crash-safe knowledge base directory.
+//!
+//! Layout of a KB directory:
+//!
+//! ```text
+//! kb-dir/
+//!   snapshot-000007.json   # full KB as of segment 7 (atomic write)
+//!   wal-000008.log         # sealed segment
+//!   wal-000009.log         # active segment (appends go here)
+//! ```
+//!
+//! Opening replays the latest snapshot, then every segment with a higher
+//! sequence number in order — truncating a torn final record instead of
+//! failing — and resumes appending to the highest segment. `snapshot()`
+//! folds the current state into a new snapshot and deletes the segments
+//! (and older snapshots) it covers.
+
+use crate::wal::{
+    list_seqs, parse_segment_name, parse_snapshot_name, replay_segment, segment_name,
+    snapshot_name, WalRecord, WalWriter,
+};
+use smartml_kb::{
+    AlgorithmRun, KbBackend, KbError, KnowledgeBase, QueryOptions, Recommendation,
+};
+use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use std::path::{Path, PathBuf};
+
+/// Tuning knobs for a [`DurableKb`].
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// `fsync` after every append (durable against power loss, slower).
+    /// Off, appends still reach the OS immediately and survive process
+    /// crashes — only a machine crash can lose the last few records.
+    pub fsync_writes: bool,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        DurableOptions { segment_bytes: 1 << 20, fsync_writes: true }
+    }
+}
+
+/// What recovery found when opening a directory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Sequence of the snapshot that seeded the state, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Segments replayed over the snapshot.
+    pub segments_replayed: usize,
+    /// Records applied from those segments.
+    pub records_replayed: usize,
+    /// True when a torn tail was truncated somewhere during replay.
+    pub truncated_tail: bool,
+}
+
+/// A [`KnowledgeBase`] whose every mutation is WAL-logged to a directory.
+pub struct DurableKb {
+    dir: PathBuf,
+    kb: KnowledgeBase,
+    writer: WalWriter,
+    options: DurableOptions,
+    recovery: RecoveryReport,
+}
+
+impl DurableKb {
+    /// Opens (creating if needed) a KB directory with default options.
+    pub fn open(dir: &Path) -> Result<DurableKb, KbError> {
+        DurableKb::open_with(dir, DurableOptions::default())
+    }
+
+    /// Opens (creating if needed) a KB directory.
+    pub fn open_with(dir: &Path, options: DurableOptions) -> Result<DurableKb, KbError> {
+        std::fs::create_dir_all(dir)?;
+        let snapshots = list_seqs(dir, parse_snapshot_name)?;
+        let snapshot_seq = snapshots.last().copied();
+        let mut kb = match snapshot_seq {
+            Some(seq) => KnowledgeBase::load(&dir.join(snapshot_name(seq)))?,
+            None => KnowledgeBase::new(),
+        };
+        let mut recovery = RecoveryReport { snapshot_seq, ..Default::default() };
+        let floor = snapshot_seq.unwrap_or(0);
+        let segments: Vec<u64> = list_seqs(dir, parse_segment_name)?
+            .into_iter()
+            .filter(|&s| s > floor)
+            .collect();
+        for &seq in &segments {
+            let path = dir.join(segment_name(seq));
+            let before = std::fs::metadata(&path)?.len();
+            let applied = replay_segment(&path, &mut kb)?;
+            let after = std::fs::metadata(&path)?.len();
+            recovery.segments_replayed += 1;
+            recovery.records_replayed += applied;
+            recovery.truncated_tail |= after < before;
+        }
+        // Resume on the highest segment, or start the one after the
+        // snapshot so sequence numbers never move backwards.
+        let active = segments.last().copied().unwrap_or(floor + 1);
+        let writer = WalWriter::open(dir, active, options.segment_bytes, options.fsync_writes)?;
+        Ok(DurableKb { dir: dir.to_path_buf(), kb, writer, options, recovery })
+    }
+
+    /// The directory this KB lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Borrow the in-memory index (always reflects every logged record).
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// What recovery found when this handle was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Sequence number of the active WAL segment.
+    pub fn active_segment(&self) -> u64 {
+        self.writer.seq()
+    }
+
+    /// Number of WAL segment files currently on disk.
+    pub fn n_segments(&self) -> Result<usize, KbError> {
+        Ok(list_seqs(&self.dir, parse_segment_name)?.len())
+    }
+
+    /// Logs then applies one run observation (WAL discipline: the record
+    /// is on disk before the in-memory index admits it).
+    pub fn record_run(
+        &mut self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        let record = WalRecord::Run {
+            dataset_id: dataset_id.to_string(),
+            meta_features: meta_features.clone(),
+            run,
+        };
+        self.writer.append(&record)?;
+        record.apply_to(&mut self.kb);
+        Ok(())
+    }
+
+    /// Logs then applies landmarker accuracies for a dataset.
+    pub fn set_landmarkers(
+        &mut self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        let record =
+            WalRecord::Landmarkers { dataset_id: dataset_id.to_string(), landmarkers };
+        self.writer.append(&record)?;
+        record.apply_to(&mut self.kb);
+        Ok(())
+    }
+
+    /// Folds the current state into a snapshot file and compacts: the
+    /// snapshot is written atomically, then every segment it covers and
+    /// every older snapshot are deleted, and appends continue on a fresh
+    /// segment. Returns the new snapshot's sequence number.
+    pub fn snapshot(&mut self) -> Result<u64, KbError> {
+        self.writer.sync()?;
+        let covered = self.writer.seq();
+        // Atomic write via the single-file KB path (tmp + fsync + rename).
+        self.kb.save(&self.dir.join(snapshot_name(covered)))?;
+        // The snapshot now owns everything up to `covered`: drop the
+        // segments it folded and the snapshots it supersedes.
+        for seq in list_seqs(&self.dir, parse_segment_name)? {
+            if seq <= covered {
+                std::fs::remove_file(self.dir.join(segment_name(seq)))?;
+            }
+        }
+        for seq in list_seqs(&self.dir, parse_snapshot_name)? {
+            if seq < covered {
+                std::fs::remove_file(self.dir.join(snapshot_name(seq)))?;
+            }
+        }
+        self.writer =
+            WalWriter::open(&self.dir, covered + 1, self.options.segment_bytes, self.options.fsync_writes)?;
+        Ok(covered)
+    }
+}
+
+impl KbBackend for DurableKb {
+    fn kb_recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        query_landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Result<Recommendation, KbError> {
+        Ok(self.kb.recommend_extended(meta_features, query_landmarkers, options))
+    }
+
+    fn kb_record_run(
+        &mut self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        self.record_run(dataset_id, meta_features, run)
+    }
+
+    fn kb_set_landmarkers(
+        &mut self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        self.set_landmarkers(dataset_id, landmarkers)
+    }
+
+    fn kb_len(&self) -> usize {
+        self.kb.len()
+    }
+
+    fn kb_n_runs(&self) -> usize {
+        self.kb.n_runs()
+    }
+
+    fn kb_describe(&self) -> String {
+        format!("wal:{}", self.dir.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_classifiers::{Algorithm, ParamConfig};
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_metafeatures::extract;
+
+    fn mf(seed: u64) -> MetaFeatures {
+        let d = gaussian_blobs("m", 40 + seed as usize, 3, 2, 1.0, seed);
+        extract(&d, &d.all_rows())
+    }
+
+    fn run(acc: f64) -> AlgorithmRun {
+        AlgorithmRun { algorithm: Algorithm::Svm, config: ParamConfig::default(), accuracy: acc }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn reopen_recovers_all_records() {
+        let dir = tmp("smartml-durable-reopen");
+        {
+            let mut kb = DurableKb::open(&dir).unwrap();
+            for i in 0..5u64 {
+                kb.record_run(&format!("d{i}"), &mf(i), run(0.6 + i as f64 / 100.0)).unwrap();
+            }
+            kb.set_landmarkers("d0", Landmarkers { decision_stump: 0.4, nearest_centroid: 0.5 })
+                .unwrap();
+        } // dropped without snapshot: the WAL is the only persistence
+        let kb = DurableKb::open(&dir).unwrap();
+        assert_eq!(kb.kb().len(), 5);
+        assert_eq!(kb.kb().n_runs(), 5);
+        assert!(kb.kb().get("d0").unwrap().landmarkers.is_some());
+        assert_eq!(kb.recovery().records_replayed, 6);
+        assert!(!kb.recovery().truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_recovered_and_matches_in_memory_build() {
+        let dir = tmp("smartml-durable-torn");
+        let mut reference = KnowledgeBase::new();
+        {
+            let mut kb = DurableKb::open(&dir).unwrap();
+            for i in 0..4u64 {
+                kb.record_run(&format!("d{i}"), &mf(i), run(0.7)).unwrap();
+                reference.record_run(&format!("d{i}"), &mf(i), run(0.7));
+            }
+        }
+        // Tear the active segment mid-record: append half a frame.
+        let seq = list_seqs(&dir, parse_segment_name).unwrap();
+        let active = dir.join(segment_name(*seq.last().unwrap()));
+        let torn = crate::wal::encode_frame(&WalRecord::Run {
+            dataset_id: "torn".into(),
+            meta_features: mf(9),
+            run: run(0.9),
+        });
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&active).unwrap();
+            f.write_all(&torn[..torn.len() - 7]).unwrap();
+        }
+        let kb = DurableKb::open(&dir).unwrap();
+        assert!(kb.recovery().truncated_tail);
+        assert_eq!(kb.kb().len(), 4, "complete records survive, torn one is dropped");
+        // A recommend against the recovered KB matches one against the
+        // same runs applied in memory (ISSUE acceptance criterion).
+        let q = mf(2);
+        let opts = QueryOptions::default();
+        let recovered = kb.kb().recommend_extended(&q, None, &opts);
+        let fresh = reference.recommend_extended(&q, None, &opts);
+        assert_eq!(recovered, fresh);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_and_preserves_state() {
+        let dir = tmp("smartml-durable-snapshot");
+        let small = DurableOptions { segment_bytes: 512, fsync_writes: false };
+        let mut kb = DurableKb::open_with(&dir, small.clone()).unwrap();
+        for i in 0..8u64 {
+            kb.record_run(&format!("d{i}"), &mf(i), run(0.8)).unwrap();
+        }
+        assert!(kb.n_segments().unwrap() > 1, "tiny threshold must rotate");
+        let covered = kb.snapshot().unwrap();
+        // All covered segments are gone; one fresh segment remains.
+        let segs = list_seqs(&dir, parse_segment_name).unwrap();
+        assert_eq!(segs, vec![covered + 1]);
+        let snaps = list_seqs(&dir, parse_snapshot_name).unwrap();
+        assert_eq!(snaps, vec![covered]);
+        // Post-snapshot writes land in the WAL; reopen sees everything.
+        kb.record_run("after", &mf(20), run(0.9)).unwrap();
+        drop(kb);
+        let kb = DurableKb::open_with(&dir, small).unwrap();
+        assert_eq!(kb.kb().len(), 9);
+        assert_eq!(kb.recovery().snapshot_seq, Some(covered));
+        assert_eq!(kb.recovery().records_replayed, 1);
+        // A second snapshot supersedes the first.
+        let mut kb = kb;
+        let covered2 = kb.snapshot().unwrap();
+        assert!(covered2 > covered);
+        assert_eq!(list_seqs(&dir, parse_snapshot_name).unwrap(), vec![covered2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_surfaces_with_path() {
+        let dir = tmp("smartml-durable-corrupt-snap");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(snapshot_name(3)), "{broken").unwrap();
+        match DurableKb::open(&dir) {
+            Err(KbError::Corrupt { path: Some(p), .. }) => {
+                assert!(p.ends_with(snapshot_name(3)));
+            }
+            Ok(_) => panic!("expected corrupt snapshot error, got a KB"),
+            other => panic!("expected corrupt snapshot error, got {:?}", other.err()),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn backend_trait_roundtrip() {
+        let dir = tmp("smartml-durable-backend");
+        let mut kb = DurableKb::open(&dir).unwrap();
+        kb.kb_record_run("d", &mf(1), run(0.66)).unwrap();
+        assert_eq!(kb.kb_len(), 1);
+        assert_eq!(kb.kb_n_runs(), 1);
+        assert!(kb.kb_describe().starts_with("wal:"));
+        let rec = kb.kb_recommend(&mf(1), None, &QueryOptions::default()).unwrap();
+        assert!(!rec.algorithms.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,45 @@
+//! Durable, concurrent serving for the SmartML knowledge base.
+//!
+//! The paper's framework "gets smarter by getting more experience": every
+//! run appends `(meta-features, tuned configuration, accuracy)` records,
+//! and every new dataset queries the accumulated experience for algorithm
+//! nominations and SMAC warm starts. `smartml-kb` holds that experience
+//! in memory with single-file JSON persistence — fine for one process,
+//! useless for a deployment. This crate is the serving stack on top:
+//!
+//! | layer | type | what it adds |
+//! |-------|------|--------------|
+//! | durability | [`DurableKb`] | write-ahead log with checksummed frames, segment rotation, snapshot + compaction, torn-tail crash recovery |
+//! | concurrency | [`SharedKb`] | `RwLock`-guarded index with generation-keyed cached z-score statistics: readers never pay re-normalisation, never block each other |
+//! | serving | [`Server`] / [`KbClient`] | `smartmld`, a TCP JSON-lines server (std::net only) with a blocking client that is also a [`smartml_kb::KbBackend`] |
+//!
+//! ```no_run
+//! use smartml_kbd::{Server, ServerOptions, KbClient};
+//!
+//! let server = Server::bind(ServerOptions {
+//!     dir: "my-kb".into(),
+//!     ..ServerOptions::default()
+//! }).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! std::thread::spawn(move || server.run().unwrap());
+//!
+//! let client = KbClient::connect(addr.to_string());
+//! client.ping().unwrap();
+//! ```
+
+mod client;
+mod durable;
+mod protocol;
+mod server;
+mod shared;
+mod wal;
+
+pub use client::KbClient;
+pub use durable::{DurableKb, DurableOptions, RecoveryReport};
+pub use protocol::{KbStats, Request, Response};
+pub use server::{Server, ServerOptions};
+pub use shared::{LocalStore, SharedKb, SharedKbHandle};
+pub use wal::{
+    encode_frame, fnv1a, parse_segment_name, parse_snapshot_name, replay_segment, scan_frames,
+    segment_name, snapshot_name, SegmentScan, WalRecord, WalWriter,
+};

@@ -1,0 +1,176 @@
+//! The `smartmld` wire protocol: JSON lines over TCP.
+//!
+//! One request per line, one response per line, in order. The framing is
+//! trivial on purpose — any language with a JSON library and a socket
+//! can speak it (`nc` included), mirroring the paper's "programming-
+//! language agnostic" REST surface without pulling in an HTTP stack.
+//!
+//! ```text
+//! → {"op":"record_run","dataset_id":"iris","meta_features":{...},"run":{...}}
+//! ← {"status":"recorded","datasets":1,"runs":1}
+//! → {"op":"recommend","meta_features":{...}}
+//! ← {"status":"recommendation","recommendation":{...}}
+//! ```
+
+use serde::{Deserialize, Serialize};
+use smartml_kb::{AlgorithmRun, QueryOptions, Recommendation};
+use smartml_metafeatures::{Landmarkers, MetaFeatures};
+
+/// A client → server message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Nominate algorithms for a dataset's meta-features (Phase 3).
+    Recommend {
+        /// The query dataset's meta-features.
+        meta_features: MetaFeatures,
+        /// Optional landmarker accuracies (extended-similarity mode).
+        #[serde(default)]
+        landmarkers: Option<Landmarkers>,
+        /// Query knobs; omit for server defaults.
+        #[serde(default)]
+        options: Option<QueryOptions>,
+    },
+    /// Record one `(algorithm, config) → accuracy` observation (Phase 5).
+    RecordRun {
+        /// Dataset identifier.
+        dataset_id: String,
+        /// The dataset's meta-features.
+        meta_features: MetaFeatures,
+        /// The observation.
+        run: AlgorithmRun,
+    },
+    /// Attach landmarker accuracies to a dataset's entry.
+    SetLandmarkers {
+        /// Dataset identifier.
+        dataset_id: String,
+        /// The landmarker accuracies.
+        landmarkers: Landmarkers,
+    },
+    /// Knowledge-base and WAL statistics.
+    Stats,
+    /// Fold the WAL into a snapshot and compact.
+    Snapshot,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// Store/WAL statistics reported by [`Response::Stats`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KbStats {
+    /// Datasets known.
+    pub datasets: usize,
+    /// Total recorded runs.
+    pub runs: usize,
+    /// WAL segment files on disk.
+    pub wal_segments: usize,
+    /// Sequence number of the active segment.
+    pub active_segment: u64,
+    /// Sequence of the snapshot recovery started from, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Records replayed from the WAL when the server opened its store.
+    pub recovered_records: usize,
+    /// True when recovery truncated a torn tail record.
+    pub recovered_torn_tail: bool,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum Response {
+    /// Answer to [`Request::Recommend`].
+    Recommendation {
+        /// Nominations, best first.
+        recommendation: Recommendation,
+    },
+    /// Answer to [`Request::RecordRun`] / [`Request::SetLandmarkers`]:
+    /// the mutation is on the WAL and visible to readers.
+    Recorded {
+        /// Datasets known after the write.
+        datasets: usize,
+        /// Total runs after the write.
+        runs: usize,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// The statistics.
+        stats: KbStats,
+    },
+    /// Answer to [`Request::Snapshot`].
+    Snapshotted {
+        /// Sequence number of the snapshot file that was written.
+        snapshot_seq: u64,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Shutdown`]; the server exits after sending it.
+    ShuttingDown,
+    /// Any failure; the connection stays usable.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_metafeatures::N_META_FEATURES;
+
+    #[test]
+    fn request_roundtrip_and_optional_fields() {
+        let mf = MetaFeatures { values: vec![0.5; N_META_FEATURES] };
+        let req = Request::Recommend { meta_features: mf, landmarkers: None, options: None };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        match back {
+            Request::Recommend { meta_features, landmarkers, options } => {
+                assert_eq!(meta_features.values.len(), N_META_FEATURES);
+                assert!(landmarkers.is_none());
+                assert!(options.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A hand-written minimal request parses: optional fields default.
+        let minimal = format!(
+            "{{\"op\":\"recommend\",\"meta_features\":{{\"values\":{:?}}}}}",
+            vec![0.0; N_META_FEATURES]
+        );
+        assert!(matches!(
+            serde_json::from_str::<Request>(&minimal).unwrap(),
+            Request::Recommend { .. }
+        ));
+        // Unit ops are bare tags.
+        assert!(matches!(
+            serde_json::from_str::<Request>("{\"op\":\"ping\"}").unwrap(),
+            Request::Ping
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = Response::Stats {
+            stats: KbStats {
+                datasets: 3,
+                runs: 9,
+                wal_segments: 2,
+                active_segment: 5,
+                snapshot_seq: Some(3),
+                recovered_records: 4,
+                recovered_torn_tail: true,
+            },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"status\":"));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Stats { stats } => {
+                assert_eq!(stats.runs, 9);
+                assert_eq!(stats.snapshot_seq, Some(3));
+                assert!(stats.recovered_torn_tail);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The `smartmld` serve loop: a TCP JSON-lines server over a
+//! [`SharedKb<DurableKb>`].
+//!
+//! Dependency-free by design: `std::net` sockets, one thread per
+//! connection capped at a configurable limit, and the `smartml-runtime`
+//! [`Deadline`] shaping per-request socket timeouts. Readers (recommend,
+//! stats) share the `RwLock` read side; writers serialise through the
+//! WAL, so every acknowledged `record_run` is on disk before the client
+//! sees the `recorded` response.
+
+use crate::durable::{DurableKb, DurableOptions, RecoveryReport};
+use crate::protocol::{KbStats, Request, Response};
+use crate::shared::SharedKb;
+use smartml_kb::{KbError, QueryOptions};
+use smartml_runtime::{available_parallelism, Deadline};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Directory of the WAL-backed store (created if missing).
+    pub dir: PathBuf,
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Maximum concurrent connections (`0` = 4 × available cores);
+    /// excess connections get one `error` line and are closed.
+    pub max_connections: usize,
+    /// Per-request deadline; also bounds how long an idle connection is
+    /// kept open. `None` never times out.
+    pub request_timeout: Option<Duration>,
+    /// Store tuning (segment size, fsync policy).
+    pub durable: DurableOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            dir: PathBuf::from("kb-data"),
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 0,
+            request_timeout: Some(Duration::from_secs(10)),
+            durable: DurableOptions::default(),
+        }
+    }
+}
+
+/// A bound (not yet serving) `smartmld` instance.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<SharedKb<DurableKb>>,
+    recovery: RecoveryReport,
+    options: ServerOptions,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Opens the store (replaying the WAL) and binds the listener.
+    pub fn bind(options: ServerOptions) -> Result<Server, KbError> {
+        let store = DurableKb::open_with(&options.dir, options.durable.clone())?;
+        let recovery = store.recovery().clone();
+        let listener = TcpListener::bind(&options.addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(SharedKb::new(store)),
+            recovery,
+            options,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr, KbError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The shared store (e.g. to pre-load data before serving).
+    pub fn shared(&self) -> &Arc<SharedKb<DurableKb>> {
+        &self.shared
+    }
+
+    /// What WAL recovery found when the store was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// A flag that makes [`Server::run`] exit; flip it, then poke the
+    /// listener with a TCP connect (or send a `shutdown` request).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until a `shutdown` request arrives. Blocks the caller.
+    pub fn run(self) -> Result<(), KbError> {
+        let Server { listener, shared, recovery, options, shutdown } = self;
+        let local = listener.local_addr()?;
+        let cap = if options.max_connections == 0 {
+            available_parallelism() * 4
+        } else {
+            options.max_connections
+        };
+        let active = Arc::new(AtomicUsize::new(0));
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if active.load(Ordering::Acquire) >= cap {
+                let mut s = stream;
+                let _ = writeln!(
+                    s,
+                    "{}",
+                    encode(&Response::Error {
+                        message: format!("server at capacity ({cap} connections)"),
+                    })
+                );
+                continue;
+            }
+            let ctx = ConnCtx {
+                shared: Arc::clone(&shared),
+                recovery: recovery.clone(),
+                timeout: options.request_timeout,
+                shutdown: Arc::clone(&shutdown),
+                local,
+            };
+            active.fetch_add(1, Ordering::AcqRel);
+            let active = Arc::clone(&active);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, ctx);
+                active.fetch_sub(1, Ordering::AcqRel);
+            });
+        }
+        // Give in-flight requests a moment to drain before the store (and
+        // its WAL handle) is dropped.
+        let drain = Deadline::after(Duration::from_secs(5));
+        while active.load(Ordering::Acquire) > 0 && !drain.expired() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+struct ConnCtx {
+    shared: Arc<SharedKb<DurableKb>>,
+    recovery: RecoveryReport,
+    timeout: Option<Duration>,
+    shutdown: Arc<AtomicBool>,
+    local: SocketAddr,
+}
+
+fn encode(response: &Response) -> String {
+    serde_json::to_string(response).expect("response serialisation cannot fail")
+}
+
+fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
+    // One-line responses to one-line requests: disable Nagle so each
+    // response leaves immediately instead of waiting on a delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        // One deadline per request: it bounds waiting for the line, and
+        // whatever remains after dispatch bounds writing the response.
+        let deadline = match ctx.timeout {
+            Some(t) => Deadline::after(t),
+            None => Deadline::none(),
+        };
+        reader.get_ref().set_read_timeout(deadline.io_timeout())?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client closed
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = dispatch(&line, &ctx);
+        writer.set_write_timeout(deadline.io_timeout())?;
+        writeln!(writer, "{}", encode(&response))?;
+        if stop {
+            // Wake the accept loop so `run` observes the flag.
+            ctx.shutdown.store(true, Ordering::Release);
+            let _ = TcpStream::connect(ctx.local);
+            return Ok(());
+        }
+    }
+}
+
+/// Executes one request line. Returns the response and whether the
+/// server should stop.
+fn dispatch(line: &str, ctx: &ConnCtx) -> (Response, bool) {
+    let request: Request = match serde_json::from_str(line.trim()) {
+        Ok(r) => r,
+        Err(e) => {
+            return (Response::Error { message: format!("bad request: {e}") }, false);
+        }
+    };
+    let response = match request {
+        Request::Recommend { meta_features, landmarkers, options } => {
+            let opts = options.unwrap_or_else(QueryOptions::default);
+            let recommendation = ctx.shared.recommend(&meta_features, landmarkers, &opts);
+            Response::Recommendation { recommendation }
+        }
+        Request::RecordRun { dataset_id, meta_features, run } => {
+            match ctx.shared.record_run(&dataset_id, &meta_features, run) {
+                Ok(()) => Response::Recorded {
+                    datasets: ctx.shared.len(),
+                    runs: ctx.shared.n_runs(),
+                },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::SetLandmarkers { dataset_id, landmarkers } => {
+            match ctx.shared.set_landmarkers(&dataset_id, landmarkers) {
+                Ok(()) => Response::Recorded {
+                    datasets: ctx.shared.len(),
+                    runs: ctx.shared.n_runs(),
+                },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Stats => ctx.shared.read(|store| {
+            let wal_segments = store.n_segments().unwrap_or(0);
+            Response::Stats {
+                stats: KbStats {
+                    datasets: store.kb().len(),
+                    runs: store.kb().n_runs(),
+                    wal_segments,
+                    active_segment: store.active_segment(),
+                    snapshot_seq: ctx.recovery.snapshot_seq,
+                    recovered_records: ctx.recovery.records_replayed,
+                    recovered_torn_tail: ctx.recovery.truncated_tail,
+                },
+            }
+        }),
+        Request::Snapshot => match ctx.shared.write(|store| store.snapshot()) {
+            Ok(seq) => Response::Snapshotted { snapshot_seq: seq },
+            Err(e) => Response::Error { message: e.to_string() },
+        },
+        Request::Ping => Response::Pong,
+        Request::Shutdown => return (Response::ShuttingDown, true),
+    };
+    (response, false)
+}

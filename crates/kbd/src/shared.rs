@@ -1,0 +1,318 @@
+//! [`SharedKb`]: the concurrent read-optimised index over a store.
+//!
+//! The serving hot path is `recommend`, which z-scores every entry using
+//! per-feature mean/std statistics over the whole KB. Recomputing those
+//! statistics per query is O(entries × features) of pure waste between
+//! writes, so `SharedKb` caches them keyed by a write *generation*:
+//!
+//! - readers share an `RwLock` read guard — they never block each other;
+//! - the first read after a write recomputes the statistics (outside the
+//!   small cache mutex, so racing readers duplicate the cheap compute
+//!   instead of serialising on it) and publishes them for the generation;
+//! - writers take the write lock, mutate the store, and bump the
+//!   generation, which invalidates the cache without touching it.
+//!
+//! The generation counter only changes under the write lock, so a reader
+//! holding the read guard always pairs the entries it sees with the
+//! statistics of the same generation — recommendations are computed
+//! against a consistent prefix of writes.
+
+use crate::durable::DurableKb;
+use smartml_kb::{
+    AlgorithmRun, KbBackend, KbError, KnowledgeBase, NormStats, QueryOptions, Recommendation,
+};
+use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A store a [`SharedKb`] can guard: anything that exposes its in-memory
+/// [`KnowledgeBase`] and fallibly applies mutations.
+pub trait LocalStore: Send + Sync {
+    /// The in-memory index.
+    fn index(&self) -> &KnowledgeBase;
+    /// Applies one run observation.
+    fn apply_run(
+        &mut self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError>;
+    /// Applies landmarker accuracies.
+    fn apply_landmarkers(
+        &mut self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError>;
+}
+
+impl LocalStore for KnowledgeBase {
+    fn index(&self) -> &KnowledgeBase {
+        self
+    }
+
+    fn apply_run(
+        &mut self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        self.record_run(dataset_id, meta_features, run);
+        Ok(())
+    }
+
+    fn apply_landmarkers(
+        &mut self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        self.set_landmarkers(dataset_id, landmarkers);
+        Ok(())
+    }
+}
+
+impl LocalStore for DurableKb {
+    fn index(&self) -> &KnowledgeBase {
+        self.kb()
+    }
+
+    fn apply_run(
+        &mut self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        self.record_run(dataset_id, meta_features, run)
+    }
+
+    fn apply_landmarkers(
+        &mut self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        self.set_landmarkers(dataset_id, landmarkers)
+    }
+}
+
+/// Concurrent wrapper: `&self` reads and writes, safe to share across
+/// threads behind an `Arc`.
+pub struct SharedKb<S: LocalStore> {
+    store: RwLock<S>,
+    /// Bumped on every successful mutation; only written under the
+    /// `store` write lock, so it is stable while a read guard is held.
+    generation: AtomicU64,
+    /// `(generation, stats)` of the last normalisation pass.
+    stats_cache: Mutex<Option<(u64, Arc<NormStats>)>>,
+}
+
+impl<S: LocalStore> SharedKb<S> {
+    /// Wraps a store.
+    pub fn new(store: S) -> SharedKb<S> {
+        SharedKb {
+            store: RwLock::new(store),
+            generation: AtomicU64::new(0),
+            stats_cache: Mutex::new(None),
+        }
+    }
+
+    /// The current write generation (diagnostics / tests).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Runs a closure with shared access to the store.
+    pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.store.read().expect("SharedKb lock poisoned"))
+    }
+
+    /// Runs a closure with exclusive access to the store, bumping the
+    /// generation afterwards (use for mutations outside the typed API,
+    /// e.g. snapshotting a [`DurableKb`]).
+    pub fn write<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut guard = self.store.write().expect("SharedKb lock poisoned");
+        let out = f(&mut guard);
+        self.generation.fetch_add(1, Ordering::Release);
+        out
+    }
+
+    /// Nominates algorithms using cached normalisation statistics.
+    /// Concurrent callers share one read guard and (after the first query
+    /// of a generation) one precomputed [`NormStats`].
+    pub fn recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        query_landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Recommendation {
+        let guard = self.store.read().expect("SharedKb lock poisoned");
+        let kb = guard.index();
+        if kb.is_empty() {
+            return Recommendation { algorithms: Vec::new(), neighbors: Vec::new() };
+        }
+        let generation = self.generation.load(Ordering::Acquire);
+        let cached = self
+            .stats_cache
+            .lock()
+            .expect("stats cache poisoned")
+            .as_ref()
+            .filter(|(g, _)| *g == generation)
+            .map(|(_, s)| Arc::clone(s));
+        let stats = match cached {
+            Some(s) => s,
+            None => {
+                // Compute outside the cache mutex: racing readers after a
+                // write each do the cheap pass and publish identical
+                // results, instead of queueing behind one another.
+                let fresh = Arc::new(kb.normalisation_stats());
+                *self.stats_cache.lock().expect("stats cache poisoned") =
+                    Some((generation, Arc::clone(&fresh)));
+                fresh
+            }
+        };
+        kb.recommend_extended_with_stats(meta_features, query_landmarkers, options, &stats)
+    }
+
+    /// Records a run (write lock; invalidates the stats cache).
+    pub fn record_run(
+        &self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        self.write(|s| s.apply_run(dataset_id, meta_features, run))
+    }
+
+    /// Attaches landmarkers (write lock; invalidates the stats cache).
+    pub fn set_landmarkers(
+        &self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        self.write(|s| s.apply_landmarkers(dataset_id, landmarkers))
+    }
+
+    /// Datasets known.
+    pub fn len(&self) -> usize {
+        self.read(|s| s.index().len())
+    }
+
+    /// True when no datasets are known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total recorded runs.
+    pub fn n_runs(&self) -> usize {
+        self.read(|s| s.index().n_runs())
+    }
+
+    /// Consumes the wrapper, returning the store.
+    pub fn into_inner(self) -> S {
+        self.store.into_inner().expect("SharedKb lock poisoned")
+    }
+}
+
+/// A cloneable [`KbBackend`] view of a shared KB, so several in-process
+/// SmartML engines can write to one index concurrently (a newtype
+/// because `Arc` and `KbBackend` are both foreign here).
+pub struct SharedKbHandle<S: LocalStore>(pub Arc<SharedKb<S>>);
+
+impl<S: LocalStore> Clone for SharedKbHandle<S> {
+    fn clone(&self) -> Self {
+        SharedKbHandle(Arc::clone(&self.0))
+    }
+}
+
+impl<S: LocalStore> KbBackend for SharedKbHandle<S> {
+    fn kb_recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        query_landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Result<Recommendation, KbError> {
+        Ok(self.0.recommend(meta_features, query_landmarkers, options))
+    }
+
+    fn kb_record_run(
+        &mut self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        self.0.record_run(dataset_id, meta_features, run)
+    }
+
+    fn kb_set_landmarkers(
+        &mut self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        self.0.set_landmarkers(dataset_id, landmarkers)
+    }
+
+    fn kb_len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn kb_n_runs(&self) -> usize {
+        self.0.n_runs()
+    }
+
+    fn kb_describe(&self) -> String {
+        "shared".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_classifiers::{Algorithm, ParamConfig};
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_metafeatures::extract;
+
+    fn mf(seed: u64) -> MetaFeatures {
+        let d = gaussian_blobs("m", 40 + seed as usize, 3, 2, 1.0, seed);
+        extract(&d, &d.all_rows())
+    }
+
+    fn run(acc: f64) -> AlgorithmRun {
+        AlgorithmRun { algorithm: Algorithm::Knn, config: ParamConfig::default(), accuracy: acc }
+    }
+
+    #[test]
+    fn cached_recommendation_matches_direct() {
+        let shared = SharedKb::new(KnowledgeBase::new());
+        for i in 0..6u64 {
+            shared.record_run(&format!("d{i}"), &mf(i), run(0.6)).unwrap();
+        }
+        let q = mf(3);
+        let opts = QueryOptions::default();
+        let via_cache = shared.recommend(&q, None, &opts);
+        let direct = shared.read(|kb| kb.recommend_extended(&q, None, &opts));
+        assert_eq!(via_cache, direct);
+        // Second query hits the cache and still matches.
+        assert_eq!(shared.recommend(&q, None, &opts), direct);
+    }
+
+    #[test]
+    fn generation_bumps_invalidate_stats() {
+        let shared = SharedKb::new(KnowledgeBase::new());
+        shared.record_run("a", &mf(1), run(0.5)).unwrap();
+        let g1 = shared.generation();
+        let q = mf(2);
+        let r1 = shared.recommend(&q, None, &QueryOptions::default());
+        shared.record_run("b", &mf(7), run(0.9)).unwrap();
+        assert!(shared.generation() > g1);
+        let r2 = shared.recommend(&q, None, &QueryOptions::default());
+        // The new entry is visible (stale stats would miss it).
+        assert_eq!(shared.len(), 2);
+        assert!(r2.neighbors.len() > r1.neighbors.len());
+    }
+
+    #[test]
+    fn empty_kb_recommends_nothing() {
+        let shared = SharedKb::new(KnowledgeBase::new());
+        let rec = shared.recommend(&mf(1), None, &QueryOptions::default());
+        assert!(rec.algorithms.is_empty());
+        assert!(shared.is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! The knowledge-base write-ahead log: framing, segments, recovery.
+//!
+//! Every mutation of the KB (`record_run`, `set_landmarkers`) is
+//! serialised as one [`WalRecord`] and appended to the active segment
+//! *before* being applied to the in-memory index — the standard WAL
+//! discipline, so a crash at any instant loses at most the record whose
+//! write was interrupted.
+//!
+//! ## Frame format
+//!
+//! One record per line, length-prefixed and checksummed:
+//!
+//! ```text
+//! <len:8 hex> <fnv1a:8 hex> <payload JSON>\n
+//! ```
+//!
+//! `len` is the payload's byte length; `fnv1a` is the FNV-1a 32-bit hash
+//! of the payload bytes. The fixed 18-byte header makes torn writes
+//! detectable without scanning: a frame whose header is short, whose
+//! payload is shorter than `len`, or whose checksum mismatches is a torn
+//! tail. The payload itself never contains a raw newline (serde_json
+//! escapes them), so the format stays greppable.
+//!
+//! ## Segments and recovery
+//!
+//! Segments are named `wal-NNNNNN.log` with a monotonically increasing
+//! sequence number that is never reused. The active segment rotates once
+//! it exceeds the configured size threshold. Recovery replays every
+//! segment in sequence order over the latest snapshot; a torn frame ends
+//! replay of that segment and is *truncated off the file* so the log is
+//! clean for subsequent appends. A frame that passes its checksum but
+//! fails to parse as a [`WalRecord`] is real corruption (not a torn
+//! write) and surfaces as [`KbError::Corrupt`] naming the segment.
+
+use serde::{Deserialize, Serialize};
+use smartml_kb::{AlgorithmRun, KbError, KnowledgeBase};
+use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes before the payload: 8 hex (len) + space + 8 hex (checksum) + space.
+const HEADER_LEN: usize = 18;
+
+/// One logged KB mutation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum WalRecord {
+    /// `KnowledgeBase::record_run`.
+    Run {
+        /// Dataset identifier.
+        dataset_id: String,
+        /// The dataset's meta-features at record time.
+        meta_features: MetaFeatures,
+        /// The observed (algorithm, config) → accuracy result.
+        run: AlgorithmRun,
+    },
+    /// `KnowledgeBase::set_landmarkers`.
+    Landmarkers {
+        /// Dataset identifier.
+        dataset_id: String,
+        /// Landmarker accuracies to attach.
+        landmarkers: Landmarkers,
+    },
+}
+
+impl WalRecord {
+    /// Replays this record against an in-memory KB.
+    pub fn apply_to(&self, kb: &mut KnowledgeBase) {
+        match self {
+            WalRecord::Run { dataset_id, meta_features, run } => {
+                kb.record_run(dataset_id, meta_features, run.clone());
+            }
+            WalRecord::Landmarkers { dataset_id, landmarkers } => {
+                kb.set_landmarkers(dataset_id, *landmarkers);
+            }
+        }
+    }
+}
+
+/// FNV-1a 32-bit: tiny, dependency-free, and plenty for torn-write
+/// detection (this guards against partial writes, not adversaries).
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Encodes one record as a framed line.
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = serde_json::to_string(record).expect("WAL record serialisation cannot fail");
+    let payload = payload.as_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 1);
+    out.extend_from_slice(format!("{:08x} {:08x} ", payload.len(), fnv1a(payload)).as_bytes());
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+    out
+}
+
+/// Outcome of scanning one segment.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Records recovered, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset of the first torn frame (`None` when the segment is
+    /// clean). Everything from here on should be truncated.
+    pub torn_at: Option<u64>,
+}
+
+/// Decodes all complete frames in `bytes`. Stops at the first torn frame
+/// (short header, short payload, checksum mismatch, or missing trailing
+/// newline) and reports its offset. A checksum-valid frame whose JSON
+/// does not parse is corruption, not tearing.
+pub fn scan_frames(bytes: &[u8], origin: &Path) -> Result<SegmentScan, KbError> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < HEADER_LEN {
+            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
+        }
+        let header = &rest[..HEADER_LEN];
+        let parsed = std::str::from_utf8(header).ok().and_then(|h| {
+            let len = u32::from_str_radix(h.get(0..8)?, 16).ok()?;
+            let sum = u32::from_str_radix(h.get(9..17)?, 16).ok()?;
+            (h.as_bytes()[8] == b' ' && h.as_bytes()[17] == b' ').then_some((len, sum))
+        });
+        let Some((len, sum)) = parsed else {
+            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
+        };
+        let len = len as usize;
+        let frame_end = HEADER_LEN + len + 1; // + newline
+        if rest.len() < frame_end || rest[frame_end - 1] != b'\n' {
+            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
+        }
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+        if fnv1a(payload) != sum {
+            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
+        }
+        let text = std::str::from_utf8(payload).map_err(|e| KbError::Corrupt {
+            path: Some(origin.to_path_buf()),
+            detail: format!("checksummed frame at byte {offset} is not UTF-8: {e}"),
+        })?;
+        let record: WalRecord = serde_json::from_str(text).map_err(|e| KbError::Corrupt {
+            path: Some(origin.to_path_buf()),
+            detail: format!("checksummed frame at byte {offset} failed to parse: {e}"),
+        })?;
+        records.push(record);
+        offset += frame_end;
+    }
+    Ok(SegmentScan { records, torn_at: None })
+}
+
+/// Segment file name for a sequence number.
+pub fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:06}.log")
+}
+
+/// Snapshot file name for the highest segment sequence it covers.
+pub fn snapshot_name(seq: u64) -> String {
+    format!("snapshot-{seq:06}.json")
+}
+
+/// Parses `wal-NNNNNN.log` → `NNNNNN`.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Parses `snapshot-NNNNNN.json` → `NNNNNN`.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// Sorted sequence numbers of all files in `dir` matching `parse`.
+pub fn list_seqs(dir: &Path, parse: fn(&str) -> Option<u64>) -> Result<Vec<u64>, KbError> {
+    let mut seqs = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(seq) = entry.file_name().to_str().and_then(parse) {
+            seqs.push(seq);
+        }
+    }
+    seqs.sort_unstable();
+    Ok(seqs)
+}
+
+/// The append side of the WAL: an open handle on the active segment.
+pub struct WalWriter {
+    dir: PathBuf,
+    seq: u64,
+    file: File,
+    len: u64,
+    segment_bytes: u64,
+    fsync_writes: bool,
+}
+
+impl WalWriter {
+    /// Opens (creating if needed) segment `seq` in `dir` for appending.
+    pub fn open(
+        dir: &Path,
+        seq: u64,
+        segment_bytes: u64,
+        fsync_writes: bool,
+    ) -> Result<WalWriter, KbError> {
+        let path = dir.join(segment_name(seq));
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        Ok(WalWriter { dir: dir.to_path_buf(), seq, file, len, segment_bytes, fsync_writes })
+    }
+
+    /// Sequence number of the active segment.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Bytes currently in the active segment.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the active segment holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one record, rotating to a fresh segment first when the
+    /// active one is over the size threshold. Returns the sequence number
+    /// the record landed in.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, KbError> {
+        if self.len >= self.segment_bytes && self.len > 0 {
+            self.rotate()?;
+        }
+        let frame = encode_frame(record);
+        self.file.write_all(&frame)?;
+        if self.fsync_writes {
+            self.file.sync_data()?;
+        }
+        self.len += frame.len() as u64;
+        Ok(self.seq)
+    }
+
+    /// Seals the active segment and opens the next one.
+    pub fn rotate(&mut self) -> Result<(), KbError> {
+        self.file.sync_data()?;
+        let next = WalWriter::open(&self.dir, self.seq + 1, self.segment_bytes, self.fsync_writes)?;
+        *self = next;
+        Ok(())
+    }
+
+    /// Flushes pending appends to the OS (and disk when fsync is on).
+    pub fn sync(&mut self) -> Result<(), KbError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Replays one segment file into `kb`, truncating a torn tail in place.
+/// Returns the number of records applied.
+pub fn replay_segment(path: &Path, kb: &mut KnowledgeBase) -> Result<usize, KbError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let scan = scan_frames(&bytes, path)?;
+    if let Some(torn_at) = scan.torn_at {
+        // Drop the torn tail so future appends start on a frame boundary.
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(torn_at)?;
+        f.sync_all()?;
+    }
+    for record in &scan.records {
+        record.apply_to(kb);
+    }
+    Ok(scan.records.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml_classifiers::{Algorithm, ParamConfig};
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_metafeatures::extract;
+
+    fn mf() -> MetaFeatures {
+        let d = gaussian_blobs("w", 40, 3, 2, 1.0, 1);
+        extract(&d, &d.all_rows())
+    }
+
+    fn rec(i: usize) -> WalRecord {
+        WalRecord::Run {
+            dataset_id: format!("d{i}"),
+            meta_features: mf(),
+            run: AlgorithmRun {
+                algorithm: Algorithm::Knn,
+                config: ParamConfig::default(),
+                accuracy: 0.5 + i as f64 * 0.01,
+            },
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = encode_frame(&rec(1));
+        let scan = scan_frames(&frame, Path::new("mem")).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_at.is_none());
+        match &scan.records[0] {
+            WalRecord::Run { dataset_id, .. } => assert_eq!(dataset_id, "d1"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_detected_at_every_cut_point() {
+        let mut bytes = encode_frame(&rec(1));
+        bytes.extend_from_slice(&encode_frame(&rec(2)));
+        let second_start = encode_frame(&rec(1)).len() as u64;
+        // Cut the buffer at every length inside the second frame: exactly
+        // one record must survive and the tear must point at its start.
+        for cut in (second_start as usize + 1)..bytes.len() {
+            let scan = scan_frames(&bytes[..cut], Path::new("mem")).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.torn_at, Some(second_start), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_tear() {
+        let mut bytes = encode_frame(&rec(1));
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01; // flip a payload bit
+        let scan = scan_frames(&bytes, Path::new("mem")).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.torn_at, Some(0));
+    }
+
+    #[test]
+    fn valid_checksum_bad_json_is_corruption() {
+        let payload = b"{\"kind\":\"nonsense\"}";
+        let mut bytes =
+            format!("{:08x} {:08x} ", payload.len(), fnv1a(payload)).into_bytes();
+        bytes.extend_from_slice(payload);
+        bytes.push(b'\n');
+        match scan_frames(&bytes, Path::new("seg.log")) {
+            Err(KbError::Corrupt { path: Some(p), .. }) => {
+                assert_eq!(p, Path::new("seg.log"));
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_rotates_at_threshold() {
+        let dir = std::env::temp_dir().join("smartml-wal-rotate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let one_frame = encode_frame(&rec(0)).len() as u64;
+        // Threshold of ~2 frames: rotation after every second append.
+        let mut w = WalWriter::open(&dir, 1, one_frame * 2 - 1, false).unwrap();
+        for i in 0..6 {
+            w.append(&rec(i)).unwrap();
+        }
+        let segs = list_seqs(&dir, parse_segment_name).unwrap();
+        assert!(segs.len() >= 3, "expected rotation, got segments {segs:?}");
+        // Replay across all segments reconstructs all six records.
+        let mut kb = KnowledgeBase::new();
+        let mut total = 0;
+        for seq in segs {
+            total += replay_segment(&dir.join(segment_name(seq)), &mut kb).unwrap();
+        }
+        assert_eq!(total, 6);
+        assert_eq!(kb.len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_truncates_torn_tail_on_disk() {
+        let dir = std::env::temp_dir().join("smartml-wal-truncate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(segment_name(1));
+        let mut bytes = encode_frame(&rec(1));
+        let clean_len = bytes.len() as u64;
+        let torn = encode_frame(&rec(2));
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut kb = KnowledgeBase::new();
+        assert_eq!(replay_segment(&path, &mut kb).unwrap(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        // Appending after recovery lands on a clean boundary.
+        let mut w = WalWriter::open(&dir, 1, u64::MAX, false).unwrap();
+        w.append(&rec(3)).unwrap();
+        let mut kb2 = KnowledgeBase::new();
+        assert_eq!(replay_segment(&path, &mut kb2).unwrap(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn name_parsing_roundtrip() {
+        assert_eq!(parse_segment_name(&segment_name(42)), Some(42));
+        assert_eq!(parse_snapshot_name(&snapshot_name(7)), Some(7));
+        assert_eq!(parse_segment_name("snapshot-000001.json"), None);
+        assert_eq!(parse_snapshot_name("wal-000001.log"), None);
+        assert_eq!(parse_segment_name("wal-junk.log"), None);
+    }
+}

@@ -160,6 +160,18 @@ impl Deadline {
     pub fn remaining(&self) -> Option<Duration> {
         self.0.map(|t| t.saturating_duration_since(Instant::now()))
     }
+
+    /// The remaining budget shaped for `set_read_timeout`-style socket
+    /// APIs, which reject a zero `Duration`: `None` when no limit is set,
+    /// otherwise the remaining time floored at 1 ms — an already-expired
+    /// deadline still yields the floor so the next I/O call fails fast
+    /// instead of blocking forever (or panicking on zero).
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.0.map(|t| {
+            t.saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +236,18 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         assert!(d.expired());
         assert_eq!(d.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn io_timeout_never_yields_zero() {
+        assert_eq!(Deadline::none().io_timeout(), None);
+        let d = Deadline::after(Duration::from_millis(2));
+        std::thread::sleep(Duration::from_millis(5));
+        // Expired, but sockets still get a small positive timeout.
+        let t = d.io_timeout().unwrap();
+        assert!(t >= Duration::from_millis(1) && t <= Duration::from_millis(2));
+        let far = Deadline::after(Duration::from_secs(60));
+        assert!(far.io_timeout().unwrap() > Duration::from_secs(59));
     }
 
     #[test]

@@ -14,4 +14,61 @@ cargo test -q --offline
 echo "==> determinism: identical reports for n_threads in {1, 2, 8}"
 cargo test -q --offline -p smartml-integration --test determinism
 
+echo "==> smartmld: record, query, kill -9, restart, verify recovery"
+SMOKE_DIR="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+CSV="$SMOKE_DIR/smoke.csv"
+{
+  echo "f1,f2,f3,label"
+  for i in $(seq 0 29); do
+    if [ $((i % 2)) -eq 0 ]; then
+      echo "$i.1,0.$i,1.5,a"
+    else
+      echo "$i.7,1.$i,3.5,b"
+    fi
+  done
+} > "$CSV"
+
+CLI=./target/release/smartml-cli
+SMARTMLD=./target/release/smartmld
+
+start_server() {
+  local log="$1"
+  "$SMARTMLD" --dir "$SMOKE_DIR/kb" --addr 127.0.0.1:0 > "$log" 2>&1 &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^smartmld: listening on //p' "$log")"
+    [ -n "$ADDR" ] && return 0
+    sleep 0.1
+  done
+  echo "smartmld failed to start:"; cat "$log"; exit 1
+}
+
+start_server "$SMOKE_DIR/server1.log"
+"$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm KNN --accuracy 0.91 > /dev/null
+"$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm RandomForest --accuracy 0.88 > /dev/null
+"$CLI" kb query  "$CSV" --kb "tcp:$ADDR" | grep -q "KNN" \
+  || { echo "live query missing KNN nomination"; exit 1; }
+
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+start_server "$SMOKE_DIR/server2.log"
+"$CLI" kb stats --kb "tcp:$ADDR" | grep -q "1 datasets / 2 runs" \
+  || { echo "recovery lost records"; "$CLI" kb stats --kb "tcp:$ADDR"; exit 1; }
+"$CLI" kb query "$CSV" --kb "tcp:$ADDR" | grep -q "KNN" \
+  || { echo "recovered KB missing KNN nomination"; exit 1; }
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "    smartmld survives kill -9 with no data loss"
+
 echo "verify: OK"

@@ -1,0 +1,90 @@
+//! End-to-end: the SmartML pipeline running against the durable and
+//! remote knowledge-base backends. The engine must behave exactly as it
+//! does in-memory — same phases, same report — while the experience it
+//! accumulates survives process restarts (WAL) or lives behind a socket
+//! (`smartmld`).
+
+use smartml::{Budget, SmartML, SmartMlOptions};
+use smartml_data::synth::gaussian_blobs;
+use smartml_kb::KbBackend;
+use smartml_kbd::{DurableKb, DurableOptions, KbClient, Server, ServerOptions};
+use smartml_preprocess::Op;
+use std::path::PathBuf;
+
+fn quick_options() -> SmartMlOptions {
+    SmartMlOptions {
+        budget: Budget::Trials(6),
+        top_n_algorithms: 2,
+        cv_folds: 2,
+        preprocessing: vec![Op::Zv],
+        ..Default::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smartml-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn pipeline_over_wal_backend_survives_reopen() {
+    let dir = temp_dir("wal");
+
+    // First process lifetime: run on a durable KB, then drop it.
+    let kb = DurableKb::open(&dir).expect("open durable KB");
+    let mut engine = SmartML::with_backend(kb, quick_options());
+    let d1 = gaussian_blobs("wal-first", 150, 3, 2, 0.8, 11);
+    let outcome = engine.run(&d1).expect("first run");
+    assert!(outcome.report.best.validation_accuracy > 0.6);
+    let kb = engine.into_kb();
+    assert_eq!(kb.kb().len(), 1);
+    let runs_after_first = kb.kb().n_runs();
+    assert!(runs_after_first >= 2);
+    drop(kb);
+
+    // Second lifetime: the WAL replays and the next run sees neighbours.
+    let kb = DurableKb::open(&dir).expect("reopen durable KB");
+    assert_eq!(kb.kb().len(), 1, "experience must survive reopen");
+    assert_eq!(kb.kb().n_runs(), runs_after_first);
+    let mut engine = SmartML::with_backend(kb, quick_options());
+    let d2 = gaussian_blobs("wal-second", 150, 3, 2, 0.8, 12);
+    let outcome = engine.run(&d2).expect("second run");
+    assert!(
+        !outcome.report.kb_neighbors.is_empty(),
+        "warm KB must surface neighbours"
+    );
+    let kb = engine.into_kb();
+    assert_eq!(kb.kb().len(), 2);
+    assert_eq!(kb.kb_describe(), format!("wal:{}", dir.display()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipeline_over_remote_backend_grows_server_kb() {
+    let dir = temp_dir("remote");
+    let server = Server::bind(ServerOptions {
+        dir: dir.clone(),
+        durable: DurableOptions { fsync_writes: false, ..Default::default() },
+        ..ServerOptions::default()
+    })
+    .expect("server binds");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    let client = KbClient::connect(addr.clone());
+    let mut engine = SmartML::with_backend(client, quick_options());
+    let d = gaussian_blobs("remote-run", 150, 3, 2, 0.8, 21);
+    let outcome = engine.run(&d).expect("run over tcp");
+    assert!(outcome.report.best.validation_accuracy > 0.6);
+
+    // The server-side KB grew by this run's records.
+    let control = KbClient::connect(addr);
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.datasets, 1);
+    assert_eq!(stats.runs, 2, "one run per nominated algorithm");
+
+    control.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
