@@ -1,0 +1,302 @@
+//! Wall-clock benchmark for the shared tree-training kernel layer
+//! (`crates/classifiers/src/common/split.rs`): presorted exact split
+//! finding and the opt-in histogram path, versus the retained naive
+//! per-node-sorting oracles.
+//!
+//! Every old-vs-new pair is also *asserted equivalent* in-process before
+//! timing, so a regression in the bit-exactness contract fails the bench,
+//! not just the test suite.
+//!
+//! Usage: `tree_kernels [--quick] [--out FILE] [--check FILE]`
+//!   --quick   smaller scales / fewer reps (CI smoke)
+//!   --out     write the results JSON to FILE
+//!   --check   compare against a previously committed JSON; exit non-zero
+//!             if any kernel-path timing regressed by more than 5x
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+use smartml_classifiers::common::split::{BinnedColumns, RankedBase};
+use smartml_classifiers::common::tree::{
+    oracle, DecisionTree, Pruning, SplitCriterion, TreeConfig,
+};
+use smartml_data::synth::gaussian_blobs;
+use smartml_data::Dataset;
+use smartml_smac::RandomForestSurrogate;
+
+/// Minimum wall-clock over `reps` runs of `f` (seconds).
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, last.unwrap())
+}
+
+/// Bootstrap picks for tree `t` of a forest, shared by both kernel paths
+/// so old and new time the exact same work.
+fn bootstrap_picks(n: usize, t: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(0xB007 ^ t);
+    (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+}
+
+fn rf_config(mtry: usize, t: u64) -> TreeConfig {
+    TreeConfig {
+        criterion: SplitCriterion::Gini,
+        max_depth: 40,
+        min_split: 2.0,
+        min_leaf: 1.0,
+        cp: 0.0,
+        mtry: Some(mtry),
+        seed: 0x5EED ^ t,
+        pruning: Pruning::None,
+        max_bins: 0,
+    }
+}
+
+fn forest_new(data: &Dataset, rows: &[usize], ntree: usize, mtry: usize) -> Vec<DecisionTree> {
+    // Mirrors fit_ensemble: value ranks built once, each tree's rank-radix
+    // kernel gathers its resample's ranks from the shared base.
+    let weights = vec![1.0; data.n_rows()];
+    let base = RankedBase::build(data, rows);
+    (0..ntree)
+        .map(|t| {
+            let picks = bootstrap_picks(rows.len(), t as u64);
+            let sample: Vec<usize> = picks.iter().map(|&p| rows[p as usize]).collect();
+            DecisionTree::fit_weighted_ranked(
+                data,
+                &sample,
+                &weights,
+                &rf_config(mtry, t as u64),
+                &base,
+                &picks,
+            )
+        })
+        .collect()
+}
+
+fn forest_oracle(data: &Dataset, rows: &[usize], ntree: usize, mtry: usize) -> Vec<DecisionTree> {
+    let weights = vec![1.0; data.n_rows()];
+    (0..ntree)
+        .map(|t| {
+            let picks = bootstrap_picks(rows.len(), t as u64);
+            let sample: Vec<usize> = picks.iter().map(|&p| rows[p as usize]).collect();
+            oracle::fit_weighted(data, &sample, &weights, &rf_config(mtry, t as u64))
+        })
+        .collect()
+}
+
+fn forest_binned(
+    data: &Dataset,
+    rows: &[usize],
+    ntree: usize,
+    mtry: usize,
+    max_bins: usize,
+) -> Vec<DecisionTree> {
+    let weights = vec![1.0; data.n_rows()];
+    let bins = BinnedColumns::fit(data, rows, max_bins);
+    (0..ntree)
+        .map(|t| {
+            let picks = bootstrap_picks(rows.len(), t as u64);
+            let sample: Vec<usize> = picks.iter().map(|&p| rows[p as usize]).collect();
+            let mut config = rf_config(mtry, t as u64);
+            config.max_bins = max_bins;
+            DecisionTree::fit_weighted_binned(data, &sample, &weights, &config, &bins)
+        })
+        .collect()
+}
+
+fn assert_forests_equal(data: &Dataset, rows: &[usize], a: &[DecisionTree], b: &[DecisionTree]) {
+    for (ta, tb) in a.iter().zip(b) {
+        assert_eq!(ta.n_leaves(), tb.n_leaves(), "kernel inequivalence: leaf count");
+        assert_eq!(
+            ta.predict_proba(data, rows),
+            tb.predict_proba(data, rows),
+            "kernel inequivalence: probas"
+        );
+    }
+}
+
+fn c45_config() -> TreeConfig {
+    TreeConfig {
+        criterion: SplitCriterion::GainRatio,
+        max_depth: 30,
+        min_split: 4.0,
+        min_leaf: 2.0,
+        cp: 0.0,
+        mtry: None,
+        seed: 7,
+        pruning: Pruning::Pessimistic { cf: 0.25 },
+        max_bins: 0,
+    }
+}
+
+fn surrogate_data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| (rng.gen_range(0..32u32) as f64) / 31.0).collect())
+        .collect();
+    let ys: Vec<f64> =
+        xs.iter().map(|x| x.iter().enumerate().map(|(j, v)| (v - 0.3).abs() * (j + 1) as f64).sum())
+            .collect();
+    (xs, ys)
+}
+
+struct BenchResult {
+    name: &'static str,
+    old_secs: Option<f64>,
+    new_secs: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag_value("--out");
+    let check_path = flag_value("--check");
+
+    let (reps, ntree_small, ntree_medium) = if quick { (2, 4, 3) } else { (5, 12, 12) };
+    let small = gaussian_blobs("small", 400, 8, 3, 1.1, 11);
+    let medium_n = if quick { 800 } else { 2000 };
+    let medium = gaussian_blobs("medium", medium_n, 50, 5, 1.4, 12);
+    let mut results: Vec<BenchResult> = Vec::new();
+
+    // Random forest, small scale: old vs new, equivalence asserted.
+    {
+        let rows = small.all_rows();
+        let new_f = forest_new(&small, &rows, ntree_small, 3);
+        let old_f = forest_oracle(&small, &rows, ntree_small, 3);
+        assert_forests_equal(&small, &rows, &new_f, &old_f);
+        let (old_secs, _) = time_min(reps, || forest_oracle(&small, &rows, ntree_small, 3));
+        let (new_secs, _) = time_min(reps, || forest_new(&small, &rows, ntree_small, 3));
+        eprintln!("rf_small        old {old_secs:.3}s  new {new_secs:.3}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "rf_small", old_secs: Some(old_secs), new_secs });
+    }
+
+    // Random forest, medium scale (n=2000, F=50): the headline number.
+    {
+        let rows = medium.all_rows();
+        let mtry = 7; // ~sqrt(50)
+        let new_f = forest_new(&medium, &rows, ntree_medium, mtry);
+        let old_f = forest_oracle(&medium, &rows, ntree_medium, mtry);
+        assert_forests_equal(&medium, &rows, &new_f, &old_f);
+        let (old_secs, _) = time_min(reps, || forest_oracle(&medium, &rows, ntree_medium, mtry));
+        let (new_secs, _) = time_min(reps, || forest_new(&medium, &rows, ntree_medium, mtry));
+        eprintln!("rf_medium       old {old_secs:.3}s  new {new_secs:.3}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "rf_medium", old_secs: Some(old_secs), new_secs });
+    }
+
+    // Binned path at medium scale (opt-in, deterministic, not bit-equal to
+    // exact): determinism spot check, then timing against the same naive
+    // oracle baseline — this is the RF-training speedup a caller buys by
+    // setting `max_bins`.
+    {
+        let rows = medium.all_rows();
+        let a = forest_binned(&medium, &rows, ntree_medium, 7, 32);
+        let b = forest_binned(&medium, &rows, ntree_medium, 7, 32);
+        assert_forests_equal(&medium, &rows, &a, &b);
+        let (old_secs, _) = time_min(reps, || forest_oracle(&medium, &rows, ntree_medium, 7));
+        let (new_secs, _) = time_min(reps, || forest_binned(&medium, &rows, ntree_medium, 7, 32));
+        eprintln!("rf_medium_b32   old {old_secs:.3}s  new {new_secs:.3}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "rf_medium_binned32", old_secs: Some(old_secs), new_secs });
+    }
+
+    // Single C4.5 tree (gain ratio + pessimistic pruning) at medium scale.
+    {
+        let rows = medium.all_rows();
+        let config = c45_config();
+        let new_t = DecisionTree::fit(&medium, &rows, &config);
+        let old_t = oracle::fit(&medium, &rows, &config);
+        assert_eq!(new_t.predict_proba(&medium, &rows), old_t.predict_proba(&medium, &rows));
+        let (old_secs, _) = time_min(reps, || oracle::fit(&medium, &rows, &config));
+        let (new_secs, _) = time_min(reps, || DecisionTree::fit(&medium, &rows, &config));
+        eprintln!("c45_medium      old {old_secs:.3}s  new {new_secs:.3}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "c45_medium", old_secs: Some(old_secs), new_secs });
+    }
+
+    // SMAC surrogate forest (regression trees over configuration vectors).
+    {
+        let (xs, ys) = surrogate_data(if quick { 200 } else { 500 }, 12);
+        let n_trees = if quick { 8 } else { 20 };
+        let new_s = RandomForestSurrogate::fit(&xs, &ys, n_trees, 3);
+        let old_s = RandomForestSurrogate::fit_oracle(&xs, &ys, n_trees, 3);
+        for probe in xs.iter().step_by(17) {
+            assert_eq!(new_s.predict(probe), old_s.predict(probe), "surrogate inequivalence");
+        }
+        let (old_secs, _) = time_min(reps, || RandomForestSurrogate::fit_oracle(&xs, &ys, n_trees, 3));
+        let (new_secs, _) = time_min(reps, || RandomForestSurrogate::fit(&xs, &ys, n_trees, 3));
+        eprintln!("surrogate       old {old_secs:.3}s  new {new_secs:.3}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "surrogate", old_secs: Some(old_secs), new_secs });
+    }
+
+    let results_json = Value::Object(
+        results
+            .iter()
+            .map(|r| {
+                let mut fields = vec![("new_secs".to_string(), json!(r.new_secs))];
+                if let Some(old) = r.old_secs {
+                    fields.insert(0, ("old_secs".to_string(), json!(old)));
+                    fields.push(("speedup".to_string(), json!(old / r.new_secs)));
+                }
+                (r.name.to_string(), Value::Object(fields))
+            })
+            .collect(),
+    );
+    let report = json!({
+        "description": "Tree-training kernel benchmark: presorted/binned split finding (new) vs retained naive per-node-sort oracles (old). Min wall-clock over repetitions; equivalence of old/new asserted in-process before timing.",
+        "command": if quick { "tree_kernels --quick" } else { "tree_kernels" },
+        "scales": {
+            "small": "n=400, F=8, k=3",
+            "medium": if quick { "n=800, F=50, k=5 (quick)" } else { "n=2000, F=50, k=5" }
+        },
+        "results": results_json,
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    println!("{rendered}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, rendered + "\n").expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    // Regression gate: each timed kernel path must stay within 5x of the
+    // committed reference. Absolute wall-clock is host-dependent, so the
+    // gate only catches order-of-magnitude regressions (e.g. the naive
+    // path sneaking back in).
+    if let Some(path) = check_path {
+        let reference: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("read --check file"))
+                .expect("parse --check file");
+        let mut failed = false;
+        for r in &results {
+            let Some(ref_new) = reference
+                .get("results")
+                .and_then(|v| v.get(r.name))
+                .and_then(|v| v.get("new_secs"))
+                .and_then(|v| v.as_f64())
+            else {
+                eprintln!("check: no reference entry for {} — skipping", r.name);
+                continue;
+            };
+            // The committed reference is full-scale; --quick runs less work,
+            // so the 5x margin holds for both.
+            if r.new_secs > 5.0 * ref_new {
+                eprintln!(
+                    "check FAILED: {} took {:.3}s > 5x reference {:.3}s",
+                    r.name, r.new_secs, ref_new
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check passed: all kernel timings within 5x of {path}");
+    }
+}

@@ -85,6 +85,7 @@ impl Classifier for DeepBoost {
                 mtry: None,
                 seed: t as u64,
                 pruning: Pruning::None,
+                max_bins: 0,
             };
             let tree = DecisionTree::fit_weighted(data, rows, &weights, &config);
             let mut err = 0.0;
@@ -193,6 +194,7 @@ mod tests {
             minsplit: 2.0,
             minbucket: 1.0,
             maxdepth: 3,
+            max_bins: 0,
         };
         let a_single = holdout(&single, &d);
         let a_boost = holdout(&db(), &d);

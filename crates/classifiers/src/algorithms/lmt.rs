@@ -53,6 +53,7 @@ impl Classifier for LmtClassifier {
             mtry: None,
             seed: 0,
             pruning: Pruning::None,
+            max_bins: 0,
         };
         let tree = DecisionTree::fit(data, rows, &config);
         let (encoder, x) = DenseEncoder::fit(data, rows, true);

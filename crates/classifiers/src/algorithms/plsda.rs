@@ -69,12 +69,13 @@ impl Classifier for Plsda {
         let mut weights = Matrix::zeros(d, ncomp); // W
         let mut loadings = Matrix::zeros(d, ncomp); // P
         let mut scores_all = Matrix::zeros(n, ncomp); // T
+        let mut u: Vec<f64> = Vec::with_capacity(n);
         for comp in 0..ncomp {
             // u = first Y column with variance (or the dominant one).
-            let mut u: Vec<f64> = y.col(0);
+            y.col_into(0, &mut u);
             if vecops::variance(&u) < 1e-12 {
                 for c in 1..n_classes {
-                    u = y.col(c);
+                    y.col_into(c, &mut u);
                     if vecops::variance(&u) >= 1e-12 {
                         break;
                     }

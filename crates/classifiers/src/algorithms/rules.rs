@@ -81,6 +81,7 @@ impl Classifier for PartClassifier {
             } else {
                 Pruning::None
             },
+            max_bins: 0,
         };
         let mut remaining: Vec<usize> = rows.to_vec();
         let mut rules: Vec<Rule> = Vec::new();

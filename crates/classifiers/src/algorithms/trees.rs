@@ -42,6 +42,7 @@ impl J48Classifier {
             } else {
                 Pruning::None
             },
+            max_bins: 0,
         }
     }
 }
@@ -80,6 +81,9 @@ pub struct RpartClassifier {
     pub minbucket: f64,
     /// Maximum depth.
     pub maxdepth: usize,
+    /// Histogram bins for numeric splits (0 = exact presorted kernel).
+    /// Deployment knob, not part of the paper's tuning space.
+    pub max_bins: usize,
 }
 
 impl RpartClassifier {
@@ -90,6 +94,7 @@ impl RpartClassifier {
             minsplit: config.i64_or("minsplit", 20).max(2) as f64,
             minbucket: config.i64_or("minbucket", 7).max(1) as f64,
             maxdepth: config.i64_or("maxdepth", 30).clamp(1, 40) as usize,
+            max_bins: config.i64_or("max_bins", 0).clamp(0, 255) as usize,
         }
     }
 }
@@ -110,6 +115,7 @@ impl Classifier for RpartClassifier {
             mtry: None,
             seed: 0,
             pruning: Pruning::None,
+            max_bins: self.max_bins,
         };
         let tree = DecisionTree::fit(data, rows, &config);
         Ok(Box::new(SingleTree { tree }))
@@ -207,6 +213,7 @@ impl Classifier for C50Classifier {
                 } else {
                     Pruning::None
                 },
+                max_bins: 0,
             };
             let tree = DecisionTree::fit_weighted(&working, rows, &weights, &config);
             // Weighted training error (SAMME).

@@ -3,7 +3,9 @@
 //! multinomial logistic regression used by LMT leaves.
 
 pub mod logistic;
+pub mod split;
 pub mod tree;
 
 pub use logistic::LogisticModel;
+pub use split::{BinnedColumns, RankedBase, SortedColumns, SplitState, MAX_BINS};
 pub use tree::{DecisionTree, Pruning, SplitCriterion, TreeConfig};

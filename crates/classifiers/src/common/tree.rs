@@ -11,6 +11,10 @@
 //!   complexity threshold on relative impurity decrease);
 //! - post-pruning: C4.5 pessimistic error pruning with confidence factor CF.
 
+use crate::common::split::{
+    partition2, partition_multi, radix_sort_ranked, BinnedColumns, RankedBase, Seg,
+    SortedColumns, SplitState, NAN_BIN, NAN_RANK, SIDE_DROP, SIDE_LEFT, SIDE_RIGHT,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -55,6 +59,13 @@ pub struct TreeConfig {
     pub seed: u64,
     /// Post-pruning strategy.
     pub pruning: Pruning,
+    /// Histogram split finding: quantise each numeric feature into at
+    /// most this many bins (clamped to 255) and scan bins instead of
+    /// rows. `0` or `1` selects the exact presorted kernel (the
+    /// default); `>= 2` opts into the deterministic binned path, whose
+    /// trees may differ from the exact ones where quantisation merges
+    /// candidate thresholds.
+    pub max_bins: usize,
 }
 
 impl Default for TreeConfig {
@@ -68,6 +79,7 @@ impl Default for TreeConfig {
             mtry: None,
             seed: 0,
             pruning: Pruning::None,
+            max_bins: 0,
         }
     }
 }
@@ -113,12 +125,25 @@ impl Node {
     }
 }
 
-struct Builder<'a> {
+/// The presorted/binned tree grower. Works in *slot* space: slot `i` is
+/// position `i` of the fit row array, so bootstrap duplicates are
+/// distinct slots, and the stable root sort plus stable partitions keep
+/// every tie in fit-row order — the same order the naive oracle's
+/// per-node stable sorts produce, which is what makes the exact path
+/// bit-identical (floating-point accumulations happen in one sequence).
+struct Grower<'a> {
     data: &'a Dataset,
     config: &'a TreeConfig,
-    weights: &'a [f64],
     n_classes: usize,
     rng: StdRng,
+    /// `fit_rows[slot]`: absolute dataset row (duplicates allowed).
+    fit_rows: Vec<u32>,
+    /// Class label per slot.
+    slot_label: Vec<u32>,
+    /// Instance weight per slot.
+    slot_weight: Vec<f64>,
+    /// Reusable scratch (side masks, counters, histograms, seg pool).
+    state: SplitState,
 }
 
 impl DecisionTree {
@@ -130,22 +155,117 @@ impl DecisionTree {
 
     /// Grows a tree on `rows` with per-row instance weights (indexed by
     /// absolute row id, like `rows` itself).
+    ///
+    /// Dispatches on `config.max_bins`: `< 2` runs an exact kernel
+    /// (bit-identical to the naive [`oracle`]), `>= 2` quantises the
+    /// numeric features for this fit and runs the histogram kernel
+    /// (forests share the quantisation via
+    /// [`fit_weighted_binned`](DecisionTree::fit_weighted_binned)).
+    ///
+    /// The exact arm picks between two bit-equivalent kernels: with
+    /// feature subsampling (`mtry < n_features`, the forest regime) it
+    /// rank-radix-sorts only the candidate features per node; without it,
+    /// it presorts every column once and maintains the orders by stable
+    /// partition down the tree.
     pub fn fit_weighted(
         data: &Dataset,
         rows: &[usize],
         weights: &[f64],
         config: &TreeConfig,
     ) -> DecisionTree {
+        if config.max_bins >= 2 {
+            let bins = BinnedColumns::fit(data, rows, config.max_bins);
+            return DecisionTree::fit_weighted_binned(data, rows, weights, config, &bins);
+        }
+        let d = data.n_features().max(1);
+        if config.mtry.unwrap_or(d).clamp(1, d) < d {
+            let base = RankedBase::build(data, rows);
+            let picks: Vec<u32> = (0..rows.len() as u32).collect();
+            return DecisionTree::fit_weighted_ranked(data, rows, weights, config, &base, &picks);
+        }
+        let fit_rows: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+        let sorted = SortedColumns::build(data, &fit_rows);
+        DecisionTree::fit_weighted_with_sorted(data, rows, weights, config, sorted)
+    }
+
+    /// Exact-path fit with the rank-radix kernel against a prebuilt
+    /// [`RankedBase`] (e.g. one shared by every tree of a forest).
+    /// `picks[slot]` is the base index resampled into `slot`, and `rows`
+    /// must be exactly those picks mapped to absolute dataset rows —
+    /// `rows[i] == base_rows[picks[i]]` for the row set the base was
+    /// built on. Bit-identical to the [`oracle`] and to the maintained
+    /// presorted kernel.
+    pub fn fit_weighted_ranked(
+        data: &Dataset,
+        rows: &[usize],
+        weights: &[f64],
+        config: &TreeConfig,
+        base: &RankedBase,
+        picks: &[u32],
+    ) -> DecisionTree {
         assert_eq!(weights.len(), data.n_rows(), "one weight per dataset row");
-        let mut builder = Builder {
-            data,
-            config,
-            weights,
-            n_classes: data.n_classes(),
-            rng: StdRng::seed_from_u64(config.seed),
-        };
-        let mut row_buf: Vec<usize> = rows.to_vec();
-        let mut root = builder.grow(&mut row_buf, 0);
+        assert_eq!(rows.len(), picks.len(), "one pick per fit row");
+        let fit_rows: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+        let slot_rank = base.gather_ranks(picks);
+        let mut grower = Grower::new(data, config, weights, fit_rows);
+        let mut row_buf: Vec<u32> = (0..rows.len() as u32).collect();
+        let mut root = grower.grow_ranked(&mut row_buf, 0, &slot_rank, base);
+        if let Pruning::Pessimistic { cf } = config.pruning {
+            prune_pessimistic(&mut root, cf);
+        }
+        DecisionTree { root, n_classes: data.n_classes() }
+    }
+
+    /// Exact-path fit against presorted columns the caller already built
+    /// for exactly these `rows` (e.g. derived per bootstrap resample from
+    /// a forest-shared [`RankedBase`](crate::common::split::RankedBase)).
+    /// Consumes `sorted`: the column orders are destroyed by the in-place
+    /// node partitions.
+    pub fn fit_weighted_with_sorted(
+        data: &Dataset,
+        rows: &[usize],
+        weights: &[f64],
+        config: &TreeConfig,
+        mut sorted: SortedColumns,
+    ) -> DecisionTree {
+        assert_eq!(weights.len(), data.n_rows(), "one weight per dataset row");
+        let fit_rows: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+        let root_segs: Vec<Seg> =
+            sorted.cols.iter().map(|c| (0u32, c.len() as u32)).collect();
+        let mut grower = Grower::new(data, config, weights, fit_rows);
+        let mut row_buf: Vec<u32> = (0..rows.len() as u32).collect();
+        let mut root = grower.grow_exact(&mut row_buf, root_segs, 0, &mut sorted);
+        if let Pruning::Pessimistic { cf } = config.pruning {
+            prune_pessimistic(&mut root, cf);
+        }
+        DecisionTree { root, n_classes: data.n_classes() }
+    }
+
+    /// Histogram-path fit against a prebuilt quantisation, so a whole
+    /// forest bins its numeric features once. `config.max_bins` is not
+    /// consulted; the caller chose the binned path by supplying `bins`.
+    pub fn fit_weighted_binned(
+        data: &Dataset,
+        rows: &[usize],
+        weights: &[f64],
+        config: &TreeConfig,
+        bins: &BinnedColumns,
+    ) -> DecisionTree {
+        assert_eq!(weights.len(), data.n_rows(), "one weight per dataset row");
+        let fit_rows: Vec<u32> = rows.iter().map(|&r| r as u32).collect();
+        // Gather each feature's bin codes into slot order once per tree;
+        // the per-node histogram fill then walks dense u8 arrays.
+        let slot_codes: Vec<Option<Vec<u8>>> = bins
+            .cols
+            .iter()
+            .map(|c| {
+                c.as_ref()
+                    .map(|col| fit_rows.iter().map(|&r| col.codes[r as usize]).collect())
+            })
+            .collect();
+        let mut grower = Grower::new(data, config, weights, fit_rows);
+        let mut row_buf: Vec<u32> = (0..rows.len() as u32).collect();
+        let mut root = grower.grow_binned(&mut row_buf, 0, bins, &slot_codes);
         if let Pruning::Pessimistic { cf } = config.pruning {
             prune_pessimistic(&mut root, cf);
         }
@@ -449,24 +569,238 @@ impl BestSplit {
     }
 }
 
-impl<'a> Builder<'a> {
-    fn grow(&mut self, rows: &mut [usize], depth: usize) -> Node {
+impl<'a> Grower<'a> {
+    fn new(
+        data: &'a Dataset,
+        config: &'a TreeConfig,
+        weights: &[f64],
+        fit_rows: Vec<u32>,
+    ) -> Grower<'a> {
+        let slot_label: Vec<u32> = fit_rows.iter().map(|&r| data.label(r as usize)).collect();
+        let slot_weight: Vec<f64> = fit_rows.iter().map(|&r| weights[r as usize]).collect();
+        let state = SplitState::new(fit_rows.len(), data.n_classes(), data.n_features());
+        Grower {
+            data,
+            config,
+            n_classes: data.n_classes(),
+            rng: StdRng::seed_from_u64(config.seed),
+            fit_rows,
+            slot_label,
+            slot_weight,
+            state,
+        }
+    }
+
+    /// Exact kernel: `rows` are this node's slots (in fit order), and
+    /// `segs[f]` is this node's window into `sorted.cols[f]`. Consumes
+    /// `segs` back into the pool on every path.
+    fn grow_exact(
+        &mut self,
+        rows: &mut [u32],
+        segs: Vec<Seg>,
+        depth: usize,
+        sorted: &mut SortedColumns,
+    ) -> Node {
         let counts = self.class_counts(rows);
         let weight: f64 = counts.iter().sum();
-        let impurity = self.impurity(&counts, weight);
-        if depth >= self.config.max_depth
-            || weight < self.config.min_split
-            || impurity <= 1e-12
-        {
+        let imp = impurity(self.config.criterion, &counts, weight);
+        if depth >= self.config.max_depth || weight < self.config.min_split || imp <= 1e-12 {
+            self.state.put_segs(segs);
             return Node::Leaf { counts };
         }
+        let data = self.data;
         let features = self.candidate_features();
         let mut best: Option<BestSplit> = None;
         for &f in &features {
-            let candidate = match self.data.feature(f) {
-                Feature::Numeric { values, .. } => self.best_numeric_split(f, values, rows, &counts),
+            let candidate = match data.feature(f) {
+                Feature::Numeric { .. } => {
+                    let (start, len) = segs[f];
+                    let seg = &sorted.cols[f][start as usize..(start + len) as usize];
+                    self.best_numeric_presorted(f, seg, &sorted.vals[f], &counts)
+                }
                 Feature::Categorical { codes, levels, .. } => {
-                    self.score_categorical_split(f, codes, levels.len(), rows, &counts)
+                    self.score_categorical(f, codes, levels.len(), rows, &counts)
+                }
+            };
+            if let Some(c) = candidate {
+                if best.as_ref().is_none_or(|b| c.score() > b.score()) {
+                    best = Some(c);
+                }
+            }
+        }
+        let Some(split) = best else {
+            self.state.put_segs(segs);
+            return Node::Leaf { counts };
+        };
+        // rpart-style complexity gate: require relative impurity decrease > cp.
+        let rel_gain = split.score() / imp.max(1e-12);
+        if self.config.cp > 0.0 && rel_gain < self.config.cp {
+            self.state.put_segs(segs);
+            return Node::Leaf { counts };
+        }
+        match split {
+            BestSplit::Numeric { feature, threshold, .. } => {
+                {
+                    let vals = &sorted.vals[feature];
+                    for &s in rows.iter() {
+                        let v = vals[s as usize];
+                        self.state.side[s as usize] = if v.is_nan() {
+                            SIDE_DROP
+                        } else if v <= threshold {
+                            SIDE_LEFT
+                        } else {
+                            SIDE_RIGHT
+                        };
+                    }
+                }
+                let (nl, nr) = partition2(rows, &self.state.side, &mut self.state.scratch);
+                if nl == 0 || nr == 0 {
+                    self.state.put_segs(segs);
+                    return Node::Leaf { counts };
+                }
+                let mut left_segs = self.state.take_segs();
+                let mut right_segs = self.state.take_segs();
+                for g in 0..segs.len() {
+                    let (gs, gl) = segs[g];
+                    if gl == 0 {
+                        continue;
+                    }
+                    let seg = &mut sorted.cols[g][gs as usize..(gs + gl) as usize];
+                    let (gnl, gnr) = partition2(seg, &self.state.side, &mut self.state.scratch);
+                    left_segs[g] = (gs, gnl as u32);
+                    right_segs[g] = (gs + gnl as u32, gnr as u32);
+                }
+                self.state.put_segs(segs);
+                let (left_rows, right_rows) = rows.split_at_mut(nl);
+                let left = Box::new(self.grow_exact(left_rows, left_segs, depth + 1, sorted));
+                let right = Box::new(self.grow_exact(
+                    &mut right_rows[..nr],
+                    right_segs,
+                    depth + 1,
+                    sorted,
+                ));
+                Node::SplitNumeric { feature, threshold, left, right, counts }
+            }
+            BestSplit::Categorical { feature, .. } => {
+                let (codes, n_levels) = match data.feature(feature) {
+                    Feature::Categorical { codes, levels, .. } => (codes, levels.len()),
+                    _ => unreachable!(),
+                };
+                for &s in rows.iter() {
+                    // Level codes double as partition sides
+                    // (MISSING_CODE == SIDE_DROP).
+                    self.state.side[s as usize] = codes[self.fit_rows[s as usize] as usize];
+                }
+                let kept = partition_multi(
+                    rows,
+                    &self.state.side,
+                    n_levels,
+                    &mut self.state.mw_cnt,
+                    &mut self.state.mw_off,
+                    &mut self.state.scratch,
+                );
+                // Per-level row counts must survive the per-feature
+                // partitions below (which reuse mw_cnt) and the child
+                // recursions.
+                let row_cnt: Vec<u32> = self.state.mw_cnt.clone();
+                debug_assert_eq!(kept, row_cnt.iter().sum::<u32>() as usize);
+                let mut child_segs: Vec<Vec<Seg>> =
+                    (0..n_levels).map(|_| self.state.take_segs()).collect();
+                for g in 0..segs.len() {
+                    let (gs, gl) = segs[g];
+                    if gl == 0 {
+                        continue;
+                    }
+                    let seg = &mut sorted.cols[g][gs as usize..(gs + gl) as usize];
+                    partition_multi(
+                        seg,
+                        &self.state.side,
+                        n_levels,
+                        &mut self.state.mw_cnt,
+                        &mut self.state.mw_off,
+                        &mut self.state.scratch,
+                    );
+                    let mut running = gs;
+                    for (c, cs) in child_segs.iter_mut().enumerate() {
+                        let cnt = self.state.mw_cnt[c];
+                        cs[g] = (running, cnt);
+                        running += cnt;
+                    }
+                }
+                self.state.put_segs(segs);
+                let mut branches: Vec<Option<Box<Node>>> = Vec::with_capacity(n_levels);
+                let mut pos = 0usize;
+                for (c, cs) in child_segs.into_iter().enumerate() {
+                    let cnt = row_cnt[c] as usize;
+                    if cnt == 0 {
+                        self.state.put_segs(cs);
+                        branches.push(None);
+                    } else {
+                        let child_rows = &mut rows[pos..pos + cnt];
+                        branches.push(Some(Box::new(
+                            self.grow_exact(child_rows, cs, depth + 1, sorted),
+                        )));
+                    }
+                    pos += cnt;
+                }
+                Node::SplitCategorical { feature, branches, counts }
+            }
+        }
+    }
+
+    /// Rank-radix arm of the exact kernel, used when `mtry < n_features`
+    /// (forests): nothing is maintained per column; each *candidate*
+    /// numeric feature is ordered per node by a radix sort of packed
+    /// `(rank, slot)` pairs gathered from `slot_rank`. The scan then
+    /// walks ranks in ascending order and maps them to values through the
+    /// base's `rank_vals` table, so it never touches a per-slot value
+    /// array. Bit-exact with [`grow_exact`] and the [`oracle`]: stable
+    /// partitions keep every node's `rows` in ascending slot order, and a
+    /// stable radix over that order reproduces the comparison sort's
+    /// `(value, slot)` order exactly.
+    fn grow_ranked(
+        &mut self,
+        rows: &mut [u32],
+        depth: usize,
+        slot_rank: &[Vec<u32>],
+        base: &RankedBase,
+    ) -> Node {
+        let counts = self.class_counts(rows);
+        let weight: f64 = counts.iter().sum();
+        let imp = impurity(self.config.criterion, &counts, weight);
+        if depth >= self.config.max_depth || weight < self.config.min_split || imp <= 1e-12 {
+            return Node::Leaf { counts };
+        }
+        let data = self.data;
+        let features = self.candidate_features();
+        let mut best: Option<BestSplit> = None;
+        for &f in &features {
+            let candidate = match data.feature(f) {
+                Feature::Numeric { .. } => {
+                    let ranks = &slot_rank[f];
+                    let mut pairs = std::mem::take(&mut self.state.pairs);
+                    let mut tmp = std::mem::take(&mut self.state.pairs_tmp);
+                    pairs.clear();
+                    for &s in rows.iter() {
+                        let r = ranks[s as usize];
+                        if r != NAN_RANK {
+                            pairs.push(((r as u64) << 32) | s as u64);
+                        }
+                    }
+                    radix_sort_ranked(
+                        &mut pairs,
+                        &mut tmp,
+                        &mut self.state.radix_cnt,
+                        base.n_ranks[f],
+                    );
+                    let candidate =
+                        self.best_numeric_ranked(f, &pairs, &base.rank_vals[f], &counts);
+                    self.state.pairs = pairs;
+                    self.state.pairs_tmp = tmp;
+                    candidate
+                }
+                Feature::Categorical { codes, levels, .. } => {
+                    self.score_categorical(f, codes, levels.len(), rows, &counts)
                 }
             };
             if let Some(c) = candidate {
@@ -478,50 +812,183 @@ impl<'a> Builder<'a> {
         let Some(split) = best else {
             return Node::Leaf { counts };
         };
-        // rpart-style complexity gate: require relative impurity decrease > cp.
-        let rel_gain = split.score() / impurity.max(1e-12);
+        let rel_gain = split.score() / imp.max(1e-12);
         if self.config.cp > 0.0 && rel_gain < self.config.cp {
             return Node::Leaf { counts };
         }
         match split {
             BestSplit::Numeric { feature, threshold, .. } => {
-                let values = match self.data.feature(feature) {
-                    Feature::Numeric { values, .. } => values,
-                    _ => unreachable!(),
-                };
-                let (mut left_rows, mut right_rows): (Vec<usize>, Vec<usize>) = rows
-                    .iter()
-                    .filter(|&&r| !values[r].is_nan())
-                    .partition(|&&r| values[r] <= threshold);
-                if left_rows.is_empty() || right_rows.is_empty() {
+                // Route by rank: `v <= threshold` holds for every rank up
+                // to the cut's lower rank, and for the upper rank too iff
+                // its value clears the midpoint (possible when rounding
+                // pulls the midpoint onto it) — resolve that once and the
+                // per-row test is an integer compare.
+                let ranks = &slot_rank[feature];
+                let rank_vals = &base.rank_vals[feature];
+                let cut = rank_vals.partition_point(|&v| v <= threshold) as u32;
+                for &s in rows.iter() {
+                    let r = ranks[s as usize];
+                    self.state.side[s as usize] = if r == NAN_RANK {
+                        SIDE_DROP
+                    } else if r < cut {
+                        SIDE_LEFT
+                    } else {
+                        SIDE_RIGHT
+                    };
+                }
+                let (nl, nr) = partition2(rows, &self.state.side, &mut self.state.scratch);
+                if nl == 0 || nr == 0 {
                     return Node::Leaf { counts };
                 }
-                let left = Box::new(self.grow(&mut left_rows, depth + 1));
-                let right = Box::new(self.grow(&mut right_rows, depth + 1));
+                let (left_rows, right_rows) = rows.split_at_mut(nl);
+                let left =
+                    Box::new(self.grow_ranked(left_rows, depth + 1, slot_rank, base));
+                let right = Box::new(self.grow_ranked(
+                    &mut right_rows[..nr],
+                    depth + 1,
+                    slot_rank,
+                    base,
+                ));
                 Node::SplitNumeric { feature, threshold, left, right, counts }
             }
             BestSplit::Categorical { feature, .. } => {
-                let (codes, n_levels) = match self.data.feature(feature) {
+                let (codes, n_levels) = match data.feature(feature) {
                     Feature::Categorical { codes, levels, .. } => (codes, levels.len()),
                     _ => unreachable!(),
                 };
-                let mut level_rows: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
-                for &r in rows.iter() {
-                    let c = codes[r];
-                    if c != MISSING_CODE {
-                        level_rows[c as usize].push(r);
-                    }
+                for &s in rows.iter() {
+                    self.state.side[s as usize] = codes[self.fit_rows[s as usize] as usize];
                 }
-                let branches = level_rows
-                    .into_iter()
-                    .map(|mut lr| {
-                        if lr.is_empty() {
-                            None
-                        } else {
-                            Some(Box::new(self.grow(&mut lr, depth + 1)))
-                        }
-                    })
-                    .collect();
+                partition_multi(
+                    rows,
+                    &self.state.side,
+                    n_levels,
+                    &mut self.state.mw_cnt,
+                    &mut self.state.mw_off,
+                    &mut self.state.scratch,
+                );
+                let row_cnt: Vec<u32> = self.state.mw_cnt.clone();
+                let mut branches: Vec<Option<Box<Node>>> = Vec::with_capacity(n_levels);
+                let mut pos = 0usize;
+                for &cnt in &row_cnt {
+                    let cnt = cnt as usize;
+                    if cnt == 0 {
+                        branches.push(None);
+                    } else {
+                        let child_rows = &mut rows[pos..pos + cnt];
+                        branches.push(Some(Box::new(
+                            self.grow_ranked(child_rows, depth + 1, slot_rank, base),
+                        )));
+                    }
+                    pos += cnt;
+                }
+                Node::SplitCategorical { feature, branches, counts }
+            }
+        }
+    }
+
+    /// Histogram kernel: `rows` are this node's slots; numeric features
+    /// are scanned through their per-fit bin codes in `slot_codes`.
+    fn grow_binned(
+        &mut self,
+        rows: &mut [u32],
+        depth: usize,
+        bins: &BinnedColumns,
+        slot_codes: &[Option<Vec<u8>>],
+    ) -> Node {
+        let counts = self.class_counts(rows);
+        let weight: f64 = counts.iter().sum();
+        let imp = impurity(self.config.criterion, &counts, weight);
+        if depth >= self.config.max_depth || weight < self.config.min_split || imp <= 1e-12 {
+            return Node::Leaf { counts };
+        }
+        let data = self.data;
+        let features = self.candidate_features();
+        let mut best: Option<BestSplit> = None;
+        for &f in &features {
+            let candidate = match data.feature(f) {
+                Feature::Numeric { .. } => {
+                    let col = bins.cols[f].as_ref().expect("numeric feature is binned");
+                    let codes = slot_codes[f].as_ref().expect("numeric feature is binned");
+                    self.best_numeric_binned(f, &col.edges, codes, rows, &counts)
+                }
+                Feature::Categorical { codes, levels, .. } => {
+                    self.score_categorical(f, codes, levels.len(), rows, &counts)
+                }
+            };
+            if let Some(c) = candidate {
+                if best.as_ref().is_none_or(|b| c.score() > b.score()) {
+                    best = Some(c);
+                }
+            }
+        }
+        let Some(split) = best else {
+            return Node::Leaf { counts };
+        };
+        let rel_gain = split.score() / imp.max(1e-12);
+        if self.config.cp > 0.0 && rel_gain < self.config.cp {
+            return Node::Leaf { counts };
+        }
+        match split {
+            BestSplit::Numeric { feature, threshold, .. } => {
+                // Thresholds are actual data values (bin upper edges), so
+                // raw-value routing here and at predict time agrees with
+                // bin-code routing during the scan.
+                let values = match data.feature(feature) {
+                    Feature::Numeric { values, .. } => values,
+                    _ => unreachable!(),
+                };
+                for &s in rows.iter() {
+                    let v = values[self.fit_rows[s as usize] as usize];
+                    self.state.side[s as usize] = if v.is_nan() {
+                        SIDE_DROP
+                    } else if v <= threshold {
+                        SIDE_LEFT
+                    } else {
+                        SIDE_RIGHT
+                    };
+                }
+                let (nl, nr) = partition2(rows, &self.state.side, &mut self.state.scratch);
+                if nl == 0 || nr == 0 {
+                    return Node::Leaf { counts };
+                }
+                let (left_rows, right_rows) = rows.split_at_mut(nl);
+                let left = Box::new(self.grow_binned(left_rows, depth + 1, bins, slot_codes));
+                let right =
+                    Box::new(self.grow_binned(&mut right_rows[..nr], depth + 1, bins, slot_codes));
+                Node::SplitNumeric { feature, threshold, left, right, counts }
+            }
+            BestSplit::Categorical { feature, .. } => {
+                let (codes, n_levels) = match data.feature(feature) {
+                    Feature::Categorical { codes, levels, .. } => (codes, levels.len()),
+                    _ => unreachable!(),
+                };
+                for &s in rows.iter() {
+                    self.state.side[s as usize] = codes[self.fit_rows[s as usize] as usize];
+                }
+                partition_multi(
+                    rows,
+                    &self.state.side,
+                    n_levels,
+                    &mut self.state.mw_cnt,
+                    &mut self.state.mw_off,
+                    &mut self.state.scratch,
+                );
+                let row_cnt: Vec<u32> = self.state.mw_cnt.clone();
+                let mut branches: Vec<Option<Box<Node>>> = Vec::with_capacity(n_levels);
+                let mut pos = 0usize;
+                for &cnt in &row_cnt {
+                    let cnt = cnt as usize;
+                    if cnt == 0 {
+                        branches.push(None);
+                    } else {
+                        let child_rows = &mut rows[pos..pos + cnt];
+                        branches.push(Some(Box::new(
+                            self.grow_binned(child_rows, depth + 1, bins, slot_codes),
+                        )));
+                    }
+                    pos += cnt;
+                }
                 Node::SplitCategorical { feature, branches, counts }
             }
         }
@@ -540,81 +1007,60 @@ impl<'a> Builder<'a> {
         }
     }
 
-    fn class_counts(&self, rows: &[usize]) -> Vec<f64> {
+    fn class_counts(&self, rows: &[u32]) -> Vec<f64> {
         let mut counts = vec![0.0; self.n_classes];
-        for &r in rows {
-            counts[self.data.label(r) as usize] += self.weights[r];
+        for &s in rows {
+            counts[self.slot_label[s as usize] as usize] += self.slot_weight[s as usize];
         }
         counts
     }
 
-    fn impurity(&self, counts: &[f64], total: f64) -> f64 {
-        if total <= 1e-300 {
-            return 0.0;
-        }
-        match self.config.criterion {
-            SplitCriterion::Gini => {
-                1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
-            }
-            SplitCriterion::GainRatio => {
-                // Entropy in nats.
-                -counts
-                    .iter()
-                    .filter(|&&c| c > 0.0)
-                    .map(|&c| {
-                        let p = c / total;
-                        p * p.ln()
-                    })
-                    .sum::<f64>()
-            }
-        }
-    }
-
-    /// Best threshold for a numeric feature: scans sorted unique values,
-    /// maintaining running class counts. Returns the split score (impurity
-    /// decrease, or gain ratio for C4.5).
-    fn best_numeric_split(
-        &self,
+    /// Best threshold for a numeric feature from its presorted segment:
+    /// the same left-add/right-subtract scan as the oracle's
+    /// `best_numeric_split`, minus the per-node sort — `seg` already
+    /// lists this node's non-NaN slots in (value, fit-order) order.
+    fn best_numeric_presorted(
+        &mut self,
         feature: usize,
-        values: &[f64],
-        rows: &[usize],
+        seg: &[u32],
+        vals: &[f64],
         parent_counts: &[f64],
     ) -> Option<BestSplit> {
-        let mut present: Vec<usize> =
-            rows.iter().copied().filter(|&r| !values[r].is_nan()).collect();
-        if present.len() < 2 {
+        if seg.len() < 2 {
             return None;
         }
-        present.sort_by(|&a, &b| {
-            values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal)
-        });
         let parent_total: f64 = parent_counts.iter().sum();
-        let parent_imp = self.impurity(parent_counts, parent_total);
-        let mut left_counts = vec![0.0; self.n_classes];
+        let parent_imp = impurity(self.config.criterion, parent_counts, parent_total);
+        self.state.left_counts.fill(0.0);
         let mut left_total = 0.0;
-        let mut right_counts: Vec<f64> = parent_counts.to_vec();
+        self.state.right_counts.clear();
+        self.state.right_counts.extend_from_slice(parent_counts);
         let mut right_total = parent_total;
         let mut best: Option<(f64, f64)> = None; // (threshold, score)
-        for w in 0..present.len() - 1 {
-            let r = present[w];
-            let wgt = self.weights[r];
-            let cls = self.data.label(r) as usize;
-            left_counts[cls] += wgt;
+        for w in 0..seg.len() - 1 {
+            let s = seg[w] as usize;
+            let wgt = self.slot_weight[s];
+            let cls = self.slot_label[s] as usize;
+            self.state.left_counts[cls] += wgt;
             left_total += wgt;
-            right_counts[cls] -= wgt;
+            self.state.right_counts[cls] -= wgt;
             right_total -= wgt;
-            let v_here = values[r];
-            let v_next = values[present[w + 1]];
+            let v_here = vals[s];
+            let v_next = vals[seg[w + 1] as usize];
             if v_next <= v_here {
                 continue; // same value: not a valid cut point
             }
             if left_total < self.config.min_leaf || right_total < self.config.min_leaf {
                 continue;
             }
-            let score = self.split_score(
+            let score = split_score(
+                self.config.criterion,
                 parent_imp,
                 parent_total,
-                &[(&left_counts, left_total), (&right_counts, right_total)],
+                &[
+                    (self.state.left_counts.as_slice(), left_total),
+                    (self.state.right_counts.as_slice(), right_total),
+                ],
             );
             let threshold = 0.5 * (v_here + v_next);
             if best.is_none_or(|(_, s)| score > s) {
@@ -624,77 +1070,288 @@ impl<'a> Builder<'a> {
         best.map(|(threshold, score)| BestSplit::Numeric { feature, threshold, score })
     }
 
-    /// Scores a multiway categorical split.
-    fn score_categorical_split(
-        &self,
+    /// Best threshold for a numeric feature from its radix-sorted
+    /// `(rank, slot)` pairs: the oracle's left-add/right-subtract scan,
+    /// with value equality read off the ranks (equal rank ⟺ equal value)
+    /// and candidate thresholds reconstructed from the rank → value
+    /// table, which holds the exact `f64`s the oracle averages.
+    fn best_numeric_ranked(
+        &mut self,
         feature: usize,
-        codes: &[u32],
-        n_levels: usize,
-        rows: &[usize],
+        pairs: &[u64],
+        rank_vals: &[f64],
         parent_counts: &[f64],
     ) -> Option<BestSplit> {
-        let mut level_counts = vec![vec![0.0; self.n_classes]; n_levels];
-        let mut level_totals = vec![0.0; n_levels];
-        for &r in rows {
-            let c = codes[r];
-            if c == MISSING_CODE {
-                continue;
-            }
-            let wgt = self.weights[r];
-            level_counts[c as usize][self.data.label(r) as usize] += wgt;
-            level_totals[c as usize] += wgt;
-        }
-        let non_empty: Vec<(&Vec<f64>, f64)> = level_counts
-            .iter()
-            .zip(level_totals.iter().copied())
-            .filter(|&(_, t)| t > 0.0)
-            .collect();
-        if non_empty.len() < 2 {
-            return None;
-        }
-        if non_empty.iter().any(|&(_, t)| t < self.config.min_leaf) {
+        if pairs.len() < 2 {
             return None;
         }
         let parent_total: f64 = parent_counts.iter().sum();
-        let parent_imp = self.impurity(parent_counts, parent_total);
-        let children: Vec<(&[f64], f64)> =
-            non_empty.iter().map(|&(c, t)| (c.as_slice(), t)).collect();
-        let score = self.split_score(parent_imp, parent_total, &children);
-        Some(BestSplit::Categorical { feature, score })
+        let parent_imp = impurity(self.config.criterion, parent_counts, parent_total);
+        self.state.left_counts.fill(0.0);
+        let mut left_total = 0.0;
+        self.state.right_counts.clear();
+        self.state.right_counts.extend_from_slice(parent_counts);
+        let mut right_total = parent_total;
+        let mut best: Option<(f64, f64)> = None; // (threshold, score)
+        for w in 0..pairs.len() - 1 {
+            let s = pairs[w] as u32 as usize;
+            let wgt = self.slot_weight[s];
+            let cls = self.slot_label[s] as usize;
+            self.state.left_counts[cls] += wgt;
+            left_total += wgt;
+            self.state.right_counts[cls] -= wgt;
+            right_total -= wgt;
+            let r_here = (pairs[w] >> 32) as u32;
+            let r_next = (pairs[w + 1] >> 32) as u32;
+            if r_next == r_here {
+                continue; // same value: not a valid cut point
+            }
+            if left_total < self.config.min_leaf || right_total < self.config.min_leaf {
+                continue;
+            }
+            let score = split_score(
+                self.config.criterion,
+                parent_imp,
+                parent_total,
+                &[
+                    (self.state.left_counts.as_slice(), left_total),
+                    (self.state.right_counts.as_slice(), right_total),
+                ],
+            );
+            let threshold =
+                0.5 * (rank_vals[r_here as usize] + rank_vals[r_next as usize]);
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((threshold, score));
+            }
+        }
+        best.map(|(threshold, score)| BestSplit::Numeric { feature, threshold, score })
     }
 
-    /// Impurity decrease (Gini) or gain ratio (C4.5) of a proposed split.
-    fn split_score(
-        &self,
-        parent_imp: f64,
-        parent_total: f64,
-        children: &[(&[f64], f64)],
-    ) -> f64 {
-        let mut weighted_child_imp = 0.0;
-        for &(counts, total) in children {
-            weighted_child_imp += total / parent_total * self.impurity(counts, total);
+    /// Best threshold for a numeric feature from its histogram: O(rows)
+    /// fill plus O(bins) scan. Missing rows stay on the right implicitly,
+    /// mirroring the exact kernel's semantics.
+    fn best_numeric_binned(
+        &mut self,
+        feature: usize,
+        edges: &[f64],
+        slot_codes: &[u8],
+        rows: &[u32],
+        parent_counts: &[f64],
+    ) -> Option<BestSplit> {
+        let nb = edges.len();
+        if nb < 2 {
+            return None;
         }
-        let gain = parent_imp - weighted_child_imp;
-        match self.config.criterion {
-            SplitCriterion::Gini => gain,
-            SplitCriterion::GainRatio => {
-                // Split info: entropy of the child-size distribution.
-                let split_info: f64 = -children
-                    .iter()
-                    .map(|&(_, t)| {
-                        let p = t / parent_total;
-                        if p > 0.0 {
-                            p * p.ln()
-                        } else {
-                            0.0
-                        }
-                    })
-                    .sum::<f64>();
-                if split_info <= 1e-12 {
-                    0.0
-                } else {
-                    gain / split_info
+        let k = self.n_classes;
+        self.state.hist.clear();
+        self.state.hist.resize(nb * k, 0.0);
+        self.state.hist_total.clear();
+        self.state.hist_total.resize(nb, 0.0);
+        let mut n_present = 0usize;
+        for &s in rows {
+            let b = slot_codes[s as usize];
+            if b == NAN_BIN {
+                continue;
+            }
+            n_present += 1;
+            self.state.hist[b as usize * k + self.slot_label[s as usize] as usize] +=
+                self.slot_weight[s as usize];
+            self.state.hist_total[b as usize] += self.slot_weight[s as usize];
+        }
+        if n_present < 2 {
+            return None;
+        }
+        let last = (0..nb).rev().find(|&b| self.state.hist_total[b] > 0.0)?;
+        let parent_total: f64 = parent_counts.iter().sum();
+        let parent_imp = impurity(self.config.criterion, parent_counts, parent_total);
+        self.state.left_counts.fill(0.0);
+        let mut left_total = 0.0;
+        self.state.right_counts.clear();
+        self.state.right_counts.extend_from_slice(parent_counts);
+        let mut right_total = parent_total;
+        let mut best: Option<(f64, f64)> = None;
+        for b in 0..last {
+            let bt = self.state.hist_total[b];
+            if bt == 0.0 {
+                continue; // cut equivalent to the previous one
+            }
+            for c in 0..k {
+                let w = self.state.hist[b * k + c];
+                self.state.left_counts[c] += w;
+                self.state.right_counts[c] -= w;
+            }
+            left_total += bt;
+            right_total -= bt;
+            if left_total < self.config.min_leaf || right_total < self.config.min_leaf {
+                continue;
+            }
+            let score = split_score(
+                self.config.criterion,
+                parent_imp,
+                parent_total,
+                &[
+                    (self.state.left_counts.as_slice(), left_total),
+                    (self.state.right_counts.as_slice(), right_total),
+                ],
+            );
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((edges[b], score));
+            }
+        }
+        best.map(|(threshold, score)| BestSplit::Numeric { feature, threshold, score })
+    }
+
+    /// Scores a multiway categorical split into the flattened
+    /// `level × class` scratch (no per-node `Vec<Vec<f64>>`), visiting
+    /// levels in the same order as the oracle's `score_categorical_split`
+    /// so the scores are bit-identical.
+    fn score_categorical(
+        &mut self,
+        feature: usize,
+        codes: &[u32],
+        n_levels: usize,
+        rows: &[u32],
+        parent_counts: &[f64],
+    ) -> Option<BestSplit> {
+        let k = self.n_classes;
+        self.state.cat_counts.clear();
+        self.state.cat_counts.resize(n_levels * k, 0.0);
+        self.state.cat_totals.clear();
+        self.state.cat_totals.resize(n_levels, 0.0);
+        for &s in rows {
+            let c = codes[self.fit_rows[s as usize] as usize];
+            if c == MISSING_CODE {
+                continue;
+            }
+            let wgt = self.slot_weight[s as usize];
+            self.state.cat_counts[c as usize * k + self.slot_label[s as usize] as usize] += wgt;
+            self.state.cat_totals[c as usize] += wgt;
+        }
+        let mut n_non_empty = 0usize;
+        let mut too_small = false;
+        for &t in &self.state.cat_totals {
+            if t > 0.0 {
+                n_non_empty += 1;
+                if t < self.config.min_leaf {
+                    too_small = true;
                 }
+            }
+        }
+        if n_non_empty < 2 || too_small {
+            return None;
+        }
+        let parent_total: f64 = parent_counts.iter().sum();
+        let parent_imp = impurity(self.config.criterion, parent_counts, parent_total);
+        let score = split_score_levels(
+            self.config.criterion,
+            parent_imp,
+            parent_total,
+            &self.state.cat_counts,
+            &self.state.cat_totals,
+            k,
+        );
+        Some(BestSplit::Categorical { feature, score })
+    }
+}
+
+/// Node impurity under `criterion` (bit-identical to the oracle's
+/// method).
+fn impurity(criterion: SplitCriterion, counts: &[f64], total: f64) -> f64 {
+    if total <= 1e-300 {
+        return 0.0;
+    }
+    match criterion {
+        SplitCriterion::Gini => {
+            1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+        }
+        SplitCriterion::GainRatio => {
+            // Entropy in nats.
+            -counts
+                .iter()
+                .filter(|&&c| c > 0.0)
+                .map(|&c| {
+                    let p = c / total;
+                    p * p.ln()
+                })
+                .sum::<f64>()
+        }
+    }
+}
+
+/// Impurity decrease (Gini) or gain ratio (C4.5) of a proposed split
+/// (bit-identical to the oracle's method).
+fn split_score(
+    criterion: SplitCriterion,
+    parent_imp: f64,
+    parent_total: f64,
+    children: &[(&[f64], f64)],
+) -> f64 {
+    let mut weighted_child_imp = 0.0;
+    for &(counts, total) in children {
+        weighted_child_imp += total / parent_total * impurity(criterion, counts, total);
+    }
+    let gain = parent_imp - weighted_child_imp;
+    match criterion {
+        SplitCriterion::Gini => gain,
+        SplitCriterion::GainRatio => {
+            // Split info: entropy of the child-size distribution.
+            let split_info: f64 = -children
+                .iter()
+                .map(|&(_, t)| {
+                    let p = t / parent_total;
+                    if p > 0.0 {
+                        p * p.ln()
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>();
+            if split_info <= 1e-12 {
+                0.0
+            } else {
+                gain / split_info
+            }
+        }
+    }
+}
+
+/// [`split_score`] over the non-empty levels of a flattened categorical
+/// count table, visited in ascending level order (the oracle's
+/// `non_empty` order) for bit-identical accumulation.
+fn split_score_levels(
+    criterion: SplitCriterion,
+    parent_imp: f64,
+    parent_total: f64,
+    flat: &[f64],
+    totals: &[f64],
+    k: usize,
+) -> f64 {
+    let mut weighted_child_imp = 0.0;
+    for (c, &t) in totals.iter().enumerate() {
+        if t > 0.0 {
+            weighted_child_imp += t / parent_total * impurity(criterion, &flat[c * k..(c + 1) * k], t);
+        }
+    }
+    let gain = parent_imp - weighted_child_imp;
+    match criterion {
+        SplitCriterion::Gini => gain,
+        SplitCriterion::GainRatio => {
+            let split_info: f64 = -totals
+                .iter()
+                .filter(|&&t| t > 0.0)
+                .map(|&t| {
+                    let p = t / parent_total;
+                    if p > 0.0 {
+                        p * p.ln()
+                    } else {
+                        0.0
+                    }
+                })
+                .sum::<f64>();
+            if split_info <= 1e-12 {
+                0.0
+            } else {
+                gain / split_info
             }
         }
     }
@@ -766,6 +1423,308 @@ fn cf_to_z(cf: f64) -> f64 {
     let p = 1.0 - cf.clamp(0.001, 0.5);
     let t = (-2.0 * (1.0 - p).ln()).sqrt();
     t - (2.30753 + 0.27061 * t) / (1.0 + 0.99229 * t + 0.04481 * t * t)
+}
+
+/// The pre-kernel naive tree builder, retained verbatim as a
+/// differential-testing oracle for the presorted kernel: it re-sorts the
+/// candidate rows at every node for every numeric feature. Kept `pub`
+/// (rather than `#[cfg(test)]`) because the cross-crate equivalence
+/// tests and the `tree_kernels` old-vs-new benchmark need it; it is not
+/// part of the supported API.
+#[doc(hidden)]
+pub mod oracle {
+    use super::*;
+
+    /// Oracle twin of [`DecisionTree::fit`].
+    pub fn fit(data: &Dataset, rows: &[usize], config: &TreeConfig) -> DecisionTree {
+        let weights = vec![1.0; data.n_rows()];
+        fit_weighted(data, rows, &weights, config)
+    }
+
+    /// Oracle twin of [`DecisionTree::fit_weighted`] (always exact;
+    /// `config.max_bins` is ignored).
+    pub fn fit_weighted(
+        data: &Dataset,
+        rows: &[usize],
+        weights: &[f64],
+        config: &TreeConfig,
+    ) -> DecisionTree {
+        assert_eq!(weights.len(), data.n_rows(), "one weight per dataset row");
+        let mut builder = Builder {
+            data,
+            config,
+            weights,
+            n_classes: data.n_classes(),
+            rng: StdRng::seed_from_u64(config.seed),
+        };
+        let mut row_buf: Vec<usize> = rows.to_vec();
+        let mut root = builder.grow(&mut row_buf, 0);
+        if let Pruning::Pessimistic { cf } = config.pruning {
+            prune_pessimistic(&mut root, cf);
+        }
+        DecisionTree { root, n_classes: data.n_classes() }
+    }
+
+    struct Builder<'a> {
+        data: &'a Dataset,
+        config: &'a TreeConfig,
+        weights: &'a [f64],
+        n_classes: usize,
+        rng: StdRng,
+    }
+
+    impl<'a> Builder<'a> {
+        fn grow(&mut self, rows: &mut [usize], depth: usize) -> Node {
+            let counts = self.class_counts(rows);
+            let weight: f64 = counts.iter().sum();
+            let impurity = self.impurity(&counts, weight);
+            if depth >= self.config.max_depth
+                || weight < self.config.min_split
+                || impurity <= 1e-12
+            {
+                return Node::Leaf { counts };
+            }
+            let features = self.candidate_features();
+            let mut best: Option<BestSplit> = None;
+            for &f in &features {
+                let candidate = match self.data.feature(f) {
+                    Feature::Numeric { values, .. } => {
+                        self.best_numeric_split(f, values, rows, &counts)
+                    }
+                    Feature::Categorical { codes, levels, .. } => {
+                        self.score_categorical_split(f, codes, levels.len(), rows, &counts)
+                    }
+                };
+                if let Some(c) = candidate {
+                    if best.as_ref().is_none_or(|b| c.score() > b.score()) {
+                        best = Some(c);
+                    }
+                }
+            }
+            let Some(split) = best else {
+                return Node::Leaf { counts };
+            };
+            // rpart-style complexity gate: require relative impurity decrease > cp.
+            let rel_gain = split.score() / impurity.max(1e-12);
+            if self.config.cp > 0.0 && rel_gain < self.config.cp {
+                return Node::Leaf { counts };
+            }
+            match split {
+                BestSplit::Numeric { feature, threshold, .. } => {
+                    let values = match self.data.feature(feature) {
+                        Feature::Numeric { values, .. } => values,
+                        _ => unreachable!(),
+                    };
+                    let (mut left_rows, mut right_rows): (Vec<usize>, Vec<usize>) = rows
+                        .iter()
+                        .filter(|&&r| !values[r].is_nan())
+                        .partition(|&&r| values[r] <= threshold);
+                    if left_rows.is_empty() || right_rows.is_empty() {
+                        return Node::Leaf { counts };
+                    }
+                    let left = Box::new(self.grow(&mut left_rows, depth + 1));
+                    let right = Box::new(self.grow(&mut right_rows, depth + 1));
+                    Node::SplitNumeric { feature, threshold, left, right, counts }
+                }
+                BestSplit::Categorical { feature, .. } => {
+                    let (codes, n_levels) = match self.data.feature(feature) {
+                        Feature::Categorical { codes, levels, .. } => (codes, levels.len()),
+                        _ => unreachable!(),
+                    };
+                    let mut level_rows: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
+                    for &r in rows.iter() {
+                        let c = codes[r];
+                        if c != MISSING_CODE {
+                            level_rows[c as usize].push(r);
+                        }
+                    }
+                    let branches = level_rows
+                        .into_iter()
+                        .map(|mut lr| {
+                            if lr.is_empty() {
+                                None
+                            } else {
+                                Some(Box::new(self.grow(&mut lr, depth + 1)))
+                            }
+                        })
+                        .collect();
+                    Node::SplitCategorical { feature, branches, counts }
+                }
+            }
+        }
+
+        fn candidate_features(&mut self) -> Vec<usize> {
+            let d = self.data.n_features();
+            match self.config.mtry {
+                None => (0..d).collect(),
+                Some(m) => {
+                    let mut idx: Vec<usize> = (0..d).collect();
+                    idx.shuffle(&mut self.rng);
+                    idx.truncate(m.clamp(1, d));
+                    idx
+                }
+            }
+        }
+
+        fn class_counts(&self, rows: &[usize]) -> Vec<f64> {
+            let mut counts = vec![0.0; self.n_classes];
+            for &r in rows {
+                counts[self.data.label(r) as usize] += self.weights[r];
+            }
+            counts
+        }
+
+        fn impurity(&self, counts: &[f64], total: f64) -> f64 {
+            if total <= 1e-300 {
+                return 0.0;
+            }
+            match self.config.criterion {
+                SplitCriterion::Gini => {
+                    1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+                }
+                SplitCriterion::GainRatio => {
+                    // Entropy in nats.
+                    -counts
+                        .iter()
+                        .filter(|&&c| c > 0.0)
+                        .map(|&c| {
+                            let p = c / total;
+                            p * p.ln()
+                        })
+                        .sum::<f64>()
+                }
+            }
+        }
+
+        /// Best threshold for a numeric feature: scans sorted unique values,
+        /// maintaining running class counts. Returns the split score (impurity
+        /// decrease, or gain ratio for C4.5).
+        fn best_numeric_split(
+            &self,
+            feature: usize,
+            values: &[f64],
+            rows: &[usize],
+            parent_counts: &[f64],
+        ) -> Option<BestSplit> {
+            let mut present: Vec<usize> =
+                rows.iter().copied().filter(|&r| !values[r].is_nan()).collect();
+            if present.len() < 2 {
+                return None;
+            }
+            present.sort_by(|&a, &b| {
+                values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let parent_total: f64 = parent_counts.iter().sum();
+            let parent_imp = self.impurity(parent_counts, parent_total);
+            let mut left_counts = vec![0.0; self.n_classes];
+            let mut left_total = 0.0;
+            let mut right_counts: Vec<f64> = parent_counts.to_vec();
+            let mut right_total = parent_total;
+            let mut best: Option<(f64, f64)> = None; // (threshold, score)
+            for w in 0..present.len() - 1 {
+                let r = present[w];
+                let wgt = self.weights[r];
+                let cls = self.data.label(r) as usize;
+                left_counts[cls] += wgt;
+                left_total += wgt;
+                right_counts[cls] -= wgt;
+                right_total -= wgt;
+                let v_here = values[r];
+                let v_next = values[present[w + 1]];
+                if v_next <= v_here {
+                    continue; // same value: not a valid cut point
+                }
+                if left_total < self.config.min_leaf || right_total < self.config.min_leaf {
+                    continue;
+                }
+                let score = self.split_score(
+                    parent_imp,
+                    parent_total,
+                    &[(&left_counts, left_total), (&right_counts, right_total)],
+                );
+                let threshold = 0.5 * (v_here + v_next);
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((threshold, score));
+                }
+            }
+            best.map(|(threshold, score)| BestSplit::Numeric { feature, threshold, score })
+        }
+
+        /// Scores a multiway categorical split.
+        fn score_categorical_split(
+            &self,
+            feature: usize,
+            codes: &[u32],
+            n_levels: usize,
+            rows: &[usize],
+            parent_counts: &[f64],
+        ) -> Option<BestSplit> {
+            let mut level_counts = vec![vec![0.0; self.n_classes]; n_levels];
+            let mut level_totals = vec![0.0; n_levels];
+            for &r in rows {
+                let c = codes[r];
+                if c == MISSING_CODE {
+                    continue;
+                }
+                let wgt = self.weights[r];
+                level_counts[c as usize][self.data.label(r) as usize] += wgt;
+                level_totals[c as usize] += wgt;
+            }
+            let non_empty: Vec<(&Vec<f64>, f64)> = level_counts
+                .iter()
+                .zip(level_totals.iter().copied())
+                .filter(|&(_, t)| t > 0.0)
+                .collect();
+            if non_empty.len() < 2 {
+                return None;
+            }
+            if non_empty.iter().any(|&(_, t)| t < self.config.min_leaf) {
+                return None;
+            }
+            let parent_total: f64 = parent_counts.iter().sum();
+            let parent_imp = self.impurity(parent_counts, parent_total);
+            let children: Vec<(&[f64], f64)> =
+                non_empty.iter().map(|&(c, t)| (c.as_slice(), t)).collect();
+            let score = self.split_score(parent_imp, parent_total, &children);
+            Some(BestSplit::Categorical { feature, score })
+        }
+
+        /// Impurity decrease (Gini) or gain ratio (C4.5) of a proposed split.
+        fn split_score(
+            &self,
+            parent_imp: f64,
+            parent_total: f64,
+            children: &[(&[f64], f64)],
+        ) -> f64 {
+            let mut weighted_child_imp = 0.0;
+            for &(counts, total) in children {
+                weighted_child_imp += total / parent_total * self.impurity(counts, total);
+            }
+            let gain = parent_imp - weighted_child_imp;
+            match self.config.criterion {
+                SplitCriterion::Gini => gain,
+                SplitCriterion::GainRatio => {
+                    // Split info: entropy of the child-size distribution.
+                    let split_info: f64 = -children
+                        .iter()
+                        .map(|&(_, t)| {
+                            let p = t / parent_total;
+                            if p > 0.0 {
+                                p * p.ln()
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum::<f64>();
+                    if split_info <= 1e-12 {
+                        0.0
+                    } else {
+                        gain / split_info
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,122 @@
+//! Equivalence properties for the presorted tree-training kernel: on the
+//! exact path (`max_bins: 0`), [`DecisionTree::fit_weighted`] must be
+//! *bitwise* identical to the retained naive grower
+//! (`common::tree::oracle`) — same splits, same thresholds, same leaf
+//! probabilities — across random datasets with heavy ties, missing values
+//! (numeric NaN and categorical `MISSING_CODE`), non-uniform weights, and
+//! both split criteria.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smartml_classifiers::common::tree::{oracle, DecisionTree, Pruning, SplitCriterion, TreeConfig};
+use smartml_data::dataset::{Dataset, Feature, MISSING_CODE};
+
+/// Random mixed-type dataset with small value alphabets (so ties are the
+/// norm, not the exception) and `nan_pct`% missing cells, plus per-row
+/// weights in {0.5, 1.0, 1.5, 2.0}.
+fn random_dataset(
+    seed: u64,
+    n: usize,
+    n_num: usize,
+    n_cat: usize,
+    k: usize,
+    nan_pct: u64,
+) -> (Dataset, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut features = Vec::new();
+    for f in 0..n_num {
+        let alphabet = rng.gen_range(2..8u32);
+        let values = (0..n)
+            .map(|_| {
+                if rng.gen_range(0..100u64) < nan_pct {
+                    f64::NAN
+                } else {
+                    rng.gen_range(0..alphabet) as f64 * 0.37 - 1.0
+                }
+            })
+            .collect();
+        features.push(Feature::Numeric { name: format!("x{f}"), values });
+    }
+    for f in 0..n_cat {
+        let n_levels = rng.gen_range(2..5u32);
+        let codes = (0..n)
+            .map(|_| {
+                if rng.gen_range(0..100u64) < nan_pct {
+                    MISSING_CODE
+                } else {
+                    rng.gen_range(0..n_levels)
+                }
+            })
+            .collect();
+        features.push(Feature::Categorical {
+            name: format!("c{f}"),
+            codes,
+            levels: (0..n_levels).map(|l| format!("l{l}")).collect(),
+        });
+    }
+    let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..k as u32)).collect();
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1..5u32) as f64 * 0.5).collect();
+    let class_names = (0..k).map(|c| format!("k{c}")).collect();
+    (Dataset::new("equiv", features, labels, class_names).unwrap(), weights)
+}
+
+fn assert_trees_identical(data: &Dataset, new: &DecisionTree, old: &DecisionTree) {
+    let rows = data.all_rows();
+    assert_eq!(new.n_leaves(), old.n_leaves(), "leaf count diverged");
+    assert_eq!(new.depth(), old.depth(), "depth diverged");
+    assert_eq!(new.feature_usage(), old.feature_usage(), "split features diverged");
+    // Bitwise: Vec<Vec<f64>> equality is exact f64 equality per cell.
+    assert_eq!(new.predict_proba(data, &rows), old.predict_proba(data, &rows), "probas diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn presorted_tree_matches_oracle_bitwise(
+        seed in 0u64..100_000,
+        n in 20usize..90,
+        n_num in 1usize..4,
+        n_cat in 0usize..3,
+        k in 2usize..4,
+        knobs in 0u64..3360, // mixed radix: nan_pct(30) · crit(2) · depth(7) · mtry(2) · prune(2)
+    ) {
+        let nan_pct = knobs % 30;
+        let crit = (knobs / 30) % 2;
+        let max_depth = 2 + ((knobs / 60) % 7) as usize;
+        let use_mtry = (knobs / 420) % 2;
+        let prune = (knobs / 840) % 2;
+        let (data, weights) = random_dataset(seed, n, n_num, n_cat, k, nan_pct);
+        let config = TreeConfig {
+            criterion: if crit == 0 { SplitCriterion::Gini } else { SplitCriterion::GainRatio },
+            max_depth,
+            min_split: 2.0,
+            min_leaf: 1.0,
+            cp: 0.0,
+            mtry: if use_mtry == 1 { Some((n_num + n_cat).div_ceil(2)) } else { None },
+            seed,
+            pruning: if prune == 1 { Pruning::Pessimistic { cf: 0.25 } } else { Pruning::None },
+            max_bins: 0,
+        };
+        let rows = data.all_rows();
+        let new = DecisionTree::fit_weighted(&data, &rows, &weights, &config);
+        let old = oracle::fit_weighted(&data, &rows, &weights, &config);
+        assert_trees_identical(&data, &new, &old);
+    }
+
+    #[test]
+    fn presorted_tree_matches_oracle_on_row_subsets(
+        seed in 0u64..100_000,
+        n in 30usize..80,
+        stride in 2usize..4,
+    ) {
+        // Fitting on a strict subset exercises the fit-row → slot indirection.
+        let (data, weights) = random_dataset(seed, n, 3, 1, 3, 10);
+        let rows: Vec<usize> = (0..n).step_by(stride).collect();
+        let config = TreeConfig { seed, ..TreeConfig::default() };
+        let new = DecisionTree::fit_weighted(&data, &rows, &weights, &config);
+        let old = oracle::fit_weighted(&data, &rows, &weights, &config);
+        assert_trees_identical(&data, &new, &old);
+    }
+}

@@ -98,18 +98,36 @@ impl Matrix {
 
     /// Copy column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        let mut out = Vec::new();
+        self.col_into(c, &mut out);
+        out
     }
 
-    /// Matrix transpose.
+    /// Copy column `c` into `out`, reusing its allocation.
+    pub fn col_into(&self, c: usize, out: &mut Vec<f64>) {
+        assert!(c < self.cols, "column {c} out of range for {:?}", self.shape());
+        out.clear();
+        out.extend((0..self.rows).map(|r| self.data[r * self.cols + c]));
+    }
+
+    /// Matrix transpose, blocked so both source and destination are walked
+    /// in cache-line-sized tiles rather than one side striding the full
+    /// matrix width per element.
     pub fn transpose(&self) -> Matrix {
-        let mut t = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                t[(c, r)] = self[(r, c)];
+        const B: usize = 32;
+        let (n, m) = (self.rows, self.cols);
+        let mut t = vec![0.0; n * m];
+        for rb in (0..n).step_by(B) {
+            for cb in (0..m).step_by(B) {
+                for r in rb..(rb + B).min(n) {
+                    let row = &self.data[r * m..r * m + m];
+                    for c in cb..(cb + B).min(m) {
+                        t[c * n + r] = row[c];
+                    }
+                }
             }
         }
-        t
+        Matrix { rows: m, cols: n, data: t }
     }
 
     /// Matrix product `self * rhs`.
@@ -264,6 +282,32 @@ mod tests {
         assert_eq!(a.transpose().transpose(), a);
         assert_eq!(a.transpose().shape(), (3, 2));
         assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_naive_on_odd_shapes() {
+        // Shapes straddling the 32-wide tile: 1 tile, partial tiles, tall/wide.
+        for &(r, c) in &[(1, 1), (3, 70), (70, 3), (33, 33), (64, 32), (37, 95)] {
+            let a = Matrix::from_vec(r, c, (0..r * c).map(|i| i as f64 * 0.5 - 7.0).collect());
+            let t = a.transpose();
+            assert_eq!(t.shape(), (c, r));
+            for i in 0..r {
+                for j in 0..c {
+                    assert_eq!(t[(j, i)], a[(i, j)], "({i},{j}) in {r}x{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col_into_reuses_buffer() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let mut buf = vec![9.0; 17];
+        a.col_into(1, &mut buf);
+        assert_eq!(buf, vec![2.0, 4.0, 6.0]);
+        a.col_into(0, &mut buf);
+        assert_eq!(buf, vec![1.0, 3.0, 5.0]);
+        assert_eq!(a.col(1), vec![2.0, 4.0, 6.0]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! extended-similarity ablation.
 
 use serde::{Deserialize, Serialize};
+use smartml_classifiers::common::tree::{DecisionTree, Pruning, SplitCriterion, TreeConfig};
 use smartml_data::{accuracy, Dataset};
 use smartml_linalg::vecops;
 
@@ -31,8 +32,10 @@ pub fn landmarkers(data: &Dataset, rows: &[usize]) -> Landmarkers {
     let y_test = data.labels_for(test);
     let k = data.n_classes();
 
-    // Decision stump: best (feature, threshold, left-class, right-class).
-    let stump_pred = fit_predict_stump(&x_train, &y_train, &x_test, k);
+    // Decision stump: a depth-1 Gini tree on the shared presorted kernel,
+    // replacing the old hand-rolled quantile scan (exact best cut, and one
+    // less split-finding implementation to maintain).
+    let stump_pred = fit_predict_stump(data, train, test);
     let decision_stump = accuracy(&y_test, &stump_pred);
 
     // Nearest centroid.
@@ -42,44 +45,21 @@ pub fn landmarkers(data: &Dataset, rows: &[usize]) -> Landmarkers {
     Landmarkers { decision_stump, nearest_centroid }
 }
 
-fn fit_predict_stump(
-    x_train: &smartml_linalg::Matrix,
-    y_train: &[u32],
-    x_test: &smartml_linalg::Matrix,
-    n_classes: usize,
-) -> Vec<u32> {
-    let n = x_train.rows();
-    let d = x_train.cols();
-    let mut best = (0usize, 0.0f64, 0u32, 0u32, 0usize); // (feat, thr, left, right, correct)
-    for f in 0..d {
-        let mut vals: Vec<f64> = (0..n).map(|r| x_train[(r, f)]).collect();
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        vals.dedup();
-        // Candidate thresholds: midpoints of up to 16 quantile cuts.
-        let step = (vals.len() / 16).max(1);
-        for w in vals.windows(2).step_by(step) {
-            let thr = 0.5 * (w[0] + w[1]);
-            let mut left_counts = vec![0usize; n_classes];
-            let mut right_counts = vec![0usize; n_classes];
-            for r in 0..n {
-                if x_train[(r, f)] <= thr {
-                    left_counts[y_train[r] as usize] += 1;
-                } else {
-                    right_counts[y_train[r] as usize] += 1;
-                }
-            }
-            let left = vecops::argmax(&left_counts.iter().map(|&c| c as f64).collect::<Vec<_>>())
-                .unwrap_or(0) as u32;
-            let right = vecops::argmax(&right_counts.iter().map(|&c| c as f64).collect::<Vec<_>>())
-                .unwrap_or(0) as u32;
-            let correct = left_counts[left as usize] + right_counts[right as usize];
-            if correct > best.4 {
-                best = (f, thr, left, right, correct);
-            }
-        }
-    }
-    (0..x_test.rows())
-        .map(|r| if x_test[(r, best.0)] <= best.1 { best.2 } else { best.3 })
+fn fit_predict_stump(data: &Dataset, train: &[usize], test: &[usize]) -> Vec<u32> {
+    let config = TreeConfig {
+        criterion: SplitCriterion::Gini,
+        max_depth: 1,
+        min_split: 2.0,
+        min_leaf: 1.0,
+        cp: 0.0,
+        mtry: None,
+        seed: 0,
+        pruning: Pruning::None,
+        max_bins: 0,
+    };
+    let stump = DecisionTree::fit(data, train, &config);
+    test.iter()
+        .map(|&r| vecops::argmax(&stump.row_proba(data, r)).unwrap_or(0) as u32)
         .collect()
 }
 

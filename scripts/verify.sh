@@ -71,4 +71,7 @@ wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 echo "    smartmld survives kill -9 with no data loss"
 
+echo "==> perf smoke: tree kernels vs committed baseline (fails on panic or >5x regression)"
+./target/release/tree_kernels --quick --check BENCH_tree_kernels.json > /dev/null
+
 echo "verify: OK"
