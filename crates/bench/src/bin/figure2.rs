@@ -21,6 +21,8 @@ fn main() {
             interpretability: true,
             seed: Some(42),
             n_threads: Some(0),
+            trial_timeout_seconds: None,
+            breaker_threshold: None,
         },
     };
     println!("Figure 2: Configuring an experiment for a dataset");

@@ -76,6 +76,10 @@ impl Classifier for DeepBoost {
         }
         let mut trees: Vec<(DecisionTree, f64)> = Vec::with_capacity(self.num_iter);
         for t in 0..self.num_iter {
+            // Expired trial: keep the rounds boosted so far (at least one).
+            if t > 0 && smartml_runtime::faults::trial_should_stop() {
+                break;
+            }
             let config = TreeConfig {
                 criterion: SplitCriterion::GainRatio,
                 max_depth: self.tree_depth,

@@ -121,29 +121,30 @@ fn fit_ensemble(
     let bins = (max_bins >= 2).then(|| BinnedColumns::fit(data, rows, max_bins));
     let base = (max_bins < 2).then(|| RankedBase::build(data, rows));
     let d = data.n_features().max(1);
-    let trees = (0..n_trees)
-        .map(|t| {
-            let picks = bootstrap_picks(rows.len(), &mut rng);
-            let sample: Vec<usize> = picks.iter().map(|&p| rows[p as usize]).collect();
-            let config = make_config(t as u64);
-            match &bins {
-                Some(b) => DecisionTree::fit_weighted_binned(data, &sample, &weights, &config, b),
-                None => {
-                    let base = base.as_ref().expect("exact path has a ranked base");
-                    if config.mtry.unwrap_or(d).clamp(1, d) < d {
-                        DecisionTree::fit_weighted_ranked(
-                            data, &sample, &weights, &config, base, &picks,
-                        )
-                    } else {
-                        let sorted = base.resample(&picks);
-                        DecisionTree::fit_weighted_with_sorted(
-                            data, &sample, &weights, &config, sorted,
-                        )
-                    }
+    let mut trees = Vec::with_capacity(n_trees);
+    for t in 0..n_trees {
+        // Cooperative cancellation: an expired trial keeps the partial
+        // forest (at least one tree) instead of running out the clock —
+        // the trial guard still classifies it as timed out.
+        if t > 0 && smartml_runtime::faults::trial_should_stop() {
+            break;
+        }
+        let picks = bootstrap_picks(rows.len(), &mut rng);
+        let sample: Vec<usize> = picks.iter().map(|&p| rows[p as usize]).collect();
+        let config = make_config(t as u64);
+        trees.push(match &bins {
+            Some(b) => DecisionTree::fit_weighted_binned(data, &sample, &weights, &config, b),
+            None => {
+                let base = base.as_ref().expect("exact path has a ranked base");
+                if config.mtry.unwrap_or(d).clamp(1, d) < d {
+                    DecisionTree::fit_weighted_ranked(data, &sample, &weights, &config, base, &picks)
+                } else {
+                    let sorted = base.resample(&picks);
+                    DecisionTree::fit_weighted_with_sorted(data, &sample, &weights, &config, sorted)
                 }
             }
-        })
-        .collect();
+        });
+    }
     TreeEnsemble { trees, n_classes: data.n_classes() }
 }
 
@@ -313,7 +314,7 @@ mod tests {
 
     #[test]
     fn binned_quantisation_identical_across_pool_widths() {
-        use crate::common::split::{BinnedColumns, RankedBase};
+        use crate::common::split::BinnedColumns;
         use smartml_runtime::Pool;
         let d = gaussian_blobs("b", 400, 6, 3, 1.0, 22);
         let rows = d.all_rows();

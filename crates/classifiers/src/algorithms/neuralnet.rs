@@ -96,7 +96,12 @@ impl Classifier for NeuralNet {
         let mut out = vec![0.0; n_classes];
         let mut delta_out = vec![0.0; n_classes];
         let mut delta_hidden = vec![0.0; h];
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
+            // Expired trial: stop on an epoch boundary, keep the weights
+            // trained so far.
+            if epoch > 0 && smartml_runtime::faults::trial_should_stop() {
+                break;
+            }
             let mut g1 = Matrix::zeros(h, d + 1);
             let mut g2 = Matrix::zeros(n_classes, h + 1);
             for r in 0..n {

@@ -108,8 +108,14 @@ impl Classifier for Svm {
             .filter(|&c| counts[c as usize] > 0)
             .collect();
         let mut machines = Vec::new();
-        for i in 0..present.len() {
+        'pairs: for i in 0..present.len() {
             for j in (i + 1)..present.len() {
+                // Expired trial: stop scheduling new binary subproblems
+                // once at least one machine exists (a usable, if weaker,
+                // one-vs-one committee).
+                if !machines.is_empty() && smartml_runtime::faults::trial_should_stop() {
+                    break 'pairs;
+                }
                 let (pos, neg) = (present[i], present[j]);
                 let sub: Vec<usize> = (0..labels.len())
                     .filter(|&r| labels[r] == pos || labels[r] == neg)
@@ -186,6 +192,11 @@ fn smo_train(
     let mut passes = 0;
     let mut total = 0usize;
     while passes < max_passes && total < max_total_iters {
+        // SMO converges monotonically, so an expired trial can stop after
+        // any full pass and still hand back a consistent machine.
+        if passes > 0 && smartml_runtime::faults::trial_should_stop() {
+            break;
+        }
         let mut changed = 0;
         for i in 0..n {
             total += 1;

@@ -68,6 +68,13 @@ pub struct ExperimentOptions {
     /// result is identical for any thread count at a fixed seed.
     #[serde(default)]
     pub n_threads: Option<usize>,
+    /// Per-trial watchdog deadline in seconds (absent = no limit).
+    #[serde(default)]
+    pub trial_timeout_seconds: Option<f64>,
+    /// Circuit-breaker threshold: consecutive faulted trials before an
+    /// algorithm is tripped (absent = default, `0` = disabled).
+    #[serde(default)]
+    pub breaker_threshold: Option<usize>,
 }
 
 impl ExperimentOptions {
@@ -85,9 +92,23 @@ impl ExperimentOptions {
         let mut options = SmartMlOptions::default().with_preprocessing(ops);
         options.feature_selection = self.feature_selection;
         if let Some(secs) = self.budget_seconds {
+            if !secs.is_finite() {
+                return Err(format!("budget_seconds must be finite, got {secs}"));
+            }
             options.budget = Budget::Time(std::time::Duration::from_secs_f64(secs.max(0.1)));
         } else if let Some(trials) = self.budget_trials {
             options.budget = Budget::Trials(trials.max(3));
+        }
+        if let Some(secs) = self.trial_timeout_seconds {
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err(format!(
+                    "trial_timeout_seconds must be positive and finite, got {secs}"
+                ));
+            }
+            options.trial_timeout = Some(std::time::Duration::from_secs_f64(secs));
+        }
+        if let Some(k) = self.breaker_threshold {
+            options.breaker_threshold = k;
         }
         if let Some(n) = self.top_n_algorithms {
             options = options.with_top_n(n);
@@ -402,6 +423,30 @@ a,b,y
                 assert_eq!(operations[0].0, "center");
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_budgets_and_timeouts_rejected_not_panicking() {
+        for options in [
+            ExperimentOptions { budget_seconds: Some(f64::INFINITY), ..Default::default() },
+            ExperimentOptions { budget_seconds: Some(f64::NAN), ..Default::default() },
+            ExperimentOptions {
+                trial_timeout_seconds: Some(f64::INFINITY),
+                ..Default::default()
+            },
+            ExperimentOptions { trial_timeout_seconds: Some(-1.0), ..Default::default() },
+        ] {
+            let mut kb = KnowledgeBase::new();
+            let resp = handle(
+                &mut kb,
+                Request::RunExperiment {
+                    name: "toy".into(),
+                    dataset: DatasetPayload::Csv { content: CSV.into(), target: None },
+                    options,
+                },
+            );
+            assert!(matches!(resp, Response::Error { .. }));
         }
     }
 

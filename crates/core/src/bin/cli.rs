@@ -5,6 +5,7 @@
 //! smartml-cli run <data.csv|data.arff> [--target COL] [--budget N]
 //!                 [--kb SPEC] [--ensemble] [--interpret] [--top-n N]
 //!                 [--preprocess op1,op2] [--seed N] [--markdown] [--json]
+//!                 [--trial-timeout SECS] [--breaker-threshold K]
 //! smartml-cli metafeatures <data.csv|data.arff>
 //! smartml-cli describe <data.csv|data.arff>
 //! smartml-cli algorithms
@@ -90,7 +91,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     if let Some(secs) = flag_value(args, "--budget-seconds") {
         let s: f64 = secs.parse().map_err(|_| "--budget-seconds expects a number")?;
+        if !s.is_finite() {
+            return Err("--budget-seconds expects a finite number".into());
+        }
         options.budget = Budget::Time(std::time::Duration::from_secs_f64(s.max(0.1)));
+    }
+    if let Some(secs) = flag_value(args, "--trial-timeout") {
+        let s: f64 = secs.parse().map_err(|_| "--trial-timeout expects a number")?;
+        if !s.is_finite() || s <= 0.0 {
+            return Err("--trial-timeout expects a positive finite number of seconds".into());
+        }
+        options.trial_timeout = Some(std::time::Duration::from_secs_f64(s));
+    }
+    if let Some(k) = flag_value(args, "--breaker-threshold") {
+        options.breaker_threshold =
+            k.parse().map_err(|_| "--breaker-threshold expects a number (0 disables)")?;
     }
     if let Some(n) = flag_value(args, "--top-n") {
         options.top_n_algorithms = n.parse().map_err(|_| "--top-n expects a number")?;

@@ -2,7 +2,9 @@
 //!
 //! Paper §2: "this budget is divided among all the selected algorithms
 //! according to the number of hyper-parameters to tune in each algorithm
-//! (Table 3)" — more parameters, more budget.
+//! (Table 3)" — more parameters, more budget. The same proportional rule
+//! reallocates budget freed by a tripped circuit breaker to the surviving
+//! algorithms.
 
 use crate::options::Budget;
 use smartml_classifiers::Algorithm;
@@ -23,6 +25,54 @@ pub fn divide_budget(total: Budget, algorithms: &[Algorithm]) -> Vec<(Algorithm,
         .collect()
 }
 
+/// Apportions `freed` trials among `survivors` proportionally to their
+/// hyperparameter counts using the largest-remainder method, so the shares
+/// sum to exactly `freed` — nothing a tripped breaker released is lost to
+/// rounding. Deterministic: ties break by position.
+pub fn apportion_trials(freed: usize, survivors: &[Algorithm]) -> Vec<(Algorithm, usize)> {
+    if survivors.is_empty() || freed == 0 {
+        return survivors.iter().map(|&a| (a, 0)).collect();
+    }
+    let weights: Vec<f64> = survivors
+        .iter()
+        .map(|a| a.param_space().n_params().max(1) as f64)
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    let exact: Vec<f64> = weights.iter().map(|w| freed as f64 * w / sum).collect();
+    let mut shares: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let assigned: usize = shares.iter().sum();
+    // Hand the leftover trials to the largest fractional remainders.
+    let mut order: Vec<usize> = (0..survivors.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = exact[a] - exact[a].floor();
+        let rb = exact[b] - exact[b].floor();
+        rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    for &i in order.iter().take(freed.saturating_sub(assigned)) {
+        shares[i] += 1;
+    }
+    survivors.iter().copied().zip(shares).collect()
+}
+
+/// Apportions `freed` wall-clock seconds among `survivors` proportionally
+/// to their hyperparameter counts (the serial-time analogue of
+/// [`apportion_trials`]; no rounding to repair).
+pub fn apportion_secs(freed: f64, survivors: &[Algorithm]) -> Vec<(Algorithm, f64)> {
+    if survivors.is_empty() || !freed.is_finite() || freed <= 0.0 {
+        return survivors.iter().map(|&a| (a, 0.0)).collect();
+    }
+    let weights: Vec<f64> = survivors
+        .iter()
+        .map(|a| a.param_space().n_params().max(1) as f64)
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    survivors
+        .iter()
+        .zip(&weights)
+        .map(|(&a, &w)| (a, freed * w / sum))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -31,16 +81,8 @@ mod tests {
     fn proportional_to_param_counts() {
         // SVM has 5 params, KNN has 1: SVM gets 5x the trials (before floor).
         let shares = divide_budget(Budget::Trials(60), &[Algorithm::Svm, Algorithm::Knn]);
-        let svm = match shares[0].1 {
-            Budget::Trials(t) => t,
-            _ => panic!(),
-        };
-        let knn = match shares[1].1 {
-            Budget::Trials(t) => t,
-            _ => panic!(),
-        };
-        assert_eq!(svm, 50);
-        assert_eq!(knn, 10);
+        assert_eq!(shares[0].1.trials(), Some(50));
+        assert_eq!(shares[1].1.trials(), Some(10));
     }
 
     #[test]
@@ -50,10 +92,8 @@ mod tests {
             &[Algorithm::Svm, Algorithm::Knn, Algorithm::NeuralNet],
         );
         for (_, b) in shares {
-            match b {
-                Budget::Trials(t) => assert!(t >= 3),
-                _ => panic!(),
-            }
+            let t = b.trials().expect("trial budgets divide into trial budgets");
+            assert!(t >= 3);
         }
     }
 
@@ -69,5 +109,54 @@ mod tests {
         // J48 and part both have 3 params.
         let shares = divide_budget(Budget::Trials(20), &[Algorithm::J48, Algorithm::Part]);
         assert_eq!(shares[0].1, shares[1].1);
+    }
+
+    #[test]
+    fn apportioned_trials_sum_exactly() {
+        for freed in [0usize, 1, 7, 23, 100] {
+            let shares = apportion_trials(
+                freed,
+                &[Algorithm::Svm, Algorithm::Knn, Algorithm::RandomForest],
+            );
+            let total: usize = shares.iter().map(|(_, t)| t).sum();
+            assert_eq!(total, freed, "freed={freed} must be fully reassigned");
+        }
+    }
+
+    #[test]
+    fn apportionment_follows_param_counts() {
+        // SVM (5 params) outweighs KNN (1 param).
+        let shares = apportion_trials(12, &[Algorithm::Svm, Algorithm::Knn]);
+        assert_eq!(shares[0].0, Algorithm::Svm);
+        assert_eq!(shares[0].1, 10);
+        assert_eq!(shares[1].1, 2);
+    }
+
+    #[test]
+    fn apportionment_handles_empty_survivors() {
+        assert!(apportion_trials(10, &[]).is_empty());
+        assert!(apportion_secs(10.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn apportioned_secs_sum_and_ignore_degenerate_inputs() {
+        let shares = apportion_secs(9.0, &[Algorithm::J48, Algorithm::Part]);
+        let total: f64 = shares.iter().map(|(_, s)| s).sum();
+        assert!((total - 9.0).abs() < 1e-9);
+        assert!((shares[0].1 - shares[1].1).abs() < 1e-9);
+        for (_, s) in apportion_secs(f64::NAN, &[Algorithm::Knn]) {
+            assert_eq!(s, 0.0);
+        }
+        for (_, s) in apportion_secs(-1.0, &[Algorithm::Knn]) {
+            assert_eq!(s, 0.0);
+        }
+    }
+
+    #[test]
+    fn apportionment_is_deterministic() {
+        let algorithms = [Algorithm::Svm, Algorithm::Knn, Algorithm::NeuralNet];
+        let a = apportion_trials(17, &algorithms);
+        let b = apportion_trials(17, &algorithms);
+        assert_eq!(a, b);
     }
 }

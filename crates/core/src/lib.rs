@@ -50,7 +50,10 @@ pub use interpret::{
 };
 pub use options::{Budget, KbSource, SmartMlOptions};
 pub use pipeline::{RunOutcome, SmartML, SmartMlError};
-pub use report::{AlgorithmTuning, BestModel, EnsembleReport, PhaseTrace, RunReport};
+pub use report::{
+    AlgorithmFailures, AlgorithmTuning, BestModel, EnsembleReport, FailureReport, PhaseTrace,
+    RunReport,
+};
 
 // Re-export the workspace surface a downstream user needs.
 pub use smartml_classifiers::{Algorithm, ParamConfig, ParamValue};

@@ -71,6 +71,7 @@ pub enum Budget {
 impl Budget {
     /// A per-algorithm share of this budget given its weight fraction.
     pub(crate) fn share(&self, fraction: f64) -> Budget {
+        let fraction = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 0.0 };
         match *self {
             Budget::Trials(t) => {
                 Budget::Trials(((t as f64 * fraction).round() as usize).max(3))
@@ -78,6 +79,22 @@ impl Budget {
             Budget::Time(d) => Budget::Time(Duration::from_secs_f64(
                 (d.as_secs_f64() * fraction).max(0.05),
             )),
+        }
+    }
+
+    /// The trial count, for trial budgets.
+    pub fn trials(&self) -> Option<usize> {
+        match *self {
+            Budget::Trials(t) => Some(t),
+            Budget::Time(_) => None,
+        }
+    }
+
+    /// The wall-clock allowance, for time budgets.
+    pub fn duration(&self) -> Option<Duration> {
+        match *self {
+            Budget::Trials(_) => None,
+            Budget::Time(d) => Some(d),
         }
     }
 }
@@ -116,6 +133,15 @@ pub struct SmartMlOptions {
     /// parallel path is deterministic: results are identical for any
     /// thread count at a fixed seed.
     pub n_threads: usize,
+    /// Per-trial watchdog deadline: a single configuration evaluation that
+    /// runs longer is marked `TimedOut` and abandoned cooperatively
+    /// (`None` = no per-trial limit).
+    pub trial_timeout: Option<Duration>,
+    /// Circuit breaker: after this many *consecutive* faulted trials
+    /// (panic / timeout / non-finite score) an algorithm is tripped and
+    /// its remaining budget is reallocated to the survivors (`0` =
+    /// breakers disabled).
+    pub breaker_threshold: usize,
 }
 
 impl Default for SmartMlOptions {
@@ -134,6 +160,8 @@ impl Default for SmartMlOptions {
             update_kb: true,
             seed: 42,
             n_threads: 0,
+            trial_timeout: None,
+            breaker_threshold: 5,
         }
     }
 }
@@ -179,6 +207,49 @@ impl SmartMlOptions {
     pub fn with_n_threads(mut self, n: usize) -> Self {
         self.n_threads = n;
         self
+    }
+
+    /// Sets the per-trial watchdog deadline.
+    pub fn with_trial_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.trial_timeout = timeout;
+        self
+    }
+
+    /// Sets the circuit-breaker threshold (`0` = disabled).
+    pub fn with_breaker_threshold(mut self, k: usize) -> Self {
+        self.breaker_threshold = k;
+        self
+    }
+
+    /// Checks the options for values that would make a run meaningless or
+    /// crash mid-pipeline. Called by `SmartML::run` before any work, so a
+    /// malformed request surfaces as an error instead of an abort.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.valid_fraction.is_finite() || !(0.0..1.0).contains(&self.valid_fraction) {
+            return Err(format!(
+                "valid_fraction must be in [0, 1), got {}",
+                self.valid_fraction
+            ));
+        }
+        if self.cv_folds < 2 {
+            return Err(format!("cv_folds must be at least 2, got {}", self.cv_folds));
+        }
+        if self.top_n_algorithms == 0 {
+            return Err("top_n_algorithms must be at least 1".into());
+        }
+        match self.budget {
+            Budget::Trials(0) => return Err("trial budget must be non-zero".into()),
+            Budget::Time(d) if d.is_zero() => {
+                return Err("time budget must be non-zero".into());
+            }
+            _ => {}
+        }
+        if let Some(t) = self.trial_timeout {
+            if t.is_zero() {
+                return Err("trial_timeout must be non-zero when set".into());
+            }
+        }
+        Ok(())
     }
 }
 
@@ -230,9 +301,59 @@ mod tests {
     fn budget_share_floors() {
         assert_eq!(Budget::Trials(100).share(0.5), Budget::Trials(50));
         assert_eq!(Budget::Trials(10).share(0.01), Budget::Trials(3));
-        match Budget::Time(Duration::from_secs(10)).share(0.25) {
-            Budget::Time(d) => assert!((d.as_secs_f64() - 2.5).abs() < 1e-9),
-            _ => panic!(),
-        }
+        let d = Budget::Time(Duration::from_secs(10))
+            .share(0.25)
+            .duration()
+            .expect("time budgets share into time budgets");
+        assert!((d.as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_share_survives_degenerate_fractions() {
+        // A NaN or out-of-range fraction collapses to the floor share
+        // instead of panicking inside Duration::from_secs_f64.
+        assert_eq!(Budget::Trials(100).share(f64::NAN), Budget::Trials(3));
+        assert_eq!(Budget::Trials(100).share(-1.0), Budget::Trials(3));
+        let d = Budget::Time(Duration::from_secs(10))
+            .share(f64::INFINITY)
+            .duration()
+            .unwrap();
+        assert!((d.as_secs_f64() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_accessors() {
+        assert_eq!(Budget::Trials(7).trials(), Some(7));
+        assert_eq!(Budget::Trials(7).duration(), None);
+        assert_eq!(Budget::Time(Duration::from_secs(3)).trials(), None);
+        assert_eq!(
+            Budget::Time(Duration::from_secs(3)).duration(),
+            Some(Duration::from_secs(3))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_malformed_options() {
+        assert!(SmartMlOptions::default().validate().is_ok());
+        let mut o = SmartMlOptions::default();
+        o.valid_fraction = f64::NAN;
+        assert!(o.validate().is_err());
+        o.valid_fraction = 1.0;
+        assert!(o.validate().is_err());
+        let mut o = SmartMlOptions::default();
+        o.cv_folds = 1;
+        assert!(o.validate().is_err());
+        let mut o = SmartMlOptions::default();
+        o.budget = Budget::Trials(0);
+        assert!(o.validate().is_err());
+        let mut o = SmartMlOptions::default();
+        o.budget = Budget::Time(Duration::ZERO);
+        assert!(o.validate().is_err());
+        let mut o = SmartMlOptions::default();
+        o.trial_timeout = Some(Duration::ZERO);
+        assert!(o.validate().is_err());
+        let mut o = SmartMlOptions::default();
+        o.top_n_algorithms = 0;
+        assert!(o.validate().is_err());
     }
 }

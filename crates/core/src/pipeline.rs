@@ -1,15 +1,19 @@
 //! The SmartML pipeline: the five phases of paper Figure 1.
 
-use crate::budget::divide_budget;
+use crate::budget::{apportion_secs, apportion_trials, divide_budget};
 use crate::ensemble::WeightedEnsemble;
 use crate::interpret::permutation_importance_with;
 use crate::options::{Budget, SmartMlOptions};
-use crate::report::{AlgorithmTuning, BestModel, EnsembleReport, PhaseTrace, RunReport};
+use crate::report::{
+    AlgorithmFailures, AlgorithmTuning, BestModel, EnsembleReport, FailureReport, PhaseTrace,
+    RunReport,
+};
 use smartml_classifiers::{Algorithm, ParamConfig, TrainedModel};
-use smartml_data::{accuracy, train_valid_split, Dataset};
-use smartml_kb::{AlgorithmRun, KbBackend, KbError, KnowledgeBase, QueryOptions};
+use smartml_data::{accuracy, degenerate_metric_count, train_valid_split, Dataset};
+use smartml_kb::{AlgorithmRun, KbBackend, KbError, KnowledgeBase, QueryOptions, Recommendation};
 use smartml_metafeatures::{extract, landmarkers};
 use smartml_preprocess::{pipeline_from_ops, MutualInfoSelect, PreprocessError, Transform};
+use smartml_runtime::faults::{run_trial, GuardOutcome, TrialToken};
 use smartml_runtime::{Deadline, Pool};
 use smartml_smac::{ClassifierObjective, OptOptions, Optimizer, Smac};
 use std::sync::Arc;
@@ -24,6 +28,8 @@ pub enum SmartMlError {
     NoModel,
     /// The dataset is unusable (too small / single class).
     BadDataset(String),
+    /// The run options are malformed (rejected before any work starts).
+    BadOptions(String),
     /// The knowledge-base backend failed (durable store or remote server).
     Kb(KbError),
 }
@@ -34,6 +40,7 @@ impl std::fmt::Display for SmartMlError {
             SmartMlError::Preprocess(e) => write!(f, "preprocessing failed: {e}"),
             SmartMlError::NoModel => write!(f, "no algorithm produced a usable model"),
             SmartMlError::BadDataset(msg) => write!(f, "bad dataset: {msg}"),
+            SmartMlError::BadOptions(msg) => write!(f, "bad options: {msg}"),
             SmartMlError::Kb(e) => write!(f, "knowledge base failed: {e}"),
         }
     }
@@ -118,7 +125,10 @@ impl<B: KbBackend> SmartML<B> {
     /// Runs the full pipeline on a dataset.
     pub fn run(&mut self, data: &Dataset) -> Result<RunOutcome, SmartMlError> {
         let opts = self.options.clone();
+        opts.validate().map_err(SmartMlError::BadOptions)?;
         let mut phases: Vec<PhaseTrace> = Vec::new();
+        let mut kb_warnings: Vec<String> = Vec::new();
+        let degenerate_metrics_before = degenerate_metric_count();
 
         if data.n_rows() < 20 {
             return Err(SmartMlError::BadDataset(format!(
@@ -168,7 +178,10 @@ impl<B: KbBackend> SmartML<B> {
 
         // ------ Phase 3: algorithm selection ----------------------------
         let t = Instant::now();
-        let recommendation = self.kb.kb_recommend(
+        // A dead KB backend degrades the run to the cold-start portfolio
+        // (recorded as a warning) instead of aborting it: selection
+        // quality suffers, the user still gets a model.
+        let recommendation = match self.kb.kb_recommend(
             &meta_features,
             query_landmarkers.clone(),
             &QueryOptions {
@@ -177,7 +190,15 @@ impl<B: KbBackend> SmartML<B> {
                 performance_weight: 1.0,
                 use_landmarkers: opts.use_landmarkers,
             },
-        )?;
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                kb_warnings.push(format!(
+                    "KB recommendation unavailable ({e}); continuing with the cold-start portfolio"
+                ));
+                Recommendation { algorithms: Vec::new(), neighbors: Vec::new() }
+            }
+        };
         // Cold start (empty KB): fall back to a diverse default portfolio.
         let nominations: Vec<(Algorithm, f64, Vec<ParamConfig>)> =
             if recommendation.algorithms.is_empty() {
@@ -228,7 +249,10 @@ impl<B: KbBackend> SmartML<B> {
         // fold/surrogate level inside each optimiser; widths only affect
         // speed, never results.
         let inner_pool = Pool::new(pool.n_threads().div_ceil(tasks.len().max(1)));
-        let outcomes = pool.map_indexed(tasks, |_, (algorithm, score, warm_starts, share)| {
+        // Round 1: every algorithm tunes on its initial proportional
+        // share. Optimisers stop early when the circuit breaker trips
+        // (`breaker_threshold` consecutive faulted trials).
+        let mut round1 = pool.map_indexed(tasks, |_, (algorithm, score, warm_starts, share)| {
             let objective = ClassifierObjective::new_shared(
                 algorithm,
                 Arc::clone(&preprocessed),
@@ -251,46 +275,172 @@ impl<B: KbBackend> SmartML<B> {
                     initial_configs: warm_starts.clone(),
                     pool: inner_pool,
                     deadline: shared_deadline,
+                    trial_timeout: opts.trial_timeout,
+                    breaker_threshold: opts.breaker_threshold,
                 },
             );
-            // Refit the best configuration on the full training split and
-            // measure held-out validation accuracy.
-            let clf = algorithm.build(&result.best_config);
-            let finalist = match clf.fit(&preprocessed, &train_rows) {
-                Ok(model) => {
-                    let acc = accuracy(
-                        &preprocessed.labels_for(&valid_rows),
-                        &model.predict(&preprocessed, &valid_rows),
-                    );
-                    Some((algorithm, result.best_config.clone(), model, acc))
-                }
-                Err(_) => None,
-            };
-            let valid_acc = finalist.as_ref().map_or(0.0, |f| f.3);
-            let tune = AlgorithmTuning {
-                algorithm,
-                selection_score: score,
-                trials: result.history.len(),
-                best_cv_accuracy: result.best_score,
-                best_config: result.best_config,
-                validation_accuracy: valid_acc,
-                n_warm_starts: warm_starts.len(),
-            };
-            (tune, finalist)
+            (algorithm, score, warm_starts, share, result)
         });
+
+        // Circuit-breaker reallocation: budget a tripped algorithm left
+        // unused flows to the survivors by the same #params rule as the
+        // initial split. Trial budgets reapportion by largest remainder
+        // (nothing lost to rounding); serial time budgets move the unused
+        // seconds; under a shared concurrent deadline there is nothing to
+        // move — every survivor already owns the whole wall-clock window.
+        let tripped_count = round1.iter().filter(|r| r.4.tripped).count();
+        let survivors: Vec<Algorithm> =
+            round1.iter().filter(|r| !r.4.tripped).map(|r| r.0).collect();
+        let mut extra_trials: Vec<usize> = vec![0; round1.len()];
+        let mut extra_secs: Vec<f64> = vec![0.0; round1.len()];
+        if tripped_count > 0 && !survivors.is_empty() {
+            match opts.budget {
+                Budget::Trials(_) => {
+                    let freed: usize = round1
+                        .iter()
+                        .filter(|r| r.4.tripped)
+                        .map(|r| r.3.trials().unwrap_or(0).saturating_sub(r.4.history.len()))
+                        .sum();
+                    for (algorithm, extra) in apportion_trials(freed, &survivors) {
+                        if let Some(i) = round1.iter().position(|r| r.0 == algorithm) {
+                            extra_trials[i] = extra;
+                        }
+                    }
+                }
+                Budget::Time(_) if shared_deadline.is_some() => {}
+                Budget::Time(_) => {
+                    let freed: f64 = round1
+                        .iter()
+                        .filter(|r| r.4.tripped)
+                        .map(|r| {
+                            let share = r.3.duration().map_or(0.0, |d| d.as_secs_f64());
+                            let used = r.4.history.last().map_or(0.0, |t| t.elapsed_secs);
+                            (share - used).max(0.0)
+                        })
+                        .sum();
+                    for (algorithm, extra) in apportion_secs(freed, &survivors) {
+                        if let Some(i) = round1.iter().position(|r| r.0 == algorithm) {
+                            extra_secs[i] = extra;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Round 2: survivors spend the reallocated budget on a salted
+        // deterministic seed stream, warm-started from their round-1 best.
+        let round2_tasks: Vec<(usize, Algorithm, usize, f64, ParamConfig)> = round1
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| !r.4.tripped && (extra_trials[*i] > 0 || extra_secs[*i] > 0.05))
+            .map(|(i, r)| (i, r.0, extra_trials[i], extra_secs[i], r.4.best_config.clone()))
+            .collect();
+        let round2 = pool.map_indexed(round2_tasks, |_, (idx, algorithm, trials, secs, warm)| {
+            let objective = ClassifierObjective::new_shared(
+                algorithm,
+                Arc::clone(&preprocessed),
+                &train_rows,
+                opts.cv_folds,
+                opts.seed,
+            );
+            let (max_trials, wall_clock) = if trials > 0 {
+                (trials, None)
+            } else {
+                (usize::MAX, Some(Duration::from_secs_f64(secs)))
+            };
+            let result = Smac::default().optimize(
+                &algorithm.param_space(),
+                &objective,
+                &OptOptions {
+                    max_trials,
+                    wall_clock,
+                    seed: opts.seed ^ (algorithm as u64) << 8 ^ 0x9E37_79B9_7F4A_7C15,
+                    initial_configs: vec![warm],
+                    pool: inner_pool,
+                    deadline: shared_deadline,
+                    trial_timeout: opts.trial_timeout,
+                    breaker_threshold: opts.breaker_threshold,
+                },
+            );
+            (idx, result)
+        });
+        for (idx, r2) in round2 {
+            let r1 = &mut round1[idx].4;
+            if r2.history.iter().any(|t| t.is_success()) && r2.best_score > r1.best_score {
+                r1.best_score = r2.best_score;
+                r1.best_config = r2.best_config;
+            }
+            r1.failures.merge(&r2.failures);
+            r1.history.extend(r2.history);
+            r1.tripped = r1.tripped || r2.tripped;
+        }
+
+        // Refit each algorithm's best configuration on the full training
+        // split and measure held-out validation accuracy. The refit runs
+        // under the same guard as a trial: a panicking or overrunning
+        // refit loses its finalist slot instead of taking down the run.
+        let outcomes =
+            pool.map_indexed(round1, |i, (algorithm, score, warm_starts, _share, mut result)| {
+                let clf = algorithm.build(&result.best_config);
+                let token = TrialToken::bounded(opts.trial_timeout, Deadline::none());
+                let fit = run_trial(&token, || clf.fit(&preprocessed, &train_rows));
+                let finalist = match fit {
+                    GuardOutcome::Completed(Ok(model)) => {
+                        let acc = accuracy(
+                            &preprocessed.labels_for(&valid_rows),
+                            &model.predict(&preprocessed, &valid_rows),
+                        );
+                        Some((algorithm, result.best_config.clone(), model, acc))
+                    }
+                    GuardOutcome::Completed(Err(_)) => None,
+                    GuardOutcome::Panicked { .. } => {
+                        result.failures.panicked += 1;
+                        None
+                    }
+                    GuardOutcome::TimedOut { .. } => {
+                        result.failures.timed_out += 1;
+                        None
+                    }
+                };
+                let valid_acc = finalist.as_ref().map_or(0.0, |f| f.3);
+                let tune = AlgorithmTuning {
+                    algorithm,
+                    selection_score: score,
+                    trials: result.history.len(),
+                    best_cv_accuracy: result.best_score,
+                    best_config: result.best_config,
+                    validation_accuracy: valid_acc,
+                    n_warm_starts: warm_starts.len(),
+                };
+                let faults = AlgorithmFailures {
+                    algorithm,
+                    counts: result.failures,
+                    tripped: result.tripped,
+                    reallocated_trials: extra_trials[i],
+                    reallocated_secs: extra_secs[i],
+                };
+                (tune, finalist, faults)
+            });
         let mut tuning: Vec<AlgorithmTuning> = Vec::with_capacity(outcomes.len());
         let mut finalists: Vec<(Algorithm, ParamConfig, Box<dyn TrainedModel>, f64)> = Vec::new();
-        for (tune, finalist) in outcomes {
+        let mut algorithm_failures: Vec<AlgorithmFailures> = Vec::with_capacity(outcomes.len());
+        for (tune, finalist, faults) in outcomes {
             tuning.push(tune);
             finalists.extend(finalist);
+            algorithm_failures.push(faults);
         }
         phases.push(PhaseTrace {
             phase: "Hyper-parameter Tuning".into(),
             secs: t.elapsed().as_secs_f64(),
             detail: format!(
-                "budget {:?} divided by #params -> {} trials total",
+                "budget {:?} divided by #params -> {} trials total{}",
                 opts.budget,
-                tuning.iter().map(|t| t.trials).sum::<usize>()
+                tuning.iter().map(|t| t.trials).sum::<usize>(),
+                if tripped_count > 0 {
+                    format!(", {tripped_count} breaker(s) tripped")
+                } else {
+                    String::new()
+                }
             ),
         });
 
@@ -364,23 +514,36 @@ impl<B: KbBackend> SmartML<B> {
             None
         };
 
-        // Continuous KB update (Figure 1's "Update" arrow).
+        // Continuous KB update (Figure 1's "Update" arrow). A failing
+        // backend costs the KB this run's observations — worth a warning,
+        // never the run itself.
         if opts.update_kb {
-            for tune in &tuning {
-                self.kb.kb_record_run(
-                    &data.name,
-                    &meta_features,
-                    AlgorithmRun {
-                        algorithm: tune.algorithm,
-                        config: tune.best_config.clone(),
-                        accuracy: tune.validation_accuracy,
-                    },
-                )?;
-            }
-            if let Some(marks) = query_landmarkers {
-                self.kb.kb_set_landmarkers(&data.name, marks)?;
+            'update: {
+                for tune in &tuning {
+                    if let Err(e) = self.kb.kb_record_run(
+                        &data.name,
+                        &meta_features,
+                        AlgorithmRun {
+                            algorithm: tune.algorithm,
+                            config: tune.best_config.clone(),
+                            accuracy: tune.validation_accuracy,
+                        },
+                    ) {
+                        kb_warnings.push(format!(
+                            "KB update failed ({e}); this run's results were not recorded"
+                        ));
+                        break 'update;
+                    }
+                }
+                if let Some(marks) = query_landmarkers {
+                    if let Err(e) = self.kb.kb_set_landmarkers(&data.name, marks) {
+                        kb_warnings
+                            .push(format!("KB landmarker update failed ({e})"));
+                    }
+                }
             }
         }
+        kb_warnings.extend(self.kb.kb_health_warnings());
         phases.push(PhaseTrace {
             phase: "Output & KB Update".into(),
             secs: t.elapsed().as_secs_f64(),
@@ -392,6 +555,23 @@ impl<B: KbBackend> SmartML<B> {
                 self.kb.kb_n_runs()
             ),
         });
+
+        let metric_warnings = {
+            let coerced = degenerate_metric_count().saturating_sub(degenerate_metrics_before);
+            if coerced > 0 {
+                vec![format!(
+                    "{coerced} degenerate metric evaluation(s) (empty fold or no supported \
+                     class) coerced to 0.0"
+                )]
+            } else {
+                Vec::new()
+            }
+        };
+        let failures = FailureReport {
+            algorithms: algorithm_failures,
+            kb_warnings,
+            metric_warnings,
+        };
 
         // Every objective (and its Arc clone) is gone by now; only the
         // clone fallback runs if a caller-side reference still lives.
@@ -408,6 +588,7 @@ impl<B: KbBackend> SmartML<B> {
             best,
             ensemble: ensemble_report,
             importance,
+            failures,
         };
         Ok(RunOutcome {
             report,
@@ -442,10 +623,6 @@ pub fn default_portfolio(n: usize) -> Vec<Algorithm> {
     ];
     PRIORITY.iter().copied().take(n.clamp(1, 15)).collect()
 }
-
-// `Duration` is used by the time-budget match arm via options::Budget.
-#[allow(unused)]
-fn _assert_duration_in_scope(_: Duration) {}
 
 #[cfg(test)]
 mod tests {

@@ -5,6 +5,7 @@ use crate::interpret::FeatureImportance;
 use serde::{Deserialize, Serialize};
 use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_metafeatures::MetaFeatures;
+use smartml_smac::FailureCounts;
 
 /// Timing + detail for one pipeline phase (Figure 1 trace).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -56,6 +57,65 @@ pub struct EnsembleReport {
     pub validation_accuracy: f64,
 }
 
+/// Fault accounting for one tuned algorithm.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgorithmFailures {
+    /// The algorithm.
+    pub algorithm: Algorithm,
+    /// Trial counts per outcome kind (ok / non-finite / panicked /
+    /// timed-out / infeasible).
+    pub counts: FailureCounts,
+    /// True when the circuit breaker tripped (K consecutive faults) and
+    /// tuning stopped early.
+    pub tripped: bool,
+    /// Extra trials this algorithm received from tripped peers.
+    #[serde(default)]
+    pub reallocated_trials: usize,
+    /// Extra wall-clock seconds this algorithm received from tripped peers.
+    #[serde(default)]
+    pub reallocated_secs: f64,
+}
+
+/// The `failures` section of a run report: what went wrong, what was
+/// contained, and where freed budget went.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Per-algorithm fault accounting, same order as `tuning`.
+    #[serde(default)]
+    pub algorithms: Vec<AlgorithmFailures>,
+    /// Knowledge-base degradations (backend down, retries exhausted, …);
+    /// the run continued on the in-memory fallback.
+    #[serde(default)]
+    pub kb_warnings: Vec<String>,
+    /// Metric degradations (empty validation fold, single-class
+    /// predictions) that were coerced to defined values.
+    #[serde(default)]
+    pub metric_warnings: Vec<String>,
+}
+
+impl FailureReport {
+    /// True when nothing failed anywhere — the section can be omitted
+    /// from rendered output.
+    pub fn is_clean(&self) -> bool {
+        self.kb_warnings.is_empty()
+            && self.metric_warnings.is_empty()
+            && self
+                .algorithms
+                .iter()
+                .all(|a| !a.tripped && a.counts.total_failures() == 0)
+    }
+
+    /// Total faulted trials (panics + timeouts + non-finite) across all
+    /// algorithms — what the fault-injection harness reconciles against
+    /// its injection counters.
+    pub fn total_faults(&self) -> usize {
+        self.algorithms
+            .iter()
+            .map(|a| a.counts.panicked + a.counts.timed_out + a.counts.non_finite)
+            .sum()
+    }
+}
+
 /// Full report of one SmartML run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -81,6 +141,10 @@ pub struct RunReport {
     pub ensemble: Option<EnsembleReport>,
     /// Permutation feature importance of the winner, when requested.
     pub importance: Option<Vec<FeatureImportance>>,
+    /// Fault accounting: contained failures, tripped breakers, budget
+    /// reallocation, KB/metric degradations. Empty on a clean run.
+    #[serde(default)]
+    pub failures: FailureReport,
 }
 
 impl RunReport {
@@ -130,6 +194,36 @@ impl RunReport {
             out.push_str("  Feature importance (permutation):\n");
             for fi in imp.iter().take(10) {
                 out.push_str(&format!("    {:<20} {:+.4}\n", fi.feature, fi.importance));
+            }
+        }
+        if !self.failures.is_clean() {
+            out.push_str("  Failures (contained):\n");
+            for af in &self.failures.algorithms {
+                if !af.tripped && af.counts.total_failures() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "    {:<14} panicked={} timed_out={} non_finite={} infeasible={}{}",
+                    af.algorithm.paper_name(),
+                    af.counts.panicked,
+                    af.counts.timed_out,
+                    af.counts.non_finite,
+                    af.counts.failed,
+                    if af.tripped { "  [breaker tripped]" } else { "" },
+                ));
+                if af.reallocated_trials > 0 {
+                    out.push_str(&format!("  (+{} reallocated trials)", af.reallocated_trials));
+                }
+                if af.reallocated_secs > 0.0 {
+                    out.push_str(&format!("  (+{:.2}s reallocated)", af.reallocated_secs));
+                }
+                out.push('\n');
+            }
+            for w in &self.failures.kb_warnings {
+                out.push_str(&format!("    kb: {w}\n"));
+            }
+            for w in &self.failures.metric_warnings {
+                out.push_str(&format!("    metric: {w}\n"));
             }
         }
         out
@@ -186,6 +280,39 @@ impl RunReport {
                 out.push_str(&format!("| {} | {:+.4} |\n", fi.feature, fi.importance));
             }
         }
+        if !self.failures.is_clean() {
+            out.push_str(
+                "\n### Failures (contained)\n\n| algorithm | panicked | timed out | non-finite | infeasible | breaker | reallocated |\n|---|---:|---:|---:|---:|---|---|\n",
+            );
+            for af in &self.failures.algorithms {
+                if !af.tripped && af.counts.total_failures() == 0 {
+                    continue;
+                }
+                let realloc = if af.reallocated_trials > 0 {
+                    format!("+{} trials", af.reallocated_trials)
+                } else if af.reallocated_secs > 0.0 {
+                    format!("+{:.2}s", af.reallocated_secs)
+                } else {
+                    "—".to_string()
+                };
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {} |\n",
+                    af.algorithm.paper_name(),
+                    af.counts.panicked,
+                    af.counts.timed_out,
+                    af.counts.non_finite,
+                    af.counts.failed,
+                    if af.tripped { "tripped" } else { "—" },
+                    realloc,
+                ));
+            }
+            for w in &self.failures.kb_warnings {
+                out.push_str(&format!("\n> kb: {w}\n"));
+            }
+            for w in &self.failures.metric_warnings {
+                out.push_str(&format!("\n> metric: {w}\n"));
+            }
+        }
         out
     }
 }
@@ -216,6 +343,7 @@ mod tests {
             },
             ensemble: None,
             importance: None,
+            failures: FailureReport::default(),
         }
     }
 
@@ -242,5 +370,51 @@ mod tests {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.dataset, "toy");
         assert_eq!(back.best.algorithm, Algorithm::Knn);
+    }
+
+    #[test]
+    fn legacy_reports_without_failures_still_deserialize() {
+        // Pre-fault-containment JSON has no `failures` key.
+        let json = serde_json::to_string(&dummy_report()).unwrap();
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        match &mut value {
+            serde_json::Value::Object(pairs) => pairs.retain(|(k, _)| k != "failures"),
+            other => panic!("report serialises to an object, got {other:?}"),
+        }
+        let stripped = serde_json::to_string(&value).unwrap();
+        let back: RunReport = serde_json::from_str(&stripped).unwrap();
+        assert!(back.failures.is_clean());
+    }
+
+    #[test]
+    fn failure_section_renders_when_dirty() {
+        let mut report = dummy_report();
+        report.failures.algorithms.push(AlgorithmFailures {
+            algorithm: Algorithm::Svm,
+            counts: FailureCounts { ok: 3, panicked: 2, timed_out: 1, ..Default::default() },
+            tripped: true,
+            reallocated_trials: 0,
+            reallocated_secs: 0.0,
+        });
+        report.failures.algorithms.push(AlgorithmFailures {
+            algorithm: Algorithm::Knn,
+            counts: FailureCounts { ok: 9, ..Default::default() },
+            tripped: false,
+            reallocated_trials: 6,
+            reallocated_secs: 0.0,
+        });
+        report.failures.kb_warnings.push("backend down".into());
+        assert!(!report.failures.is_clean());
+        assert_eq!(report.failures.total_faults(), 3);
+        let text = report.render();
+        assert!(text.contains("Failures (contained)"));
+        assert!(text.contains("[breaker tripped]"));
+        assert!(text.contains("kb: backend down"));
+        let md = report.render_markdown();
+        assert!(md.contains("### Failures (contained)"));
+        assert!(md.contains("| SVM | 2 | 1 |"));
+        // A clean report omits the section entirely.
+        let clean = dummy_report();
+        assert!(!clean.render().contains("Failures"));
     }
 }

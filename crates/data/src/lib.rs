@@ -15,5 +15,7 @@ pub mod split;
 pub mod synth;
 
 pub use dataset::{Dataset, DatasetError, Feature};
-pub use metrics::{accuracy, balanced_accuracy, confusion_matrix, log_loss, macro_f1};
+pub use metrics::{
+    accuracy, balanced_accuracy, confusion_matrix, degenerate_metric_count, log_loss, macro_f1,
+};
 pub use split::{kfold_indices, stratified_kfold, train_valid_split};

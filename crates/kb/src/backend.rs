@@ -62,6 +62,14 @@ pub trait KbBackend: Send {
 
     /// Short human-readable description for run traces and CLI banners.
     fn kb_describe(&self) -> String;
+
+    /// Drains health warnings the backend accumulated (reconnects, retry
+    /// storms, degraded modes) so the run report can surface them. Local
+    /// backends have nothing to say; remote backends log their backoff
+    /// schedules here.
+    fn kb_health_warnings(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl<T: KbBackend + ?Sized> KbBackend for Box<T> {
@@ -101,6 +109,10 @@ impl<T: KbBackend + ?Sized> KbBackend for Box<T> {
 
     fn kb_describe(&self) -> String {
         (**self).kb_describe()
+    }
+
+    fn kb_health_warnings(&self) -> Vec<String> {
+        (**self).kb_health_warnings()
     }
 }
 

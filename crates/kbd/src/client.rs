@@ -2,8 +2,17 @@
 //!
 //! One TCP connection, reused across requests and transparently
 //! re-established after a server restart (a stale-connection failure is
-//! retried exactly once on a fresh socket). All calls block; timeouts
-//! come from a [`Deadline`] per request.
+//! retried once on a fresh socket, for free). Beyond that, every request
+//! — including the connect — gets a bounded number of attempts separated
+//! by deterministic exponential backoff with jitter ([`RetryPolicy`]),
+//! and every retry is logged so the run report can surface the backoff
+//! schedule via [`KbClient::health_warnings`]. All calls block; timeouts
+//! come from a [`Deadline`] per attempt.
+//!
+//! Writes (`record_run`, `set_landmarkers`) are retried too, so they are
+//! at-least-once under a mid-response server death: the server may have
+//! applied a write whose acknowledgement was lost. KB records are
+//! observations, not ledger entries — a duplicate is harmless.
 
 use crate::protocol::{KbStats, Request, Response};
 use smartml_kb::{
@@ -16,6 +25,64 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// Bounded retry with deterministic exponential backoff plus jitter.
+///
+/// The jitter is a pure function of `(seed, retry index)`, so a given
+/// policy always produces the same backoff schedule — reproducible runs,
+/// no thundering-herd alignment between clients with different seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request, including the first (`1` = no retries).
+    pub max_attempts: usize,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub base_delay: Duration,
+    /// Cap applied to every backoff.
+    pub max_delay: Duration,
+    /// Jitter fraction: each delay is stretched by `[0, jitter)` of
+    /// itself, deterministically.
+    pub jitter: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter: 0.25,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The backoff before retry number `retry` (1-based): exponential in
+    /// `retry`, jittered, capped at `max_delay`. Pure — same inputs, same
+    /// delay.
+    pub fn backoff(&self, retry: usize) -> Duration {
+        let doublings = retry.saturating_sub(1).min(20) as i32;
+        let exp = self.base_delay.as_secs_f64() * 2f64.powi(doublings);
+        let jitter = unit(self.seed, retry as u64) * self.jitter.clamp(0.0, 1.0);
+        let secs = (exp * (1.0 + jitter)).min(self.max_delay.as_secs_f64());
+        Duration::from_secs_f64(secs.max(0.0))
+    }
+}
+
+/// SplitMix64-style hash of `(seed, n)` folded into `[0, 1)`.
+fn unit(seed: u64, n: u64) -> f64 {
+    let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+}
+
 struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
@@ -26,24 +93,56 @@ struct Conn {
 pub struct KbClient {
     addr: String,
     timeout: Option<Duration>,
+    retry: RetryPolicy,
     conn: Mutex<Option<Conn>>,
+    events: Mutex<Vec<String>>,
 }
 
+/// Retry-log entries kept before older ones are dropped.
+const MAX_EVENTS: usize = 64;
+
 impl KbClient {
-    /// A client for `host:port` with a 10-second per-request timeout.
+    /// A client for `host:port` with a 10-second per-request timeout and
+    /// the default retry policy (3 attempts, 50 ms base backoff).
     pub fn connect(addr: impl Into<String>) -> KbClient {
         KbClient::with_timeout(addr, Some(Duration::from_secs(10)))
     }
 
-    /// A client with an explicit per-request timeout (`None` = wait
+    /// A client with an explicit per-attempt timeout (`None` = wait
     /// forever). No I/O happens until the first request.
     pub fn with_timeout(addr: impl Into<String>, timeout: Option<Duration>) -> KbClient {
-        KbClient { addr: addr.into(), timeout, conn: Mutex::new(None) }
+        KbClient {
+            addr: addr.into(),
+            timeout,
+            retry: RetryPolicy::default(),
+            conn: Mutex::new(None),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Replaces the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> KbClient {
+        self.retry = retry;
+        self
     }
 
     /// The server address this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Drains the retry/degradation log: one entry per backed-off retry
+    /// or exhausted request since the last call. The pipeline folds these
+    /// into the run report's `failures.kb_warnings`.
+    pub fn health_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut *self.events.lock().expect("client event log poisoned"))
+    }
+
+    fn note(&self, message: String) {
+        let mut events = self.events.lock().expect("client event log poisoned");
+        if events.len() < MAX_EVENTS {
+            events.push(message);
+        }
     }
 
     fn open(&self, deadline: Deadline) -> Result<Conn, KbError> {
@@ -90,48 +189,96 @@ impl KbClient {
                 "server closed the connection",
             ));
         }
+        // A line without its terminating '\n' means the server died
+        // mid-response (read_line hit EOF partway through). Surfacing it
+        // as I/O — not as a JSON parse error later — keeps it retryable.
+        if !response.ends_with('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("server died mid-response ({} bytes of partial reply)", response.len()),
+            ));
+        }
         Ok(response)
     }
 
-    /// Sends one request and parses the response. A failure on a *reused*
-    /// connection (e.g. the server restarted) is retried once on a fresh
-    /// one; failures on a fresh connection surface immediately.
+    /// Sends one request and parses the response.
+    ///
+    /// Failures are handled in two layers. A failure on a *reused*
+    /// connection (e.g. the server restarted between requests) is retried
+    /// once on a fresh socket for free — that is a stale socket, not a
+    /// sick server. Beyond that, connect and round-trip failures consume
+    /// the [`RetryPolicy`] budget: up to `max_attempts` tries separated
+    /// by deterministic backoff, each retry logged to the health log. A
+    /// *parseable* error reply or malformed JSON is never retried — the
+    /// server answered; asking again won't change its mind.
     pub fn request(&self, request: &Request) -> Result<Response, KbError> {
         let line = serde_json::to_string(request)
             .map_err(|e| KbError::Backend(format!("request serialisation failed: {e}")))?;
-        let deadline = match self.timeout {
-            Some(t) => Deadline::after(t),
-            None => Deadline::none(),
-        };
         let mut guard = self.conn.lock().expect("client connection poisoned");
-        let reused = guard.is_some();
-        if guard.is_none() {
-            *guard = Some(self.open(deadline)?);
-        }
-        let conn = guard.as_mut().expect("connection just ensured");
-        let text = match Self::round_trip(conn, &line, deadline) {
-            Ok(text) => text,
-            Err(first) => {
-                *guard = None; // drop the stale socket
-                if !reused {
-                    return Err(KbError::Backend(format!(
-                        "smartmld request failed: {first}"
-                    )));
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut stale_retry_spent = false;
+        let mut last_err = String::new();
+        let mut attempt = 1;
+        while attempt <= max_attempts {
+            let deadline = match self.timeout {
+                Some(t) => Deadline::after(t),
+                None => Deadline::none(),
+            };
+            let reused = guard.is_some();
+            let sent = match guard.as_mut() {
+                Some(conn) => Self::round_trip(conn, &line, deadline).map_err(|e| e.to_string()),
+                None => match self.open(deadline) {
+                    Ok(mut fresh) => {
+                        let sent = Self::round_trip(&mut fresh, &line, deadline)
+                            .map_err(|e| e.to_string());
+                        if sent.is_ok() {
+                            *guard = Some(fresh);
+                        }
+                        sent
+                    }
+                    Err(e) => Err(e.to_string()),
+                },
+            };
+            match sent {
+                Ok(text) => {
+                    let response: Response = serde_json::from_str(text.trim()).map_err(|e| {
+                        KbError::Backend(format!("bad response from server: {e}"))
+                    })?;
+                    if let Response::Error { message } = response {
+                        return Err(KbError::Backend(message));
+                    }
+                    return Ok(response);
                 }
-                let mut fresh = self.open(deadline)?;
-                let text = Self::round_trip(&mut fresh, &line, deadline).map_err(|e| {
-                    KbError::Backend(format!("smartmld request failed after retry: {e}"))
-                })?;
-                *guard = Some(fresh);
-                text
+                Err(e) => {
+                    *guard = None; // drop the broken socket
+                    if reused && !stale_retry_spent {
+                        // Server restart between requests: one immediate
+                        // reconnect is free, outside the retry budget.
+                        stale_retry_spent = true;
+                        last_err = format!("{e} (stale connection)");
+                        continue;
+                    }
+                    last_err = e;
+                    if attempt < max_attempts {
+                        let delay = self.retry.backoff(attempt);
+                        self.note(format!(
+                            "smartmld at {} failed (attempt {attempt}/{max_attempts}): \
+                             {last_err}; backing off {delay:?}",
+                            self.addr
+                        ));
+                        std::thread::sleep(delay);
+                    }
+                    attempt += 1;
+                }
             }
-        };
-        let response: Response = serde_json::from_str(text.trim())
-            .map_err(|e| KbError::Backend(format!("bad response from server: {e}")))?;
-        if let Response::Error { message } = response {
-            return Err(KbError::Backend(message));
         }
-        Ok(response)
+        self.note(format!(
+            "smartmld at {} unreachable, gave up after {max_attempts} attempt(s): {last_err}",
+            self.addr
+        ));
+        Err(KbError::Backend(format!(
+            "smartmld request failed after {max_attempts} attempt(s): {last_err}"
+        )))
     }
 
     /// Nominate algorithms for a meta-feature vector.
@@ -261,5 +408,113 @@ impl KbBackend for KbClient {
 
     fn kb_describe(&self) -> String {
         format!("smartmld@{}", self.addr)
+    }
+
+    fn kb_health_warnings(&self) -> Vec<String> {
+        self.health_warnings()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn fast_retry(max_attempts: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy::default();
+        let first: Vec<Duration> = (1..=6).map(|r| policy.backoff(r)).collect();
+        let again: Vec<Duration> = (1..=6).map(|r| policy.backoff(r)).collect();
+        assert_eq!(first, again, "same policy must yield the same schedule");
+        for (i, delay) in first.iter().enumerate() {
+            let retry = i + 1;
+            let floor = policy.base_delay.as_secs_f64() * 2f64.powi(i as i32);
+            assert!(
+                delay.as_secs_f64() >= floor.min(policy.max_delay.as_secs_f64()) - 1e-9,
+                "retry {retry} below its exponential floor: {delay:?}"
+            );
+            assert!(*delay <= policy.max_delay, "retry {retry} above the cap: {delay:?}");
+        }
+        assert!(first[1] > first[0], "backoff must grow before the cap");
+        assert_ne!(
+            policy.backoff(1),
+            RetryPolicy { seed: 7, ..policy.clone() }.backoff(1),
+            "different seeds must de-align their jitter"
+        );
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    /// The kill -9 moment: the server emits part of a reply, then its
+    /// process dies and the socket closes without the trailing newline.
+    /// The client must treat that as a retryable failure, back off, and
+    /// succeed against the restarted server — with the schedule logged.
+    #[test]
+    fn mid_response_server_death_is_retried_with_backoff_logged() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = thread::spawn(move || {
+            // Connection 1: read the request, die mid-response. Both the
+            // stream and its reader clone must drop for the FIN to go out.
+            {
+                let (mut stream, _) = listener.accept().expect("accept 1");
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let mut line = String::new();
+                reader.read_line(&mut line).expect("read request");
+                stream.write_all(b"{\"status\":\"po").expect("partial write");
+                stream.flush().expect("flush");
+            }
+            // Connection 2: the restarted server answers properly.
+            let (mut stream, _) = listener.accept().expect("accept 2");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            stream.write_all(b"{\"status\":\"pong\"}\n").expect("full write");
+        });
+
+        let client = KbClient::with_timeout(&addr, Some(Duration::from_secs(5)))
+            .with_retry(fast_retry(3));
+        client.ping().expect("retry must recover from a mid-response death");
+        server.join().expect("server thread");
+
+        let warnings = client.health_warnings();
+        assert_eq!(warnings.len(), 1, "one backed-off retry expected: {warnings:?}");
+        assert!(
+            warnings[0].contains("mid-response") && warnings[0].contains("backing off"),
+            "warning must name the failure and the backoff: {}",
+            warnings[0]
+        );
+        assert!(client.health_warnings().is_empty(), "draining must clear the log");
+    }
+
+    #[test]
+    fn dead_server_exhausts_bounded_attempts() {
+        // Bind then drop: a port with (almost certainly) no listener.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        drop(listener);
+
+        let client = KbClient::with_timeout(&addr, Some(Duration::from_millis(250)))
+            .with_retry(fast_retry(2));
+        let err = client.ping().expect_err("no server must mean an error");
+        assert!(
+            err.to_string().contains("after 2 attempt"),
+            "error must report the attempt budget: {err}"
+        );
+        let warnings = client.health_warnings();
+        assert!(
+            warnings.iter().any(|w| w.contains("gave up")),
+            "exhaustion must be logged: {warnings:?}"
+        );
     }
 }

@@ -1,0 +1,762 @@
+//! Fault containment for trial execution.
+//!
+//! SmartML's Phase-4 loop evaluates hundreds of classifier fits under a
+//! shared time budget; the original R package survives misbehaving CRAN
+//! fits with `try()`. This module is the Rust analogue, built from three
+//! pieces:
+//!
+//! 1. [`TrialToken`] — a shareable per-trial cancellation + deadline
+//!    token. Long-running fits poll it (directly, or through the
+//!    scoped thread-local read by [`trial_should_stop`]) and abandon
+//!    work once the trial is cancelled or overruns its deadline.
+//! 2. A **watchdog thread** — a single lazy background thread that
+//!    marks overrunning registered tokens as timed out, so even a fit
+//!    that only polls the cheap atomic flag notices the overrun.
+//! 3. [`run_trial`] — the guard: runs a closure under
+//!    [`std::panic::catch_unwind`] with the token installed in the
+//!    thread-local scope, and classifies the result as completed,
+//!    panicked (with the originating site), or timed out.
+//!
+//! The companion [`fail`] module is a deterministic, seed-driven
+//! fail-point registry. It compiles to a no-op unless the
+//! `fault-injection` cargo feature is enabled, and is the standing
+//! harness for robustness tests: `fail::trigger("site", seed)` calls are
+//! sprinkled through the hot trial path and only come alive when a test
+//! arms a [`fail::FaultPlan`].
+//!
+//! Everything here is deterministic-by-construction: with no deadline
+//! and the feature off, a guarded trial behaves bit-identically to an
+//! unguarded call.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+use crate::Deadline;
+
+// ---------------------------------------------------------------------------
+// TrialToken
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct TokenInner {
+    /// Absolute cutoff; `None` = unbounded.
+    deadline: Option<Instant>,
+    /// Explicit caller-side cancellation.
+    cancelled: AtomicBool,
+    /// Latched once the deadline passes (set by the watchdog or by the
+    /// first `should_stop` poll past the deadline).
+    timed_out: AtomicBool,
+    /// When the trial started (for `elapsed` in timeout reports).
+    started: Instant,
+}
+
+/// A shareable cancellation + deadline token for one trial.
+///
+/// Cloning shares the same underlying state; a fit running on a worker
+/// thread and the optimiser that launched it observe identical flags.
+#[derive(Debug, Clone)]
+pub struct TrialToken {
+    inner: Arc<TokenInner>,
+}
+
+impl TrialToken {
+    /// A token with no deadline: `should_stop` is false until `cancel`.
+    pub fn unbounded() -> TrialToken {
+        TrialToken::build(None)
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> TrialToken {
+        TrialToken::build(Some(Instant::now() + timeout))
+    }
+
+    /// A token bounded by the earlier of `timeout` from now (if any) and
+    /// an absolute [`Deadline`] (if set). Used by optimisers whose trials
+    /// carry both a per-trial watchdog timeout and a shared run cutoff.
+    pub fn bounded(timeout: Option<Duration>, deadline: Deadline) -> TrialToken {
+        let now = Instant::now();
+        let a = timeout.map(|t| now + t);
+        let b = deadline.instant();
+        let earliest = match (a, b) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        };
+        TrialToken::build(earliest)
+    }
+
+    fn build(deadline: Option<Instant>) -> TrialToken {
+        let token = TrialToken {
+            inner: Arc::new(TokenInner {
+                deadline,
+                cancelled: AtomicBool::new(false),
+                timed_out: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        };
+        if deadline.is_some() {
+            watchdog_register(&token);
+        }
+        token
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once `cancel` was called.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// True once the deadline passed (latched; set by the watchdog or by
+    /// the first poll that observes the overrun).
+    pub fn timed_out(&self) -> bool {
+        if self.inner.timed_out.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(t) if Instant::now() >= t => {
+                self.inner.timed_out.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// True when the watchdog (not a self-poll) has already marked this
+    /// token — i.e. without touching the clock.
+    pub fn marked_timed_out(&self) -> bool {
+        self.inner.timed_out.load(Ordering::Acquire)
+    }
+
+    /// The cooperative stop signal long-running fits poll.
+    pub fn should_stop(&self) -> bool {
+        self.is_cancelled() || self.timed_out()
+    }
+
+    /// Time since the token was created.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+}
+
+impl Default for TrialToken {
+    fn default() -> TrialToken {
+        TrialToken::unbounded()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+struct WatchdogState {
+    queue: Mutex<Vec<Weak<TokenInner>>>,
+    wake: Condvar,
+}
+
+fn watchdog_state() -> &'static WatchdogState {
+    static STATE: OnceLock<WatchdogState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let state = WatchdogState { queue: Mutex::new(Vec::new()), wake: Condvar::new() };
+        std::thread::Builder::new()
+            .name("smartml-watchdog".into())
+            .spawn(watchdog_loop)
+            .expect("spawn watchdog thread");
+        state
+    })
+}
+
+/// Registers a deadline-bearing token with the global watchdog thread,
+/// which will latch its `timed_out` flag once the deadline passes. The
+/// watchdog holds only a `Weak` reference: dropped tokens are pruned, so
+/// registration never leaks.
+fn watchdog_register(token: &TrialToken) {
+    let state = watchdog_state();
+    let mut queue = state.queue.lock().expect("watchdog queue");
+    queue.push(Arc::downgrade(&token.inner));
+    state.wake.notify_one();
+}
+
+fn watchdog_loop() {
+    let state = watchdog_state();
+    let mut queue = state.queue.lock().expect("watchdog queue");
+    loop {
+        // Prune finished tokens: dropped, already marked, or cancelled.
+        queue.retain(|w| {
+            w.upgrade().is_some_and(|t| {
+                !t.timed_out.load(Ordering::Acquire) && !t.cancelled.load(Ordering::Acquire)
+            })
+        });
+        if queue.is_empty() {
+            queue = state.wake.wait(queue).expect("watchdog wait");
+            continue;
+        }
+        let now = Instant::now();
+        for w in queue.iter() {
+            if let Some(t) = w.upgrade() {
+                if t.deadline.is_some_and(|d| now >= d) {
+                    t.timed_out.store(true, Ordering::Release);
+                }
+            }
+        }
+        // 2ms scan granularity while any trial is in flight; parked on
+        // the condvar (zero cost) whenever the queue is empty.
+        let (q, _) = state
+            .wake
+            .wait_timeout(queue, Duration::from_millis(2))
+            .expect("watchdog wait");
+        queue = q;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped current-trial token (what classifier fits poll)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT_TOKEN: Cell<Option<&'static TokenInner>> = const { Cell::new(None) };
+    /// Depth of guarded trials on this thread; a non-zero depth silences
+    /// the panic hook (the guard reports the panic through the outcome
+    /// taxonomy instead of stderr).
+    static TRIAL_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII scope that installs `token` as the thread's current trial.
+struct TrialScope {
+    prev: Option<&'static TokenInner>,
+}
+
+impl TrialScope {
+    fn enter(token: &TrialToken) -> TrialScope {
+        // The reference handed to the thread-local is derived from an
+        // `Arc` clone leaked *for the duration of the scope only*: we
+        // hold the clone in the scope and restore on drop, so the
+        // 'static lifetime never outlives the guard (the Cell is plain
+        // data, it cannot hold a lifetime).
+        let raw: &'static TokenInner =
+            unsafe { &*(Arc::as_ptr(&token.inner) as *const TokenInner) };
+        let prev = CURRENT_TOKEN.with(|c| c.replace(Some(raw)));
+        TRIAL_DEPTH.with(|d| d.set(d.get() + 1));
+        TrialScope { prev }
+    }
+}
+
+impl Drop for TrialScope {
+    fn drop(&mut self) {
+        CURRENT_TOKEN.with(|c| c.set(self.prev));
+        TRIAL_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+/// Polls the current trial's stop signal from anywhere below the guard on
+/// the same thread — the hook long-running classifier fits (forest
+/// growing, SMO passes, NN epochs) call each iteration. Returns `false`
+/// when no guarded trial is active, so fits outside a trial (e.g. the
+/// final refit) never stop early.
+pub fn trial_should_stop() -> bool {
+    CURRENT_TOKEN.with(|c| match c.get() {
+        None => false,
+        Some(inner) => {
+            if inner.cancelled.load(Ordering::Acquire)
+                || inner.timed_out.load(Ordering::Acquire)
+            {
+                return true;
+            }
+            match inner.deadline {
+                Some(t) if Instant::now() >= t => {
+                    inner.timed_out.store(true, Ordering::Release);
+                    true
+                }
+                _ => false,
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Guard
+// ---------------------------------------------------------------------------
+
+/// How a guarded trial ended.
+#[derive(Debug)]
+pub enum GuardOutcome<T> {
+    /// The closure returned within its deadline.
+    Completed(T),
+    /// The closure panicked; `site` is the fail-point site or panic
+    /// message that identifies where.
+    Panicked {
+        /// Where the panic originated.
+        site: String,
+    },
+    /// The trial overran its deadline (whether or not a value was
+    /// eventually produced — an overrunning result is not trustworthy
+    /// under a time-budget race and is discarded).
+    TimedOut {
+        /// Time the trial had consumed when classified.
+        elapsed: Duration,
+    },
+}
+
+impl<T> GuardOutcome<T> {
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<T> {
+        match self {
+            GuardOutcome::Completed(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Silences the default panic printer for panics that unwind inside a
+/// guarded trial: the guard catches and classifies them, so the noise on
+/// stderr would only drown real diagnostics. Panics outside any guard
+/// are passed through to the previous hook untouched.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if TRIAL_DEPTH.with(|d| d.get()) == 0 {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Extracts a human-readable site from a caught panic payload.
+fn panic_site(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(injected) = payload.downcast_ref::<fail::InjectedPanic>() {
+        return injected.site.to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "unknown panic payload".to_string()
+}
+
+/// Runs `f` as a fault-contained trial under `token`.
+///
+/// - Panics inside `f` are caught and classified as
+///   [`GuardOutcome::Panicked`]; waiting threads, caches and pool
+///   workers never see the unwind.
+/// - If the token's deadline passes (marked by the watchdog thread or
+///   observed by a poll), the trial is classified as
+///   [`GuardOutcome::TimedOut`] — including when `f` limps to a value
+///   after the cutoff.
+/// - With an unbounded token and no panic the behaviour (and the
+///   result) is bit-identical to calling `f()` directly.
+pub fn run_trial<T>(token: &TrialToken, f: impl FnOnce() -> T) -> GuardOutcome<T> {
+    if token.should_stop() {
+        return GuardOutcome::TimedOut { elapsed: token.elapsed() };
+    }
+    install_quiet_hook();
+    let result = {
+        let _scope = TrialScope::enter(token);
+        panic::catch_unwind(AssertUnwindSafe(f))
+    };
+    match result {
+        Err(payload) => GuardOutcome::Panicked { site: panic_site(payload) },
+        Ok(_) if token.should_stop() && !token.is_cancelled() => {
+            GuardOutcome::TimedOut { elapsed: token.elapsed() }
+        }
+        Ok(value) => GuardOutcome::Completed(value),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fail-point registry
+// ---------------------------------------------------------------------------
+
+/// Deterministic, seed-driven fail points.
+///
+/// Production code calls [`fail::trigger`]`("site", seed)` at
+/// interesting places in the trial path. With the `fault-injection`
+/// feature **off** (the default) the call compiles to nothing. With the
+/// feature on, a test arms a [`fail::FaultPlan`]; each `(site, seed)`
+/// pair then deterministically panics, hangs, or does nothing, according
+/// to the plan's per-site rates — the same plan, site and seed always
+/// produce the same fault, independent of threads or timing.
+pub mod fail {
+    /// Payload type for injected panics, recognised by the guard so the
+    /// reported site is exact rather than parsed from a message.
+    #[derive(Debug)]
+    pub struct InjectedPanic {
+        /// The fail-point site that fired.
+        pub site: &'static str,
+    }
+
+    #[cfg(feature = "fault-injection")]
+    pub use enabled::*;
+
+    #[cfg(feature = "fault-injection")]
+    mod enabled {
+        use super::InjectedPanic;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::RwLock;
+        use std::time::{Duration, Instant};
+
+        /// One site's injection rule.
+        #[derive(Debug, Clone)]
+        pub struct SiteRule {
+            /// Site name to match exactly, or `"*"` for every site.
+            pub site: String,
+            /// Probability in `[0, 1]` that a hit panics.
+            pub panic_rate: f64,
+            /// Probability in `[0, 1]` that a hit hangs (evaluated after
+            /// the panic draw on the same deterministic stream).
+            pub hang_rate: f64,
+            /// How long a hang busy-waits (cooperatively: it polls the
+            /// current trial token and returns early once cancelled or
+            /// timed out, so hangs never outlive their watchdog).
+            pub hang_for: Duration,
+        }
+
+        impl SiteRule {
+            /// A rule that always panics at `site`.
+            pub fn always_panic(site: &str) -> SiteRule {
+                SiteRule {
+                    site: site.to_string(),
+                    panic_rate: 1.0,
+                    hang_rate: 0.0,
+                    hang_for: Duration::ZERO,
+                }
+            }
+
+            /// A rule that always hangs at `site` for `d`.
+            pub fn always_hang(site: &str, d: Duration) -> SiteRule {
+                SiteRule {
+                    site: site.to_string(),
+                    panic_rate: 0.0,
+                    hang_rate: 1.0,
+                    hang_for: d,
+                }
+            }
+        }
+
+        /// A deterministic injection plan: a master seed plus site rules.
+        #[derive(Debug, Clone, Default)]
+        pub struct FaultPlan {
+            /// Master seed mixed into every decision.
+            pub seed: u64,
+            /// Site rules, first match wins.
+            pub rules: Vec<SiteRule>,
+        }
+
+        static PLAN: RwLock<Option<FaultPlan>> = RwLock::new(None);
+        static INJECTED_PANICS: AtomicUsize = AtomicUsize::new(0);
+        static INJECTED_HANGS: AtomicUsize = AtomicUsize::new(0);
+
+        /// Arms the registry with a plan (replacing any previous plan)
+        /// and resets the injection counters.
+        pub fn arm(plan: FaultPlan) {
+            INJECTED_PANICS.store(0, Ordering::SeqCst);
+            INJECTED_HANGS.store(0, Ordering::SeqCst);
+            *PLAN.write().expect("fault plan lock") = Some(plan);
+        }
+
+        /// Disarms the registry; `trigger` becomes a no-op again.
+        pub fn disarm() {
+            *PLAN.write().expect("fault plan lock") = None;
+        }
+
+        /// Number of panics injected since the last `arm`.
+        pub fn injected_panics() -> usize {
+            INJECTED_PANICS.load(Ordering::SeqCst)
+        }
+
+        /// Number of hangs injected since the last `arm`.
+        pub fn injected_hangs() -> usize {
+            INJECTED_HANGS.load(Ordering::SeqCst)
+        }
+
+        /// FNV-1a over the site name — stable across runs and platforms.
+        fn site_hash(site: &str) -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in site.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+
+        /// Uniform draw in `[0, 1)` from `(plan seed, site, seed, salt)`.
+        fn draw(plan_seed: u64, site: &str, seed: u64, salt: u64) -> f64 {
+            let mixed = crate::task_seed(plan_seed ^ site_hash(site), seed ^ salt);
+            (mixed >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Evaluates the armed plan at `(site, seed)`: panics with an
+        /// [`InjectedPanic`] payload, hangs cooperatively, or returns.
+        pub fn trigger(site: &'static str, seed: u64) {
+            let rule = {
+                let plan = PLAN.read().expect("fault plan lock");
+                let Some(plan) = plan.as_ref() else { return };
+                let Some(rule) =
+                    plan.rules.iter().find(|r| r.site == site || r.site == "*").cloned()
+                else {
+                    return;
+                };
+                (plan.seed, rule)
+            };
+            let (plan_seed, rule) = rule;
+            if draw(plan_seed, site, seed, 0x9e37) < rule.panic_rate {
+                INJECTED_PANICS.fetch_add(1, Ordering::SeqCst);
+                std::panic::panic_any(InjectedPanic { site });
+            }
+            if draw(plan_seed, site, seed, 0x85eb) < rule.hang_rate {
+                INJECTED_HANGS.fetch_add(1, Ordering::SeqCst);
+                let start = Instant::now();
+                while start.elapsed() < rule.hang_for {
+                    if super::super::trial_should_stop() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// No-op fail point (feature `fault-injection` disabled).
+    #[cfg(not(feature = "fault-injection"))]
+    #[inline(always)]
+    pub fn trigger(_site: &'static str, _seed: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_token_never_stops() {
+        let t = TrialToken::unbounded();
+        assert!(!t.should_stop());
+        assert!(!t.timed_out());
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_stops_cooperatively() {
+        let t = TrialToken::unbounded();
+        t.cancel();
+        assert!(t.should_stop());
+        assert!(t.is_cancelled());
+        assert!(!t.timed_out());
+    }
+
+    #[test]
+    fn deadline_latches_timed_out() {
+        let t = TrialToken::with_timeout(Duration::from_millis(5));
+        assert!(!t.should_stop());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(t.timed_out());
+        assert!(t.should_stop());
+    }
+
+    #[test]
+    fn watchdog_marks_overrunning_tokens_without_a_poll() {
+        let t = TrialToken::with_timeout(Duration::from_millis(5));
+        // No `should_stop`/`timed_out` call in between: only the
+        // watchdog thread can have set the latched flag.
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(t.marked_timed_out(), "watchdog failed to mark the token");
+    }
+
+    #[test]
+    fn bounded_takes_the_earlier_cutoff() {
+        let far = Deadline::after(Duration::from_secs(60));
+        let t = TrialToken::bounded(Some(Duration::from_millis(5)), far);
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(t.timed_out());
+        let near = Deadline::after(Duration::from_millis(5));
+        let t = TrialToken::bounded(Some(Duration::from_secs(60)), near);
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(t.timed_out());
+        let t = TrialToken::bounded(None, Deadline::none());
+        assert!(!t.should_stop());
+    }
+
+    #[test]
+    fn guard_completes_transparently() {
+        let t = TrialToken::unbounded();
+        match run_trial(&t, || 41 + 1) {
+            GuardOutcome::Completed(v) => assert_eq!(v, 42),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_catches_panics_with_site() {
+        let t = TrialToken::unbounded();
+        match run_trial(&t, || -> u32 { panic!("exploding fit") }) {
+            GuardOutcome::Panicked { site } => assert!(site.contains("exploding fit")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The guard is reusable after a panic.
+        assert!(matches!(run_trial(&t, || 7), GuardOutcome::Completed(7)));
+    }
+
+    #[test]
+    fn guard_classifies_overrun_as_timeout() {
+        let t = TrialToken::with_timeout(Duration::from_millis(5));
+        let out = run_trial(&t, || {
+            std::thread::sleep(Duration::from_millis(20));
+            123
+        });
+        match out {
+            GuardOutcome::TimedOut { elapsed } => {
+                assert!(elapsed >= Duration::from_millis(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guard_short_circuits_an_already_dead_token() {
+        let t = TrialToken::with_timeout(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        let mut ran = false;
+        let out = run_trial(&t, || ran = true);
+        assert!(matches!(out, GuardOutcome::TimedOut { .. }));
+        assert!(!ran, "closure must not run once the token is dead");
+    }
+
+    #[test]
+    fn cancelled_completion_is_not_a_timeout() {
+        // A caller-side cancel on an unbounded token that still produced
+        // a value: the value is kept (cancel is a hint, not a deadline).
+        let t = TrialToken::unbounded();
+        let out = run_trial(&t, || {
+            t.cancel();
+            5
+        });
+        assert!(matches!(out, GuardOutcome::Completed(5)));
+    }
+
+    #[test]
+    fn trial_should_stop_sees_the_scoped_token() {
+        assert!(!trial_should_stop(), "no trial active");
+        let t = TrialToken::with_timeout(Duration::from_millis(5));
+        let out = run_trial(&t, || {
+            let mut polls = 0usize;
+            while !trial_should_stop() {
+                std::thread::sleep(Duration::from_millis(1));
+                polls += 1;
+                assert!(polls < 10_000, "poll never tripped");
+            }
+            polls
+        });
+        assert!(matches!(out, GuardOutcome::TimedOut { .. }));
+        assert!(!trial_should_stop(), "scope restored after the trial");
+    }
+
+    #[test]
+    fn nested_guards_restore_the_outer_token() {
+        let outer = TrialToken::unbounded();
+        let out = run_trial(&outer, || {
+            let inner = TrialToken::with_timeout(Duration::from_millis(1));
+            std::thread::sleep(Duration::from_millis(5));
+            let inner_out = run_trial(&inner, || ());
+            assert!(matches!(inner_out, GuardOutcome::TimedOut { .. }));
+            assert!(!trial_should_stop(), "outer token is unbounded");
+            9
+        });
+        assert!(matches!(out, GuardOutcome::Completed(9)));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod injection {
+        use super::super::*;
+        use std::sync::{Mutex, OnceLock};
+        use std::time::Duration;
+
+        /// The registry is process-global; tests that arm it serialise.
+        fn lock() -> std::sync::MutexGuard<'static, ()> {
+            static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+            GATE.get_or_init(|| Mutex::new(()))
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+
+        #[test]
+        fn disarmed_trigger_is_a_noop() {
+            let _g = lock();
+            fail::disarm();
+            fail::trigger("anywhere", 1);
+        }
+
+        #[test]
+        fn armed_panic_rate_one_always_fires_and_is_caught() {
+            let _g = lock();
+            fail::arm(fail::FaultPlan {
+                seed: 7,
+                rules: vec![fail::SiteRule::always_panic("test::site")],
+            });
+            let t = TrialToken::unbounded();
+            let out = run_trial(&t, || fail::trigger("test::site", 3));
+            fail::disarm();
+            match out {
+                GuardOutcome::Panicked { site } => assert_eq!(site, "test::site"),
+                other => panic!("unexpected {other:?}"),
+            }
+            assert_eq!(fail::injected_panics(), 1);
+        }
+
+        #[test]
+        fn decisions_are_deterministic_in_site_and_seed() {
+            let _g = lock();
+            fail::arm(fail::FaultPlan {
+                seed: 42,
+                rules: vec![fail::SiteRule {
+                    site: "*".into(),
+                    panic_rate: 0.5,
+                    hang_rate: 0.0,
+                    hang_for: Duration::ZERO,
+                }],
+            });
+            let probe = |seed: u64| {
+                let t = TrialToken::unbounded();
+                matches!(
+                    run_trial(&t, || fail::trigger("flaky::site", seed)),
+                    GuardOutcome::Panicked { .. }
+                )
+            };
+            let first: Vec<bool> = (0..64).map(probe).collect();
+            let second: Vec<bool> = (0..64).map(probe).collect();
+            fail::disarm();
+            assert_eq!(first, second, "same (site, seed) must fault identically");
+            let fired = first.iter().filter(|&&b| b).count();
+            assert!(
+                (16..=48).contains(&fired),
+                "rate 0.5 fired {fired}/64 — draw is badly skewed"
+            );
+        }
+
+        #[test]
+        fn hang_respects_the_trial_deadline() {
+            let _g = lock();
+            fail::arm(fail::FaultPlan {
+                seed: 1,
+                rules: vec![fail::SiteRule::always_hang("slow::site", Duration::from_secs(30))],
+            });
+            let t = TrialToken::with_timeout(Duration::from_millis(20));
+            let start = std::time::Instant::now();
+            let out = run_trial(&t, || fail::trigger("slow::site", 0));
+            fail::disarm();
+            assert!(matches!(out, GuardOutcome::TimedOut { .. }));
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "hang ignored the watchdog: {:?}",
+                start.elapsed()
+            );
+            assert_eq!(fail::injected_hangs(), 1);
+        }
+    }
+}

@@ -19,6 +19,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+pub mod faults;
+
 /// Number of worker threads to use when the caller asked for "auto" (0).
 pub fn available_parallelism() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -150,6 +152,13 @@ impl Deadline {
 
     pub fn is_some(&self) -> bool {
         self.0.is_some()
+    }
+
+    /// The absolute cutoff instant, if a limit is set. Lets callers
+    /// combine a shared run deadline with per-trial timeouts (the
+    /// earlier of the two wins).
+    pub fn instant(&self) -> Option<Instant> {
+        self.0
     }
 
     pub fn expired(&self) -> bool {

@@ -4,8 +4,10 @@
 //! cells in a centre-out order (coarse coverage first).
 
 use crate::objective::Objective;
+use crate::outcome::FailureCounts;
 use crate::smac::{OptOptions, OptResult, Optimizer, Trial};
 use smartml_classifiers::{ParamConfig, ParamSpace, ParamSpec, ParamValue};
+use smartml_runtime::faults::TrialToken;
 use std::time::Instant;
 
 /// Deterministic grid search over a [`ParamSpace`].
@@ -86,9 +88,13 @@ impl Optimizer for GridSearch {
     ) -> OptResult {
         let start = Instant::now();
         let mut history: Vec<Trial> = Vec::new();
+        let mut failures = FailureCounts::default();
         if space.params.is_empty() {
             let config = ParamConfig::default();
-            let score = objective.evaluate_full(&config).unwrap_or(0.0);
+            let token = TrialToken::bounded(options.trial_timeout, options.deadline);
+            let outcome = objective.evaluate_full_outcome(&config, options.pool, &token);
+            failures.record(&outcome);
+            let score = outcome.score().unwrap_or(0.0);
             return OptResult {
                 best_config: config.clone(),
                 best_score: score,
@@ -97,7 +103,10 @@ impl Optimizer for GridSearch {
                     score,
                     folds_evaluated: objective.n_folds(),
                     elapsed_secs: start.elapsed().as_secs_f64(),
+                    outcome: Some(outcome),
                 }],
+                failures,
+                tripped: false,
             };
         }
         let resolution = Self::pick_resolution(space, options.max_trials.max(4));
@@ -146,14 +155,19 @@ impl Optimizer for GridSearch {
             for ((spec, lv), &i) in space.params.iter().zip(&levels).zip(&cell) {
                 config.values.insert(spec.name().to_string(), lv[i].clone());
             }
-            let score = objective.evaluate_full_with(&config, options.pool).unwrap_or(0.0);
+            let token = TrialToken::bounded(options.trial_timeout, options.deadline);
+            let outcome = objective.evaluate_full_outcome(&config, options.pool, &token);
+            failures.record(&outcome);
+            let score = outcome.score().unwrap_or(0.0);
+            let usable = outcome.is_ok();
             history.push(Trial {
                 config,
                 score,
                 folds_evaluated: objective.n_folds(),
                 elapsed_secs: start.elapsed().as_secs_f64(),
+                outcome: Some(outcome),
             });
-            if best.is_none_or(|(b, _)| score > b) {
+            if usable && best.is_none_or(|(b, _)| score > b) {
                 best = Some((score, history.len() - 1));
             }
         }
@@ -162,11 +176,15 @@ impl Optimizer for GridSearch {
                 best_config: history[i].config.clone(),
                 best_score: score,
                 history,
+                failures,
+                tripped: false,
             },
             None => OptResult {
                 best_config: space.default_config(),
                 best_score: 0.0,
                 history,
+                failures,
+                tripped: false,
             },
         }
     }

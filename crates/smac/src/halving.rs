@@ -7,10 +7,12 @@
 //! a low number of folds").
 
 use crate::objective::Objective;
+use crate::outcome::{FailureCounts, TrialOutcome};
 use crate::smac::{OptOptions, OptResult, Optimizer, Trial};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smartml_classifiers::{ParamConfig, ParamSpace};
+use smartml_runtime::faults::TrialToken;
 use std::time::Instant;
 
 /// The successive-halving optimiser.
@@ -29,6 +31,7 @@ struct Member {
     config: ParamConfig,
     fold_scores: Vec<f64>,
     failed: bool,
+    failure: Option<TrialOutcome>,
 }
 
 impl Member {
@@ -71,16 +74,18 @@ impl Optimizer for SuccessiveHalving {
             .map(|c| space.repair(c))
             .chain((0..cohort_size).map(|_| space.sample(&mut rng)))
             .take(cohort_size)
-            .map(|config| Member { config, fold_scores: Vec::new(), failed: false })
+            .map(|config| Member { config, fold_scores: Vec::new(), failed: false, failure: None })
             .collect();
 
         let mut history: Vec<Trial> = Vec::new();
+        let mut failures = FailureCounts::default();
         let mut folds_spent = 0usize;
         let mut fidelity = 1usize; // folds each survivor is evaluated to
         loop {
             let out_of_time = options.wall_clock.is_some_and(|b| start.elapsed() >= b);
             // Evaluate every member up to the current fidelity.
             for member in &mut cohort {
+                let token = TrialToken::bounded(options.trial_timeout, options.deadline);
                 while !member.failed
                     && member.fold_scores.len() < fidelity.min(n_folds)
                     && folds_spent < budget_folds
@@ -88,9 +93,13 @@ impl Optimizer for SuccessiveHalving {
                 {
                     let fold = member.fold_scores.len();
                     folds_spent += 1;
-                    match objective.evaluate_fold(&member.config, fold) {
-                        Ok(score) => member.fold_scores.push(score),
-                        Err(_) => member.failed = true,
+                    match objective.evaluate_fold_guarded(&member.config, fold, &token) {
+                        TrialOutcome::Ok(score) => member.fold_scores.push(score),
+                        failure => {
+                            member.failed = true;
+                            failures.record(&failure);
+                            member.failure = Some(failure);
+                        }
                     }
                 }
             }
@@ -101,6 +110,10 @@ impl Optimizer for SuccessiveHalving {
                     score: if member.failed { 0.0 } else { member.mean().max(0.0) },
                     folds_evaluated: member.fold_scores.len(),
                     elapsed_secs: start.elapsed().as_secs_f64(),
+                    outcome: Some(match &member.failure {
+                        Some(failure) => failure.clone(),
+                        None => TrialOutcome::Ok(member.mean().max(0.0)),
+                    }),
                 });
             }
             // Stop when one survivor remains at full fidelity or the budget
@@ -117,16 +130,28 @@ impl Optimizer for SuccessiveHalving {
         }
 
         cohort.sort_by(|a, b| b.mean().partial_cmp(&a.mean()).unwrap());
+        // Failures were tallied as they happened; members that never
+        // failed count once each as ok trials.
+        failures.ok = history
+            .iter()
+            .filter(|t| t.is_success())
+            .map(|t| t.config.summary())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
         match cohort.first() {
             Some(best) if !best.failed => OptResult {
                 best_config: best.config.clone(),
                 best_score: best.mean().max(0.0),
                 history,
+                failures,
+                tripped: false,
             },
             _ => OptResult {
                 best_config: space.default_config(),
                 best_score: 0.0,
                 history,
+                failures,
+                tripped: false,
             },
         }
     }

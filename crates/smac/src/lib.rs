@@ -36,6 +36,7 @@
 mod grid;
 mod halving;
 mod objective;
+mod outcome;
 mod random_search;
 mod smac;
 mod surrogate;
@@ -44,6 +45,7 @@ mod tpe;
 pub use grid::GridSearch;
 pub use halving::SuccessiveHalving;
 pub use objective::{ClassifierObjective, Objective, StaticObjective};
+pub use outcome::{FailureCounts, OutcomeKind, TrialOutcome};
 pub use random_search::RandomSearch;
 pub use smac::{OptOptions, OptResult, Optimizer, Smac, Trial};
 pub use surrogate::RandomForestSurrogate;

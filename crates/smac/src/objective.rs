@@ -1,8 +1,10 @@
 //! Optimisation objectives: what a configuration's score means.
 
+use crate::outcome::TrialOutcome;
 use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::{accuracy, stratified_kfold, Dataset};
-use smartml_runtime::Pool;
+use smartml_runtime::faults::{fail, run_trial, TrialToken};
+use smartml_runtime::{task_seed, Pool};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -10,13 +12,32 @@ use std::sync::{Arc, Condvar, Mutex};
 ///
 /// `Send + Sync` so a worker pool can evaluate independent folds of the
 /// same objective concurrently.
+///
+/// Implementors provide the raw [`evaluate_fold`](Objective::evaluate_fold);
+/// optimisers call the guarded wrappers, which contain panics, classify
+/// timeouts via the trial's [`TrialToken`], and quarantine non-finite
+/// scores into the [`TrialOutcome`] taxonomy.
 pub trait Objective: Send + Sync {
     /// Number of independent folds a full evaluation consists of.
     fn n_folds(&self) -> usize;
 
     /// Scores `config` on one fold; higher is better. `Err` marks an
     /// infeasible configuration (treated as the worst possible score).
+    /// May panic or overrun — callers go through the guarded wrappers.
     fn evaluate_fold(&self, config: &ParamConfig, fold: usize) -> Result<f64, String>;
+
+    /// Fault-contained fold evaluation: runs
+    /// [`evaluate_fold`](Objective::evaluate_fold) under the guard and
+    /// classifies the result. Panics are caught here — they never unwind
+    /// into the optimiser loop or a pool worker.
+    fn evaluate_fold_guarded(
+        &self,
+        config: &ParamConfig,
+        fold: usize,
+        token: &TrialToken,
+    ) -> TrialOutcome {
+        TrialOutcome::from_guard(run_trial(token, || self.evaluate_fold(config, fold)))
+    }
 
     /// Mean score over all folds (convenience for non-racing callers).
     fn evaluate_full(&self, config: &ParamConfig) -> Result<f64, String> {
@@ -26,15 +47,34 @@ pub trait Objective: Send + Sync {
     /// [`evaluate_full`](Objective::evaluate_full) with folds evaluated on
     /// `pool`. Fold scores are independent, so the mean — and the error
     /// reported (first failing fold in fold order) — is identical for any
-    /// pool width.
+    /// pool width. Folds run guarded: a panicking fit surfaces as an
+    /// `Err` describing the panic, never as an unwind.
     fn evaluate_full_with(&self, config: &ParamConfig, pool: Pool) -> Result<f64, String> {
-        let n = self.n_folds();
-        let results = pool.map_range(n, |fold| self.evaluate_fold(config, fold));
-        let mut total = 0.0;
-        for r in results {
-            total += r?;
+        match self.evaluate_full_outcome(config, pool, &TrialToken::unbounded()) {
+            TrialOutcome::Ok(score) => Ok(score),
+            other => Err(other.failure_reason()),
         }
-        Ok(total / n as f64)
+    }
+
+    /// Full guarded evaluation under a trial token, classified into the
+    /// taxonomy: the mean score on success, otherwise the first non-ok
+    /// fold outcome in fold order (identical for any pool width).
+    fn evaluate_full_outcome(
+        &self,
+        config: &ParamConfig,
+        pool: Pool,
+        token: &TrialToken,
+    ) -> TrialOutcome {
+        let n = self.n_folds();
+        let results = pool.map_range(n, |fold| self.evaluate_fold_guarded(config, fold, token));
+        let mut total = 0.0;
+        for outcome in results {
+            match outcome {
+                TrialOutcome::Ok(score) => total += score,
+                other => return other,
+            }
+        }
+        TrialOutcome::Ok(total / n as f64)
     }
 }
 
@@ -114,6 +154,52 @@ impl ClassifierObjective {
     }
 }
 
+/// Unwinding-safe completion for a single-flight cache entry: constructed
+/// after the `InFlight` marker is inserted; on drop — **including a drop
+/// during a panic unwind** — it fills the slot and wakes every waiter.
+/// Without it, a panicking fit would leave the marker in place and every
+/// thread waiting on that `(config, fold)` pair would block forever.
+struct SlotCompletion<'a> {
+    cache: &'a Mutex<HashMap<(String, usize), Slot>>,
+    key: (String, usize),
+    result: Option<Result<f64, String>>,
+}
+
+impl Drop for SlotCompletion<'_> {
+    fn drop(&mut self) {
+        let result = self.result.take().unwrap_or_else(|| {
+            Err(format!("fold evaluation panicked (config {})", self.key.0))
+        });
+        // `lock()` may see a poisoned mutex if another panic hit inside
+        // the critical section; waking waiters still matters more, so
+        // recover the guard rather than double-panicking during unwind.
+        let mut cache = match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let prev = cache.insert(self.key.clone(), Slot::Done(result));
+        drop(cache);
+        if let Some(Slot::InFlight(w)) = prev {
+            let (flag, cvar) = &*w;
+            if let Ok(mut done) = flag.lock() {
+                *done = true;
+            }
+            cvar.notify_all();
+        }
+    }
+}
+
+/// FNV-1a over a config summary: the stable per-configuration seed the
+/// `smac::fold` fail-point draws from.
+fn config_seed(summary: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in summary.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 impl Objective for ClassifierObjective {
     fn n_folds(&self) -> usize {
         self.folds.len()
@@ -143,21 +229,22 @@ impl Objective for ClassifierObjective {
             }
             // Re-read the table: the slot is `Done` now.
         }
+        // From here on the completion guard owns the slot: whatever
+        // happens — normal return, error, or a panic in the fit — it
+        // publishes a `Done` result and wakes the waiters.
+        let mut completion = SlotCompletion { cache: &self.cache, key, result: None };
         let (train, valid) = &self.folds[fold];
         #[cfg(test)]
         self.computed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        fail::trigger("smac::fold", task_seed(config_seed(&completion.key.0), fold as u64));
         let result = (|| {
             let clf = self.algorithm.build(config);
             let model = clf.fit(&self.data, train).map_err(|e| e.to_string())?;
             let pred = model.predict(&self.data, valid);
             Ok(accuracy(&self.data.labels_for(valid), &pred))
         })();
-        let prev = self.cache.lock().unwrap().insert(key, Slot::Done(result.clone()));
-        if let Some(Slot::InFlight(w)) = prev {
-            let (flag, cvar) = &*w;
-            *flag.lock().unwrap() = true;
-            cvar.notify_all();
-        }
+        completion.result = Some(result.clone());
+        drop(completion);
         result
     }
 }
@@ -248,6 +335,80 @@ mod tests {
         // exactly one thread run the fold, everyone else waited on it.
         assert_eq!(obj.computed.load(Ordering::Relaxed), 1);
         assert_eq!(obj.cache_len(), 1);
+    }
+
+    #[test]
+    fn guarded_fold_contains_panics() {
+        let obj = StaticObjective {
+            folds: 2,
+            f: |_: &ParamConfig, _| -> f64 { panic!("fit exploded") },
+        };
+        let token = TrialToken::unbounded();
+        let outcome = obj.evaluate_fold_guarded(&ParamConfig::default(), 0, &token);
+        match outcome {
+            TrialOutcome::Panicked { site } => assert!(site.contains("fit exploded")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And through the full-evaluation path it degrades to an Err.
+        let err = obj.evaluate_full(&ParamConfig::default()).unwrap_err();
+        assert!(err.contains("panicked"), "got: {err}");
+    }
+
+    #[test]
+    fn guarded_fold_quarantines_non_finite_scores() {
+        let obj = StaticObjective { folds: 1, f: |_: &ParamConfig, _| f64::NAN };
+        let token = TrialToken::unbounded();
+        assert_eq!(
+            obj.evaluate_fold_guarded(&ParamConfig::default(), 0, &token),
+            TrialOutcome::NonFinite
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn panicked_fold_does_not_deadlock_waiters() {
+        use std::time::Duration;
+        // Arm the `smac::fold` fail point so the computing thread panics
+        // between the InFlight insert and the Done insert — the exact
+        // window that used to strand every waiter forever. All eight
+        // concurrent callers must return (with a failure), not hang.
+        let d = gaussian_blobs("b", 120, 2, 2, 1.0, 5);
+        let rows = d.all_rows();
+        let obj = std::sync::Arc::new(ClassifierObjective::new(
+            Algorithm::Rpart, &d, &rows, 2, 3,
+        ));
+        let config = Algorithm::Rpart.param_space().default_config();
+        fail::arm(fail::FaultPlan {
+            seed: 0,
+            rules: vec![fail::SiteRule::always_panic("smac::fold")],
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for _ in 0..8 {
+            let obj = std::sync::Arc::clone(&obj);
+            let config = config.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let token = TrialToken::unbounded();
+                let out = obj.evaluate_fold_guarded(&config, 0, &token);
+                tx.send(out).unwrap();
+            });
+        }
+        drop(tx);
+        let mut outcomes = Vec::new();
+        for _ in 0..8 {
+            // A deadlocked cache shows up as a recv timeout, not a hang.
+            outcomes.push(
+                rx.recv_timeout(Duration::from_secs(30))
+                    .expect("a waiter deadlocked on the poisoned fold cache"),
+            );
+        }
+        fail::disarm();
+        for out in outcomes {
+            assert!(
+                matches!(out, TrialOutcome::Panicked { .. } | TrialOutcome::Failed(_)),
+                "unexpected outcome {out:?}"
+            );
+        }
     }
 
     #[test]

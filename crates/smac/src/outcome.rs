@@ -1,0 +1,258 @@
+//! The trial-outcome taxonomy: how one configuration evaluation ended.
+//!
+//! Optimisers used to see a bare `Result<f64, String>`, which conflated
+//! "this configuration is infeasible" with "the fit crashed" and could
+//! not express timeouts at all. [`TrialOutcome`] separates the cases so
+//! the SMAC loop can quarantine bad scores before they reach the
+//! surrogate, circuit breakers can count real faults, and the run report
+//! can account for every failure.
+
+use serde::{Deserialize, Serialize};
+use smartml_runtime::faults::GuardOutcome;
+
+/// How a guarded trial (or one fold of it) ended.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrialOutcome {
+    /// Finished with a finite score (higher = better).
+    Ok(f64),
+    /// Finished, but produced `NaN`/`±inf` — quarantined so it can never
+    /// poison the surrogate or model selection.
+    NonFinite,
+    /// The fit panicked; `site` names the origin (fail-point site or
+    /// panic message).
+    Panicked {
+        /// Where the panic originated.
+        site: String,
+    },
+    /// The trial overran its watchdog deadline.
+    TimedOut {
+        /// Seconds the trial had consumed when it was classified.
+        elapsed: f64,
+    },
+    /// The objective reported the configuration as infeasible.
+    Failed(String),
+}
+
+impl TrialOutcome {
+    /// Classifies a raw fold result: finite `Ok` stays ok, non-finite is
+    /// quarantined, `Err` becomes [`TrialOutcome::Failed`].
+    pub fn from_result(result: Result<f64, String>) -> TrialOutcome {
+        match result {
+            Ok(score) if score.is_finite() => TrialOutcome::Ok(score),
+            Ok(_) => TrialOutcome::NonFinite,
+            Err(reason) => TrialOutcome::Failed(reason),
+        }
+    }
+
+    /// Classifies the guard's verdict over a raw fold result.
+    pub fn from_guard(outcome: GuardOutcome<Result<f64, String>>) -> TrialOutcome {
+        match outcome {
+            GuardOutcome::Completed(result) => TrialOutcome::from_result(result),
+            GuardOutcome::Panicked { site } => TrialOutcome::Panicked { site },
+            GuardOutcome::TimedOut { elapsed } => {
+                TrialOutcome::TimedOut { elapsed: elapsed.as_secs_f64() }
+            }
+        }
+    }
+
+    /// The score, when the trial succeeded.
+    pub fn score(&self) -> Option<f64> {
+        match self {
+            TrialOutcome::Ok(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// True for [`TrialOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, TrialOutcome::Ok(_))
+    }
+
+    /// True for outcomes that should trip a circuit breaker: real faults
+    /// (panic, timeout, non-finite scores), not plain infeasibility —
+    /// `Failed` is the objective *working correctly* on a bad
+    /// configuration and proves nothing about the algorithm's health.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            TrialOutcome::Panicked { .. } | TrialOutcome::TimedOut { .. } | TrialOutcome::NonFinite
+        )
+    }
+
+    /// The coarse category, for counting.
+    pub fn kind(&self) -> OutcomeKind {
+        match self {
+            TrialOutcome::Ok(_) => OutcomeKind::Ok,
+            TrialOutcome::NonFinite => OutcomeKind::NonFinite,
+            TrialOutcome::Panicked { .. } => OutcomeKind::Panicked,
+            TrialOutcome::TimedOut { .. } => OutcomeKind::TimedOut,
+            TrialOutcome::Failed(_) => OutcomeKind::Failed,
+        }
+    }
+
+    /// A human-readable reason for non-ok outcomes (used where a legacy
+    /// `Result<f64, String>` is still the interface).
+    pub fn failure_reason(&self) -> String {
+        match self {
+            TrialOutcome::Ok(s) => format!("ok ({s})"),
+            TrialOutcome::NonFinite => "non-finite score".to_string(),
+            TrialOutcome::Panicked { site } => format!("panicked at {site}"),
+            TrialOutcome::TimedOut { elapsed } => format!("timed out after {elapsed:.2}s"),
+            TrialOutcome::Failed(reason) => reason.clone(),
+        }
+    }
+}
+
+/// The five outcome categories, without payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutcomeKind {
+    /// Finite score.
+    Ok,
+    /// NaN/inf score, quarantined.
+    NonFinite,
+    /// Caught panic.
+    Panicked,
+    /// Watchdog timeout.
+    TimedOut,
+    /// Infeasible configuration.
+    Failed,
+}
+
+impl OutcomeKind {
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutcomeKind::Ok => "ok",
+            OutcomeKind::NonFinite => "non_finite",
+            OutcomeKind::Panicked => "panicked",
+            OutcomeKind::TimedOut => "timed_out",
+            OutcomeKind::Failed => "failed",
+        }
+    }
+}
+
+/// Per-category trial counts for one optimisation (or one algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureCounts {
+    /// Trials that produced a finite score.
+    #[serde(default)]
+    pub ok: usize,
+    /// Trials quarantined for a non-finite score.
+    #[serde(default)]
+    pub non_finite: usize,
+    /// Trials whose fit panicked.
+    #[serde(default)]
+    pub panicked: usize,
+    /// Trials killed by the watchdog.
+    #[serde(default)]
+    pub timed_out: usize,
+    /// Trials on infeasible configurations.
+    #[serde(default)]
+    pub failed: usize,
+}
+
+impl FailureCounts {
+    /// Adds one outcome to the tally.
+    pub fn record(&mut self, outcome: &TrialOutcome) {
+        match outcome.kind() {
+            OutcomeKind::Ok => self.ok += 1,
+            OutcomeKind::NonFinite => self.non_finite += 1,
+            OutcomeKind::Panicked => self.panicked += 1,
+            OutcomeKind::TimedOut => self.timed_out += 1,
+            OutcomeKind::Failed => self.failed += 1,
+        }
+    }
+
+    /// All non-ok trials.
+    pub fn total_failures(&self) -> usize {
+        self.non_finite + self.panicked + self.timed_out + self.failed
+    }
+
+    /// All trials, ok or not.
+    pub fn total(&self) -> usize {
+        self.ok + self.total_failures()
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &FailureCounts) {
+        self.ok += other.ok;
+        self.non_finite += other.non_finite;
+        self.panicked += other.panicked;
+        self.timed_out += other.timed_out;
+        self.failed += other.failed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn classification_from_results() {
+        assert_eq!(TrialOutcome::from_result(Ok(0.5)), TrialOutcome::Ok(0.5));
+        assert_eq!(TrialOutcome::from_result(Ok(f64::NAN)), TrialOutcome::NonFinite);
+        assert_eq!(TrialOutcome::from_result(Ok(f64::INFINITY)), TrialOutcome::NonFinite);
+        assert_eq!(
+            TrialOutcome::from_result(Err("bad".into())),
+            TrialOutcome::Failed("bad".into())
+        );
+    }
+
+    #[test]
+    fn guard_verdicts_map_onto_the_taxonomy() {
+        let g = GuardOutcome::Completed(Ok(1.0));
+        assert_eq!(TrialOutcome::from_guard(g), TrialOutcome::Ok(1.0));
+        let g: GuardOutcome<Result<f64, String>> =
+            GuardOutcome::Panicked { site: "svm::fit".into() };
+        assert_eq!(TrialOutcome::from_guard(g), TrialOutcome::Panicked { site: "svm::fit".into() });
+        let g: GuardOutcome<Result<f64, String>> =
+            GuardOutcome::TimedOut { elapsed: Duration::from_millis(1500) };
+        match TrialOutcome::from_guard(g) {
+            TrialOutcome::TimedOut { elapsed } => assert!((elapsed - 1.5).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_vs_infeasible() {
+        assert!(!TrialOutcome::Ok(1.0).is_fault());
+        assert!(!TrialOutcome::Failed("infeasible".into()).is_fault());
+        assert!(TrialOutcome::NonFinite.is_fault());
+        assert!(TrialOutcome::Panicked { site: "s".into() }.is_fault());
+        assert!(TrialOutcome::TimedOut { elapsed: 1.0 }.is_fault());
+    }
+
+    #[test]
+    fn counts_tally_and_merge() {
+        let mut counts = FailureCounts::default();
+        counts.record(&TrialOutcome::Ok(0.9));
+        counts.record(&TrialOutcome::NonFinite);
+        counts.record(&TrialOutcome::Panicked { site: "x".into() });
+        counts.record(&TrialOutcome::TimedOut { elapsed: 2.0 });
+        counts.record(&TrialOutcome::Failed("f".into()));
+        assert_eq!(counts.ok, 1);
+        assert_eq!(counts.total_failures(), 4);
+        assert_eq!(counts.total(), 5);
+        let mut other = FailureCounts::default();
+        other.record(&TrialOutcome::Ok(0.1));
+        other.merge(&counts);
+        assert_eq!(other.ok, 2);
+        assert_eq!(other.total(), 6);
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_serde() {
+        for outcome in [
+            TrialOutcome::Ok(0.75),
+            TrialOutcome::NonFinite,
+            TrialOutcome::Panicked { site: "rf::grow".into() },
+            TrialOutcome::TimedOut { elapsed: 3.25 },
+            TrialOutcome::Failed("singular matrix".into()),
+        ] {
+            let json = serde_json::to_string(&outcome).unwrap();
+            let back: TrialOutcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(outcome, back, "round trip failed for {json}");
+        }
+    }
+}

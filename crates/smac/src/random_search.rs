@@ -1,10 +1,12 @@
 //! Random search — the Google-Vizier-style baseline of paper Table 1.
 
 use crate::objective::Objective;
+use crate::outcome::FailureCounts;
 use crate::smac::{OptOptions, OptResult, Optimizer, Trial};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smartml_classifiers::ParamSpace;
+use smartml_runtime::faults::TrialToken;
 use std::time::Instant;
 
 /// Uniform random search over the parameter space. Evaluates every
@@ -26,6 +28,7 @@ impl Optimizer for RandomSearch {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(options.seed);
         let mut history: Vec<Trial> = Vec::new();
+        let mut failures = FailureCounts::default();
         let mut best: Option<(f64, usize)> = None;
         let mut queue: Vec<_> = options.initial_configs.iter().map(|c| space.repair(c)).collect();
         for t in 0..options.max_trials {
@@ -33,17 +36,22 @@ impl Optimizer for RandomSearch {
                 break;
             }
             let config = if t < queue.len() { queue[t].clone() } else { space.sample(&mut rng) };
-            let (score, folds) = match objective.evaluate_full_with(&config, options.pool) {
-                Ok(s) => (s, objective.n_folds()),
-                Err(_) => (0.0, 0),
+            let token = TrialToken::bounded(options.trial_timeout, options.deadline);
+            let outcome = objective.evaluate_full_outcome(&config, options.pool, &token);
+            failures.record(&outcome);
+            let (score, folds) = match outcome.score() {
+                Some(s) => (s, objective.n_folds()),
+                None => (0.0, 0),
             };
+            let usable = outcome.is_ok();
             history.push(Trial {
                 config,
                 score,
                 folds_evaluated: folds,
                 elapsed_secs: start.elapsed().as_secs_f64(),
+                outcome: Some(outcome),
             });
-            if best.is_none_or(|(b, _)| score > b) {
+            if usable && best.is_none_or(|(b, _)| score > b) {
                 best = Some((score, history.len() - 1));
             }
         }
@@ -53,11 +61,15 @@ impl Optimizer for RandomSearch {
                 best_config: history[idx].config.clone(),
                 best_score: score,
                 history,
+                failures,
+                tripped: false,
             },
             None => OptResult {
                 best_config: space.default_config(),
                 best_score: 0.0,
                 history,
+                failures,
+                tripped: false,
             },
         }
     }

@@ -2,11 +2,13 @@
 //! intensification racing.
 
 use crate::objective::Objective;
+use crate::outcome::{FailureCounts, TrialOutcome};
 use crate::surrogate::RandomForestSurrogate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smartml_classifiers::{ParamConfig, ParamSpace};
+use smartml_runtime::faults::TrialToken;
 use smartml_runtime::{Deadline, Pool};
 use std::time::{Duration, Instant};
 
@@ -21,6 +23,23 @@ pub struct Trial {
     pub folds_evaluated: usize,
     /// Seconds since the optimisation started when this trial finished.
     pub elapsed_secs: f64,
+    /// How the trial ended. `None` only on records serialized before the
+    /// taxonomy existed; every new trial carries `Some`.
+    #[serde(default)]
+    pub outcome: Option<TrialOutcome>,
+}
+
+impl Trial {
+    /// True when the trial produced a usable (finite, non-faulted) score —
+    /// the quarantine test: only successful trials may train the
+    /// surrogate. Legacy records without an outcome fall back to score
+    /// finiteness.
+    pub fn is_success(&self) -> bool {
+        match &self.outcome {
+            Some(outcome) => outcome.is_ok(),
+            None => self.score.is_finite(),
+        }
+    }
 }
 
 /// Result of an optimisation run.
@@ -32,6 +51,13 @@ pub struct OptResult {
     pub best_score: f64,
     /// All evaluated trials, in evaluation order (the anytime curve).
     pub history: Vec<Trial>,
+    /// Per-category trial counts for this optimisation.
+    #[serde(default)]
+    pub failures: FailureCounts,
+    /// True when the consecutive-fault circuit breaker stopped the loop
+    /// before its budget ran out.
+    #[serde(default)]
+    pub tripped: bool,
 }
 
 impl OptResult {
@@ -68,6 +94,16 @@ pub struct OptOptions {
     /// nominated algorithm concurrently). Checked alongside `wall_clock`;
     /// `Deadline::none()` disables it.
     pub deadline: Deadline,
+    /// Per-trial watchdog timeout: a trial (all folds of one
+    /// configuration) overrunning this is classified
+    /// [`TrialOutcome::TimedOut`] and discarded. `None` disables the
+    /// watchdog.
+    pub trial_timeout: Option<Duration>,
+    /// Circuit breaker: after this many *consecutive* faulted trials
+    /// (panicked / timed out / non-finite — plain infeasibility does not
+    /// count) the loop stops and [`OptResult::tripped`] is set. `0`
+    /// disables the breaker.
+    pub breaker_threshold: usize,
 }
 
 impl Default for OptOptions {
@@ -79,6 +115,8 @@ impl Default for OptOptions {
             initial_configs: Vec::new(),
             pool: Pool::serial(),
             deadline: Deadline::none(),
+            trial_timeout: None,
+            breaker_threshold: 0,
         }
     }
 }
@@ -123,6 +161,8 @@ struct Raced {
     encoded: Vec<f64>,
     fold_scores: Vec<f64>,
     failed: bool,
+    /// The classified failure, when `failed` (first failing fold).
+    failure: Option<TrialOutcome>,
 }
 
 impl Raced {
@@ -158,6 +198,9 @@ impl Optimizer for Smac {
 
         let mut history: Vec<Trial> = Vec::new();
         let mut incumbent: Option<Raced> = None;
+        let mut failures = FailureCounts::default();
+        let mut consecutive_faults = 0usize;
+        let mut tripped = false;
 
         // Initial design: warm starts (KB), then the space default, then one
         // random configuration.
@@ -167,23 +210,52 @@ impl Optimizer for Smac {
         initial.push(space.sample(&mut rng));
         initial.dedup();
 
-        let arena = RaceArena { objective, space, n_folds, start, pool };
+        let arena = RaceArena {
+            objective,
+            space,
+            n_folds,
+            start,
+            pool,
+            trial_timeout: options.trial_timeout,
+            deadline: options.deadline,
+        };
+        // Shared breaker bookkeeping after each race; returns true when
+        // the consecutive-fault breaker trips.
+        let account = |challenger: &Raced,
+                           failures: &mut FailureCounts,
+                           consecutive_faults: &mut usize| {
+            let outcome = challenger
+                .failure
+                .clone()
+                .unwrap_or(TrialOutcome::Ok(challenger.mean()));
+            failures.record(&outcome);
+            if outcome.is_fault() {
+                *consecutive_faults += 1;
+            } else {
+                *consecutive_faults = 0;
+            }
+            options.breaker_threshold > 0 && *consecutive_faults >= options.breaker_threshold
+        };
+
         let mut trials = 0usize;
         for config in initial {
-            if out_of_budget(trials) {
+            if out_of_budget(trials) || tripped {
                 break;
             }
             let challenger = race(&arena, config, incumbent.as_ref(), &mut history);
             trials += 1;
+            tripped = account(&challenger, &mut failures, &mut consecutive_faults);
             if challenger_wins(&challenger, incumbent.as_ref()) {
                 incumbent = Some(challenger);
             }
         }
 
         // Main loop.
-        while !out_of_budget(trials) {
+        while !out_of_budget(trials) && !tripped {
+            // Quarantine: only successful trials may seed the surrogate.
+            let n_usable = history.iter().filter(|t| t.is_success()).count();
             let candidate = if rand::Rng::gen_bool(&mut rng, self.random_interleave)
-                || history.len() < 2
+                || n_usable < 2
             {
                 space.sample(&mut rng)
             } else {
@@ -191,6 +263,7 @@ impl Optimizer for Smac {
             };
             let challenger = race(&arena, candidate, incumbent.as_ref(), &mut history);
             trials += 1;
+            tripped = account(&challenger, &mut failures, &mut consecutive_faults);
             if challenger_wins(&challenger, incumbent.as_ref()) {
                 incumbent = Some(challenger);
             }
@@ -201,11 +274,14 @@ impl Optimizer for Smac {
             encoded: space.encode(&space.default_config()),
             fold_scores: vec![],
             failed: true,
+            failure: None,
         });
         OptResult {
             best_score: incumbent.mean().max(0.0),
             best_config: incumbent.config,
             history,
+            failures,
+            tripped,
         }
     }
 }
@@ -222,8 +298,12 @@ impl Smac {
         seed: u64,
         pool: Pool,
     ) -> ParamConfig {
-        let xs: Vec<Vec<f64>> = history.iter().map(|t| space.encode(&t.config)).collect();
-        let ys: Vec<f64> = history.iter().map(|t| t.score).collect();
+        // Quarantine: faulted and non-finite trials never reach the
+        // surrogate — a panicked fit says nothing about the response
+        // surface, and a NaN score would poison every split decision.
+        let usable: Vec<&Trial> = history.iter().filter(|t| t.is_success()).collect();
+        let xs: Vec<Vec<f64>> = usable.iter().map(|t| space.encode(&t.config)).collect();
+        let ys: Vec<f64> = usable.iter().map(|t| t.score).collect();
         let best = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let forest = RandomForestSurrogate::fit_with(
             &xs,
@@ -261,6 +341,8 @@ struct RaceArena<'a> {
     n_folds: usize,
     start: Instant,
     pool: Pool,
+    trial_timeout: Option<Duration>,
+    deadline: Deadline,
 }
 
 /// Intensification race: evaluate the challenger fold-by-fold, dropping it
@@ -285,20 +367,29 @@ fn race(
         config,
         fold_scores: Vec::with_capacity(n_folds),
         failed: false,
+        failure: None,
     };
-    let speculative: Option<Vec<Result<f64, String>>> =
+    // One token covers every fold of this trial: the watchdog timeout
+    // bounds the whole configuration evaluation, and a shared run
+    // deadline caps it further. Folds run guarded, so a panicking or
+    // hanging fit is contained here and classified, never unwound.
+    let token = TrialToken::bounded(arena.trial_timeout, arena.deadline);
+    let speculative: Option<Vec<TrialOutcome>> =
         (arena.pool.n_threads() > 1 && n_folds > 1).then(|| {
-            arena.pool.map_range(n_folds, |fold| arena.objective.evaluate_fold(&raced.config, fold))
+            arena.pool.map_range(n_folds, |fold| {
+                arena.objective.evaluate_fold_guarded(&raced.config, fold, &token)
+            })
         });
     for fold in 0..n_folds {
         let outcome = match &speculative {
             Some(results) => results[fold].clone(),
-            None => arena.objective.evaluate_fold(&raced.config, fold),
+            None => arena.objective.evaluate_fold_guarded(&raced.config, fold, &token),
         };
         match outcome {
-            Ok(score) => raced.fold_scores.push(score),
-            Err(_) => {
+            TrialOutcome::Ok(score) => raced.fold_scores.push(score),
+            failure => {
                 raced.failed = true;
+                raced.failure = Some(failure);
                 break;
             }
         }
@@ -311,6 +402,10 @@ fn race(
         score: if raced.failed { 0.0 } else { raced.mean() },
         folds_evaluated: raced.fold_scores.len(),
         elapsed_secs: arena.start.elapsed().as_secs_f64(),
+        outcome: Some(match &raced.failure {
+            Some(failure) => failure.clone(),
+            None => TrialOutcome::Ok(raced.mean()),
+        }),
     });
     raced
 }
@@ -594,6 +689,179 @@ mod tests {
         // No usable incumbent: default config, zero score, history recorded.
         assert_eq!(result.best_score, 0.0);
         assert!(!result.history.is_empty());
+    }
+
+    #[test]
+    fn panicking_objective_is_contained_and_classified() {
+        // Configurations with x > 0.5 blow up inside the fit; the loop
+        // must survive, classify them as Panicked, and still optimise
+        // the surviving half of the space.
+        let obj = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| {
+                let x = c.f64_or("x", 0.0);
+                if x > 0.5 {
+                    panic!("exploding fit at x={x}");
+                }
+                x
+            },
+        };
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: 30, seed: 2, ..Default::default() },
+        );
+        assert!(result.failures.panicked > 0, "no panic was ever recorded");
+        assert!(result.failures.ok > 0, "no trial succeeded");
+        assert!(
+            result.best_config.f64_or("x", 0.0) <= 0.5,
+            "incumbent from the panicking region"
+        );
+        let panicked = result
+            .history
+            .iter()
+            .filter(|t| matches!(t.outcome, Some(TrialOutcome::Panicked { .. })))
+            .count();
+        assert_eq!(panicked, result.failures.panicked, "history and tally disagree");
+    }
+
+    #[test]
+    fn non_finite_scores_are_quarantined() {
+        let obj = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| {
+                let x = c.f64_or("x", 0.0);
+                if x < 0.3 {
+                    f64::NAN
+                } else {
+                    x
+                }
+            },
+        };
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: 30, seed: 4, ..Default::default() },
+        );
+        assert!(result.best_score.is_finite());
+        assert!(result.best_config.f64_or("x", 0.0) >= 0.3);
+        // Every NaN trial is tallied as NonFinite, never as Ok.
+        for t in &result.history {
+            assert!(t.score.is_finite(), "NaN leaked into a trial score");
+            if let Some(TrialOutcome::Ok(s)) = &t.outcome {
+                assert!(s.is_finite());
+            }
+        }
+        assert!(result.failures.non_finite > 0);
+    }
+
+    #[test]
+    fn trial_timeout_classifies_hanging_fits() {
+        use std::time::Duration;
+        // Fits at x > 0.5 hang far longer than the watchdog allows.
+        let obj = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| {
+                let x = c.f64_or("x", 0.0);
+                if x > 0.5 {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                x
+            },
+        };
+        let start = std::time::Instant::now();
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions {
+                max_trials: 12,
+                seed: 1,
+                trial_timeout: Some(Duration::from_millis(25)),
+                ..Default::default()
+            },
+        );
+        assert!(result.failures.timed_out > 0, "no trial was ever timed out");
+        assert!(result.best_config.f64_or("x", 1.0) <= 0.5);
+        // 12 trials × ≤2 folds × ~200ms sleeps would be ~5s unguarded;
+        // the timeout classification must not wait the sleeps out fully
+        // but the run must still terminate promptly overall.
+        assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_faults() {
+        // Everything panics: with threshold 3 the loop must stop after
+        // exactly 3 trials instead of burning the whole budget.
+        let obj = StaticObjective {
+            folds: 2,
+            f: |_: &ParamConfig, _| panic!("always broken"),
+        };
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: 50, breaker_threshold: 3, ..Default::default() },
+        );
+        assert!(result.tripped, "breaker never tripped");
+        assert_eq!(result.history.len(), 3);
+        assert_eq!(result.failures.panicked, 3);
+    }
+
+    #[test]
+    fn infeasible_configs_do_not_trip_the_breaker() {
+        // `Err` from the objective is plain infeasibility — the breaker
+        // must ignore it and let the loop run its budget.
+        struct Infeasible;
+        impl crate::Objective for Infeasible {
+            fn n_folds(&self) -> usize {
+                2
+            }
+            fn evaluate_fold(&self, _: &ParamConfig, _: usize) -> Result<f64, String> {
+                Err("infeasible".into())
+            }
+        }
+        let result = Smac::default().optimize(
+            &space_1d(),
+            &Infeasible,
+            &OptOptions { max_trials: 8, breaker_threshold: 2, ..Default::default() },
+        );
+        assert!(!result.tripped);
+        assert_eq!(result.failures.failed, 8);
+    }
+
+    #[test]
+    fn legacy_trial_records_deserialize_without_outcome() {
+        // Records serialized before the taxonomy existed must still load.
+        let json = r#"{"config":{"values":{}},"score":0.5,"folds_evaluated":2,"elapsed_secs":0.1}"#;
+        let trial: Trial = serde_json::from_str(json).unwrap();
+        assert!(trial.outcome.is_none());
+        assert!(trial.is_success(), "finite legacy score counts as success");
+    }
+
+    #[test]
+    fn fault_outcomes_do_not_change_winner_when_quarantined_region_is_losing() {
+        // Clean run vs a run where only the low-scoring half of the space
+        // faults: the quarantine keeps the surrogate consistent enough
+        // that the winner region is unchanged.
+        let clean = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| c.f64_or("x", 0.0),
+        };
+        let faulty = StaticObjective {
+            folds: 2,
+            f: |c: &ParamConfig, _| {
+                let x = c.f64_or("x", 0.0);
+                if x < 0.2 {
+                    panic!("low region faults");
+                }
+                x
+            },
+        };
+        let opts = OptOptions { max_trials: 30, seed: 9, ..Default::default() };
+        let a = Smac::default().optimize(&space_1d(), &clean, &opts);
+        let b = Smac::default().optimize(&space_1d(), &faulty, &opts);
+        assert!(a.best_config.f64_or("x", 0.0) > 0.7);
+        assert!(b.best_config.f64_or("x", 0.0) > 0.7);
+        assert!((a.best_score - b.best_score).abs() < 0.1);
     }
 
     #[test]

@@ -3,10 +3,12 @@
 //! simulation baseline can therefore use either optimiser.
 
 use crate::objective::Objective;
+use crate::outcome::FailureCounts;
 use crate::smac::{OptOptions, OptResult, Optimizer, Trial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartml_classifiers::{ParamConfig, ParamSpace, ParamSpec, ParamValue};
+use smartml_runtime::faults::TrialToken;
 use std::time::Instant;
 
 /// The TPE optimiser: models P(x | good) and P(x | bad) with per-dimension
@@ -44,6 +46,7 @@ impl Optimizer for Tpe {
         let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(options.seed);
         let mut history: Vec<Trial> = Vec::new();
+        let mut failures = FailureCounts::default();
         let warm: Vec<ParamConfig> =
             options.initial_configs.iter().map(|c| space.repair(c)).collect();
         for t in 0..options.max_trials {
@@ -59,24 +62,37 @@ impl Optimizer for Tpe {
             } else {
                 self.propose(space, &history, &mut rng)
             };
-            let score = objective.evaluate_full_with(&config, options.pool).unwrap_or(0.0);
+            let token = TrialToken::bounded(options.trial_timeout, options.deadline);
+            let outcome = objective.evaluate_full_outcome(&config, options.pool, &token);
+            failures.record(&outcome);
+            let score = outcome.score().unwrap_or(0.0);
             history.push(Trial {
                 config,
                 score,
                 folds_evaluated: objective.n_folds(),
                 elapsed_secs: start.elapsed().as_secs_f64(),
+                outcome: Some(outcome),
             });
         }
         let best = history
             .iter()
+            .filter(|t| t.is_success())
             .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
             .cloned();
         match best {
-            Some(t) => OptResult { best_config: t.config, best_score: t.score, history },
+            Some(t) => OptResult {
+                best_config: t.config,
+                best_score: t.score,
+                history,
+                failures,
+                tripped: false,
+            },
             None => OptResult {
                 best_config: space.default_config(),
                 best_score: 0.0,
                 history,
+                failures,
+                tripped: false,
             },
         }
     }

@@ -1,0 +1,163 @@
+//! Deterministic fault-injection tests for the SMAC loop: with the
+//! `fault-injection` feature armed, `smac::fold` fail points panic and
+//! hang at seed-driven rates, and the optimiser must contain every fault
+//! — terminate within its deadline, never deadlock the fold cache, keep
+//! an exact failure ledger, and never crown a faulted configuration.
+#![cfg(feature = "fault-injection")]
+
+use proptest::prelude::*;
+use smartml_classifiers::Algorithm;
+use smartml_data::synth::gaussian_blobs;
+use smartml_runtime::faults::fail::{self, FaultPlan, SiteRule};
+use smartml_runtime::Deadline;
+use smartml_smac::{ClassifierObjective, OptOptions, OptResult, Optimizer, Smac};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The fail-point plan and its counters are process-global; tests that
+/// arm them must not overlap.
+static ARMED: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ARMED.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One SMAC run over a fresh objective (fresh fold cache) under the
+/// currently armed plan.
+fn run_smac(opt_seed: u64) -> OptResult {
+    let data = gaussian_blobs("faults", 60, 3, 2, 0.9, 7);
+    let objective = ClassifierObjective::new(Algorithm::Knn, &data, &data.all_rows(), 3, 5);
+    let space = Algorithm::Knn.param_space();
+    let options = OptOptions {
+        max_trials: 8,
+        seed: opt_seed,
+        trial_timeout: Some(Duration::from_millis(150)),
+        deadline: Deadline::after(Duration::from_secs(30)),
+        ..Default::default()
+    };
+    Smac::default().optimize(&space, &objective, &options)
+}
+
+fn fold_rule(panic_rate: f64, hang_rate: f64) -> SiteRule {
+    SiteRule {
+        site: "smac::fold".into(),
+        panic_rate,
+        hang_rate,
+        // Far beyond the trial timeout: uncontained, one hang would eat
+        // the whole deadline. Cooperative polling frees it at ~150 ms.
+        hang_for: Duration::from_secs(30),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Panic/hang rates up to 30%: the loop terminates well inside its
+    /// deadline (so no fold-cache waiter deadlocked on a panicked
+    /// in-flight slot), the ledger covers every trial, the counts match
+    /// the injection counters exactly, faults never crown a winner, and
+    /// the whole run is reproducible under the same plan.
+    #[test]
+    fn smac_contains_faults_at_up_to_30_percent(
+        panic_rate in 0.0..0.3f64,
+        hang_rate in 0.0..0.3f64,
+        plan_seed in 0u64..512,
+    ) {
+        let _guard = lock();
+        let plan = FaultPlan { seed: plan_seed, rules: vec![fold_rule(panic_rate, hang_rate)] };
+
+        fail::arm(plan.clone());
+        let started = Instant::now();
+        let result = run_smac(11);
+        let elapsed = started.elapsed();
+        let (panics, hangs) = (fail::injected_panics(), fail::injected_hangs());
+        fail::disarm();
+
+        prop_assert!(
+            elapsed < Duration::from_secs(30),
+            "run must finish inside the deadline, took {elapsed:?}"
+        );
+        prop_assert_eq!(result.failures.total(), result.history.len());
+        // Serial folds: every injected panic ends exactly one race as
+        // Panicked, every injected hang expires exactly one trial token.
+        prop_assert_eq!(result.failures.panicked, panics);
+        prop_assert_eq!(result.failures.timed_out, hangs);
+        for trial in result.history.iter().filter(|t| !t.is_success()) {
+            prop_assert!(
+                trial.config.summary() != result.best_config.summary()
+                    || result.best_score == 0.0,
+                "a faulted configuration must never be the winner"
+            );
+        }
+
+        // Same plan, same seeds: the faulted run replays identically.
+        fail::arm(plan);
+        let replay = run_smac(11);
+        fail::disarm();
+        prop_assert_eq!(replay.best_config.summary(), result.best_config.summary());
+        prop_assert_eq!(replay.history.len(), result.history.len());
+        for (a, b) in replay.history.iter().zip(result.history.iter()) {
+            prop_assert_eq!(a.config.summary(), b.config.summary());
+            prop_assert_eq!(
+                a.outcome.as_ref().map(|o| o.kind()),
+                b.outcome.as_ref().map(|o| o.kind())
+            );
+        }
+    }
+}
+
+/// An armed plan whose rules hit no site the optimiser runs through must
+/// change nothing: same winner, same history as the disarmed run — the
+/// injection layer is invisible unless it actually fires.
+#[test]
+fn non_matching_plan_leaves_the_winner_unchanged() {
+    let _guard = lock();
+    let baseline = run_smac(23);
+    fail::arm(FaultPlan {
+        seed: 99,
+        rules: vec![SiteRule {
+            site: "unrelated::site".into(),
+            panic_rate: 1.0,
+            hang_rate: 0.0,
+            hang_for: Duration::ZERO,
+        }],
+    });
+    let injected = run_smac(23);
+    let fired = fail::injected_panics() + fail::injected_hangs();
+    fail::disarm();
+    assert_eq!(fired, 0, "no matching site may fire");
+    assert_eq!(injected.best_config.summary(), baseline.best_config.summary());
+    assert_eq!(injected.best_score, baseline.best_score);
+    assert_eq!(injected.history.len(), baseline.history.len());
+}
+
+/// Every trial hangs: the watchdog must cut each one at the trial
+/// timeout, the breaker must stop the loop after exactly its threshold,
+/// and the whole ordeal must cost ~threshold × timeout, not the budget.
+#[test]
+fn all_hanging_trials_trip_the_breaker_quickly() {
+    let _guard = lock();
+    fail::arm(FaultPlan { seed: 1, rules: vec![fold_rule(0.0, 1.0)] });
+    let data = gaussian_blobs("hang", 60, 3, 2, 0.9, 7);
+    let objective = ClassifierObjective::new(Algorithm::Knn, &data, &data.all_rows(), 3, 5);
+    let space = Algorithm::Knn.param_space();
+    let options = OptOptions {
+        max_trials: 50,
+        seed: 3,
+        trial_timeout: Some(Duration::from_millis(100)),
+        breaker_threshold: 3,
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let result = Smac::default().optimize(&space, &objective, &options);
+    let elapsed = started.elapsed();
+    fail::disarm();
+
+    assert!(result.tripped, "consecutive timeouts must trip the breaker");
+    assert_eq!(result.history.len(), 3, "the loop must stop at the threshold");
+    assert_eq!(result.failures.timed_out, 3);
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "3 trials x 100ms watchdog must not take {elapsed:?}"
+    );
+}

@@ -54,7 +54,9 @@ start_server() {
 start_server "$SMOKE_DIR/server1.log"
 "$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm KNN --accuracy 0.91 > /dev/null
 "$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm RandomForest --accuracy 0.88 > /dev/null
-"$CLI" kb query  "$CSV" --kb "tcp:$ADDR" | grep -q "KNN" \
+# Plain grep (not -q): grep -q exits at the first match, closing the pipe
+# and SIGPIPE-ing the CLI while it is still printing the neighbour list.
+"$CLI" kb query  "$CSV" --kb "tcp:$ADDR" | grep "KNN" > /dev/null \
   || { echo "live query missing KNN nomination"; exit 1; }
 
 kill -9 "$SERVER_PID"
@@ -62,14 +64,19 @@ wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 
 start_server "$SMOKE_DIR/server2.log"
-"$CLI" kb stats --kb "tcp:$ADDR" | grep -q "1 datasets / 2 runs" \
+"$CLI" kb stats --kb "tcp:$ADDR" | grep "1 datasets / 2 runs" > /dev/null \
   || { echo "recovery lost records"; "$CLI" kb stats --kb "tcp:$ADDR"; exit 1; }
-"$CLI" kb query "$CSV" --kb "tcp:$ADDR" | grep -q "KNN" \
+"$CLI" kb query "$CSV" --kb "tcp:$ADDR" | grep "KNN" > /dev/null \
   || { echo "recovered KB missing KNN nomination"; exit 1; }
 kill -9 "$SERVER_PID"
 wait "$SERVER_PID" 2>/dev/null || true
 SERVER_PID=""
 echo "    smartmld survives kill -9 with no data loss"
+
+echo "==> fault injection: panics/hangs at 30% contained, ledger exact, kill-the-trial watchdog"
+cargo test -q --offline --features fault-injection \
+  -p smartml-smac --test fault_injection \
+  -p smartml-integration --test fault_containment
 
 echo "==> perf smoke: tree kernels vs committed baseline (fails on panic or >5x regression)"
 ./target/release/tree_kernels --quick --check BENCH_tree_kernels.json > /dev/null
