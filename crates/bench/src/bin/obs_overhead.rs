@@ -1,0 +1,175 @@
+//! Overhead benchmark for the observability layer (`crates/obs`).
+//!
+//! The contract the rest of the workspace relies on: instrumentation left
+//! in hot paths (pool dispatch, SMAC trials, classifier fits) costs a
+//! single relaxed atomic load while metrics/tracing are disabled. This
+//! bench measures that disabled path directly and *fails* (non-zero exit)
+//! if a disabled counter increment exceeds the 5 ns/op budget, so a stray
+//! allocation or lock sneaking into the fast path breaks the build, not
+//! just a number in a JSON file.
+//!
+//! Enabled-path numbers are reported for context and gated only loosely
+//! (5x against the committed reference, same policy as `tree_kernels`).
+//!
+//! Usage: `obs_overhead [--quick] [--out FILE] [--check FILE]`
+//!   --quick   fewer iterations (CI smoke)
+//!   --out     write the results JSON to FILE
+//!   --check   compare against a previously committed JSON; exit non-zero
+//!             if any path regressed by more than 5x
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+use smartml_obs::{
+    disable_metrics, disable_tracing, drain_trace, enable_metrics, enable_tracing, span, Counter,
+    Histogram,
+};
+
+static BENCH_COUNTER: Counter = Counter::new("bench.obs.counter");
+static BENCH_HISTOGRAM: Histogram = Histogram::new("bench.obs.histogram");
+
+/// Disabled-path budget from the issue: a counter increment with metrics
+/// off must stay under this, or the "near-zero overhead" claim is void.
+const DISABLED_BUDGET_NS: f64 = 5.0;
+
+/// Minimum ns/op over `reps` timed runs of `iters` calls to `f`.
+fn ns_per_op(reps: usize, iters: u64, mut f: impl FnMut(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for i in 0..iters {
+            f(i);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e9 / iters as f64
+}
+
+struct BenchResult {
+    name: &'static str,
+    ns_per_op: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag_value("--out");
+    let check_path = flag_value("--check");
+
+    let reps = if quick { 3 } else { 7 };
+    let cheap_iters: u64 = if quick { 5_000_000 } else { 50_000_000 };
+    let span_iters: u64 = if quick { 200_000 } else { 1_000_000 };
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    let mut run = |name: &'static str, iters: u64, f: &mut dyn FnMut(u64)| {
+        let ns = ns_per_op(reps, iters, f);
+        eprintln!("{name:<28} {ns:>8.3} ns/op");
+        results.push(BenchResult { name, ns_per_op: ns });
+    };
+
+    // Disabled paths: the numbers the whole design hangs on.
+    disable_metrics();
+    disable_tracing();
+    run("counter_inc_disabled", cheap_iters, &mut |_| {
+        black_box(&BENCH_COUNTER).inc();
+    });
+    run("histogram_record_disabled", cheap_iters, &mut |i| {
+        black_box(&BENCH_HISTOGRAM).record(i & 0xFFFF);
+    });
+    run("span_disabled", span_iters, &mut |i| {
+        let _g = span!("bench.obs.span", i = i);
+        black_box(&_g);
+    });
+
+    // Enabled paths: live counters shard across padded atomics, spans take
+    // the ring-buffer mutex and format their args.
+    enable_metrics();
+    run("counter_inc_enabled", cheap_iters, &mut |_| {
+        black_box(&BENCH_COUNTER).inc();
+    });
+    run("histogram_record_enabled", cheap_iters, &mut |i| {
+        black_box(&BENCH_HISTOGRAM).record(i & 0xFFFF);
+    });
+    disable_metrics();
+
+    enable_tracing(None);
+    run("span_enabled", span_iters, &mut |i| {
+        let _g = span!("bench.obs.span", i = i);
+        black_box(&_g);
+    });
+    disable_tracing();
+    let trace = drain_trace();
+    assert!(!trace.spans.is_empty(), "enabled spans must land in the ring");
+
+    let results_json = Value::Object(
+        results
+            .iter()
+            .map(|r| (r.name.to_string(), json!({ "ns_per_op": r.ns_per_op })))
+            .collect(),
+    );
+    let report = json!({
+        "description": "Observability overhead: ns per operation for counter/histogram/span instrumentation with metrics and tracing disabled (the always-on cost paid by every run) and enabled. Min over repetitions. The disabled counter path is hard-gated at 5 ns/op.",
+        "command": if quick { "obs_overhead --quick" } else { "obs_overhead" },
+        "budget": { "counter_inc_disabled_max_ns": DISABLED_BUDGET_NS },
+        "results": results_json,
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    println!("{rendered}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, rendered + "\n").expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    let mut failed = false;
+
+    // Hard gate, independent of any reference file: the disabled counter
+    // increment is the cost every instrumented hot path pays per call.
+    let disabled =
+        results.iter().find(|r| r.name == "counter_inc_disabled").map(|r| r.ns_per_op).unwrap();
+    if disabled > DISABLED_BUDGET_NS {
+        eprintln!(
+            "check FAILED: disabled counter increment {disabled:.3} ns/op exceeds the \
+             {DISABLED_BUDGET_NS} ns/op budget — the disabled path is no longer near-zero"
+        );
+        failed = true;
+    } else {
+        eprintln!("disabled-path budget ok: {disabled:.3} ns/op <= {DISABLED_BUDGET_NS} ns/op");
+    }
+
+    // Soft gate against the committed reference: catches order-of-magnitude
+    // regressions on any path without being host-sensitive.
+    if let Some(path) = check_path {
+        let reference: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("read --check file"))
+                .expect("parse --check file");
+        for r in &results {
+            let Some(ref_ns) = reference
+                .get("results")
+                .and_then(|v| v.get(r.name))
+                .and_then(|v| v.get("ns_per_op"))
+                .and_then(|v| v.as_f64())
+            else {
+                eprintln!("check: no reference entry for {} — skipping", r.name);
+                continue;
+            };
+            if r.ns_per_op > 5.0 * ref_ns {
+                eprintln!(
+                    "check FAILED: {} took {:.3} ns/op > 5x reference {:.3} ns/op",
+                    r.name, r.ns_per_op, ref_ns
+                );
+                failed = true;
+            }
+        }
+        if !failed {
+            eprintln!("check passed: all paths within 5x of {path}");
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -6,9 +6,38 @@
 //! pipeline all address classifiers through this registry.
 
 use crate::algorithms::*;
+use crate::api::{ClassifierError, TrainedModel};
 use crate::params::{ParamConfig, ParamSpace, ParamSpec};
 use crate::Classifier;
 use serde::{Deserialize, Serialize};
+use smartml_data::Dataset;
+use smartml_obs::{span, Histogram};
+
+static FIT_US: Histogram = Histogram::new("clf.fit_us");
+
+/// Transparent fit-timing wrapper around a built classifier: records a
+/// `clf.fit` span and a `clf.fit_us` histogram sample per training call.
+/// Inert (one relaxed load per fit) while observability is disabled.
+struct TimedClassifier {
+    inner: Box<dyn Classifier>,
+}
+
+impl Classifier for TimedClassifier {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn fit(&self, data: &Dataset, rows: &[usize]) -> Result<Box<dyn TrainedModel>, ClassifierError> {
+        if !smartml_obs::metrics_enabled() && !smartml_obs::tracing_enabled() {
+            return self.inner.fit(data, rows);
+        }
+        let _s = span!("clf.fit", algo = self.inner.name(), rows = rows.len());
+        let start = std::time::Instant::now();
+        let out = self.inner.fit(data, rows);
+        FIT_US.record_duration(start.elapsed());
+        out
+    }
+}
 
 /// The 15 classification algorithms of paper Table 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -221,6 +250,10 @@ impl Algorithm {
     /// values are repaired against the space first, so any KB-stored
     /// configuration is safe to use.
     pub fn build(self, config: &ParamConfig) -> Box<dyn Classifier> {
+        Box::new(TimedClassifier { inner: self.build_untimed(config) })
+    }
+
+    fn build_untimed(self, config: &ParamConfig) -> Box<dyn Classifier> {
         let config = self.param_space().repair(config);
         match self {
             Algorithm::Svm => Box::new(Svm::from_config(&config)),

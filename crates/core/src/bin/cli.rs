@@ -6,16 +6,23 @@
 //!                 [--kb SPEC] [--ensemble] [--interpret] [--top-n N]
 //!                 [--preprocess op1,op2] [--seed N] [--markdown] [--json]
 //!                 [--trial-timeout SECS] [--breaker-threshold K]
+//!                 [--trace-out FILE] [--metrics]
 //! smartml-cli metafeatures <data.csv|data.arff>
 //! smartml-cli describe <data.csv|data.arff>
 //! smartml-cli algorithms
 //! smartml-cli bootstrap --kb PATH [--fast]
 //! smartml-cli api < request.json
 //! smartml-cli kb serve --dir DIR [--addr HOST:PORT] [--no-fsync]
-//! smartml-cli kb stats|snapshot --kb SPEC
+//! smartml-cli kb stats|snapshot|metrics --kb SPEC
 //! smartml-cli kb query <data> --kb SPEC [--top-n N]
 //! smartml-cli kb record <data> --kb SPEC --algorithm NAME --accuracy X
 //! ```
+//!
+//! `--trace-out FILE` records structured spans for the run, writes them
+//! as a Chrome-trace JSON file (open in `chrome://tracing` or Perfetto),
+//! and adds a "Where the time went" section to the report. `--metrics`
+//! enables the process metrics registry and dumps it to stderr after the
+//! run.
 //!
 //! `--kb SPEC` accepts a plain JSON path, `wal:DIR` for the durable
 //! write-ahead-logged store, or `tcp:HOST:PORT` for a running `smartmld`.
@@ -122,6 +129,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     options.ensembling = has_flag(args, "--ensemble");
     options.interpretability = has_flag(args, "--interpret");
+    options.trace = flag_value(args, "--trace-out").is_some() || has_flag(args, "--trace");
+    if has_flag(args, "--metrics") {
+        smartml_obs::enable_metrics();
+    }
 
     let kb_spec = flag_value(args, "--kb").map(KbSource::parse).transpose()?;
     match kb_spec {
@@ -176,6 +187,25 @@ fn run_engine<B: KbBackend>(
         print!("{}", outcome.report.render_markdown());
     } else {
         print!("{}", outcome.report.render());
+    }
+    if let Some(path) = flag_value(args, "--trace-out") {
+        let trace = outcome
+            .trace
+            .as_ref()
+            .ok_or("--trace-out: run produced no trace (tracing was not enabled)")?;
+        std::fs::write(path, trace.to_chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "trace: {} spans written to {path} (open in chrome://tracing){}",
+            trace.spans.len(),
+            if trace.dropped > 0 {
+                format!("; {} spans dropped to the ring-buffer cap", trace.dropped)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if has_flag(args, "--metrics") {
+        eprint!("{}", smartml_obs::snapshot().render_text());
     }
     Ok(engine.into_kb())
 }
@@ -238,7 +268,8 @@ fn cmd_kb(args: &[String]) -> Result<(), String> {
         Some("query") => kb_query(&args[1..]),
         Some("record") => kb_record(&args[1..]),
         Some("snapshot") => kb_snapshot(&args[1..]),
-        _ => Err("usage: smartml-cli kb <serve|stats|query|record|snapshot> ...".into()),
+        Some("metrics") => kb_metrics(&args[1..]),
+        _ => Err("usage: smartml-cli kb <serve|stats|query|record|snapshot|metrics> ...".into()),
     }
 }
 
@@ -386,6 +417,30 @@ fn kb_record(args: &[String]) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             println!("recorded; tcp:{addr}: {datasets} datasets / {runs} runs");
         }
+    }
+    Ok(())
+}
+
+/// `kb metrics`: fetch a live server's request/latency/WAL metrics over
+/// the `metrics` protocol verb.
+fn kb_metrics(args: &[String]) -> Result<(), String> {
+    let KbSource::Remote(addr) = parse_kb_spec(args)? else {
+        return Err("kb metrics applies to tcp: knowledge bases (a live smartmld)".into());
+    };
+    let m = KbClient::connect(&*addr).metrics().map_err(|e| e.to_string())?;
+    println!("smartmld at {addr}:");
+    println!("  requests        {}", m.requests);
+    println!("  errors          {}", m.errors);
+    println!("  bytes in/out    {} / {}", m.bytes_in, m.bytes_out);
+    println!(
+        "  latency (us)    p50 {} / p99 {} / max {} / mean {:.1}",
+        m.request_us_p50, m.request_us_p99, m.request_us_max, m.request_us_mean
+    );
+    println!("  wal fsyncs      {}", m.wal_fsyncs);
+    println!("  wal rotations   {}", m.wal_rotations);
+    println!("  by verb:");
+    for (op, count) in &m.ops {
+        println!("    {op:<16} {count}");
     }
     Ok(())
 }

@@ -1,0 +1,104 @@
+//! Schema validator for Chrome-trace files written by `--trace-out`.
+//!
+//! CI runs this against a real traced run; it exits non-zero with a loud
+//! message if the file is not the trace the docs promise:
+//!
+//! 1. parses as a JSON array of complete-duration events;
+//! 2. every event carries `name`/`cat` strings, `ph == "X"`, and numeric
+//!    `ts`/`dur`/`pid`/`tid`;
+//! 3. the span hierarchy is present: a root `run` span, the pipeline
+//!    phases, per-algorithm `phase4.tune`, `smac.trial`, `smac.fold`;
+//! 4. phase durations nest inside the root span: their sum must not
+//!    exceed the `run` duration by more than 1%.
+//!
+//! Usage: `trace_check FILE`
+
+use serde_json::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn num(event: &Value, key: &str, idx: usize) -> f64 {
+    event
+        .get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| fail(&format!("event {idx}: missing or non-numeric {key:?}: {event}")))
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => fail("usage: trace_check FILE"),
+    };
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let parsed: Value = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    let events = parsed
+        .as_array()
+        .unwrap_or_else(|| fail(&format!("{path}: top level must be a JSON array of events")));
+    if events.is_empty() {
+        fail(&format!("{path}: trace contains no events"));
+    }
+
+    let mut run_dur: Option<f64> = None;
+    let mut phase_dur_sum = 0.0;
+    let mut seen = std::collections::BTreeSet::new();
+    for (idx, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(&format!("event {idx}: missing string \"name\": {event}")));
+        if event.get("cat").and_then(Value::as_str).is_none() {
+            fail(&format!("event {idx}: missing string \"cat\": {event}"));
+        }
+        match event.get("ph").and_then(Value::as_str) {
+            Some("X") => {}
+            other => fail(&format!("event {idx}: ph must be \"X\", got {other:?}: {event}")),
+        }
+        num(event, "ts", idx);
+        let dur = num(event, "dur", idx);
+        num(event, "pid", idx);
+        num(event, "tid", idx);
+
+        seen.insert(name.to_string());
+        if name == "run" {
+            if run_dur.is_some() {
+                fail("more than one root \"run\" span");
+            }
+            run_dur = Some(dur);
+        } else if name.starts_with("phase") && name != "phase4.tune" {
+            // Top-level pipeline phases; phase4.tune is per-algorithm work
+            // *inside* phase4.tune_all and would double-count.
+            phase_dur_sum += dur;
+        }
+    }
+
+    for required in ["run", "phase2.preprocess", "phase3.select", "phase4.tune_all", "phase4.tune", "smac.trial", "smac.fold"] {
+        if !seen.contains(required) {
+            fail(&format!(
+                "span {required:?} missing — the phase/algorithm/trial/fold hierarchy is incomplete (saw: {seen:?})"
+            ));
+        }
+    }
+
+    let run_dur = run_dur.unwrap_or_else(|| fail("no root \"run\" span"));
+    if run_dur <= 0.0 {
+        fail("root \"run\" span has zero duration");
+    }
+    if phase_dur_sum > run_dur * 1.01 {
+        fail(&format!(
+            "phase durations sum to {phase_dur_sum:.0}us > 101% of the run span ({run_dur:.0}us) — phases must nest inside the run"
+        ));
+    }
+
+    println!(
+        "trace ok: {} events, {} distinct spans, phases cover {:.1}% of the {:.3}s run",
+        events.len(),
+        seen.len(),
+        100.0 * phase_dur_sum / run_dur,
+        run_dur / 1e6
+    );
+}

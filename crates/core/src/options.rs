@@ -142,6 +142,11 @@ pub struct SmartMlOptions {
     /// its remaining budget is reallocated to the survivors (`0` =
     /// breakers disabled).
     pub breaker_threshold: usize,
+    /// Record structured spans for the run and attach a "Where the time
+    /// went" timeline to the report. Off by default: the disabled path is
+    /// a single atomic load per instrumentation site and the report is
+    /// byte-identical to a build without observability.
+    pub trace: bool,
 }
 
 impl Default for SmartMlOptions {
@@ -162,6 +167,7 @@ impl Default for SmartMlOptions {
             n_threads: 0,
             trial_timeout: None,
             breaker_threshold: 5,
+            trace: false,
         }
     }
 }
@@ -218,6 +224,12 @@ impl SmartMlOptions {
     /// Sets the circuit-breaker threshold (`0` = disabled).
     pub fn with_breaker_threshold(mut self, k: usize) -> Self {
         self.breaker_threshold = k;
+        self
+    }
+
+    /// Enables span tracing and timeline attribution for the run.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 

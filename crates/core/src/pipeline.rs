@@ -6,13 +6,14 @@ use crate::interpret::permutation_importance_with;
 use crate::options::{Budget, SmartMlOptions};
 use crate::report::{
     AlgorithmFailures, AlgorithmTuning, BestModel, EnsembleReport, FailureReport, PhaseTrace,
-    RunReport,
+    RunReport, TimeAttribution,
 };
 use smartml_classifiers::{Algorithm, ParamConfig, TrainedModel};
 use smartml_data::{accuracy, degenerate_metric_count, train_valid_split, Dataset};
 use smartml_kb::{AlgorithmRun, KbBackend, KbError, KnowledgeBase, QueryOptions, Recommendation};
 use smartml_metafeatures::{extract, landmarkers};
 use smartml_preprocess::{pipeline_from_ops, MutualInfoSelect, PreprocessError, Transform};
+use smartml_obs::{record_interval, span, Timeline, Trace};
 use smartml_runtime::faults::{run_trial, GuardOutcome, TrialToken};
 use smartml_runtime::{Deadline, Pool};
 use smartml_smac::{ClassifierObjective, OptOptions, Optimizer, Smac};
@@ -75,6 +76,44 @@ pub struct RunOutcome {
     pub valid_rows: Vec<usize>,
     /// Training rows (indices into `preprocessed`).
     pub train_rows: Vec<usize>,
+    /// The raw span trace of the run, when tracing was enabled — the CLI
+    /// exports it as a Chrome-trace file (`--trace-out`). `None` when
+    /// `options.trace` was off.
+    pub trace: Option<Trace>,
+}
+
+/// Scopes global span recording to one `SmartML::run`: enables tracing on
+/// construction (when requested) and guarantees it is switched off again
+/// on every exit path, including errors — otherwise an early `NoModel`
+/// return would leave the process recording spans forever.
+struct TracingSession {
+    active: bool,
+}
+
+impl TracingSession {
+    fn start(trace: bool) -> TracingSession {
+        if trace {
+            // Discard anything left in the ring by an earlier run that
+            // errored out before draining.
+            let _ = smartml_obs::drain_trace();
+            smartml_obs::enable_tracing(None);
+        }
+        TracingSession { active: trace }
+    }
+
+    /// Drains the recorded spans on the success path (tracing stays off
+    /// afterwards via `Drop`).
+    fn finish(&self) -> Option<Trace> {
+        self.active.then(smartml_obs::drain_trace)
+    }
+}
+
+impl Drop for TracingSession {
+    fn drop(&mut self) {
+        if self.active {
+            smartml_obs::disable_tracing();
+        }
+    }
 }
 
 /// The SmartML engine: a knowledge base plus run options.
@@ -126,6 +165,8 @@ impl<B: KbBackend> SmartML<B> {
     pub fn run(&mut self, data: &Dataset) -> Result<RunOutcome, SmartMlError> {
         let opts = self.options.clone();
         opts.validate().map_err(SmartMlError::BadOptions)?;
+        let tracing = TracingSession::start(opts.trace);
+        let run_start = Instant::now();
         let mut phases: Vec<PhaseTrace> = Vec::new();
         let mut kb_warnings: Vec<String> = Vec::new();
         let degenerate_metrics_before = degenerate_metric_count();
@@ -160,6 +201,7 @@ impl<B: KbBackend> SmartML<B> {
         let query_landmarkers = opts
             .use_landmarkers
             .then(|| landmarkers(&preprocessed, &train_rows));
+        record_interval("phase2.preprocess", String::new(), t, t.elapsed());
         phases.push(PhaseTrace {
             phase: "Dataset Preprocessing".into(),
             secs: t.elapsed().as_secs_f64(),
@@ -213,6 +255,7 @@ impl<B: KbBackend> SmartML<B> {
                     .map(|r| (r.algorithm, r.score, r.warm_starts.clone()))
                     .collect()
             };
+        record_interval("phase3.select", String::new(), t, t.elapsed());
         phases.push(PhaseTrace {
             phase: "Algorithm Selection".into(),
             secs: t.elapsed().as_secs_f64(),
@@ -265,6 +308,7 @@ impl<B: KbBackend> SmartML<B> {
                 Budget::Time(_) if shared_deadline.is_some() => (usize::MAX, None),
                 Budget::Time(d) => (usize::MAX, Some(d)),
             };
+            let _tune_span = span!("phase4.tune", algo = algorithm.paper_name());
             let result = Smac::default().optimize(
                 &algorithm.param_space(),
                 &objective,
@@ -277,6 +321,7 @@ impl<B: KbBackend> SmartML<B> {
                     deadline: shared_deadline,
                     trial_timeout: opts.trial_timeout,
                     breaker_threshold: opts.breaker_threshold,
+                    trace_tag: algorithm.paper_name().to_string(),
                 },
             );
             (algorithm, score, warm_starts, share, result)
@@ -348,6 +393,7 @@ impl<B: KbBackend> SmartML<B> {
             } else {
                 (usize::MAX, Some(Duration::from_secs_f64(secs)))
             };
+            let _tune_span = span!("phase4.tune", algo = algorithm.paper_name());
             let result = Smac::default().optimize(
                 &algorithm.param_space(),
                 &objective,
@@ -360,6 +406,7 @@ impl<B: KbBackend> SmartML<B> {
                     deadline: shared_deadline,
                     trial_timeout: opts.trial_timeout,
                     breaker_threshold: opts.breaker_threshold,
+                    trace_tag: algorithm.paper_name().to_string(),
                 },
             );
             (idx, result)
@@ -429,6 +476,7 @@ impl<B: KbBackend> SmartML<B> {
             finalists.extend(finalist);
             algorithm_failures.push(faults);
         }
+        record_interval("phase4.tune_all", String::new(), t, t.elapsed());
         phases.push(PhaseTrace {
             phase: "Hyper-parameter Tuning".into(),
             secs: t.elapsed().as_secs_f64(),
@@ -544,6 +592,7 @@ impl<B: KbBackend> SmartML<B> {
             }
         }
         kb_warnings.extend(self.kb.kb_health_warnings());
+        record_interval("phase5.output", String::new(), t, t.elapsed());
         phases.push(PhaseTrace {
             phase: "Output & KB Update".into(),
             secs: t.elapsed().as_secs_f64(),
@@ -573,6 +622,14 @@ impl<B: KbBackend> SmartML<B> {
             metric_warnings,
         };
 
+        // Close the trace: record the root span covering the whole run,
+        // drain the ring, and aggregate the phase/algorithm timeline.
+        record_interval("run", String::new(), run_start, run_start.elapsed());
+        let trace = tracing.finish();
+        let timeline = trace
+            .as_ref()
+            .map(|t| TimeAttribution::from_timeline(&Timeline::from_trace(t)));
+
         // Every objective (and its Arc clone) is gone by now; only the
         // clone fallback runs if a caller-side reference still lives.
         let preprocessed = Arc::try_unwrap(preprocessed).unwrap_or_else(|arc| (*arc).clone());
@@ -589,6 +646,7 @@ impl<B: KbBackend> SmartML<B> {
             ensemble: ensemble_report,
             importance,
             failures,
+            timeline,
         };
         Ok(RunOutcome {
             report,
@@ -597,6 +655,7 @@ impl<B: KbBackend> SmartML<B> {
             preprocessed,
             valid_rows,
             train_rows,
+            trace,
         })
     }
 }

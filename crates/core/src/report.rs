@@ -116,6 +116,96 @@ impl FailureReport {
     }
 }
 
+/// Wall-clock attribution for one algorithm's tuning work, derived from
+/// the span trace (the serialisable mirror of `smartml_obs::AlgoTimeline`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlgoTime {
+    /// Algorithm paper name (matches `Algorithm::paper_name`).
+    pub algorithm: String,
+    /// Wall-clock of the algorithm's `phase4.tune` span(s).
+    pub tune_secs: f64,
+    /// Trials the optimiser ran.
+    pub trials: u64,
+    /// Summed `smac.trial` span time — may exceed `tune_secs` when folds
+    /// run speculatively in parallel.
+    pub trial_secs: f64,
+    /// Cross-validation folds evaluated (cache misses only).
+    pub folds: u64,
+    /// Summed `smac.fold` span time.
+    pub fold_secs: f64,
+    /// Surrogate model refits.
+    pub surrogate_fits: u64,
+    /// Summed surrogate fit time.
+    pub surrogate_secs: f64,
+}
+
+/// "Where the time went": per-phase and per-algorithm wall-clock
+/// attribution, aggregated from the structured span trace when the run
+/// was started with tracing enabled ([`SmartMlOptions::trace`]).
+///
+/// Invariant: `phases` + `other_secs` sums to `total_secs` (the root
+/// `run` span) within measurement noise; per-algorithm numbers overlap
+/// under concurrency and are reported separately, not summed.
+///
+/// [`SmartMlOptions::trace`]: crate::options::SmartMlOptions::trace
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeAttribution {
+    /// Duration of the root `run` span, seconds.
+    pub total_secs: f64,
+    /// `(phase span name, seconds)` in start order.
+    pub phases: Vec<(String, f64)>,
+    /// Time inside `run` not covered by any phase span.
+    pub other_secs: f64,
+    /// Per-algorithm attribution, busiest first.
+    pub algorithms: Vec<AlgoTime>,
+    /// Spans lost to ring-buffer overwrite while recording (0 = the
+    /// attribution is complete).
+    pub dropped_spans: u64,
+}
+
+impl TimeAttribution {
+    /// Converts the obs-crate aggregate (which stays serde-free) into the
+    /// report's serialisable form.
+    pub fn from_timeline(tl: &smartml_obs::Timeline) -> TimeAttribution {
+        TimeAttribution {
+            total_secs: tl.total_secs,
+            phases: tl.phases.clone(),
+            other_secs: tl.other_secs,
+            algorithms: tl
+                .algorithms
+                .iter()
+                .map(|a| AlgoTime {
+                    algorithm: a.name.clone(),
+                    tune_secs: a.tune_secs,
+                    trials: a.trials,
+                    trial_secs: a.trial_secs,
+                    folds: a.folds,
+                    fold_secs: a.fold_secs,
+                    surrogate_fits: a.surrogate_fits,
+                    surrogate_secs: a.surrogate_secs,
+                })
+                .collect(),
+            dropped_spans: tl.dropped_spans,
+        }
+    }
+}
+
+/// Escapes characters that would break out of a Markdown table cell:
+/// `|` becomes `\|` and embedded newlines become spaces. Algorithm and
+/// parameter names flow into `render_markdown` cells verbatim, so any
+/// future name containing a pipe must not silently add table columns.
+pub fn md_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '|' => out.push_str("\\|"),
+            '\n' | '\r' => out.push(' '),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Full report of one SmartML run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -145,6 +235,14 @@ pub struct RunReport {
     /// reallocation, KB/metric degradations. Empty on a clean run.
     #[serde(default)]
     pub failures: FailureReport,
+    /// "Where the time went" — span-derived wall-clock attribution.
+    /// `None` unless the run was traced ([`SmartMlOptions::trace`]), so
+    /// untraced reports stay byte-identical to pre-observability ones
+    /// modulo the literal `null` field.
+    ///
+    /// [`SmartMlOptions::trace`]: crate::options::SmartMlOptions::trace
+    #[serde(default)]
+    pub timeline: Option<TimeAttribution>,
 }
 
 impl RunReport {
@@ -226,6 +324,33 @@ impl RunReport {
                 out.push_str(&format!("    metric: {w}\n"));
             }
         }
+        if let Some(tl) = &self.timeline {
+            out.push_str("  Where the time went:\n");
+            out.push_str(&format!("    total {:>26.3}s\n", tl.total_secs));
+            for (phase, secs) in &tl.phases {
+                out.push_str(&format!("    {:<28} {:>8.3}s\n", phase, secs));
+            }
+            out.push_str(&format!("    {:<28} {:>8.3}s\n", "(between phases)", tl.other_secs));
+            for a in &tl.algorithms {
+                out.push_str(&format!(
+                    "    {:<14} tune={:.3}s trials={} ({:.3}s) folds={} ({:.3}s) surrogate={} ({:.3}s)\n",
+                    a.algorithm,
+                    a.tune_secs,
+                    a.trials,
+                    a.trial_secs,
+                    a.folds,
+                    a.fold_secs,
+                    a.surrogate_fits,
+                    a.surrogate_secs,
+                ));
+            }
+            if tl.dropped_spans > 0 {
+                out.push_str(&format!(
+                    "    ({} spans dropped — attribution is partial)\n",
+                    tl.dropped_spans
+                ));
+            }
+        }
         out
     }
 }
@@ -242,14 +367,19 @@ impl RunReport {
         ));
         out.push_str("| phase | time (s) | detail |\n|---|---:|---|\n");
         for p in &self.phases {
-            out.push_str(&format!("| {} | {:.3} | {} |\n", p.phase, p.secs, p.detail));
+            out.push_str(&format!(
+                "| {} | {:.3} | {} |\n",
+                md_escape(&p.phase),
+                p.secs,
+                md_escape(&p.detail)
+            ));
         }
         out.push_str("\n| algorithm | cv acc | valid acc | trials | warm starts |\n");
         out.push_str("|---|---:|---:|---:|---:|\n");
         for t in &self.tuning {
             out.push_str(&format!(
                 "| {} | {:.4} | {:.4} | {} | {} |\n",
-                t.algorithm.paper_name(),
+                md_escape(t.algorithm.paper_name()),
                 t.best_cv_accuracy,
                 t.validation_accuracy,
                 t.trials,
@@ -277,7 +407,11 @@ impl RunReport {
         if let Some(imp) = &self.importance {
             out.push_str("\n| feature | permutation importance |\n|---|---:|\n");
             for fi in imp.iter().take(10) {
-                out.push_str(&format!("| {} | {:+.4} |\n", fi.feature, fi.importance));
+                out.push_str(&format!(
+                    "| {} | {:+.4} |\n",
+                    md_escape(&fi.feature),
+                    fi.importance
+                ));
             }
         }
         if !self.failures.is_clean() {
@@ -297,7 +431,7 @@ impl RunReport {
                 };
                 out.push_str(&format!(
                     "| {} | {} | {} | {} | {} | {} | {} |\n",
-                    af.algorithm.paper_name(),
+                    md_escape(af.algorithm.paper_name()),
                     af.counts.panicked,
                     af.counts.timed_out,
                     af.counts.non_finite,
@@ -311,6 +445,39 @@ impl RunReport {
             }
             for w in &self.failures.metric_warnings {
                 out.push_str(&format!("\n> metric: {w}\n"));
+            }
+        }
+        if let Some(tl) = &self.timeline {
+            out.push_str("\n### Where the time went\n\n");
+            out.push_str("| phase | time (s) |\n|---|---:|\n");
+            for (phase, secs) in &tl.phases {
+                out.push_str(&format!("| {} | {:.3} |\n", md_escape(phase), secs));
+            }
+            out.push_str(&format!("| (between phases) | {:.3} |\n", tl.other_secs));
+            out.push_str(&format!("| **total** | **{:.3}** |\n", tl.total_secs));
+            if !tl.algorithms.is_empty() {
+                out.push_str(
+                    "\n| algorithm | tune (s) | trials | trial (s) | folds | fold (s) | surrogate fits | surrogate (s) |\n|---|---:|---:|---:|---:|---:|---:|---:|\n",
+                );
+                for a in &tl.algorithms {
+                    out.push_str(&format!(
+                        "| {} | {:.3} | {} | {:.3} | {} | {:.3} | {} | {:.3} |\n",
+                        md_escape(&a.algorithm),
+                        a.tune_secs,
+                        a.trials,
+                        a.trial_secs,
+                        a.folds,
+                        a.fold_secs,
+                        a.surrogate_fits,
+                        a.surrogate_secs,
+                    ));
+                }
+            }
+            if tl.dropped_spans > 0 {
+                out.push_str(&format!(
+                    "\n> {} spans dropped — attribution is partial\n",
+                    tl.dropped_spans
+                ));
             }
         }
         out
@@ -344,6 +511,7 @@ mod tests {
             ensemble: None,
             importance: None,
             failures: FailureReport::default(),
+            timeline: None,
         }
     }
 
@@ -416,5 +584,80 @@ mod tests {
         // A clean report omits the section entirely.
         let clean = dummy_report();
         assert!(!clean.render().contains("Failures"));
+    }
+
+    #[test]
+    fn md_escape_neutralises_table_breakers() {
+        assert_eq!(md_escape("plain"), "plain");
+        assert_eq!(md_escape("a|b"), "a\\|b");
+        assert_eq!(md_escape("||"), "\\|\\|");
+        assert_eq!(md_escape("multi\nline\rname"), "multi line name");
+        assert_eq!(md_escape(""), "");
+        // Idempotence is NOT expected (escaping an escape re-escapes the
+        // pipe) — callers escape raw names exactly once.
+        assert_eq!(md_escape("a\\|b"), "a\\\\|b");
+    }
+
+    #[test]
+    fn markdown_cells_escape_pipes_in_names() {
+        let mut report = dummy_report();
+        report.phases[0].detail = "ops=[zv|pca]".into();
+        report.importance = Some(vec![crate::interpret::FeatureImportance {
+            feature: "f|0".into(),
+            importance: 0.5,
+        }]);
+        let md = report.render_markdown();
+        assert!(md.contains("ops=[zv\\|pca]"));
+        assert!(md.contains("| f\\|0 |"));
+        assert!(!md.contains("| f|0 |"));
+    }
+
+    #[test]
+    fn timeline_renders_in_both_formats() {
+        let mut report = dummy_report();
+        report.timeline = Some(TimeAttribution {
+            total_secs: 2.0,
+            phases: vec![
+                ("phase2.preprocess".into(), 0.25),
+                ("phase4.tune_all".into(), 1.5),
+            ],
+            other_secs: 0.25,
+            algorithms: vec![AlgoTime {
+                algorithm: "RandomForest".into(),
+                tune_secs: 1.4,
+                trials: 8,
+                trial_secs: 1.2,
+                folds: 16,
+                fold_secs: 1.0,
+                surrogate_fits: 4,
+                surrogate_secs: 0.1,
+            }],
+            dropped_spans: 0,
+        });
+        let text = report.render();
+        assert!(text.contains("Where the time went"));
+        assert!(text.contains("phase4.tune_all"));
+        assert!(text.contains("RandomForest"));
+        let md = report.render_markdown();
+        assert!(md.contains("### Where the time went"));
+        assert!(md.contains("| phase2.preprocess | 0.250 |"));
+        assert!(md.contains("| RandomForest | 1.400 | 8 |"));
+        // Untraced reports stay silent.
+        assert!(!dummy_report().render().contains("Where the time went"));
+        assert!(!dummy_report().render_markdown().contains("Where the time went"));
+    }
+
+    #[test]
+    fn timeline_phase_rows_sum_to_total() {
+        // The invariant the acceptance criteria pin: phases + other == total.
+        let tl = TimeAttribution {
+            total_secs: 3.0,
+            phases: vec![("phase2.preprocess".into(), 1.0), ("phase5.output".into(), 1.5)],
+            other_secs: 0.5,
+            algorithms: vec![],
+            dropped_spans: 0,
+        };
+        let sum: f64 = tl.phases.iter().map(|(_, s)| s).sum::<f64>() + tl.other_secs;
+        assert!((sum - tl.total_secs).abs() <= 0.01 * tl.total_secs);
     }
 }

@@ -14,7 +14,7 @@
 //! applied a write whose acknowledgement was lost. KB records are
 //! observations, not ledger entries — a duplicate is harmless.
 
-use crate::protocol::{KbStats, Request, Response};
+use crate::protocol::{KbStats, Request, Response, ServerMetrics};
 use smartml_kb::{
     AlgorithmRun, KbBackend, KbError, QueryOptions, Recommendation,
 };
@@ -335,6 +335,15 @@ impl KbClient {
         match self.request(&Request::Stats)? {
             Response::Stats { stats } => Ok(stats),
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Fetch live service metrics (request counts/latency, wire bytes,
+    /// WAL fsync and rotation counters).
+    pub fn metrics(&self) -> Result<ServerMetrics, KbError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { metrics } => Ok(metrics),
+            other => Err(unexpected("metrics", &other)),
         }
     }
 

@@ -36,7 +36,7 @@ mod wal;
 
 pub use client::KbClient;
 pub use durable::{DurableKb, DurableOptions, RecoveryReport};
-pub use protocol::{KbStats, Request, Response};
+pub use protocol::{KbStats, Request, Response, ServerMetrics};
 pub use server::{Server, ServerOptions};
 pub use shared::{LocalStore, SharedKb, SharedKbHandle};
 pub use wal::{

@@ -51,6 +51,9 @@ pub enum Request {
     Stats,
     /// Fold the WAL into a snapshot and compact.
     Snapshot,
+    /// Per-process service metrics: request counts and latency
+    /// percentiles, bytes on the wire, WAL fsync/rotation counters.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Stop accepting connections and exit the serve loop.
@@ -74,6 +77,36 @@ pub struct KbStats {
     pub recovered_records: usize,
     /// True when recovery truncated a torn tail record.
     pub recovered_torn_tail: bool,
+}
+
+/// Live service metrics reported by [`Response::Metrics`]. All values are
+/// process-lifetime totals since the server started (the server enables
+/// the metrics registry when it binds).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerMetrics {
+    /// Requests dispatched (all verbs, including malformed lines).
+    pub requests: u64,
+    /// Requests answered with an `error` response (bad JSON included).
+    pub errors: u64,
+    /// Request bytes read off sockets.
+    pub bytes_in: u64,
+    /// Response bytes written to sockets.
+    pub bytes_out: u64,
+    /// Median request latency, microseconds (power-of-two bucket upper
+    /// bound — coarse by design).
+    pub request_us_p50: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub request_us_p99: u64,
+    /// Worst request latency, microseconds.
+    pub request_us_max: u64,
+    /// Mean request latency, microseconds.
+    pub request_us_mean: f64,
+    /// WAL `sync_data` calls (durability fsyncs).
+    pub wal_fsyncs: u64,
+    /// WAL segment rotations.
+    pub wal_rotations: u64,
+    /// Per-verb request counts, `(verb, count)` sorted by verb name.
+    pub ops: Vec<(String, u64)>,
 }
 
 /// A server → client message.
@@ -102,6 +135,11 @@ pub enum Response {
     Snapshotted {
         /// Sequence number of the snapshot file that was written.
         snapshot_seq: u64,
+    },
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The live service metrics.
+        metrics: ServerMetrics,
     },
     /// Answer to [`Request::Ping`].
     Pong,
@@ -147,6 +185,41 @@ mod tests {
             serde_json::from_str::<Request>("{\"op\":\"ping\"}").unwrap(),
             Request::Ping
         ));
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        // The METRICS verb is a bare tag like ping.
+        assert!(matches!(
+            serde_json::from_str::<Request>("{\"op\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        ));
+        let resp = Response::Metrics {
+            metrics: ServerMetrics {
+                requests: 10,
+                errors: 1,
+                bytes_in: 2048,
+                bytes_out: 4096,
+                request_us_p50: 255,
+                request_us_p99: 1023,
+                request_us_max: 900,
+                request_us_mean: 301.5,
+                wal_fsyncs: 7,
+                wal_rotations: 2,
+                ops: vec![("ping".to_string(), 3), ("record_run".to_string(), 6)],
+            },
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"status\":\"metrics\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Metrics { metrics } => {
+                assert_eq!(metrics.requests, 10);
+                assert_eq!(metrics.wal_fsyncs, 7);
+                assert_eq!(metrics.ops.len(), 2);
+                assert_eq!(metrics.ops[0], ("ping".to_string(), 3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

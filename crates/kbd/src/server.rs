@@ -9,16 +9,67 @@
 //! sees the `recorded` response.
 
 use crate::durable::{DurableKb, DurableOptions, RecoveryReport};
-use crate::protocol::{KbStats, Request, Response};
+use crate::protocol::{KbStats, Request, Response, ServerMetrics};
 use crate::shared::SharedKb;
+use crate::wal::{WAL_FSYNCS, WAL_ROTATIONS};
 use smartml_kb::{KbError, QueryOptions};
+use smartml_obs::{Counter, Histogram};
 use smartml_runtime::{available_parallelism, Deadline};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+// Per-request service metrics (`crate.component.name` convention). The
+// server enables the global registry when it binds, so embedded library
+// use of the same code paths stays a single relaxed load per site.
+static REQ_TOTAL: Counter = Counter::new("kbd.req.total");
+static REQ_ERRORS: Counter = Counter::new("kbd.req.errors");
+static BYTES_IN: Counter = Counter::new("kbd.bytes_in");
+static BYTES_OUT: Counter = Counter::new("kbd.bytes_out");
+static REQUEST_US: Histogram = Histogram::new("kbd.request_us");
+static REQ_RECOMMEND: Counter = Counter::new("kbd.req.recommend");
+static REQ_RECORD_RUN: Counter = Counter::new("kbd.req.record_run");
+static REQ_SET_LANDMARKERS: Counter = Counter::new("kbd.req.set_landmarkers");
+static REQ_STATS: Counter = Counter::new("kbd.req.stats");
+static REQ_SNAPSHOT: Counter = Counter::new("kbd.req.snapshot");
+static REQ_METRICS: Counter = Counter::new("kbd.req.metrics");
+static REQ_PING: Counter = Counter::new("kbd.req.ping");
+static REQ_SHUTDOWN: Counter = Counter::new("kbd.req.shutdown");
+
+/// Builds the [`ServerMetrics`] wire struct from the live registry.
+fn collect_metrics() -> ServerMetrics {
+    let lat = REQUEST_US.summary();
+    let mut ops: Vec<(String, u64)> = [
+        ("metrics", &REQ_METRICS),
+        ("ping", &REQ_PING),
+        ("recommend", &REQ_RECOMMEND),
+        ("record_run", &REQ_RECORD_RUN),
+        ("set_landmarkers", &REQ_SET_LANDMARKERS),
+        ("shutdown", &REQ_SHUTDOWN),
+        ("snapshot", &REQ_SNAPSHOT),
+        ("stats", &REQ_STATS),
+    ]
+    .iter()
+    .map(|(name, c)| (name.to_string(), c.value()))
+    .collect();
+    ops.sort();
+    ServerMetrics {
+        requests: REQ_TOTAL.value(),
+        errors: REQ_ERRORS.value(),
+        bytes_in: BYTES_IN.value(),
+        bytes_out: BYTES_OUT.value(),
+        request_us_p50: lat.p50,
+        request_us_p99: lat.p99,
+        request_us_max: lat.max,
+        request_us_mean: lat.mean,
+        wal_fsyncs: WAL_FSYNCS.value(),
+        wal_rotations: WAL_ROTATIONS.value(),
+        ops,
+    }
+}
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -61,6 +112,9 @@ pub struct Server {
 impl Server {
     /// Opens the store (replaying the WAL) and binds the listener.
     pub fn bind(options: ServerOptions) -> Result<Server, KbError> {
+        // The server is the natural metrics boundary: one process, one
+        // registry, reported verbatim by the `metrics` verb.
+        smartml_obs::enable_metrics();
         let store = DurableKb::open_with(&options.dir, options.durable.clone())?;
         let recovery = store.recovery().clone();
         let listener = TcpListener::bind(&options.addr)?;
@@ -178,9 +232,20 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
         if line.trim().is_empty() {
             continue;
         }
+        BYTES_IN.add(line.len() as u64);
+        let started = Instant::now();
         let (response, stop) = dispatch(&line, &ctx);
+        // Latency covers dispatch (store work) only, not the socket write
+        // — a slow client must not inflate the server's percentiles.
+        REQUEST_US.record_duration(started.elapsed());
+        REQ_TOTAL.inc();
+        if matches!(response, Response::Error { .. }) {
+            REQ_ERRORS.inc();
+        }
+        let encoded = encode(&response);
+        BYTES_OUT.add(encoded.len() as u64 + 1);
         writer.set_write_timeout(deadline.io_timeout())?;
-        writeln!(writer, "{}", encode(&response))?;
+        writeln!(writer, "{encoded}")?;
         if stop {
             // Wake the accept loop so `run` observes the flag.
             ctx.shutdown.store(true, Ordering::Release);
@@ -201,11 +266,13 @@ fn dispatch(line: &str, ctx: &ConnCtx) -> (Response, bool) {
     };
     let response = match request {
         Request::Recommend { meta_features, landmarkers, options } => {
+            REQ_RECOMMEND.inc();
             let opts = options.unwrap_or_else(QueryOptions::default);
             let recommendation = ctx.shared.recommend(&meta_features, landmarkers, &opts);
             Response::Recommendation { recommendation }
         }
         Request::RecordRun { dataset_id, meta_features, run } => {
+            REQ_RECORD_RUN.inc();
             match ctx.shared.record_run(&dataset_id, &meta_features, run) {
                 Ok(()) => Response::Recorded {
                     datasets: ctx.shared.len(),
@@ -215,6 +282,7 @@ fn dispatch(line: &str, ctx: &ConnCtx) -> (Response, bool) {
             }
         }
         Request::SetLandmarkers { dataset_id, landmarkers } => {
+            REQ_SET_LANDMARKERS.inc();
             match ctx.shared.set_landmarkers(&dataset_id, landmarkers) {
                 Ok(()) => Response::Recorded {
                     datasets: ctx.shared.len(),
@@ -224,6 +292,7 @@ fn dispatch(line: &str, ctx: &ConnCtx) -> (Response, bool) {
             }
         }
         Request::Stats => ctx.shared.read(|store| {
+            REQ_STATS.inc();
             let wal_segments = store.n_segments().unwrap_or(0);
             Response::Stats {
                 stats: KbStats {
@@ -237,12 +306,25 @@ fn dispatch(line: &str, ctx: &ConnCtx) -> (Response, bool) {
                 },
             }
         }),
-        Request::Snapshot => match ctx.shared.write(|store| store.snapshot()) {
-            Ok(seq) => Response::Snapshotted { snapshot_seq: seq },
-            Err(e) => Response::Error { message: e.to_string() },
-        },
-        Request::Ping => Response::Pong,
-        Request::Shutdown => return (Response::ShuttingDown, true),
+        Request::Snapshot => {
+            REQ_SNAPSHOT.inc();
+            match ctx.shared.write(|store| store.snapshot()) {
+                Ok(seq) => Response::Snapshotted { snapshot_seq: seq },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Metrics => {
+            REQ_METRICS.inc();
+            Response::Metrics { metrics: collect_metrics() }
+        }
+        Request::Ping => {
+            REQ_PING.inc();
+            Response::Pong
+        }
+        Request::Shutdown => {
+            REQ_SHUTDOWN.inc();
+            return (Response::ShuttingDown, true);
+        }
     };
     (response, false)
 }

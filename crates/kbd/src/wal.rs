@@ -35,9 +35,16 @@
 use serde::{Deserialize, Serialize};
 use smartml_kb::{AlgorithmRun, KbError, KnowledgeBase};
 use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use smartml_obs::Counter;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Durability work performed by the WAL, surfaced through the `metrics`
+/// protocol verb. Live only while metrics are enabled (the server enables
+/// them; embedded library use stays zero-overhead).
+pub(crate) static WAL_FSYNCS: Counter = Counter::new("kbd.wal.fsyncs");
+pub(crate) static WAL_ROTATIONS: Counter = Counter::new("kbd.wal.rotations");
 
 /// Bytes before the payload: 8 hex (len) + space + 8 hex (checksum) + space.
 const HEADER_LEN: usize = 18;
@@ -237,6 +244,7 @@ impl WalWriter {
         self.file.write_all(&frame)?;
         if self.fsync_writes {
             self.file.sync_data()?;
+            WAL_FSYNCS.inc();
         }
         self.len += frame.len() as u64;
         Ok(self.seq)
@@ -245,14 +253,17 @@ impl WalWriter {
     /// Seals the active segment and opens the next one.
     pub fn rotate(&mut self) -> Result<(), KbError> {
         self.file.sync_data()?;
+        WAL_FSYNCS.inc();
         let next = WalWriter::open(&self.dir, self.seq + 1, self.segment_bytes, self.fsync_writes)?;
         *self = next;
+        WAL_ROTATIONS.inc();
         Ok(())
     }
 
     /// Flushes pending appends to the OS (and disk when fsync is on).
     pub fn sync(&mut self) -> Result<(), KbError> {
         self.file.sync_data()?;
+        WAL_FSYNCS.inc();
         Ok(())
     }
 }

@@ -30,27 +30,68 @@
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::time::{Duration, Instant};
 
 use crate::Deadline;
+use smartml_obs::{Counter, Histogram};
+
+static WATCHDOG_FIRES: Counter = Counter::new("runtime.watchdog.fires");
+static QUEUE_WAIT_US: Histogram = Histogram::new("runtime.trial.queue_wait_us");
+static EXEC_US: Histogram = Histogram::new("runtime.trial.exec_us");
 
 // ---------------------------------------------------------------------------
 // TrialToken
 // ---------------------------------------------------------------------------
 
+/// Sentinel for "execution has not started yet" in `exec_started_ns`.
+const EXEC_UNSTARTED: u64 = u64::MAX;
+
 #[derive(Debug)]
 struct TokenInner {
-    /// Absolute cutoff; `None` = unbounded.
-    deadline: Option<Instant>,
+    /// Absolute hard cutoff (the run's shared budget deadline); armed from
+    /// creation. `None` = no hard cutoff.
+    hard_deadline: Option<Instant>,
+    /// Per-trial execution timeout. When `defer_timeout` is set this is
+    /// measured from the moment the guard actually starts executing (not
+    /// from token creation), so queue wait under a narrow pool does not
+    /// count against the trial.
+    timeout: Option<Duration>,
+    /// Nanoseconds after `created` at which execution began;
+    /// [`EXEC_UNSTARTED`] until the first guard marks it.
+    exec_started_ns: AtomicU64,
     /// Explicit caller-side cancellation.
     cancelled: AtomicBool,
     /// Latched once the deadline passes (set by the watchdog or by the
     /// first `should_stop` poll past the deadline).
     timed_out: AtomicBool,
-    /// When the trial started (for `elapsed` in timeout reports).
-    started: Instant,
+    /// When the token was created (dispatch time).
+    created: Instant,
+}
+
+impl TokenInner {
+    /// The currently effective absolute cutoff: the earlier of the hard
+    /// deadline and the (armed) execution timeout. `None` while unbounded
+    /// or while a deferred timeout is still waiting for execution to start.
+    fn effective_deadline(&self) -> Option<Instant> {
+        let soft = self.timeout.and_then(|t| {
+            let ns = self.exec_started_ns.load(Ordering::Acquire);
+            if ns == EXEC_UNSTARTED {
+                None
+            } else {
+                Some(self.created + Duration::from_nanos(ns) + t)
+            }
+        });
+        match (soft, self.hard_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn past_deadline(&self, now: Instant) -> bool {
+        self.effective_deadline().is_some_and(|d| now >= d)
+    }
 }
 
 /// A shareable cancellation + deadline token for one trial.
@@ -65,41 +106,81 @@ pub struct TrialToken {
 impl TrialToken {
     /// A token with no deadline: `should_stop` is false until `cancel`.
     pub fn unbounded() -> TrialToken {
-        TrialToken::build(None)
+        TrialToken::build(None, None, false)
     }
 
-    /// A token that expires `timeout` from now.
+    /// A token that expires `timeout` from now. The timeout is armed
+    /// immediately (creation *is* the start), for callers that build the
+    /// token on the executing thread.
     pub fn with_timeout(timeout: Duration) -> TrialToken {
-        TrialToken::build(Some(Instant::now() + timeout))
+        TrialToken::build(Some(timeout), None, false)
     }
 
-    /// A token bounded by the earlier of `timeout` from now (if any) and
-    /// an absolute [`Deadline`] (if set). Used by optimisers whose trials
+    /// A token bounded by a per-trial execution `timeout` (if any) and an
+    /// absolute [`Deadline`] (if set). Used by optimisers whose trials
     /// carry both a per-trial watchdog timeout and a shared run cutoff.
+    ///
+    /// The per-trial timeout is **deferred**: it starts counting when the
+    /// first [`run_trial`] guard begins executing under this token, not at
+    /// creation. A trial dispatched to a busy pool therefore gets its full
+    /// timeout of execution time regardless of how long it sat queued; the
+    /// hard deadline is absolute and unaffected.
     pub fn bounded(timeout: Option<Duration>, deadline: Deadline) -> TrialToken {
-        let now = Instant::now();
-        let a = timeout.map(|t| now + t);
-        let b = deadline.instant();
-        let earliest = match (a, b) {
-            (Some(x), Some(y)) => Some(x.min(y)),
-            (x, y) => x.or(y),
-        };
-        TrialToken::build(earliest)
+        TrialToken::build(timeout, deadline.instant(), true)
     }
 
-    fn build(deadline: Option<Instant>) -> TrialToken {
+    fn build(
+        timeout: Option<Duration>,
+        hard_deadline: Option<Instant>,
+        defer_timeout: bool,
+    ) -> TrialToken {
+        let exec_started = if defer_timeout { EXEC_UNSTARTED } else { 0 };
         let token = TrialToken {
             inner: Arc::new(TokenInner {
-                deadline,
+                hard_deadline,
+                timeout,
+                exec_started_ns: AtomicU64::new(exec_started),
                 cancelled: AtomicBool::new(false),
                 timed_out: AtomicBool::new(false),
-                started: Instant::now(),
+                created: Instant::now(),
             }),
         };
-        if deadline.is_some() {
+        if timeout.is_some() || hard_deadline.is_some() {
             watchdog_register(&token);
         }
         token
+    }
+
+    /// Marks the start of execution, arming a deferred per-trial timeout.
+    /// The first caller wins (folds of one trial share the token); returns
+    /// whether this call armed it. Called by [`run_trial`]; idempotent.
+    pub fn mark_exec_start(&self) -> bool {
+        let ns = self.inner.created.elapsed().as_nanos() as u64;
+        self.inner
+            .exec_started_ns
+            .compare_exchange(EXEC_UNSTARTED, ns, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Time spent between dispatch (token creation) and the start of
+    /// execution. While still queued this is simply the age of the token.
+    pub fn queue_wait(&self) -> Duration {
+        match self.inner.exec_started_ns.load(Ordering::Acquire) {
+            EXEC_UNSTARTED => self.inner.created.elapsed(),
+            ns => Duration::from_nanos(ns),
+        }
+    }
+
+    /// Execution time so far (zero until execution starts).
+    pub fn exec_elapsed(&self) -> Duration {
+        match self.inner.exec_started_ns.load(Ordering::Acquire) {
+            EXEC_UNSTARTED => Duration::ZERO,
+            ns => self
+                .inner
+                .created
+                .elapsed()
+                .saturating_sub(Duration::from_nanos(ns)),
+        }
     }
 
     /// Requests cooperative cancellation.
@@ -118,13 +199,11 @@ impl TrialToken {
         if self.inner.timed_out.load(Ordering::Acquire) {
             return true;
         }
-        match self.inner.deadline {
-            Some(t) if Instant::now() >= t => {
-                self.inner.timed_out.store(true, Ordering::Release);
-                true
-            }
-            _ => false,
+        if self.inner.past_deadline(Instant::now()) {
+            self.inner.timed_out.store(true, Ordering::Release);
+            return true;
         }
+        false
     }
 
     /// True when the watchdog (not a self-poll) has already marked this
@@ -138,9 +217,9 @@ impl TrialToken {
         self.is_cancelled() || self.timed_out()
     }
 
-    /// Time since the token was created.
+    /// Time since the token was created (dispatch), including queue wait.
     pub fn elapsed(&self) -> Duration {
-        self.inner.started.elapsed()
+        self.inner.created.elapsed()
     }
 }
 
@@ -199,8 +278,11 @@ fn watchdog_loop() {
         let now = Instant::now();
         for w in queue.iter() {
             if let Some(t) = w.upgrade() {
-                if t.deadline.is_some_and(|d| now >= d) {
-                    t.timed_out.store(true, Ordering::Release);
+                // Deferred timeouts only become part of the effective
+                // deadline once execution starts, so a queued trial is
+                // never killed for pool congestion it did not cause.
+                if t.past_deadline(now) && !t.timed_out.swap(true, Ordering::AcqRel) {
+                    WATCHDOG_FIRES.inc();
                 }
             }
         }
@@ -267,13 +349,11 @@ pub fn trial_should_stop() -> bool {
             {
                 return true;
             }
-            match inner.deadline {
-                Some(t) if Instant::now() >= t => {
-                    inner.timed_out.store(true, Ordering::Release);
-                    true
-                }
-                _ => false,
+            if inner.past_deadline(Instant::now()) {
+                inner.timed_out.store(true, Ordering::Release);
+                return true;
             }
+            false
         }
     })
 }
@@ -357,15 +437,28 @@ pub fn run_trial<T>(token: &TrialToken, f: impl FnOnce() -> T) -> GuardOutcome<T
     if token.should_stop() {
         return GuardOutcome::TimedOut { elapsed: token.elapsed() };
     }
+    // Arm a deferred per-trial timeout now that execution begins, and
+    // attribute the dispatch→execution gap to queue wait (first guard on
+    // the token only — later folds of the same trial are not "queued").
+    if token.mark_exec_start() {
+        let wait = token.queue_wait();
+        QUEUE_WAIT_US.record_duration(wait);
+        if smartml_obs::tracing_enabled() {
+            let start = Instant::now() - wait;
+            smartml_obs::record_interval("runtime.trial.queue_wait", String::new(), start, wait);
+        }
+    }
     install_quiet_hook();
+    let exec_start = Instant::now();
     let result = {
         let _scope = TrialScope::enter(token);
         panic::catch_unwind(AssertUnwindSafe(f))
     };
+    EXEC_US.record_duration(exec_start.elapsed());
     match result {
         Err(payload) => GuardOutcome::Panicked { site: panic_site(payload) },
         Ok(_) if token.should_stop() && !token.is_cancelled() => {
-            GuardOutcome::TimedOut { elapsed: token.elapsed() }
+            GuardOutcome::TimedOut { elapsed: token.exec_elapsed() }
         }
         Ok(value) => GuardOutcome::Completed(value),
     }
@@ -571,16 +664,79 @@ mod tests {
 
     #[test]
     fn bounded_takes_the_earlier_cutoff() {
+        // The per-trial timeout is deferred: it only counts once a guard
+        // starts executing, so the sleep happens inside run_trial.
         let far = Deadline::after(Duration::from_secs(60));
         let t = TrialToken::bounded(Some(Duration::from_millis(5)), far);
-        std::thread::sleep(Duration::from_millis(15));
+        let out = run_trial(&t, || std::thread::sleep(Duration::from_millis(15)));
+        assert!(matches!(out, GuardOutcome::TimedOut { .. }));
         assert!(t.timed_out());
+        // The hard deadline is absolute: it trips even with no execution.
         let near = Deadline::after(Duration::from_millis(5));
         let t = TrialToken::bounded(Some(Duration::from_secs(60)), near);
         std::thread::sleep(Duration::from_millis(15));
         assert!(t.timed_out());
         let t = TrialToken::bounded(None, Deadline::none());
         assert!(!t.should_stop());
+    }
+
+    #[test]
+    fn queue_wait_does_not_count_against_a_deferred_timeout() {
+        // Regression: a trial that sits queued for longer than its timeout
+        // must still get its full execution budget once a worker picks it
+        // up. Before the fix the deadline was measured from dispatch and
+        // this trial died before running.
+        let t = TrialToken::bounded(Some(Duration::from_millis(50)), Deadline::none());
+        std::thread::sleep(Duration::from_millis(80)); // simulated queue wait
+        assert!(!t.should_stop(), "queued trial must not time out");
+        let out = run_trial(&t, || {
+            std::thread::sleep(Duration::from_millis(5));
+            7
+        });
+        assert!(
+            matches!(out, GuardOutcome::Completed(7)),
+            "trial killed for queue wait: {out:?}"
+        );
+        // The split accounting sees the wait and the execution separately.
+        assert!(t.queue_wait() >= Duration::from_millis(80));
+        assert!(t.exec_elapsed() >= Duration::from_millis(5));
+        assert!(t.exec_elapsed() < Duration::from_millis(60));
+    }
+
+    #[test]
+    fn deferred_timeout_still_fires_on_exec_overrun() {
+        let t = TrialToken::bounded(Some(Duration::from_millis(10)), Deadline::none());
+        std::thread::sleep(Duration::from_millis(30)); // queue wait, free
+        let out = run_trial(&t, || {
+            let mut polls = 0usize;
+            while !trial_should_stop() {
+                std::thread::sleep(Duration::from_millis(1));
+                polls += 1;
+                assert!(polls < 10_000, "watchdog never tripped");
+            }
+        });
+        match out {
+            GuardOutcome::TimedOut { elapsed } => {
+                // elapsed reports execution time, not dispatch age.
+                assert!(elapsed >= Duration::from_millis(5));
+                assert!(elapsed < Duration::from_millis(1_000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mark_exec_start_first_caller_wins() {
+        let t = TrialToken::bounded(Some(Duration::from_secs(1)), Deadline::none());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(t.mark_exec_start());
+        let wait = t.queue_wait();
+        assert!(wait >= Duration::from_millis(10));
+        // Later guards (e.g. further folds of the same trial) do not move
+        // the exec-start marker.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(!t.mark_exec_start());
+        assert_eq!(t.queue_wait(), wait);
     }
 
     #[test]

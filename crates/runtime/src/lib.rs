@@ -19,7 +19,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use smartml_obs::{Counter, Gauge};
+
 pub mod faults;
+
+static POOL_TASKS: Counter = Counter::new("runtime.pool.tasks");
+static POOL_STEALS: Counter = Counter::new("runtime.pool.steals");
+static POOL_BATCHES: Counter = Counter::new("runtime.pool.batches");
+static POOL_QUEUE_DEPTH: Gauge = Gauge::new("runtime.pool.queue_depth");
 
 /// Number of worker threads to use when the caller asked for "auto" (0).
 pub fn available_parallelism() -> usize {
@@ -71,6 +78,8 @@ impl Pool {
     {
         let n = items.len();
         let workers = self.n_threads.min(n);
+        POOL_BATCHES.inc();
+        POOL_TASKS.add(n as u64);
         if workers <= 1 {
             return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
         }
@@ -79,12 +88,21 @@ impl Pool {
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            let (cursor, slots, results, f) = (&cursor, &slots, &results, &f);
+            for w in 0..workers {
+                scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
+                    // A task is a "steal" when a worker claims an index
+                    // outside its round-robin stripe — i.e. the claiming
+                    // order diverged from an even static partition, which
+                    // is exactly the load imbalance the cursor absorbs.
+                    if i % workers != w {
+                        POOL_STEALS.inc();
+                    }
+                    POOL_QUEUE_DEPTH.set(n.saturating_sub(i + 1) as i64);
                     let item = slots[i]
                         .lock()
                         .unwrap()

@@ -3,10 +3,14 @@
 use crate::outcome::TrialOutcome;
 use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::{accuracy, stratified_kfold, Dataset};
+use smartml_obs::Counter;
 use smartml_runtime::faults::{fail, run_trial, TrialToken};
 use smartml_runtime::{task_seed, Pool};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+
+static FOLD_CACHE_HITS: Counter = Counter::new("smac.fold.cache_hits");
+static FOLD_COMPUTED: Counter = Counter::new("smac.fold.computed");
 
 /// A maximisation objective evaluable fold-by-fold (for racing).
 ///
@@ -211,7 +215,10 @@ impl Objective for ClassifierObjective {
             let waiter = {
                 let mut cache = self.cache.lock().unwrap();
                 match cache.get(&key) {
-                    Some(Slot::Done(hit)) => return hit.clone(),
+                    Some(Slot::Done(hit)) => {
+                        FOLD_CACHE_HITS.inc();
+                        return hit.clone();
+                    }
                     Some(Slot::InFlight(w)) => Arc::clone(w),
                     None => {
                         cache.insert(
@@ -233,6 +240,7 @@ impl Objective for ClassifierObjective {
         // happens — normal return, error, or a panic in the fit — it
         // publishes a `Done` result and wakes the waiters.
         let mut completion = SlotCompletion { cache: &self.cache, key, result: None };
+        FOLD_COMPUTED.inc();
         let (train, valid) = &self.folds[fold];
         #[cfg(test)]
         self.computed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);

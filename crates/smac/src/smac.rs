@@ -8,9 +8,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use smartml_classifiers::{ParamConfig, ParamSpace};
+use smartml_obs::{span, Counter};
 use smartml_runtime::faults::TrialToken;
 use smartml_runtime::{Deadline, Pool};
 use std::time::{Duration, Instant};
+
+static TRIAL_OK: Counter = Counter::new("smac.trial.ok");
+static TRIAL_NON_FINITE: Counter = Counter::new("smac.trial.non_finite");
+static TRIAL_PANICKED: Counter = Counter::new("smac.trial.panicked");
+static TRIAL_TIMED_OUT: Counter = Counter::new("smac.trial.timed_out");
+static TRIAL_INFEASIBLE: Counter = Counter::new("smac.trial.infeasible");
+static BREAKER_TRIPS: Counter = Counter::new("smac.breaker.trips");
+static SURROGATE_REFITS: Counter = Counter::new("smac.surrogate.refits");
 
 /// One evaluated configuration in the optimisation history.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -104,6 +113,10 @@ pub struct OptOptions {
     /// count) the loop stops and [`OptResult::tripped`] is set. `0`
     /// disables the breaker.
     pub breaker_threshold: usize,
+    /// Label attached to this optimisation's trace spans as `algo=<tag>`
+    /// (typically the algorithm name). Only read when tracing is enabled;
+    /// empty = unlabelled.
+    pub trace_tag: String,
 }
 
 impl Default for OptOptions {
@@ -117,6 +130,7 @@ impl Default for OptOptions {
             deadline: Deadline::none(),
             trial_timeout: None,
             breaker_threshold: 0,
+            trace_tag: String::new(),
         }
     }
 }
@@ -218,9 +232,11 @@ impl Optimizer for Smac {
             pool,
             trial_timeout: options.trial_timeout,
             deadline: options.deadline,
+            tag: &options.trace_tag,
         };
         // Shared breaker bookkeeping after each race; returns true when
-        // the consecutive-fault breaker trips.
+        // the consecutive-fault breaker trips. The outcome taxonomy feeds
+        // both the per-optimisation ledger and the process metrics.
         let account = |challenger: &Raced,
                            failures: &mut FailureCounts,
                            consecutive_faults: &mut usize| {
@@ -229,12 +245,24 @@ impl Optimizer for Smac {
                 .clone()
                 .unwrap_or(TrialOutcome::Ok(challenger.mean()));
             failures.record(&outcome);
+            match &outcome {
+                TrialOutcome::Ok(_) => TRIAL_OK.inc(),
+                TrialOutcome::NonFinite => TRIAL_NON_FINITE.inc(),
+                TrialOutcome::Panicked { .. } => TRIAL_PANICKED.inc(),
+                TrialOutcome::TimedOut { .. } => TRIAL_TIMED_OUT.inc(),
+                TrialOutcome::Failed(_) => TRIAL_INFEASIBLE.inc(),
+            }
             if outcome.is_fault() {
                 *consecutive_faults += 1;
             } else {
                 *consecutive_faults = 0;
             }
-            options.breaker_threshold > 0 && *consecutive_faults >= options.breaker_threshold
+            let trip =
+                options.breaker_threshold > 0 && *consecutive_faults >= options.breaker_threshold;
+            if trip {
+                BREAKER_TRIPS.inc();
+            }
+            trip
         };
 
         let mut trials = 0usize;
@@ -259,7 +287,15 @@ impl Optimizer for Smac {
             {
                 space.sample(&mut rng)
             } else {
-                self.propose(space, &history, incumbent.as_ref(), &mut rng, options.seed, pool)
+                self.propose(
+                    space,
+                    &history,
+                    incumbent.as_ref(),
+                    &mut rng,
+                    options.seed,
+                    pool,
+                    &options.trace_tag,
+                )
             };
             let challenger = race(&arena, candidate, incumbent.as_ref(), &mut history);
             trials += 1;
@@ -289,6 +325,7 @@ impl Optimizer for Smac {
 impl Smac {
     /// EI-maximising proposal: fit the surrogate on history, score random
     /// candidates plus local perturbations of the incumbent.
+    #[allow(clippy::too_many_arguments)]
     fn propose(
         &self,
         space: &ParamSpace,
@@ -297,6 +334,7 @@ impl Smac {
         rng: &mut StdRng,
         seed: u64,
         pool: Pool,
+        tag: &str,
     ) -> ParamConfig {
         // Quarantine: faulted and non-finite trials never reach the
         // surrogate — a panicked fit says nothing about the response
@@ -305,13 +343,17 @@ impl Smac {
         let xs: Vec<Vec<f64>> = usable.iter().map(|t| space.encode(&t.config)).collect();
         let ys: Vec<f64> = usable.iter().map(|t| t.score).collect();
         let best = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let forest = RandomForestSurrogate::fit_with(
-            &xs,
-            &ys,
-            self.n_surrogate_trees,
-            seed ^ history.len() as u64,
-            pool,
-        );
+        SURROGATE_REFITS.inc();
+        let forest = {
+            let _s = span!("smac.surrogate.fit", algo = tag, n = xs.len());
+            RandomForestSurrogate::fit_with(
+                &xs,
+                &ys,
+                self.n_surrogate_trees,
+                seed ^ history.len() as u64,
+                pool,
+            )
+        };
         // Candidate generation stays serial: it consumes the shared loop
         // RNG, whose draw order must not depend on scheduling.
         let mut candidates: Vec<ParamConfig> =
@@ -343,6 +385,8 @@ struct RaceArena<'a> {
     pool: Pool,
     trial_timeout: Option<Duration>,
     deadline: Deadline,
+    /// `algo=` label for this optimisation's trace spans.
+    tag: &'a str,
 }
 
 /// Intensification race: evaluate the challenger fold-by-fold, dropping it
@@ -362,6 +406,7 @@ fn race(
     history: &mut Vec<Trial>,
 ) -> Raced {
     let n_folds = arena.n_folds;
+    let _trial_span = span!("smac.trial", algo = arena.tag, trial = history.len());
     let mut raced = Raced {
         encoded: arena.space.encode(&config),
         config,
@@ -377,13 +422,17 @@ fn race(
     let speculative: Option<Vec<TrialOutcome>> =
         (arena.pool.n_threads() > 1 && n_folds > 1).then(|| {
             arena.pool.map_range(n_folds, |fold| {
+                let _s = span!("smac.fold", algo = arena.tag, fold = fold);
                 arena.objective.evaluate_fold_guarded(&raced.config, fold, &token)
             })
         });
     for fold in 0..n_folds {
         let outcome = match &speculative {
             Some(results) => results[fold].clone(),
-            None => arena.objective.evaluate_fold_guarded(&raced.config, fold, &token),
+            None => {
+                let _s = span!("smac.fold", algo = arena.tag, fold = fold);
+                arena.objective.evaluate_fold_guarded(&raced.config, fold, &token)
+            }
         };
         match outcome {
             TrialOutcome::Ok(score) => raced.fold_scores.push(score),

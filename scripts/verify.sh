@@ -11,8 +11,8 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
-echo "==> determinism: identical reports for n_threads in {1, 2, 8}"
-cargo test -q --offline -p smartml-integration --test determinism
+echo "==> determinism: identical reports for n_threads in {1, 2, 8}, tracing on and off"
+cargo test -q --offline -p smartml-integration --test determinism --test observability
 
 echo "==> smartmld: record, query, kill -9, restart, verify recovery"
 SMOKE_DIR="$(mktemp -d)"
@@ -54,6 +54,16 @@ start_server() {
 start_server "$SMOKE_DIR/server1.log"
 "$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm KNN --accuracy 0.91 > /dev/null
 "$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm RandomForest --accuracy 0.88 > /dev/null
+
+# METRICS verb round-trip against the live server: the raw JSON response
+# must parse (jq) and carry the metrics status; the typed client path via
+# `kb metrics` must agree on the per-verb counters.
+HOST="${ADDR%:*}"; PORT="${ADDR##*:}"
+RESP="$(exec 3<>"/dev/tcp/$HOST/$PORT"; printf '{"op":"metrics"}\n' >&3; head -n 1 <&3)"
+echo "$RESP" | jq -e '.status == "metrics" and (.metrics.requests >= 2)' > /dev/null \
+  || { echo "METRICS verb returned malformed or wrong JSON: $RESP"; exit 1; }
+"$CLI" kb metrics --kb "tcp:$ADDR" | grep "record_run" > /dev/null \
+  || { echo "kb metrics CLI missing record_run counter"; exit 1; }
 # Plain grep (not -q): grep -q exits at the first match, closing the pipe
 # and SIGPIPE-ing the CLI while it is still printing the neighbour list.
 "$CLI" kb query  "$CSV" --kb "tcp:$ADDR" | grep "KNN" > /dev/null \
@@ -80,5 +90,29 @@ cargo test -q --offline --features fault-injection \
 
 echo "==> perf smoke: tree kernels vs committed baseline (fails on panic or >5x regression)"
 ./target/release/tree_kernels --quick --check BENCH_tree_kernels.json > /dev/null
+
+echo "==> obs: traced run emits a valid Chrome trace and a timeline section"
+OBS_CSV="$SMOKE_DIR/obs.csv"
+{
+  echo "f1,f2,f3,label"
+  for i in $(seq 0 59); do
+    if [ $((i % 2)) -eq 0 ]; then
+      echo "$i.1,0.$i,1.5,a"
+    else
+      echo "$i.7,1.$i,3.5,b"
+    fi
+  done
+} > "$OBS_CSV"
+"$CLI" run "$OBS_CSV" --budget 6 --top-n 2 --seed 13 \
+  --trace-out "$SMOKE_DIR/trace.json" --metrics \
+  > "$SMOKE_DIR/obs-report.txt" 2> "$SMOKE_DIR/obs-metrics.txt"
+./target/release/trace_check "$SMOKE_DIR/trace.json"
+grep "Where the time went" "$SMOKE_DIR/obs-report.txt" > /dev/null \
+  || { echo "traced report missing its timeline section"; exit 1; }
+grep "smac.trial.ok" "$SMOKE_DIR/obs-metrics.txt" > /dev/null \
+  || { echo "--metrics dump missing smac.trial.ok"; exit 1; }
+
+echo "==> obs overhead: disabled-path instrumentation within budget (hard 5 ns/op gate)"
+./target/release/obs_overhead --quick --check BENCH_obs.json > /dev/null
 
 echo "verify: OK"

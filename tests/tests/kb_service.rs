@@ -88,3 +88,54 @@ fn pipeline_over_remote_backend_grows_server_kb() {
     handle.join().expect("server thread");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn metrics_verb_reports_request_and_wal_activity() {
+    let dir = temp_dir("metrics");
+    let server = Server::bind(ServerOptions {
+        dir: dir.clone(),
+        // fsync on: the WAL fsync counter must move with each write.
+        ..ServerOptions::default()
+    })
+    .expect("server binds");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    let client = KbClient::connect(addr);
+    client.ping().expect("ping");
+    client.ping().expect("ping");
+    let d = gaussian_blobs("metrics-run", 60, 3, 2, 0.8, 31);
+    let mf = smartml_metafeatures::extract(&d, &d.all_rows());
+    client
+        .record_run(
+            "metrics-run",
+            &mf,
+            smartml_kb::AlgorithmRun {
+                algorithm: smartml_classifiers::Algorithm::Knn,
+                config: smartml_classifiers::ParamConfig::default(),
+                accuracy: 0.9,
+            },
+        )
+        .expect("record");
+
+    let before = client.metrics().expect("metrics verb answers");
+    // Counters are process-global, so other tests in this binary may have
+    // contributed — assert floors and deltas, not absolutes.
+    assert!(before.requests >= 3, "ping+ping+record seen: {before:?}");
+    let op = |m: &smartml_kbd::ServerMetrics, name: &str| {
+        m.ops.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0)
+    };
+    assert!(op(&before, "ping") >= 2);
+    assert!(op(&before, "record_run") >= 1);
+    assert!(before.wal_fsyncs >= 1, "fsync-on write must fsync: {before:?}");
+    assert!(before.bytes_in > 0 && before.bytes_out > 0);
+
+    // The metrics request itself is counted by the next reading.
+    let after = client.metrics().expect("second metrics read");
+    assert!(after.requests > before.requests);
+    assert!(op(&after, "metrics") > op(&before, "metrics").saturating_sub(1));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
