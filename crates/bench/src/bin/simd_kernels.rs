@@ -1,0 +1,330 @@
+//! Wall-clock benchmark for the vectorized compute layer
+//! (`crates/linalg/src/kernels.rs` and the blocked `Matrix::matmul`),
+//! versus the retained scalar oracles (`kernels::scalar`, the serial
+//! matmul behind `set_scalar_kernels`, and `fill_histogram_scalar`).
+//!
+//! Every old-vs-new pair is *asserted equivalent* in-process before
+//! timing — bit-identical where the contract promises it (matmul,
+//! axpy, histograms), within a tight relative tolerance where lane
+//! reassociation is licensed (dot, squared_distance, sum_sq_dev) — so a
+//! drift in the equivalence contract fails the bench, not just the test
+//! suite.
+//!
+//! Usage: `simd_kernels [--quick] [--out FILE] [--check FILE]`
+//!   --quick   fewer inner iterations / reps (CI smoke)
+//!   --out     write the results JSON to FILE
+//!   --check   compare against a previously committed JSON; exit non-zero
+//!             if any kernel-path timing regressed by more than 5x
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+use smartml_classifiers::common::split::{fill_histogram, fill_histogram_scalar, MAX_BINS, NAN_BIN};
+use smartml_linalg::{kernels, Matrix};
+
+/// Minimum wall-clock over `reps` runs of `f` (seconds).
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, last.unwrap())
+}
+
+/// Deterministic pseudo-random f64s in ±8 (splitmix64 bit mix).
+fn seq(n: usize, salt: u64) -> Vec<f64> {
+    (0..n as u64)
+        .map(|i| {
+            let mut z = i.wrapping_add(salt).wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            ((z >> 11) as f64 / (1u64 << 53) as f64) * 16.0 - 8.0
+        })
+        .collect()
+}
+
+fn assert_close(fast: f64, slow: f64, what: &str) {
+    let tol = 1e-10 * (1.0 + slow.abs());
+    assert!((fast - slow).abs() <= tol, "{what}: {fast} vs {slow}");
+}
+
+struct BenchResult {
+    name: &'static str,
+    old_secs: f64,
+    new_secs: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag_value("--out");
+    let check_path = flag_value("--check");
+
+    let (reps, iters) = if quick { (3, 300) } else { (7, 3000) };
+    let n = 4096usize;
+    let a = seq(n, 1);
+    let b = seq(n, 2);
+    let mut results: Vec<BenchResult> = Vec::new();
+
+    // Reduction kernels: 8-lane chunked loops vs the serial oracles.
+    {
+        assert_close(kernels::dot(&a, &b), kernels::scalar::dot(&a, &b), "dot");
+        let (old_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::scalar::dot(black_box(&a), black_box(&b));
+            }
+            black_box(acc)
+        });
+        let (new_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::dot(black_box(&a), black_box(&b));
+            }
+            black_box(acc)
+        });
+        eprintln!("dot_4096        old {old_secs:.4}s  new {new_secs:.4}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "dot_4096", old_secs, new_secs });
+    }
+    {
+        assert_close(
+            kernels::squared_distance(&a, &b),
+            kernels::scalar::squared_distance(&a, &b),
+            "squared_distance",
+        );
+        let (old_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::scalar::squared_distance(black_box(&a), black_box(&b));
+            }
+            black_box(acc)
+        });
+        let (new_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::squared_distance(black_box(&a), black_box(&b));
+            }
+            black_box(acc)
+        });
+        eprintln!("sqdist_4096     old {old_secs:.4}s  new {new_secs:.4}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "sqdist_4096", old_secs, new_secs });
+    }
+    {
+        assert_close(kernels::sum_sq_dev(&a, 0.25), kernels::scalar::sum_sq_dev(&a, 0.25), "sum_sq_dev");
+        let (old_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::scalar::sum_sq_dev(black_box(&a), 0.25);
+            }
+            black_box(acc)
+        });
+        let (new_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::sum_sq_dev(black_box(&a), 0.25);
+            }
+            black_box(acc)
+        });
+        eprintln!("sum_sq_dev_4096 old {old_secs:.4}s  new {new_secs:.4}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "sum_sq_dev_4096", old_secs, new_secs });
+    }
+
+    // The opt-in f32 distance path against the f64 serial oracle — the
+    // speedup a caller buys with `set_f32_kernels(true)`.
+    {
+        let (af, bf) = (kernels::to_f32(&a), kernels::to_f32(&b));
+        let fast = kernels::dot_f32(&af, &bf);
+        let slow = kernels::scalar::dot(&a, &b);
+        let bound = n as f64 * 64.0 * 64.0 * kernels::F32_EPS_SCALE;
+        assert!((fast - slow).abs() <= bound, "dot_f32: {fast} vs {slow} (bound {bound})");
+        let (old_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::scalar::dot(black_box(&a), black_box(&b));
+            }
+            black_box(acc)
+        });
+        let (new_secs, _) = time_min(reps, || {
+            let mut acc = 0.0;
+            for _ in 0..iters {
+                acc += kernels::dot_f32(black_box(&af), black_box(&bf));
+            }
+            black_box(acc)
+        });
+        eprintln!("dot_f32_4096    old {old_secs:.4}s  new {new_secs:.4}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "dot_f32_4096", old_secs, new_secs });
+    }
+
+    // Blocked matmul vs the retained serial path (behind the scalar knob);
+    // the contract here is bit-identity.
+    {
+        let dim = if quick { 128 } else { 256 };
+        let m1 = Matrix::from_vec(dim, dim, seq(dim * dim, 3));
+        let m2 = Matrix::from_vec(dim, dim, seq(dim * dim, 4));
+        let fast = m1.matmul(&m2);
+        kernels::set_scalar_kernels(true);
+        let slow = m1.matmul(&m2);
+        kernels::set_scalar_kernels(false);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "matmul inequivalence");
+        }
+        let mm_reps = if quick { 3 } else { 5 };
+        let (old_secs, _) = time_min(mm_reps, || {
+            kernels::set_scalar_kernels(true);
+            let p = black_box(&m1).matmul(black_box(&m2));
+            kernels::set_scalar_kernels(false);
+            p
+        });
+        let (new_secs, _) = time_min(mm_reps, || black_box(&m1).matmul(black_box(&m2)));
+        eprintln!("matmul_{dim}      old {old_secs:.4}s  new {new_secs:.4}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "matmul_256", old_secs, new_secs });
+    }
+
+    // Histogram build: trash-bin scatter vs the branch-per-row oracle,
+    // bit-identical on every real lane.
+    {
+        let n_slots = if quick { 2000 } else { 8000 };
+        let k = 6usize;
+        // Missingness is irregular in real columns — use a hash-based mask
+        // (~3%, the typical incomplete-dataset regime) so the oracle's
+        // per-row branch cannot be statically predicted.
+        let slot_codes: Vec<u8> = (0..n_slots)
+            .map(|s| {
+                let h = (s as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 32;
+                if h % 32 == 0 {
+                    NAN_BIN
+                } else {
+                    ((s * 31) % 64) as u8
+                }
+            })
+            .collect();
+        let slot_labels: Vec<u32> = (0..n_slots).map(|s| ((s * 13) % k) as u32).collect();
+        let slot_weights: Vec<f64> = (0..n_slots).map(|s| 0.5 + ((s * 29) % 17) as f64 / 16.0).collect();
+        let rows: Vec<u32> = (0..n_slots as u32).collect();
+        let (mut hist_f, mut tot_f) = (Vec::new(), Vec::new());
+        let (mut hist_s, mut tot_s) = (Vec::new(), Vec::new());
+        let np_f = fill_histogram(&rows, &slot_codes, &slot_labels, &slot_weights, k, &mut hist_f, &mut tot_f);
+        let np_s =
+            fill_histogram_scalar(&rows, &slot_codes, &slot_labels, &slot_weights, k, &mut hist_s, &mut tot_s);
+        assert_eq!(np_f, np_s, "histogram n_present inequivalence");
+        for bin in 0..MAX_BINS {
+            for c in 0..k {
+                assert_eq!(
+                    hist_f[bin * k + c].to_bits(),
+                    hist_s[bin * k + c].to_bits(),
+                    "histogram inequivalence at bin {bin} class {c}"
+                );
+            }
+        }
+        let hist_iters = iters / 3;
+        let (old_secs, _) = time_min(reps, || {
+            let mut acc = 0usize;
+            for _ in 0..hist_iters {
+                acc += fill_histogram_scalar(
+                    black_box(&rows),
+                    &slot_codes,
+                    &slot_labels,
+                    &slot_weights,
+                    k,
+                    &mut hist_s,
+                    &mut tot_s,
+                );
+            }
+            black_box(acc)
+        });
+        let (new_secs, _) = time_min(reps, || {
+            let mut acc = 0usize;
+            for _ in 0..hist_iters {
+                acc += fill_histogram(
+                    black_box(&rows),
+                    &slot_codes,
+                    &slot_labels,
+                    &slot_weights,
+                    k,
+                    &mut hist_f,
+                    &mut tot_f,
+                );
+            }
+            black_box(acc)
+        });
+        eprintln!("hist_{n_slots}x{k}     old {old_secs:.4}s  new {new_secs:.4}s  ({:.2}x)", old_secs / new_secs);
+        results.push(BenchResult { name: "hist_8000x6", old_secs, new_secs });
+    }
+
+    let results_json = Value::Object(
+        results
+            .iter()
+            .map(|r| {
+                (
+                    r.name.to_string(),
+                    Value::Object(
+                        vec![
+                            ("old_secs".to_string(), json!(r.old_secs)),
+                            ("new_secs".to_string(), json!(r.new_secs)),
+                            ("speedup".to_string(), json!(r.old_secs / r.new_secs)),
+                        ]
+                        .into_iter()
+                        .collect(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let report = json!({
+        "description": "Vectorized compute-layer benchmark: 8-lane chunked kernels, blocked matmul and trash-bin histograms (new) vs retained scalar oracles (old). Min wall-clock over repetitions; equivalence asserted in-process before timing.",
+        "command": if quick { "simd_kernels --quick" } else { "simd_kernels" },
+        "scales": {
+            "vectors": "n=4096 f64 (dot/sqdist/sum_sq_dev; dot_f32 on the f32 copy)",
+            "matmul": if quick { "128x128 x 128x128 (quick)" } else { "256x256 x 256x256" },
+            "histogram": if quick { "2000 slots x 6 classes, 64 bins (quick)" } else { "8000 slots x 6 classes, 64 bins" }
+        },
+        "results": results_json,
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    println!("{rendered}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, rendered + "\n").expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    // Regression gate: each vectorized path must stay within 5x of the
+    // committed reference. Absolute wall-clock is host-dependent, so the
+    // gate only catches order-of-magnitude regressions (e.g. a kernel
+    // silently falling back to the scalar oracle).
+    if let Some(path) = check_path {
+        let reference: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("read --check file"))
+                .expect("parse --check file");
+        let mut failed = false;
+        for r in &results {
+            let Some(ref_new) = reference
+                .get("results")
+                .and_then(|v| v.get(r.name))
+                .and_then(|v| v.get("new_secs"))
+                .and_then(|v| v.as_f64())
+            else {
+                eprintln!("check: no reference entry for {} — skipping", r.name);
+                continue;
+            };
+            // The committed reference is full-scale; --quick runs less
+            // work, so the 5x margin holds for both.
+            if r.new_secs > 5.0 * ref_new {
+                eprintln!(
+                    "check FAILED: {} took {:.4}s > 5x reference {:.4}s",
+                    r.name, r.new_secs, ref_new
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check passed: all kernel timings within 5x of {path}");
+    }
+}

@@ -4,7 +4,7 @@ use super::encode::DenseEncoder;
 use crate::api::{check_fit_preconditions, Classifier, ClassifierError, TrainedModel};
 use crate::params::ParamConfig;
 use smartml_data::Dataset;
-use smartml_linalg::{cholesky, solve_lower_triangular, vecops, Matrix};
+use smartml_linalg::{cholesky, kernels, solve_lower_triangular, vecops, Matrix};
 
 /// LDA — linear discriminant analysis with a pooled covariance.
 /// Paper space: 1 categorical (`method`: `moment` | `shrinkage`) + 1 numeric
@@ -108,9 +108,7 @@ fn scatter_stats(x: &Matrix, y: &[u32], n_classes: usize) -> ScatterStats {
     for r in 0..n {
         let c = y[r] as usize;
         counts[c] += 1;
-        for (m, &v) in means[c].iter_mut().zip(x.row(r)) {
-            *m += v;
-        }
+        kernels::add_assign(&mut means[c], x.row(r));
     }
     for (c, mean) in means.iter_mut().enumerate() {
         if counts[c] > 0 {
@@ -127,15 +125,16 @@ fn scatter_stats(x: &Matrix, y: &[u32], n_classes: usize) -> ScatterStats {
         for (dv, (&v, &m)) in diff.iter_mut().zip(x.row(r).iter().zip(&means[c])) {
             *dv = v - m;
         }
+        // Rank-1 update of the upper triangles via contiguous AXPYs over
+        // the row tails; per-cell accumulation order matches the scalar
+        // loop it replaces (the zero-skip is preserved for its semantics).
         for i in 0..d {
-            if diff[i] == 0.0 {
+            let di = diff[i];
+            if di == 0.0 {
                 continue;
             }
-            for j in i..d {
-                let v = diff[i] * diff[j];
-                scatters[c][(i, j)] += v;
-                pooled[(i, j)] += v;
-            }
+            kernels::axpy(&mut scatters[c].row_mut(i)[i..], di, &diff[i..]);
+            kernels::axpy(&mut pooled.row_mut(i)[i..], di, &diff[i..]);
         }
     }
     // Mirror the upper triangles.

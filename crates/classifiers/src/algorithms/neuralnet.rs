@@ -9,7 +9,7 @@ use crate::params::ParamConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartml_data::Dataset;
-use smartml_linalg::{vecops, Matrix};
+use smartml_linalg::{kernels, vecops, Matrix};
 
 /// A configured MLP.
 pub struct NeuralNet {
@@ -121,42 +121,49 @@ impl Classifier for NeuralNet {
                 for k in 0..n_classes {
                     delta_out[k] = out[k] - if k == truth { 1.0 } else { 0.0 };
                 }
+                // Hidden deltas via contiguous AXPYs over the `w2` rows
+                // (same per-unit ascending-`k` accumulation as the strided
+                // column walk it replaces, so numerics are unchanged).
+                delta_hidden.fill(0.0);
+                for k in 0..n_classes {
+                    kernels::axpy(&mut delta_hidden, delta_out[k], &w2.row(k)[..h]);
+                }
                 for hh in 0..h {
-                    let mut s = 0.0;
-                    for k in 0..n_classes {
-                        s += delta_out[k] * w2[(k, hh)];
-                    }
-                    delta_hidden[hh] = s * (1.0 - hidden[hh] * hidden[hh]);
+                    delta_hidden[hh] *= 1.0 - hidden[hh] * hidden[hh];
                 }
                 for k in 0..n_classes {
                     let grow = g2.row_mut(k);
-                    for hh in 0..h {
-                        grow[hh] += delta_out[k] * hidden[hh];
-                    }
+                    kernels::axpy(&mut grow[..h], delta_out[k], &hidden);
                     grow[h] += delta_out[k];
                 }
                 for hh in 0..h {
                     let grow = g1.row_mut(hh);
-                    for c in 0..d {
-                        grow[c] += delta_hidden[hh] * input[c];
-                    }
+                    kernels::axpy(&mut grow[..d], delta_hidden[hh], input);
                     grow[d] += delta_hidden[hh];
                 }
             }
             let scale = 1.0 / n as f64;
             for rr in 0..h {
-                for c in 0..=d {
-                    let g = g1[(rr, c)] * scale + self.decay * w1[(rr, c)];
-                    v1[(rr, c)] = momentum * v1[(rr, c)] - lr * g;
-                    w1[(rr, c)] += v1[(rr, c)];
-                }
+                kernels::momentum_update(
+                    w1.row_mut(rr),
+                    v1.row_mut(rr),
+                    g1.row(rr),
+                    scale,
+                    self.decay,
+                    lr,
+                    momentum,
+                );
             }
             for rr in 0..n_classes {
-                for c in 0..=h {
-                    let g = g2[(rr, c)] * scale + self.decay * w2[(rr, c)];
-                    v2[(rr, c)] = momentum * v2[(rr, c)] - lr * g;
-                    w2[(rr, c)] += v2[(rr, c)];
-                }
+                kernels::momentum_update(
+                    w2.row_mut(rr),
+                    v2.row_mut(rr),
+                    g2.row(rr),
+                    scale,
+                    self.decay,
+                    lr,
+                    momentum,
+                );
             }
         }
         Ok(Box::new(TrainedNet { encoder, w1, w2, n_classes }))

@@ -10,7 +10,7 @@ use super::encode::DenseEncoder;
 use crate::api::{check_fit_preconditions, normalize_scores, Classifier, ClassifierError, TrainedModel};
 use crate::params::ParamConfig;
 use smartml_data::Dataset;
-use smartml_linalg::{vecops, Matrix};
+use smartml_linalg::{kernels, vecops, Matrix};
 
 /// A configured PLS-DA model.
 pub struct Plsda {
@@ -81,12 +81,18 @@ impl Classifier for Plsda {
                     }
                 }
             }
+            // Transposed products (Xᵀu, Yᵀt, Xᵀt) accumulate row-AXPYs over
+            // contiguous rows instead of striding columns; per-coordinate
+            // accumulation order (ascending r) matches the column walks they
+            // replace.
             let mut w = vec![0.0; d];
             let mut t = vec![0.0; n];
+            let mut q = vec![0.0; n_classes];
             for _ in 0..100 {
                 // w = Xᵀu / ‖Xᵀu‖
-                for (j, wv) in w.iter_mut().enumerate() {
-                    *wv = (0..n).map(|r| x[(r, j)] * u[r]).sum();
+                w.fill(0.0);
+                for r in 0..n {
+                    kernels::axpy(&mut w, u[r], x.row(r));
                 }
                 let wn = vecops::norm(&w);
                 if wn < 1e-12 {
@@ -101,13 +107,16 @@ impl Classifier for Plsda {
                 }
                 let tt = vecops::dot(&t, &t).max(1e-300);
                 // q = Yᵀt / tᵀt
-                let q: Vec<f64> = (0..n_classes)
-                    .map(|c| (0..n).map(|r| y[(r, c)] * t[r]).sum::<f64>() / tt)
-                    .collect();
+                q.fill(0.0);
+                for r in 0..n {
+                    kernels::axpy(&mut q, t[r], y.row(r));
+                }
+                for qv in &mut q {
+                    *qv /= tt;
+                }
                 // u_new = Yq / qᵀq
                 let qq = vecops::dot(&q, &q).max(1e-300);
-                let u_new: Vec<f64> =
-                    (0..n).map(|r| (0..n_classes).map(|c| y[(r, c)] * q[c]).sum::<f64>() / qq).collect();
+                let u_new: Vec<f64> = (0..n).map(|r| vecops::dot(y.row(r), &q) / qq).collect();
                 let delta = vecops::euclidean_distance(&u, &u_new);
                 u = u_new;
                 if delta < 1e-10 {
@@ -115,15 +124,17 @@ impl Classifier for Plsda {
                 }
             }
             let tt = vecops::dot(&t, &t).max(1e-300);
-            // p = Xᵀt / tᵀt; deflate X.
-            let p: Vec<f64> = (0..d)
-                .map(|j| (0..n).map(|r| x[(r, j)] * t[r]).sum::<f64>() / tt)
-                .collect();
+            // p = Xᵀt / tᵀt; deflate X with per-row AXPYs (`x + (-s)` is
+            // IEEE-identical to `x - s`).
+            let mut p = vec![0.0; d];
             for r in 0..n {
-                for j in 0..d {
-                    let sub = t[r] * p[j];
-                    x[(r, j)] -= sub;
-                }
+                kernels::axpy(&mut p, t[r], x.row(r));
+            }
+            for pv in &mut p {
+                *pv /= tt;
+            }
+            for r in 0..n {
+                kernels::axpy(x.row_mut(r), -t[r], &p);
             }
             for j in 0..d {
                 weights[(j, comp)] = w[j];
@@ -133,17 +144,25 @@ impl Classifier for Plsda {
                 scores_all[(r, comp)] = t[r];
             }
         }
+        // Shape errors surface as trial-level numerical failures instead of
+        // panicking mid-pipeline (see `Matrix::try_matmul`).
+        let mm = |a: &Matrix, b: &Matrix| {
+            a.try_matmul(b).map_err(|e| ClassifierError::Numerical {
+                algorithm: "PLSDA",
+                detail: e.to_string(),
+            })
+        };
         // Direct projection R = W (PᵀW)⁻¹ so scores = X·R for new data.
-        let ptw = loadings.transpose().matmul(&weights);
+        let ptw = mm(&loadings.transpose(), &weights)?;
         let r_mat = match invert_small(&ptw) {
-            Some(inv) => weights.matmul(&inv),
+            Some(inv) => mm(&weights, &inv)?,
             None => weights.clone(), // near-singular: raw weights still project
         };
         // Regress centered indicators on scores: coef = (TᵀT)⁻¹ TᵀY.
-        let ttt = scores_all.transpose().matmul(&scores_all);
-        let tty = scores_all.transpose().matmul(&y);
+        let ttt = mm(&scores_all.transpose(), &scores_all)?;
+        let tty = mm(&scores_all.transpose(), &y)?;
         let coef = match invert_small(&ttt) {
-            Some(inv) => inv.matmul(&tty),
+            Some(inv) => mm(&inv, &tty)?,
             None => {
                 return Err(ClassifierError::Numerical {
                     algorithm: "PLSDA",

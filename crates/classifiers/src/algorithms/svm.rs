@@ -12,6 +12,7 @@ use crate::params::ParamConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smartml_data::Dataset;
+use smartml_linalg::kernels;
 use smartml_linalg::Matrix;
 
 /// Kernel functions supported by e1071.
@@ -60,13 +61,23 @@ impl Svm {
     }
 
     fn kernel_eval(&self, a: &[f64], b: &[f64]) -> f64 {
-        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let dot = kernels::dot(a, b);
         match self.kernel {
             Kernel::Linear => dot,
-            Kernel::Radial => {
-                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
-                (-self.gamma * d2).exp()
-            }
+            Kernel::Radial => (-self.gamma * kernels::squared_distance(a, b)).exp(),
+            Kernel::Polynomial => (self.gamma * dot + self.coef0).powi(self.degree as i32),
+            Kernel::Sigmoid => (self.gamma * dot + self.coef0).tanh(),
+        }
+    }
+
+    /// [`kernel_eval`](Svm::kernel_eval) over f32-stored rows — the opt-in
+    /// reduced-precision kernel-matrix path (f32 lanes, f64 accumulators;
+    /// see `smartml_linalg::kernels` for the documented error bound).
+    fn kernel_eval_f32(&self, a: &[f32], b: &[f32]) -> f64 {
+        let dot = kernels::dot_f32(a, b);
+        match self.kernel {
+            Kernel::Linear => dot,
+            Kernel::Radial => (-self.gamma * kernels::squared_distance_f32(a, b)).exp(),
             Kernel::Polynomial => (self.gamma * dot + self.coef0).powi(self.degree as i32),
             Kernel::Sigmoid => (self.gamma * dot + self.coef0).tanh(),
         }
@@ -172,12 +183,30 @@ fn smo_train(
     let mut bias = 0.0f64;
     let mut rng = StdRng::seed_from_u64(0xD1CE ^ (pos as u64) << 16 ^ neg as u64);
     // Precompute the kernel sub-matrix (n ≤ a few hundred in this workspace).
+    // The O(n²·d) build dominates small-trial cost, so it honours the opt-in
+    // f32 path: rows are rounded once, kernels run on f32 lanes with f64
+    // accumulators.
     let mut kmat = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in i..n {
-            let v = params.kernel_eval(x.row(sub[i]), x.row(sub[j]));
-            kmat[i * n + j] = v;
-            kmat[j * n + i] = v;
+    if kernels::use_f32_path() {
+        let d = x.cols();
+        let mut subx: Vec<f32> = Vec::with_capacity(n * d);
+        for &r in sub {
+            subx.extend(x.row(r).iter().map(|&v| v as f32));
+        }
+        for i in 0..n {
+            for j in i..n {
+                let v = params.kernel_eval_f32(&subx[i * d..(i + 1) * d], &subx[j * d..(j + 1) * d]);
+                kmat[i * n + j] = v;
+                kmat[j * n + i] = v;
+            }
+        }
+    } else {
+        for i in 0..n {
+            for j in i..n {
+                let v = params.kernel_eval(x.row(sub[i]), x.row(sub[j]));
+                kmat[i * n + j] = v;
+                kmat[j * n + i] = v;
+            }
         }
     }
     let f = |alpha: &[f64], bias: f64, kmat: &[f64], y: &[f64], i: usize| -> f64 {

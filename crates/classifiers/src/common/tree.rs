@@ -13,9 +13,10 @@
 
 use crate::common::split::{
     partition2, partition_multi, radix_sort_ranked, BinnedColumns, RankedBase, Seg,
-    SortedColumns, SplitState, NAN_BIN, NAN_RANK, SIDE_DROP, SIDE_LEFT, SIDE_RIGHT,
+    SortedColumns, SplitState, NAN_RANK, SIDE_DROP, SIDE_LEFT, SIDE_RIGHT,
 };
 use rand::rngs::StdRng;
+use smartml_linalg::kernels;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use smartml_data::dataset::MISSING_CODE;
@@ -1143,21 +1144,17 @@ impl<'a> Grower<'a> {
             return None;
         }
         let k = self.n_classes;
-        self.state.hist.clear();
-        self.state.hist.resize(nb * k, 0.0);
-        self.state.hist_total.clear();
-        self.state.hist_total.resize(nb, 0.0);
-        let mut n_present = 0usize;
-        for &s in rows {
-            let b = slot_codes[s as usize];
-            if b == NAN_BIN {
-                continue;
-            }
-            n_present += 1;
-            self.state.hist[b as usize * k + self.slot_label[s as usize] as usize] +=
-                self.slot_weight[s as usize];
-            self.state.hist_total[b as usize] += self.slot_weight[s as usize];
-        }
+        // Branch-light vectorized build (trash-bin lane for missing rows);
+        // bit-identical on the real bins to the retained scalar builder.
+        let n_present = crate::common::split::fill_histogram(
+            rows,
+            slot_codes,
+            &self.slot_label,
+            &self.slot_weight,
+            k,
+            &mut self.state.hist,
+            &mut self.state.hist_total,
+        );
         if n_present < 2 {
             return None;
         }
@@ -1175,11 +1172,9 @@ impl<'a> Grower<'a> {
             if bt == 0.0 {
                 continue; // cut equivalent to the previous one
             }
-            for c in 0..k {
-                let w = self.state.hist[b * k + c];
-                self.state.left_counts[c] += w;
-                self.state.right_counts[c] -= w;
-            }
+            let bin_row = &self.state.hist[b * k..b * k + k];
+            kernels::add_assign(&mut self.state.left_counts, bin_row);
+            kernels::sub_assign(&mut self.state.right_counts, bin_row);
             left_total += bt;
             right_total -= bt;
             if left_total < self.config.min_leaf || right_total < self.config.min_leaf {

@@ -1,0 +1,64 @@
+//! Opt-in f32 compute path: cross-model agreement with the default f64
+//! path. Lives in its own test binary because [`kernels::set_f32_kernels`]
+//! is process-wide — an isolated process keeps the knob from leaking into
+//! unrelated suites.
+//!
+//! The contract under test: with the knob on, kNN and SVM run their
+//! distance/kernel evaluations through the f32 kernels (f32 lanes, f64
+//! accumulators) and must still predict (near-)identically to the f64
+//! path on well-separated data — reduced precision trades ulps, not
+//! decisions.
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::synth::gaussian_blobs;
+use smartml_linalg::kernels;
+
+fn agreement(a: &[u32], b: &[u32]) -> f64 {
+    let same = a.iter().zip(b).filter(|(x, y)| x == y).count();
+    same as f64 / a.len() as f64
+}
+
+#[test]
+fn f32_path_matches_f64_decisions() {
+    assert!(!kernels::f32_kernels_enabled(), "f32 path must be opt-in");
+    let data = gaussian_blobs("f32-blobs", 300, 6, 3, 0.7, 11);
+    let (train, test): (Vec<usize>, Vec<usize>) = (0..data.n_rows()).partition(|i| i % 2 == 0);
+    let truth = data.labels_for(&test);
+
+    for alg in [Algorithm::Knn, Algorithm::Svm] {
+        let name = format!("{alg}");
+        let clf = alg.build(&ParamConfig::default());
+        let f64_model = clf.fit(&data, &train).unwrap();
+        let f64_pred = f64_model.predict(&data, &test);
+
+        kernels::set_f32_kernels(true);
+        let f32_model = clf.fit(&data, &train).unwrap();
+        let f32_pred = f32_model.predict(&data, &test);
+        kernels::set_f32_kernels(false);
+
+        // ulp-level kernel differences may flip a point sitting exactly on
+        // a decision boundary, but nothing more.
+        let agree = agreement(&f64_pred, &f32_pred);
+        assert!(agree >= 0.97, "{name}: f32 vs f64 agreement {agree}");
+        // And both paths must actually solve the (easy) task.
+        let acc64 = agreement(&truth, &f64_pred);
+        let acc32 = agreement(&truth, &f32_pred);
+        assert!(acc64 > 0.9 && acc32 > 0.9, "{name}: acc64 {acc64} acc32 {acc32}");
+    }
+}
+
+#[test]
+fn f32_path_bumps_path_counters() {
+    let data = gaussian_blobs("f32-counter", 80, 4, 2, 0.8, 5);
+    let rows = data.all_rows();
+    kernels::set_f32_kernels(true);
+    let before = kernels::use_f32_path(); // bumps linalg.kernel.f32_path
+    kernels::set_f32_kernels(false);
+    assert!(before, "knob on => f32 path chosen");
+    assert!(!kernels::use_f32_path(), "knob off => f64 path chosen");
+    // The models themselves consult the knob exactly once per fit/predict
+    // cycle; a knob-off fit must not retain any f32 state.
+    let model = Algorithm::Knn.build(&ParamConfig::default()).fit(&data, &rows).unwrap();
+    let pred = model.predict(&data, &rows);
+    assert_eq!(pred.len(), rows.len());
+}

@@ -11,6 +11,14 @@ pub enum LinalgError {
     NotPositiveDefinite(usize),
     /// An operation required a square matrix but got `rows x cols`.
     NotSquare(usize, usize),
+    /// A binary operation's operand shapes do not compose (e.g. matmul with
+    /// `lhs.cols != rhs.rows`).
+    ShapeMismatch {
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for LinalgError {
@@ -21,6 +29,9 @@ impl std::fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite (pivot {i})")
             }
             LinalgError::NotSquare(r, c) => write!(f, "expected square matrix, got {r}x{c}"),
+            LinalgError::ShapeMismatch { lhs: (lr, lc), rhs: (rr, rc) } => {
+                write!(f, "operand shapes do not compose: {lr}x{lc} vs {rr}x{rc}")
+            }
         }
     }
 }

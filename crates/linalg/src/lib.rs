@@ -5,9 +5,15 @@
 //! a row-major [`Matrix`], LU and Cholesky factorisations, a cyclic Jacobi
 //! symmetric eigendecomposition, and statistical helpers (covariance,
 //! column means). Datasets in this domain are small-to-medium, so the
-//! implementations favour clarity and numerical robustness over peak FLOPs.
+//! implementations favour clarity and numerical robustness over peak FLOPs —
+//! but the hot inner loops (dot/distance/sum reductions, AXPY updates, the
+//! matmul micro-kernel) now live in the autovectorization-friendly
+//! [`kernels`] module, with retained scalar oracles behind a process-wide
+//! knob and a documented determinism policy (see `kernels`' module docs and
+//! DESIGN.md § Compute layer).
 
 mod decomp;
+pub mod kernels;
 mod matrix;
 mod stats;
 pub mod vecops;
@@ -15,3 +21,5 @@ pub mod vecops;
 pub use decomp::{cholesky, eigh, lu_decompose, solve, solve_lower_triangular, LinalgError};
 pub use matrix::Matrix;
 pub use stats::{column_means, covariance_matrix, pearson_correlation};
+#[doc(hidden)]
+pub use stats::oracle as stats_oracle;

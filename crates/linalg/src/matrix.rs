@@ -1,7 +1,12 @@
 //! Row-major dense matrix over `f64`.
 
+use crate::decomp::LinalgError;
+use crate::kernels;
+use smartml_obs::Counter;
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+static GEMM_CALLS: Counter = Counter::new("linalg.gemm.calls");
 
 /// A dense, row-major matrix of `f64` values.
 ///
@@ -130,12 +135,42 @@ impl Matrix {
         Matrix { rows: m, cols: n, data: t }
     }
 
+    /// Matrix product `self * rhs`, with the dimension check routed through
+    /// `Result` so pipeline code (surrogate refits, PLS-DA projections) can
+    /// surface a bad shape as a trial error instead of a panic.
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.cols() != rhs.rows()`.
+    pub fn try_matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        GEMM_CALLS.inc();
+        if kernels::scalar_kernels() {
+            Ok(self.matmul_serial(rhs))
+        } else {
+            Ok(self.matmul_blocked(rhs))
+        }
+    }
+
     /// Matrix product `self * rhs`.
     ///
     /// # Panics
-    /// Panics if `self.cols() != rhs.rows()`.
+    /// Panics if `self.cols() != rhs.rows()`; infallible callers keep this
+    /// entry point, pipeline callers use [`Matrix::try_matmul`].
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul shape mismatch {:?} x {:?}", self.shape(), rhs.shape());
+        match self.try_matmul(rhs) {
+            Ok(out) => out,
+            Err(e) => panic!("matmul shape mismatch: {e}"),
+        }
+    }
+
+    /// The retained pre-kernel-layer product: i-k-j loop order, one output
+    /// row live at a time. Serves as the scalar oracle for the blocked path
+    /// (results are bit-identical) and as the `simd_kernels` bench baseline.
+    fn matmul_serial(&self, rhs: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // i-k-j loop order keeps the inner loop contiguous in both `rhs` and `out`.
         for i in 0..self.rows {
@@ -154,12 +189,71 @@ impl Matrix {
         out
     }
 
+    /// Register-blocked product: a 4-row micro-kernel reuses each `rhs` row
+    /// across four output rows, quartering the dominant memory traffic while
+    /// keeping every `(i, j)` accumulation in ascending-`k` order — so the
+    /// result is bit-identical to [`Matrix::matmul_serial`].
+    fn matmul_blocked(&self, rhs: &Matrix) -> Matrix {
+        const MR: usize = 4;
+        let (n, kd, m) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(n, m);
+        let blocks = n / MR;
+        for (bi, block) in out.data[..blocks * MR * m].chunks_exact_mut(MR * m).enumerate() {
+            let i0 = bi * MR;
+            let (r0, rest) = block.split_at_mut(m);
+            let (r1, rest) = rest.split_at_mut(m);
+            let (r2, r3) = rest.split_at_mut(m);
+            for k in 0..kd {
+                let a0 = self.data[i0 * kd + k];
+                let a1 = self.data[(i0 + 1) * kd + k];
+                let a2 = self.data[(i0 + 2) * kd + k];
+                let a3 = self.data[(i0 + 3) * kd + k];
+                let brow = &rhs.data[k * m..k * m + m];
+                if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                    for j in 0..m {
+                        let b = brow[j];
+                        r0[j] += a0 * b;
+                        r1[j] += a1 * b;
+                        r2[j] += a2 * b;
+                        r3[j] += a3 * b;
+                    }
+                } else {
+                    // The zero-skip is semantic, not just a shortcut
+                    // (0.0 * inf is NaN; -0.0 + 0.0 is +0.0), so a block
+                    // with any zero multiplier falls back to per-row AXPYs
+                    // that skip exactly the rows the serial path skips.
+                    if a0 != 0.0 {
+                        kernels::axpy(r0, a0, brow);
+                    }
+                    if a1 != 0.0 {
+                        kernels::axpy(r1, a1, brow);
+                    }
+                    if a2 != 0.0 {
+                        kernels::axpy(r2, a2, brow);
+                    }
+                    if a3 != 0.0 {
+                        kernels::axpy(r3, a3, brow);
+                    }
+                }
+            }
+        }
+        for i in blocks * MR..n {
+            for k in 0..kd {
+                let a = self.data[i * kd + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &rhs.data[k * m..k * m + m];
+                kernels::axpy(&mut out.data[i * m..i * m + m], a, brow);
+            }
+        }
+        out
+    }
+
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec shape mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|r| kernels::dot(self.row(r), v)).collect()
     }
 
     /// Element-wise sum `self + rhs`.
@@ -340,6 +434,57 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn try_matmul_reports_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        match a.try_matmul(&b) {
+            Err(LinalgError::ShapeMismatch { lhs, rhs }) => {
+                assert_eq!(lhs, (2, 3));
+                assert_eq!(rhs, (2, 3));
+            }
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        assert!(Matrix::zeros(2, 3).try_matmul(&Matrix::zeros(3, 4)).is_ok());
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_serial() {
+        // Shapes straddling the 4-row micro-kernel, with planted zeros and
+        // non-finite values to exercise the zero-skip fallback.
+        for &(n, k, m) in &[(1, 1, 1), (4, 4, 4), (5, 3, 7), (8, 16, 2), (13, 7, 9), (3, 5, 4)] {
+            let mut a = Matrix::from_vec(
+                n,
+                k,
+                (0..n * k).map(|i| (i as f64 * 0.37).sin() * 4.0).collect(),
+            );
+            let b = Matrix::from_vec(
+                k,
+                m,
+                (0..k * m).map(|i| (i as f64 * 0.73).cos() * 4.0).collect(),
+            );
+            a[(0, 0)] = 0.0;
+            if n * k > 6 {
+                a.as_mut_slice()[5] = 0.0;
+            }
+            let fast = a.matmul_blocked(&b);
+            let slow = a.matmul_serial(&b);
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{n}x{k} * {k}x{m}");
+            }
+        }
+        // Zero times infinity must keep the serial path's skip semantics.
+        let mut a = Matrix::zeros(4, 2);
+        a[(1, 0)] = 1.0;
+        let mut b = Matrix::zeros(2, 3);
+        b[(0, 1)] = f64::INFINITY;
+        let fast = a.matmul_blocked(&b);
+        let slow = a.matmul_serial(&b);
+        assert_eq!(fast, slow);
+        assert_eq!(fast[(0, 1)], 0.0);
+        assert_eq!(fast[(1, 1)], f64::INFINITY);
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! Scalar-vector helpers used across the workspace: moments, norms,
 //! numerically careful summaries over possibly-empty or NaN-bearing slices.
+//!
+//! The reduction-shaped entry points (`sum`, `mean`, `variance`, `dot`,
+//! `euclidean_distance`, `norm`) delegate to the vectorized
+//! [`crate::kernels`] layer and inherit its determinism policy: fixed
+//! lane-order accumulation, with the legacy serial numerics available
+//! process-wide via [`crate::kernels::set_scalar_kernels`].
+
+use crate::kernels;
 
 /// Sum of a slice.
 #[inline]
 pub fn sum(xs: &[f64]) -> f64 {
-    xs.iter().sum()
+    kernels::sum(xs)
 }
 
 /// Arithmetic mean; 0.0 for empty input.
@@ -23,7 +31,7 @@ pub fn variance(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let m = mean(xs);
-    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+    kernels::sum_sq_dev(xs, m) / (n - 1) as f64
 }
 
 /// Sample standard deviation.
@@ -73,19 +81,13 @@ pub fn max(xs: &[f64]) -> f64 {
 
 /// Euclidean (L2) distance between equal-length slices.
 pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    kernels::squared_distance(a, b).sqrt()
 }
 
 /// Dot product of equal-length slices.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 /// L2 norm.
@@ -231,6 +233,61 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_slices_are_defined() {
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(euclidean_distance(&[], &[]), 0.0);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn remainder_lengths_cover_every_lane_count() {
+        // n % LANES in {0 .. LANES-1} for each chunked kernel, checked
+        // against a serial reference within reassociation tolerance.
+        for n in 1..=2 * crate::kernels::LANES + 1 {
+            let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.71).sin() * 3.0).collect();
+            let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos() * 3.0).collect();
+            let serial_sum: f64 = xs.iter().sum();
+            assert!((sum(&xs) - serial_sum).abs() <= 1e-12 * (1.0 + serial_sum.abs()), "sum n={n}");
+            let serial_dot: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+            assert!((dot(&xs, &ys) - serial_dot).abs() <= 1e-12 * (1.0 + serial_dot.abs()), "dot n={n}");
+            let serial_d2: f64 = xs.iter().zip(&ys).map(|(a, b)| (a - b) * (a - b)).sum();
+            let d = euclidean_distance(&xs, &ys);
+            assert!((d * d - serial_d2).abs() <= 1e-10 * (1.0 + serial_d2), "dist n={n}");
+            if n >= 2 {
+                let m = serial_sum / n as f64;
+                let serial_var: f64 =
+                    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+                assert!((variance(&xs) - serial_var).abs() <= 1e-12 * (1.0 + serial_var), "var n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_propagate() {
+        assert!(sum(&[1.0, f64::NAN, 2.0]).is_nan());
+        assert!(dot(&[f64::INFINITY, 1.0], &[1.0, 1.0]).is_infinite());
+        assert!(dot(&[f64::INFINITY, 1.0], &[0.0, 1.0]).is_nan());
+        assert!(mean(&[f64::NEG_INFINITY; 9]).is_infinite());
+        assert!(variance(&[1.0, f64::NAN, 3.0]).is_nan());
+        assert!(euclidean_distance(&[f64::INFINITY], &[0.0]).is_infinite());
+        // min/max intentionally filter NaN rather than propagate it.
+        assert_eq!(min(&[f64::NAN, 4.0]), 4.0);
+        assert_eq!(max(&[f64::NAN, 4.0]), 4.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn length_mismatch_asserts_in_debug() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        assert!(catch_unwind(AssertUnwindSafe(|| dot(&[1.0, 2.0], &[1.0]))).is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| euclidean_distance(&[1.0], &[]))).is_err());
     }
 
     #[test]

@@ -115,4 +115,16 @@ grep "smac.trial.ok" "$SMOKE_DIR/obs-metrics.txt" > /dev/null \
 echo "==> obs overhead: disabled-path instrumentation within budget (hard 5 ns/op gate)"
 ./target/release/obs_overhead --quick --check BENCH_obs.json > /dev/null
 
+echo "==> compute kernels: equivalence proptests under default codegen and -C target-cpu=native"
+cargo test -q --offline -p smartml-linalg --test kernel_equiv
+# The codegen-invariance contract: the same bit patterns must reproduce
+# when the compiler is free to use every vector unit on this host. A
+# separate target dir keeps the native artifacts from clobbering the
+# default-codegen build cache.
+CARGO_TARGET_DIR=target/native-verify RUSTFLAGS="-C target-cpu=native" \
+  cargo test -q --offline -p smartml-linalg --test kernel_equiv
+
+echo "==> perf smoke: simd kernels vs committed baseline (fails on panic or >5x regression)"
+./target/release/simd_kernels --quick --check BENCH_simd.json > /dev/null
+
 echo "verify: OK"
