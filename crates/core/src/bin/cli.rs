@@ -12,9 +12,11 @@
 //! smartml-cli algorithms
 //! smartml-cli bootstrap --kb PATH [--fast]
 //! smartml-cli api < request.json
-//! smartml-cli kb serve --dir DIR [--addr HOST:PORT] [--no-fsync]
+//! smartml-cli kb serve --dir DIR [--addr HOST:PORT] [--io blocking|epoll]
+//!                      [--shards N] [--no-fsync]
 //! smartml-cli kb stats|snapshot|metrics --kb SPEC
 //! smartml-cli kb query <data> --kb SPEC [--top-n N]
+//! smartml-cli kb query --batch FILE --kb SPEC [--top-n N]
 //! smartml-cli kb record <data> --kb SPEC --algorithm NAME --accuracy X
 //! ```
 //!
@@ -33,7 +35,10 @@ use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::io::{parse_arff, parse_csv};
 use smartml_data::Dataset;
 use smartml_kb::{AlgorithmRun, KbBackend, QueryOptions};
-use smartml_kbd::{DurableKb, DurableOptions, KbClient, Server, ServerOptions};
+use smartml_kbd::{
+    BatchQuery, DurableKb, DurableOptions, EventServer, EventServerOptions, KbClient, Server,
+    ServerOptions,
+};
 use std::io::Read;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -277,32 +282,66 @@ fn parse_kb_spec(args: &[String]) -> Result<KbSource, String> {
     KbSource::parse(flag_value(args, "--kb").ok_or("--kb SPEC required")?)
 }
 
-/// `kb serve`: host a durable KB over TCP (same engine as `smartmld`).
+/// `kb serve`: host a durable KB over TCP (same engine as `smartmld`),
+/// on either backend: `--io epoll` (default; sharded, pipelined) or
+/// `--io blocking` (thread per connection).
 fn kb_serve(args: &[String]) -> Result<(), String> {
     let dir = PathBuf::from(flag_value(args, "--dir").ok_or("kb serve: --dir DIR required")?);
-    let mut options = ServerOptions {
-        dir,
-        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:7878").to_string(),
-        ..ServerOptions::default()
-    };
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7878").to_string();
+    let mut durable = DurableOptions::default();
     if has_flag(args, "--no-fsync") {
-        options.durable = DurableOptions { fsync_writes: false, ..Default::default() };
+        durable.fsync_writes = false;
     }
-    let server = Server::bind(options).map_err(|e| e.to_string())?;
-    let r = server.recovery();
-    println!(
-        "recovered {} datasets / {} runs (snapshot {:?}, {} WAL records replayed{})",
-        server.shared().len(),
-        server.shared().n_runs(),
-        r.snapshot_seq,
-        r.records_replayed,
-        if r.truncated_tail { ", torn tail truncated" } else { "" }
-    );
-    println!(
-        "smartmld: listening on {}",
-        server.local_addr().map_err(|e| e.to_string())?
-    );
-    server.run().map_err(|e| e.to_string())
+    let report = |r: &smartml_kbd::RecoveryReport, datasets: usize, runs: usize| {
+        println!(
+            "recovered {datasets} datasets / {runs} runs (snapshot {:?}, {} WAL records replayed{})",
+            r.snapshot_seq,
+            r.records_replayed,
+            if r.truncated_tail { ", torn tail truncated" } else { "" }
+        );
+    };
+    match flag_value(args, "--io").unwrap_or("epoll") {
+        "blocking" => {
+            let server = Server::bind(ServerOptions {
+                dir,
+                addr,
+                durable,
+                ..ServerOptions::default()
+            })
+            .map_err(|e| e.to_string())?;
+            report(server.recovery(), server.shared().len(), server.shared().n_runs());
+            println!(
+                "smartmld: listening on {}",
+                server.local_addr().map_err(|e| e.to_string())?
+            );
+            server.run().map_err(|e| e.to_string())
+        }
+        "epoll" => {
+            let shards = match flag_value(args, "--shards") {
+                Some(n) => n.parse().map_err(|_| "--shards expects a number")?,
+                None => 0,
+            };
+            let server = EventServer::bind(EventServerOptions {
+                dir,
+                addr,
+                durable,
+                n_loops: shards,
+                ..EventServerOptions::default()
+            })
+            .map_err(|e| e.to_string())?;
+            report(server.recovery(), server.store().len(), server.store().n_runs());
+            println!(
+                "smartmld: epoll backend, {} event loop(s) / shard(s)",
+                server.store().n_shards()
+            );
+            println!(
+                "smartmld: listening on {}",
+                server.local_addr().map_err(|e| e.to_string())?
+            );
+            server.run().map_err(|e| e.to_string())
+        }
+        other => Err(format!("--io expects `blocking` or `epoll`, got `{other}`")),
+    }
 }
 
 fn kb_stats(args: &[String]) -> Result<(), String> {
@@ -340,12 +379,11 @@ fn kb_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `kb query`: extract meta-features from a dataset and ask the KB for
-/// algorithm nominations without running the pipeline.
+/// `kb query`: extract meta-features from a dataset (or, with `--batch
+/// FILE`, from every dataset listed in FILE) and ask the KB for
+/// algorithm nominations without running the pipeline. Against a live
+/// `tcp:` server, a batch goes out as one `recommend_batch` round trip.
 fn kb_query(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("kb query: missing dataset path")?;
-    let data = load_dataset(path, flag_value(args, "--target"))?;
-    let mf = smartml_metafeatures::extract(&data, &data.all_rows());
     let mut options = QueryOptions::default();
     if let Some(n) = flag_value(args, "--top-n") {
         options.top_n = n.parse().map_err(|_| "--top-n expects a number")?;
@@ -353,27 +391,96 @@ fn kb_query(args: &[String]) -> Result<(), String> {
     if let Some(n) = flag_value(args, "--neighbors") {
         options.n_neighbors = n.parse().map_err(|_| "--neighbors expects a number")?;
     }
-    let rec = match parse_kb_spec(args)? {
-        KbSource::File(p) => KnowledgeBase::load(&p)
-            .map_err(|e| e.to_string())?
-            .kb_recommend(&mf, None, &options),
-        KbSource::Wal(d) => DurableKb::open(&d)
-            .map_err(|e| e.to_string())?
-            .kb_recommend(&mf, None, &options),
-        KbSource::Remote(addr) => KbClient::connect(addr).recommend(&mf, None, &options),
+
+    // Collect the datasets to query: one positional path, or a --batch
+    // manifest with one dataset path per line (# comments allowed).
+    let paths: Vec<String> = match flag_value(args, "--batch") {
+        Some(manifest) => std::fs::read_to_string(manifest)
+            .map_err(|e| format!("kb query: cannot read batch file {manifest}: {e}"))?
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect(),
+        None => vec![args
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("kb query: missing dataset path (or --batch FILE)")?
+            .clone()],
+    };
+    if paths.is_empty() {
+        return Err("kb query: batch file lists no datasets".into());
+    }
+    let target = flag_value(args, "--target");
+    let queries: Vec<(String, smartml_metafeatures::MetaFeatures)> = paths
+        .iter()
+        .map(|p| {
+            let data = load_dataset(p, target)?;
+            let mf = smartml_metafeatures::extract(&data, &data.all_rows());
+            Ok((p.clone(), mf))
+        })
+        .collect::<Result<_, String>>()?;
+
+    let recs = match parse_kb_spec(args)? {
+        KbSource::File(p) => {
+            let kb = KnowledgeBase::load(&p).map_err(|e| e.to_string())?;
+            queries
+                .iter()
+                .map(|(_, mf)| kb.kb_recommend(mf, None, &options))
+                .collect::<Result<Vec<_>, _>>()
+        }
+        KbSource::Wal(d) => {
+            let kb = DurableKb::open(&d).map_err(|e| e.to_string())?;
+            queries
+                .iter()
+                .map(|(_, mf)| kb.kb_recommend(mf, None, &options))
+                .collect::<Result<Vec<_>, _>>()
+        }
+        KbSource::Remote(addr) => {
+            let client = KbClient::connect(addr);
+            if queries.len() == 1 {
+                client.recommend(&queries[0].1, None, &options).map(|r| vec![r])
+            } else {
+                // The point of the batch verb: all answers, one round trip.
+                client.recommend_batch(
+                    queries
+                        .iter()
+                        .map(|(_, mf)| BatchQuery {
+                            meta_features: mf.clone(),
+                            landmarkers: None,
+                            options: Some(options.clone()),
+                        })
+                        .collect(),
+                )
+            }
+        }
     }
     .map_err(|e| e.to_string())?;
-    if rec.algorithms.is_empty() {
-        println!("knowledge base has no experience yet — no nominations");
-        return Ok(());
-    }
-    println!("{:<14} {:>8}  warm starts", "Algorithm", "score");
-    for a in &rec.algorithms {
-        println!("{:<14} {:>8.4}  {}", a.algorithm.paper_name(), a.score, a.warm_starts.len());
-    }
-    println!("nearest datasets:");
-    for (id, d) in &rec.neighbors {
-        println!("  {id} (distance {d:.4})");
+
+    for (i, ((path, _), rec)) in queries.iter().zip(&recs).enumerate() {
+        if queries.len() > 1 {
+            if i > 0 {
+                println!();
+            }
+            println!("== {path}");
+        }
+        if rec.algorithms.is_empty() {
+            println!("knowledge base has no experience yet — no nominations");
+            continue;
+        }
+        println!("{:<14} {:>8}  warm starts", "Algorithm", "score");
+        for a in &rec.algorithms {
+            println!(
+                "{:<14} {:>8.4}  {}",
+                a.algorithm.paper_name(),
+                a.score,
+                a.warm_starts.len()
+            );
+        }
+        println!("nearest datasets:");
+        for (id, d) in &rec.neighbors {
+            println!("  {id} (distance {d:.4})");
+        }
     }
     Ok(())
 }

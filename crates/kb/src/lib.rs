@@ -47,5 +47,8 @@ mod query;
 mod store;
 
 pub use backend::KbBackend;
-pub use query::{AlgorithmRecommendation, NormStats, QueryOptions, Recommendation};
+pub use query::{
+    entry_distance, normalisation_stats_over, normalise, vote_ranked, AlgorithmRecommendation,
+    NormStats, QueryOptions, Recommendation,
+};
 pub use store::{AlgorithmRun, KbEntry, KbError, KnowledgeBase};

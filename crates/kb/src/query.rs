@@ -115,58 +115,13 @@ impl KnowledgeBase {
             .iter()
             .map(|e| {
                 let z = normalise(&e.meta_features.values, means, stds);
-                let mut dist = euclidean(&query, &z);
-                if options.use_landmarkers {
-                    if let (Some(q), Some(el)) = (query_landmarkers, e.landmarkers) {
-                        let dl = ((q.decision_stump - el.decision_stump).powi(2)
-                            + (q.nearest_centroid - el.nearest_centroid).powi(2))
-                        .sqrt();
-                        dist = (dist * dist + (3.0 * dl) * (3.0 * dl)).sqrt();
-                    }
-                }
+                let dist = entry_distance(&query, &z, e.landmarkers, query_landmarkers, options);
                 (e, dist)
             })
             .collect();
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         ranked.truncate(options.n_neighbors.max(1));
-
-        // Two-factor vote.
-        let mut votes: Vec<(Algorithm, f64)> = Vec::new();
-        for (entry, dist) in &ranked {
-            let similarity = 1.0 / (1.0 + dist);
-            for run in &entry.runs {
-                let magnitude = run.accuracy.max(0.0).powf(options.performance_weight.max(0.0));
-                let weight = similarity * magnitude;
-                match votes.iter_mut().find(|(a, _)| *a == run.algorithm) {
-                    Some((_, v)) => *v += weight,
-                    None => votes.push((run.algorithm, weight)),
-                }
-            }
-        }
-        votes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        votes.truncate(options.top_n.max(1));
-
-        let algorithms = votes
-            .into_iter()
-            .map(|(algorithm, score)| {
-                // Warm starts: best config for this algorithm from each
-                // neighbour, nearest neighbour first.
-                let warm_starts = ranked
-                    .iter()
-                    .filter_map(|(entry, _)| {
-                        entry.best_run_for(algorithm).map(|r| r.config.clone())
-                    })
-                    .collect();
-                AlgorithmRecommendation { algorithm, score, warm_starts }
-            })
-            .collect();
-        Recommendation {
-            algorithms,
-            neighbors: ranked
-                .iter()
-                .map(|(e, d)| (e.dataset_id.clone(), *d))
-                .collect(),
-        }
+        vote_ranked(&ranked, options)
     }
 
     /// Per-meta-feature mean and std over all entries (for z-scoring).
@@ -174,33 +129,46 @@ impl KnowledgeBase {
     /// result and pass it to
     /// [`KnowledgeBase::recommend_extended_with_stats`].
     pub fn normalisation_stats(&self) -> NormStats {
-        let n = self.len() as f64;
-        let mut means = vec![0.0; N_META_FEATURES];
-        for e in self.entries() {
-            for (m, &v) in means.iter_mut().zip(&e.meta_features.values) {
-                *m += v;
-            }
-        }
-        for m in &mut means {
-            *m /= n;
-        }
-        let mut stds = vec![0.0; N_META_FEATURES];
-        for e in self.entries() {
-            for ((s, &v), &m) in stds.iter_mut().zip(&e.meta_features.values).zip(&means) {
-                *s += (v - m) * (v - m);
-            }
-        }
-        for s in &mut stds {
-            *s = (*s / n).sqrt();
-            if *s < 1e-12 {
-                *s = 1.0; // constant meta-feature carries no signal
-            }
-        }
-        NormStats { means, stds }
+        let features: Vec<&[f64]> =
+            self.entries().iter().map(|e| e.meta_features.values.as_slice()).collect();
+        normalisation_stats_over(&features)
     }
 }
 
-fn normalise(values: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
+/// [`KnowledgeBase::normalisation_stats`] over an explicit feature
+/// sequence. Float summation follows slice order, so a sharded index
+/// that assembles features in global insertion order gets statistics
+/// bit-identical to a single monolithic KB holding the same entries.
+pub fn normalisation_stats_over(features: &[&[f64]]) -> NormStats {
+    let n = features.len() as f64;
+    let mut means = vec![0.0; N_META_FEATURES];
+    for values in features {
+        for (m, &v) in means.iter_mut().zip(*values) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut stds = vec![0.0; N_META_FEATURES];
+    for values in features {
+        for ((s, &v), &m) in stds.iter_mut().zip(*values).zip(&means) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut stds {
+        *s = (*s / n).sqrt();
+        if *s < 1e-12 {
+            *s = 1.0; // constant meta-feature carries no signal
+        }
+    }
+    NormStats { means, stds }
+}
+
+/// Z-scores a feature vector against per-feature `means`/`stds`.
+/// Exported so a serving index can pre-normalise entries once per write
+/// generation instead of on every query.
+pub fn normalise(values: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
     values
         .iter()
         .zip(means)
@@ -209,8 +177,75 @@ fn normalise(values: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Distance between a z-scored query and a z-scored entry, optionally
+/// extended with landmarker accuracies (the `use_landmarkers` ablation:
+/// the two accuracies join the distance scaled ×3, since they live in
+/// `[0,1]` while z-scores spread wider).
+pub fn entry_distance(
+    query_z: &[f64],
+    entry_z: &[f64],
+    entry_landmarkers: Option<Landmarkers>,
+    query_landmarkers: Option<Landmarkers>,
+    options: &QueryOptions,
+) -> f64 {
+    let mut dist = euclidean(query_z, entry_z);
+    if options.use_landmarkers {
+        if let (Some(q), Some(el)) = (query_landmarkers, entry_landmarkers) {
+            let dl = ((q.decision_stump - el.decision_stump).powi(2)
+                + (q.nearest_centroid - el.nearest_centroid).powi(2))
+            .sqrt();
+            dist = (dist * dist + (3.0 * dl) * (3.0 * dl)).sqrt();
+        }
+    }
+    dist
+}
+
+/// The paper's two-factor vote over an already-ranked neighbour set
+/// (nearest first, already truncated to `n_neighbors`). Factored out of
+/// [`KnowledgeBase::recommend_extended_with_stats`] so a sharded index
+/// can rank per shard, merge, and still produce byte-identical
+/// recommendations: given the same ranked entries in the same order,
+/// every float operation here runs in the same sequence.
+pub fn vote_ranked(ranked: &[(&KbEntry, f64)], options: &QueryOptions) -> Recommendation {
+    let mut votes: Vec<(Algorithm, f64)> = Vec::new();
+    for (entry, dist) in ranked {
+        let similarity = 1.0 / (1.0 + dist);
+        for run in &entry.runs {
+            let magnitude = run.accuracy.max(0.0).powf(options.performance_weight.max(0.0));
+            let weight = similarity * magnitude;
+            match votes.iter_mut().find(|(a, _)| *a == run.algorithm) {
+                Some((_, v)) => *v += weight,
+                None => votes.push((run.algorithm, weight)),
+            }
+        }
+    }
+    votes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    votes.truncate(options.top_n.max(1));
+
+    let algorithms = votes
+        .into_iter()
+        .map(|(algorithm, score)| {
+            // Warm starts: best config for this algorithm from each
+            // neighbour, nearest neighbour first.
+            let warm_starts = ranked
+                .iter()
+                .filter_map(|(entry, _)| entry.best_run_for(algorithm).map(|r| r.config.clone()))
+                .collect();
+            AlgorithmRecommendation { algorithm, score, warm_starts }
+        })
+        .collect();
+    Recommendation {
+        algorithms,
+        neighbors: ranked.iter().map(|(e, d)| (e.dataset_id.clone(), *d)).collect(),
+    }
+}
+
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    // Lane-chunked kernel: breaks the serial add dependency chain the
+    // naive fold has, which is most of the per-entry query cost. Every
+    // caller of `entry_distance` (monolithic KB and sharded index alike)
+    // goes through here, so backends stay byte-identical to each other.
+    smartml_linalg::kernels::squared_distance(a, b).sqrt()
 }
 
 #[cfg(test)]

@@ -103,6 +103,15 @@ impl KnowledgeBase {
         KnowledgeBase::default()
     }
 
+    /// A KB holding exactly `entries`, in that order. Entry order is
+    /// load-bearing (normalisation statistics sum in entry order and
+    /// nearest-neighbour ties break by position), so callers
+    /// reassembling a KB — e.g. a sharded index folding its shards into
+    /// a snapshot — must pass entries in original insertion order.
+    pub fn from_entries(entries: Vec<KbEntry>) -> Self {
+        KnowledgeBase { entries }
+    }
+
     /// Number of datasets known.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -116,6 +125,11 @@ impl KnowledgeBase {
     /// Borrow all entries.
     pub fn entries(&self) -> &[KbEntry] {
         &self.entries
+    }
+
+    /// Consumes the KB, yielding its entries in insertion order.
+    pub fn into_entries(self) -> Vec<KbEntry> {
+        self.entries
     }
 
     /// Entry by dataset id.

@@ -1,17 +1,28 @@
 //! `smartmld` — the SmartML knowledge-base daemon.
 //!
 //! ```text
-//! smartmld --dir KB_DIR [--addr HOST:PORT] [--segment-bytes N]
-//!          [--timeout-ms N] [--max-connections N] [--no-fsync]
+//! smartmld --dir KB_DIR [--addr HOST:PORT] [--io blocking|epoll]
+//!          [--shards N] [--segment-bytes N] [--timeout-ms N]
+//!          [--max-connections N] [--no-fsync]
 //! ```
 //!
-//! Serves `recommend` / `record_run` / `set_landmarkers` / `stats` /
-//! `snapshot` / `ping` / `shutdown` as JSON lines over TCP (see
-//! `smartml_kbd::protocol`). `--addr` defaulting to port `0` picks an
-//! ephemeral port; the chosen address is printed on the `listening on`
-//! line so scripts can scrape it.
+//! Serves `recommend` / `recommend_batch` / `record_run` /
+//! `set_landmarkers` / `stats` / `snapshot` / `ping` / `shutdown` as
+//! JSON lines over TCP (see `smartml_kbd::protocol`), with two
+//! interchangeable backends:
+//!
+//! - `--io epoll` (default): event loops over a sharded store —
+//!   pipelined, non-blocking, scales to many connections;
+//! - `--io blocking`: thread-per-connection over the monolithic store —
+//!   the retained oracle, byte-identical in its responses.
+//!
+//! `--addr` defaulting to port `0` picks an ephemeral port; the chosen
+//! address is printed on the `listening on` line so scripts can scrape
+//! it.
 
-use smartml_kbd::{DurableOptions, Server, ServerOptions};
+use smartml_kbd::{
+    DurableOptions, EventServer, EventServerOptions, Server, ServerOptions,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -23,8 +34,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: smartmld --dir KB_DIR [--addr HOST:PORT] [--segment-bytes N] \
-             [--timeout-ms N] [--max-connections N] [--no-fsync]"
+            "usage: smartmld --dir KB_DIR [--addr HOST:PORT] [--io blocking|epoll] \
+             [--shards N] [--segment-bytes N] [--timeout-ms N] [--max-connections N] \
+             [--no-fsync]"
         );
         return ExitCode::from(2);
     }
@@ -37,13 +49,17 @@ fn main() -> ExitCode {
     }
 }
 
-fn serve(args: &[String]) -> Result<(), String> {
-    let dir = flag_value(args, "--dir").ok_or("--dir KB_DIR is required")?;
-    let mut options = ServerOptions {
-        dir: dir.into(),
-        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
-        ..ServerOptions::default()
-    };
+struct Config {
+    dir: String,
+    addr: String,
+    durable: DurableOptions,
+    request_timeout: Option<Duration>,
+    max_connections: usize,
+    shards: usize,
+}
+
+fn parse(args: &[String]) -> Result<Config, String> {
+    let dir = flag_value(args, "--dir").ok_or("--dir KB_DIR is required")?.to_string();
     let mut durable = DurableOptions::default();
     if let Some(n) = flag_value(args, "--segment-bytes") {
         durable.segment_bytes = n.parse().map_err(|_| "--segment-bytes expects a number")?;
@@ -51,20 +67,30 @@ fn serve(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--no-fsync") {
         durable.fsync_writes = false;
     }
-    options.durable = durable;
+    let mut request_timeout = Some(Duration::from_secs(10));
     if let Some(ms) = flag_value(args, "--timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| "--timeout-ms expects a number")?;
-        options.request_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+        request_timeout = (ms > 0).then(|| Duration::from_millis(ms));
     }
-    if let Some(n) = flag_value(args, "--max-connections") {
-        options.max_connections =
-            n.parse().map_err(|_| "--max-connections expects a number")?;
-    }
+    let max_connections = match flag_value(args, "--max-connections") {
+        Some(n) => n.parse().map_err(|_| "--max-connections expects a number")?,
+        None => 0,
+    };
+    let shards = match flag_value(args, "--shards") {
+        Some(n) => n.parse().map_err(|_| "--shards expects a number")?,
+        None => 0,
+    };
+    Ok(Config {
+        dir,
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        durable,
+        request_timeout,
+        max_connections,
+        shards,
+    })
+}
 
-    let server = Server::bind(options).map_err(|e| e.to_string())?;
-    let addr = server.local_addr().map_err(|e| e.to_string())?;
-    let recovery = server.recovery();
-    let (datasets, runs) = server.shared().read(|s| (s.kb().len(), s.kb().n_runs()));
+fn report_recovery(recovery: &smartml_kbd::RecoveryReport, datasets: usize, runs: usize) {
     println!(
         "smartmld: recovered {datasets} datasets / {runs} runs \
          (snapshot {:?}, {} wal records replayed{})",
@@ -72,9 +98,50 @@ fn serve(args: &[String]) -> Result<(), String> {
         recovery.records_replayed,
         if recovery.truncated_tail { ", torn tail truncated" } else { "" }
     );
-    // Scraped by scripts/verify.sh and tests: keep the format stable.
-    println!("smartmld: listening on {addr}");
-    server.run().map_err(|e| e.to_string())?;
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let cfg = parse(args)?;
+    match flag_value(args, "--io").unwrap_or("epoll") {
+        "blocking" => {
+            let server = Server::bind(ServerOptions {
+                dir: cfg.dir.into(),
+                addr: cfg.addr,
+                max_connections: cfg.max_connections,
+                request_timeout: cfg.request_timeout,
+                durable: cfg.durable,
+            })
+            .map_err(|e| e.to_string())?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            let (datasets, runs) = server.shared().read(|s| (s.kb().len(), s.kb().n_runs()));
+            report_recovery(server.recovery(), datasets, runs);
+            // Scraped by scripts/verify.sh and tests: keep the format stable.
+            println!("smartmld: listening on {addr}");
+            server.run().map_err(|e| e.to_string())?;
+        }
+        "epoll" => {
+            let server = EventServer::bind(EventServerOptions {
+                dir: cfg.dir.into(),
+                addr: cfg.addr,
+                n_loops: cfg.shards,
+                max_connections: cfg.max_connections,
+                request_timeout: cfg.request_timeout,
+                durable: cfg.durable,
+            })
+            .map_err(|e| e.to_string())?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            let (datasets, runs) = (server.store().len(), server.store().n_runs());
+            report_recovery(server.recovery(), datasets, runs);
+            println!(
+                "smartmld: epoll backend, {} event loop(s) / shard(s)",
+                server.store().n_shards()
+            );
+            // Scraped by scripts/verify.sh and tests: keep the format stable.
+            println!("smartmld: listening on {addr}");
+            server.run().map_err(|e| e.to_string())?;
+        }
+        other => return Err(format!("--io expects `blocking` or `epoll`, got `{other}`")),
+    }
     println!("smartmld: shut down cleanly");
     Ok(())
 }

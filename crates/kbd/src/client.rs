@@ -14,7 +14,7 @@
 //! applied a write whose acknowledgement was lost. KB records are
 //! observations, not ledger entries — a duplicate is harmless.
 
-use crate::protocol::{KbStats, Request, Response, ServerMetrics};
+use crate::protocol::{BatchQuery, KbStats, Request, Response, ServerMetrics};
 use smartml_kb::{
     AlgorithmRun, KbBackend, KbError, QueryOptions, Recommendation,
 };
@@ -295,6 +295,29 @@ impl KbClient {
         })? {
             Response::Recommendation { recommendation } => Ok(recommendation),
             other => Err(unexpected("recommendation", &other)),
+        }
+    }
+
+    /// Nominate algorithms for many meta-feature vectors in one round
+    /// trip (`recommend_batch`): one request line, one response line,
+    /// answers in query order — exactly what N sequential
+    /// [`KbClient::recommend`] calls would return, minus N−1 round
+    /// trips. Inherits the full [`RetryPolicy`] treatment; batches are
+    /// read-only, so a retry after a mid-response failure is safe.
+    pub fn recommend_batch(
+        &self,
+        queries: Vec<BatchQuery>,
+    ) -> Result<Vec<Recommendation>, KbError> {
+        let n = queries.len();
+        match self.request(&Request::RecommendBatch { queries })? {
+            Response::Recommendations { recommendations } if recommendations.len() == n => {
+                Ok(recommendations)
+            }
+            Response::Recommendations { recommendations } => Err(KbError::Backend(format!(
+                "batch answer count mismatch: sent {n} queries, got {} recommendations",
+                recommendations.len()
+            ))),
+            other => Err(unexpected("recommendations", &other)),
         }
     }
 

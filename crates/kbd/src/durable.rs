@@ -55,6 +55,41 @@ pub struct RecoveryReport {
     pub truncated_tail: bool,
 }
 
+/// Replays a KB directory: latest snapshot, then every newer segment in
+/// order (truncating a torn tail), and opens the writer positioned on
+/// the highest segment. Shared by [`DurableKb`] and the sharded index,
+/// so both recover byte-identical state from the same directory.
+pub(crate) fn recover_dir(
+    dir: &Path,
+    options: &DurableOptions,
+) -> Result<(KnowledgeBase, WalWriter, RecoveryReport), KbError> {
+    std::fs::create_dir_all(dir)?;
+    let snapshots = list_seqs(dir, parse_snapshot_name)?;
+    let snapshot_seq = snapshots.last().copied();
+    let mut kb = match snapshot_seq {
+        Some(seq) => KnowledgeBase::load(&dir.join(snapshot_name(seq)))?,
+        None => KnowledgeBase::new(),
+    };
+    let mut recovery = RecoveryReport { snapshot_seq, ..Default::default() };
+    let floor = snapshot_seq.unwrap_or(0);
+    let segments: Vec<u64> =
+        list_seqs(dir, parse_segment_name)?.into_iter().filter(|&s| s > floor).collect();
+    for &seq in &segments {
+        let path = dir.join(segment_name(seq));
+        let before = std::fs::metadata(&path)?.len();
+        let applied = replay_segment(&path, &mut kb)?;
+        let after = std::fs::metadata(&path)?.len();
+        recovery.segments_replayed += 1;
+        recovery.records_replayed += applied;
+        recovery.truncated_tail |= after < before;
+    }
+    // Resume on the highest segment, or start the one after the
+    // snapshot so sequence numbers never move backwards.
+    let active = segments.last().copied().unwrap_or(floor + 1);
+    let writer = WalWriter::open(dir, active, options.segment_bytes, options.fsync_writes)?;
+    Ok((kb, writer, recovery))
+}
+
 /// A [`KnowledgeBase`] whose every mutation is WAL-logged to a directory.
 pub struct DurableKb {
     dir: PathBuf,
@@ -72,32 +107,7 @@ impl DurableKb {
 
     /// Opens (creating if needed) a KB directory.
     pub fn open_with(dir: &Path, options: DurableOptions) -> Result<DurableKb, KbError> {
-        std::fs::create_dir_all(dir)?;
-        let snapshots = list_seqs(dir, parse_snapshot_name)?;
-        let snapshot_seq = snapshots.last().copied();
-        let mut kb = match snapshot_seq {
-            Some(seq) => KnowledgeBase::load(&dir.join(snapshot_name(seq)))?,
-            None => KnowledgeBase::new(),
-        };
-        let mut recovery = RecoveryReport { snapshot_seq, ..Default::default() };
-        let floor = snapshot_seq.unwrap_or(0);
-        let segments: Vec<u64> = list_seqs(dir, parse_segment_name)?
-            .into_iter()
-            .filter(|&s| s > floor)
-            .collect();
-        for &seq in &segments {
-            let path = dir.join(segment_name(seq));
-            let before = std::fs::metadata(&path)?.len();
-            let applied = replay_segment(&path, &mut kb)?;
-            let after = std::fs::metadata(&path)?.len();
-            recovery.segments_replayed += 1;
-            recovery.records_replayed += applied;
-            recovery.truncated_tail |= after < before;
-        }
-        // Resume on the highest segment, or start the one after the
-        // snapshot so sequence numbers never move backwards.
-        let active = segments.last().copied().unwrap_or(floor + 1);
-        let writer = WalWriter::open(dir, active, options.segment_bytes, options.fsync_writes)?;
+        let (kb, writer, recovery) = recover_dir(dir, &options)?;
         Ok(DurableKb { dir: dir.to_path_buf(), kb, writer, options, recovery })
     }
 

@@ -1,0 +1,692 @@
+//! The event-driven `smartmld` backend: one acceptor, N shard event
+//! loops, non-blocking framed I/O with pipelining and backpressure.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! acceptor (blocking accept)
+//!    │ round-robin + eventfd wake
+//!    ├──▶ loop 0: epoll ── conns… ──┐
+//!    ├──▶ loop 1: epoll ── conns… ──┼──▶ Arc<ShardedKb> (shard 0..N)
+//!    └──▶ loop N: epoll ── conns… ──┘
+//! ```
+//!
+//! Each loop owns a [`Poller`], a [`Waker`] the acceptor pokes when it
+//! hands over a fresh connection, and a [`TimerWheel`] for idle
+//! deadlines. Loop *i* is the preferred home of shard *i*'s writes (the
+//! store routes by meta-feature hash internally), but any loop can
+//! serve any request — reads scan all shards regardless.
+//!
+//! ## Connection state machine
+//!
+//! A connection's epoll interest is derived from two buffers:
+//!
+//! - **readable** while the connection is open for requests and the
+//!   response backlog is below the high-water mark (64 KiB × 4);
+//! - **writable** only while the write buffer is non-empty — under
+//!   level-triggered epoll a permanently-armed `EPOLLOUT` would busy-
+//!   spin, so it is registered exactly when there are bytes to flush.
+//!
+//! Reads drain the socket until `WouldBlock`, then every complete
+//! newline-terminated frame in the buffer is dispatched in order and
+//! its response appended to the write buffer — that is request
+//! pipelining: k requests arriving in one TCP segment cost one
+//! `epoll_wait`, one `read`, and (typically) one `write` for all k
+//! responses. A frame longer than [`MAX_FRAME_BYTES`] gets one protocol
+//! error and the connection is closed, bounding per-connection memory.
+//! A slow reader that never drains its responses trips the high-water
+//! mark: the loop stops reading from it (shedding the pipeline) until
+//! the backlog flushes, and its unread requests sit in the kernel
+//! socket buffer applying TCP backpressure to the sender.
+
+use crate::durable::{DurableOptions, RecoveryReport};
+use crate::protocol::{oversized_frame_message, Response, MAX_FRAME_BYTES};
+use crate::service::{self, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL};
+use crate::sharded::ShardedKb;
+use smartml_kb::KbError;
+use smartml_netio::{Events, Interest, Poller, TimerId, TimerWheel, Token, Waker};
+use smartml_obs::Counter;
+use smartml_runtime::available_parallelism;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The waker's reserved token; connections start above it.
+const WAKER_TOKEN: Token = Token(0);
+/// Pause reading from a connection whose response backlog exceeds this.
+const HIGH_WATER: usize = 256 * 1024;
+/// Resume reading once the backlog flushes below this.
+const LOW_WATER: usize = HIGH_WATER / 2;
+/// Per-read scratch size; also the largest single read per syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Configuration for [`EventServer::bind`].
+#[derive(Debug, Clone)]
+pub struct EventServerOptions {
+    /// Directory of the WAL-backed store (created if missing).
+    pub dir: PathBuf,
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Event loops to run — also the store's shard count (`0` = number
+    /// of available cores).
+    pub n_loops: usize,
+    /// Maximum concurrent connections across all loops (`0` = 1024);
+    /// excess connections get one `error` line and are closed.
+    pub max_connections: usize,
+    /// Idle deadline: a connection with no complete request for this
+    /// long is closed. `None` keeps idle connections forever.
+    pub request_timeout: Option<Duration>,
+    /// Store tuning (segment size, fsync policy).
+    pub durable: DurableOptions,
+}
+
+impl Default for EventServerOptions {
+    fn default() -> Self {
+        EventServerOptions {
+            dir: PathBuf::from("kb-data"),
+            addr: "127.0.0.1:0".to_string(),
+            n_loops: 0,
+            max_connections: 0,
+            request_timeout: Some(Duration::from_secs(10)),
+            durable: DurableOptions::default(),
+        }
+    }
+}
+
+/// Live per-loop counters, readable while the server runs (the
+/// misbehaving-client tests assert on these; the same values feed the
+/// obs registry as `kbd.loop.<i>.*`).
+#[derive(Default)]
+pub struct LoopStats {
+    /// `epoll_wait` returns — the busy-spin canary: an idle or blocked
+    /// connection must not inflate this.
+    pub wakeups: AtomicU64,
+    /// Requests dispatched by this loop.
+    pub dispatches: AtomicU64,
+    /// Connections this loop has accepted ownership of (lifetime total).
+    pub accepted: AtomicU64,
+}
+
+/// A bound (not yet serving) event-driven `smartmld` instance.
+pub struct EventServer {
+    listener: TcpListener,
+    store: Arc<ShardedKb>,
+    recovery: RecoveryReport,
+    options: EventServerOptions,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Vec<LoopStats>>,
+}
+
+impl EventServer {
+    /// Opens the sharded store (replaying the WAL) and binds.
+    pub fn bind(options: EventServerOptions) -> Result<EventServer, KbError> {
+        smartml_obs::enable_metrics();
+        let n_loops = if options.n_loops == 0 {
+            available_parallelism()
+        } else {
+            options.n_loops
+        };
+        let options = EventServerOptions { n_loops, ..options };
+        let store =
+            Arc::new(ShardedKb::open_with(&options.dir, options.durable.clone(), n_loops)?);
+        let recovery = store.recovery().clone();
+        let listener = TcpListener::bind(&options.addr)?;
+        let stats = Arc::new((0..n_loops).map(|_| LoopStats::default()).collect::<Vec<_>>());
+        Ok(EventServer {
+            listener,
+            store,
+            recovery,
+            options,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            stats,
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> Result<SocketAddr, KbError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// The sharded store (e.g. to pre-load data before serving).
+    pub fn store(&self) -> &Arc<ShardedKb> {
+        &self.store
+    }
+
+    /// What WAL recovery found when the store was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// A flag that makes [`EventServer::run`] exit; flip it, then poke
+    /// the listener with a TCP connect (or send a `shutdown` request).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Per-loop counters, alive for as long as the caller keeps the Arc.
+    pub fn loop_stats(&self) -> Arc<Vec<LoopStats>> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Serves until a `shutdown` request arrives. Blocks the caller
+    /// (which becomes the acceptor thread).
+    pub fn run(self) -> Result<(), KbError> {
+        let EventServer { listener, store, recovery, options, shutdown, stats } = self;
+        let local = listener.local_addr()?;
+        let cap = if options.max_connections == 0 { 1024 } else { options.max_connections };
+        let active = Arc::new(AtomicUsize::new(0));
+
+        // One inbox + waker handle per loop; loops own their poller.
+        let mut handles = Vec::new();
+        let mut inboxes = Vec::new();
+        let mut wakers = Vec::new();
+        for i in 0..options.n_loops {
+            let inbox: Arc<Mutex<VecDeque<TcpStream>>> = Arc::new(Mutex::new(VecDeque::new()));
+            let poller = Poller::new().map_err(KbError::Io)?;
+            let waker = Arc::new(Waker::new(&poller, WAKER_TOKEN).map_err(KbError::Io)?);
+            let mut lp = EventLoop::new(
+                i,
+                poller,
+                Arc::clone(&waker),
+                Arc::clone(&inbox),
+                Arc::clone(&store),
+                recovery.clone(),
+                Arc::clone(&shutdown),
+                Arc::clone(&active),
+                Arc::clone(&stats),
+                options.request_timeout,
+                local,
+            );
+            inboxes.push(inbox);
+            wakers.push(waker);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("kbd-loop-{i}"))
+                    .spawn(move || lp.run())
+                    .expect("spawn event loop"),
+            );
+        }
+
+        // The acceptor: blocking accept, round-robin hand-off.
+        let mut next = 0usize;
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if active.load(Ordering::Acquire) >= cap {
+                let mut s = stream;
+                let _ = writeln!(
+                    s,
+                    "{}",
+                    service::encode(&Response::Error {
+                        message: format!("server at capacity ({cap} connections)"),
+                    })
+                );
+                continue;
+            }
+            active.fetch_add(1, Ordering::AcqRel);
+            inboxes[next].lock().expect("inbox poisoned").push_back(stream);
+            let _ = wakers[next].wake();
+            next = (next + 1) % inboxes.len();
+        }
+
+        // Shutdown: wake every loop so it observes the flag, then join.
+        shutdown.store(true, Ordering::Release);
+        for w in &wakers {
+            let _ = w.wake();
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection's buffers and registration state.
+struct Conn {
+    stream: TcpStream,
+    /// Partial-frame buffer: bytes read but not yet newline-terminated.
+    rbuf: Vec<u8>,
+    /// Response backlog (always UTF-8 JSON lines, so a `String`:
+    /// responses stream straight into it); `wpos..` is unsent.
+    wbuf: String,
+    wpos: usize,
+    interest: Interest,
+    timer: Option<TimerId>,
+    /// Stop reading, flush what is queued, then close.
+    close_after_flush: bool,
+    /// Protocol-error mode: the input stream cannot be resynchronised,
+    /// so remaining input is read and dropped (no memory growth, no
+    /// parsing) until the peer closes — closing *before* the peer has
+    /// read the error line would RST it away. Bounded by the idle
+    /// deadline.
+    discarding: bool,
+    /// After flushing, initiate server shutdown (a SHUTDOWN request was
+    /// answered on this connection).
+    shutdown_after_flush: bool,
+}
+
+impl Conn {
+    fn pending(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+struct EventLoop {
+    ix: usize,
+    poller: Poller,
+    waker: Arc<Waker>,
+    inbox: Arc<Mutex<VecDeque<TcpStream>>>,
+    store: Arc<ShardedKb>,
+    recovery: RecoveryReport,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    stats: Arc<Vec<LoopStats>>,
+    timeout: Option<Duration>,
+    local: SocketAddr,
+    conns: HashMap<u64, Conn>,
+    timers: TimerWheel,
+    next_token: u64,
+    scratch: Vec<u8>,
+    // Mirrors of the LoopStats counters in the obs registry.
+    obs_wakeups: Counter,
+    obs_dispatches: Counter,
+    obs_accepted: Counter,
+}
+
+impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        ix: usize,
+        poller: Poller,
+        waker: Arc<Waker>,
+        inbox: Arc<Mutex<VecDeque<TcpStream>>>,
+        store: Arc<ShardedKb>,
+        recovery: RecoveryReport,
+        shutdown: Arc<AtomicBool>,
+        active: Arc<AtomicUsize>,
+        stats: Arc<Vec<LoopStats>>,
+        timeout: Option<Duration>,
+        local: SocketAddr,
+    ) -> EventLoop {
+        EventLoop {
+            ix,
+            poller,
+            waker,
+            inbox,
+            store,
+            recovery,
+            shutdown,
+            active,
+            stats,
+            timeout,
+            local,
+            conns: HashMap::new(),
+            timers: TimerWheel::new(Duration::from_millis(10), 512),
+            next_token: WAKER_TOKEN.0 + 1,
+            scratch: vec![0u8; READ_CHUNK],
+            obs_wakeups: Counter::new_owned(format!("kbd.loop.{ix}.wakeups")),
+            obs_dispatches: Counter::new_owned(format!("kbd.loop.{ix}.dispatches")),
+            obs_accepted: Counter::new_owned(format!("kbd.loop.{ix}.accepted")),
+        }
+    }
+
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(256);
+        let mut fired: Vec<Token> = Vec::new();
+        loop {
+            let timeout = self
+                .timers
+                .next_deadline()
+                .map(|dl| dl.saturating_duration_since(Instant::now()));
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            self.stats[self.ix].wakeups.fetch_add(1, Ordering::Relaxed);
+            self.obs_wakeups.inc();
+
+            for ev in events.iter().collect::<Vec<_>>() {
+                if ev.token == WAKER_TOKEN {
+                    let _ = self.waker.drain();
+                    self.adopt_new_connections();
+                    continue;
+                }
+                self.handle_conn_event(ev.token, ev.readable, ev.writable, ev.closed);
+            }
+
+            // Deadlines: idle connections (or ones stuck mid-frame).
+            fired.clear();
+            self.timers.expire(Instant::now(), &mut fired);
+            for token in fired.drain(..) {
+                if self.conns.contains_key(&token.0) {
+                    self.teardown(token.0);
+                }
+            }
+
+            if self.shutdown.load(Ordering::Acquire) {
+                // Best-effort final flush so in-flight responses (the
+                // SHUTTING_DOWN line in particular) reach their peers.
+                let tokens: Vec<u64> = self.conns.keys().copied().collect();
+                for t in tokens {
+                    if let Some(conn) = self.conns.get_mut(&t) {
+                        let _ = flush(conn);
+                    }
+                    self.teardown(t);
+                }
+                break;
+            }
+        }
+    }
+
+    /// Pulls accepted connections out of the inbox and registers them.
+    fn adopt_new_connections(&mut self) {
+        loop {
+            let stream = self.inbox.lock().expect("inbox poisoned").pop_front();
+            let Some(stream) = stream else { break };
+            if stream.set_nonblocking(true).is_err() {
+                self.active.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = Token(self.next_token);
+            self.next_token += 1;
+            if self.poller.register(&stream, token, Interest::READABLE).is_err() {
+                self.active.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            let timer = self.timeout.map(|t| self.timers.schedule(Instant::now() + t, token));
+            self.conns.insert(
+                token.0,
+                Conn {
+                    stream,
+                    rbuf: Vec::new(),
+                    wbuf: String::new(),
+                    wpos: 0,
+                    interest: Interest::READABLE,
+                    timer,
+                    close_after_flush: false,
+                    discarding: false,
+                    shutdown_after_flush: false,
+                },
+            );
+            self.stats[self.ix].accepted.fetch_add(1, Ordering::Relaxed);
+            self.obs_accepted.inc();
+        }
+    }
+
+    fn handle_conn_event(&mut self, token: Token, readable: bool, writable: bool, closed: bool) {
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+
+        let mut dead = false;
+        if readable && !conn.close_after_flush {
+            dead = self.read_and_dispatch(token);
+        }
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        if writable && !dead {
+            dead = flush(conn).is_err();
+        }
+        if !dead && closed {
+            // Peer hangup: anything already dispatched gets a flush
+            // attempt, but there is no one left to read new requests
+            // from.
+            conn.close_after_flush = true;
+            let _ = flush(conn);
+            dead = true;
+        }
+        if dead {
+            self.teardown(token.0);
+            return;
+        }
+        self.after_io(token);
+    }
+
+    /// Post-I/O bookkeeping for one connection: interest transitions,
+    /// flush-completion actions, shutdown propagation.
+    fn after_io(&mut self, token: Token) {
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        if conn.pending() == 0 {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            if conn.shutdown_after_flush {
+                self.shutdown.store(true, Ordering::Release);
+                // Poke the acceptor so it stops accepting and wakes
+                // every loop (including this one) for teardown.
+                let _ = TcpStream::connect(self.local);
+                self.teardown(token.0);
+                return;
+            }
+            if conn.close_after_flush {
+                self.teardown(token.0);
+                return;
+            }
+        }
+        let desired = Interest {
+            // A discarding connection keeps reading (and dropping) so it
+            // observes the peer's EOF; backpressure does not apply to
+            // bytes that never get buffered.
+            readable: !conn.close_after_flush
+                && (conn.discarding || conn.pending() < HIGH_WATER),
+            writable: conn.pending() > 0,
+        };
+        // Hysteresis: once paused, stay paused until LOW_WATER.
+        let desired = if !conn.discarding
+            && !conn.interest.readable
+            && conn.pending() >= LOW_WATER
+        {
+            Interest { readable: false, ..desired }
+        } else {
+            desired
+        };
+        if desired != conn.interest
+            && self.poller.reregister(&conn.stream, token, desired).is_ok()
+        {
+            conn.interest = desired;
+        }
+    }
+
+    /// Drains the socket, dispatches every complete frame, queues the
+    /// responses. Returns true when the connection is dead.
+    fn read_and_dispatch(&mut self, token: Token) -> bool {
+        loop {
+            let conn = self.conns.get_mut(&token.0).expect("conn exists");
+            if conn.close_after_flush {
+                return flush(conn).is_err();
+            }
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Peer closed its write half; serve what is
+                    // buffered, flush, then close.
+                    self.dispatch_frames(token);
+                    if let Some(conn) = self.conns.get_mut(&token.0) {
+                        conn.close_after_flush = true;
+                        return flush(conn).is_err();
+                    }
+                    return false;
+                }
+                Ok(n) => {
+                    if conn.discarding {
+                        continue; // post-error junk: dropped on the floor
+                    }
+                    conn.rbuf.extend_from_slice(&self.scratch[..n]);
+                    self.dispatch_frames(token);
+                    let Some(conn) = self.conns.get_mut(&token.0) else { return false };
+                    if conn.close_after_flush
+                        || (!conn.discarding && conn.pending() >= HIGH_WATER)
+                    {
+                        // Shutdown or backpressure: stop pulling more
+                        // requests off the wire.
+                        return flush(conn).is_err();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    let conn = self.conns.get_mut(&token.0).expect("conn exists");
+                    return flush(conn).is_err();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+
+    /// Dispatches every complete newline-terminated frame in `rbuf`, in
+    /// order (pipelining), and enforces the frame-size bound. The read
+    /// buffer is taken out of the connection for the duration so frames
+    /// can be borrowed in place (no per-line copy) while responses
+    /// stream straight into the write buffer.
+    fn dispatch_frames(&mut self, token: Token) {
+        // Both buffers are taken out of the connection for the duration:
+        // frames are borrowed straight from `rbuf` (no per-line copy)
+        // while responses stream into `wbuf`, and the hot loop does no
+        // per-frame connection lookups. Counters are batched per call;
+        // only the latency histogram records per request.
+        let (mut rbuf, mut wbuf) = {
+            let Some(conn) = self.conns.get_mut(&token.0) else { return };
+            (std::mem::take(&mut conn.rbuf), std::mem::take(&mut conn.wbuf))
+        };
+        let mut consumed = 0usize;
+        let mut stopped = false;
+        let mut oversized = false;
+        let mut lossy = String::new();
+        let (mut n_req, mut n_err) = (0u64, 0u64);
+        let (mut bytes_in, mut bytes_out) = (0u64, 0u64);
+        loop {
+            let Some(rel) = rbuf[consumed..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let end = consumed + rel;
+            let frame = &rbuf[consumed..end];
+            consumed = end + 1;
+            if frame.len() > MAX_FRAME_BYTES {
+                oversized = true;
+                break;
+            }
+            // Parse in place; invalid UTF-8 (rare) takes a lossy copy so
+            // the parse error can still quote the offending text.
+            let line: &str = match std::str::from_utf8(frame) {
+                Ok(s) => s,
+                Err(_) => {
+                    lossy.clear();
+                    lossy.push_str(&String::from_utf8_lossy(frame));
+                    &lossy
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            bytes_in += line.len() as u64 + 1;
+            let started = Instant::now();
+            let (response, stop) = service::dispatch(line, &*self.store, &self.recovery);
+            REQUEST_US.record_duration(started.elapsed());
+            n_req += 1;
+            if matches!(response, Response::Error { .. }) {
+                n_err += 1;
+            }
+            let before = wbuf.len();
+            service::encode_into(&response, &mut wbuf);
+            wbuf.push('\n');
+            bytes_out += (wbuf.len() - before) as u64;
+            if stop {
+                stopped = true;
+                break;
+            }
+        }
+        if n_req > 0 {
+            BYTES_IN.add(bytes_in);
+            BYTES_OUT.add(bytes_out);
+            REQ_TOTAL.add(n_req);
+            REQ_ERRORS.add(n_err);
+            self.stats[self.ix].dispatches.fetch_add(n_req, Ordering::Relaxed);
+            self.obs_dispatches.add(n_req);
+        }
+        // Put the buffers back before the rare-path handling below (it
+        // appends to the connection's write buffer).
+        {
+            let Some(conn) = self.conns.get_mut(&token.0) else { return };
+            conn.wbuf = wbuf;
+            if !conn.discarding {
+                if consumed > 0 {
+                    rbuf.drain(..consumed);
+                }
+                conn.rbuf = rbuf;
+            } // else: buffered junk is dropped with the taken buffer
+            if stopped {
+                conn.close_after_flush = true;
+                conn.shutdown_after_flush = true;
+            }
+        }
+        if n_req > 0 {
+            // Complete requests arrived: the connection is live, push
+            // its idle deadline out (once per batch, not per frame).
+            self.rearm_timer(token);
+        }
+        if oversized {
+            // The offending frame and everything after it are dropped.
+            self.enqueue_error(token, oversized_frame_message());
+            if let Some(conn) = self.conns.get_mut(&token.0) {
+                conn.rbuf = Vec::new();
+            }
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        if !conn.discarding && conn.rbuf.len() > MAX_FRAME_BYTES {
+            // A frame is still growing past the cap without a newline.
+            self.enqueue_error(token, oversized_frame_message());
+            if let Some(conn) = self.conns.get_mut(&token.0) {
+                conn.rbuf = Vec::new();
+            }
+        }
+    }
+
+    fn enqueue_error(&mut self, token: Token, message: String) {
+        REQ_TOTAL.inc();
+        REQ_ERRORS.inc();
+        let response = Response::Error { message };
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        let before = conn.wbuf.len();
+        service::encode_into(&response, &mut conn.wbuf);
+        conn.wbuf.push('\n');
+        BYTES_OUT.add((conn.wbuf.len() - before) as u64);
+        conn.discarding = true;
+    }
+
+    fn rearm_timer(&mut self, token: Token) {
+        let Some(timeout) = self.timeout else { return };
+        let Some(conn) = self.conns.get_mut(&token.0) else { return };
+        if let Some(old) = conn.timer.take() {
+            self.timers.cancel(old);
+        }
+        conn.timer = Some(self.timers.schedule(Instant::now() + timeout, token));
+    }
+
+    fn teardown(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            if let Some(timer) = conn.timer {
+                self.timers.cancel(timer);
+            }
+            let _ = self.poller.deregister(&conn.stream);
+            self.active.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Writes as much of the backlog as the socket accepts. `Err` means the
+/// connection is dead.
+fn flush(conn: &mut Conn) -> Result<(), ()> {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf.as_bytes()[conn.wpos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    Ok(())
+}

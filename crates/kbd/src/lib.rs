@@ -11,7 +11,8 @@
 //! |-------|------|--------------|
 //! | durability | [`DurableKb`] | write-ahead log with checksummed frames, segment rotation, snapshot + compaction, torn-tail crash recovery |
 //! | concurrency | [`SharedKb`] | `RwLock`-guarded index with generation-keyed cached z-score statistics: readers never pay re-normalisation, never block each other |
-//! | serving | [`Server`] / [`KbClient`] | `smartmld`, a TCP JSON-lines server (std::net only) with a blocking client that is also a [`smartml_kb::KbBackend`] |
+//! | sharding | [`ShardedKb`] | the same WAL under an index split by meta-feature hash: writes lock one shard, reads reuse per-generation pre-normalised entries, answers byte-identical to the monolithic KB |
+//! | serving | [`Server`] / [`EventServer`] / [`KbClient`] | `smartmld`, a TCP JSON-lines server in two interchangeable backends — blocking thread-per-connection (the retained oracle) and epoll event loops with pipelining and a `recommend_batch` verb — plus a blocking client that is also a [`smartml_kb::KbBackend`] |
 //!
 //! ```no_run
 //! use smartml_kbd::{Server, ServerOptions, KbClient};
@@ -29,15 +30,24 @@
 
 mod client;
 mod durable;
+mod event_server;
 mod protocol;
 mod server;
+mod service;
+mod sharded;
 mod shared;
 mod wal;
 
 pub use client::KbClient;
 pub use durable::{DurableKb, DurableOptions, RecoveryReport};
-pub use protocol::{KbStats, Request, Response, ServerMetrics};
+pub use event_server::{EventServer, EventServerOptions, LoopStats};
+pub use protocol::{
+    oversized_frame_message, read_frame, BatchQuery, FrameStatus, KbStats, Request, Response,
+    ServerMetrics, MAX_FRAME_BYTES,
+};
 pub use server::{Server, ServerOptions};
+pub use service::ServeStore;
+pub use sharded::ShardedKb;
 pub use shared::{LocalStore, SharedKb, SharedKbHandle};
 pub use wal::{
     encode_frame, fnv1a, parse_segment_name, parse_snapshot_name, replay_segment, scan_frames,

@@ -15,6 +15,85 @@
 use serde::{Deserialize, Serialize};
 use smartml_kb::{AlgorithmRun, QueryOptions, Recommendation};
 use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use std::io::BufRead;
+
+/// Hard cap on one frame (request or response line), both directions.
+/// A peer that streams more than this without a newline gets one
+/// [`Response::Error`] and the connection is closed — the stream cannot
+/// be resynchronised once a frame is abandoned mid-line.
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// The error message sent before closing an over-limit connection.
+/// One exact string, shared by both server backends, so the
+/// byte-identity tests cover the failure path too.
+pub fn oversized_frame_message() -> String {
+    format!("frame exceeds {MAX_FRAME_BYTES} byte limit")
+}
+
+/// Outcome of one bounded frame read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// Clean end of stream (no partial frame pending).
+    Eof,
+    /// One complete line is in the buffer (newline stripped).
+    Frame,
+    /// The stream ended mid-frame (peer died before the newline). The
+    /// partial bytes are undeliverable; close without responding.
+    Truncated,
+    /// The peer exceeded `max` bytes without sending a newline. The
+    /// buffer holds the truncated prefix; the connection must be closed
+    /// after reporting the error.
+    TooBig,
+}
+
+/// Reads one newline-terminated frame into `buf` (cleared first),
+/// never buffering more than `max` bytes — the fix for the unbounded
+/// `read_line` growth a hostile or broken client could trigger.
+pub fn read_frame(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<FrameStatus> {
+    buf.clear();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return Ok(if buf.is_empty() { FrameStatus::Eof } else { FrameStatus::Truncated });
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return Ok(FrameStatus::TooBig);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                return Ok(FrameStatus::Frame);
+            }
+            None => {
+                let take = available.len();
+                if buf.len() + take > max {
+                    return Ok(FrameStatus::TooBig);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(take);
+            }
+        }
+    }
+}
+
+/// One query inside a [`Request::RecommendBatch`] — the same fields as
+/// [`Request::Recommend`] minus the op tag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchQuery {
+    /// The query dataset's meta-features.
+    pub meta_features: MetaFeatures,
+    /// Optional landmarker accuracies (extended-similarity mode).
+    #[serde(default)]
+    pub landmarkers: Option<Landmarkers>,
+    /// Query knobs; omit for server defaults.
+    #[serde(default)]
+    pub options: Option<QueryOptions>,
+}
 
 /// A client → server message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,6 +109,14 @@ pub enum Request {
         /// Query knobs; omit for server defaults.
         #[serde(default)]
         options: Option<QueryOptions>,
+    },
+    /// N recommendations in one round-trip. Each query is answered
+    /// exactly as the equivalent sequence of [`Request::Recommend`]s
+    /// would be, in order — one `recommendations` response carries all
+    /// answers, amortising the framing and syscall cost.
+    RecommendBatch {
+        /// The queries, answered in order.
+        queries: Vec<BatchQuery>,
     },
     /// Record one `(algorithm, config) → accuracy` observation (Phase 5).
     RecordRun {
@@ -117,6 +204,12 @@ pub enum Response {
     Recommendation {
         /// Nominations, best first.
         recommendation: Recommendation,
+    },
+    /// Answer to [`Request::RecommendBatch`]: one entry per query, in
+    /// query order.
+    Recommendations {
+        /// The per-query answers.
+        recommendations: Vec<Recommendation>,
     },
     /// Answer to [`Request::RecordRun`] / [`Request::SetLandmarkers`]:
     /// the mutation is on the WAL and visible to readers.
@@ -220,6 +313,75 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let mf = MetaFeatures { values: vec![0.25; N_META_FEATURES] };
+        let req = Request::RecommendBatch {
+            queries: vec![
+                BatchQuery { meta_features: mf.clone(), landmarkers: None, options: None },
+                BatchQuery {
+                    meta_features: mf,
+                    landmarkers: None,
+                    options: Some(QueryOptions { top_n: 1, ..Default::default() }),
+                },
+            ],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"recommend_batch\""));
+        match serde_json::from_str::<Request>(&json).unwrap() {
+            Request::RecommendBatch { queries } => {
+                assert_eq!(queries.len(), 2);
+                assert!(queries[0].options.is_none());
+                assert_eq!(queries[1].options.as_ref().unwrap().top_n, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let resp = Response::Recommendations {
+            recommendations: vec![Recommendation { algorithms: vec![], neighbors: vec![] }],
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.contains("\"status\":\"recommendations\""));
+        assert!(matches!(
+            serde_json::from_str::<Response>(&json).unwrap(),
+            Response::Recommendations { recommendations } if recommendations.len() == 1
+        ));
+    }
+
+    #[test]
+    fn read_frame_bounds_and_splits_lines() {
+        use std::io::BufReader;
+        let mut buf = Vec::new();
+        // Two frames, then EOF.
+        let mut r = BufReader::new(&b"alpha\nbeta\n"[..]);
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameStatus::Frame);
+        assert_eq!(buf, b"alpha");
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameStatus::Frame);
+        assert_eq!(buf, b"beta");
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameStatus::Eof);
+
+        // A frame exactly at the cap passes; one byte over fails.
+        let line = vec![b'x'; 16];
+        let mut framed = line.clone();
+        framed.push(b'\n');
+        let mut r = BufReader::new(&framed[..]);
+        assert_eq!(read_frame(&mut r, &mut buf, 16).unwrap(), FrameStatus::Frame);
+        let mut r = BufReader::new(&framed[..]);
+        assert_eq!(read_frame(&mut r, &mut buf, 15).unwrap(), FrameStatus::TooBig);
+
+        // An endless unterminated stream stops at the cap instead of
+        // buffering everything (tiny BufReader capacity forces many
+        // fill_buf rounds, the worst case for the accounting).
+        let torrent = vec![b'y'; 4096];
+        let mut r = BufReader::with_capacity(8, &torrent[..]);
+        assert_eq!(read_frame(&mut r, &mut buf, 100).unwrap(), FrameStatus::TooBig);
+        assert!(buf.len() <= 100, "buffer stayed bounded: {}", buf.len());
+
+        // A final frame cut off by EOF (peer died mid-line) is
+        // distinguished from an oversized one.
+        let mut r = BufReader::new(&b"partial"[..]);
+        assert_eq!(read_frame(&mut r, &mut buf, 64).unwrap(), FrameStatus::Truncated);
     }
 
     #[test]

@@ -1,75 +1,28 @@
-//! The `smartmld` serve loop: a TCP JSON-lines server over a
-//! [`SharedKb<DurableKb>`].
+//! The blocking `smartmld` serve loop: a TCP JSON-lines server over a
+//! [`SharedKb<DurableKb>`], one thread per connection.
 //!
-//! Dependency-free by design: `std::net` sockets, one thread per
-//! connection capped at a configurable limit, and the `smartml-runtime`
-//! [`Deadline`] shaping per-request socket timeouts. Readers (recommend,
+//! This is the retained oracle backend (`--io blocking`): simple,
+//! obviously correct, and byte-identical in its responses to the
+//! event-driven backend in [`crate::event_server`] — both execute
+//! requests through [`crate::service::dispatch`]. Readers (recommend,
 //! stats) share the `RwLock` read side; writers serialise through the
 //! WAL, so every acknowledged `record_run` is on disk before the client
 //! sees the `recorded` response.
 
 use crate::durable::{DurableKb, DurableOptions, RecoveryReport};
-use crate::protocol::{KbStats, Request, Response, ServerMetrics};
+use crate::protocol::{
+    oversized_frame_message, read_frame, FrameStatus, Response, MAX_FRAME_BYTES,
+};
+use crate::service::{self, encode, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL};
 use crate::shared::SharedKb;
-use crate::wal::{WAL_FSYNCS, WAL_ROTATIONS};
-use smartml_kb::{KbError, QueryOptions};
-use smartml_obs::{Counter, Histogram};
+use smartml_kb::KbError;
 use smartml_runtime::{available_parallelism, Deadline};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-// Per-request service metrics (`crate.component.name` convention). The
-// server enables the global registry when it binds, so embedded library
-// use of the same code paths stays a single relaxed load per site.
-static REQ_TOTAL: Counter = Counter::new("kbd.req.total");
-static REQ_ERRORS: Counter = Counter::new("kbd.req.errors");
-static BYTES_IN: Counter = Counter::new("kbd.bytes_in");
-static BYTES_OUT: Counter = Counter::new("kbd.bytes_out");
-static REQUEST_US: Histogram = Histogram::new("kbd.request_us");
-static REQ_RECOMMEND: Counter = Counter::new("kbd.req.recommend");
-static REQ_RECORD_RUN: Counter = Counter::new("kbd.req.record_run");
-static REQ_SET_LANDMARKERS: Counter = Counter::new("kbd.req.set_landmarkers");
-static REQ_STATS: Counter = Counter::new("kbd.req.stats");
-static REQ_SNAPSHOT: Counter = Counter::new("kbd.req.snapshot");
-static REQ_METRICS: Counter = Counter::new("kbd.req.metrics");
-static REQ_PING: Counter = Counter::new("kbd.req.ping");
-static REQ_SHUTDOWN: Counter = Counter::new("kbd.req.shutdown");
-
-/// Builds the [`ServerMetrics`] wire struct from the live registry.
-fn collect_metrics() -> ServerMetrics {
-    let lat = REQUEST_US.summary();
-    let mut ops: Vec<(String, u64)> = [
-        ("metrics", &REQ_METRICS),
-        ("ping", &REQ_PING),
-        ("recommend", &REQ_RECOMMEND),
-        ("record_run", &REQ_RECORD_RUN),
-        ("set_landmarkers", &REQ_SET_LANDMARKERS),
-        ("shutdown", &REQ_SHUTDOWN),
-        ("snapshot", &REQ_SNAPSHOT),
-        ("stats", &REQ_STATS),
-    ]
-    .iter()
-    .map(|(name, c)| (name.to_string(), c.value()))
-    .collect();
-    ops.sort();
-    ServerMetrics {
-        requests: REQ_TOTAL.value(),
-        errors: REQ_ERRORS.value(),
-        bytes_in: BYTES_IN.value(),
-        bytes_out: BYTES_OUT.value(),
-        request_us_p50: lat.p50,
-        request_us_p99: lat.p99,
-        request_us_max: lat.max,
-        request_us_mean: lat.mean,
-        wal_fsyncs: WAL_FSYNCS.value(),
-        wal_rotations: WAL_ROTATIONS.value(),
-        ops,
-    }
-}
 
 /// Configuration for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -100,7 +53,7 @@ impl Default for ServerOptions {
     }
 }
 
-/// A bound (not yet serving) `smartmld` instance.
+/// A bound (not yet serving) blocking `smartmld` instance.
 pub struct Server {
     listener: TcpListener,
     shared: Arc<SharedKb<DurableKb>>,
@@ -206,17 +159,13 @@ struct ConnCtx {
     local: SocketAddr,
 }
 
-fn encode(response: &Response) -> String {
-    serde_json::to_string(response).expect("response serialisation cannot fail")
-}
-
 fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
     // One-line responses to one-line requests: disable Nagle so each
     // response leaves immediately instead of waiting on a delayed ACK.
     let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let mut frame = Vec::new();
     loop {
         // One deadline per request: it bounds waiting for the line, and
         // whatever remains after dispatch bounds writing the response.
@@ -225,16 +174,28 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
             None => Deadline::none(),
         };
         reader.get_ref().set_read_timeout(deadline.io_timeout())?;
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client closed
+        match read_frame(&mut reader, &mut frame, MAX_FRAME_BYTES)? {
+            FrameStatus::Eof | FrameStatus::Truncated => return Ok(()),
+            FrameStatus::TooBig => {
+                // The stream cannot be resynchronised mid-frame: one
+                // protocol error, then the connection is dropped.
+                REQ_TOTAL.inc();
+                REQ_ERRORS.inc();
+                let encoded = encode(&Response::Error { message: oversized_frame_message() });
+                BYTES_OUT.add(encoded.len() as u64 + 1);
+                writer.set_write_timeout(deadline.io_timeout())?;
+                writeln!(writer, "{encoded}")?;
+                return Ok(());
+            }
+            FrameStatus::Frame => {}
         }
+        let line = String::from_utf8_lossy(&frame);
         if line.trim().is_empty() {
             continue;
         }
-        BYTES_IN.add(line.len() as u64);
+        BYTES_IN.add(frame.len() as u64 + 1);
         let started = Instant::now();
-        let (response, stop) = dispatch(&line, &ctx);
+        let (response, stop) = service::dispatch(&line, &*ctx.shared, &ctx.recovery);
         // Latency covers dispatch (store work) only, not the socket write
         // — a slow client must not inflate the server's percentiles.
         REQUEST_US.record_duration(started.elapsed());
@@ -253,78 +214,4 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
             return Ok(());
         }
     }
-}
-
-/// Executes one request line. Returns the response and whether the
-/// server should stop.
-fn dispatch(line: &str, ctx: &ConnCtx) -> (Response, bool) {
-    let request: Request = match serde_json::from_str(line.trim()) {
-        Ok(r) => r,
-        Err(e) => {
-            return (Response::Error { message: format!("bad request: {e}") }, false);
-        }
-    };
-    let response = match request {
-        Request::Recommend { meta_features, landmarkers, options } => {
-            REQ_RECOMMEND.inc();
-            let opts = options.unwrap_or_else(QueryOptions::default);
-            let recommendation = ctx.shared.recommend(&meta_features, landmarkers, &opts);
-            Response::Recommendation { recommendation }
-        }
-        Request::RecordRun { dataset_id, meta_features, run } => {
-            REQ_RECORD_RUN.inc();
-            match ctx.shared.record_run(&dataset_id, &meta_features, run) {
-                Ok(()) => Response::Recorded {
-                    datasets: ctx.shared.len(),
-                    runs: ctx.shared.n_runs(),
-                },
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::SetLandmarkers { dataset_id, landmarkers } => {
-            REQ_SET_LANDMARKERS.inc();
-            match ctx.shared.set_landmarkers(&dataset_id, landmarkers) {
-                Ok(()) => Response::Recorded {
-                    datasets: ctx.shared.len(),
-                    runs: ctx.shared.n_runs(),
-                },
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::Stats => ctx.shared.read(|store| {
-            REQ_STATS.inc();
-            let wal_segments = store.n_segments().unwrap_or(0);
-            Response::Stats {
-                stats: KbStats {
-                    datasets: store.kb().len(),
-                    runs: store.kb().n_runs(),
-                    wal_segments,
-                    active_segment: store.active_segment(),
-                    snapshot_seq: ctx.recovery.snapshot_seq,
-                    recovered_records: ctx.recovery.records_replayed,
-                    recovered_torn_tail: ctx.recovery.truncated_tail,
-                },
-            }
-        }),
-        Request::Snapshot => {
-            REQ_SNAPSHOT.inc();
-            match ctx.shared.write(|store| store.snapshot()) {
-                Ok(seq) => Response::Snapshotted { snapshot_seq: seq },
-                Err(e) => Response::Error { message: e.to_string() },
-            }
-        }
-        Request::Metrics => {
-            REQ_METRICS.inc();
-            Response::Metrics { metrics: collect_metrics() }
-        }
-        Request::Ping => {
-            REQ_PING.inc();
-            Response::Pong
-        }
-        Request::Shutdown => {
-            REQ_SHUTDOWN.inc();
-            return (Response::ShuttingDown, true);
-        }
-    };
-    (response, false)
 }

@@ -1,0 +1,292 @@
+//! Backend-independent request dispatch.
+//!
+//! Both servers — blocking thread-per-connection and event-driven —
+//! execute requests through [`dispatch`] over a [`ServeStore`]. One
+//! code path per verb means the two backends cannot drift: given the
+//! same store state and the same request line, they produce the same
+//! response bytes (the property the `backend_equiv` integration test
+//! pins down).
+
+use crate::durable::{DurableKb, RecoveryReport};
+use crate::protocol::{KbStats, Request, Response, ServerMetrics};
+use crate::shared::SharedKb;
+use crate::sharded::ShardedKb;
+use crate::wal::{WAL_FSYNCS, WAL_ROTATIONS};
+use smartml_kb::{AlgorithmRun, KbError, QueryOptions, Recommendation};
+use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use smartml_obs::{Counter, Histogram};
+
+// Per-request service metrics (`crate.component.name` convention). One
+// process-wide set, shared by both backends — the METRICS verb reports
+// whichever backend is serving.
+pub(crate) static REQ_TOTAL: Counter = Counter::new("kbd.req.total");
+pub(crate) static REQ_ERRORS: Counter = Counter::new("kbd.req.errors");
+pub(crate) static BYTES_IN: Counter = Counter::new("kbd.bytes_in");
+pub(crate) static BYTES_OUT: Counter = Counter::new("kbd.bytes_out");
+pub(crate) static REQUEST_US: Histogram = Histogram::new("kbd.request_us");
+static REQ_RECOMMEND: Counter = Counter::new("kbd.req.recommend");
+static REQ_RECOMMEND_BATCH: Counter = Counter::new("kbd.req.recommend_batch");
+static REQ_RECORD_RUN: Counter = Counter::new("kbd.req.record_run");
+static REQ_SET_LANDMARKERS: Counter = Counter::new("kbd.req.set_landmarkers");
+static REQ_STATS: Counter = Counter::new("kbd.req.stats");
+static REQ_SNAPSHOT: Counter = Counter::new("kbd.req.snapshot");
+static REQ_METRICS: Counter = Counter::new("kbd.req.metrics");
+static REQ_PING: Counter = Counter::new("kbd.req.ping");
+static REQ_SHUTDOWN: Counter = Counter::new("kbd.req.shutdown");
+
+/// Builds the [`ServerMetrics`] wire struct from the live registry.
+pub(crate) fn collect_metrics() -> ServerMetrics {
+    let lat = REQUEST_US.summary();
+    let mut ops: Vec<(String, u64)> = [
+        ("metrics", &REQ_METRICS),
+        ("ping", &REQ_PING),
+        ("recommend", &REQ_RECOMMEND),
+        ("recommend_batch", &REQ_RECOMMEND_BATCH),
+        ("record_run", &REQ_RECORD_RUN),
+        ("set_landmarkers", &REQ_SET_LANDMARKERS),
+        ("shutdown", &REQ_SHUTDOWN),
+        ("snapshot", &REQ_SNAPSHOT),
+        ("stats", &REQ_STATS),
+    ]
+    .iter()
+    .map(|(name, c)| (name.to_string(), c.value()))
+    .collect();
+    ops.sort();
+    ServerMetrics {
+        requests: REQ_TOTAL.value(),
+        errors: REQ_ERRORS.value(),
+        bytes_in: BYTES_IN.value(),
+        bytes_out: BYTES_OUT.value(),
+        request_us_p50: lat.p50,
+        request_us_p99: lat.p99,
+        request_us_max: lat.max,
+        request_us_mean: lat.mean,
+        wal_fsyncs: WAL_FSYNCS.value(),
+        wal_rotations: WAL_ROTATIONS.value(),
+        ops,
+    }
+}
+
+/// What a server backend needs from its store. Implemented by the
+/// monolithic [`SharedKb<DurableKb>`] (blocking backend) and the
+/// [`ShardedKb`] (event-driven backend).
+pub trait ServeStore: Send + Sync + 'static {
+    /// Nominate algorithms for one query.
+    fn serve_recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Recommendation;
+    /// Log and apply one run observation.
+    fn serve_record_run(
+        &self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError>;
+    /// Log and apply landmarker accuracies.
+    fn serve_set_landmarkers(
+        &self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError>;
+    /// Datasets known.
+    fn serve_len(&self) -> usize;
+    /// Total recorded runs.
+    fn serve_n_runs(&self) -> usize;
+    /// `(segments on disk, active segment seq)`.
+    fn serve_wal(&self) -> (usize, u64);
+    /// Fold into a snapshot and compact.
+    fn serve_snapshot(&self) -> Result<u64, KbError>;
+}
+
+impl ServeStore for SharedKb<DurableKb> {
+    fn serve_recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Recommendation {
+        self.recommend(meta_features, landmarkers, options)
+    }
+
+    fn serve_record_run(
+        &self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        self.record_run(dataset_id, meta_features, run)
+    }
+
+    fn serve_set_landmarkers(
+        &self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        self.set_landmarkers(dataset_id, landmarkers)
+    }
+
+    fn serve_len(&self) -> usize {
+        self.len()
+    }
+
+    fn serve_n_runs(&self) -> usize {
+        self.n_runs()
+    }
+
+    fn serve_wal(&self) -> (usize, u64) {
+        self.read(|store| (store.n_segments().unwrap_or(0), store.active_segment()))
+    }
+
+    fn serve_snapshot(&self) -> Result<u64, KbError> {
+        self.write(|store| store.snapshot())
+    }
+}
+
+impl ServeStore for ShardedKb {
+    fn serve_recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Recommendation {
+        self.recommend(meta_features, landmarkers, options)
+    }
+
+    fn serve_record_run(
+        &self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        self.record_run(dataset_id, meta_features, run)
+    }
+
+    fn serve_set_landmarkers(
+        &self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        self.set_landmarkers(dataset_id, landmarkers)
+    }
+
+    fn serve_len(&self) -> usize {
+        self.len()
+    }
+
+    fn serve_n_runs(&self) -> usize {
+        self.n_runs()
+    }
+
+    fn serve_wal(&self) -> (usize, u64) {
+        (self.n_segments().unwrap_or(0), self.active_segment())
+    }
+
+    fn serve_snapshot(&self) -> Result<u64, KbError> {
+        self.snapshot()
+    }
+}
+
+/// Serialises a response line (without the trailing newline).
+pub(crate) fn encode(response: &Response) -> String {
+    serde_json::to_string(response).expect("response serialisation cannot fail")
+}
+
+/// Streams a response line straight into `out` (no trailing newline,
+/// no intermediate String). Byte-identical to [`encode`].
+pub(crate) fn encode_into(response: &Response, out: &mut String) {
+    serde::Serialize::serialize_into(response, out);
+}
+
+/// Executes one request line against a store. Returns the response and
+/// whether the server should stop.
+pub(crate) fn dispatch<S: ServeStore>(
+    line: &str,
+    store: &S,
+    recovery: &RecoveryReport,
+) -> (Response, bool) {
+    let request: Request = match serde_json::from_str(line.trim()) {
+        Ok(r) => r,
+        Err(e) => {
+            return (Response::Error { message: format!("bad request: {e}") }, false);
+        }
+    };
+    let response = match request {
+        Request::Recommend { meta_features, landmarkers, options } => {
+            REQ_RECOMMEND.inc();
+            let opts = options.unwrap_or_default();
+            let recommendation = store.serve_recommend(&meta_features, landmarkers, &opts);
+            Response::Recommendation { recommendation }
+        }
+        Request::RecommendBatch { queries } => {
+            REQ_RECOMMEND_BATCH.inc();
+            // Answered exactly like the equivalent RECOMMEND sequence:
+            // same per-query path, in order.
+            let recommendations = queries
+                .into_iter()
+                .map(|q| {
+                    let opts = q.options.unwrap_or_default();
+                    store.serve_recommend(&q.meta_features, q.landmarkers, &opts)
+                })
+                .collect();
+            Response::Recommendations { recommendations }
+        }
+        Request::RecordRun { dataset_id, meta_features, run } => {
+            REQ_RECORD_RUN.inc();
+            match store.serve_record_run(&dataset_id, &meta_features, run) {
+                Ok(()) => Response::Recorded {
+                    datasets: store.serve_len(),
+                    runs: store.serve_n_runs(),
+                },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::SetLandmarkers { dataset_id, landmarkers } => {
+            REQ_SET_LANDMARKERS.inc();
+            match store.serve_set_landmarkers(&dataset_id, landmarkers) {
+                Ok(()) => Response::Recorded {
+                    datasets: store.serve_len(),
+                    runs: store.serve_n_runs(),
+                },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Stats => {
+            REQ_STATS.inc();
+            let (wal_segments, active_segment) = store.serve_wal();
+            Response::Stats {
+                stats: KbStats {
+                    datasets: store.serve_len(),
+                    runs: store.serve_n_runs(),
+                    wal_segments,
+                    active_segment,
+                    snapshot_seq: recovery.snapshot_seq,
+                    recovered_records: recovery.records_replayed,
+                    recovered_torn_tail: recovery.truncated_tail,
+                },
+            }
+        }
+        Request::Snapshot => {
+            REQ_SNAPSHOT.inc();
+            match store.serve_snapshot() {
+                Ok(seq) => Response::Snapshotted { snapshot_seq: seq },
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
+        Request::Metrics => {
+            REQ_METRICS.inc();
+            Response::Metrics { metrics: collect_metrics() }
+        }
+        Request::Ping => {
+            REQ_PING.inc();
+            Response::Pong
+        }
+        Request::Shutdown => {
+            REQ_SHUTDOWN.inc();
+            return (Response::ShuttingDown, true);
+        }
+    };
+    (response, false)
+}

@@ -1,0 +1,596 @@
+//! [`ShardedKb`]: the KB index split across N shards for the
+//! event-driven server.
+//!
+//! A recommendation is a global nearest-neighbour scan, so sharding
+//! cannot partition *queries* — every query touches every shard. What
+//! it partitions is **write contention** and **per-query recompute**:
+//!
+//! - each dataset lives in exactly one shard, chosen by an FNV hash of
+//!   its meta-features at first insertion (sticky thereafter, so
+//!   overwritten meta-features never migrate an entry mid-flight);
+//! - a write locks the WAL, the registry, and *one* shard — concurrent
+//!   readers of other shards never queue behind it for entry access;
+//! - each shard caches its z-score-normalised entries per write
+//!   generation, so the steady-state query does no per-entry
+//!   normalisation allocations at all — just distance arithmetic.
+//!
+//! ## Byte-identity with the monolithic [`KnowledgeBase`]
+//!
+//! The blocking server remains the retained oracle, so the sharded
+//! answer must be byte-identical to the monolithic one. Three ordering
+//! facts make that hold by construction:
+//!
+//! 1. **Statistics order.** Normalisation stats sum floats in entry
+//!    order. The registry keeps every dataset's current meta-features
+//!    in a global insertion-order table, and stats are computed over it
+//!    with the same [`smartml_kb::normalisation_stats_over`] loop the
+//!    monolithic path uses.
+//! 2. **Tie-breaking.** The monolithic path stable-sorts by distance
+//!    over insertion order. Each entry carries its global insertion
+//!    sequence; merging shards by `(distance, sequence)` reproduces the
+//!    stable sort's permutation exactly.
+//! 3. **Vote order.** The two-factor vote is the shared
+//!    [`smartml_kb::vote_ranked`], fed the same entries in the same
+//!    order, so every float operation runs in the same sequence.
+//!
+//! Durability reuses the PR 2 machinery unchanged: same WAL framing,
+//! same segment rotation, same snapshot files. A directory written by a
+//! sharded server opens under [`crate::DurableKb`] and vice versa.
+
+use crate::durable::{recover_dir, DurableOptions, RecoveryReport};
+use crate::wal::{
+    list_seqs, parse_segment_name, parse_snapshot_name, segment_name, snapshot_name, WalRecord,
+    WalWriter,
+};
+use smartml_kb::{
+    entry_distance, normalisation_stats_over, normalise, vote_ranked, AlgorithmRun, KbEntry,
+    KbError, KnowledgeBase, NormStats, QueryOptions, Recommendation,
+};
+use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+
+/// Where one dataset lives.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    shard: usize,
+    /// Global insertion sequence — the entry's index in the monolithic
+    /// ordering, and into [`Registry::features`].
+    seq: u64,
+}
+
+/// Global bookkeeping: dataset → shard routing and the insertion-order
+/// meta-feature table that normalisation statistics are computed over.
+#[derive(Default)]
+struct Registry {
+    assign: HashMap<String, Slot>,
+    /// Current meta-features of every dataset, indexed by sequence.
+    /// Overwrites update in place, exactly like the monolithic KB.
+    features: Vec<Vec<f64>>,
+}
+
+/// One shard: a plain [`KnowledgeBase`] plus each entry's global
+/// sequence (parallel to `kb.entries()`).
+#[derive(Default)]
+struct Shard {
+    kb: KnowledgeBase,
+    seqs: Vec<u64>,
+}
+
+/// Per-generation cache: global stats plus every entry z-scored, so
+/// steady-state queries skip the O(entries × features) normalisation
+/// pass *and* its allocations.
+struct ZCache {
+    generation: u64,
+    stats: NormStats,
+    /// `z[shard][entry]` — parallel to each shard's entries.
+    z: Vec<Vec<Vec<f64>>>,
+}
+
+/// FNV-1a over the meta-feature bytes: deterministic shard routing that
+/// needs no coordination and spreads adjacent datasets.
+fn shard_of(values: &[f64], n_shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    (h % n_shards as u64) as usize
+}
+
+/// A WAL-durable, shard-partitioned KB index. All methods take `&self`;
+/// share it behind an `Arc` across event loops.
+pub struct ShardedKb {
+    dir: PathBuf,
+    options: DurableOptions,
+    /// Writers serialise here first: WAL append order defines the
+    /// global apply order (and therefore recovery order).
+    wal: Mutex<WalWriter>,
+    registry: RwLock<Registry>,
+    shards: Vec<RwLock<Shard>>,
+    /// Bumped under the registry write lock after each applied
+    /// mutation; stable while any registry read guard is held.
+    generation: AtomicU64,
+    zcache: Mutex<Option<Arc<ZCache>>>,
+    recovery: RecoveryReport,
+}
+
+impl ShardedKb {
+    /// Opens a KB directory (same layout and recovery semantics as
+    /// [`crate::DurableKb`]) and partitions the recovered entries into
+    /// `n_shards` shards, preserving global insertion order.
+    pub fn open_with(
+        dir: &Path,
+        options: DurableOptions,
+        n_shards: usize,
+    ) -> Result<ShardedKb, KbError> {
+        let n_shards = n_shards.max(1);
+        let (kb, writer, recovery) = recover_dir(dir, &options)?;
+        let mut registry = Registry::default();
+        let mut partitions: Vec<(Vec<KbEntry>, Vec<u64>)> =
+            (0..n_shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (seq, entry) in kb.into_entries().into_iter().enumerate() {
+            let shard = shard_of(&entry.meta_features.values, n_shards);
+            registry.assign.insert(
+                entry.dataset_id.clone(),
+                Slot { shard, seq: seq as u64 },
+            );
+            registry.features.push(entry.meta_features.values.clone());
+            partitions[shard].1.push(seq as u64);
+            partitions[shard].0.push(entry);
+        }
+        let shards: Vec<Shard> = partitions
+            .into_iter()
+            .map(|(entries, seqs)| Shard { kb: KnowledgeBase::from_entries(entries), seqs })
+            .collect();
+        Ok(ShardedKb {
+            dir: dir.to_path_buf(),
+            options,
+            wal: Mutex::new(writer),
+            registry: RwLock::new(registry),
+            shards: shards.into_iter().map(RwLock::new).collect(),
+            generation: AtomicU64::new(0),
+            zcache: Mutex::new(None),
+            recovery,
+        })
+    }
+
+    /// What WAL recovery found when this index was opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current write generation (diagnostics / tests).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Datasets known.
+    pub fn len(&self) -> usize {
+        self.registry.read().expect("registry poisoned").features.len()
+    }
+
+    /// True when no datasets are known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total recorded runs.
+    pub fn n_runs(&self) -> usize {
+        let _reg = self.registry.read().expect("registry poisoned");
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").kb.n_runs())
+            .sum()
+    }
+
+    /// Sequence number of the active WAL segment.
+    pub fn active_segment(&self) -> u64 {
+        self.wal.lock().expect("wal poisoned").seq()
+    }
+
+    /// Number of WAL segment files currently on disk.
+    pub fn n_segments(&self) -> Result<usize, KbError> {
+        Ok(list_seqs(&self.dir, parse_segment_name)?.len())
+    }
+
+    /// Logs then applies one run observation. WAL discipline: the
+    /// record is on disk before any reader can observe it. The WAL
+    /// mutex is held across the apply so WAL order equals apply order —
+    /// recovery replays the exact in-memory history.
+    pub fn record_run(
+        &self,
+        dataset_id: &str,
+        meta_features: &MetaFeatures,
+        run: AlgorithmRun,
+    ) -> Result<(), KbError> {
+        let record = WalRecord::Run {
+            dataset_id: dataset_id.to_string(),
+            meta_features: meta_features.clone(),
+            run,
+        };
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        wal.append(&record)?;
+        let WalRecord::Run { run, .. } = record else { unreachable!() };
+        // Lock order: registry before shard (readers use the same order).
+        let mut reg = self.registry.write().expect("registry poisoned");
+        let slot = match reg.assign.get(dataset_id).copied() {
+            Some(slot) => {
+                // Existing dataset: meta-features are overwritten in
+                // place; the shard assignment is sticky.
+                reg.features[slot.seq as usize] = meta_features.values.clone();
+                slot
+            }
+            None => {
+                let slot = Slot {
+                    shard: shard_of(&meta_features.values, self.shards.len()),
+                    seq: reg.features.len() as u64,
+                };
+                reg.assign.insert(dataset_id.to_string(), slot);
+                reg.features.push(meta_features.values.clone());
+                slot
+            }
+        };
+        {
+            let mut shard = self.shards[slot.shard].write().expect("shard poisoned");
+            let was = shard.kb.len();
+            shard.kb.record_run(dataset_id, meta_features, run);
+            if shard.kb.len() > was {
+                shard.seqs.push(slot.seq);
+            }
+        }
+        // Publish while still holding the registry write lock, so a
+        // reader holding a registry read guard always sees a generation
+        // whose mutations are fully applied.
+        self.generation.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Logs then applies landmarker accuracies for a dataset (a no-op
+    /// for unknown ids, like the monolithic KB — but still logged).
+    pub fn set_landmarkers(
+        &self,
+        dataset_id: &str,
+        landmarkers: Landmarkers,
+    ) -> Result<(), KbError> {
+        let record =
+            WalRecord::Landmarkers { dataset_id: dataset_id.to_string(), landmarkers };
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        wal.append(&record)?;
+        let reg = self.registry.write().expect("registry poisoned");
+        if let Some(slot) = reg.assign.get(dataset_id).copied() {
+            let mut shard = self.shards[slot.shard].write().expect("shard poisoned");
+            shard.kb.set_landmarkers(dataset_id, landmarkers);
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+        drop(reg);
+        drop(wal);
+        Ok(())
+    }
+
+    /// Nominates algorithms — byte-identical to the monolithic
+    /// [`KnowledgeBase::recommend_extended`] over the same history (see
+    /// the module docs for why).
+    pub fn recommend(
+        &self,
+        meta_features: &MetaFeatures,
+        query_landmarkers: Option<Landmarkers>,
+        options: &QueryOptions,
+    ) -> Recommendation {
+        let reg = self.registry.read().expect("registry poisoned");
+        if reg.features.is_empty() {
+            return Recommendation { algorithms: Vec::new(), neighbors: Vec::new() };
+        }
+        let guards: Vec<RwLockReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read().expect("shard poisoned")).collect();
+        // Stable while we hold the registry read guard: writers bump it
+        // only under the registry write lock.
+        let generation = self.generation.load(Ordering::Acquire);
+        let cache = self.cached_z(generation, &reg, &guards);
+
+        let query = normalise(&meta_features.values, &cache.stats.means, &cache.stats.stds);
+        let mut scored: Vec<(f64, u64, &KbEntry)> = Vec::with_capacity(reg.features.len());
+        for (shard_ix, guard) in guards.iter().enumerate() {
+            let zs = &cache.z[shard_ix];
+            for (entry_ix, entry) in guard.kb.entries().iter().enumerate() {
+                let dist = entry_distance(
+                    &query,
+                    &zs[entry_ix],
+                    entry.landmarkers,
+                    query_landmarkers,
+                    options,
+                );
+                scored.push((dist, guard.seqs[entry_ix], entry));
+            }
+        }
+        // (distance, sequence) reproduces the monolithic stable sort.
+        // (distance, insertion seq) is a strict total order, so a
+        // partial select of the top k followed by a sort of just that
+        // prefix is identical to sorting everything and truncating —
+        // but O(n + k log k) instead of O(n log n).
+        let cmp = |a: &(f64, u64, &KbEntry), b: &(f64, u64, &KbEntry)| {
+            a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1))
+        };
+        let k = options.n_neighbors.max(1);
+        if k < scored.len() {
+            scored.select_nth_unstable_by(k - 1, cmp);
+            scored.truncate(k);
+        }
+        scored.sort_by(cmp);
+        let ranked: Vec<(&KbEntry, f64)> = scored.iter().map(|&(d, _, e)| (e, d)).collect();
+        vote_ranked(&ranked, options)
+    }
+
+    /// Returns the z-cache for `generation`, rebuilding it if a write
+    /// invalidated it. Called with the registry and all shard guards
+    /// held, so the rebuild is consistent with what the query scans.
+    fn cached_z(
+        &self,
+        generation: u64,
+        reg: &Registry,
+        guards: &[RwLockReadGuard<'_, Shard>],
+    ) -> Arc<ZCache> {
+        if let Some(cache) = self.zcache.lock().expect("zcache poisoned").as_ref() {
+            if cache.generation == generation {
+                return Arc::clone(cache);
+            }
+        }
+        // Global stats in insertion order — the same float summation
+        // sequence as the monolithic normalisation pass.
+        let features: Vec<&[f64]> = reg.features.iter().map(|f| f.as_slice()).collect();
+        let stats = normalisation_stats_over(&features);
+        let z: Vec<Vec<Vec<f64>>> = guards
+            .iter()
+            .map(|g| {
+                g.kb.entries()
+                    .iter()
+                    .map(|e| normalise(&e.meta_features.values, &stats.means, &stats.stds))
+                    .collect()
+            })
+            .collect();
+        let fresh = Arc::new(ZCache { generation, stats, z });
+        *self.zcache.lock().expect("zcache poisoned") = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Reassembles the monolithic KB (global insertion order) from the
+    /// shards. Used by snapshotting and the equivalence tests.
+    pub fn to_monolithic(&self) -> KnowledgeBase {
+        let _reg = self.registry.read().expect("registry poisoned");
+        let guards: Vec<RwLockReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read().expect("shard poisoned")).collect();
+        let mut entries: Vec<(u64, KbEntry)> = Vec::new();
+        for guard in &guards {
+            for (ix, entry) in guard.kb.entries().iter().enumerate() {
+                entries.push((guard.seqs[ix], entry.clone()));
+            }
+        }
+        entries.sort_by_key(|&(seq, _)| seq);
+        KnowledgeBase::from_entries(entries.into_iter().map(|(_, e)| e).collect())
+    }
+
+    /// Folds the current state into a snapshot and compacts — identical
+    /// on-disk result to [`crate::DurableKb::snapshot`]. Writers are
+    /// blocked for the duration (the WAL mutex is held); readers only
+    /// briefly while the shards are folded.
+    pub fn snapshot(&self) -> Result<u64, KbError> {
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        wal.sync()?;
+        let covered = wal.seq();
+        let kb = self.to_monolithic();
+        kb.save(&self.dir.join(snapshot_name(covered)))?;
+        for seq in list_seqs(&self.dir, parse_segment_name)? {
+            if seq <= covered {
+                std::fs::remove_file(self.dir.join(segment_name(seq)))?;
+            }
+        }
+        for seq in list_seqs(&self.dir, parse_snapshot_name)? {
+            if seq < covered {
+                std::fs::remove_file(self.dir.join(snapshot_name(seq)))?;
+            }
+        }
+        *wal = WalWriter::open(
+            &self.dir,
+            covered + 1,
+            self.options.segment_bytes,
+            self.options.fsync_writes,
+        )?;
+        Ok(covered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::DurableKb;
+    use smartml_classifiers::{Algorithm, ParamConfig};
+    use smartml_data::synth::gaussian_blobs;
+    use smartml_metafeatures::extract;
+
+    fn mf(seed: u64) -> MetaFeatures {
+        let d = gaussian_blobs("m", 40 + seed as usize, 3, 2, 1.0, seed);
+        extract(&d, &d.all_rows())
+    }
+
+    fn run(alg: Algorithm, acc: f64) -> AlgorithmRun {
+        AlgorithmRun { algorithm: alg, config: ParamConfig::default(), accuracy: acc }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Applies the same history to a monolithic KB and a sharded one.
+    fn twin_histories(dir: &Path, n_shards: usize) -> (KnowledgeBase, ShardedKb) {
+        let sharded = ShardedKb::open_with(
+            dir,
+            DurableOptions { fsync_writes: false, ..Default::default() },
+            n_shards,
+        )
+        .unwrap();
+        let mut mono = KnowledgeBase::new();
+        let algs = [Algorithm::Knn, Algorithm::Lda, Algorithm::RandomForest, Algorithm::Svm];
+        for i in 0..20u64 {
+            let id = format!("d{}", i % 12); // revisits overwrite meta-features
+            let m = mf(i);
+            let r = run(algs[(i % 4) as usize], 0.5 + (i as f64) / 50.0);
+            mono.record_run(&id, &m, r.clone());
+            sharded.record_run(&id, &m, r).unwrap();
+        }
+        mono.set_landmarkers("d3", Landmarkers { decision_stump: 0.7, nearest_centroid: 0.6 });
+        sharded
+            .set_landmarkers("d3", Landmarkers { decision_stump: 0.7, nearest_centroid: 0.6 })
+            .unwrap();
+        (mono, sharded)
+    }
+
+    #[test]
+    fn recommendations_identical_to_monolithic_kb() {
+        let dir = tmp("smartml-sharded-equiv");
+        for n_shards in [1, 3, 8] {
+            let _ = std::fs::remove_dir_all(&dir);
+            let (mono, sharded) = twin_histories(&dir, n_shards);
+            assert_eq!(sharded.len(), mono.len());
+            assert_eq!(sharded.n_runs(), mono.n_runs());
+            for q in 0..6u64 {
+                for opts in [
+                    QueryOptions::default(),
+                    QueryOptions { top_n: 2, n_neighbors: 3, ..Default::default() },
+                    QueryOptions { use_landmarkers: true, ..Default::default() },
+                    QueryOptions { performance_weight: 0.0, n_neighbors: 50, ..Default::default() },
+                ] {
+                    let lm = (q % 2 == 0)
+                        .then_some(Landmarkers { decision_stump: 0.6, nearest_centroid: 0.8 });
+                    let want = mono.recommend_extended(&mf(100 + q), lm, &opts);
+                    let got = sharded.recommend(&mf(100 + q), lm, &opts);
+                    assert_eq!(
+                        serde_json::to_string(&got).unwrap(),
+                        serde_json::to_string(&want).unwrap(),
+                        "shards={n_shards} q={q} opts={opts:?}"
+                    );
+                }
+            }
+            // The reassembled monolithic view matches entry for entry.
+            assert_eq!(
+                serde_json::to_string(&sharded.to_monolithic().entries()).unwrap(),
+                serde_json::to_string(&mono.entries()).unwrap(),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zcache_survives_reads_and_invalidates_on_write() {
+        let dir = tmp("smartml-sharded-zcache");
+        let (_mono, sharded) = twin_histories(&dir, 4);
+        let q = mf(200);
+        let opts = QueryOptions::default();
+        let g = sharded.generation();
+        let first = sharded.recommend(&q, None, &opts);
+        let second = sharded.recommend(&q, None, &opts);
+        assert_eq!(first, second);
+        assert_eq!(sharded.generation(), g, "reads do not bump the generation");
+        sharded.record_run("fresh", &mf(300), run(Algorithm::Knn, 0.9)).unwrap();
+        assert!(sharded.generation() > g);
+        let third = sharded.recommend(&q, None, &opts);
+        // The new entry participates (stats shifted or neighbour set grew).
+        assert_ne!(serde_json::to_string(&third).unwrap(), serde_json::to_string(&first).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_recovery_reopens_under_either_store() {
+        let dir = tmp("smartml-sharded-recovery");
+        {
+            let (_, sharded) = twin_histories(&dir, 4);
+            drop(sharded); // no snapshot: WAL is the only persistence
+        }
+        // Reopen sharded.
+        let reopened =
+            ShardedKb::open_with(&dir, DurableOptions::default(), 4).unwrap();
+        assert_eq!(reopened.len(), 12);
+        assert_eq!(reopened.recovery().records_replayed, 21);
+        // The same directory opens under the monolithic durable store
+        // with identical contents (cross-store compatibility).
+        let durable = DurableKb::open(&dir).unwrap();
+        assert_eq!(
+            serde_json::to_string(&reopened.to_monolithic().entries()).unwrap(),
+            serde_json::to_string(&durable.kb().entries()).unwrap(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_preserves_state() {
+        let dir = tmp("smartml-sharded-snapshot");
+        let (mono, sharded) = twin_histories(&dir, 3);
+        let covered = sharded.snapshot().unwrap();
+        assert_eq!(list_seqs(&dir, parse_snapshot_name).unwrap(), vec![covered]);
+        assert_eq!(list_seqs(&dir, parse_segment_name).unwrap(), vec![covered + 1]);
+        // Post-snapshot writes land on the fresh segment.
+        sharded.record_run("after", &mf(400), run(Algorithm::Svm, 0.8)).unwrap();
+        drop(sharded);
+        let reopened = ShardedKb::open_with(&dir, DurableOptions::default(), 3).unwrap();
+        assert_eq!(reopened.len(), mono.len() + 1);
+        assert_eq!(reopened.recovery().snapshot_seq, Some(covered));
+        assert_eq!(reopened.recovery().records_replayed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_index_recommends_nothing() {
+        let dir = tmp("smartml-sharded-empty");
+        let sharded = ShardedKb::open_with(&dir, DurableOptions::default(), 2).unwrap();
+        let rec = sharded.recommend(&mf(1), None, &QueryOptions::default());
+        assert!(rec.algorithms.is_empty() && rec.neighbors.is_empty());
+        assert!(sharded.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers_converge() {
+        let dir = tmp("smartml-sharded-concurrent");
+        let sharded = Arc::new(
+            ShardedKb::open_with(
+                &dir,
+                DurableOptions { fsync_writes: false, ..Default::default() },
+                4,
+            )
+            .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&sharded);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let id = format!("w{t}-{i}");
+                    s.record_run(&id, &mf(t * 100 + i), run(Algorithm::Knn, 0.7)).unwrap();
+                    // Interleave reads; must never panic or deadlock.
+                    let _ = s.recommend(&mf(t), None, &QueryOptions::default());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sharded.len(), 100);
+        assert_eq!(sharded.n_runs(), 100);
+        // Recovery replays the concurrent history exactly.
+        drop(sharded);
+        let reopened = ShardedKb::open_with(&dir, DurableOptions::default(), 4).unwrap();
+        assert_eq!(reopened.len(), 100);
+        assert_eq!(reopened.n_runs(), 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

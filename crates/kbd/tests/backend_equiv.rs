@@ -1,0 +1,294 @@
+//! The two `smartmld` backends are interchangeable: given the same
+//! request script, the blocking thread-per-connection server (the
+//! oracle) and the epoll event-driven server must produce **byte
+//! identical** response lines — writes, reads, landmarkers, batches,
+//! snapshots, and protocol errors alike. And one `recommend_batch` must
+//! answer exactly what the equivalent `recommend` sequence answers.
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::synth::gaussian_blobs;
+use smartml_kb::{AlgorithmRun, QueryOptions};
+use smartml_kbd::{
+    BatchQuery, DurableOptions, EventServer, EventServerOptions, Request, Server, ServerOptions,
+};
+use smartml_metafeatures::{extract, Landmarkers, MetaFeatures};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smartml-kbd-eq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mf(seed: u64) -> MetaFeatures {
+    let d = gaussian_blobs("eq", 40 + (seed % 17) as usize, 3, 2, 0.85, seed);
+    extract(&d, &d.all_rows())
+}
+
+fn run(i: u64) -> AlgorithmRun {
+    let algorithm =
+        [Algorithm::RandomForest, Algorithm::Svm, Algorithm::Knn, Algorithm::NaiveBayes]
+            [i as usize % 4];
+    AlgorithmRun {
+        algorithm,
+        config: ParamConfig::default(),
+        accuracy: 0.5 + (i % 45) as f64 / 100.0,
+    }
+}
+
+fn landmarkers(seed: u64) -> Landmarkers {
+    Landmarkers {
+        decision_stump: 0.35 + (seed % 6) as f64 / 10.0,
+        nearest_centroid: 0.5 + (seed % 4) as f64 / 10.0,
+    }
+}
+
+/// The request script both backends replay: every verb except `metrics`
+/// (whose counters are process-global and timing-dependent), plus a
+/// malformed line whose error must also match.
+fn script() -> Vec<String> {
+    let mut lines = Vec::new();
+    let enc = |r: &Request| serde_json::to_string(r).expect("encode request");
+    lines.push(enc(&Request::Ping));
+    for i in 0..10u64 {
+        lines.push(enc(&Request::RecordRun {
+            dataset_id: format!("ds-{}", i % 7), // revisits overwrite meta-features
+            meta_features: mf(i),
+            run: run(i),
+        }));
+    }
+    for i in [1u64, 4] {
+        lines.push(enc(&Request::SetLandmarkers {
+            dataset_id: format!("ds-{i}"),
+            landmarkers: landmarkers(i),
+        }));
+    }
+    let option_sets = [
+        QueryOptions::default(),
+        QueryOptions { n_neighbors: 3, top_n: 2, ..QueryOptions::default() },
+        QueryOptions { use_landmarkers: true, ..QueryOptions::default() },
+        QueryOptions { performance_weight: 2.0, n_neighbors: 50, ..QueryOptions::default() },
+    ];
+    for (i, options) in option_sets.iter().enumerate() {
+        lines.push(enc(&Request::Recommend {
+            meta_features: mf(100 + i as u64),
+            landmarkers: options.use_landmarkers.then(|| landmarkers(9)),
+            options: Some(options.clone()),
+        }));
+    }
+    lines.push(enc(&Request::RecommendBatch {
+        queries: (0..4u64)
+            .map(|i| BatchQuery {
+                meta_features: mf(200 + i),
+                landmarkers: (i % 2 == 0).then(|| landmarkers(i)),
+                options: Some(option_sets[i as usize % option_sets.len()].clone()),
+            })
+            .collect(),
+    }));
+    lines.push(enc(&Request::Stats));
+    lines.push(enc(&Request::Snapshot));
+    lines.push(enc(&Request::Stats));
+    // Post-compaction state must still answer identically.
+    lines.push(enc(&Request::Recommend {
+        meta_features: mf(300),
+        landmarkers: None,
+        options: None,
+    }));
+    lines.push("{\"op\":\"recommend\",\"meta_features\":\"not a vector\"}".to_string());
+    lines.push("plainly not json".to_string());
+    lines.push(enc(&Request::Ping));
+    lines
+}
+
+struct Backend {
+    addr: String,
+    handle: std::thread::JoinHandle<()>,
+    dir: PathBuf,
+}
+
+fn spawn_blocking(tag: &str) -> Backend {
+    let dir = temp_dir(tag);
+    let server = Server::bind(ServerOptions {
+        dir: dir.clone(),
+        durable: DurableOptions { fsync_writes: false, ..Default::default() },
+        ..ServerOptions::default()
+    })
+    .expect("blocking server binds");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("blocking serve loop"));
+    Backend { addr, handle, dir }
+}
+
+fn spawn_epoll(tag: &str, n_loops: usize) -> Backend {
+    let dir = temp_dir(tag);
+    let server = EventServer::bind(EventServerOptions {
+        dir: dir.clone(),
+        n_loops,
+        durable: DurableOptions { fsync_writes: false, ..Default::default() },
+        ..EventServerOptions::default()
+    })
+    .expect("event server binds");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("event serve loop"));
+    Backend { addr, handle, dir }
+}
+
+fn shutdown(backend: Backend) {
+    let stream = TcpStream::connect(&backend.addr).expect("connect for shutdown");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{{\"op\":\"shutdown\"}}").expect("send shutdown");
+    let mut line = String::new();
+    let _ = reader.read_line(&mut line);
+    backend.handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&backend.dir);
+}
+
+/// Sends every script line sequentially on one connection, one
+/// round-trip at a time, returning the exact response lines.
+fn play_sequential(addr: &str, lines: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    lines
+        .iter()
+        .map(|line| {
+            writeln!(writer, "{line}").expect("send");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("response");
+            assert!(response.ends_with('\n'), "truncated response for {line}");
+            response
+        })
+        .collect()
+}
+
+/// Sends every script line in one burst (pipelining), then reads all
+/// the responses back.
+fn play_pipelined(addr: &str, lines: &[String]) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let burst: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    writer.write_all(burst.as_bytes()).expect("send burst");
+    lines
+        .iter()
+        .map(|line| {
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("response");
+            assert!(response.ends_with('\n'), "truncated response for {line}");
+            response
+        })
+        .collect()
+}
+
+#[test]
+fn epoll_and_blocking_backends_answer_byte_identically() {
+    let lines = script();
+    let blocking = spawn_blocking("oracle");
+    let epoll = spawn_epoll("epoll", 3);
+
+    let expected = play_sequential(&blocking.addr, &lines);
+    let sequential = play_sequential(&epoll.addr, &lines);
+    for (i, (want, got)) in expected.iter().zip(&sequential).enumerate() {
+        assert_eq!(
+            want, got,
+            "response {i} diverged between backends for request: {}",
+            lines[i]
+        );
+    }
+
+    shutdown(blocking);
+    shutdown(epoll);
+}
+
+#[test]
+fn pipelined_epoll_responses_match_the_sequential_oracle() {
+    // Read-only script on a pre-seeded store: replaying writes twice
+    // (once per play) would double-apply them.
+    let epoll = spawn_epoll("pipeline", 2);
+    {
+        let client = smartml_kbd::KbClient::connect(epoll.addr.clone());
+        for i in 0..8u64 {
+            client.record_run(&format!("ds-{i}"), &mf(i), run(i)).expect("seed");
+        }
+    }
+    let enc = |r: &Request| serde_json::to_string(r).expect("encode request");
+    let mut lines = vec![enc(&Request::Ping)];
+    for i in 0..12u64 {
+        lines.push(enc(&Request::Recommend {
+            meta_features: mf(400 + i),
+            landmarkers: None,
+            options: Some(QueryOptions { n_neighbors: 5, ..QueryOptions::default() }),
+        }));
+    }
+    lines.push(enc(&Request::Stats));
+
+    let sequential = play_sequential(&epoll.addr, &lines);
+    let pipelined = play_pipelined(&epoll.addr, &lines);
+    assert_eq!(sequential, pipelined, "pipelining must not change any response");
+    shutdown(epoll);
+}
+
+#[test]
+fn one_batch_answers_exactly_like_the_recommend_sequence() {
+    let epoll = spawn_epoll("batch", 2);
+    {
+        let client = smartml_kbd::KbClient::connect(epoll.addr.clone());
+        for i in 0..9u64 {
+            client.record_run(&format!("ds-{i}"), &mf(i), run(i)).expect("seed");
+        }
+        client.set_landmarkers("ds-2", landmarkers(2)).expect("landmarkers");
+    }
+    let queries: Vec<BatchQuery> = (0..6u64)
+        .map(|i| BatchQuery {
+            meta_features: mf(500 + i),
+            landmarkers: (i % 3 == 0).then(|| landmarkers(i)),
+            options: Some(QueryOptions {
+                n_neighbors: 4 + i as usize,
+                use_landmarkers: i % 3 == 0,
+                ..QueryOptions::default()
+            }),
+        })
+        .collect();
+    let enc = |r: &Request| serde_json::to_string(r).expect("encode request");
+
+    let batch_line = enc(&Request::RecommendBatch { queries: queries.clone() });
+    let singles: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            enc(&Request::Recommend {
+                meta_features: q.meta_features.clone(),
+                landmarkers: q.landmarkers.clone(),
+                options: q.options.clone(),
+            })
+        })
+        .collect();
+
+    let batch_resp = play_sequential(&epoll.addr, std::slice::from_ref(&batch_line));
+    let single_resps = play_sequential(&epoll.addr, &singles);
+
+    let batch: serde_json::Value = serde_json::from_str(&batch_resp[0]).expect("batch json");
+    assert_eq!(batch["status"], "recommendations");
+    let answers = batch["recommendations"].as_array().expect("answers array");
+    assert_eq!(answers.len(), queries.len());
+    for (i, single) in single_resps.iter().enumerate() {
+        let single: serde_json::Value = serde_json::from_str(single).expect("single json");
+        assert_eq!(single["status"], "recommendation");
+        assert_eq!(
+            answers[i], single["recommendation"],
+            "batch answer {i} != sequential recommend answer"
+        );
+    }
+
+    // The typed client agrees end to end.
+    let client = smartml_kbd::KbClient::connect(epoll.addr.clone());
+    let via_client = client.recommend_batch(queries.clone()).expect("client batch");
+    assert_eq!(via_client.len(), queries.len());
+    for (i, rec) in via_client.iter().enumerate() {
+        let as_json = serde_json::to_value(rec);
+        assert_eq!(as_json, answers[i], "client batch answer {i} diverged");
+    }
+    shutdown(epoll);
+}

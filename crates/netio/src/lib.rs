@@ -1,0 +1,33 @@
+//! `smartml-netio`: a zero-dependency event-driven I/O layer for Linux.
+//!
+//! The KB service (`smartmld`) moved from thread-per-connection blocking
+//! I/O to event loops; this crate is the foundation it stands on. It is
+//! deliberately small — four modules, no external crates, no `libc`:
+//!
+//! - [`sys`]: raw `epoll`/`eventfd`/`read`/`write`/`close` syscalls via
+//!   inline assembly, with `-errno` folded into `io::Error`.
+//! - [`poller`]: safe level-triggered readiness ([`Poller`], [`Token`],
+//!   [`Interest`], [`Events`]).
+//! - [`waker`]: cross-thread loop wakeup over an `eventfd` ([`Waker`]).
+//! - [`timer`]: a hashed [`TimerWheel`] with lazy cancellation for idle
+//!   and request deadlines.
+//!
+//! Sockets stay plain `std::net` types put into non-blocking mode; this
+//! crate never owns them, it only watches their file descriptors. That
+//! keeps the unsafe surface confined to `sys` and lets the server code
+//! above read and write through the standard library.
+//!
+//! Only Linux is supported (epoll is Linux-specific); compiling the
+//! crate elsewhere fails loudly rather than at first use.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("smartml-netio uses epoll/eventfd and only supports Linux targets");
+
+pub mod poller;
+pub mod sys;
+pub mod timer;
+pub mod waker;
+
+pub use poller::{Event, Events, Interest, Poller, Token};
+pub use timer::{TimerId, TimerWheel};
+pub use waker::Waker;

@@ -1,0 +1,233 @@
+//! [`Poller`]: a safe, level-triggered readiness queue over `epoll`.
+//!
+//! Level-triggered on purpose: a socket that still holds unread bytes
+//! (or unflushed writable space) keeps reporting ready, so a handler
+//! that processes *some* of the work and returns is never silently
+//! starved — the simplest correctness contract for a from-scratch event
+//! loop. The cost (spurious wakeups if a handler ignores readiness) is
+//! handled by registering interest only in what the connection actually
+//! wants: `EPOLLOUT` is armed only while a write buffer is non-empty.
+
+use crate::sys;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registration and returned
+/// with every event for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or a peer hangup to observe).
+    pub readable: bool,
+    /// Wake when the fd can accept writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Write-only interest — a connection paused by read backpressure
+    /// that still has a response backlog to flush.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Both directions — a connection mid-flush that may also pipeline.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither direction. The fd stays registered (hangups still
+    /// surface) but produces no read/write events.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+
+    fn bits(self) -> u32 {
+        // RDHUP is always on: a peer closing its write half must wake
+        // the loop even when the handler paused reads, or the teardown
+        // would wait for the idle timer.
+        let mut bits = sys::EPOLLRDHUP;
+        if self.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The registration's token.
+    pub token: Token,
+    /// Bytes are waiting (or the peer hung up with data pending).
+    pub readable: bool,
+    /// The socket can accept writes.
+    pub writable: bool,
+    /// Error or hangup: the connection is dead or dying; handlers
+    /// should read to EOF (readable is usually also set) and tear down.
+    pub closed: bool,
+}
+
+/// Reusable event buffer for [`Poller::wait`].
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events { buf: vec![sys::EpollEvent::zeroed(); capacity.max(1)], len: 0 }
+    }
+
+    /// Events delivered by the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|e| {
+            // Copy out of the (packed on x86_64) kernel struct before use.
+            let bits = e.events;
+            Event {
+                token: Token(e.data),
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+            }
+        })
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the last wait timed out with nothing ready.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance owning its fd.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// Creates a fresh epoll instance.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller { epfd: sys::epoll_create()? })
+    }
+
+    /// Registers `fd` with the given interest. The fd must stay open
+    /// until [`Poller::deregister`] (the kernel auto-removes closed fds,
+    /// but relying on that hides bugs).
+    pub fn register(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: interest.bits(), data: token.0 };
+        sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd.as_raw_fd(), &mut ev)
+    }
+
+    /// Replaces the interest set of an already-registered fd.
+    pub fn reregister(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::EpollEvent { events: interest.bits(), data: token.0 };
+        sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, fd.as_raw_fd(), &mut ev)
+    }
+
+    /// Removes an fd from the interest list.
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        let mut ev = sys::EpollEvent::zeroed();
+        sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd.as_raw_fd(), &mut ev)
+    }
+
+    /// Blocks until at least one event arrives or `timeout` elapses
+    /// (`None` = wait forever). Returns the number of events captured
+    /// into `events`.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            // Round up so a 100µs deadline does not spin on timeout 0.
+            Some(t) => t.as_millis().min(i32::MAX as u128) as i32 + i32::from(t.subsec_nanos() % 1_000_000 != 0),
+            None => -1,
+        };
+        events.len = sys::epoll_wait(self.epfd, &mut events.buf, timeout_ms)?;
+        Ok(events.len)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close(self.epfd);
+    }
+}
+
+impl AsRawFd for Poller {
+    fn as_raw_fd(&self) -> RawFd {
+        self.epfd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_is_level_triggered_until_drained() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.register(&b, Token(7), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing pending: a short wait times out.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+
+        a.write_all(b"ping").unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, Token(7));
+        assert!(ev.readable && !ev.closed);
+
+        // Level-triggered: un-drained bytes keep reporting.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(50))).unwrap(), 1);
+        let mut buf = [0u8; 16];
+        let mut b = b;
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+    }
+
+    #[test]
+    fn interest_changes_take_effect() {
+        let (mut a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.register(&b, Token(1), Interest::NONE).unwrap();
+        let mut events = Events::with_capacity(8);
+        a.write_all(b"x").unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+        poller.reregister(&b, Token(1), Interest::READABLE).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        poller.deregister(&b).unwrap();
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap(), 0);
+    }
+
+    #[test]
+    fn writable_reported_for_fresh_socket_and_hangup_on_close() {
+        let (a, b) = pair();
+        let poller = Poller::new().unwrap();
+        poller.register(&b, Token(2), Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().writable);
+
+        // Peer close surfaces even with write-only interest (RDHUP).
+        drop(a);
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap(), 1);
+        assert!(events.iter().next().unwrap().closed);
+    }
+}

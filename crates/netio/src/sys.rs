@@ -1,0 +1,258 @@
+//! Raw Linux syscalls for the event loop: `epoll`, `eventfd`, and the
+//! `read`/`write`/`close` trio needed to service them.
+//!
+//! The repo's discipline is zero external dependencies, so there is no
+//! `libc` to lean on; each syscall is issued directly with inline
+//! assembly (`syscall` on x86_64, `svc 0` on aarch64). The surface is
+//! deliberately tiny — exactly the five calls the poller and waker need
+//! — and every wrapper converts the kernel's `-errno` convention into
+//! `std::io::Error` at the boundary so nothing above this module ever
+//! sees a raw return value.
+
+#![allow(clippy::missing_safety_doc)]
+
+use std::io;
+
+/// `epoll_event.events` bit: readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `epoll_event.events` bit: writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `epoll_event.events` bit: error condition.
+pub const EPOLLERR: u32 = 0x008;
+/// `epoll_event.events` bit: hangup.
+pub const EPOLLHUP: u32 = 0x010;
+/// `epoll_event.events` bit: peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// `epoll_create1` flag: close-on-exec (same value as `O_CLOEXEC`).
+const EPOLL_CLOEXEC: usize = 0o2000000;
+/// `eventfd2` flags: close-on-exec + non-blocking.
+const EFD_CLOEXEC: usize = 0o2000000;
+const EFD_NONBLOCK: usize = 0o4000;
+
+/// The kernel's `struct epoll_event`. x86_64 packs it to 4-byte
+/// alignment (a wart inherited from the 32-bit ABI); every other
+/// architecture uses natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bits (`EPOLLIN` | ...).
+    pub events: u32,
+    /// Caller-owned cookie, returned verbatim with each event.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    pub const fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+}
+
+// Syscall numbers differ per architecture; aarch64 dropped the plain
+// `epoll_wait`/`eventfd` variants, so the flag-taking successors are
+// used everywhere.
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: usize = 0;
+    pub const WRITE: usize = 1;
+    pub const CLOSE: usize = 3;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: usize = 63;
+    pub const WRITE: usize = 64;
+    pub const CLOSE: usize = 57;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        in("r9") a6,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") a1 => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        in("x5") a6,
+        options(nostack),
+    );
+    ret
+}
+
+/// Folds the kernel's `-errno` return into `io::Result`.
+fn check(ret: isize) -> io::Result<usize> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// `EINTR`-retrying wrapper: interrupted calls are repeated, everything
+/// else surfaces. Used for the blocking-capable calls (`epoll_pwait`).
+fn check_eintr(mut call: impl FnMut() -> isize) -> io::Result<usize> {
+    loop {
+        match check(call()) {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)` → epoll fd.
+pub fn epoll_create() -> io::Result<i32> {
+    let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+    Ok(fd as i32)
+}
+
+/// `epoll_ctl(epfd, op, fd, &event)`. `event` is ignored for `DEL` but
+/// passed anyway (pre-2.6.9 kernels required it; harmless since).
+pub fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: &mut EpollEvent) -> io::Result<()> {
+    check(unsafe {
+        syscall6(
+            nr::EPOLL_CTL,
+            epfd as usize,
+            op as usize,
+            fd as usize,
+            event as *mut EpollEvent as usize,
+            0,
+            0,
+        )
+    })?;
+    Ok(())
+}
+
+/// `epoll_pwait(epfd, events, maxevents, timeout_ms, NULL, 0)` → number
+/// of ready events. `timeout_ms = -1` blocks indefinitely; interrupted
+/// waits are retried.
+pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    check_eintr(|| unsafe {
+        syscall6(
+            nr::EPOLL_PWAIT,
+            epfd as usize,
+            events.as_mut_ptr() as usize,
+            events.len(),
+            timeout_ms as usize,
+            0, // sigmask: NULL (plain epoll_wait semantics)
+            8, // sigsetsize, ignored for a NULL mask but validated ≥ 0
+        )
+    })
+}
+
+/// `eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK)` → eventfd.
+pub fn eventfd() -> io::Result<i32> {
+    let fd = check(unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) })?;
+    Ok(fd as i32)
+}
+
+/// `read(fd, buf)`.
+pub fn read(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+    check(unsafe { syscall6(nr::READ, fd as usize, buf.as_mut_ptr() as usize, buf.len(), 0, 0, 0) })
+}
+
+/// `write(fd, buf)`.
+pub fn write(fd: i32, buf: &[u8]) -> io::Result<usize> {
+    check(unsafe { syscall6(nr::WRITE, fd as usize, buf.as_ptr() as usize, buf.len(), 0, 0, 0) })
+}
+
+/// `close(fd)`. Errors are swallowed — the fd is gone either way, and
+/// the callers are `Drop` impls.
+pub fn close(fd: i32) {
+    let _ = unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_create_and_close() {
+        let fd = epoll_create().expect("epoll_create1");
+        assert!(fd >= 0);
+        close(fd);
+    }
+
+    #[test]
+    fn eventfd_read_write_roundtrip() {
+        let fd = eventfd().expect("eventfd2");
+        // Non-blocking read of an empty eventfd: EAGAIN.
+        let mut buf = [0u8; 8];
+        let err = read(fd, &mut buf).expect_err("empty eventfd must not be readable");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // Write a count, read it back.
+        write(fd, &1u64.to_ne_bytes()).expect("eventfd write");
+        write(fd, &2u64.to_ne_bytes()).expect("eventfd write");
+        assert_eq!(read(fd, &mut buf).expect("eventfd read"), 8);
+        assert_eq!(u64::from_ne_bytes(buf), 3, "eventfd accumulates counts");
+        close(fd);
+    }
+
+    #[test]
+    fn bad_fd_surfaces_as_io_error() {
+        let mut ev = EpollEvent::zeroed();
+        let err = epoll_ctl(-1, EPOLL_CTL_ADD, 0, &mut ev).expect_err("bad epfd");
+        assert_eq!(err.raw_os_error(), Some(9), "EBADF expected, got {err}");
+    }
+
+    #[test]
+    fn epoll_wait_times_out() {
+        let fd = epoll_create().unwrap();
+        let mut events = [EpollEvent::zeroed(); 4];
+        let started = std::time::Instant::now();
+        let n = epoll_wait(fd, &mut events, 20).expect("wait");
+        assert_eq!(n, 0);
+        assert!(started.elapsed() >= std::time::Duration::from_millis(15));
+        close(fd);
+    }
+}

@@ -1,0 +1,259 @@
+//! Hashed timer wheel for connection deadlines.
+//!
+//! Each event loop owns one wheel and uses it for two things: idle
+//! timeouts (kick connections that go silent) and request deadlines
+//! (kick connections whose request has been in flight too long). The
+//! loop asks [`TimerWheel::next_deadline`] how long `epoll_pwait` may
+//! sleep, and calls [`TimerWheel::expire`] after every wait to collect
+//! fired tokens.
+//!
+//! Cancellation is eager: the [`TimerId`] handle carries the tick it was
+//! filed under, so cancelling is one short search of that slot. With the
+//! re-arm-per-request pattern the wheel would otherwise accumulate one
+//! stale entry per request for a whole timeout window (tens of seconds),
+//! and every entry — stale or not — is weight that `next_deadline` and
+//! slot scans drag along on every loop iteration.
+
+use crate::poller::Token;
+use std::time::{Duration, Instant};
+
+/// Handle for cancelling a scheduled timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerId {
+    id: u64,
+    /// The (clamped) tick the entry was filed under — locates its slot
+    /// so cancellation does not search the whole wheel.
+    tick: u64,
+}
+
+struct Entry {
+    /// Absolute tick at which the timer fires.
+    tick: u64,
+    id: u64,
+    token: Token,
+}
+
+/// A fixed-slot hashed timer wheel. Resolution is `tick`; timers fire
+/// at most one tick late (plus however long the loop takes to call
+/// [`TimerWheel::expire`]).
+pub struct TimerWheel {
+    base: Instant,
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Last tick fully processed by `expire`.
+    cursor: u64,
+    next_id: u64,
+    live: usize,
+}
+
+impl TimerWheel {
+    /// A wheel with the given resolution and slot count. Slot count
+    /// only affects collision rates, not correctness.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        assert!(!tick.is_zero(), "timer wheel tick must be non-zero");
+        TimerWheel {
+            base: Instant::now(),
+            tick,
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            next_id: 0,
+            live: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.base);
+        (since.as_nanos() / self.tick.as_nanos().max(1)) as u64
+    }
+
+    /// Schedules `token` to fire at `deadline` (clamped to the next
+    /// unprocessed tick, so deadlines in the past still fire — once).
+    pub fn schedule(&mut self, deadline: Instant, token: Token) -> TimerId {
+        let tick = self.tick_of(deadline).max(self.cursor + 1);
+        let id = self.next_id;
+        self.next_id += 1;
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { tick, id, token });
+        self.live += 1;
+        TimerId { id, tick }
+    }
+
+    /// Removes a timer from its slot. Safe to call for already-fired
+    /// ids — the entry is gone, so this is a no-op.
+    pub fn cancel(&mut self, id: TimerId) {
+        let slot = (id.tick % self.slots.len() as u64) as usize;
+        if let Some(pos) = self.slots[slot].iter().position(|e| e.id == id.id) {
+            self.slots[slot].swap_remove(pos);
+            self.live -= 1;
+        }
+    }
+
+    /// Collects every timer due at or before `now` into `fired`.
+    /// Returns the number of tokens appended.
+    pub fn expire(&mut self, now: Instant, fired: &mut Vec<Token>) -> usize {
+        let target = self.tick_of(now);
+        if target <= self.cursor && self.cursor != 0 {
+            return 0;
+        }
+        let before = fired.len();
+        let nslots = self.slots.len() as u64;
+        // A long sleep can skip more ticks than the wheel has slots; one
+        // pass over every slot then covers all of them.
+        let span = (target - self.cursor).min(nslots);
+        for step in 0..=span {
+            let tick = self.cursor + step;
+            let slot = (tick % nslots) as usize;
+            self.slots[slot].retain(|entry| {
+                if entry.tick > target {
+                    return true;
+                }
+                fired.push(entry.token);
+                self.live -= 1;
+                false
+            });
+        }
+        self.cursor = target;
+        fired.len() - before
+    }
+
+    /// Earliest live deadline, as an `Instant`, or `None` when the
+    /// wheel is empty. The loop turns this into its epoll timeout.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.live == 0 {
+            return None;
+        }
+        let mut min_tick: Option<u64> = None;
+        for slot in &self.slots {
+            for entry in slot {
+                if min_tick.map_or(true, |m| entry.tick < m) {
+                    min_tick = Some(entry.tick);
+                }
+            }
+        }
+        min_tick.map(|t| self.base + self.tick.mul_f64(t as f64))
+    }
+
+    /// Number of scheduled, un-cancelled timers.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel_ms() -> TimerWheel {
+        TimerWheel::new(Duration::from_millis(1), 64)
+    }
+
+    #[test]
+    fn timers_fire_in_deadline_order_and_only_once() {
+        let mut wheel = wheel_ms();
+        let start = Instant::now();
+        wheel.schedule(start + Duration::from_millis(5), Token(2));
+        wheel.schedule(start + Duration::from_millis(2), Token(1));
+        wheel.schedule(start + Duration::from_millis(500), Token(3));
+
+        let mut fired = Vec::new();
+        assert_eq!(wheel.expire(start + Duration::from_millis(1), &mut fired), 0);
+        assert_eq!(wheel.expire(start + Duration::from_millis(3), &mut fired), 1);
+        assert_eq!(fired, vec![Token(1)]);
+        assert_eq!(wheel.expire(start + Duration::from_millis(10), &mut fired), 1);
+        assert_eq!(fired, vec![Token(1), Token(2)]);
+        // Nothing re-fires.
+        assert_eq!(wheel.expire(start + Duration::from_millis(20), &mut fired), 0);
+        assert_eq!(wheel.live(), 1);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut wheel = wheel_ms();
+        let start = Instant::now();
+        let id = wheel.schedule(start + Duration::from_millis(2), Token(1));
+        wheel.schedule(start + Duration::from_millis(2), Token(2));
+        wheel.cancel(id);
+        assert_eq!(wheel.live(), 1);
+        let mut fired = Vec::new();
+        wheel.expire(start + Duration::from_millis(5), &mut fired);
+        assert_eq!(fired, vec![Token(2)]);
+    }
+
+    #[test]
+    fn wrap_around_far_future_and_long_sleeps() {
+        // 8 slots × 1ms: a 100ms timer wraps the wheel many times and
+        // must not fire early; a long gap between expire calls must
+        // still collect everything exactly once.
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 8);
+        let start = Instant::now();
+        wheel.schedule(start + Duration::from_millis(100), Token(9));
+        wheel.schedule(start + Duration::from_millis(3), Token(1));
+        let mut fired = Vec::new();
+        wheel.expire(start + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired, vec![Token(1)], "far timer must not fire on wrap collision");
+        wheel.expire(start + Duration::from_millis(400), &mut fired);
+        assert_eq!(fired, vec![Token(1), Token(9)]);
+        assert_eq!(wheel.live(), 0);
+    }
+
+    #[test]
+    fn next_deadline_tracks_earliest_live_timer() {
+        let mut wheel = wheel_ms();
+        let start = Instant::now();
+        assert!(wheel.next_deadline().is_none());
+        let early = wheel.schedule(start + Duration::from_millis(3), Token(1));
+        wheel.schedule(start + Duration::from_millis(30), Token(2));
+        let dl = wheel.next_deadline().unwrap();
+        assert!(dl <= start + Duration::from_millis(4));
+        wheel.cancel(early);
+        let dl = wheel.next_deadline().unwrap();
+        assert!(dl >= start + Duration::from_millis(29));
+    }
+
+    #[test]
+    fn rearm_churn_leaves_no_stale_entries() {
+        // The serving pattern: every request cancels the connection's
+        // deadline and schedules a new one. The wheel must not retain
+        // the cancelled entries — they would otherwise pile up for a
+        // whole timeout window and slow every loop iteration.
+        let mut wheel = wheel_ms();
+        let start = Instant::now();
+        let mut id = wheel.schedule(start + Duration::from_secs(10), Token(1));
+        for _ in 0..50_000 {
+            wheel.cancel(id);
+            id = wheel.schedule(start + Duration::from_secs(10), Token(1));
+        }
+        assert_eq!(wheel.live(), 1);
+        let entries: usize = wheel.slots.iter().map(Vec::len).sum();
+        assert_eq!(entries, 1, "cancelled entries must be removed eagerly");
+    }
+
+    #[test]
+    fn cancel_after_fire_keeps_live_count_exact() {
+        let mut wheel = wheel_ms();
+        let start = Instant::now();
+        let fired_id = wheel.schedule(start + Duration::from_millis(1), Token(1));
+        wheel.schedule(start + Duration::from_millis(500), Token(2));
+        let mut fired = Vec::new();
+        wheel.expire(start + Duration::from_millis(5), &mut fired);
+        assert_eq!(fired, vec![Token(1)]);
+        // Cancelling the already-fired timer must not decrement `live`
+        // for the still-scheduled one (which next_deadline relies on).
+        wheel.cancel(fired_id);
+        assert_eq!(wheel.live(), 1);
+        assert!(wheel.next_deadline().is_some());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_expire() {
+        let mut wheel = wheel_ms();
+        let start = Instant::now();
+        std::thread::sleep(Duration::from_millis(3));
+        wheel.expire(Instant::now(), &mut Vec::new());
+        wheel.schedule(start, Token(7)); // already in the past
+        let mut fired = Vec::new();
+        std::thread::sleep(Duration::from_millis(2));
+        wheel.expire(Instant::now(), &mut fired);
+        assert_eq!(fired, vec![Token(7)]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Cross-thread event-loop wakeup via `eventfd`.
+//!
+//! A shard loop sleeps in `epoll_pwait`; any other thread (the acceptor
+//! handing off a connection, a writer routing a record, the shutdown
+//! path) needs a way to interrupt that sleep. The eventfd is registered
+//! with the loop's poller like any socket; writing to it makes the loop
+//! runnable, and because the fd is non-blocking and counts coalesce,
+//! `wake` is cheap, lock-free, and safe to call from many threads at
+//! once.
+
+use crate::poller::{Interest, Poller, Token};
+use crate::sys;
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// A cloneable handle that can interrupt a sleeping [`Poller::wait`].
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates an eventfd and registers it with `poller` under `token`.
+    pub fn new(poller: &Poller, token: Token) -> io::Result<Waker> {
+        let fd = sys::eventfd()?;
+        let waker = Waker { fd };
+        poller.register(&waker, token, Interest::READABLE)?;
+        Ok(waker)
+    }
+
+    /// Makes the owning loop's next (or current) `wait` return. Multiple
+    /// wakes before the loop drains coalesce into one readable event.
+    pub fn wake(&self) -> io::Result<()> {
+        match sys::write(self.fd, &1u64.to_ne_bytes()) {
+            Ok(_) => Ok(()),
+            // Counter saturated (u64::MAX - 1 pending wakes): the loop
+            // is certainly already runnable, nothing to do.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wake counts. Call from the loop when the waker's
+    /// token reports readable; under level-triggered epoll an un-drained
+    /// eventfd would wake the loop forever.
+    pub fn drain(&self) -> io::Result<u64> {
+        let mut buf = [0u8; 8];
+        match sys::read(self.fd, &mut buf) {
+            Ok(_) => Ok(u64::from_ne_bytes(buf)),
+            // Raced with another drain, or a spurious wakeup: fine.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::close(self.fd);
+    }
+}
+
+// The fd is just written from other threads; eventfd writes are atomic.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::Events;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_interrupts_wait_and_coalesces() {
+        let poller = Poller::new().unwrap();
+        let waker = Arc::new(Waker::new(&poller, Token(0)).unwrap());
+        let mut events = Events::with_capacity(4);
+
+        let w = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake().unwrap();
+            w.wake().unwrap();
+            w.wake().unwrap();
+        });
+
+        // Would block forever if the wake never lands.
+        assert_eq!(poller.wait(&mut events, None).unwrap(), 1);
+        assert_eq!(events.iter().next().unwrap().token, Token(0));
+        handle.join().unwrap();
+        assert_eq!(waker.drain().unwrap(), 3, "three wakes coalesce into one event");
+
+        // Drained: the loop goes back to sleep.
+        assert_eq!(poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap(), 0);
+        assert_eq!(waker.drain().unwrap(), 0);
+    }
+}

@@ -241,6 +241,16 @@ impl Counter {
         }
     }
 
+    /// A counter whose name is built at runtime (e.g. per event loop:
+    /// `kbd.loop.3.wakeups`). The name is leaked — intended for a small,
+    /// bounded set of long-lived instances, not per-request churn.
+    pub fn new_owned(name: String) -> Self {
+        Counter {
+            name: Box::leak(name.into_boxed_str()),
+            slot: OnceLock::new(),
+        }
+    }
+
     /// Increment by `n`. A single relaxed load when metrics are disabled.
     #[inline]
     pub fn add(&self, n: u64) {
@@ -505,6 +515,25 @@ mod tests {
         disable_metrics();
         C.add(100);
         assert_eq!(C.value(), before + 4);
+    }
+
+    #[test]
+    fn owned_counter_behaves_like_a_static_one() {
+        let _g = crate::test_gate();
+        enable_metrics();
+        // Runtime-built names — the per-event-loop pattern
+        // (`kbd.loop.N.*`). Two handles with the same name must share
+        // one underlying counter through the registry.
+        let a = Counter::new_owned(format!("test.metrics.owned.{}", 7));
+        let b = Counter::new_owned("test.metrics.owned.7".to_string());
+        let before = a.value();
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), before + 5);
+        assert_eq!(b.value(), before + 5);
+        disable_metrics();
+        a.inc();
+        assert_eq!(a.value(), before + 5);
     }
 
     #[test]

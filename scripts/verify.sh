@@ -14,7 +14,6 @@ cargo test -q --offline
 echo "==> determinism: identical reports for n_threads in {1, 2, 8}, tracing on and off"
 cargo test -q --offline -p smartml-integration --test determinism --test observability
 
-echo "==> smartmld: record, query, kill -9, restart, verify recovery"
 SMOKE_DIR="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -39,8 +38,8 @@ CLI=./target/release/smartml-cli
 SMARTMLD=./target/release/smartmld
 
 start_server() {
-  local log="$1"
-  "$SMARTMLD" --dir "$SMOKE_DIR/kb" --addr 127.0.0.1:0 > "$log" 2>&1 &
+  local io="$1" log="$2"
+  "$SMARTMLD" --dir "$SMOKE_DIR/kb-$io" --addr 127.0.0.1:0 --io "$io" > "$log" 2>&1 &
   SERVER_PID=$!
   ADDR=""
   for _ in $(seq 1 100); do
@@ -48,45 +47,62 @@ start_server() {
     [ -n "$ADDR" ] && return 0
     sleep 0.1
   done
-  echo "smartmld failed to start:"; cat "$log"; exit 1
+  echo "smartmld --io $io failed to start:"; cat "$log"; exit 1
 }
 
-start_server "$SMOKE_DIR/server1.log"
-"$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm KNN --accuracy 0.91 > /dev/null
-"$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm RandomForest --accuracy 0.88 > /dev/null
+# Same smoke against both backends: the event-driven server must honour
+# every durability and protocol contract the blocking oracle does.
+smartmld_smoke() {
+  local io="$1"
+  echo "==> smartmld --io $io: record, query, METRICS round-trip, kill -9, restart, verify recovery"
 
-# METRICS verb round-trip against the live server: the raw JSON response
-# must parse (jq) and carry the metrics status; the typed client path via
-# `kb metrics` must agree on the per-verb counters.
-HOST="${ADDR%:*}"; PORT="${ADDR##*:}"
-RESP="$(exec 3<>"/dev/tcp/$HOST/$PORT"; printf '{"op":"metrics"}\n' >&3; head -n 1 <&3)"
-echo "$RESP" | jq -e '.status == "metrics" and (.metrics.requests >= 2)' > /dev/null \
-  || { echo "METRICS verb returned malformed or wrong JSON: $RESP"; exit 1; }
-"$CLI" kb metrics --kb "tcp:$ADDR" | grep "record_run" > /dev/null \
-  || { echo "kb metrics CLI missing record_run counter"; exit 1; }
-# Plain grep (not -q): grep -q exits at the first match, closing the pipe
-# and SIGPIPE-ing the CLI while it is still printing the neighbour list.
-"$CLI" kb query  "$CSV" --kb "tcp:$ADDR" | grep "KNN" > /dev/null \
-  || { echo "live query missing KNN nomination"; exit 1; }
+  start_server "$io" "$SMOKE_DIR/server1-$io.log"
+  "$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm KNN --accuracy 0.91 > /dev/null
+  "$CLI" kb record "$CSV" --kb "tcp:$ADDR" --algorithm RandomForest --accuracy 0.88 > /dev/null
 
-kill -9 "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
+  # METRICS verb round-trip against the live server: the raw JSON response
+  # must parse (jq) and carry the metrics status; the typed client path via
+  # `kb metrics` must agree on the per-verb counters.
+  local HOST="${ADDR%:*}" PORT="${ADDR##*:}"
+  RESP="$(exec 3<>"/dev/tcp/$HOST/$PORT"; printf '{"op":"metrics"}\n' >&3; head -n 1 <&3)"
+  echo "$RESP" | jq -e '.status == "metrics" and (.metrics.requests >= 2)' > /dev/null \
+    || { echo "METRICS verb returned malformed or wrong JSON: $RESP"; exit 1; }
+  "$CLI" kb metrics --kb "tcp:$ADDR" | grep "record_run" > /dev/null \
+    || { echo "kb metrics CLI missing record_run counter"; exit 1; }
+  # Plain grep (not -q): grep -q exits at the first match, closing the pipe
+  # and SIGPIPE-ing the CLI while it is still printing the neighbour list.
+  "$CLI" kb query  "$CSV" --kb "tcp:$ADDR" | grep "KNN" > /dev/null \
+    || { echo "live query missing KNN nomination"; exit 1; }
 
-start_server "$SMOKE_DIR/server2.log"
-"$CLI" kb stats --kb "tcp:$ADDR" | grep "1 datasets / 2 runs" > /dev/null \
-  || { echo "recovery lost records"; "$CLI" kb stats --kb "tcp:$ADDR"; exit 1; }
-"$CLI" kb query "$CSV" --kb "tcp:$ADDR" | grep "KNN" > /dev/null \
-  || { echo "recovered KB missing KNN nomination"; exit 1; }
-kill -9 "$SERVER_PID"
-wait "$SERVER_PID" 2>/dev/null || true
-SERVER_PID=""
-echo "    smartmld survives kill -9 with no data loss"
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+
+  start_server "$io" "$SMOKE_DIR/server2-$io.log"
+  "$CLI" kb stats --kb "tcp:$ADDR" | grep "1 datasets / 2 runs" > /dev/null \
+    || { echo "recovery lost records"; "$CLI" kb stats --kb "tcp:$ADDR"; exit 1; }
+  "$CLI" kb query "$CSV" --kb "tcp:$ADDR" | grep "KNN" > /dev/null \
+    || { echo "recovered KB missing KNN nomination"; exit 1; }
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  echo "    smartmld --io $io survives kill -9 with no data loss"
+}
+
+smartmld_smoke blocking
+smartmld_smoke epoll
 
 echo "==> fault injection: panics/hangs at 30% contained, ledger exact, kill-the-trial watchdog"
 cargo test -q --offline --features fault-injection \
   -p smartml-smac --test fault_injection \
   -p smartml-integration --test fault_containment
+
+echo "==> kbd: epoll vs blocking byte-identical responses under the fault-injection harness"
+cargo test -q --offline --features fault-injection \
+  -p smartml-kbd --test backend_equiv
+
+echo "==> perf smoke: kb_service bench vs committed baseline (gates epoll >= 4x blocking at 64 conns)"
+./target/release/kb_bench --quick --check BENCH_kb_service.json > /dev/null
 
 echo "==> perf smoke: tree kernels vs committed baseline (fails on panic or >5x regression)"
 ./target/release/tree_kernels --quick --check BENCH_tree_kernels.json > /dev/null

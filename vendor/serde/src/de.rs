@@ -1,0 +1,442 @@
+//! Streaming JSON reader powering the direct (tree-free) deserialisation
+//! path. `serde_json::from_str` drives [`crate::Deserialize::from_json`]
+//! with one of these; the derive macro generates single-pass object scans
+//! against it so hot-path requests never materialise a [`Value`] tree.
+//!
+//! Semantics mirror the tree parser exactly: number classification
+//! (int/uint/float), escape handling with surrogate pairs, duplicate-key
+//! first-wins (callers `skip_value` the duplicate), and the same error
+//! message shapes.
+
+use crate::value::{Number, Value};
+use crate::DeError;
+use std::borrow::Cow;
+
+/// Cursor over a JSON document held in memory.
+pub struct JsonDe<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonDe<'a> {
+    pub fn new(s: &'a str) -> Self {
+        JsonDe { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    /// Current byte offset — used for error messages and the
+    /// trailing-characters check in `serde_json::from_str`.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    pub fn at_eof(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    pub fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    pub fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `null` if it is next (whitespace already skipped).
+    pub fn try_null(&mut self) -> bool {
+        self.peek() == Some(b'n') && self.eat_keyword("null")
+    }
+
+    pub fn parse_bool(&mut self) -> Result<bool, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b't') if self.eat_keyword("true") => Ok(true),
+            Some(b'f') if self.eat_keyword("false") => Ok(false),
+            _ => Err(DeError(format!("expected bool at byte {}", self.pos))),
+        }
+    }
+
+    // ---- strings -------------------------------------------------------
+
+    /// Parses a JSON string, borrowing from the input when it contains no
+    /// escapes (the overwhelmingly common case for keys and enum tags).
+    pub fn parse_str(&mut self) -> Result<Cow<'a, str>, DeError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'"' || b == b'\\' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'"') {
+            let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| DeError("invalid UTF-8 in string".into()))?;
+            self.pos += 1;
+            return Ok(Cow::Borrowed(s));
+        }
+        self.pos = start;
+        self.parse_str_escaped().map(Cow::Owned)
+    }
+
+    /// Slow path: unescapes into an owned buffer. `self.pos` sits just
+    /// after the opening quote.
+    fn parse_str_escaped(&mut self) -> Result<String, DeError> {
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| DeError("invalid UTF-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| DeError("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: read the low half if present.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.eat_keyword("\\u") {
+                                    let low = self.parse_hex4()?;
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(DeError("lone surrogate".into()));
+                                }
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| DeError("invalid \\u codepoint".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(DeError(format!("bad escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(DeError("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, DeError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| DeError("bad \\u escape".into()))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| DeError("bad \\u escape".into()))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Owned-string convenience for map keys and `String` fields.
+    pub fn parse_string(&mut self) -> Result<String, DeError> {
+        self.skip_ws();
+        self.parse_str().map(Cow::into_owned)
+    }
+
+    // ---- numbers -------------------------------------------------------
+
+    /// Parses a number with the same int/uint/float classification as the
+    /// value tree: a token containing `.`/`e`/`E`/`+`/`-` (past a leading
+    /// minus) is a float; otherwise u64 → i64 → f64 in that order.
+    pub fn parse_number(&mut self) -> Result<Number, DeError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        if self.pos == start {
+            return Err(DeError(format!("expected number at byte {}", start)));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            Ok(Number::Float(text.parse::<f64>().map_err(|_| {
+                DeError(format!("bad number `{text}`"))
+            })?))
+        } else if text.starts_with('-') {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Number::Int(i)),
+                Err(_) => Ok(Number::Float(text.parse::<f64>().map_err(|_| {
+                    DeError(format!("bad number `{text}`"))
+                })?)),
+            }
+        } else {
+            match text.parse::<u64>() {
+                Ok(u) => Ok(Number::UInt(u)),
+                Err(_) => Ok(Number::Float(text.parse::<f64>().map_err(|_| {
+                    DeError(format!("bad number `{text}`"))
+                })?)),
+            }
+        }
+    }
+
+    // ---- composite framing (drives generated single-pass scans) --------
+
+    /// Consumes `{` (and surrounding whitespace). Returns `false` when the
+    /// object was empty — the closing `}` is consumed too.
+    pub fn obj_begin(&mut self) -> Result<bool, DeError> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// After a member value: consumes `,` (another member follows, `true`)
+    /// or `}` (object done, `false`).
+    pub fn obj_next(&mut self) -> Result<bool, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(b'}') => {
+                self.pos += 1;
+                Ok(false)
+            }
+            _ => Err(DeError(format!("expected `,` or `}}` at byte {}", self.pos))),
+        }
+    }
+
+    /// Consumes the next member's key and its `:` separator.
+    pub fn member_key(&mut self) -> Result<Cow<'a, str>, DeError> {
+        self.skip_ws();
+        let key = self.parse_str()?;
+        self.skip_ws();
+        self.expect(b':')?;
+        Ok(key)
+    }
+
+    /// Consumes `[`. Returns `false` when the array was empty (the `]` is
+    /// consumed too).
+    pub fn arr_begin(&mut self) -> Result<bool, DeError> {
+        self.skip_ws();
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
+    /// After an element: consumes `,` (`true`) or `]` (`false`).
+    pub fn arr_next(&mut self) -> Result<bool, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b',') => {
+                self.pos += 1;
+                Ok(true)
+            }
+            Some(b']') => {
+                self.pos += 1;
+                Ok(false)
+            }
+            _ => Err(DeError(format!("expected `,` or `]` at byte {}", self.pos))),
+        }
+    }
+
+    /// Non-consuming probe: does the next value look like an object whose
+    /// first key equals `want`? Used by internally-tagged enums to pick
+    /// the streaming fast path when the tag leads (how our own encoder
+    /// lays frames out) and fall back to the tree otherwise. Escaped keys
+    /// report `false` — the tree path handles them correctly.
+    pub fn first_key_is(&self, want: &str) -> bool {
+        let b = self.bytes;
+        let mut i = self.pos;
+        while matches!(b.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            i += 1;
+        }
+        if b.get(i) != Some(&b'{') {
+            return false;
+        }
+        i += 1;
+        while matches!(b.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            i += 1;
+        }
+        if b.get(i) != Some(&b'"') {
+            return false;
+        }
+        i += 1;
+        let start = i;
+        while i < b.len() && b[i] != b'"' && b[i] != b'\\' {
+            i += 1;
+        }
+        if b.get(i) != Some(&b'"') {
+            return false;
+        }
+        &b[start..i] == want.as_bytes()
+    }
+
+    /// Parses and discards the next value. Used for unknown and duplicate
+    /// object members; delegates to the tree parser so validation is
+    /// identical to the non-streaming path.
+    pub fn skip_value(&mut self) -> Result<(), DeError> {
+        self.parse_value().map(|_| ())
+    }
+
+    // ---- full tree parse (fallback path and `Value`'s deserialiser) ----
+
+    pub fn parse_value(&mut self) -> Result<Value, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_str().map(|s| Value::String(s.into_owned())),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => {
+                self.parse_number().map(Value::Number)
+            }
+            other => Err(DeError(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, DeError> {
+        if !self.arr_begin()? {
+            return Ok(Value::Array(Vec::new()));
+        }
+        let mut items = Vec::with_capacity(8);
+        loop {
+            items.push(self.parse_value()?);
+            if !self.arr_next()? {
+                return Ok(Value::Array(items));
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, DeError> {
+        if !self.obj_begin()? {
+            return Ok(Value::Object(Vec::new()));
+        }
+        let mut pairs = Vec::with_capacity(8);
+        loop {
+            let key = self.member_key()?.into_owned();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            if !self.obj_next()? {
+                return Ok(Value::Object(pairs));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_plain_strings_and_owns_escaped_ones() {
+        let mut de = JsonDe::new(r#""plain""#);
+        assert!(matches!(de.parse_str().unwrap(), Cow::Borrowed("plain")));
+        let mut de = JsonDe::new(r#""a\nb""#);
+        assert!(matches!(de.parse_str().unwrap(), Cow::Owned(ref s) if s == "a\nb"));
+    }
+
+    #[test]
+    fn number_classification_matches_tree_semantics() {
+        let cases: &[(&str, Number)] = &[
+            ("5", Number::UInt(5)),
+            ("-5", Number::Int(-5)),
+            ("5.0", Number::Float(5.0)),
+            ("1e3", Number::Float(1000.0)),
+            ("18446744073709551615", Number::UInt(u64::MAX)),
+        ];
+        for (text, want) in cases {
+            let mut de = JsonDe::new(text);
+            assert_eq!(&de.parse_number().unwrap(), want, "{text}");
+        }
+    }
+
+    #[test]
+    fn first_key_probe_is_non_consuming() {
+        let de = JsonDe::new(r#"  { "op" : "stats" }"#);
+        assert!(de.first_key_is("op"));
+        assert!(!de.first_key_is("status"));
+        assert_eq!(de.pos(), 0);
+    }
+
+    #[test]
+    fn skip_value_validates_like_the_tree_parser() {
+        let mut de = JsonDe::new(r#"{"a": [1, {"b": "A"}]} tail"#);
+        de.skip_value().unwrap();
+        de.skip_ws();
+        assert!(!de.at_eof());
+        let mut de = JsonDe::new(r#"{"a": [1, }"#);
+        assert!(de.skip_value().is_err());
+    }
+}

@@ -7,9 +7,13 @@
 //! in this workspace serialise to JSON, so nothing is lost, and the derive
 //! macro (`vendor/serde_derive`) stays small enough to audit.
 
+mod de;
 mod value;
 
+pub use de::JsonDe;
 pub use value::{Number, Value};
+
+use value::{write_escaped, write_float};
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
@@ -37,6 +41,15 @@ impl DeError {
 pub trait Serialize {
     /// The value-tree representation of `self`.
     fn to_value(&self) -> Value;
+
+    /// Appends `self` as compact JSON directly to `out` — the streaming
+    /// hot path `serde_json::to_string` uses. Must emit exactly the
+    /// bytes serialising `self.to_value()` would; the default does
+    /// precisely that, while the derive macro generates a writer that
+    /// skips the intermediate tree (and its per-key allocations).
+    fn serialize_into(&self, out: &mut String) {
+        self.to_value().write_json(out)
+    }
 }
 
 /// Types reconstructible from the [`Value`] data model.
@@ -50,6 +63,17 @@ pub trait Deserialize: Sized {
     fn from_missing() -> Option<Self> {
         None
     }
+
+    /// Reconstructs directly from JSON text — the streaming hot path
+    /// `serde_json::from_str` drives. Must accept exactly the documents
+    /// `from_value(&parse(text))` would, producing the same result; the
+    /// default does precisely that, while the derive macro generates a
+    /// single-pass scan that skips the intermediate tree (and its per-key
+    /// allocations).
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        let v = de.parse_value()?;
+        Self::from_value(&v)
+    }
 }
 
 // ---- Serialize impls for std types ------------------------------------
@@ -58,11 +82,19 @@ impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
 }
 
 impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::String(self.clone())
+    }
+
+    fn serialize_into(&self, out: &mut String) {
+        write_escaped(self, out);
     }
 }
 
@@ -70,17 +102,29 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
 }
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Number(Number::Float(*self))
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        write_float(*self, out);
+    }
 }
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Number(Number::Float(*self as f64))
+    }
+
+    fn serialize_into(&self, out: &mut String) {
+        write_float(*self as f64, out);
     }
 }
 
@@ -94,6 +138,13 @@ macro_rules! serialize_int {
                     Value::Number(Number::UInt(*self as u64))
                 }
             }
+
+            fn serialize_into(&self, out: &mut String) {
+                use std::fmt::Write;
+                // Int/UInt render as the same digit string Display
+                // emits, so one write matches the tree path.
+                let _ = write!(out, "{self}");
+            }
         }
     )*};
 }
@@ -103,11 +154,19 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        (**self).serialize_into(out);
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for Box<T> {
     fn to_value(&self) -> Value {
         (**self).to_value()
+    }
+
+    fn serialize_into(&self, out: &mut String) {
+        (**self).serialize_into(out);
     }
 }
 
@@ -118,11 +177,33 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
         }
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        match self {
+            Some(x) => x.serialize_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn serialize_seq_into<T: Serialize>(items: &[T], out: &mut String) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_into(out);
+    }
+    out.push(']');
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+
+    fn serialize_into(&self, out: &mut String) {
+        serialize_seq_into(self, out);
     }
 }
 
@@ -130,11 +211,28 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        serialize_seq_into(self, out);
+    }
 }
 
 impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
     fn to_value(&self) -> Value {
         Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+
+    fn serialize_into(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(k, out);
+            out.push(':');
+            v.serialize_into(out);
+        }
+        out.push('}');
     }
 }
 
@@ -146,6 +244,22 @@ impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(pairs)
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        // Same deterministic key order as the tree path.
+        let mut pairs: Vec<(&String, &V)> = self.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        out.push('{');
+        for (i, (k, v)) in pairs.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_escaped(k, out);
+            out.push(':');
+            v.serialize_into(out);
+        }
+        out.push('}');
+    }
 }
 
 macro_rules! serialize_tuple {
@@ -153,6 +267,20 @@ macro_rules! serialize_tuple {
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$n.to_value()),+])
+            }
+
+            fn serialize_into(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$n.serialize_into(out);
+                )+
+                let _ = first;
+                out.push(']');
             }
         }
     )+};
@@ -168,6 +296,10 @@ impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
     }
+
+    fn serialize_into(&self, out: &mut String) {
+        self.write_json(out);
+    }
 }
 
 // ---- Deserialize impls for std types ----------------------------------
@@ -179,6 +311,10 @@ impl Deserialize for bool {
             other => Err(DeError::expected("bool", other)),
         }
     }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        de.parse_bool()
+    }
 }
 
 impl Deserialize for String {
@@ -187,6 +323,10 @@ impl Deserialize for String {
             Value::String(s) => Ok(s.clone()),
             other => Err(DeError::expected("string", other)),
         }
+    }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        de.parse_string()
     }
 }
 
@@ -197,11 +337,19 @@ impl Deserialize for f64 {
             other => Err(DeError::expected("number", other)),
         }
     }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        de.parse_number().map(|n| n.as_f64())
+    }
 }
 
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         f64::from_value(v).map(|x| x as f32)
+    }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        f64::from_json(de).map(|x| x as f32)
     }
 }
 
@@ -215,6 +363,15 @@ macro_rules! deserialize_int {
                     })?,
                     other => return Err(DeError::expected("integer", other)),
                 };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+
+            fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+                let number = de.parse_number()?;
+                let n = number.as_i128().ok_or_else(|| {
+                    DeError(format!("expected integer, got float {}", number.as_f64()))
+                })?;
                 <$t>::try_from(n)
                     .map_err(|_| DeError(format!("integer {n} out of range for {}", stringify!($t))))
             }
@@ -234,11 +391,24 @@ impl<T: Deserialize> Deserialize for Option<T> {
     fn from_missing() -> Option<Self> {
         Some(None)
     }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        de.skip_ws();
+        if de.try_null() {
+            Ok(None)
+        } else {
+            T::from_json(de).map(Some)
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         T::from_value(v).map(Box::new)
+    }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        T::from_json(de).map(Box::new)
     }
 }
 
@@ -248,6 +418,19 @@ impl<T: Deserialize> Deserialize for Vec<T> {
             Value::Array(items) => items.iter().map(T::from_value).collect(),
             other => Err(DeError::expected("array", other)),
         }
+    }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        let mut items = Vec::new();
+        if de.arr_begin()? {
+            loop {
+                items.push(T::from_json(de)?);
+                if !de.arr_next()? {
+                    break;
+                }
+            }
+        }
+        Ok(items)
     }
 }
 
@@ -261,6 +444,23 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
             other => Err(DeError::expected("object", other)),
         }
     }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        let mut map = std::collections::BTreeMap::new();
+        if de.obj_begin()? {
+            loop {
+                let key = de.member_key()?.into_owned();
+                let value = V::from_json(de)?;
+                // Duplicate keys: last wins, matching what collecting the
+                // tree path's pairs into a map does.
+                map.insert(key, value);
+                if !de.obj_next()? {
+                    break;
+                }
+            }
+        }
+        Ok(map)
+    }
 }
 
 impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
@@ -272,6 +472,21 @@ impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
                 .collect(),
             other => Err(DeError::expected("object", other)),
         }
+    }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        let mut map = std::collections::HashMap::new();
+        if de.obj_begin()? {
+            loop {
+                let key = de.member_key()?.into_owned();
+                let value = V::from_json(de)?;
+                map.insert(key, value);
+                if !de.obj_next()? {
+                    break;
+                }
+            }
+        }
+        Ok(map)
     }
 }
 
@@ -303,9 +518,19 @@ impl Deserialize for Value {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         Ok(v.clone())
     }
+
+    fn from_json(de: &mut JsonDe<'_>) -> Result<Self, DeError> {
+        de.parse_value()
+    }
 }
 
 // ---- Support functions the derive macro generates calls to ------------
+
+/// Resolution for a field the single-pass object scan never saw:
+/// `from_missing` if the type allows absence (`Option`), else an error.
+pub fn __missing<T: Deserialize>(name: &str) -> Result<T, DeError> {
+    T::from_missing().ok_or_else(|| DeError(format!("missing field `{name}`")))
+}
 
 /// Looks a field up in an object value, using `from_missing` for absent
 /// fields (so `Option` fields are optional).

@@ -220,39 +220,60 @@ fn write_number(n: Number, out: &mut String) {
         Number::UInt(u) => {
             let _ = write!(out, "{u}");
         }
-        Number::Float(f) => {
-            if f.is_finite() {
-                // Rust's shortest round-trip formatting; keep a trailing
-                // ".0" so floats re-parse as floats (serde_json does too).
-                let mut s = format!("{f}");
-                if !s.contains(['.', 'e', 'E']) {
-                    s.push_str(".0");
-                }
-                out.push_str(&s);
-            } else {
-                // serde_json serialises non-finite floats as null.
-                out.push_str("null");
-            }
-        }
+        Number::Float(f) => write_float(f, out),
     }
 }
 
-fn write_escaped(s: &str, out: &mut String) {
+/// Appends a float in serde_json's format: Rust's shortest round-trip
+/// formatting with a trailing ".0" so floats re-parse as floats, and
+/// `null` for non-finite values. Writes straight into `out` — no
+/// intermediate allocation.
+pub(crate) fn write_float(f: f64, out: &mut String) {
+    use std::fmt::Write;
+    if f.is_finite() {
+        let start = out.len();
+        let _ = write!(out, "{f}");
+        if !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // serde_json serialises non-finite floats as null.
+        out.push_str("null");
+    }
+}
+
+/// Appends a JSON string literal. Scans for the next byte that needs
+/// escaping and bulk-copies the clean span before it (escapes are rare;
+/// the common case is one `push_str` of the whole string).
+pub(crate) fn write_escaped(s: &str, out: &mut String) {
     use std::fmt::Write;
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let escape: &str = match bytes[i] {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            0x00..=0x1f => "",
+            _ => {
+                i += 1;
+                continue;
             }
-            c => out.push(c),
+        };
+        out.push_str(&s[start..i]);
+        if escape.is_empty() {
+            let _ = write!(out, "\\u{:04x}", bytes[i]);
+        } else {
+            out.push_str(escape);
         }
+        i += 1;
+        start = i;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 

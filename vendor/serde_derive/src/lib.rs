@@ -310,14 +310,382 @@ fn field_to_pairs(fields: &[Field], accessor: &str) -> String {
         .collect()
 }
 
-fn field_from_object(fields: &[Field], source: &str) -> String {
-    fields
+// NOTE: single-field lookups (`::serde::__field`) were replaced by the
+// single-pass scan in `fields_single_pass`; the helpers remain exported
+// from the serde stub for compatibility.
+
+/// Emits statements for the streaming `serialize_into` body. Literal
+/// JSON fragments (braces, keys, separators) coalesce into single
+/// `push_str` calls; field values recurse through `serialize_into`.
+#[derive(Default)]
+struct StreamWriter {
+    code: String,
+    pending: String,
+}
+
+impl StreamWriter {
+    fn lit(&mut self, s: &str) {
+        self.pending.push_str(s);
+    }
+
+    fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let escaped = self.pending.replace('\\', "\\\\").replace('"', "\\\"");
+        self.code.push_str("out.push_str(\"");
+        self.code.push_str(&escaped);
+        self.code.push_str("\");");
+        self.pending.clear();
+    }
+
+    fn value(&mut self, expr: &str) {
+        self.flush();
+        self.code.push_str("::serde::Serialize::serialize_into(");
+        self.code.push_str(expr);
+        self.code.push_str(", out);");
+    }
+
+    fn fields(&mut self, fields: &[Field], accessor: &str, leading_comma: bool) {
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 || leading_comma {
+                self.lit(",");
+            }
+            self.lit(&format!("\"{n}\":", n = f.name));
+            self.value(&format!("{accessor}{n}", n = f.name));
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.flush();
+        self.code
+    }
+}
+
+/// Generates the single-pass deserialisation block for a braced field
+/// set: one scan over the object's pairs fills per-field slots (first
+/// occurrence wins, matching the old lookup helpers), then construction
+/// resolves absent fields via `__missing` / `Default`.
+fn fields_single_pass(fields: &[Field], source: &str, constructor: &str) -> String {
+    if fields.is_empty() {
+        return format!(
+            "match {source} {{ \
+               ::serde::Value::Object(_) => Ok({constructor} {{}}), \
+               __other => Err(::serde::DeError::expected(\"object\", __other)) \
+             }}"
+        );
+    }
+    let decls: String = fields
+        .iter()
+        .map(|f| format!("let mut __v_{n} = None;", n = f.name))
+        .collect();
+    let arms: String = fields
         .iter()
         .map(|f| {
-            let helper = if f.default { "__field_or_default" } else { "__field" };
-            format!("{n}: ::serde::{helper}({source}, \"{n}\")?,", n = f.name)
+            format!(
+                "\"{n}\" => if __v_{n}.is_none() {{ \
+                   __v_{n} = Some(::serde::Deserialize::from_value(__val)?); \
+                 }},",
+                n = f.name
+            )
         })
-        .collect()
+        .collect();
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::__missing(\"{n}\")?", n = f.name)
+            };
+            format!(
+                "{n}: match __v_{n} {{ Some(__x) => __x, None => {fallback} }},",
+                n = f.name
+            )
+        })
+        .collect();
+    format!(
+        "{{ let __pairs = match {source} {{ \
+             ::serde::Value::Object(__pairs) => __pairs, \
+             __other => return Err(::serde::DeError::expected(\"object\", __other)) \
+           }}; \
+           {decls} \
+           for (__k, __val) in __pairs.iter() {{ \
+             match __k.as_str() {{ {arms} _ => {{}} }} \
+           }} \
+           Ok({constructor} {{ {inits} }}) }}"
+    )
+}
+
+/// The streaming-deserialisation analogue of [`fields_single_pass`]: a
+/// block expression that scans one JSON object off `de` and builds
+/// `constructor`, first-wins on duplicate keys, unknown keys skipped.
+/// With `mid_object` the opening `{` and first member (an enum tag) have
+/// already been consumed — the loop starts at the following `,`/`}`.
+fn fields_single_pass_json(fields: &[Field], constructor: &str, mid_object: bool) -> String {
+    if fields.is_empty() {
+        let drain = if mid_object {
+            "while de.obj_next()? { let _ = de.member_key()?; de.skip_value()?; }".to_string()
+        } else {
+            "if de.obj_begin()? { loop { \
+               let _ = de.member_key()?; de.skip_value()?; \
+               if !de.obj_next()? { break; } } }"
+                .to_string()
+        };
+        return format!("{{ {drain} Ok({constructor} {{}}) }}");
+    }
+    let decls: String = fields
+        .iter()
+        .map(|f| format!("let mut __v_{n} = None;", n = f.name))
+        .collect();
+    let arms: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "\"{n}\" => if __v_{n}.is_none() {{ \
+                   __v_{n} = Some(::serde::Deserialize::from_json(de)?); \
+                 }} else {{ de.skip_value()?; }},",
+                n = f.name
+            )
+        })
+        .collect();
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            let fallback = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("::serde::__missing(\"{n}\")?", n = f.name)
+            };
+            format!(
+                "{n}: match __v_{n} {{ Some(__x) => __x, None => {fallback} }},",
+                n = f.name
+            )
+        })
+        .collect();
+    let scan = if mid_object {
+        format!(
+            "while de.obj_next()? {{ \
+               let __k = de.member_key()?; \
+               match &*__k {{ {arms} _ => de.skip_value()?, }} \
+             }}"
+        )
+    } else {
+        format!(
+            "if de.obj_begin()? {{ loop {{ \
+               let __k = de.member_key()?; \
+               match &*__k {{ {arms} _ => de.skip_value()?, }} \
+               if !de.obj_next()? {{ break; }} }} }}"
+        )
+    };
+    format!("{{ {decls} {scan} Ok({constructor} {{ {inits} }}) }}")
+}
+
+/// The streaming `from_json` body — accepts exactly the documents the
+/// `from_value` tree path does, without building the tree. Internally
+/// tagged enums stream only when the tag is the first key (how our own
+/// encoder lays frames out) and fall back to the tree otherwise.
+fn gen_from_json(c: &Container) -> String {
+    let name = &c.name;
+    match &c.kind {
+        Kind::Struct(fields) => fields_single_pass_json(fields, name, false),
+        Kind::Enum(variants) => {
+            let rule = c.rename_all.as_deref();
+            match &c.tag {
+                Some(tag) => {
+                    let arms: String = variants
+                        .iter()
+                        .map(|v| {
+                            let vname = &v.name;
+                            let key = rename(vname, rule);
+                            match &v.kind {
+                                VariantKind::Unit => format!(
+                                    "\"{key}\" => {{ \
+                                       while de.obj_next()? {{ let _ = de.member_key()?; de.skip_value()?; }} \
+                                       Ok({name}::{vname}) }},"
+                                ),
+                                VariantKind::Struct(fields) => {
+                                    let block = fields_single_pass_json(
+                                        fields,
+                                        &format!("{name}::{vname}"),
+                                        true,
+                                    );
+                                    format!("\"{key}\" => {block},")
+                                }
+                                VariantKind::Tuple(_) => panic!(
+                                    "vendored serde derive: tuple variant `{vname}` not supported with #[serde(tag)]"
+                                ),
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "de.skip_ws(); \
+                         if !de.first_key_is(\"{tag}\") {{ \
+                           let __v = de.parse_value()?; \
+                           return <Self as ::serde::Deserialize>::from_value(&__v); \
+                         }} \
+                         if !de.obj_begin()? {{ \
+                           return Err(::serde::DeError(format!(\"missing `{tag}` tag for {name}\"))); \
+                         }} \
+                         let _ = de.member_key()?; \
+                         de.skip_ws(); \
+                         let __tag = de.parse_str()?; \
+                         match &*__tag {{ {arms} \
+                           __other => Err(::serde::DeError(format!(\"unknown `{tag}` value `{{__other}}` for {name}\"))) }}"
+                    )
+                }
+                None => {
+                    let unit_arms: String = variants
+                        .iter()
+                        .filter(|v| matches!(v.kind, VariantKind::Unit))
+                        .map(|v| {
+                            let key = rename(&v.name, rule);
+                            format!("\"{key}\" => Ok({name}::{vn}),", vn = v.name)
+                        })
+                        .collect();
+                    let obj_arms: String = variants
+                        .iter()
+                        .filter_map(|v| {
+                            let vname = &v.name;
+                            let key = rename(vname, rule);
+                            match &v.kind {
+                                VariantKind::Unit => None,
+                                VariantKind::Tuple(1) => Some(format!(
+                                    "\"{key}\" => {name}::{vname}(::serde::Deserialize::from_json(de)?),"
+                                )),
+                                VariantKind::Tuple(n) => {
+                                    let items: String = (0..*n)
+                                        .map(|i| {
+                                            format!("::serde::Deserialize::from_value(&__items[{i}])?,")
+                                        })
+                                        .collect();
+                                    Some(format!(
+                                        "\"{key}\" => {{ \
+                                           let __items = match de.parse_value()? {{ \
+                                             ::serde::Value::Array(__items) if __items.len() == {n} => __items, \
+                                             ref __other => return Err(::serde::DeError::expected(\"array of length {n}\", __other)), \
+                                           }}; \
+                                           {name}::{vname}({items}) }},"
+                                    ))
+                                }
+                                VariantKind::Struct(fields) => {
+                                    let block = fields_single_pass_json(
+                                        fields,
+                                        &format!("{name}::{vname}"),
+                                        false,
+                                    );
+                                    Some(format!("\"{key}\" => ({block})?,"))
+                                }
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "de.skip_ws(); \
+                         match de.peek() {{ \
+                           Some(b'\"') => {{ \
+                             let __s = de.parse_str()?; \
+                             #[allow(clippy::match_single_binding)] \
+                             match &*__s {{ {unit_arms} \
+                               __other => Err(::serde::DeError(format!(\"no variant of {name} matched `{{__other}}`\"))) }} \
+                           }} \
+                           Some(b'{{') => {{ \
+                             if !de.obj_begin()? {{ \
+                               return Err(::serde::DeError(\"no variant of {name} matched {{}}\".to_string())); \
+                             }} \
+                             let __k = de.member_key()?; \
+                             #[allow(clippy::match_single_binding, unused_variables)] \
+                             let __r = match &*__k {{ {obj_arms} \
+                               __other => return Err(::serde::DeError(format!(\"no variant of {name} matched `{{__other}}`\"))) }}; \
+                             if de.obj_next()? {{ \
+                               return Err(::serde::DeError(format!(\"no variant of {name} matched multi-key object at byte {{}}\", de.pos()))); \
+                             }} \
+                             Ok(__r) \
+                           }} \
+                           _ => {{ \
+                             let __v = de.parse_value()?; \
+                             <Self as ::serde::Deserialize>::from_value(&__v) \
+                           }} \
+                         }}"
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// The streaming `serialize_into` body — emits exactly the bytes the
+/// `to_value` tree serialises to, without building the tree.
+fn gen_serialize_into(c: &Container) -> String {
+    let name = &c.name;
+    match &c.kind {
+        Kind::Struct(fields) => {
+            let mut w = StreamWriter::default();
+            w.lit("{");
+            w.fields(fields, "&self.", false);
+            w.lit("}");
+            w.finish()
+        }
+        Kind::Enum(variants) => {
+            let rule = c.rename_all.as_deref();
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let key = rename(vname, rule);
+                    let mut w = StreamWriter::default();
+                    let pattern = match (&c.tag, &v.kind) {
+                        (None, VariantKind::Unit) => {
+                            w.lit(&format!("\"{key}\""));
+                            format!("{name}::{vname}")
+                        }
+                        (None, VariantKind::Tuple(1)) => {
+                            w.lit(&format!("{{\"{key}\":"));
+                            w.value("f0");
+                            w.lit("}");
+                            format!("{name}::{vname}(f0)")
+                        }
+                        (None, VariantKind::Tuple(n)) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            w.lit(&format!("{{\"{key}\":["));
+                            for (i, b) in binds.iter().enumerate() {
+                                if i > 0 {
+                                    w.lit(",");
+                                }
+                                w.value(b);
+                            }
+                            w.lit("]}");
+                            format!("{name}::{vname}({})", binds.join(", "))
+                        }
+                        (None, VariantKind::Struct(fields)) => {
+                            w.lit(&format!("{{\"{key}\":{{"));
+                            w.fields(fields, "", false);
+                            w.lit("}}");
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!("{name}::{vname} {{ {} }}", binds.join(", "))
+                        }
+                        (Some(tag), VariantKind::Unit) => {
+                            w.lit(&format!("{{\"{tag}\":\"{key}\"}}"));
+                            format!("{name}::{vname}")
+                        }
+                        (Some(tag), VariantKind::Struct(fields)) => {
+                            w.lit(&format!("{{\"{tag}\":\"{key}\""));
+                            w.fields(fields, "", true);
+                            w.lit("}");
+                            let binds: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            format!("{name}::{vname} {{ {} }}", binds.join(", "))
+                        }
+                        (Some(_), VariantKind::Tuple(_)) => panic!(
+                            "vendored serde derive: tuple variant `{vname}` not supported with #[serde(tag)]"
+                        ),
+                    };
+                    format!("{pattern} => {{ {} }}", w.finish())
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    }
 }
 
 fn gen_serialize(c: &Container) -> String {
@@ -382,18 +750,19 @@ fn gen_serialize(c: &Container) -> String {
             format!("match self {{ {arms} }}")
         }
     };
+    let stream = gen_serialize_into(c);
     format!(
-        "impl ::serde::Serialize for {name} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+           fn serialize_into(&self, out: &mut ::std::string::String) {{ {stream} }} \
+         }}"
     )
 }
 
 fn gen_deserialize(c: &Container) -> String {
     let name = &c.name;
     let body = match &c.kind {
-        Kind::Struct(fields) => {
-            let inits = field_from_object(fields, "v");
-            format!("Ok({name} {{ {inits} }})")
-        }
+        Kind::Struct(fields) => fields_single_pass(fields, "v", name),
         Kind::Enum(variants) => {
             let rule = c.rename_all.as_deref();
             match &c.tag {
@@ -406,8 +775,12 @@ fn gen_deserialize(c: &Container) -> String {
                             match &v.kind {
                                 VariantKind::Unit => format!("\"{key}\" => Ok({name}::{vname}),"),
                                 VariantKind::Struct(fields) => {
-                                    let inits = field_from_object(fields, "v");
-                                    format!("\"{key}\" => Ok({name}::{vname} {{ {inits} }}),")
+                                    let block = fields_single_pass(
+                                        fields,
+                                        "v",
+                                        &format!("{name}::{vname}"),
+                                    );
+                                    format!("\"{key}\" => {block},")
                                 }
                                 VariantKind::Tuple(_) => panic!(
                                     "vendored serde derive: tuple variant `{vname}` not supported with #[serde(tag)]"
@@ -454,10 +827,12 @@ fn gen_deserialize(c: &Container) -> String {
                                     ))
                                 }
                                 VariantKind::Struct(fields) => {
-                                    let inits = field_from_object(fields, "inner");
-                                    Some(format!(
-                                        "\"{key}\" => return Ok({name}::{vname} {{ {inits} }}),"
-                                    ))
+                                    let block = fields_single_pass(
+                                        fields,
+                                        "inner",
+                                        &format!("{name}::{vname}"),
+                                    );
+                                    Some(format!("\"{key}\" => return {block},"))
                                 }
                             }
                         })
@@ -480,9 +855,12 @@ fn gen_deserialize(c: &Container) -> String {
             }
         }
     };
+    let stream = gen_from_json(c);
     format!(
         "impl ::serde::Deserialize for {name} {{ \
            fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }} \
+           #[allow(unreachable_code)] \
+           fn from_json(de: &mut ::serde::JsonDe<'_>) -> Result<Self, ::serde::DeError> {{ {stream} }} \
          }}"
     )
 }

@@ -24,9 +24,13 @@ impl From<serde::DeError> for Error {
 }
 
 /// Serialises to compact JSON. Infallible for tree-shaped data; the
-/// `Result` mirrors the upstream signature.
+/// `Result` mirrors the upstream signature. Streams through
+/// [`Serialize::serialize_into`] — derived types write JSON directly
+/// without building an intermediate [`Value`] tree.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    Ok(value.to_value().to_string())
+    let mut out = String::with_capacity(128);
+    value.serialize_into(&mut out);
+    Ok(out)
 }
 
 /// Serialises to pretty-printed JSON (two-space indent).
@@ -39,248 +43,17 @@ pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
     value.to_value()
 }
 
-/// Parses JSON text into any deserialisable type.
+/// Parses JSON text into any deserialisable type. Drives the streaming
+/// [`Deserialize::from_json`] path — derived types scan the text in a
+/// single pass without materialising a [`Value`] tree.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
-    p.skip_ws();
-    let value = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    let mut de = serde::JsonDe::new(s);
+    let value = T::from_json(&mut de).map_err(Error::from)?;
+    de.skip_ws();
+    if !de.at_eof() {
+        return Err(Error(format!("trailing characters at byte {}", de.pos())));
     }
-    T::from_value(&value).map_err(Error::from)
-}
-
-// ---- recursive-descent parser -----------------------------------------
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while let Some(b) = self.bytes.get(self.pos) {
-            match b {
-                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
-                _ => break,
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), Error> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(Error(format!(
-                "expected `{}` at byte {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek().map(|c| c as char)
-            )))
-        }
-    }
-
-    fn eat_keyword(&mut self, kw: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
-            self.pos += kw.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Value, Error> {
-        match self.peek() {
-            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
-            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
-            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
-            Some(b'"') => self.parse_string().map(Value::String),
-            Some(b'[') => self.parse_array(),
-            Some(b'{') => self.parse_object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            other => Err(Error(format!(
-                "unexpected {:?} at byte {}",
-                other.map(|c| c as char),
-                self.pos
-            ))),
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, Error> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            while let Some(b) = self.peek() {
-                if b == b'"' || b == b'\\' {
-                    break;
-                }
-                self.pos += 1;
-            }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| Error("invalid UTF-8 in string".into()))?,
-            );
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self
-                        .peek()
-                        .ok_or_else(|| Error("unterminated escape".into()))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{0008}'),
-                        b'f' => out.push('\u{000C}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| Error("bad \\u escape".into()))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| Error("bad \\u escape".into()))?;
-                            self.pos += 4;
-                            // Surrogate pairs: read the low half if present.
-                            let c = if (0xD800..0xDC00).contains(&code) {
-                                if self.eat_keyword("\\u") {
-                                    let hex2 = self
-                                        .bytes
-                                        .get(self.pos..self.pos + 4)
-                                        .and_then(|h| std::str::from_utf8(h).ok())
-                                        .ok_or_else(|| Error("bad \\u escape".into()))?;
-                                    let low = u32::from_str_radix(hex2, 16)
-                                        .map_err(|_| Error("bad \\u escape".into()))?;
-                                    self.pos += 4;
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
-                                } else {
-                                    return Err(Error("lone surrogate".into()));
-                                }
-                            } else {
-                                code
-                            };
-                            out.push(
-                                char::from_u32(c)
-                                    .ok_or_else(|| Error("invalid \\u codepoint".into()))?,
-                            );
-                        }
-                        other => {
-                            return Err(Error(format!("bad escape `\\{}`", other as char)))
-                        }
-                    }
-                }
-                _ => return Err(Error("unterminated string".into())),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, Error> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut is_float = false;
-        while let Some(b) = self.peek() {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        let number = if is_float {
-            Number::Float(
-                text.parse::<f64>()
-                    .map_err(|_| Error(format!("bad number `{text}`")))?,
-            )
-        } else if text.starts_with('-') {
-            match text.parse::<i64>() {
-                Ok(i) => Number::Int(i),
-                Err(_) => Number::Float(
-                    text.parse::<f64>()
-                        .map_err(|_| Error(format!("bad number `{text}`")))?,
-                ),
-            }
-        } else {
-            match text.parse::<u64>() {
-                Ok(u) => Number::UInt(u),
-                Err(_) => Number::Float(
-                    text.parse::<f64>()
-                        .map_err(|_| Error(format!("bad number `{text}`")))?,
-                ),
-            }
-        };
-        Ok(Value::Number(number))
-    }
-
-    fn parse_array(&mut self) -> Result<Value, Error> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.parse_value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Value, Error> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Object(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.parse_value()?;
-            pairs.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Object(pairs));
-                }
-                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
-            }
-        }
-    }
+    Ok(value)
 }
 
 // ---- json! macro ------------------------------------------------------
