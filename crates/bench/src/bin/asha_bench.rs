@@ -1,0 +1,252 @@
+//! Wall-clock benchmark for asynchronous successive halving (ASHA)
+//! versus the synchronous rung-barrier race (`SuccessiveHalving`) on
+//! heterogeneous trial costs at pool width 8.
+//!
+//! The objective sleeps per fold, and one in `hmod` (config, fold)
+//! pairs is a straggler taking `heavy` ms instead of `light` ms.
+//! Stragglers are hashed per (config, fold) — not per config — so the
+//! expected cost of any fold-budget allocation is identical across
+//! optimisers and the comparison isolates *scheduling*: the synchronous
+//! race drains its pool at every rung barrier waiting for stragglers,
+//! while ASHA backfills with rung-0 injections and speculative
+//! prefetch. Both optimisers burn the same fold-evaluation budget, and
+//! wall-clock is summed over several seeds so that which configs happen
+//! to hit stragglers averages out.
+//!
+//! Before timing, the determinism contract is asserted in-process: both
+//! optimisers must produce byte-identical histories at pool widths 1
+//! and 8 (the width-1 ASHA run doubles as the serial reference timing).
+//!
+//! Usage: `asha_bench [--quick] [--out FILE] [--check FILE]`
+//!   --quick   smaller budget / fewer seeds and reps (CI smoke)
+//!   --trials  override the trial budget (default 24, quick 12)
+//!   --window  override ASHA's async window (default 64)
+//!   --light   light fold cost in ms (default 2, quick 1)
+//!   --heavy   straggler fold cost in ms (default 600, quick 60)
+//!   --hmod    1-in-hmod (config, fold) pairs are stragglers (default 32)
+//!   --eta     rung reduction factor for both optimisers (default 2)
+//!   --folds   cross-validation folds = top fidelity (default 8)
+//!   --out     write the results JSON to FILE
+//!   --check   compare against a previously committed JSON; exit
+//!             non-zero if the ASHA timing regressed by more than 5x,
+//!             or if the measured ASHA-vs-sync speedup fell below 1.2x
+//!             (the committed full-scale run shows >= 1.5x)
+
+use std::time::{Duration, Instant};
+
+use serde_json::{json, Value};
+use smartml_classifiers::{ParamConfig, ParamSpec, ParamSpace};
+use smartml_runtime::Pool;
+use smartml_smac::{Asha, OptOptions, OptResult, Optimizer, StaticObjective, SuccessiveHalving};
+
+/// Minimum wall-clock over `reps` runs of `f` (seconds).
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        last = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, last.unwrap())
+}
+
+/// Deterministic cost class for one fold evaluation: one in `hmod`
+/// (config, fold) pairs is a straggler, via a fixed-point hash of `x`
+/// mixed with the fold index. Hashing per (config, fold) rather than
+/// per config keeps the *expected* cost of any fold-budget allocation
+/// identical across optimisers — the comparison then measures how each
+/// schedules around stragglers, not which configs it happened to draw.
+fn is_heavy(config: &ParamConfig, fold: usize, hmod: u64) -> bool {
+    let h = (((config.f64_or("x", 0.0) * 1e6) as u64) ^ (fold as u64).wrapping_mul(0x9E37_79B9))
+        .wrapping_mul(0x2545_F491_4F6C_DD1D);
+    h % hmod == 0
+}
+
+fn space_1d() -> ParamSpace {
+    ParamSpace::new(vec![ParamSpec::Real { name: "x".into(), lo: 0.0, hi: 1.0, log: false }])
+}
+
+/// A fold evaluation that sleeps its cost. Score peaks at x = 0.6
+/// independently of cost, so stragglers are promoted at the usual rate.
+fn sleepy_objective(
+    folds: usize,
+    light_ms: u64,
+    heavy_ms: u64,
+    hmod: u64,
+) -> StaticObjective<impl Fn(&ParamConfig, usize) -> f64 + Send + Sync> {
+    StaticObjective {
+        folds,
+        f: move |config: &ParamConfig, fold| {
+            let ms = if is_heavy(config, fold, hmod) { heavy_ms } else { light_ms };
+            std::thread::sleep(Duration::from_millis(ms));
+            1.0 - (config.f64_or("x", 0.0) - 0.6).powi(2) + fold as f64 * 1e-3
+        },
+    }
+}
+
+/// The width-independent shape of a run: per-trial config, bit-exact
+/// score, and fidelity, in ledger order.
+fn fingerprint(r: &OptResult) -> Vec<(String, u64, usize)> {
+    r.history
+        .iter()
+        .map(|t| (t.config.summary(), t.score.to_bits(), t.folds_evaluated))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag_value("--out");
+    let check_path = flag_value("--check");
+
+    let (reps, seeds, default_trials, default_light, default_heavy): (_, &[u64], _, _, _) =
+        if quick { (1, &[17, 18], 12, 1, 60) } else { (2, &[17, 18, 19], 24, 2, 600) };
+    let light_ms = flag_value("--light")
+        .map(|v| v.parse().expect("--light takes ms"))
+        .unwrap_or(default_light);
+    let heavy_ms = flag_value("--heavy")
+        .map(|v| v.parse().expect("--heavy takes ms"))
+        .unwrap_or(default_heavy);
+    let max_trials = flag_value("--trials")
+        .map(|v| v.parse().expect("--trials takes a number"))
+        .unwrap_or(default_trials);
+    let window = flag_value("--window")
+        .map(|v| v.parse().expect("--window takes a number"))
+        .unwrap_or(64);
+    let hmod = flag_value("--hmod")
+        .map(|v| v.parse().expect("--hmod takes a number"))
+        .unwrap_or(32);
+    let eta = flag_value("--eta")
+        .map(|v| v.parse().expect("--eta takes a number"))
+        .unwrap_or(2);
+    let folds = flag_value("--folds")
+        .map(|v| v.parse().expect("--folds takes a number"))
+        .unwrap_or(8);
+    let space = space_1d();
+    let objective = sleepy_objective(folds, light_ms, heavy_ms, hmod);
+    let options = |width: usize, seed: u64| OptOptions {
+        max_trials,
+        seed,
+        pool: Pool::new(width),
+        ..Default::default()
+    };
+    let sync = SuccessiveHalving::new(eta);
+    let asha = Asha { eta, async_window: window };
+
+    // Determinism contract before any timing: widths 1 and 8 must agree
+    // byte-for-byte for both optimisers. The width-1 ASHA run doubles as
+    // the serial reference timing below.
+    let (asha_w1_secs, asha_serial) =
+        time_min(1, || asha.optimize(&space, &objective, &options(1, seeds[0])));
+    let asha_wide = asha.optimize(&space, &objective, &options(8, seeds[0]));
+    assert_eq!(
+        fingerprint(&asha_serial),
+        fingerprint(&asha_wide),
+        "ASHA diverged between widths 1 and 8"
+    );
+    let sync_serial = sync.optimize(&space, &objective, &options(1, seeds[0]));
+    let sync_wide = sync.optimize(&space, &objective, &options(8, seeds[0]));
+    assert_eq!(
+        fingerprint(&sync_serial),
+        fingerprint(&sync_wide),
+        "synchronous halving diverged between widths 1 and 8"
+    );
+
+    // The headline: same budget, same width, barrier vs barrier-free.
+    // Wall-clock is summed across seeds (min over reps per seed) so the
+    // heavy-fold luck of any single config stream averages out.
+    let mut sync_secs = 0.0;
+    let mut asha_secs = 0.0;
+    let mut sync_best: f64 = 0.0;
+    let mut asha_best: f64 = 0.0;
+    for &seed in seeds {
+        let (s, sr) = time_min(reps, || sync.optimize(&space, &objective, &options(8, seed)));
+        let (a, ar) = time_min(reps, || asha.optimize(&space, &objective, &options(8, seed)));
+        sync_secs += s;
+        asha_secs += a;
+        sync_best = sync_best.max(sr.best_score);
+        asha_best = asha_best.max(ar.best_score);
+        eprintln!("seed {seed}: sync {s:.3}s  asha {a:.3}s  ({:.2}x)", s / a);
+    }
+    let speedup = sync_secs / asha_secs;
+    eprintln!(
+        "asha_vs_sync_w8   sync {sync_secs:.3}s  asha {asha_secs:.3}s  ({speedup:.2}x over \
+         {} seeds)  [sync best {sync_best:.4} / asha best {asha_best:.4}]",
+        seeds.len()
+    );
+    eprintln!(
+        "asha_w1           {asha_w1_secs:.3}s  (w8 scales {:.2}x)",
+        asha_w1_secs / (asha_secs / seeds.len() as f64)
+    );
+
+    let report = json!({
+        "description": "ASHA vs synchronous successive halving at pool width 8 on heterogeneous trial costs (1-in-hmod (config, fold) evaluations are stragglers). Same fold-evaluation budget; wall-clock summed over seeds, min over repetitions; width-1/8 byte-identity of both optimisers asserted in-process before timing.",
+        "command": if quick { "asha_bench --quick" } else { "asha_bench" },
+        "scales": {
+            "budget": format!("max_trials={max_trials} x {folds} folds x {} seeds", seeds.len()),
+            "fold_cost": format!("light {light_ms}ms / heavy {heavy_ms}ms (1 in {hmod}) per fold"),
+            "asha_window": window,
+        },
+        "results": {
+            "asha_vs_sync_w8": {
+                "old_secs": sync_secs,
+                "new_secs": asha_secs,
+                "speedup": speedup,
+            },
+            "asha_w1": { "new_secs": asha_w1_secs },
+        },
+    });
+    let rendered = serde_json::to_string_pretty(&report).unwrap();
+    println!("{rendered}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, rendered + "\n").expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    // Regression gate: the measured speedup must clear the 1.2x floor
+    // (the committed full-scale run shows >= 1.5x; --quick runs smaller
+    // budgets where the barrier tail is a thinner slice, hence the lower
+    // floor), and the ASHA timing must stay within 5x of the committed
+    // reference. Absolute wall-clock is host-dependent, so the watchdog
+    // only catches order-of-magnitude regressions (e.g. the stream
+    // degenerating to a barrier per job); timings are normalised to
+    // per-seed averages since --quick runs fewer seeds than the
+    // committed full-scale reference.
+    if let Some(path) = check_path {
+        let reference: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("read --check file"))
+                .expect("parse --check file");
+        let mut failed = false;
+        if speedup < 1.2 {
+            eprintln!("check FAILED: ASHA speedup {speedup:.2}x below the 1.2x floor");
+            failed = true;
+        }
+        if let Some(ref_new) = reference
+            .get("results")
+            .and_then(|v| v.get("asha_vs_sync_w8"))
+            .and_then(|v| v.get("new_secs"))
+            .and_then(|v| v.as_f64())
+        {
+            let per_seed = asha_secs / seeds.len() as f64;
+            // The committed reference sums three seeds at full scale.
+            if per_seed > 5.0 * (ref_new / 3.0) {
+                eprintln!(
+                    "check FAILED: asha_vs_sync_w8 took {per_seed:.3}s/seed > 5x reference \
+                     {:.3}s/seed",
+                    ref_new / 3.0
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!("check: no reference entry for asha_vs_sync_w8 — skipping watchdog");
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("check passed: speedup {speedup:.2}x >= 1.2x and timing within 5x of {path}");
+    }
+}

@@ -23,6 +23,8 @@ fn main() {
             n_threads: Some(0),
             trial_timeout_seconds: None,
             breaker_threshold: None,
+            optimizer: None,
+            halving_eta: None,
         },
     };
     println!("Figure 2: Configuring an experiment for a dataset");

@@ -75,6 +75,14 @@ pub struct ExperimentOptions {
     /// algorithm is tripped (absent = default, `0` = disabled).
     #[serde(default)]
     pub breaker_threshold: Option<usize>,
+    /// Phase-4 optimiser: `smac` (default), `grid`, `random`, `tpe`,
+    /// `halving`, `hyperband` or `asha`.
+    #[serde(default)]
+    pub optimizer: Option<String>,
+    /// Multi-fidelity reduction factor η (≥ 2) for `halving`,
+    /// `hyperband` and `asha`.
+    #[serde(default)]
+    pub halving_eta: Option<usize>,
 }
 
 impl ExperimentOptions {
@@ -120,6 +128,15 @@ impl ExperimentOptions {
         }
         if let Some(n) = self.n_threads {
             options = options.with_n_threads(n);
+        }
+        if let Some(name) = &self.optimizer {
+            options = options.with_optimizer(crate::options::OptimizerChoice::parse(name)?);
+        }
+        if let Some(eta) = self.halving_eta {
+            if eta < 2 {
+                return Err(format!("halving_eta must be at least 2, got {eta}"));
+            }
+            options = options.with_halving_eta(eta);
         }
         Ok(options)
     }
@@ -447,6 +464,50 @@ a,b,y
                 },
             );
             assert!(matches!(resp, Response::Error { .. }));
+        }
+    }
+
+    #[test]
+    fn optimizer_options_parse_and_validate() {
+        let opts = ExperimentOptions {
+            optimizer: Some("asha".into()),
+            halving_eta: Some(3),
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
+        assert_eq!(opts.optimizer, crate::options::OptimizerChoice::Asha);
+        assert_eq!(opts.halving_eta, 3);
+        assert!(ExperimentOptions { optimizer: Some("bogus".into()), ..Default::default() }
+            .build()
+            .is_err());
+        assert!(ExperimentOptions { halving_eta: Some(1), ..Default::default() }
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn run_experiment_with_asha_optimizer() {
+        let mut kb = KnowledgeBase::new();
+        let resp = handle(
+            &mut kb,
+            Request::RunExperiment {
+                name: "toy".into(),
+                dataset: DatasetPayload::Csv { content: CSV.into(), target: None },
+                options: ExperimentOptions {
+                    budget_trials: Some(6),
+                    top_n_algorithms: Some(2),
+                    n_threads: Some(2),
+                    optimizer: Some("asha".into()),
+                    ..Default::default()
+                },
+            },
+        );
+        match resp {
+            Response::Experiment { report } => {
+                assert!(report.best.validation_accuracy > 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
         }
     }
 

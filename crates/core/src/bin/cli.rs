@@ -6,7 +6,8 @@
 //!                 [--kb SPEC] [--ensemble] [--interpret] [--top-n N]
 //!                 [--preprocess op1,op2] [--seed N] [--markdown] [--json]
 //!                 [--trial-timeout SECS] [--breaker-threshold K]
-//!                 [--trace-out FILE] [--metrics]
+//!                 [--optimizer smac|grid|random|tpe|halving|hyperband|asha]
+//!                 [--halving-eta N] [--trace-out FILE] [--metrics]
 //! smartml-cli metafeatures <data.csv|data.arff>
 //! smartml-cli describe <data.csv|data.arff>
 //! smartml-cli algorithms
@@ -30,7 +31,7 @@
 //! write-ahead-logged store, or `tcp:HOST:PORT` for a running `smartmld`.
 
 use smartml::bootstrap::{bootstrap_kb, BootstrapProfile};
-use smartml::{api, Budget, KbSource, KnowledgeBase, Op, SmartML, SmartMlOptions};
+use smartml::{api, Budget, KbSource, KnowledgeBase, Op, OptimizerChoice, SmartML, SmartMlOptions};
 use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::io::{parse_arff, parse_csv};
 use smartml_data::Dataset;
@@ -118,6 +119,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if let Some(k) = flag_value(args, "--breaker-threshold") {
         options.breaker_threshold =
             k.parse().map_err(|_| "--breaker-threshold expects a number (0 disables)")?;
+    }
+    if let Some(name) = flag_value(args, "--optimizer") {
+        options.optimizer = OptimizerChoice::parse(name)?;
+    }
+    if let Some(eta) = flag_value(args, "--halving-eta") {
+        options.halving_eta =
+            eta.parse().map_err(|_| "--halving-eta expects a number >= 2")?;
+        if options.halving_eta < 2 {
+            return Err(format!(
+                "--halving-eta must be at least 2, got {}",
+                options.halving_eta
+            ));
+        }
     }
     if let Some(n) = flag_value(args, "--top-n") {
         options.top_n_algorithms = n.parse().map_err(|_| "--top-n expects a number")?;

@@ -48,7 +48,7 @@ pub use ensemble::WeightedEnsemble;
 pub use interpret::{
     explain_prediction, permutation_importance, permutation_importance_with, FeatureImportance,
 };
-pub use options::{Budget, KbSource, SmartMlOptions};
+pub use options::{Budget, KbSource, OptimizerChoice, SmartMlOptions};
 pub use pipeline::{RunOutcome, SmartML, SmartMlError};
 pub use report::{
     AlgorithmFailures, AlgorithmTuning, BestModel, EnsembleReport, FailureReport, PhaseTrace,

@@ -99,6 +99,71 @@ impl Budget {
     }
 }
 
+/// Which hyperparameter optimiser Phase 4 runs for every nominated
+/// algorithm. All choices share the `Optimizer` interface, the fault
+/// breakers, and the fold-evaluation budget currency, so they are drop-in
+/// swaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimizerChoice {
+    /// SMAC (the paper's tuner): RF surrogate + expected improvement +
+    /// intensification racing.
+    #[default]
+    Smac,
+    /// Exhaustive grid over each dimension.
+    Grid,
+    /// Pure random search.
+    Random,
+    /// Tree-structured Parzen estimator.
+    Tpe,
+    /// Synchronous successive halving: one cohort raced through rungs of
+    /// η-increasing fidelity.
+    Halving,
+    /// Hyperband: a sweep of successive-halving brackets at staggered
+    /// starting fidelities.
+    Hyperband,
+    /// Asynchronous successive halving: barrier-free rung promotion, every
+    /// worker busy until the budget is spent.
+    Asha,
+}
+
+impl OptimizerChoice {
+    /// Parses a CLI/JSON name (case-insensitive).
+    pub fn parse(name: &str) -> Result<OptimizerChoice, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "smac" => Ok(OptimizerChoice::Smac),
+            "grid" => Ok(OptimizerChoice::Grid),
+            "random" => Ok(OptimizerChoice::Random),
+            "tpe" => Ok(OptimizerChoice::Tpe),
+            "halving" => Ok(OptimizerChoice::Halving),
+            "hyperband" => Ok(OptimizerChoice::Hyperband),
+            "asha" => Ok(OptimizerChoice::Asha),
+            other => Err(format!(
+                "unknown optimizer {other:?} \
+                 (expected smac, grid, random, tpe, halving, hyperband or asha)"
+            )),
+        }
+    }
+
+    /// The canonical lower-case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OptimizerChoice::Smac => "smac",
+            OptimizerChoice::Grid => "grid",
+            OptimizerChoice::Random => "random",
+            OptimizerChoice::Tpe => "tpe",
+            OptimizerChoice::Halving => "halving",
+            OptimizerChoice::Hyperband => "hyperband",
+            OptimizerChoice::Asha => "asha",
+        }
+    }
+}
+
+impl std::fmt::Display for OptimizerChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Options for a SmartML run.
 #[derive(Debug, Clone)]
 pub struct SmartMlOptions {
@@ -147,6 +212,13 @@ pub struct SmartMlOptions {
     /// a single atomic load per instrumentation site and the report is
     /// byte-identical to a build without observability.
     pub trace: bool,
+    /// Hyperparameter optimiser used in Phase 4 (default: SMAC, the
+    /// paper's choice).
+    pub optimizer: OptimizerChoice,
+    /// Reduction factor η for the multi-fidelity optimisers (halving,
+    /// Hyperband, ASHA): each rung keeps the top `1/η` of its cohort.
+    /// Must be ≥ 2; ignored by the other optimisers.
+    pub halving_eta: usize,
 }
 
 impl Default for SmartMlOptions {
@@ -168,6 +240,8 @@ impl Default for SmartMlOptions {
             trial_timeout: None,
             breaker_threshold: 5,
             trace: false,
+            optimizer: OptimizerChoice::Smac,
+            halving_eta: 2,
         }
     }
 }
@@ -233,6 +307,18 @@ impl SmartMlOptions {
         self
     }
 
+    /// Selects the Phase-4 hyperparameter optimiser.
+    pub fn with_optimizer(mut self, optimizer: OptimizerChoice) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Sets the multi-fidelity reduction factor η (validated ≥ 2).
+    pub fn with_halving_eta(mut self, eta: usize) -> Self {
+        self.halving_eta = eta;
+        self
+    }
+
     /// Checks the options for values that would make a run meaningless or
     /// crash mid-pipeline. Called by `SmartML::run` before any work, so a
     /// malformed request surfaces as an error instead of an abort.
@@ -260,6 +346,12 @@ impl SmartMlOptions {
             if t.is_zero() {
                 return Err("trial_timeout must be non-zero when set".into());
             }
+        }
+        if self.halving_eta < 2 {
+            return Err(format!(
+                "halving_eta must be at least 2, got {}",
+                self.halving_eta
+            ));
         }
         Ok(())
     }
@@ -367,5 +459,40 @@ mod tests {
         let mut o = SmartMlOptions::default();
         o.top_n_algorithms = 0;
         assert!(o.validate().is_err());
+        let mut o = SmartMlOptions::default();
+        o.halving_eta = 1;
+        assert!(o.validate().is_err());
+        o.halving_eta = 3;
+        assert!(o.validate().is_ok());
+    }
+
+    #[test]
+    fn optimizer_choice_parses_all_names() {
+        for (name, choice) in [
+            ("smac", OptimizerChoice::Smac),
+            ("grid", OptimizerChoice::Grid),
+            ("random", OptimizerChoice::Random),
+            ("tpe", OptimizerChoice::Tpe),
+            ("halving", OptimizerChoice::Halving),
+            ("Hyperband", OptimizerChoice::Hyperband),
+            ("ASHA", OptimizerChoice::Asha),
+        ] {
+            assert_eq!(OptimizerChoice::parse(name).unwrap(), choice);
+        }
+        assert!(OptimizerChoice::parse("bayesopt").is_err());
+        assert_eq!(OptimizerChoice::Asha.to_string(), "asha");
+        assert_eq!(
+            OptimizerChoice::parse(OptimizerChoice::Hyperband.name()).unwrap(),
+            OptimizerChoice::Hyperband
+        );
+    }
+
+    #[test]
+    fn optimizer_builders_chain() {
+        let opts = SmartMlOptions::default()
+            .with_optimizer(OptimizerChoice::Asha)
+            .with_halving_eta(3);
+        assert_eq!(opts.optimizer, OptimizerChoice::Asha);
+        assert_eq!(opts.halving_eta, 3);
     }
 }

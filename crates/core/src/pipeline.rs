@@ -3,7 +3,7 @@
 use crate::budget::{apportion_secs, apportion_trials, divide_budget};
 use crate::ensemble::WeightedEnsemble;
 use crate::interpret::permutation_importance_with;
-use crate::options::{Budget, SmartMlOptions};
+use crate::options::{Budget, OptimizerChoice, SmartMlOptions};
 use crate::report::{
     AlgorithmFailures, AlgorithmTuning, BestModel, EnsembleReport, FailureReport, PhaseTrace,
     RunReport, TimeAttribution,
@@ -16,7 +16,10 @@ use smartml_preprocess::{pipeline_from_ops, MutualInfoSelect, PreprocessError, T
 use smartml_obs::{record_interval, span, Timeline, Trace};
 use smartml_runtime::faults::{run_trial, GuardOutcome, TrialToken};
 use smartml_runtime::{Deadline, Pool};
-use smartml_smac::{ClassifierObjective, OptOptions, Optimizer, Smac};
+use smartml_smac::{
+    Asha, ClassifierObjective, GridSearch, Hyperband, OptOptions, Optimizer, RandomSearch, Smac,
+    SuccessiveHalving, Tpe,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -309,7 +312,7 @@ impl<B: KbBackend> SmartML<B> {
                 Budget::Time(d) => (usize::MAX, Some(d)),
             };
             let _tune_span = span!("phase4.tune", algo = algorithm.paper_name());
-            let result = Smac::default().optimize(
+            let result = make_optimizer(&opts).optimize(
                 &algorithm.param_space(),
                 &objective,
                 &OptOptions {
@@ -394,7 +397,7 @@ impl<B: KbBackend> SmartML<B> {
                 (usize::MAX, Some(Duration::from_secs_f64(secs)))
             };
             let _tune_span = span!("phase4.tune", algo = algorithm.paper_name());
-            let result = Smac::default().optimize(
+            let result = make_optimizer(&opts).optimize(
                 &algorithm.param_space(),
                 &objective,
                 &OptOptions {
@@ -662,6 +665,21 @@ impl<B: KbBackend> SmartML<B> {
 
 /// Cold-start portfolio: a family-diverse subset in fixed priority order,
 /// used when the knowledge base has nothing to say.
+/// Builds the Phase-4 optimiser selected in the run options. Boxed fresh
+/// at each use site: optimisers are stateless between calls, and the
+/// trait object keeps the tuning loop generic over all seven choices.
+fn make_optimizer(opts: &SmartMlOptions) -> Box<dyn Optimizer> {
+    match opts.optimizer {
+        OptimizerChoice::Smac => Box::new(Smac::default()),
+        OptimizerChoice::Grid => Box::new(GridSearch),
+        OptimizerChoice::Random => Box::new(RandomSearch),
+        OptimizerChoice::Tpe => Box::new(Tpe::default()),
+        OptimizerChoice::Halving => Box::new(SuccessiveHalving::new(opts.halving_eta)),
+        OptimizerChoice::Hyperband => Box::new(Hyperband::new(opts.halving_eta)),
+        OptimizerChoice::Asha => Box::new(Asha::new(opts.halving_eta)),
+    }
+}
+
 pub fn default_portfolio(n: usize) -> Vec<Algorithm> {
     const PRIORITY: [Algorithm; 15] = [
         Algorithm::RandomForest,

@@ -137,6 +137,13 @@ pub struct AlgoTime {
     pub surrogate_fits: u64,
     /// Summed surrogate fit time.
     pub surrogate_secs: f64,
+    /// Multi-fidelity rung evaluations (`smac.rung` spans) — 0 for
+    /// non-rung optimisers. Absent in reports from older versions.
+    #[serde(default)]
+    pub rungs: u64,
+    /// Summed rung evaluation time.
+    #[serde(default)]
+    pub rung_secs: f64,
 }
 
 /// "Where the time went": per-phase and per-algorithm wall-clock
@@ -183,6 +190,8 @@ impl TimeAttribution {
                     fold_secs: a.fold_secs,
                     surrogate_fits: a.surrogate_fits,
                     surrogate_secs: a.surrogate_secs,
+                    rungs: a.rungs,
+                    rung_secs: a.rung_secs,
                 })
                 .collect(),
             dropped_spans: tl.dropped_spans,
@@ -332,8 +341,13 @@ impl RunReport {
             }
             out.push_str(&format!("    {:<28} {:>8.3}s\n", "(between phases)", tl.other_secs));
             for a in &tl.algorithms {
+                let rungs = if a.rungs > 0 {
+                    format!(" rungs={} ({:.3}s)", a.rungs, a.rung_secs)
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "    {:<14} tune={:.3}s trials={} ({:.3}s) folds={} ({:.3}s) surrogate={} ({:.3}s)\n",
+                    "    {:<14} tune={:.3}s trials={} ({:.3}s) folds={} ({:.3}s) surrogate={} ({:.3}s){}\n",
                     a.algorithm,
                     a.tune_secs,
                     a.trials,
@@ -342,6 +356,7 @@ impl RunReport {
                     a.fold_secs,
                     a.surrogate_fits,
                     a.surrogate_secs,
+                    rungs,
                 ));
             }
             if tl.dropped_spans > 0 {
@@ -457,11 +472,11 @@ impl RunReport {
             out.push_str(&format!("| **total** | **{:.3}** |\n", tl.total_secs));
             if !tl.algorithms.is_empty() {
                 out.push_str(
-                    "\n| algorithm | tune (s) | trials | trial (s) | folds | fold (s) | surrogate fits | surrogate (s) |\n|---|---:|---:|---:|---:|---:|---:|---:|\n",
+                    "\n| algorithm | tune (s) | trials | trial (s) | folds | fold (s) | surrogate fits | surrogate (s) | rungs | rung (s) |\n|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
                 );
                 for a in &tl.algorithms {
                     out.push_str(&format!(
-                        "| {} | {:.3} | {} | {:.3} | {} | {:.3} | {} | {:.3} |\n",
+                        "| {} | {:.3} | {} | {:.3} | {} | {:.3} | {} | {:.3} | {} | {:.3} |\n",
                         md_escape(&a.algorithm),
                         a.tune_secs,
                         a.trials,
@@ -470,6 +485,8 @@ impl RunReport {
                         a.fold_secs,
                         a.surrogate_fits,
                         a.surrogate_secs,
+                        a.rungs,
+                        a.rung_secs,
                     ));
                 }
             }
@@ -631,6 +648,8 @@ mod tests {
                 fold_secs: 1.0,
                 surrogate_fits: 4,
                 surrogate_secs: 0.1,
+                rungs: 6,
+                rung_secs: 0.4,
             }],
             dropped_spans: 0,
         });

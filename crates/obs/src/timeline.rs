@@ -22,6 +22,10 @@ pub struct AlgoTimeline {
     pub fold_secs: f64,
     pub surrogate_fits: u64,
     pub surrogate_secs: f64,
+    /// `smac.rung` spans — multi-fidelity rung evaluations (synchronous
+    /// halving emits one per rung barrier, ASHA one per rung job).
+    pub rungs: u64,
+    pub rung_secs: f64,
 }
 
 /// Phase-level and per-algorithm wall-clock attribution for one run.
@@ -74,6 +78,8 @@ impl Timeline {
                     fold_secs: 0.0,
                     surrogate_fits: 0,
                     surrogate_secs: 0.0,
+                    rungs: 0,
+                    rung_secs: 0.0,
                 });
                 algos.len() - 1
             }
@@ -111,6 +117,13 @@ impl Timeline {
                         let i = algo_slot(&mut algos, a);
                         algos[i].surrogate_fits += 1;
                         algos[i].surrogate_secs += secs(span);
+                    }
+                }
+                "smac.rung" => {
+                    if let Some(a) = arg(span, "algo") {
+                        let i = algo_slot(&mut algos, a);
+                        algos[i].rungs += 1;
+                        algos[i].rung_secs += secs(span);
                     }
                 }
                 _ => {}
@@ -159,6 +172,8 @@ mod tests {
                 span("smac.trial", "algo=RandomForest trial=1", 2_000_000, 600_000),
                 span("smac.fold", "algo=RandomForest fold=0", 1_600_000, 200_000),
                 span("smac.surrogate.fit", "algo=RandomForest", 2_700_000, 50_000),
+                span("smac.rung", "algo=KNN rung=0 cohort=8 fidelity=1", 1_700_000, 300_000),
+                span("smac.rung", "algo=KNN rung=1 cohort=4 fidelity=2", 2_100_000, 250_000),
                 span("phase5.output", "", 9_500_000, 400_000),
                 span("clf.fit", "algo=RandomForest", 1_650_000, 100_000),
             ],
@@ -178,6 +193,10 @@ mod tests {
         assert!((rf.trial_secs - 1.0).abs() < 1e-9);
         assert_eq!(rf.folds, 1);
         assert_eq!(rf.surrogate_fits, 1);
+        assert_eq!(rf.rungs, 0);
+        let knn = &tl.algorithms[1];
+        assert_eq!(knn.rungs, 2);
+        assert!((knn.rung_secs - 0.55).abs() < 1e-9);
         assert_eq!(tl.dropped_spans, 2);
     }
 

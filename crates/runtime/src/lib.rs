@@ -15,8 +15,10 @@
 //! `'static` erasure or shutdown protocol is needed. At SmartML's task
 //! granularity (a classifier fit, a tree growth) spawn cost is noise.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use smartml_obs::{Counter, Gauge};
@@ -26,6 +28,7 @@ pub mod faults;
 static POOL_TASKS: Counter = Counter::new("runtime.pool.tasks");
 static POOL_STEALS: Counter = Counter::new("runtime.pool.steals");
 static POOL_BATCHES: Counter = Counter::new("runtime.pool.batches");
+static POOL_STREAMS: Counter = Counter::new("runtime.pool.streams");
 static POOL_QUEUE_DEPTH: Gauge = Gauge::new("runtime.pool.queue_depth");
 
 /// Number of worker threads to use when the caller asked for "auto" (0).
@@ -68,6 +71,16 @@ impl Pool {
     /// threads steal the next pending index as they free up; result
     /// placement is by index, which makes the output independent of the
     /// scheduling order and of `n_threads`.
+    ///
+    /// **Fairness under heterogeneous costs**: dispatch is dynamic, not a
+    /// static index partition. A long task submitted first pins exactly one
+    /// worker; the remaining workers drain the tail concurrently, so the
+    /// batch makespan approaches `max(longest task, total/width)` instead
+    /// of serialising behind the head (pinned by
+    /// `long_head_does_not_serialize_the_tail`). The call itself is still
+    /// a barrier — it returns only when *every* item has finished; use
+    /// [`stream`](Pool::stream) when the caller needs completions as they
+    /// land.
     ///
     /// A worker panic propagates to the caller once all threads finish.
     pub fn map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
@@ -126,6 +139,220 @@ impl Pool {
         F: Fn(usize) -> R + Sync,
     {
         self.map_indexed((0..n).collect(), |_, i| f(i))
+    }
+
+    /// Streaming-completion execution: the inverse of the `map_indexed`
+    /// barrier. `drive` runs on the calling thread with a [`StreamCtrl`]
+    /// handle — it submits tasks with [`StreamCtrl::submit`] (each gets a
+    /// monotonically increasing index) and consumes `(index, result)`
+    /// pairs with [`StreamCtrl::next`] **as they finish**, in completion
+    /// order, not submission order. New tasks may be submitted at any
+    /// point, so a scheduler can react to each result while the rest of
+    /// the pool keeps working — no rung/batch barrier ever drains the
+    /// pool.
+    ///
+    /// Width ≤ 1 runs tasks inline on the calling thread in strict FIFO
+    /// order (submission order == completion order). At any width, a task
+    /// result is produced by `worker(index, task)` alone; callers that
+    /// need scheduling-independent *decisions* must reorder completions
+    /// themselves (see `smartml-smac`'s ASHA rung ledger for the
+    /// discipline).
+    ///
+    /// A panicking task resumes its unwind inside the driver's `next()`
+    /// call (inline mode: at the `next()` that runs it). Tasks still
+    /// queued when `drive` returns are dropped unexecuted; in-flight tasks
+    /// are joined before `stream` returns.
+    pub fn stream<T, R, F, D, O>(&self, worker: F, drive: D) -> O
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+        D: FnOnce(&mut StreamCtrl<'_, T, R>) -> O,
+    {
+        POOL_STREAMS.inc();
+        if self.n_threads <= 1 {
+            let mut ctrl = StreamCtrl {
+                next_index: 0,
+                outstanding: 0,
+                mode: StreamMode::Inline { queue: TwoTierQueue::new(), worker: &worker },
+            };
+            return drive(&mut ctrl);
+        }
+        let queue: Mutex<TwoTierQueue<T>> = Mutex::new(TwoTierQueue::new());
+        let available = Condvar::new();
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+        std::thread::scope(|scope| {
+            let (queue, available, done, worker) = (&queue, &available, &done, &worker);
+            for _ in 0..self.n_threads {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let task = {
+                        let mut q = queue.lock().unwrap();
+                        loop {
+                            if let Some(t) = q.pop() {
+                                break Some(t);
+                            }
+                            if done.load(Ordering::Acquire) {
+                                break None;
+                            }
+                            q = available.wait(q).unwrap();
+                        }
+                    };
+                    let Some((index, task)) = task else { break };
+                    POOL_TASKS.inc();
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || worker(index, task),
+                    ));
+                    // The driver may have returned already (abandoning
+                    // in-flight work); a closed channel is not an error.
+                    let _ = tx.send((index, result));
+                });
+            }
+            drop(tx);
+            // Shutdown must happen even when `drive` (or a resumed task
+            // panic inside it) unwinds — otherwise the scope would join
+            // workers parked on the condvar forever.
+            struct Shutdown<'a> {
+                done: &'a std::sync::atomic::AtomicBool,
+                available: &'a Condvar,
+            }
+            impl Drop for Shutdown<'_> {
+                fn drop(&mut self) {
+                    self.done.store(true, Ordering::Release);
+                    self.available.notify_all();
+                }
+            }
+            let _shutdown = Shutdown { done, available };
+            let mut ctrl = StreamCtrl {
+                next_index: 0,
+                outstanding: 0,
+                mode: StreamMode::Pooled { queue, available, rx },
+            };
+            drive(&mut ctrl)
+        })
+    }
+}
+
+/// Driver-side handle for [`Pool::stream`]: submit tasks, consume
+/// completions.
+pub struct StreamCtrl<'env, T, R> {
+    next_index: usize,
+    outstanding: usize,
+    mode: StreamMode<'env, T, R>,
+}
+
+/// The stream's pending-task queue: two FIFO tiers, urgent before
+/// normal. Workers drain every urgent task before touching a normal
+/// one, so a driver can keep critical-path work (e.g. an ASHA rung
+/// promotion) from queueing behind a backlog of speculative backfill.
+/// The tier is an execution-order hint only — completion indices and
+/// results are unaffected.
+struct TwoTierQueue<T> {
+    urgent: VecDeque<(usize, T)>,
+    normal: VecDeque<(usize, T)>,
+}
+
+impl<T> TwoTierQueue<T> {
+    fn new() -> Self {
+        TwoTierQueue { urgent: VecDeque::new(), normal: VecDeque::new() }
+    }
+
+    fn push(&mut self, index: usize, task: T, urgent: bool) {
+        if urgent {
+            self.urgent.push_back((index, task));
+        } else {
+            self.normal.push_back((index, task));
+        }
+    }
+
+    fn pop(&mut self) -> Option<(usize, T)> {
+        self.urgent.pop_front().or_else(|| self.normal.pop_front())
+    }
+
+    fn len(&self) -> usize {
+        self.urgent.len() + self.normal.len()
+    }
+}
+
+enum StreamMode<'env, T, R> {
+    /// Width ≤ 1: tasks run inline inside `next()`, urgent tier first,
+    /// FIFO within each tier.
+    Inline {
+        queue: TwoTierQueue<T>,
+        worker: &'env (dyn Fn(usize, T) -> R + 'env),
+    },
+    /// Multi-worker: tasks go to the shared queue, completions come back
+    /// over the channel in finish order.
+    Pooled {
+        queue: &'env Mutex<TwoTierQueue<T>>,
+        available: &'env Condvar,
+        rx: mpsc::Receiver<(usize, std::thread::Result<R>)>,
+    },
+}
+
+impl<T, R> StreamCtrl<'_, T, R> {
+    /// Enqueues a task and returns its index (submission order, starting
+    /// at 0).
+    pub fn submit(&mut self, task: T) -> usize {
+        self.enqueue(task, false)
+    }
+
+    /// Enqueues a task on the urgent tier: workers run every urgent task
+    /// before any [`submit`](StreamCtrl::submit)-queued one (FIFO within
+    /// each tier). Purely an execution-order hint — indices, results and
+    /// completion delivery are identical to `submit`. Use for
+    /// critical-path work that must not wait behind speculative backlog.
+    pub fn submit_urgent(&mut self, task: T) -> usize {
+        self.enqueue(task, true)
+    }
+
+    fn enqueue(&mut self, task: T, urgent: bool) -> usize {
+        let index = self.next_index;
+        self.next_index += 1;
+        self.outstanding += 1;
+        match &mut self.mode {
+            StreamMode::Inline { queue, .. } => queue.push(index, task, urgent),
+            StreamMode::Pooled { queue, available, .. } => {
+                let mut q = queue.lock().unwrap();
+                q.push(index, task, urgent);
+                POOL_QUEUE_DEPTH.set(q.len() as i64);
+                drop(q);
+                available.notify_one();
+            }
+        }
+        index
+    }
+
+    /// Tasks submitted but not yet returned by [`next`](StreamCtrl::next).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Blocks until the next completion lands and returns it as
+    /// `(index, result)`; `None` once every submitted task has been
+    /// consumed. Resumes the unwind of a panicked task.
+    pub fn next(&mut self) -> Option<(usize, R)> {
+        if self.outstanding == 0 {
+            return None;
+        }
+        self.outstanding -= 1;
+        match &mut self.mode {
+            StreamMode::Inline { queue, worker } => {
+                let (index, task) = queue.pop().expect("outstanding implies queued");
+                POOL_TASKS.inc();
+                Some((index, worker(index, task)))
+            }
+            StreamMode::Pooled { rx, .. } => {
+                let (index, result) = rx
+                    .recv()
+                    .expect("workers outlive the driver, so a completion always arrives");
+                match result {
+                    Ok(r) => Some((index, r)),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        }
     }
 }
 
@@ -283,5 +510,222 @@ mod tests {
         let pool = Pool::new(4);
         let sums = pool.map_range(8, |i| data[i * 4..(i + 1) * 4].iter().sum::<f64>());
         assert_eq!(sums, vec![4.0; 8]);
+    }
+
+    #[test]
+    fn long_head_does_not_serialize_the_tail() {
+        // Satellite regression pin: one 80 ms task submitted first plus
+        // eight 10 ms tasks at width 4. With dynamic dispatch the head
+        // pins one worker while three drain the tail (~80 ms makespan);
+        // a static index partition that chains tasks behind the head
+        // would take ~160 ms. Threshold splits the difference with slack
+        // for a loaded CI host.
+        let pool = Pool::new(4);
+        let costs_ms: Vec<u64> = std::iter::once(80).chain(std::iter::repeat_n(10, 8)).collect();
+        let start = Instant::now();
+        let out = pool.map_indexed(costs_ms, |i, ms| {
+            std::thread::sleep(Duration::from_millis(ms));
+            i
+        });
+        let elapsed = start.elapsed();
+        assert_eq!(out, (0..9).collect::<Vec<_>>());
+        assert!(
+            elapsed < Duration::from_millis(140),
+            "heterogeneous batch serialized behind its head: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn stream_completes_every_index_exactly_once() {
+        for width in [1, 2, 8] {
+            let pool = Pool::new(width);
+            let mut seen = vec![0usize; 50];
+            let total = pool.stream(
+                |i, x: u64| (i as u64) * 1000 + x,
+                |ctrl| {
+                    for x in 0..50u64 {
+                        ctrl.submit(x);
+                    }
+                    let mut total = 0u64;
+                    while let Some((i, r)) = ctrl.next() {
+                        seen[i] += 1;
+                        assert_eq!(r, (i as u64) * 1000 + i as u64);
+                        total += r;
+                    }
+                    total
+                },
+            );
+            assert!(seen.iter().all(|&c| c == 1), "width {width}: {seen:?}");
+            assert_eq!(total, (0..50u64).map(|i| i * 1001).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn stream_inline_is_fifo() {
+        let pool = Pool::serial();
+        let order = pool.stream(
+            |i, _: ()| i,
+            |ctrl| {
+                for _ in 0..10 {
+                    ctrl.submit(());
+                }
+                let mut order = Vec::new();
+                while let Some((i, r)) = ctrl.next() {
+                    assert_eq!(i, r);
+                    order.push(i);
+                }
+                order
+            },
+        );
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stream_driver_can_submit_in_response_to_completions() {
+        // The scheduler shape ASHA needs: each completion may trigger a
+        // follow-up task while other work is still in flight.
+        for width in [1, 3] {
+            let pool = Pool::new(width);
+            let done = pool.stream(
+                |_, gen: u32| gen,
+                |ctrl| {
+                    for _ in 0..4 {
+                        ctrl.submit(0);
+                    }
+                    let mut done = 0;
+                    while let Some((_, gen)) = ctrl.next() {
+                        if gen < 3 {
+                            ctrl.submit(gen + 1);
+                        } else {
+                            done += 1;
+                        }
+                    }
+                    done
+                },
+            );
+            assert_eq!(done, 4, "width {width}");
+        }
+    }
+
+    #[test]
+    fn stream_propagates_worker_panics() {
+        for width in [1, 4] {
+            let pool = Pool::new(width);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.stream(
+                    |_, x: u32| {
+                        if x == 7 {
+                            panic!("boom {x}");
+                        }
+                        x
+                    },
+                    |ctrl| {
+                        for x in 0..16u32 {
+                            ctrl.submit(x);
+                        }
+                        while ctrl.next().is_some() {}
+                    },
+                )
+            }));
+            let payload = caught.expect_err("panic must reach the driver");
+            let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("boom 7"), "width {width}: {msg}");
+        }
+    }
+
+    #[test]
+    fn stream_outstanding_tracks_submissions() {
+        let pool = Pool::new(2);
+        pool.stream(
+            |_, _: ()| (),
+            |ctrl| {
+                assert_eq!(ctrl.outstanding(), 0);
+                assert!(ctrl.next().is_none(), "empty stream yields None");
+                ctrl.submit(());
+                ctrl.submit(());
+                assert_eq!(ctrl.outstanding(), 2);
+                ctrl.next().unwrap();
+                assert_eq!(ctrl.outstanding(), 1);
+                ctrl.next().unwrap();
+                assert_eq!(ctrl.outstanding(), 0);
+                assert!(ctrl.next().is_none());
+            },
+        );
+    }
+
+    #[test]
+    fn stream_urgent_runs_before_queued_backlog_inline() {
+        // Inline mode executes the urgent tier first, FIFO within tiers.
+        let pool = Pool::serial();
+        let order = pool.stream(
+            |i, _: ()| i,
+            |ctrl| {
+                ctrl.submit(()); // 0
+                ctrl.submit(()); // 1
+                ctrl.submit_urgent(()); // 2
+                ctrl.submit_urgent(()); // 3
+                let mut order = Vec::new();
+                while let Some((i, _)) = ctrl.next() {
+                    order.push(i);
+                }
+                order
+            },
+        );
+        assert_eq!(order, vec![2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn stream_urgent_preempts_queued_backlog_pooled() {
+        // With every worker pinned by a gate task, a freed worker must
+        // take the urgent task before any earlier-queued normal one.
+        use std::sync::atomic::AtomicBool;
+        let started = AtomicUsize::new(0);
+        let release = AtomicBool::new(false);
+        let pool = Pool::new(2);
+        let order = pool.stream(
+            |i, gated: bool| {
+                if gated {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    while !release.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                }
+                i
+            },
+            |ctrl| {
+                ctrl.submit(true); // 0: pins worker A
+                ctrl.submit(true); // 1: pins worker B
+                while started.load(Ordering::SeqCst) < 2 {
+                    std::thread::yield_now();
+                }
+                ctrl.submit(false); // 2: normal backlog
+                ctrl.submit_urgent(false); // 3: must run before 2
+                release.store(true, Ordering::SeqCst);
+                let mut order = Vec::new();
+                while let Some((i, _)) = ctrl.next() {
+                    order.push(i);
+                }
+                order
+            },
+        );
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(3) < pos(2), "urgent task ran after queued backlog: {order:?}");
+    }
+
+    #[test]
+    fn stream_abandons_queued_tasks_when_driver_returns_early() {
+        // Drivers may stop consuming (budget exhausted); the pool must
+        // still shut down promptly without executing the whole queue.
+        let pool = Pool::new(2);
+        let first = pool.stream(
+            |i, _: ()| i,
+            |ctrl| {
+                for _ in 0..64 {
+                    ctrl.submit(());
+                }
+                ctrl.next().map(|(i, _)| i)
+            },
+        );
+        assert!(first.is_some());
     }
 }

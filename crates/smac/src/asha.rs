@@ -1,0 +1,702 @@
+//! ASHA — asynchronous successive halving (Li et al., MLSys 2020). The
+//! synchronous racer in [`crate::SuccessiveHalving`] drains the pool at
+//! every rung boundary: the last straggler of a rung finishes while every
+//! other worker idles. ASHA removes the barrier — the moment a
+//! configuration's rung result lands, it is either *promoted* to the next
+//! rung (if it sits in the top 1/η of its rung) or parked, and the freed
+//! worker immediately picks up the next promotion or a fresh rung-0
+//! configuration. No worker ever waits for a rung to complete.
+//!
+//! # Determinism
+//!
+//! Naïve ASHA is scheduling-dependent: promotion decisions read "results
+//! so far", which depends on completion order, which depends on pool
+//! width. This implementation makes every decision a pure function of the
+//! *processed prefix* instead:
+//!
+//! * jobs are numbered by launch order;
+//! * completions are buffered and processed strictly in job order;
+//! * after each processed job, new jobs launch while fewer than
+//!   [`Asha::async_window`] launched jobs are unprocessed.
+//!
+//! The window is an algorithm parameter, independent of pool width: a pool
+//! of 8 runs any window ≥ 8 at full occupancy, while a serial pool replays
+//! the identical launch sequence inline. Ties inside a rung break by
+//! `(score desc, config_seq asc)`, so the full trial history is
+//! byte-identical at widths 1, 2 and 8 — including under fault injection
+//! (a fault is just a job result, processed in the same order).
+//!
+//! # Speculative rung-0 prefetch
+//!
+//! Strict in-order processing has one throughput hazard: a slow job at
+//! the head of the window blocks every decision behind it, idling the
+//! pool (head-of-line blocking). The escape hatch is that rung-0
+//! injections are *result-independent*: injection #i always receives the
+//! i-th configuration of the deterministic fresh-config stream and
+//! becomes member #i. So while decisions are stalled, idle workers
+//! *prefetch* rung-0 evaluations for upcoming stream indices; when the
+//! coordinator later decides injection #i, the speculative result (or
+//! in-flight job) is consumed instead of launching anew. Speculation is
+//! bounded by the window, never charged to the budget until consumed,
+//! and — because it only reorders *execution*, never *decisions* — it is
+//! invisible in the output at any pool width. Prefetched results the run
+//! never consumes (budget exhausted first) are discarded.
+
+use crate::halving::{bracket_result, Member, RaceLedger};
+use crate::objective::Objective;
+use crate::outcome::TrialOutcome;
+use crate::smac::{OptOptions, OptResult, Optimizer, Trial};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smartml_classifiers::{ParamConfig, ParamSpace};
+use smartml_obs::{span, Counter};
+use smartml_runtime::faults::TrialToken;
+use smartml_runtime::{task_seed, StreamCtrl};
+use std::collections::BTreeMap;
+
+static ASHA_PROMOTIONS: Counter = Counter::new("smac.asha.promotions");
+static ASHA_EVICTIONS: Counter = Counter::new("smac.asha.evictions");
+static ASHA_IDLE_STEALS: Counter = Counter::new("smac.asha.idle_steals");
+
+/// The asynchronous successive-halving optimiser.
+pub struct Asha {
+    /// Rung reduction factor η (≥ 2): a configuration is promoted when it
+    /// ranks in the top `1/η` of its rung's completed results.
+    pub eta: usize,
+    /// Maximum launched-but-unprocessed jobs (≥ 1). Larger windows keep
+    /// wide pools busier at the cost of acting on slightly staler
+    /// information; the value changes the schedule but never makes it
+    /// scheduling-dependent.
+    pub async_window: usize,
+}
+
+impl Default for Asha {
+    fn default() -> Self {
+        Asha { eta: 2, async_window: 16 }
+    }
+}
+
+impl Asha {
+    pub fn new(eta: usize) -> Self {
+        Asha { eta: eta.max(2), ..Default::default() }
+    }
+}
+
+/// Fidelity (cumulative folds) of rung `r`.
+fn rung_fidelity(r: usize, eta: usize, n_folds: usize) -> usize {
+    let mut f = 1usize;
+    for _ in 0..r {
+        f = (f * eta).min(n_folds);
+    }
+    f.min(n_folds)
+}
+
+/// A unit of pool work: evaluate one fold of one configuration. A
+/// multi-fold promotion fans out into one job per fold so its folds run
+/// in parallel and no single task is longer than the slowest fold —
+/// minimising both head-of-line stalls and the final promotion chain.
+struct Job {
+    member: usize,
+    rung: usize,
+    fold: usize,
+    config: ParamConfig,
+}
+
+/// A decision's gathered result: fold scores in fold order up to the
+/// first failure, and that failure if any.
+struct JobOut {
+    scores: Vec<f64>,
+    failure: Option<TrialOutcome>,
+}
+
+/// One decision of the deterministic schedule. Injections name only the
+/// member (= fresh-config stream index); the rung-0 work may already be
+/// running speculatively.
+enum Decision {
+    Promote { member: usize, rung: usize, from: usize, to: usize },
+    Inject { member: usize },
+}
+
+/// What the coordinator remembers about a decision: whose result it is
+/// and which pool jobs (decided or speculative) deliver it, in fold
+/// order.
+struct DecisionMeta {
+    member: usize,
+    rung: usize,
+    source_jobs: Vec<usize>,
+}
+
+/// One completed rung evaluation, eligible for promotion.
+struct RungRecord {
+    member: usize,
+    /// Mean score over all folds evaluated so far — never NaN (faults
+    /// never produce records).
+    score: f64,
+    promoted: bool,
+}
+
+struct Coordinator<'a> {
+    eta: usize,
+    window: usize,
+    n_folds: usize,
+    /// Smallest rung index whose fidelity is `n_folds`; its records are
+    /// final and never promoted.
+    top_rung: usize,
+    space: &'a ParamSpace,
+    options: &'a OptOptions,
+    rng: StdRng,
+    warm: std::vec::IntoIter<ParamConfig>,
+    members: Vec<Member>,
+    rungs: Vec<Vec<RungRecord>>,
+    ledger: RaceLedger,
+    decisions: Vec<DecisionMeta>,
+    processed: usize,
+    /// Summaries of every raced configuration. Injection never repeats
+    /// one: a duplicate member would re-hit the fold cache (wasted
+    /// budget), and two in-flight twins racing the same `(config, fold)`
+    /// slot would make outcome kinds depend on which worker computes and
+    /// which waits — breaking width-independence under faults.
+    seen: std::collections::HashSet<String>,
+    /// Set once fresh sampling stops producing unseen configurations
+    /// (tiny discrete space); skips further injection attempts.
+    injection_dry: bool,
+    /// Memoised fresh-config stream: index i is the configuration that
+    /// injection #i (= member i) receives, and that speculation prefetches.
+    configs: Vec<ParamConfig>,
+    /// Speculative rung-0 jobs in flight: config stream index → pool job.
+    spec_jobs: std::collections::HashMap<usize, usize>,
+    /// Next stream index speculation would prefetch.
+    spec_next: usize,
+    /// Set once no further job may launch (budget spent, breaker tripped,
+    /// or out of time); in-flight jobs still drain and are recorded.
+    halted: bool,
+}
+
+impl Coordinator<'_> {
+    fn fidelity(&self, r: usize) -> usize {
+        rung_fidelity(r, self.eta, self.n_folds)
+    }
+
+    /// The next unit of work, by the deterministic decision rule: the
+    /// highest-rung promotable record wins; otherwise a fresh rung-0
+    /// configuration is injected (the "idle steal"). Returns `None` and
+    /// halts when nothing affordable remains.
+    fn decide_next(&mut self) -> Option<Decision> {
+        if self.halted || self.ledger.tripped {
+            self.halted = true;
+            return None;
+        }
+        if self.ledger.out_of_time(self.options) {
+            self.halted = true;
+            return None;
+        }
+        // Scan rungs top-down for a promotable record: completed, in the
+        // top floor(len/η) of its rung by (score desc, seq asc), not yet
+        // promoted. Promoting high rungs first pushes strong configs to
+        // full fidelity instead of widening the base.
+        for r in (0..self.top_rung).rev() {
+            let rung = &self.rungs[r];
+            let k = rung.len() / self.eta;
+            if k == 0 {
+                continue;
+            }
+            let mut order: Vec<usize> = (0..rung.len()).collect();
+            order.sort_by(|&a, &b| {
+                rung[b]
+                    .score
+                    .partial_cmp(&rung[a].score)
+                    .unwrap()
+                    .then_with(|| rung[a].member.cmp(&rung[b].member))
+            });
+            for &idx in order.iter().take(k) {
+                let member = self.rungs[r][idx].member;
+                if self.rungs[r][idx].promoted || self.members[member].failed {
+                    continue;
+                }
+                let (from, to) = (self.fidelity(r), self.fidelity(r + 1));
+                if to - from > self.ledger.remaining() {
+                    // Promotion doesn't fit; fall through to a cheaper
+                    // rung-0 injection below rather than stranding budget.
+                    break;
+                }
+                self.rungs[r][idx].promoted = true;
+                self.ledger.folds_spent += to - from;
+                ASHA_PROMOTIONS.inc();
+                return Some(Decision::Promote { member, rung: r + 1, from, to });
+            }
+        }
+        // Nothing promotable: inject a fresh rung-0 configuration.
+        let cost = self.fidelity(0);
+        if cost > self.ledger.remaining() {
+            self.halted = true;
+            return None;
+        }
+        let seq = self.members.len();
+        let Some(config) = self.config_at(seq) else {
+            // Space exhausted: stop injecting, but keep draining — later
+            // completions may still unlock promotions.
+            return None;
+        };
+        self.members.push(Member::new(config, seq));
+        self.ledger.launched += 1;
+        self.ledger.folds_spent += cost;
+        ASHA_IDLE_STEALS.inc();
+        Some(Decision::Inject { member: seq })
+    }
+
+    /// The i-th configuration of the fresh-config stream, memoised so
+    /// injection decisions and speculative prefetch agree on it.
+    fn config_at(&mut self, i: usize) -> Option<ParamConfig> {
+        while self.configs.len() <= i {
+            let next = self.fresh_config()?;
+            self.configs.push(next);
+        }
+        Some(self.configs[i].clone())
+    }
+
+    /// The next not-yet-raced configuration: warm starts first, then
+    /// random samples with a bounded retry budget against `seen`.
+    fn fresh_config(&mut self) -> Option<ParamConfig> {
+        if self.injection_dry {
+            return None;
+        }
+        while let Some(c) = self.warm.next() {
+            let c = self.space.repair(&c);
+            if self.seen.insert(c.summary()) {
+                return Some(c);
+            }
+        }
+        for _ in 0..64 {
+            let c = self.space.sample(&mut self.rng);
+            if self.seen.insert(c.summary()) {
+                return Some(c);
+            }
+        }
+        self.injection_dry = true;
+        None
+    }
+
+    /// Makes decisions until the async window is full or nothing can run,
+    /// submitting promotion jobs and wiring injections to their
+    /// speculative job when one is already in flight.
+    fn refill(&mut self, ctrl: &mut StreamCtrl<'_, Job, TrialOutcome>) {
+        while self.decisions.len() - self.processed < self.window {
+            let Some(decision) = self.decide_next() else { break };
+            let (member, rung, source_jobs) = match decision {
+                Decision::Promote { member, rung, from, to } => {
+                    // Decision jobs gate in-order processing, so they run
+                    // on the urgent tier ahead of any speculative backlog
+                    // — one job per fold, so the folds run in parallel.
+                    let config = &self.members[member].config;
+                    let jobs = (from..to)
+                        .map(|fold| {
+                            ctrl.submit_urgent(Job { member, rung, fold, config: config.clone() })
+                        })
+                        .collect();
+                    (member, rung, jobs)
+                }
+                Decision::Inject { member } => {
+                    let source = match self.spec_jobs.remove(&member) {
+                        Some(job) => job,
+                        None => ctrl.submit_urgent(Job {
+                            member,
+                            rung: 0,
+                            fold: 0,
+                            config: self.members[member].config.clone(),
+                        }),
+                    };
+                    (member, 0, vec![source])
+                }
+            };
+            self.decisions.push(DecisionMeta { member, rung, source_jobs });
+        }
+    }
+
+    /// Speculative rung-0 prefetch: keeps the pool fed while in-order
+    /// processing is stalled behind a slow job. Only the *execution* is
+    /// speculative — which configuration becomes member #i is already
+    /// fixed — so this never changes a decision, a ledger entry, or the
+    /// budget; results the schedule never consumes are dropped. How far
+    /// speculation runs ahead is timing-dependent and harmlessly so.
+    fn speculate(&mut self, ctrl: &mut StreamCtrl<'_, Job, TrialOutcome>) {
+        if self.halted || self.ledger.tripped || self.injection_dry {
+            return;
+        }
+        let cost = self.fidelity(0);
+        self.spec_next = self.spec_next.max(self.members.len());
+        // Never run further ahead than the remaining budget could still
+        // inject: a speculative result past that horizon is guaranteed
+        // dead work that only steals workers from live jobs. (The budget
+        // also funds future promotions, so this over-estimates; the
+        // urgent tier keeps the surplus from delaying decision jobs.)
+        let affordable = self.ledger.remaining() / cost.max(1);
+        let horizon = self.window.min(affordable);
+        while ctrl.outstanding() < self.window && self.spec_next - self.members.len() < horizon {
+            let i = self.spec_next;
+            let Some(config) = self.config_at(i) else { break };
+            let job = ctrl.submit(Job { member: i, rung: 0, fold: 0, config });
+            self.spec_jobs.insert(i, job);
+            self.spec_next = i + 1;
+        }
+    }
+
+    /// Folds the next decision's result into the ledger — always called
+    /// in decision order.
+    fn process(&mut self, out: JobOut) {
+        let DecisionMeta { member: mi, rung, .. } = self.decisions[self.processed];
+        let member = &mut self.members[mi];
+        member.fold_scores.extend(out.scores);
+        if let Some(failure) = out.failure {
+            member.failed = true;
+            self.ledger.failures.record(&failure);
+            member.failure = Some(failure);
+        } else {
+            let record =
+                RungRecord { member: mi, score: member.mean(), promoted: rung >= self.top_rung };
+            let rung_list = &mut self.rungs[rung];
+            rung_list.push(record);
+            // Eviction accounting: did this result land outside the
+            // promotable top floor(len/η) of its rung?
+            let k = rung_list.len() / self.eta;
+            let better = rung_list
+                .iter()
+                .filter(|rec| {
+                    rec.member != mi
+                        && (rec.score > rung_list[rung_list.len() - 1].score
+                            || (rec.score == rung_list[rung_list.len() - 1].score
+                                && rec.member < mi))
+                })
+                .count();
+            if better >= k {
+                ASHA_EVICTIONS.inc();
+            }
+        }
+        let failure = self.members[mi].failure.clone();
+        self.ledger.account_member(failure.as_ref(), self.options);
+        if self.ledger.tripped {
+            self.halted = true;
+        }
+        let member = &self.members[mi];
+        self.ledger.history.push(Trial {
+            config: member.config.clone(),
+            score: if member.failed { 0.0 } else { member.mean().max(0.0) },
+            folds_evaluated: member.fold_scores.len(),
+            elapsed_secs: self.ledger.start.elapsed().as_secs_f64(),
+            outcome: Some(match &member.failure {
+                Some(failure) => failure.clone(),
+                None => TrialOutcome::Ok(member.mean().max(0.0)),
+            }),
+        });
+        self.processed += 1;
+    }
+}
+
+impl Optimizer for Asha {
+    fn name(&self) -> &'static str {
+        "ASHA"
+    }
+
+    fn optimize(
+        &self,
+        space: &ParamSpace,
+        objective: &dyn Objective,
+        options: &OptOptions,
+    ) -> OptResult {
+        let eta = self.eta.max(2);
+        let n_folds = objective.n_folds();
+        let mut top_rung = 0;
+        while rung_fidelity(top_rung, eta, n_folds) < n_folds {
+            top_rung += 1;
+        }
+        let mut coord = Coordinator {
+            eta,
+            window: self.async_window.max(1),
+            n_folds,
+            top_rung,
+            space,
+            options,
+            rng: StdRng::seed_from_u64(task_seed(options.seed, 0x4153_4841)), // "ASHA"
+            warm: options.initial_configs.clone().into_iter(),
+            members: Vec::new(),
+            rungs: (0..=top_rung).map(|_| Vec::new()).collect(),
+            ledger: RaceLedger::new(objective, options),
+            decisions: Vec::new(),
+            processed: 0,
+            seen: std::collections::HashSet::new(),
+            injection_dry: false,
+            configs: Vec::new(),
+            spec_jobs: std::collections::HashMap::new(),
+            spec_next: 0,
+            halted: false,
+        };
+        let tag = &options.trace_tag;
+
+        coord = options.pool.stream(
+            |_, job: Job| {
+                let _s = span!("smac.rung", algo = tag, rung = job.rung, member = job.member);
+                // One fold per job: the trial timeout bounds each fold.
+                let token = TrialToken::bounded(options.trial_timeout, options.deadline);
+                let _f = span!("smac.fold", algo = tag, fold = job.fold);
+                objective.evaluate_fold_guarded(&job.config, job.fold, &token)
+            },
+            move |ctrl| {
+                coord.refill(ctrl);
+                coord.speculate(ctrl);
+                // Completions may land in any order; the buffer re-imposes
+                // decision order before any result is read. Speculative
+                // results wait here until (unless) a decision claims them.
+                let mut buffer: BTreeMap<usize, TrialOutcome> = BTreeMap::new();
+                while ctrl.outstanding() > 0 {
+                    let (idx, out) = ctrl.next().expect("outstanding > 0 yields a completion");
+                    buffer.insert(idx, out);
+                    loop {
+                        let Some(meta) = coord.decisions.get(coord.processed) else { break };
+                        if !meta.source_jobs.iter().all(|j| buffer.contains_key(j)) {
+                            break;
+                        }
+                        // Gather the decision's folds in fold order; the
+                        // first failure wins and later folds are dropped,
+                        // exactly as if they had never run.
+                        let mut scores = Vec::with_capacity(meta.source_jobs.len());
+                        let mut failure = None;
+                        for j in meta.source_jobs.clone() {
+                            let out = buffer.remove(&j).expect("checked above");
+                            if failure.is_none() {
+                                match out {
+                                    TrialOutcome::Ok(score) => scores.push(score),
+                                    other => failure = Some(other),
+                                }
+                            }
+                        }
+                        coord.process(JobOut { scores, failure });
+                        coord.refill(ctrl);
+                    }
+                    if coord.processed == coord.decisions.len() {
+                        // A fully processed ledger and nothing decidable:
+                        // whatever is still outstanding is speculation the
+                        // schedule will never consume — abandon it.
+                        break;
+                    }
+                    coord.speculate(ctrl);
+                }
+                coord
+            },
+        );
+
+        // Full-fidelity members outrank partial ones; among equals the
+        // higher mean wins and ties break to the earlier launch.
+        let best = coord
+            .members
+            .iter()
+            .filter(|m| !m.failed && !m.fold_scores.is_empty())
+            .max_by(|a, b| {
+                a.fold_scores
+                    .len()
+                    .cmp(&b.fold_scores.len())
+                    .then_with(|| a.mean().partial_cmp(&b.mean()).unwrap())
+                    .then_with(|| b.seq.cmp(&a.seq))
+            });
+        bracket_result(best, space, coord.ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::StaticObjective;
+    use smartml_classifiers::{ParamSpec, ParamValue};
+    use smartml_runtime::Pool;
+    use std::time::Duration;
+
+    fn space_1d() -> ParamSpace {
+        ParamSpace::new(vec![ParamSpec::Real { name: "x".into(), lo: 0.0, hi: 1.0, log: false }])
+    }
+
+    fn peak() -> StaticObjective<impl Fn(&ParamConfig, usize) -> f64 + Send + Sync> {
+        StaticObjective {
+            folds: 8,
+            f: |c: &ParamConfig, fold| {
+                1.0 - (c.f64_or("x", 0.0) - 0.6).powi(2) + fold as f64 * 1e-3
+            },
+        }
+    }
+
+    fn curve(r: &OptResult) -> Vec<(String, usize)> {
+        r.history
+            .iter()
+            .map(|t| (format!("{}:{:.12}", t.config.summary(), t.score), t.folds_evaluated))
+            .collect()
+    }
+
+    #[test]
+    fn rung_fidelities_follow_eta() {
+        assert_eq!((0..4).map(|r| rung_fidelity(r, 2, 8)).collect::<Vec<_>>(), vec![1, 2, 4, 8]);
+        assert_eq!((0..3).map(|r| rung_fidelity(r, 3, 5)).collect::<Vec<_>>(), vec![1, 3, 5]);
+        assert_eq!(rung_fidelity(0, 2, 1), 1);
+    }
+
+    #[test]
+    fn finds_the_peak_region() {
+        let result = Asha::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions { max_trials: 40, seed: 5, ..Default::default() },
+        );
+        let x = result.best_config.f64_or("x", 0.0);
+        assert!((x - 0.6).abs() < 0.15, "best x = {x}");
+    }
+
+    #[test]
+    fn respects_the_fold_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let obj = StaticObjective {
+            folds: 8,
+            f: |c: &ParamConfig, _| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                c.f64_or("x", 0.0)
+            },
+        };
+        CALLS.store(0, Ordering::Relaxed);
+        let budget_trials = 10; // = 80 fold-evals
+        Asha::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: budget_trials, ..Default::default() },
+        );
+        assert!(CALLS.load(Ordering::Relaxed) <= budget_trials * 8);
+    }
+
+    #[test]
+    fn promotions_reach_full_fidelity() {
+        let result = Asha::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions { max_trials: 40, seed: 7, ..Default::default() },
+        );
+        let max_folds = result.history.iter().map(|t| t.folds_evaluated).max().unwrap();
+        assert_eq!(max_folds, 8, "a config must be promoted to the top rung");
+        assert!(
+            result.history.iter().any(|t| t.folds_evaluated == 1),
+            "rung-0 evaluations must appear"
+        );
+    }
+
+    #[test]
+    fn byte_identical_at_pool_widths_1_2_8() {
+        let run = |width: usize| {
+            let opts = OptOptions {
+                max_trials: 30,
+                seed: 17,
+                pool: Pool::new(width),
+                ..Default::default()
+            };
+            let r = Asha::default().optimize(&space_1d(), &peak(), &opts);
+            (curve(&r), r.best_score.to_bits(), r.best_config)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn window_size_changes_schedule_but_width_never_does() {
+        // Both window settings must themselves be width-independent.
+        for window in [1, 4, 32] {
+            let run = |width: usize| {
+                let asha = Asha { eta: 2, async_window: window };
+                let opts = OptOptions {
+                    max_trials: 20,
+                    seed: 3,
+                    pool: Pool::new(width),
+                    ..Default::default()
+                };
+                curve(&asha.optimize(&space_1d(), &peak(), &opts))
+            };
+            assert_eq!(run(1), run(8), "window {window} is width-dependent");
+        }
+    }
+
+    #[test]
+    fn warm_starts_seed_rung_zero() {
+        let warm = ParamConfig::default().with("x", ParamValue::Real(0.6));
+        let result = Asha::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions {
+                max_trials: 20,
+                initial_configs: vec![warm],
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        assert!((result.best_config.f64_or("x", 0.0) - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn all_failures_degrade_gracefully() {
+        struct Fails;
+        impl crate::Objective for Fails {
+            fn n_folds(&self) -> usize {
+                2
+            }
+            fn evaluate_fold(&self, _: &ParamConfig, _: usize) -> Result<f64, String> {
+                Err("nope".into())
+            }
+        }
+        let result = Asha::default().optimize(
+            &space_1d(),
+            &Fails,
+            &OptOptions { max_trials: 8, ..Default::default() },
+        );
+        assert_eq!(result.best_score, 0.0);
+        assert!(result.failures.failed > 0);
+    }
+
+    #[test]
+    fn breaker_trips_and_halts_launches() {
+        struct Panics;
+        impl crate::Objective for Panics {
+            fn n_folds(&self) -> usize {
+                4
+            }
+            fn evaluate_fold(&self, _: &ParamConfig, _: usize) -> Result<f64, String> {
+                panic!("injected")
+            }
+        }
+        let result = Asha::default().optimize(
+            &space_1d(),
+            &Panics,
+            &OptOptions { max_trials: 50, breaker_threshold: 3, ..Default::default() },
+        );
+        assert!(result.tripped);
+        // Threshold 3 plus at most one async window of in-flight jobs.
+        assert!(
+            result.history.len() <= 3 + 16,
+            "launches must stop at the trip: {} jobs ran",
+            result.history.len()
+        );
+    }
+
+    #[test]
+    fn honours_wall_clock_budget() {
+        let slow = StaticObjective {
+            folds: 4,
+            f: |c: &ParamConfig, _| {
+                std::thread::sleep(Duration::from_millis(5));
+                c.f64_or("x", 0.0)
+            },
+        };
+        let result = Asha::default().optimize(
+            &space_1d(),
+            &slow,
+            &OptOptions {
+                max_trials: 10_000,
+                wall_clock: Some(Duration::from_millis(60)),
+                ..Default::default()
+            },
+        );
+        // 10k trials would take minutes; the clock must cut it off early.
+        assert!(result.history.len() < 1000);
+    }
+}

@@ -5,6 +5,10 @@
 //! CV folds evaluated, the same axis the paper's SMAC intensification uses
 //! ("discard low performance configurations quickly after the evaluation on
 //! a low number of folds").
+//!
+//! The rung engine in this module ([`RaceLedger`] / [`run_bracket`]) is
+//! shared with [`crate::hyperband::Hyperband`], which runs several brackets
+//! of it at staggered starting fidelities against one fold budget.
 
 use crate::objective::Objective;
 use crate::outcome::{FailureCounts, TrialOutcome};
@@ -12,6 +16,7 @@ use crate::smac::{OptOptions, OptResult, Optimizer, Trial};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smartml_classifiers::{ParamConfig, ParamSpace};
+use smartml_obs::span;
 use smartml_runtime::faults::TrialToken;
 use std::time::Instant;
 
@@ -27,20 +32,295 @@ impl Default for SuccessiveHalving {
     }
 }
 
-struct Member {
-    config: ParamConfig,
-    fold_scores: Vec<f64>,
-    failed: bool,
-    failure: Option<TrialOutcome>,
+impl SuccessiveHalving {
+    pub fn new(eta: usize) -> Self {
+        SuccessiveHalving { eta: eta.max(2) }
+    }
+}
+
+/// One racing configuration and everything learned about it so far.
+pub(crate) struct Member {
+    pub config: ParamConfig,
+    /// Global launch index — the deterministic tie-breaker: when two
+    /// members score identically, the earlier-launched one wins, so rung
+    /// cuts never depend on an unstable sort or on scheduling.
+    pub seq: usize,
+    pub fold_scores: Vec<f64>,
+    pub failed: bool,
+    pub failure: Option<TrialOutcome>,
 }
 
 impl Member {
-    fn mean(&self) -> f64 {
+    pub fn new(config: ParamConfig, seq: usize) -> Member {
+        Member { config, seq, fold_scores: Vec::new(), failed: false, failure: None }
+    }
+
+    pub fn mean(&self) -> f64 {
         if self.failed || self.fold_scores.is_empty() {
             f64::NEG_INFINITY
         } else {
             self.fold_scores.iter().sum::<f64>() / self.fold_scores.len() as f64
         }
+    }
+}
+
+/// Sorts best-first by `(mean desc, seq asc)` — total and deterministic
+/// (means are never NaN: failures map to `NEG_INFINITY`).
+pub(crate) fn sort_best_first(cohort: &mut [Member]) {
+    cohort.sort_by(|a, b| {
+        b.mean().partial_cmp(&a.mean()).unwrap().then_with(|| a.seq.cmp(&b.seq))
+    });
+}
+
+/// Budget/outcome bookkeeping shared by every bracket of one `optimize`
+/// call, so Hyperband's brackets draw from a single fold-evaluation pot.
+pub(crate) struct RaceLedger {
+    pub start: Instant,
+    /// Total fold-evaluation budget for the whole optimisation.
+    pub budget_folds: usize,
+    /// Fold-evaluations charged so far (charged at allocation time — a
+    /// member that faults mid-rung forfeits the rest of its grant, which
+    /// keeps accounting independent of where a fault lands).
+    pub folds_spent: usize,
+    pub history: Vec<Trial>,
+    pub failures: FailureCounts,
+    /// Members launched so far, across brackets (the `seq` source).
+    pub launched: usize,
+    /// Consecutive faulted members, in member order (breaker input).
+    pub consecutive_faults: usize,
+    pub tripped: bool,
+}
+
+impl RaceLedger {
+    pub fn new(objective: &dyn Objective, options: &OptOptions) -> RaceLedger {
+        let n_folds = objective.n_folds();
+        RaceLedger {
+            start: Instant::now(),
+            // Budget accounting in fold-evaluations: `max_trials` full
+            // evaluations worth, same currency the other optimisers spend.
+            budget_folds: options.max_trials.saturating_mul(n_folds).max(n_folds),
+            folds_spent: 0,
+            history: Vec::new(),
+            failures: FailureCounts::default(),
+            launched: 0,
+            consecutive_faults: 0,
+            tripped: false,
+        }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.budget_folds - self.folds_spent
+    }
+
+    pub fn out_of_time(&self, options: &OptOptions) -> bool {
+        options.wall_clock.is_some_and(|b| self.start.elapsed() >= b)
+            || options.deadline.expired()
+    }
+
+    /// Successful trials count once per distinct configuration; failures
+    /// were tallied as they happened.
+    pub fn finish_failures(&mut self) {
+        self.failures.ok = self
+            .history
+            .iter()
+            .filter(|t| t.is_success())
+            .map(|t| t.config.summary())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+    }
+
+    /// Folds `result` into the breaker state, in member order.
+    pub(crate) fn account_member(&mut self, failure: Option<&TrialOutcome>, options: &OptOptions) {
+        match failure {
+            Some(f) if f.is_fault() => {
+                self.consecutive_faults += 1;
+                if options.breaker_threshold > 0
+                    && self.consecutive_faults >= options.breaker_threshold
+                {
+                    self.tripped = true;
+                }
+            }
+            _ => self.consecutive_faults = 0,
+        }
+    }
+}
+
+/// Races one cohort through rungs of η-increasing fidelity, evaluating
+/// each rung on `options.pool` (the rung itself is a barrier; see
+/// [`crate::Asha`] for the barrier-free variant). Returns the cohort
+/// sorted best-first. Deterministic at any pool width: per-member fold
+/// grants are precomputed in member order before the rung runs, so the
+/// budget cutoff never depends on completion order.
+pub(crate) fn run_bracket(
+    mut cohort: Vec<Member>,
+    r0: usize,
+    eta: usize,
+    objective: &dyn Objective,
+    options: &OptOptions,
+    ledger: &mut RaceLedger,
+) -> Vec<Member> {
+    let n_folds = objective.n_folds();
+    let mut fidelity = r0.clamp(1, n_folds);
+    let mut rung = 0usize;
+    loop {
+        if cohort.is_empty() || ledger.tripped {
+            break;
+        }
+        let out_of_time = ledger.out_of_time(options);
+        // Deterministic budget cutoff: grant folds in member order before
+        // anything runs, charging the ledger up front.
+        let grants: Vec<(usize, usize)> = cohort
+            .iter()
+            .map(|m| {
+                if m.failed || out_of_time {
+                    return (m.fold_scores.len(), 0);
+                }
+                let need = fidelity.min(n_folds).saturating_sub(m.fold_scores.len());
+                let grant = need.min(ledger.remaining());
+                ledger.folds_spent += grant;
+                (m.fold_scores.len(), grant)
+            })
+            .collect();
+
+        // Evaluate the rung: one pool task per member, folds sequential
+        // within a member (a fault forfeits the member's remaining grant).
+        let _rung_span = span!(
+            "smac.rung",
+            algo = &options.trace_tag,
+            rung = rung,
+            cohort = cohort.len(),
+            fidelity = fidelity.min(n_folds)
+        );
+        let tag = &options.trace_tag;
+        let tasks: Vec<(usize, usize, &ParamConfig)> = cohort
+            .iter()
+            .zip(&grants)
+            .map(|(m, &(from, n))| (from, n, &m.config))
+            .collect();
+        let results = options.pool.map_indexed(tasks, |i, (from, n, config)| {
+            let _s = span!("smac.rung.member", algo = tag, rung = rung, member = i);
+            let token = TrialToken::bounded(options.trial_timeout, options.deadline);
+            let mut scores = Vec::with_capacity(n);
+            let mut failure = None;
+            for fold in from..from + n {
+                let _f = span!("smac.fold", algo = tag, fold = fold);
+                match objective.evaluate_fold_guarded(config, fold, &token) {
+                    TrialOutcome::Ok(score) => scores.push(score),
+                    other => {
+                        failure = Some(other);
+                        break;
+                    }
+                }
+            }
+            (scores, failure)
+        });
+
+        // Apply results in member order: deterministic ledger, breaker and
+        // history regardless of which worker finished first.
+        for (member, (scores, failure)) in cohort.iter_mut().zip(results) {
+            member.fold_scores.extend(scores);
+            if let Some(f) = failure {
+                member.failed = true;
+                ledger.failures.record(&f);
+                member.failure = Some(f);
+            }
+        }
+        for (i, member) in cohort.iter().enumerate() {
+            if grants[i].1 > 0 {
+                let failure = member.failure.clone();
+                ledger.account_member(failure.as_ref(), options);
+            }
+        }
+        // Record this rung's state for every member (anytime curve).
+        for member in &cohort {
+            ledger.history.push(Trial {
+                config: member.config.clone(),
+                score: if member.failed { 0.0 } else { member.mean().max(0.0) },
+                folds_evaluated: member.fold_scores.len(),
+                elapsed_secs: ledger.start.elapsed().as_secs_f64(),
+                outcome: Some(match &member.failure {
+                    Some(failure) => failure.clone(),
+                    None => TrialOutcome::Ok(member.mean().max(0.0)),
+                }),
+            });
+        }
+        // Stop when one survivor remains at full fidelity or the budget
+        // is gone.
+        let done = cohort.len() <= 1 && fidelity >= n_folds;
+        if done || ledger.folds_spent >= ledger.budget_folds || out_of_time || ledger.tripped {
+            break;
+        }
+        // Keep the best 1/η (at least one), raise fidelity.
+        sort_best_first(&mut cohort);
+        let keep = (cohort.len() / eta).max(1);
+        cohort.truncate(keep);
+        fidelity = (fidelity * eta).min(n_folds);
+        rung += 1;
+    }
+    sort_best_first(&mut cohort);
+    cohort
+}
+
+/// Builds a cohort of up to `size` members with pairwise-distinct
+/// configurations: `warm` entries first (consumed), then random samples.
+/// Twin members inside one cohort would race the same `(config, fold)`
+/// fold-cache slots concurrently, which wastes budget re-scoring known
+/// configurations and — under injected faults — makes outcome kinds
+/// depend on which worker computes and which waits; distinct cohorts
+/// keep rungs width-independent. Sampling gives up after 64 consecutive
+/// duplicate draws (effectively exhausted discrete spaces).
+pub(crate) fn distinct_cohort(
+    space: &ParamSpace,
+    warm: &mut Vec<ParamConfig>,
+    rng: &mut StdRng,
+    size: usize,
+    first_seq: usize,
+) -> Vec<Member> {
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut cohort: Vec<Member> = Vec::new();
+    for config in warm.drain(..) {
+        if cohort.len() == size {
+            break; // dropping the drain discards unused warm starts
+        }
+        if seen.insert(config.summary()) {
+            cohort.push(Member::new(config, first_seq + cohort.len()));
+        }
+    }
+    let mut misses = 0;
+    while cohort.len() < size && misses < 64 {
+        let config = space.sample(rng);
+        if seen.insert(config.summary()) {
+            misses = 0;
+            cohort.push(Member::new(config, first_seq + cohort.len()));
+        } else {
+            misses += 1;
+        }
+    }
+    cohort
+}
+
+/// Packages a raced cohort into an [`OptResult`].
+pub(crate) fn bracket_result(
+    best: Option<&Member>,
+    space: &ParamSpace,
+    mut ledger: RaceLedger,
+) -> OptResult {
+    ledger.finish_failures();
+    match best {
+        Some(best) if !best.failed && !best.fold_scores.is_empty() => OptResult {
+            best_config: best.config.clone(),
+            best_score: best.mean().max(0.0),
+            history: ledger.history,
+            failures: ledger.failures,
+            tripped: ledger.tripped,
+        },
+        _ => OptResult {
+            best_config: space.default_config(),
+            best_score: 0.0,
+            history: ledger.history,
+            failures: ledger.failures,
+            tripped: ledger.tripped,
+        },
     }
 }
 
@@ -55,105 +335,22 @@ impl Optimizer for SuccessiveHalving {
         objective: &dyn Objective,
         options: &OptOptions,
     ) -> OptResult {
-        let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(options.seed);
         let eta = self.eta.max(2);
-        let n_folds = objective.n_folds();
-        // Budget accounting in fold-evaluations: `max_trials` full
-        // evaluations worth, same currency the other optimisers spend.
-        let budget_folds = options.max_trials.saturating_mul(n_folds).max(n_folds);
+        let mut ledger = RaceLedger::new(objective, options);
 
         // Initial cohort: warm starts first, then random samples. A cohort
         // of size n costs roughly n + n/η·1 + n/η²·2 … fold-evals with the
         // doubling fidelity schedule below; sizing n = budget·(η-1)/η keeps
         // the total within budget for η = 2 while using most of it.
-        let cohort_size = ((budget_folds * (eta - 1)) / eta).clamp(eta, 4096);
-        let mut cohort: Vec<Member> = options
-            .initial_configs
-            .iter()
-            .map(|c| space.repair(c))
-            .chain((0..cohort_size).map(|_| space.sample(&mut rng)))
-            .take(cohort_size)
-            .map(|config| Member { config, fold_scores: Vec::new(), failed: false, failure: None })
-            .collect();
+        let cohort_size = ((ledger.budget_folds * (eta - 1)) / eta).clamp(eta, 4096);
+        let mut warm: Vec<ParamConfig> =
+            options.initial_configs.iter().map(|c| space.repair(c)).collect();
+        let cohort = distinct_cohort(space, &mut warm, &mut rng, cohort_size, 0);
+        ledger.launched = cohort.len();
 
-        let mut history: Vec<Trial> = Vec::new();
-        let mut failures = FailureCounts::default();
-        let mut folds_spent = 0usize;
-        let mut fidelity = 1usize; // folds each survivor is evaluated to
-        loop {
-            let out_of_time = options.wall_clock.is_some_and(|b| start.elapsed() >= b);
-            // Evaluate every member up to the current fidelity.
-            for member in &mut cohort {
-                let token = TrialToken::bounded(options.trial_timeout, options.deadline);
-                while !member.failed
-                    && member.fold_scores.len() < fidelity.min(n_folds)
-                    && folds_spent < budget_folds
-                    && !out_of_time
-                {
-                    let fold = member.fold_scores.len();
-                    folds_spent += 1;
-                    match objective.evaluate_fold_guarded(&member.config, fold, &token) {
-                        TrialOutcome::Ok(score) => member.fold_scores.push(score),
-                        failure => {
-                            member.failed = true;
-                            failures.record(&failure);
-                            member.failure = Some(failure);
-                        }
-                    }
-                }
-            }
-            // Record this rung's state for every member (anytime curve).
-            for member in &cohort {
-                history.push(Trial {
-                    config: member.config.clone(),
-                    score: if member.failed { 0.0 } else { member.mean().max(0.0) },
-                    folds_evaluated: member.fold_scores.len(),
-                    elapsed_secs: start.elapsed().as_secs_f64(),
-                    outcome: Some(match &member.failure {
-                        Some(failure) => failure.clone(),
-                        None => TrialOutcome::Ok(member.mean().max(0.0)),
-                    }),
-                });
-            }
-            // Stop when one survivor remains at full fidelity or the budget
-            // is gone.
-            let done = cohort.len() <= 1 && fidelity >= n_folds;
-            if done || folds_spent >= budget_folds || out_of_time {
-                break;
-            }
-            // Keep the best 1/η (at least one), raise fidelity.
-            cohort.sort_by(|a, b| b.mean().partial_cmp(&a.mean()).unwrap());
-            let keep = (cohort.len() / eta).max(1);
-            cohort.truncate(keep);
-            fidelity = (fidelity * eta).min(n_folds);
-        }
-
-        cohort.sort_by(|a, b| b.mean().partial_cmp(&a.mean()).unwrap());
-        // Failures were tallied as they happened; members that never
-        // failed count once each as ok trials.
-        failures.ok = history
-            .iter()
-            .filter(|t| t.is_success())
-            .map(|t| t.config.summary())
-            .collect::<std::collections::HashSet<_>>()
-            .len();
-        match cohort.first() {
-            Some(best) if !best.failed => OptResult {
-                best_config: best.config.clone(),
-                best_score: best.mean().max(0.0),
-                history,
-                failures,
-                tripped: false,
-            },
-            _ => OptResult {
-                best_config: space.default_config(),
-                best_score: 0.0,
-                history,
-                failures,
-                tripped: false,
-            },
-        }
+        let survivors = run_bracket(cohort, 1, eta, objective, options, &mut ledger);
+        bracket_result(survivors.first(), space, ledger)
     }
 }
 
@@ -162,12 +359,13 @@ mod tests {
     use super::*;
     use crate::objective::StaticObjective;
     use smartml_classifiers::{ParamSpec, ParamValue};
+    use smartml_runtime::Pool;
 
     fn space_1d() -> ParamSpace {
         ParamSpace::new(vec![ParamSpec::Real { name: "x".into(), lo: 0.0, hi: 1.0, log: false }])
     }
 
-    fn peak() -> StaticObjective<impl Fn(&ParamConfig, usize) -> f64 + Send> {
+    fn peak() -> StaticObjective<impl Fn(&ParamConfig, usize) -> f64 + Send + Sync> {
         StaticObjective {
             folds: 4,
             f: |c: &ParamConfig, fold| {
@@ -265,5 +463,108 @@ mod tests {
         let a = SuccessiveHalving::default().optimize(&space_1d(), &peak(), &opts);
         let b = SuccessiveHalving::default().optimize(&space_1d(), &peak(), &opts);
         assert_eq!(a.best_config, b.best_config);
+    }
+
+    #[test]
+    fn identical_results_at_pool_widths_1_2_8() {
+        let run = |width: usize| {
+            let opts = OptOptions {
+                max_trials: 30,
+                seed: 17,
+                pool: Pool::new(width),
+                ..Default::default()
+            };
+            let r = SuccessiveHalving::default().optimize(&space_1d(), &peak(), &opts);
+            let curve: Vec<(String, usize)> = r
+                .history
+                .iter()
+                .map(|t| (format!("{}:{:.12}", t.config.summary(), t.score), t.folds_evaluated))
+                .collect();
+            (r.best_config, r.best_score.to_bits(), curve)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn cohort_smaller_than_eta_still_races() {
+        // η = 4 with a budget that only affords a cohort of clamp floor η;
+        // and a degenerate 1-trial budget whose cohort clamps to η but has
+        // almost no folds to spend. Both must terminate and return a
+        // config without panicking.
+        let result = SuccessiveHalving::new(4).optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions { max_trials: 1, ..Default::default() },
+        );
+        // 4 fold-evals of budget, cohort of 4: everyone gets fold 0, the
+        // race ends on budget, the best rung-0 member wins.
+        assert!(result.history.iter().all(|t| t.folds_evaluated <= 1));
+        assert!(result.best_score > 0.0);
+    }
+
+    #[test]
+    fn single_config_cohort_runs_to_full_fidelity() {
+        let warm = ParamConfig::default().with("x", ParamValue::Real(0.5));
+        let mut ledger = RaceLedger::new(&peak(), &OptOptions::default());
+        let cohort = vec![Member::new(warm, 0)];
+        let survivors =
+            run_bracket(cohort, 1, 2, &peak(), &OptOptions::default(), &mut ledger);
+        assert_eq!(survivors.len(), 1);
+        assert_eq!(survivors[0].fold_scores.len(), 4, "lone member reaches full fidelity");
+    }
+
+    #[test]
+    fn zero_remaining_budget_mid_rung_truncates_grants() {
+        // Budget covers the first rung plus two folds of the second: the
+        // member-order cutoff must give rung 2's first survivor those two
+        // folds and nothing to anyone after.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let obj = StaticObjective {
+            folds: 8,
+            f: |c: &ParamConfig, _| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                c.f64_or("x", 0.0)
+            },
+        };
+        CALLS.store(0, Ordering::Relaxed);
+        let mut ledger = RaceLedger::new(&obj, &OptOptions::default());
+        ledger.budget_folds = 6; // 4 members × fold 0, then 2 more folds
+        let cohort: Vec<Member> = (0..4)
+            .map(|i| {
+                Member::new(
+                    ParamConfig::default().with("x", ParamValue::Real(0.1 * i as f64)),
+                    i,
+                )
+            })
+            .collect();
+        run_bracket(cohort, 1, 2, &obj, &OptOptions::default(), &mut ledger);
+        assert_eq!(ledger.folds_spent, 6);
+        assert_eq!(CALLS.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutively_faulting_rung() {
+        // Every member panics at fold 0: with a threshold of 3 the rung
+        // trips the breaker and the result reports it.
+        struct Panics;
+        impl crate::Objective for Panics {
+            fn n_folds(&self) -> usize {
+                4
+            }
+            fn evaluate_fold(&self, _: &ParamConfig, _: usize) -> Result<f64, String> {
+                panic!("injected")
+            }
+        }
+        let result = SuccessiveHalving::default().optimize(
+            &space_1d(),
+            &Panics,
+            &OptOptions { max_trials: 10, breaker_threshold: 3, ..Default::default() },
+        );
+        assert!(result.tripped, "all-faulted rung must trip the breaker");
+        assert_eq!(result.best_score, 0.0);
+        assert!(result.failures.panicked >= 3);
     }
 }

@@ -1,0 +1,253 @@
+//! Hyperband (Li et al., JMLR 2018): successive halving is a great racer
+//! but needs to guess how aggressively to cut — a large exploratory cohort
+//! at low fidelity, or a small one evaluated thoroughly? Hyperband hedges
+//! by running a *sweep of brackets*, each a successive-halving race with a
+//! different trade-off: bracket `s_max` starts many configs at the lowest
+//! fidelity, bracket `0` starts few configs at full fidelity. All brackets
+//! draw from one shared fold-evaluation budget via [`RaceLedger`].
+
+use crate::halving::{bracket_result, distinct_cohort, run_bracket, Member, RaceLedger};
+use crate::objective::Objective;
+use crate::smac::{OptOptions, OptResult, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use smartml_classifiers::{ParamConfig, ParamSpace};
+use smartml_runtime::task_seed;
+
+/// The Hyperband optimiser: brackets of [`crate::SuccessiveHalving`] races
+/// at staggered starting fidelities.
+pub struct Hyperband {
+    /// Rung reduction factor η shared by every bracket (≥ 2).
+    pub eta: usize,
+}
+
+impl Default for Hyperband {
+    fn default() -> Self {
+        Hyperband { eta: 2 }
+    }
+}
+
+impl Hyperband {
+    pub fn new(eta: usize) -> Self {
+        Hyperband { eta: eta.max(2) }
+    }
+}
+
+/// `floor(log_eta(n))` — how many η-steps fit under `n`.
+fn log_eta(n: usize, eta: usize) -> usize {
+    let mut s = 0;
+    let mut r = eta;
+    while r <= n {
+        s += 1;
+        r *= eta;
+    }
+    s
+}
+
+impl Optimizer for Hyperband {
+    fn name(&self) -> &'static str {
+        "Hyperband"
+    }
+
+    fn optimize(
+        &self,
+        space: &ParamSpace,
+        objective: &dyn Objective,
+        options: &OptOptions,
+    ) -> OptResult {
+        let eta = self.eta.max(2);
+        let n_folds = objective.n_folds();
+        let s_max = log_eta(n_folds, eta);
+        let mut rng = StdRng::seed_from_u64(task_seed(options.seed, 0x4879_7062)); // "Hyb"
+        let mut ledger = RaceLedger::new(objective, options);
+        let mut warm: Vec<ParamConfig> =
+            options.initial_configs.iter().map(|c| space.repair(c)).collect();
+        let mut best: Option<Member> = None;
+
+        // Sweep brackets s_max → 0 (exploratory first); repeat the sweep
+        // until the fold budget is spent, so small bracket schedules don't
+        // strand a large `max_trials`. Each bracket is itself cut off by
+        // the shared ledger, so a sweep never overspends.
+        'sweeps: loop {
+            let spent_before_sweep = ledger.folds_spent;
+            for s in (0..=s_max).rev() {
+                if ledger.remaining() == 0 || ledger.tripped || ledger.out_of_time(options) {
+                    break 'sweeps;
+                }
+                // Standard schedule: n_s = ceil((s_max+1)/(s+1)) · η^s
+                // configs starting at fidelity r0 = n_folds / η^s.
+                let n_s = ((s_max + 1).div_ceil(s + 1) * eta.pow(s as u32)).min(4096);
+                let r0 = (n_folds / eta.pow(s as u32)).max(1);
+                // Never launch more configs than the remaining budget can
+                // give a first rung (r0 folds each).
+                let n_s = n_s.min((ledger.remaining() / r0).max(1));
+                // Distinct configs only: twins inside one bracket would
+                // race the same fold-cache slots (see `distinct_cohort`).
+                let cohort = distinct_cohort(space, &mut warm, &mut rng, n_s, ledger.launched);
+                ledger.launched += cohort.len();
+                let survivors = run_bracket(cohort, r0, eta, objective, options, &mut ledger);
+                // Brackets are compared on their champions' full-fidelity
+                // means; ties go to the earlier-launched member, same rule
+                // as within a rung.
+                if let Some(winner) = survivors.into_iter().next() {
+                    let better = match &best {
+                        None => true,
+                        Some(b) => match winner.mean().partial_cmp(&b.mean()).unwrap() {
+                            std::cmp::Ordering::Greater => true,
+                            std::cmp::Ordering::Equal => winner.seq < b.seq,
+                            std::cmp::Ordering::Less => false,
+                        },
+                    };
+                    if better {
+                        best = Some(winner);
+                    }
+                }
+            }
+            if ledger.folds_spent == spent_before_sweep {
+                break; // nothing runnable: avoid spinning on a zero-cost sweep
+            }
+        }
+
+        bracket_result(best.as_ref(), space, ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::StaticObjective;
+    use crate::smac::OptOptions;
+    use smartml_classifiers::{ParamSpec, ParamValue};
+    use smartml_runtime::Pool;
+
+    fn space_1d() -> ParamSpace {
+        ParamSpace::new(vec![ParamSpec::Real { name: "x".into(), lo: 0.0, hi: 1.0, log: false }])
+    }
+
+    fn peak() -> StaticObjective<impl Fn(&ParamConfig, usize) -> f64 + Send + Sync> {
+        StaticObjective {
+            folds: 8,
+            f: |c: &ParamConfig, fold| {
+                1.0 - (c.f64_or("x", 0.0) - 0.6).powi(2) + fold as f64 * 1e-3
+            },
+        }
+    }
+
+    #[test]
+    fn log_eta_schedule() {
+        assert_eq!(log_eta(1, 2), 0);
+        assert_eq!(log_eta(2, 2), 1);
+        assert_eq!(log_eta(8, 2), 3);
+        assert_eq!(log_eta(9, 3), 2);
+        assert_eq!(log_eta(7, 2), 2);
+    }
+
+    #[test]
+    fn finds_the_peak_region() {
+        let result = Hyperband::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions { max_trials: 40, seed: 5, ..Default::default() },
+        );
+        let x = result.best_config.f64_or("x", 0.0);
+        assert!((x - 0.6).abs() < 0.15, "best x = {x}");
+    }
+
+    #[test]
+    fn respects_the_fold_budget() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let obj = StaticObjective {
+            folds: 8,
+            f: |c: &ParamConfig, _| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                c.f64_or("x", 0.0)
+            },
+        };
+        CALLS.store(0, Ordering::Relaxed);
+        let budget_trials = 12; // = 96 fold-evals
+        Hyperband::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: budget_trials, ..Default::default() },
+        );
+        assert!(CALLS.load(Ordering::Relaxed) <= budget_trials * 8);
+    }
+
+    #[test]
+    fn runs_multiple_bracket_shapes() {
+        let result = Hyperband::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions { max_trials: 40, seed: 9, ..Default::default() },
+        );
+        // The exploratory bracket leaves rung-0 members at 1 fold; the
+        // conservative bracket starts members at full fidelity.
+        let folds: Vec<usize> = result.history.iter().map(|t| t.folds_evaluated).collect();
+        assert!(folds.iter().any(|&f| f <= 1), "no low-fidelity bracket ran");
+        assert!(folds.iter().any(|&f| f == 8), "no full-fidelity evaluation ran");
+    }
+
+    #[test]
+    fn eta_changes_the_schedule() {
+        let opts = OptOptions { max_trials: 30, seed: 2, ..Default::default() };
+        let a = Hyperband::new(2).optimize(&space_1d(), &peak(), &opts);
+        let b = Hyperband::new(4).optimize(&space_1d(), &peak(), &opts);
+        // Different η ⇒ different bracket count and cohort sizes ⇒ a
+        // different anytime curve (scores may coincide; shapes must not).
+        let shape = |r: &crate::OptResult| {
+            r.history.iter().map(|t| t.folds_evaluated).collect::<Vec<_>>()
+        };
+        assert_ne!(shape(&a), shape(&b));
+    }
+
+    #[test]
+    fn warm_starts_join_the_first_bracket() {
+        let warm = ParamConfig::default().with("x", ParamValue::Real(0.6));
+        let result = Hyperband::default().optimize(
+            &space_1d(),
+            &peak(),
+            &OptOptions {
+                max_trials: 20,
+                initial_configs: vec![warm],
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        assert!((result.best_config.f64_or("x", 0.0) - 0.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn identical_results_at_pool_widths_1_2_8() {
+        let run = |width: usize| {
+            let opts = OptOptions {
+                max_trials: 24,
+                seed: 13,
+                pool: Pool::new(width),
+                ..Default::default()
+            };
+            let r = Hyperband::default().optimize(&space_1d(), &peak(), &opts);
+            let curve: Vec<(String, usize)> = r
+                .history
+                .iter()
+                .map(|t| (format!("{}:{:.12}", t.config.summary(), t.score), t.folds_evaluated))
+                .collect();
+            (r.best_config, r.best_score.to_bits(), curve)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn single_fold_objective_degenerates_to_one_bracket() {
+        let obj = StaticObjective { folds: 1, f: |c: &ParamConfig, _| c.f64_or("x", 0.0) };
+        let result = Hyperband::default().optimize(
+            &space_1d(),
+            &obj,
+            &OptOptions { max_trials: 10, seed: 1, ..Default::default() },
+        );
+        assert!(result.best_score > 0.0);
+        assert!(result.history.iter().all(|t| t.folds_evaluated <= 1));
+    }
+}

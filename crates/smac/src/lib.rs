@@ -33,8 +33,10 @@
 //! assert!((result.best_config.f64_or("x", 0.0) - 0.7).abs() < 0.15);
 //! ```
 
+mod asha;
 mod grid;
 mod halving;
+mod hyperband;
 mod objective;
 mod outcome;
 mod random_search;
@@ -42,8 +44,10 @@ mod smac;
 mod surrogate;
 mod tpe;
 
+pub use asha::Asha;
 pub use grid::GridSearch;
 pub use halving::SuccessiveHalving;
+pub use hyperband::Hyperband;
 pub use objective::{ClassifierObjective, Objective, StaticObjective};
 pub use outcome::{FailureCounts, OutcomeKind, TrialOutcome};
 pub use random_search::RandomSearch;

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use smartml_classifiers::Algorithm;
 use smartml_data::synth::gaussian_blobs;
 use smartml_runtime::faults::fail::{self, FaultPlan, SiteRule};
-use smartml_runtime::Deadline;
-use smartml_smac::{ClassifierObjective, OptOptions, OptResult, Optimizer, Smac};
+use smartml_runtime::{Deadline, Pool};
+use smartml_smac::{Asha, ClassifierObjective, OptOptions, OptResult, Optimizer, Smac};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -103,6 +103,141 @@ proptest! {
                 b.outcome.as_ref().map(|o| o.kind())
             );
         }
+    }
+}
+
+/// One ASHA run at the given pool width under the currently armed plan.
+/// The fold fail point draws from `(config summary, fold)`, so the same
+/// faults fire for the same evaluations regardless of execution order.
+fn run_asha(width: usize) -> OptResult {
+    let data = gaussian_blobs("faults", 60, 3, 2, 0.9, 7);
+    let objective = ClassifierObjective::new(Algorithm::Knn, &data, &data.all_rows(), 3, 5);
+    let space = Algorithm::Knn.param_space();
+    let options = OptOptions {
+        max_trials: 12,
+        seed: 11,
+        pool: Pool::new(width),
+        trial_timeout: Some(Duration::from_millis(150)),
+        deadline: Deadline::after(Duration::from_secs(30)),
+        ..Default::default()
+    };
+    Asha::default().optimize(&space, &objective, &options)
+}
+
+/// Everything about a run that must be width-independent: the rung
+/// history in processing order (config, bit-exact score, fidelity,
+/// outcome kind) plus the winner.
+fn fingerprint(r: &OptResult) -> (Vec<(String, u64, usize, Option<&'static str>)>, String, u64) {
+    let history = r
+        .history
+        .iter()
+        .map(|t| {
+            (
+                t.config.summary(),
+                t.score.to_bits(),
+                t.folds_evaluated,
+                t.outcome.as_ref().map(|o| o.kind().label()),
+            )
+        })
+        .collect();
+    (history, r.best_config.summary(), r.best_score.to_bits())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    /// ASHA under up-to-30% panic rates must stay byte-identical across
+    /// pool widths 1/2/8: the async window orders decisions by job
+    /// index, and the fail point keys on `(config, fold)`, so the same
+    /// jobs fault the same way in the same ledger order no matter how
+    /// many workers race. (Hang faults are excluded here by design:
+    /// a timed-out fold's computation may still finish and populate the
+    /// fold cache, so a *retry* of that fold sees Ok or TimedOut
+    /// depending on wall-clock timing — no scheduler can make timeouts
+    /// width-independent. The test below covers hang containment.)
+    #[test]
+    fn asha_is_width_independent_under_30_percent_panics(
+        panic_rate in 0.0..0.3f64,
+        plan_seed in 0u64..512,
+    ) {
+        let _guard = lock();
+        let plan = FaultPlan { seed: plan_seed, rules: vec![fold_rule(panic_rate, 0.0)] };
+
+        let mut runs = Vec::new();
+        for width in [1usize, 2, 8] {
+            fail::arm(plan.clone());
+            let started = Instant::now();
+            let result = run_asha(width);
+            let elapsed = started.elapsed();
+            fail::disarm();
+            prop_assert!(
+                elapsed < Duration::from_secs(30),
+                "width {width} must finish inside the deadline, took {elapsed:?}"
+            );
+            runs.push((width, fingerprint(&result), result));
+        }
+
+        let (_, serial, baseline) = &runs[0];
+        for (width, parallel, _) in &runs[1..] {
+            prop_assert_eq!(
+                serial, parallel,
+                "ASHA diverged between widths 1 and {} under faults", width
+            );
+        }
+        // Each faulted rung job tallies exactly one failure; successes
+        // count once per distinct configuration.
+        prop_assert_eq!(
+            baseline.failures.total_failures(),
+            baseline.history.iter().filter(|t| !t.is_success()).count()
+        );
+        for trial in baseline.history.iter().filter(|t| !t.is_success()) {
+            prop_assert!(
+                trial.config.summary() != baseline.best_config.summary()
+                    || baseline.best_score == 0.0,
+                "a faulted configuration must never be the winner"
+            );
+        }
+    }
+
+    /// Mixed panic/hang rates up to 30%: every width contains the faults
+    /// (terminates well inside the deadline, never crowns a faulted
+    /// winner), and the serial width — where fold retries cannot race
+    /// the cache — replays byte-identically under the same plan.
+    #[test]
+    fn asha_contains_mixed_faults_at_every_width(
+        panic_rate in 0.0..0.3f64,
+        hang_rate in 0.05..0.3f64,
+        plan_seed in 0u64..512,
+    ) {
+        let _guard = lock();
+        let plan = FaultPlan { seed: plan_seed, rules: vec![fold_rule(panic_rate, hang_rate)] };
+
+        for width in [1usize, 2, 8] {
+            fail::arm(plan.clone());
+            let started = Instant::now();
+            let result = run_asha(width);
+            let elapsed = started.elapsed();
+            fail::disarm();
+            prop_assert!(
+                elapsed < Duration::from_secs(30),
+                "width {width} must finish inside the deadline, took {elapsed:?}"
+            );
+            for trial in result.history.iter().filter(|t| !t.is_success()) {
+                prop_assert!(
+                    trial.config.summary() != result.best_config.summary()
+                        || result.best_score == 0.0,
+                    "width {}: a faulted configuration must never be the winner", width
+                );
+            }
+        }
+
+        fail::arm(plan.clone());
+        let serial = fingerprint(&run_asha(1));
+        fail::disarm();
+        fail::arm(plan);
+        let replay = fingerprint(&run_asha(1));
+        fail::disarm();
+        prop_assert_eq!(serial, replay, "serial ASHA must replay identically");
     }
 }
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Stamp the benchmarking host's environment into committed BENCH_*.json
+# files so a reviewer can judge whether a recorded speedup transfers:
+# core count, CPU affinity of the recording shell, CPU model, and
+# kernel. Perf numbers without this context are unfalsifiable.
+#
+# Usage:
+#   scripts/bench_env.sh FILE...   stamp the named JSON files in place
+#   scripts/bench_env.sh           stamp every BENCH_*.json in the repo
+#
+# The "environment" key is replaced if present, so re-running a bench
+# and re-stamping is idempotent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+AFFINITY="$(taskset -pc $$ 2>/dev/null | sed 's/.*: //' || echo unknown)"
+CPU_MODEL="$(sed -n 's/^model name[[:space:]]*: //p' /proc/cpuinfo | head -n 1)"
+ENV_JSON="$(jq -n \
+  --arg nproc "$(nproc)" \
+  --arg affinity "$AFFINITY" \
+  --arg cpu "${CPU_MODEL:-unknown}" \
+  --arg kernel "$(uname -sr)" \
+  '{nproc: ($nproc | tonumber), affinity: $affinity, cpu: $cpu, kernel: $kernel}')"
+
+FILES=("$@")
+if [ ${#FILES[@]} -eq 0 ]; then
+  # Intentionally unquoted-free: top-level committed benchmarks only.
+  FILES=(BENCH_*.json)
+fi
+
+for f in "${FILES[@]}"; do
+  [ -f "$f" ] || { echo "bench_env: no such file: $f" >&2; exit 1; }
+  tmp="$(mktemp)"
+  jq --argjson env "$ENV_JSON" '. + {environment: $env}' "$f" > "$tmp"
+  mv "$tmp" "$f"
+  echo "stamped $f"
+done

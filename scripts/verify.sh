@@ -14,6 +14,9 @@ cargo test -q --offline
 echo "==> determinism: identical reports for n_threads in {1, 2, 8}, tracing on and off"
 cargo test -q --offline -p smartml-integration --test determinism --test observability
 
+echo "==> determinism: ASHA and Hyperband byte-identical at pool widths {1, 2, 8}"
+cargo test -q --offline -p smartml-integration --test asha_determinism
+
 SMOKE_DIR="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -93,9 +96,10 @@ smartmld_smoke blocking
 smartmld_smoke epoll
 
 echo "==> fault injection: panics/hangs at 30% contained, ledger exact, kill-the-trial watchdog"
+echo "    (includes ASHA rung-promotion determinism under 30% injected panics)"
 cargo test -q --offline --features fault-injection \
   -p smartml-smac --test fault_injection \
-  -p smartml-integration --test fault_containment
+  -p smartml-integration --test fault_containment --test asha_determinism
 
 echo "==> kbd: epoll vs blocking byte-identical responses under the fault-injection harness"
 cargo test -q --offline --features fault-injection \
@@ -106,6 +110,9 @@ echo "==> perf smoke: kb_service bench vs committed baseline (gates epoll >= 4x 
 
 echo "==> perf smoke: tree kernels vs committed baseline (fails on panic or >5x regression)"
 ./target/release/tree_kernels --quick --check BENCH_tree_kernels.json > /dev/null
+
+echo "==> perf smoke: ASHA vs sync halving at width 8 (gates speedup >= 1.2x, 5x watchdog)"
+./target/release/asha_bench --quick --check BENCH_asha.json > /dev/null
 
 echo "==> obs: traced run emits a valid Chrome trace and a timeline section"
 OBS_CSV="$SMOKE_DIR/obs.csv"

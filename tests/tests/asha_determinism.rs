@@ -1,0 +1,94 @@
+//! Full-pipeline ASHA determinism: with the asynchronous successive
+//! halving optimiser selected, a SmartML run must produce a
+//! byte-identical report JSON at any worker-pool width — the bounded
+//! async window orders every rung decision by job index, so the pool
+//! only changes wall-clock time, never results. The same must hold with
+//! Hyperband, and (feature-gated below) under injected fold faults.
+
+use smartml::{Budget, OptimizerChoice, SmartML, SmartMlOptions};
+use smartml_data::synth::gaussian_blobs;
+use std::sync::Mutex;
+
+/// The fail-point registry is process-global; the fault-armed test below
+/// must not overlap the clean runs, so every test in this binary
+/// serialises on this lock.
+static ARMED: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    ARMED.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Runs the full pipeline at the given width and returns the report JSON
+/// with wall-clock timings zeroed (the only legitimately nondeterministic
+/// field).
+fn report_json(optimizer: OptimizerChoice, n_threads: usize) -> String {
+    let data = gaussian_blobs("det", 200, 5, 3, 1.0, 7);
+    let options = SmartMlOptions::default()
+        .with_budget(Budget::Trials(12))
+        .with_optimizer(optimizer)
+        .with_seed(7)
+        .with_n_threads(n_threads);
+    let mut engine = SmartML::new(options);
+    let mut report = engine.run(&data).expect("pipeline runs").report;
+    for phase in &mut report.phases {
+        phase.secs = 0.0;
+    }
+    serde_json::to_string_pretty(&report).expect("report serialises")
+}
+
+#[test]
+fn asha_report_is_identical_for_any_thread_count() {
+    let _guard = lock();
+    let serial = report_json(OptimizerChoice::Asha, 1);
+    for threads in [2, 8] {
+        let parallel = report_json(OptimizerChoice::Asha, threads);
+        assert_eq!(
+            serial, parallel,
+            "ASHA report diverged between n_threads=1 and n_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn hyperband_report_is_identical_for_any_thread_count() {
+    let _guard = lock();
+    let serial = report_json(OptimizerChoice::Hyperband, 1);
+    let parallel = report_json(OptimizerChoice::Hyperband, 8);
+    assert_eq!(serial, parallel, "Hyperband report diverged between n_threads=1 and 8");
+}
+
+/// With the fail-point registry armed at a 20% panic rate on the fold
+/// site, the faulted ASHA pipeline must still be byte-identical across
+/// widths: the fail point keys on `(config, fold)`, so the same rung
+/// jobs fault the same way in the same ledger order regardless of how
+/// many workers race.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn asha_report_is_width_independent_under_injected_faults() {
+    use smartml_runtime::faults::fail::{self, FaultPlan, SiteRule};
+    use std::time::Duration;
+
+    let _guard = lock();
+    let plan = FaultPlan {
+        seed: 41,
+        rules: vec![SiteRule {
+            site: "smac::fold".into(),
+            panic_rate: 0.2,
+            hang_rate: 0.0,
+            hang_for: Duration::ZERO,
+        }],
+    };
+    let mut reports = Vec::new();
+    for threads in [1usize, 2, 8] {
+        fail::arm(plan.clone());
+        reports.push((threads, report_json(OptimizerChoice::Asha, threads)));
+        fail::disarm();
+    }
+    let (_, serial) = &reports[0];
+    for (threads, parallel) in &reports[1..] {
+        assert_eq!(
+            serial, parallel,
+            "faulted ASHA report diverged between n_threads=1 and n_threads={threads}"
+        );
+    }
+}
