@@ -368,12 +368,14 @@ fn kb_stats(args: &[String]) -> Result<(), String> {
             let kb = DurableKb::open(&d).map_err(|e| e.to_string())?;
             let r = kb.recovery();
             println!(
-                "wal:{}: {} datasets / {} runs (snapshot {:?}, active segment {}, {} records replayed{})",
+                "wal:{}: {} datasets / {} runs (snapshot {:?}, active segment {}, \
+                 applied seq {}, {} records replayed{})",
                 d.display(),
                 kb.kb().len(),
                 kb.kb().n_runs(),
                 r.snapshot_seq,
                 kb.active_segment(),
+                kb.applied_seq(),
                 r.records_replayed,
                 if r.truncated_tail { ", torn tail truncated" } else { "" }
             );
@@ -381,12 +383,14 @@ fn kb_stats(args: &[String]) -> Result<(), String> {
         KbSource::Remote(addr) => {
             let stats = KbClient::connect(&*addr).stats().map_err(|e| e.to_string())?;
             println!(
-                "tcp:{addr}: {} datasets / {} runs ({} WAL segments, active {}, snapshot {:?})",
+                "tcp:{addr}: {} datasets / {} runs ({} WAL segments, active {}, \
+                 snapshot {:?}, applied seq {})",
                 stats.datasets,
                 stats.runs,
                 stats.wal_segments,
                 stats.active_segment,
-                stats.snapshot_seq
+                stats.snapshot_seq,
+                stats.applied_seq
             );
         }
     }
@@ -559,6 +563,10 @@ fn kb_metrics(args: &[String]) -> Result<(), String> {
     );
     println!("  wal fsyncs      {}", m.wal_fsyncs);
     println!("  wal rotations   {}", m.wal_rotations);
+    println!("  applied seq     {}", m.applied_seq);
+    if let Some(lag) = m.replication_lag {
+        println!("  replica lag     {lag} record(s)");
+    }
     println!("  by verb:");
     for (op, count) in &m.ops {
         println!("    {op:<16} {count}");

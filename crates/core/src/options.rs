@@ -10,20 +10,24 @@ use std::time::Duration;
 ///
 /// - `path/to/kb.json` — single-file JSON store (the default),
 /// - `wal:DIR` — durable write-ahead-logged store in `DIR`,
-/// - `tcp:HOST:PORT` — remote `smartmld` server.
+/// - `tcp:HOST:PORT[,HOST:PORT...]` — remote `smartmld` server, with
+///   optional read replicas after the primary for client failover.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KbSource {
     /// Single-file JSON persistence (`KnowledgeBase::load`/`save`).
     File(PathBuf),
     /// WAL-backed durable store directory (`smartml-kbd::DurableKb`).
     Wal(PathBuf),
-    /// Remote `smartmld` address (`smartml-kbd::KbClient`).
+    /// Remote `smartmld` endpoints — primary first, then read replicas —
+    /// as one comma-separated string (`smartml-kbd::KbClient` syntax).
     Remote(String),
 }
 
 impl KbSource {
     /// Parses a spec string. `wal:` and `tcp:` prefixes select the
     /// durable and remote backends; anything else is a plain file path.
+    /// A `tcp:` spec may list several comma-separated `HOST:PORT`
+    /// endpoints; each is validated, the first is the write primary.
     pub fn parse(spec: &str) -> Result<KbSource, String> {
         if let Some(dir) = spec.strip_prefix("wal:") {
             if dir.is_empty() {
@@ -31,15 +35,25 @@ impl KbSource {
             }
             return Ok(KbSource::Wal(PathBuf::from(dir)));
         }
-        if let Some(addr) = spec.strip_prefix("tcp:") {
-            if addr.rsplit_once(':').map_or(true, |(h, p)| {
-                h.is_empty() || p.parse::<u16>().is_err()
-            }) {
-                return Err(format!(
-                    "tcp: spec needs HOST:PORT, got {addr:?} (e.g. tcp:127.0.0.1:7878)"
-                ));
+        if let Some(addrs) = spec.strip_prefix("tcp:") {
+            let endpoints: Vec<&str> =
+                addrs.split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
+            if endpoints.is_empty() {
+                return Err(
+                    "tcp: spec needs HOST:PORT[,HOST:PORT...], e.g. tcp:127.0.0.1:7878".into()
+                );
             }
-            return Ok(KbSource::Remote(addr.to_string()));
+            for addr in &endpoints {
+                if addr.rsplit_once(':').map_or(true, |(h, p)| {
+                    h.is_empty() || p.parse::<u16>().is_err()
+                }) {
+                    return Err(format!(
+                        "tcp: spec needs HOST:PORT per endpoint, got {addr:?} \
+                         (e.g. tcp:127.0.0.1:7878 or tcp:primary:7878,replica:7879)"
+                    ));
+                }
+            }
+            return Ok(KbSource::Remote(endpoints.join(",")));
         }
         if spec.is_empty() {
             return Err("empty knowledge-base spec".into());
@@ -399,6 +413,23 @@ mod tests {
             KbSource::parse("tcp:localhost:1234").unwrap().to_string(),
             "tcp:localhost:1234"
         );
+    }
+
+    #[test]
+    fn kb_source_parses_replica_sets() {
+        assert_eq!(
+            KbSource::parse("tcp:primary:7878,replica:7879, replica2:7880").unwrap(),
+            KbSource::Remote("primary:7878,replica:7879,replica2:7880".into())
+        );
+        assert_eq!(
+            KbSource::parse("tcp:a:1,b:2").unwrap().to_string(),
+            "tcp:a:1,b:2",
+            "round-trips through Display"
+        );
+        // Every endpoint is validated, not just the first.
+        assert!(KbSource::parse("tcp:a:1,nohost").is_err());
+        assert!(KbSource::parse("tcp:a:1,:9").is_err());
+        assert!(KbSource::parse("tcp:,").is_err());
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! `kb_replication_bench` — replication catch-up throughput and client
+//! failover latency for the `smartmld` replica stack.
+//!
+//! ```text
+//! kb_replication_bench [--quick] [--out FILE] [--check FILE]
+//!   --quick   smaller catch-up corpus and fewer failover rounds (CI smoke)
+//!   --out     write the results JSON to FILE
+//!   --check   regression gate: catch-up records/s within 5x of the
+//!             committed reference, failover read p99 within 5x of the
+//!             committed reference and <= 500ms absolutely
+//! ```
+//!
+//! Two scenarios, both in-process on ephemeral ports:
+//!
+//! 1. **Catch-up**: a primary is seeded with a WAL of N records; a fresh
+//!    replica tails it from zero. Reported throughput is N divided by
+//!    the wall time from tailer spawn to `applied_seq` convergence — it
+//!    covers the whole shipping path (`sync` pulls, chunk frame scans,
+//!    local WAL appends, index applies).
+//! 2. **Failover**: a client configured as `dead-primary,live-replica`
+//!    issues one read per round from a cold connection state, so every
+//!    round pays the full deterministic failover: refused connect to the
+//!    primary, retry policy, then the replica answering. The direct
+//!    (replica-only) read latency is reported alongside as the floor.
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::synth::gaussian_blobs;
+use smartml_kbd::{
+    DurableOptions, EventServer, EventServerOptions, KbClient, ReplicaOptions, ReplicaTailer,
+    RetryPolicy, ServeRole, ShardedKb,
+};
+use smartml_metafeatures::{extract, MetaFeatures};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N_MFS: usize = 32;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("smartml-repl-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus() -> Vec<MetaFeatures> {
+    (0..N_MFS)
+        .map(|i| {
+            let d = gaussian_blobs(
+                &format!("repl-bench-{i}"),
+                60 + (i % 5) * 20,
+                3 + i % 4,
+                2 + i % 3,
+                0.7 + (i % 3) as f64 * 0.2,
+                i as u64,
+            );
+            extract(&d, &d.all_rows())
+        })
+        .collect()
+}
+
+fn durable() -> DurableOptions {
+    DurableOptions { fsync_writes: false, ..Default::default() }
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(10),
+        ..RetryPolicy::default()
+    }
+}
+
+struct Primary {
+    addr: String,
+    handle: std::thread::JoinHandle<()>,
+    dir: PathBuf,
+}
+
+fn spawn_primary(tag: &str) -> Primary {
+    let dir = temp_dir(tag);
+    let server = EventServer::bind(EventServerOptions {
+        dir: dir.clone(),
+        n_loops: 2,
+        durable: durable(),
+        ..EventServerOptions::default()
+    })
+    .expect("primary binds");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("primary serve loop"));
+    Primary { addr, handle, dir }
+}
+
+fn seed(client: &KbClient, queries: &[MetaFeatures], records: usize) {
+    for i in 0..records {
+        let run = smartml_kb::AlgorithmRun {
+            algorithm: [Algorithm::RandomForest, Algorithm::Svm, Algorithm::Knn,
+                Algorithm::NaiveBayes][i % 4],
+            config: ParamConfig::default(),
+            accuracy: 0.5 + (i % 45) as f64 / 100.0,
+        };
+        client
+            .record_run(&format!("ds-{}", i % 200), &queries[i % queries.len()], run)
+            .expect("seed record");
+    }
+}
+
+/// Catch-up: fresh replica tails a pre-seeded primary to convergence.
+fn bench_catch_up(records: usize, queries: &[MetaFeatures]) -> (f64, f64) {
+    let primary = spawn_primary("catchup");
+    let client = KbClient::connect(primary.addr.clone());
+    seed(&client, queries, records);
+    let target = client.stats().expect("stats").applied_seq;
+    assert_eq!(target, records as u64);
+
+    let replica_dir = temp_dir("catchup-replica");
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("replica opens"));
+    let started = Instant::now();
+    let tailer = ReplicaTailer::spawn(
+        ReplicaOptions {
+            primary: primary.addr.clone(),
+            poll_interval: Duration::from_millis(1),
+            durable: durable(),
+            ..ReplicaOptions::default()
+        },
+        Arc::clone(&store),
+    );
+    while store.applied_seq() != target {
+        assert!(
+            started.elapsed() < Duration::from_secs(300),
+            "catch-up stalled at {} of {target} (last error: {:?})",
+            store.applied_seq(),
+            tailer.last_error()
+        );
+        std::thread::yield_now();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    tailer.stop();
+    let _ = client.shutdown();
+    primary.handle.join().expect("primary thread");
+    let _ = std::fs::remove_dir_all(&primary.dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+    (secs, records as f64 / secs)
+}
+
+struct FailoverResult {
+    rounds: usize,
+    p50_us: u64,
+    p99_us: u64,
+    direct_p50_us: u64,
+}
+
+/// Failover: every round is a cold-state read against a replica set
+/// whose primary endpoint refuses connections.
+fn bench_failover(rounds: usize, records: usize, queries: &[MetaFeatures]) -> FailoverResult {
+    let primary = spawn_primary("failover");
+    let client = KbClient::connect(primary.addr.clone());
+    seed(&client, queries, records);
+    let target = client.stats().expect("stats").applied_seq;
+
+    let replica_dir = temp_dir("failover-replica");
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("replica opens"));
+    let tailer = ReplicaTailer::spawn(
+        ReplicaOptions {
+            primary: primary.addr.clone(),
+            poll_interval: Duration::from_millis(1),
+            durable: durable(),
+            ..ReplicaOptions::default()
+        },
+        Arc::clone(&store),
+    );
+    let replica_server = EventServer::bind_with_store(
+        EventServerOptions {
+            dir: replica_dir.clone(),
+            n_loops: 2,
+            durable: durable(),
+            role: ServeRole::Replica { primary: primary.addr.clone() },
+            ..EventServerOptions::default()
+        },
+        Arc::clone(&store),
+    )
+    .expect("replica binds");
+    let replica_addr = replica_server.local_addr().expect("addr").to_string();
+    let replica_handle =
+        std::thread::spawn(move || replica_server.run().expect("replica serve loop"));
+    let wait = Instant::now();
+    while store.applied_seq() != target {
+        assert!(wait.elapsed() < Duration::from_secs(300), "replica never caught up");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    tailer.stop();
+
+    // Kill the primary; keep its port provably dead by binding and
+    // dropping a listener on it is racy, so simply rely on the refused
+    // connect after shutdown.
+    client.shutdown().expect("kill primary");
+    primary.handle.join().expect("primary thread");
+    let dead_addr = {
+        // A port that refused at bench time and stays closed: bind an
+        // ephemeral listener, read its port, drop it.
+        let l = TcpListener::bind("127.0.0.1:0").expect("probe listener");
+        let a = l.local_addr().expect("probe addr").to_string();
+        drop(l);
+        a
+    };
+
+    let mut failover_us = Vec::with_capacity(rounds);
+    let mut direct_us = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let q = &queries[r % queries.len()];
+        // Cold client each round: the failover path is paid in full.
+        let failover_client =
+            KbClient::connect(format!("{dead_addr},{replica_addr}")).with_retry(fast_retry());
+        let begin = Instant::now();
+        failover_client.recommend(q, None, &Default::default()).expect("failover read");
+        failover_us.push(begin.elapsed().as_micros() as u64);
+
+        let direct_client = KbClient::connect(replica_addr.clone());
+        let begin = Instant::now();
+        direct_client.recommend(q, None, &Default::default()).expect("direct read");
+        direct_us.push(begin.elapsed().as_micros() as u64);
+    }
+    failover_us.sort_unstable();
+    direct_us.sort_unstable();
+    let pct = |v: &[u64], p: f64| v[((v.len() as f64 * p) as usize).min(v.len() - 1)];
+
+    let control = KbClient::connect(replica_addr);
+    control.shutdown().expect("replica shuts down");
+    replica_handle.join().expect("replica thread");
+    let _ = std::fs::remove_dir_all(&primary.dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+
+    FailoverResult {
+        rounds,
+        p50_us: pct(&failover_us, 0.50),
+        p99_us: pct(&failover_us, 0.99),
+        direct_p50_us: pct(&direct_us, 0.50),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag_value("--out");
+    let check_path = flag_value("--check");
+    let (records, rounds) = if quick { (2_000, 100) } else { (10_000, 400) };
+
+    let queries = corpus();
+
+    let (catch_up_secs, records_per_sec) = bench_catch_up(records, &queries);
+    eprintln!(
+        "catch-up: {records} records in {catch_up_secs:.3}s = {records_per_sec:.0} records/s"
+    );
+
+    let failover = bench_failover(rounds, records.min(1_000), &queries);
+    eprintln!(
+        "failover read: p50 {}us p99 {}us over {} rounds (direct replica read p50 {}us)",
+        failover.p50_us, failover.p99_us, failover.rounds, failover.direct_p50_us
+    );
+
+    let rendered = format!(
+        "{{\n  \"bench\": \"kb_replication\",\n  \
+         \"command\": \"{}\",\n  \
+         \"catch_up\": {{\"records\": {records}, \"secs\": {catch_up_secs:.3}, \
+         \"records_per_sec\": {records_per_sec:.1}}},\n  \
+         \"failover\": {{\"rounds\": {}, \"read_p50_us\": {}, \"read_p99_us\": {}, \
+         \"direct_read_p50_us\": {}}}\n}}",
+        if quick { "kb_replication_bench --quick" } else { "kb_replication_bench" },
+        failover.rounds,
+        failover.p50_us,
+        failover.p99_us,
+        failover.direct_p50_us,
+    );
+    println!("{rendered}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, rendered.clone() + "\n").expect("write --out file");
+        eprintln!("wrote {path}");
+    }
+
+    // Regression gate. Three conditions:
+    //  1. catch-up throughput within 5x of the committed reference
+    //     (order-of-magnitude watchdog — absolute rates are host-bound);
+    //  2. failover read p99 within 5x of the committed reference;
+    //  3. failover read p99 <= 500ms absolutely — the deterministic
+    //     failover must never degenerate into a timeout-scale stall.
+    if let Some(path) = check_path {
+        let mut failed = false;
+        let reference = std::fs::read_to_string(&path).expect("read --check file");
+        let reference: serde_json::Value =
+            serde_json::from_str(&reference).expect("parse --check file");
+        let ref_rps = reference
+            .get("catch_up")
+            .and_then(|v| v.get("records_per_sec"))
+            .and_then(|v| v.as_f64());
+        match ref_rps {
+            Some(ref_rps) if records_per_sec * 5.0 < ref_rps => {
+                eprintln!(
+                    "check FAILED: catch-up {records_per_sec:.1} records/s is >5x below \
+                     the committed reference {ref_rps:.1}"
+                );
+                failed = true;
+            }
+            Some(_) => {}
+            None => eprintln!("check: reference file has no catch_up entry — skipping"),
+        }
+        let ref_p99 = reference
+            .get("failover")
+            .and_then(|v| v.get("read_p99_us"))
+            .and_then(|v| v.as_u64());
+        match ref_p99 {
+            Some(ref_p99) if failover.p99_us > ref_p99.saturating_mul(5) => {
+                eprintln!(
+                    "check FAILED: failover read p99 {}us is >5x above the committed \
+                     reference {ref_p99}us",
+                    failover.p99_us
+                );
+                failed = true;
+            }
+            Some(_) => {}
+            None => eprintln!("check: reference file has no failover entry — skipping"),
+        }
+        if failover.p99_us > 500_000 {
+            eprintln!(
+                "check FAILED: failover read p99 {}us exceeds the 500ms absolute bound",
+                failover.p99_us
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: catch-up {records_per_sec:.0} records/s, failover read p99 {}us",
+            failover.p99_us
+        );
+    }
+}

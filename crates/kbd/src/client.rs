@@ -1,13 +1,29 @@
 //! [`KbClient`]: a small blocking client for `smartmld`.
 //!
-//! One TCP connection, reused across requests and transparently
-//! re-established after a server restart (a stale-connection failure is
-//! retried once on a fresh socket, for free). Beyond that, every request
-//! — including the connect — gets a bounded number of attempts separated
-//! by deterministic exponential backoff with jitter ([`RetryPolicy`]),
-//! and every retry is logged so the run report can surface the backoff
-//! schedule via [`KbClient::health_warnings`]. All calls block; timeouts
-//! come from a [`Deadline`] per attempt.
+//! One TCP connection per endpoint, reused across requests and
+//! transparently re-established after a server restart (a
+//! stale-connection failure is retried once on a fresh socket, for
+//! free). Beyond that, every request — including the connect — gets a
+//! bounded number of attempts separated by deterministic exponential
+//! backoff with jitter ([`RetryPolicy`]), and every retry is logged so
+//! the run report can surface the backoff schedule via
+//! [`KbClient::health_warnings`]. All calls block; timeouts come from a
+//! [`Deadline`] per attempt.
+//!
+//! ## Replica failover
+//!
+//! The address may name a replica set: `primary,replica1,replica2`.
+//! Reads (`recommend`, `recommend_batch`, `stats`, `metrics`, `ping`)
+//! try each endpoint in that fixed order, exhausting one endpoint's
+//! retry budget before failing over to the next — deterministic, so two
+//! runs against the same dying fleet take the same path. Writes
+//! (`record_run`, `set_landmarkers`, `snapshot`, `sync`, `shutdown`)
+//! only ever go to the first endpoint — the primary — and queue behind
+//! its retry budget; a replica answering a misdirected write with a
+//! `not_primary` redirect surfaces as a typed error naming the primary,
+//! never as a silent write to the wrong node. Each endpoint's jitter
+//! stream is salted with a hash of its address, so endpoints sharing a
+//! policy never back off in lockstep.
 //!
 //! Writes (`record_run`, `set_landmarkers`) are retried too, so they are
 //! at-least-once under a mid-response server death: the server may have
@@ -15,6 +31,7 @@
 //! observations, not ledger entries — a duplicate is harmless.
 
 use crate::protocol::{BatchQuery, KbStats, Request, Response, ServerMetrics};
+use crate::wal::fnv1a;
 use smartml_kb::{
     AlgorithmRun, KbBackend, KbError, QueryOptions, Recommendation,
 };
@@ -63,6 +80,14 @@ impl RetryPolicy {
         RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
     }
 
+    /// The same policy with its jitter stream salted by `addr`, so every
+    /// endpoint of a replica set walks its own deterministic schedule
+    /// instead of all backing off in lockstep.
+    pub fn salted_for(&self, addr: &str) -> RetryPolicy {
+        let salt = (fnv1a(addr.as_bytes()) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        RetryPolicy { seed: self.seed ^ salt, ..self.clone() }
+    }
+
     /// The backoff before retry number `retry` (1-based): exponential in
     /// `retry`, jittered, capped at `max_delay`. Pure — same inputs, same
     /// delay.
@@ -88,13 +113,21 @@ struct Conn {
     writer: TcpStream,
 }
 
-/// A blocking `smartmld` client; safe to share behind a `Mutex`-guarded
-/// connection (each request holds the lock for its round trip).
-pub struct KbClient {
+/// One member of the replica set: its address, its salted retry policy,
+/// and its cached connection.
+struct Endpoint {
     addr: String,
-    timeout: Option<Duration>,
     retry: RetryPolicy,
     conn: Mutex<Option<Conn>>,
+}
+
+/// A blocking `smartmld` client; safe to share behind per-endpoint
+/// `Mutex`-guarded connections (each request holds one endpoint's lock
+/// for its round trip).
+pub struct KbClient {
+    /// Primary first, then read replicas in failover order.
+    endpoints: Vec<Endpoint>,
+    timeout: Option<Duration>,
     events: Mutex<Vec<String>>,
 }
 
@@ -102,7 +135,8 @@ pub struct KbClient {
 const MAX_EVENTS: usize = 64;
 
 impl KbClient {
-    /// A client for `host:port` with a 10-second per-request timeout and
+    /// A client for `host:port` (or a comma-separated replica set
+    /// `primary,replica1,...`) with a 10-second per-request timeout and
     /// the default retry policy (3 attempts, 50 ms base backoff).
     pub fn connect(addr: impl Into<String>) -> KbClient {
         KbClient::with_timeout(addr, Some(Duration::from_secs(10)))
@@ -111,24 +145,39 @@ impl KbClient {
     /// A client with an explicit per-attempt timeout (`None` = wait
     /// forever). No I/O happens until the first request.
     pub fn with_timeout(addr: impl Into<String>, timeout: Option<Duration>) -> KbClient {
-        KbClient {
-            addr: addr.into(),
-            timeout,
-            retry: RetryPolicy::default(),
-            conn: Mutex::new(None),
-            events: Mutex::new(Vec::new()),
-        }
+        let addr = addr.into();
+        let retry = RetryPolicy::default();
+        let endpoints = addr
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .map(|a| Endpoint {
+                addr: a.to_string(),
+                retry: retry.salted_for(a),
+                conn: Mutex::new(None),
+            })
+            .collect::<Vec<_>>();
+        assert!(!endpoints.is_empty(), "KbClient needs at least one endpoint address");
+        KbClient { endpoints, timeout, events: Mutex::new(Vec::new()) }
     }
 
-    /// Replaces the retry policy (builder style).
+    /// Replaces the retry policy (builder style). Each endpoint gets the
+    /// policy with its jitter stream re-salted by its own address.
     pub fn with_retry(mut self, retry: RetryPolicy) -> KbClient {
-        self.retry = retry;
+        for ep in &mut self.endpoints {
+            ep.retry = retry.salted_for(&ep.addr);
+        }
         self
     }
 
-    /// The server address this client talks to.
+    /// The primary's address (the first endpoint).
     pub fn addr(&self) -> &str {
-        &self.addr
+        &self.endpoints[0].addr
+    }
+
+    /// Every endpoint address, primary first.
+    pub fn endpoints(&self) -> Vec<&str> {
+        self.endpoints.iter().map(|e| e.addr.as_str()).collect()
     }
 
     /// Drains the retry/degradation log: one entry per backed-off retry
@@ -145,12 +194,12 @@ impl KbClient {
         }
     }
 
-    fn open(&self, deadline: Deadline) -> Result<Conn, KbError> {
+    fn open(&self, endpoint: &Endpoint, deadline: Deadline) -> Result<Conn, KbError> {
         let mut last_err: Option<std::io::Error> = None;
-        let addrs = self
+        let addrs = endpoint
             .addr
             .to_socket_addrs()
-            .map_err(|e| KbError::Backend(format!("cannot resolve `{}`: {e}", self.addr)))?;
+            .map_err(|e| KbError::Backend(format!("cannot resolve `{}`: {e}", endpoint.addr)))?;
         for addr in addrs {
             let attempt = match deadline.io_timeout() {
                 Some(t) => TcpStream::connect_timeout(&addr, t),
@@ -171,7 +220,7 @@ impl KbClient {
         }
         Err(KbError::Backend(format!(
             "cannot connect to smartmld at {}: {}",
-            self.addr,
+            endpoint.addr,
             last_err.map_or_else(|| "no addresses".to_string(), |e| e.to_string())
         )))
     }
@@ -201,21 +250,73 @@ impl KbClient {
         Ok(response)
     }
 
-    /// Sends one request and parses the response.
+    /// Sends one request, routing it by kind.
+    ///
+    /// Mutating verbs (and `sync`/`shutdown`) go to the primary only:
+    /// replicas would reject them with a redirect, and silently writing
+    /// to the wrong node is exactly what the fixed routing prevents.
+    /// Reads fail over: each endpoint's retry budget is exhausted in
+    /// order (primary, then replicas) until one answers; the failover
+    /// hop is logged to the health log.
+    pub fn request(&self, request: &Request) -> Result<Response, KbError> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| KbError::Backend(format!("request serialisation failed: {e}")))?;
+        let write = matches!(
+            request,
+            Request::RecordRun { .. }
+                | Request::SetLandmarkers { .. }
+                | Request::Snapshot
+                | Request::Sync { .. }
+                | Request::Shutdown
+        );
+        if write {
+            return Self::check(self.request_on(0, &line)?);
+        }
+        let mut last_err = None;
+        for ix in 0..self.endpoints.len() {
+            match self.request_on(ix, &line) {
+                Ok(response) => return Self::check(response),
+                Err(e) => {
+                    if ix + 1 < self.endpoints.len() {
+                        self.note(format!(
+                            "failing over from {} to {} for a read: {e}",
+                            self.endpoints[ix].addr,
+                            self.endpoints[ix + 1].addr
+                        ));
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.expect("at least one endpoint"))
+    }
+
+    /// Converts answered-but-negative responses into typed errors: an
+    /// `error` reply, or a replica's `not_primary` redirect.
+    fn check(response: Response) -> Result<Response, KbError> {
+        match response {
+            Response::Error { message } => Err(KbError::Backend(message)),
+            Response::NotPrimary { primary } => Err(KbError::Backend(format!(
+                "endpoint is a read replica; writes must go to the primary at {primary}"
+            ))),
+            other => Ok(other),
+        }
+    }
+
+    /// The per-endpoint retry loop.
     ///
     /// Failures are handled in two layers. A failure on a *reused*
     /// connection (e.g. the server restarted between requests) is retried
     /// once on a fresh socket for free — that is a stale socket, not a
     /// sick server. Beyond that, connect and round-trip failures consume
-    /// the [`RetryPolicy`] budget: up to `max_attempts` tries separated
-    /// by deterministic backoff, each retry logged to the health log. A
-    /// *parseable* error reply or malformed JSON is never retried — the
-    /// server answered; asking again won't change its mind.
-    pub fn request(&self, request: &Request) -> Result<Response, KbError> {
-        let line = serde_json::to_string(request)
-            .map_err(|e| KbError::Backend(format!("request serialisation failed: {e}")))?;
-        let mut guard = self.conn.lock().expect("client connection poisoned");
-        let max_attempts = self.retry.max_attempts.max(1);
+    /// the endpoint's [`RetryPolicy`] budget: up to `max_attempts` tries
+    /// separated by deterministic backoff, each retry logged to the
+    /// health log. A *parseable* reply or malformed JSON is never retried
+    /// — the server answered; asking again won't change its mind.
+    fn request_on(&self, ix: usize, line: &str) -> Result<Response, KbError> {
+        let endpoint = &self.endpoints[ix];
+        let mut guard = endpoint.conn.lock().expect("client connection poisoned");
+        let max_attempts = endpoint.retry.max_attempts.max(1);
         let mut stale_retry_spent = false;
         let mut last_err = String::new();
         let mut attempt = 1;
@@ -226,10 +327,10 @@ impl KbClient {
             };
             let reused = guard.is_some();
             let sent = match guard.as_mut() {
-                Some(conn) => Self::round_trip(conn, &line, deadline).map_err(|e| e.to_string()),
-                None => match self.open(deadline) {
+                Some(conn) => Self::round_trip(conn, line, deadline).map_err(|e| e.to_string()),
+                None => match self.open(endpoint, deadline) {
                     Ok(mut fresh) => {
-                        let sent = Self::round_trip(&mut fresh, &line, deadline)
+                        let sent = Self::round_trip(&mut fresh, line, deadline)
                             .map_err(|e| e.to_string());
                         if sent.is_ok() {
                             *guard = Some(fresh);
@@ -241,13 +342,9 @@ impl KbClient {
             };
             match sent {
                 Ok(text) => {
-                    let response: Response = serde_json::from_str(text.trim()).map_err(|e| {
+                    return serde_json::from_str(text.trim()).map_err(|e| {
                         KbError::Backend(format!("bad response from server: {e}"))
-                    })?;
-                    if let Response::Error { message } = response {
-                        return Err(KbError::Backend(message));
-                    }
-                    return Ok(response);
+                    });
                 }
                 Err(e) => {
                     *guard = None; // drop the broken socket
@@ -260,11 +357,11 @@ impl KbClient {
                     }
                     last_err = e;
                     if attempt < max_attempts {
-                        let delay = self.retry.backoff(attempt);
+                        let delay = endpoint.retry.backoff(attempt);
                         self.note(format!(
                             "smartmld at {} failed (attempt {attempt}/{max_attempts}): \
                              {last_err}; backing off {delay:?}",
-                            self.addr
+                            endpoint.addr
                         ));
                         std::thread::sleep(delay);
                     }
@@ -274,7 +371,7 @@ impl KbClient {
         }
         self.note(format!(
             "smartmld at {} unreachable, gave up after {max_attempts} attempt(s): {last_err}",
-            self.addr
+            endpoint.addr
         ));
         Err(KbError::Backend(format!(
             "smartmld request failed after {max_attempts} attempt(s): {last_err}"
@@ -378,6 +475,18 @@ impl KbClient {
         }
     }
 
+    /// One replication pull against the primary: ship WAL bytes from
+    /// `(segment, offset)` onward, or a snapshot when that position has
+    /// been compacted away (or `segment` is `0`, the bootstrap probe).
+    /// Returns the raw [`Response::SyncChunk`] / [`Response::SyncSnapshot`]
+    /// for the caller (the replica tailer) to apply.
+    pub fn sync(&self, segment: u64, offset: u64) -> Result<Response, KbError> {
+        match self.request(&Request::Sync { segment, offset })? {
+            r @ (Response::SyncChunk { .. } | Response::SyncSnapshot { .. }) => Ok(r),
+            other => Err(unexpected("sync_chunk or sync_snapshot", &other)),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&self) -> Result<(), KbError> {
         match self.request(&Request::Ping)? {
@@ -439,7 +548,7 @@ impl KbBackend for KbClient {
     }
 
     fn kb_describe(&self) -> String {
-        format!("smartmld@{}", self.addr)
+        format!("smartmld@{}", self.endpoints().join(","))
     }
 
     fn kb_health_warnings(&self) -> Vec<String> {
@@ -527,6 +636,109 @@ mod tests {
             warnings[0]
         );
         assert!(client.health_warnings().is_empty(), "draining must clear the log");
+    }
+
+    #[test]
+    fn per_endpoint_jitter_streams_are_salted_and_deterministic() {
+        let base = RetryPolicy::default();
+        let a = base.salted_for("127.0.0.1:7001");
+        let b = base.salted_for("127.0.0.1:7002");
+        assert_ne!(a.seed, b.seed, "different addresses must salt differently");
+        assert_eq!(
+            a.backoff(1),
+            base.salted_for("127.0.0.1:7001").backoff(1),
+            "salting must be a pure function of the address"
+        );
+        assert_ne!(
+            (a.backoff(1), a.backoff(2)),
+            (b.backoff(1), b.backoff(2)),
+            "two endpoints sharing a policy must not back off in lockstep"
+        );
+    }
+
+    #[test]
+    fn reads_fail_over_to_the_replica_when_the_primary_is_down() {
+        // Primary: bind then drop — nothing listens there.
+        let dead = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let dead_addr = dead.local_addr().expect("addr").to_string();
+        drop(dead);
+        // Replica: answers one ping.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let live_addr = listener.local_addr().expect("addr").to_string();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            stream.write_all(b"{\"status\":\"pong\"}\n").expect("write");
+        });
+
+        let client =
+            KbClient::with_timeout(format!("{dead_addr},{live_addr}"), Some(Duration::from_millis(250)))
+                .with_retry(fast_retry(2));
+        assert_eq!(client.endpoints(), vec![dead_addr.as_str(), live_addr.as_str()]);
+        client.ping().expect("the read must succeed on the replica");
+        server.join().expect("server thread");
+        let warnings = client.health_warnings();
+        assert!(
+            warnings.iter().any(|w| w.contains("failing over")),
+            "the failover hop must be logged: {warnings:?}"
+        );
+    }
+
+    #[test]
+    fn writes_stay_on_the_primary_and_never_fail_over() {
+        let dead = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let dead_addr = dead.local_addr().expect("addr").to_string();
+        drop(dead);
+        // A live replica that would happily answer — but must never be
+        // asked to snapshot.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let live_addr = listener.local_addr().expect("addr").to_string();
+
+        let client =
+            KbClient::with_timeout(format!("{dead_addr},{live_addr}"), Some(Duration::from_millis(250)))
+                .with_retry(fast_retry(2));
+        let err = client.snapshot().expect_err("the write must fail with the primary down");
+        assert!(
+            err.to_string().contains("after 2 attempt"),
+            "the write must exhaust the primary's budget only: {err}"
+        );
+        let warnings = client.health_warnings();
+        assert!(
+            !warnings.iter().any(|w| w.contains("failing over")),
+            "a write must never hop to a replica: {warnings:?}"
+        );
+        // The replica listener saw no connection: accept would block, so
+        // probe it non-blockingly.
+        listener.set_nonblocking(true).expect("nonblocking");
+        assert!(
+            listener.accept().is_err(),
+            "the replica must never have been contacted for a write"
+        );
+    }
+
+    #[test]
+    fn not_primary_redirect_surfaces_as_a_typed_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read request");
+            stream
+                .write_all(b"{\"status\":\"not_primary\",\"primary\":\"10.0.0.1:7777\"}\n")
+                .expect("write");
+        });
+        let client = KbClient::with_timeout(&addr, Some(Duration::from_secs(5)))
+            .with_retry(fast_retry(1));
+        let err = client.snapshot().expect_err("a redirect is not a success");
+        assert!(
+            err.to_string().contains("primary at 10.0.0.1:7777"),
+            "the redirect must name the primary: {err}"
+        );
+        server.join().expect("server thread");
     }
 
     #[test]

@@ -16,13 +16,16 @@
 //! (and older snapshots) it covers.
 
 use crate::wal::{
-    list_seqs, parse_segment_name, parse_snapshot_name, replay_segment, segment_name,
-    snapshot_name, WalRecord, WalWriter,
+    list_seqs, meta_name, parse_meta_name, parse_segment_name, parse_snapshot_name, scan_frames,
+    segment_name, snapshot_name, WalRecord, WalWriter,
 };
+use serde::{Deserialize, Serialize};
 use smartml_kb::{
     AlgorithmRun, KbBackend, KbError, KnowledgeBase, QueryOptions, Recommendation,
 };
 use smartml_metafeatures::{Landmarkers, MetaFeatures};
+use std::fs::{File, OpenOptions};
+use std::io::Read;
 use std::path::{Path, PathBuf};
 
 /// Tuning knobs for a [`DurableKb`].
@@ -53,6 +56,39 @@ pub struct RecoveryReport {
     pub records_replayed: usize,
     /// True when a torn tail was truncated somewhere during replay.
     pub truncated_tail: bool,
+    /// Total WAL records ever applied in this directory's lineage: the
+    /// snapshot sidecar's count plus the records replayed this open. The
+    /// replication sequence number — a replica is caught up when its
+    /// applied sequence equals the primary's.
+    pub applied_seq: u64,
+}
+
+/// Sidecar payload stored next to each snapshot (`snapshot-NNNNNN.meta.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotMeta {
+    applied_seq: u64,
+}
+
+/// Reads a snapshot's sidecar applied-record count. A missing or
+/// unparseable sidecar (directories written before replication existed)
+/// counts as zero — the sidecar is advisory lag metadata, not a
+/// correctness input.
+pub(crate) fn read_snapshot_meta(dir: &Path, seq: u64) -> u64 {
+    std::fs::read_to_string(dir.join(meta_name(seq)))
+        .ok()
+        .and_then(|s| serde_json::from_str::<SnapshotMeta>(&s).ok())
+        .map(|m| m.applied_seq)
+        .unwrap_or(0)
+}
+
+/// Writes a snapshot's sidecar atomically (tmp + rename).
+pub(crate) fn write_snapshot_meta(dir: &Path, seq: u64, applied_seq: u64) -> Result<(), KbError> {
+    let body = serde_json::to_string(&SnapshotMeta { applied_seq })
+        .expect("sidecar serialisation cannot fail");
+    let tmp = dir.join(format!("{}.tmp", meta_name(seq)));
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, dir.join(meta_name(seq)))?;
+    Ok(())
 }
 
 /// Replays a KB directory: latest snapshot, then every newer segment in
@@ -71,18 +107,43 @@ pub(crate) fn recover_dir(
         None => KnowledgeBase::new(),
     };
     let mut recovery = RecoveryReport { snapshot_seq, ..Default::default() };
+    recovery.applied_seq = snapshot_seq.map(|s| read_snapshot_meta(dir, s)).unwrap_or(0);
     let floor = snapshot_seq.unwrap_or(0);
     let segments: Vec<u64> =
         list_seqs(dir, parse_segment_name)?.into_iter().filter(|&s| s > floor).collect();
-    for &seq in &segments {
+    for (ix, &seq) in segments.iter().enumerate() {
         let path = dir.join(segment_name(seq));
-        let before = std::fs::metadata(&path)?.len();
-        let applied = replay_segment(&path, &mut kb)?;
-        let after = std::fs::metadata(&path)?.len();
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        let scan = scan_frames(&bytes, &path)?;
+        if let Some(torn_at) = scan.torn_at {
+            // A torn tail is only legal on the *final* segment — the one
+            // the crash interrupted. A tear behind a sealed rotation
+            // boundary is a hole in acknowledged history: replaying past
+            // it would silently drop records that later segments assume
+            // exist, so refuse to open instead.
+            if ix + 1 != segments.len() {
+                return Err(KbError::Corrupt {
+                    path: Some(path),
+                    detail: format!(
+                        "segment {seq} torn at byte {torn_at} with later segment(s) \
+                         present — mid-rotation history hole, refusing to replay past it"
+                    ),
+                });
+            }
+            // Drop the torn tail so future appends start on a boundary.
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(torn_at)?;
+            f.sync_all()?;
+            recovery.truncated_tail = true;
+        }
+        for record in &scan.records {
+            record.apply_to(&mut kb);
+        }
         recovery.segments_replayed += 1;
-        recovery.records_replayed += applied;
-        recovery.truncated_tail |= after < before;
+        recovery.records_replayed += scan.records.len();
     }
+    recovery.applied_seq += recovery.records_replayed as u64;
     // Resume on the highest segment, or start the one after the
     // snapshot so sequence numbers never move backwards.
     let active = segments.last().copied().unwrap_or(floor + 1);
@@ -97,6 +158,7 @@ pub struct DurableKb {
     writer: WalWriter,
     options: DurableOptions,
     recovery: RecoveryReport,
+    applied_seq: u64,
 }
 
 impl DurableKb {
@@ -108,7 +170,8 @@ impl DurableKb {
     /// Opens (creating if needed) a KB directory.
     pub fn open_with(dir: &Path, options: DurableOptions) -> Result<DurableKb, KbError> {
         let (kb, writer, recovery) = recover_dir(dir, &options)?;
-        Ok(DurableKb { dir: dir.to_path_buf(), kb, writer, options, recovery })
+        let applied_seq = recovery.applied_seq;
+        Ok(DurableKb { dir: dir.to_path_buf(), kb, writer, options, recovery, applied_seq })
     }
 
     /// The directory this KB lives in.
@@ -131,6 +194,18 @@ impl DurableKb {
         self.writer.seq()
     }
 
+    /// Total WAL records applied in this directory's lineage (survives
+    /// snapshots via the sidecar). The replication position.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// `(active segment, bytes in it)` — the authoritative frame
+    /// boundary a `SYNC` chunk of the active segment may ship up to.
+    pub(crate) fn wal_position(&self) -> (u64, u64) {
+        (self.writer.seq(), self.writer.len())
+    }
+
     /// Number of WAL segment files currently on disk.
     pub fn n_segments(&self) -> Result<usize, KbError> {
         Ok(list_seqs(&self.dir, parse_segment_name)?.len())
@@ -151,6 +226,7 @@ impl DurableKb {
         };
         self.writer.append(&record)?;
         record.apply_to(&mut self.kb);
+        self.applied_seq += 1;
         Ok(())
     }
 
@@ -164,6 +240,7 @@ impl DurableKb {
             WalRecord::Landmarkers { dataset_id: dataset_id.to_string(), landmarkers };
         self.writer.append(&record)?;
         record.apply_to(&mut self.kb);
+        self.applied_seq += 1;
         Ok(())
     }
 
@@ -176,8 +253,10 @@ impl DurableKb {
         let covered = self.writer.seq();
         // Atomic write via the single-file KB path (tmp + fsync + rename).
         self.kb.save(&self.dir.join(snapshot_name(covered)))?;
+        write_snapshot_meta(&self.dir, covered, self.applied_seq)?;
         // The snapshot now owns everything up to `covered`: drop the
-        // segments it folded and the snapshots it supersedes.
+        // segments it folded and the snapshots (with sidecars) it
+        // supersedes.
         for seq in list_seqs(&self.dir, parse_segment_name)? {
             if seq <= covered {
                 std::fs::remove_file(self.dir.join(segment_name(seq)))?;
@@ -186,6 +265,11 @@ impl DurableKb {
         for seq in list_seqs(&self.dir, parse_snapshot_name)? {
             if seq < covered {
                 std::fs::remove_file(self.dir.join(snapshot_name(seq)))?;
+            }
+        }
+        for seq in list_seqs(&self.dir, parse_meta_name)? {
+            if seq < covered {
+                std::fs::remove_file(self.dir.join(meta_name(seq)))?;
             }
         }
         self.writer =
@@ -340,6 +424,62 @@ mod tests {
         let covered2 = kb.snapshot().unwrap();
         assert!(covered2 > covered);
         assert_eq!(list_seqs(&dir, parse_snapshot_name).unwrap(), vec![covered2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_rotation_tear_refuses_to_open() {
+        let dir = tmp("smartml-durable-midrot-tear");
+        let small = DurableOptions { segment_bytes: 256, fsync_writes: false };
+        {
+            let mut kb = DurableKb::open_with(&dir, small.clone()).unwrap();
+            for i in 0..8u64 {
+                kb.record_run(&format!("d{i}"), &mf(i), run(0.7)).unwrap();
+            }
+        }
+        let segs = list_seqs(&dir, parse_segment_name).unwrap();
+        assert!(segs.len() >= 2, "tiny threshold must rotate: {segs:?}");
+        // Tear a SEALED segment — one with later segments behind it. That
+        // is a hole in acknowledged history, not a crash-interrupted
+        // append, and replaying past it would silently lose records.
+        let sealed = dir.join(segment_name(segs[0]));
+        let len = std::fs::metadata(&sealed).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&sealed).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        match DurableKb::open_with(&dir, small) {
+            Err(KbError::Corrupt { path: Some(p), detail }) => {
+                assert!(p.ends_with(segment_name(segs[0])), "{p:?}");
+                assert!(detail.contains("history hole"), "{detail}");
+            }
+            Ok(_) => panic!("mid-rotation tear must refuse to open"),
+            other => panic!("expected Corrupt, got {:?}", other.err()),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_empty_tail_recovers_cleanly() {
+        // Snapshot, then reopen with no post-snapshot writes: the active
+        // segment exists on disk but holds zero frames. The sidecar must
+        // carry the applied count across the compaction.
+        let dir = tmp("smartml-durable-empty-tail");
+        let opts = DurableOptions { fsync_writes: false, ..Default::default() };
+        let mut kb = DurableKb::open_with(&dir, opts.clone()).unwrap();
+        for i in 0..3u64 {
+            kb.record_run(&format!("d{i}"), &mf(i), run(0.8)).unwrap();
+        }
+        assert_eq!(kb.applied_seq(), 3);
+        let covered = kb.snapshot().unwrap();
+        drop(kb);
+        let kb = DurableKb::open_with(&dir, opts).unwrap();
+        assert_eq!(kb.kb().len(), 3);
+        assert_eq!(kb.recovery().snapshot_seq, Some(covered));
+        assert_eq!(kb.recovery().segments_replayed, 1);
+        assert_eq!(kb.recovery().records_replayed, 0);
+        assert!(!kb.recovery().truncated_tail);
+        assert_eq!(kb.applied_seq(), 3, "sidecar must survive the snapshot");
+        assert_eq!(kb.active_segment(), covered + 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -41,7 +41,7 @@
 
 use crate::durable::{DurableOptions, RecoveryReport};
 use crate::protocol::{oversized_frame_message, Response, MAX_FRAME_BYTES};
-use crate::service::{self, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL};
+use crate::service::{self, ServeRole, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL};
 use crate::sharded::ShardedKb;
 use smartml_kb::KbError;
 use smartml_netio::{Events, Interest, Poller, TimerId, TimerWheel, Token, Waker};
@@ -82,6 +82,9 @@ pub struct EventServerOptions {
     pub request_timeout: Option<Duration>,
     /// Store tuning (segment size, fsync policy).
     pub durable: DurableOptions,
+    /// Primary (read-write, serves `SYNC`) or replica (read-only,
+    /// redirects writes to the named primary).
+    pub role: ServeRole,
 }
 
 impl Default for EventServerOptions {
@@ -93,6 +96,7 @@ impl Default for EventServerOptions {
             max_connections: 0,
             request_timeout: Some(Duration::from_secs(10)),
             durable: DurableOptions::default(),
+            role: ServeRole::default(),
         }
     }
 }
@@ -124,6 +128,22 @@ pub struct EventServer {
 impl EventServer {
     /// Opens the sharded store (replaying the WAL) and binds.
     pub fn bind(options: EventServerOptions) -> Result<EventServer, KbError> {
+        let n_loops = if options.n_loops == 0 {
+            available_parallelism()
+        } else {
+            options.n_loops
+        };
+        let store = Arc::new(ShardedKb::open_with(&options.dir, options.durable.clone(), n_loops)?);
+        EventServer::bind_with_store(options, store)
+    }
+
+    /// Binds over a store the caller already opened — the replica
+    /// process shares one [`ShardedKb`] between its catch-up tailer and
+    /// its serving loops.
+    pub fn bind_with_store(
+        options: EventServerOptions,
+        store: Arc<ShardedKb>,
+    ) -> Result<EventServer, KbError> {
         smartml_obs::enable_metrics();
         let n_loops = if options.n_loops == 0 {
             available_parallelism()
@@ -131,8 +151,6 @@ impl EventServer {
             options.n_loops
         };
         let options = EventServerOptions { n_loops, ..options };
-        let store =
-            Arc::new(ShardedKb::open_with(&options.dir, options.durable.clone(), n_loops)?);
         let recovery = store.recovery().clone();
         let listener = TcpListener::bind(&options.addr)?;
         let stats = Arc::new((0..n_loops).map(|_| LoopStats::default()).collect::<Vec<_>>());
@@ -200,6 +218,7 @@ impl EventServer {
                 Arc::clone(&stats),
                 options.request_timeout,
                 local,
+                options.role.clone(),
             );
             inboxes.push(inbox);
             wakers.push(waker);
@@ -289,6 +308,7 @@ struct EventLoop {
     stats: Arc<Vec<LoopStats>>,
     timeout: Option<Duration>,
     local: SocketAddr,
+    role: ServeRole,
     conns: HashMap<u64, Conn>,
     timers: TimerWheel,
     next_token: u64,
@@ -313,6 +333,7 @@ impl EventLoop {
         stats: Arc<Vec<LoopStats>>,
         timeout: Option<Duration>,
         local: SocketAddr,
+        role: ServeRole,
     ) -> EventLoop {
         EventLoop {
             ix,
@@ -326,6 +347,7 @@ impl EventLoop {
             stats,
             timeout,
             local,
+            role,
             conns: HashMap::new(),
             timers: TimerWheel::new(Duration::from_millis(10), 512),
             next_token: WAKER_TOKEN.0 + 1,
@@ -580,7 +602,7 @@ impl EventLoop {
             }
             bytes_in += line.len() as u64 + 1;
             let started = Instant::now();
-            let (response, stop) = service::dispatch(line, &*self.store, &self.recovery);
+            let (response, stop) = service::dispatch(line, &*self.store, &self.recovery, &self.role);
             REQUEST_US.record_duration(started.elapsed());
             n_req += 1;
             if matches!(response, Response::Error { .. }) {

@@ -32,21 +32,23 @@ mod client;
 mod durable;
 mod event_server;
 mod protocol;
+mod replica;
 mod server;
 mod service;
 mod sharded;
 mod shared;
 mod wal;
 
-pub use client::KbClient;
+pub use client::{KbClient, RetryPolicy};
 pub use durable::{DurableKb, DurableOptions, RecoveryReport};
 pub use event_server::{EventServer, EventServerOptions, LoopStats};
 pub use protocol::{
     oversized_frame_message, read_frame, BatchQuery, FrameStatus, KbStats, Request, Response,
-    ServerMetrics, MAX_FRAME_BYTES,
+    ServerMetrics, MAX_FRAME_BYTES, SYNC_CHUNK_BYTES,
 };
+pub use replica::{ReplicaHandle, ReplicaOptions, ReplicaTailer};
 pub use server::{Server, ServerOptions};
-pub use service::ServeStore;
+pub use service::{ServeRole, ServeStore};
 pub use sharded::ShardedKb;
 pub use shared::{LocalStore, SharedKb, SharedKbHandle};
 pub use wal::{

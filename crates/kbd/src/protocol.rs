@@ -30,6 +30,11 @@ pub fn oversized_frame_message() -> String {
     format!("frame exceeds {MAX_FRAME_BYTES} byte limit")
 }
 
+/// Cap on the raw WAL bytes carried by one [`Response::SyncChunk`].
+/// Conservative against [`MAX_FRAME_BYTES`]: the chunk travels inside a
+/// JSON string, and escaping can roughly double it in the worst case.
+pub const SYNC_CHUNK_BYTES: usize = 1 << 20;
+
 /// Outcome of one bounded frame read.
 #[derive(Debug, PartialEq, Eq)]
 pub enum FrameStatus {
@@ -143,6 +148,18 @@ pub enum Request {
     Metrics,
     /// Liveness probe.
     Ping,
+    /// Replication pull: "I hold everything up to byte `offset` of
+    /// segment `segment`; send me what comes next." `segment` 0 means
+    /// the replica has nothing. The primary answers with a
+    /// [`Response::SyncSnapshot`] (position is behind the compaction
+    /// floor, or bootstrap with a snapshot on disk) or a
+    /// [`Response::SyncChunk`] of raw WAL frames.
+    Sync {
+        /// Segment the replica is positioned in (0 = nothing yet).
+        segment: u64,
+        /// Bytes of that segment the replica already holds.
+        offset: u64,
+    },
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -164,6 +181,11 @@ pub struct KbStats {
     pub recovered_records: usize,
     /// True when recovery truncated a torn tail record.
     pub recovered_torn_tail: bool,
+    /// Total WAL records ever applied in this store's lineage — the
+    /// replication position. Defaults for responses from servers that
+    /// predate replication.
+    #[serde(default)]
+    pub applied_seq: u64,
 }
 
 /// Live service metrics reported by [`Response::Metrics`]. All values are
@@ -192,6 +214,14 @@ pub struct ServerMetrics {
     pub wal_fsyncs: u64,
     /// WAL segment rotations.
     pub wal_rotations: u64,
+    /// Total WAL records applied by this store's lineage (the
+    /// replication position; see [`KbStats::applied_seq`]).
+    #[serde(default)]
+    pub applied_seq: u64,
+    /// On a replica: primary applied sequence minus local applied
+    /// sequence as of the last sync round. `None` on a primary.
+    #[serde(default)]
+    pub replication_lag: Option<u64>,
     /// Per-verb request counts, `(verb, count)` sorted by verb name.
     pub ops: Vec<(String, u64)>,
 }
@@ -236,6 +266,46 @@ pub enum Response {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Sync`] when the requested position is behind
+    /// the primary's compaction floor (or the replica is bootstrapping
+    /// and a snapshot exists): the full KB state to install, replacing
+    /// everything the replica holds.
+    SyncSnapshot {
+        /// Sequence of the snapshot (the replica's new compaction floor).
+        snapshot_seq: u64,
+        /// Applied-record count as of this snapshot.
+        applied_seq: u64,
+        /// Segment the replica should request next, from offset 0.
+        next_segment: u64,
+        /// The snapshot body: serialised `KnowledgeBase` JSON.
+        kb_json: String,
+    },
+    /// Answer to [`Request::Sync`]: raw WAL frames from the requested
+    /// position, always cut on a frame boundary.
+    SyncChunk {
+        /// Segment these bytes belong to.
+        segment: u64,
+        /// Byte offset within `segment` where `data` starts.
+        offset: u64,
+        /// Whole WAL frames, verbatim from the primary's segment file.
+        data: String,
+        /// Segment to request next (> `segment` when this chunk finishes
+        /// a sealed segment).
+        next_segment: u64,
+        /// Offset to request next within `next_segment`.
+        next_offset: u64,
+        /// True when the replica holds everything the primary has after
+        /// applying this chunk.
+        caught_up: bool,
+        /// The primary's applied-record count (for lag accounting).
+        applied_seq: u64,
+    },
+    /// Typed write rejection from a read-only replica: retry against the
+    /// primary it names.
+    NotPrimary {
+        /// Address of the primary this replica tails.
+        primary: String,
+    },
     /// Answer to [`Request::Shutdown`]; the server exits after sending it.
     ShuttingDown,
     /// Any failure; the connection stays usable.
@@ -299,6 +369,8 @@ mod tests {
                 request_us_mean: 301.5,
                 wal_fsyncs: 7,
                 wal_rotations: 2,
+                applied_seq: 6,
+                replication_lag: Some(1),
                 ops: vec![("ping".to_string(), 3), ("record_run".to_string(), 6)],
             },
         };
@@ -385,6 +457,62 @@ mod tests {
     }
 
     #[test]
+    fn sync_and_not_primary_roundtrip() {
+        // The SYNC verb and its two answers are ordinary tagged frames.
+        let req: Request =
+            serde_json::from_str("{\"op\":\"sync\",\"segment\":3,\"offset\":128}").unwrap();
+        assert!(matches!(req, Request::Sync { segment: 3, offset: 128 }));
+        let chunk = Response::SyncChunk {
+            segment: 3,
+            offset: 128,
+            data: "00000001 00000000 x\n".into(),
+            next_segment: 4,
+            next_offset: 0,
+            caught_up: false,
+            applied_seq: 17,
+        };
+        let json = serde_json::to_string(&chunk).unwrap();
+        assert!(json.contains("\"status\":\"sync_chunk\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::SyncChunk { next_segment, caught_up, applied_seq, .. } => {
+                assert_eq!(next_segment, 4);
+                assert!(!caught_up);
+                assert_eq!(applied_seq, 17);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let snap = Response::SyncSnapshot {
+            snapshot_seq: 7,
+            applied_seq: 40,
+            next_segment: 8,
+            kb_json: "{\"entries\":[]}".into(),
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"status\":\"sync_snapshot\""));
+        let redirect = Response::NotPrimary { primary: "127.0.0.1:7001".into() };
+        let json = serde_json::to_string(&redirect).unwrap();
+        assert!(json.contains("\"status\":\"not_primary\""));
+        assert!(matches!(
+            serde_json::from_str::<Response>(&json).unwrap(),
+            Response::NotPrimary { primary } if primary == "127.0.0.1:7001"
+        ));
+    }
+
+    #[test]
+    fn stats_and_metrics_tolerate_pre_replication_peers() {
+        // Responses recorded before applied_seq existed must still parse.
+        let old = "{\"status\":\"stats\",\"stats\":{\"datasets\":1,\"runs\":2,\
+                   \"wal_segments\":1,\"active_segment\":1,\"snapshot_seq\":null,\
+                   \"recovered_records\":0,\"recovered_torn_tail\":false}}";
+        match serde_json::from_str::<Response>(old).unwrap() {
+            Response::Stats { stats } => {
+                assert_eq!(stats.applied_seq, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
     fn response_roundtrip() {
         let resp = Response::Stats {
             stats: KbStats {
@@ -395,6 +523,7 @@ mod tests {
                 snapshot_seq: Some(3),
                 recovered_records: 4,
                 recovered_torn_tail: true,
+                applied_seq: 9,
             },
         };
         let json = serde_json::to_string(&resp).unwrap();

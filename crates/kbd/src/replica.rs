@@ -1,0 +1,331 @@
+//! [`ReplicaTailer`]: the catch-up loop that mirrors a primary's WAL.
+//!
+//! A replica is a second `smartmld` process pointed at its own (empty or
+//! previously-synced) directory with `--replica-of PRIMARY`. This module
+//! is its write path: a background thread that repeatedly pulls the
+//! `sync` verb against the primary and applies what comes back to the
+//! local [`ShardedKb`] — through the same WAL-append-then-apply path a
+//! primary's own writes take, so a caught-up replica's directory is
+//! *byte-identical* to the primary's and its query answers are
+//! byte-identical too (the store's determinism guarantees carry over
+//! unchanged).
+//!
+//! ## The catch-up state machine
+//!
+//! ```text
+//!         ┌──────────────┐   sync(0,0) → snapshot    ┌───────────┐
+//!  start ─▶  bootstrap    ├──────────────────────────▶ install    │
+//!         │ (empty dir or │   sync(0,0) → chunk       │ snapshot  │
+//!         │  behind a     ├────────────┐              └─────┬─────┘
+//!         │  compaction)  │            ▼                    │
+//!         └──────────────┘        ┌─────────┐               │
+//!                                 │ tailing  ◀──────────────┘
+//!                                 │ (seg,off)│──▶ apply chunk, advance
+//!                                 └────┬────┘    segment on rotation
+//!                                      │ caught_up
+//!                                      ▼
+//!                                 idle poll (backs off, snaps back)
+//! ```
+//!
+//! Every pull names the replica's *own* WAL position `(segment, offset)`
+//! — the protocol is stateless on the primary side. Three answers are
+//! possible: a chunk of WAL bytes starting exactly there (applied and
+//! fsync'd before the position advances), a snapshot (the position has
+//! been compacted away on the primary — local state is wiped and rebuilt
+//! from the shipped image), or an error. A chunk is always a whole
+//! number of frames; a torn prefix — the primary dying mid-`sync` write
+//! — is refused by [`ShardedKb::apply_sync_chunk`] and simply retried,
+//! so a half-shipped chunk can never enter the replica's WAL.
+//!
+//! Because the replica's own crash-recovery truncates a torn tail back
+//! to a frame boundary, a replica killed mid-catch-up re-spawns, reopens
+//! its directory, and resumes from exactly the position it had durably
+//! reached — no operator reset, no full re-ship unless the primary has
+//! compacted past it.
+//!
+//! Lag — primary `applied_seq` minus local `applied_seq`, in records —
+//! is exported through the `kbd.replica.lag_records` gauge, which the
+//! serving loops report out via the `metrics` verb.
+
+use crate::client::{KbClient, RetryPolicy};
+use crate::durable::DurableOptions;
+use crate::protocol::Response;
+use crate::service::REPLICA_LAG;
+use crate::sharded::ShardedKb;
+use smartml_kb::KbError;
+use smartml_netio::CatchUpPacer;
+use smartml_obs::Counter;
+use smartml_runtime::faults::fail;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Chunks applied to the local WAL.
+static SYNC_CHUNKS: Counter = Counter::new("kbd.replica.chunks");
+/// Snapshots installed (bootstrap or post-compaction resets).
+static SYNC_SNAPSHOTS: Counter = Counter::new("kbd.replica.snapshots");
+/// Pull or apply failures (each backed off and retried).
+static SYNC_ERRORS: Counter = Counter::new("kbd.replica.errors");
+
+/// Configuration for [`ReplicaTailer::spawn`].
+#[derive(Debug, Clone)]
+pub struct ReplicaOptions {
+    /// The primary's `host:port`.
+    pub primary: String,
+    /// Floor of the idle poll delay once caught up; backs off
+    /// geometrically to 16× this while the primary stays quiet.
+    pub poll_interval: Duration,
+    /// Bound on one catch-up round: if the replica cannot reach
+    /// `caught_up` within this, the round is abandoned (lag stays
+    /// reported) and a fresh round starts after an idle poll. `None`
+    /// never abandons.
+    pub round_deadline: Option<Duration>,
+    /// Per-pull timeout and retry policy of the tailer's client.
+    pub timeout: Option<Duration>,
+    /// Retry policy for pulls (salted per-address like any client).
+    pub retry: RetryPolicy,
+    /// Local store tuning — must match what the serving side opened
+    /// with; only used by documentation-level assertions today.
+    pub durable: DurableOptions,
+}
+
+impl Default for ReplicaOptions {
+    fn default() -> Self {
+        ReplicaOptions {
+            primary: String::new(),
+            poll_interval: Duration::from_millis(20),
+            round_deadline: Some(Duration::from_secs(30)),
+            timeout: Some(Duration::from_secs(10)),
+            retry: RetryPolicy::default(),
+            durable: DurableOptions::default(),
+        }
+    }
+}
+
+/// Spawns and owns the catch-up thread.
+pub struct ReplicaTailer;
+
+/// Handle to a running tailer: progress signals and shutdown.
+pub struct ReplicaHandle {
+    stop: Arc<AtomicBool>,
+    caught_up: Arc<AtomicBool>,
+    rounds: Arc<AtomicU64>,
+    last_error: Arc<Mutex<Option<String>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplicaHandle {
+    /// Did the most recent pull leave the replica at the primary's
+    /// frontier?
+    pub fn is_caught_up(&self) -> bool {
+        self.caught_up.load(Ordering::Acquire)
+    }
+
+    /// Completed pulls (successful or not) — a liveness signal for tests.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Acquire)
+    }
+
+    /// The most recent pull/apply failure, if any (cleared on success).
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error.lock().expect("replica error slot poisoned").clone()
+    }
+
+    /// Stops the tailer and joins its thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ReplicaHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl ReplicaTailer {
+    /// Starts tailing `options.primary` into `store` on a background
+    /// thread. The store is shared with the serving loops: reads observe
+    /// every applied record through the store's ordinary locking.
+    pub fn spawn(options: ReplicaOptions, store: Arc<ShardedKb>) -> ReplicaHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let caught_up = Arc::new(AtomicBool::new(false));
+        let rounds = Arc::new(AtomicU64::new(0));
+        let last_error = Arc::new(Mutex::new(None));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let caught_up = Arc::clone(&caught_up);
+            let rounds = Arc::clone(&rounds);
+            let last_error = Arc::clone(&last_error);
+            std::thread::Builder::new()
+                .name("kbd-replica-tail".to_string())
+                .spawn(move || {
+                    tail_loop(&options, &store, &stop, &caught_up, &rounds, &last_error);
+                })
+                .expect("spawn replica tailer")
+        };
+        ReplicaHandle { stop, caught_up, rounds, last_error, thread: Some(thread) }
+    }
+}
+
+fn tail_loop(
+    options: &ReplicaOptions,
+    store: &Arc<ShardedKb>,
+    stop: &AtomicBool,
+    caught_up: &AtomicBool,
+    rounds: &AtomicU64,
+    last_error: &Mutex<Option<String>>,
+) {
+    let client =
+        KbClient::with_timeout(options.primary.clone(), options.timeout).with_retry(options.retry.clone());
+    let mut pacer = CatchUpPacer::new(
+        Instant::now(),
+        options.round_deadline,
+        options.poll_interval,
+        options.poll_interval * 16,
+    );
+    // `0` requests a bootstrap: the primary decides between shipping its
+    // snapshot and starting at its oldest retained segment.
+    let mut bootstrap = store.applied_seq() == 0 && store.active_segment() == 1;
+    while !stop.load(Ordering::Acquire) {
+        if pacer.expired(Instant::now()) {
+            // Round abandoned: the lag gauge keeps reporting how far
+            // behind we are; a fresh round gets a fresh deadline.
+            pacer = CatchUpPacer::new(
+                Instant::now(),
+                options.round_deadline,
+                options.poll_interval,
+                options.poll_interval * 16,
+            );
+        }
+        let (segment, offset) =
+            if bootstrap { (0, 0) } else { store.with_wal_position(|p| p) };
+        // A panic inside a pull (including an injected one from the
+        // fault harness) must not kill the tailer: it is contained to
+        // this attempt and handled like any other pull failure. The
+        // fail points fire before any store lock is taken, so no lock
+        // is poisoned by the unwind.
+        let attempt = rounds.fetch_add(1, Ordering::Release);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pull_once(&client, store, segment, offset, bootstrap, attempt)
+        }))
+        .unwrap_or_else(|payload| {
+            let site = payload
+                .downcast_ref::<fail::InjectedPanic>()
+                .map_or("unknown site", |p| p.site);
+            Err(KbError::Backend(format!("replication pull panicked ({site})")))
+        });
+        match outcome {
+            Ok(PullOutcome { progressed, at_frontier, primary_applied }) => {
+                bootstrap = false;
+                last_error.lock().expect("replica error slot poisoned").take();
+                let local = store.applied_seq();
+                REPLICA_LAG.set(primary_applied.saturating_sub(local) as i64);
+                caught_up.store(at_frontier, Ordering::Release);
+                if progressed {
+                    pacer.progressed();
+                }
+                if at_frontier {
+                    match pacer.idle_delay(Instant::now()) {
+                        Some(delay) if !stop.load(Ordering::Acquire) => {
+                            std::thread::sleep(delay)
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Err(e) => {
+                SYNC_ERRORS.inc();
+                caught_up.store(false, Ordering::Release);
+                let message = e.to_string();
+                // A position the primary no longer holds (or a local
+                // position the primary never wrote, after divergence)
+                // is only recoverable through a snapshot ship: fall
+                // back to the bootstrap probe.
+                if message.contains("resync required") {
+                    bootstrap = true;
+                }
+                *last_error.lock().expect("replica error slot poisoned") = Some(message);
+                if let Some(delay) = pacer.idle_delay(Instant::now()) {
+                    if !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(delay);
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct PullOutcome {
+    /// Did this pull apply anything new?
+    progressed: bool,
+    /// Is the replica now at the primary's write frontier?
+    at_frontier: bool,
+    /// The primary's applied sequence as of this pull.
+    primary_applied: u64,
+}
+
+fn pull_once(
+    client: &KbClient,
+    store: &Arc<ShardedKb>,
+    segment: u64,
+    offset: u64,
+    bootstrap: bool,
+    attempt: u64,
+) -> Result<PullOutcome, KbError> {
+    // The fault seed mixes the attempt counter so a position that draws
+    // a fault is retried under a fresh draw — faults slow the tailer
+    // down, they never wedge it at one position forever.
+    fail::trigger("replica.pull", segment ^ offset.rotate_left(17) ^ attempt);
+    match client.sync(segment, offset)? {
+        Response::SyncSnapshot { snapshot_seq, applied_seq, next_segment: _, kb_json } => {
+            fail::trigger("replica.install_snapshot", snapshot_seq ^ attempt);
+            store.install_snapshot(snapshot_seq, &kb_json, applied_seq)?;
+            SYNC_SNAPSHOTS.inc();
+            // The frontier is unknown from a snapshot alone; the next
+            // pull (now positioned after it) reports it.
+            Ok(PullOutcome { progressed: true, at_frontier: false, primary_applied: applied_seq })
+        }
+        Response::SyncChunk {
+            segment: chunk_segment,
+            offset: chunk_offset,
+            data,
+            next_segment,
+            next_offset: _,
+            caught_up,
+            applied_seq,
+        } => {
+            if bootstrap && store.with_wal_position(|p| p) != (chunk_segment, chunk_offset) {
+                // Bootstrapping over diverged local state against a
+                // primary that has never compacted: there is no snapshot
+                // to reset from, so the reset is local — wipe and
+                // re-tail the primary's retained history from zero.
+                store.reset_for_resync()?;
+                if chunk_segment > 1 {
+                    store.advance_segment(chunk_segment)?;
+                }
+            }
+            let mut progressed = false;
+            if !data.is_empty() {
+                fail::trigger("replica.apply_chunk", chunk_segment ^ chunk_offset.rotate_left(17) ^ attempt);
+                store.apply_sync_chunk(chunk_segment, chunk_offset, &data)?;
+                SYNC_CHUNKS.inc();
+                progressed = true;
+            }
+            if next_segment > chunk_segment {
+                // The primary sealed this segment: mirror the rotation
+                // at the identical boundary.
+                store.advance_segment(next_segment)?;
+                progressed = true;
+            }
+            Ok(PullOutcome { progressed, at_frontier: caught_up, primary_applied: applied_seq })
+        }
+        other => Err(KbError::Backend(format!("unexpected sync response: {other:?}"))),
+    }
+}

@@ -13,7 +13,9 @@ use crate::durable::{DurableKb, DurableOptions, RecoveryReport};
 use crate::protocol::{
     oversized_frame_message, read_frame, FrameStatus, Response, MAX_FRAME_BYTES,
 };
-use crate::service::{self, encode, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL};
+use crate::service::{
+    self, encode, ServeRole, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL,
+};
 use crate::shared::SharedKb;
 use smartml_kb::KbError;
 use smartml_runtime::{available_parallelism, Deadline};
@@ -39,6 +41,9 @@ pub struct ServerOptions {
     pub request_timeout: Option<Duration>,
     /// Store tuning (segment size, fsync policy).
     pub durable: DurableOptions,
+    /// Primary (read-write, serves `SYNC`) or replica (read-only,
+    /// redirects writes to the named primary).
+    pub role: ServeRole,
 }
 
 impl Default for ServerOptions {
@@ -49,6 +54,7 @@ impl Default for ServerOptions {
             max_connections: 0,
             request_timeout: Some(Duration::from_secs(10)),
             durable: DurableOptions::default(),
+            role: ServeRole::default(),
         }
     }
 }
@@ -133,6 +139,7 @@ impl Server {
                 timeout: options.request_timeout,
                 shutdown: Arc::clone(&shutdown),
                 local,
+                role: options.role.clone(),
             };
             active.fetch_add(1, Ordering::AcqRel);
             let active = Arc::clone(&active);
@@ -157,6 +164,7 @@ struct ConnCtx {
     timeout: Option<Duration>,
     shutdown: Arc<AtomicBool>,
     local: SocketAddr,
+    role: ServeRole,
 }
 
 fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
@@ -195,7 +203,7 @@ fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {
         }
         BYTES_IN.add(frame.len() as u64 + 1);
         let started = Instant::now();
-        let (response, stop) = service::dispatch(&line, &*ctx.shared, &ctx.recovery);
+        let (response, stop) = service::dispatch(&line, &*ctx.shared, &ctx.recovery, &ctx.role);
         // Latency covers dispatch (store work) only, not the socket write
         // — a slow client must not inflate the server's percentiles.
         REQUEST_US.record_duration(started.elapsed());

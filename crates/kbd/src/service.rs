@@ -7,14 +7,20 @@
 //! response bytes (the property the `backend_equiv` integration test
 //! pins down).
 
-use crate::durable::{DurableKb, RecoveryReport};
-use crate::protocol::{KbStats, Request, Response, ServerMetrics};
+use crate::durable::{read_snapshot_meta, DurableKb, RecoveryReport};
+use crate::protocol::{KbStats, Request, Response, ServerMetrics, SYNC_CHUNK_BYTES};
 use crate::shared::SharedKb;
 use crate::sharded::ShardedKb;
-use crate::wal::{WAL_FSYNCS, WAL_ROTATIONS};
+use crate::wal::{
+    frames_prefix, list_seqs, parse_segment_name, parse_snapshot_name, segment_name,
+    snapshot_name, WAL_FSYNCS, WAL_ROTATIONS,
+};
 use smartml_kb::{AlgorithmRun, KbError, QueryOptions, Recommendation};
 use smartml_metafeatures::{Landmarkers, MetaFeatures};
-use smartml_obs::{Counter, Histogram};
+use smartml_obs::{Counter, Gauge, Histogram};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
 
 // Per-request service metrics (`crate.component.name` convention). One
 // process-wide set, shared by both backends — the METRICS verb reports
@@ -33,12 +39,38 @@ static REQ_SNAPSHOT: Counter = Counter::new("kbd.req.snapshot");
 static REQ_METRICS: Counter = Counter::new("kbd.req.metrics");
 static REQ_PING: Counter = Counter::new("kbd.req.ping");
 static REQ_SHUTDOWN: Counter = Counter::new("kbd.req.shutdown");
+static REQ_SYNC: Counter = Counter::new("kbd.req.sync");
+static REQ_NOT_PRIMARY: Counter = Counter::new("kbd.req.not_primary");
 
-/// Builds the [`ServerMetrics`] wire struct from the live registry.
-pub(crate) fn collect_metrics() -> ServerMetrics {
+/// Replication lag in records (primary applied sequence minus local
+/// applied sequence), updated by the replica tailer after every sync
+/// round. Reported through the METRICS verb on replicas.
+pub(crate) static REPLICA_LAG: Gauge = Gauge::new("kbd.replica.lag_records");
+
+/// Which side of replication this server is on. Threaded into
+/// [`dispatch`] so replicas can reject writes with a typed redirect.
+#[derive(Debug, Clone, Default)]
+pub enum ServeRole {
+    /// Accepts the full verb set, including `SYNC` pulls from replicas.
+    #[default]
+    Primary,
+    /// Read-only: serves `RECOMMEND`/`RECOMMEND_BATCH`/`STATS`/`METRICS`
+    /// (and `PING`/`SHUTDOWN`); every write answers
+    /// [`Response::NotPrimary`] naming the primary to retry against.
+    Replica {
+        /// Address of the primary this replica tails.
+        primary: String,
+    },
+}
+
+/// Builds the [`ServerMetrics`] wire struct from the live registry plus
+/// the store's replication position. `replication_lag` is `Some` only on
+/// replicas (the tailer keeps [`REPLICA_LAG`] current).
+pub(crate) fn collect_metrics(applied_seq: u64, replication_lag: Option<u64>) -> ServerMetrics {
     let lat = REQUEST_US.summary();
     let mut ops: Vec<(String, u64)> = [
         ("metrics", &REQ_METRICS),
+        ("not_primary", &REQ_NOT_PRIMARY),
         ("ping", &REQ_PING),
         ("recommend", &REQ_RECOMMEND),
         ("recommend_batch", &REQ_RECOMMEND_BATCH),
@@ -47,6 +79,7 @@ pub(crate) fn collect_metrics() -> ServerMetrics {
         ("shutdown", &REQ_SHUTDOWN),
         ("snapshot", &REQ_SNAPSHOT),
         ("stats", &REQ_STATS),
+        ("sync", &REQ_SYNC),
     ]
     .iter()
     .map(|(name, c)| (name.to_string(), c.value()))
@@ -63,7 +96,142 @@ pub(crate) fn collect_metrics() -> ServerMetrics {
         request_us_mean: lat.mean,
         wal_fsyncs: WAL_FSYNCS.value(),
         wal_rotations: WAL_ROTATIONS.value(),
+        applied_seq,
+        replication_lag,
         ops,
+    }
+}
+
+/// Serves one `SYNC` request from a KB directory. `active` is the
+/// `(segment, length)` frontier read under the store's WAL lock — the
+/// authoritative frame boundary for the active segment (sealed segments
+/// are immutable). The caller holds that lock across this call so
+/// compaction cannot delete segments mid-read.
+pub(crate) fn sync_from_dir(
+    dir: &Path,
+    active: (u64, u64),
+    applied_seq: u64,
+    segment: u64,
+    offset: u64,
+) -> Result<Response, KbError> {
+    let (active_seq, active_len) = active;
+    let floor = list_seqs(dir, parse_snapshot_name)?.last().copied();
+    let ship_snapshot = |seq: u64| -> Result<Response, KbError> {
+        let kb_json = std::fs::read_to_string(dir.join(snapshot_name(seq)))?;
+        Ok(Response::SyncSnapshot {
+            snapshot_seq: seq,
+            applied_seq: read_snapshot_meta(dir, seq),
+            next_segment: seq + 1,
+            kb_json,
+        })
+    };
+    let (mut seg, mut off) = if segment == 0 {
+        // Bootstrap: ship the snapshot when one exists, else replay from
+        // the oldest segment on disk.
+        if let Some(floor) = floor {
+            return ship_snapshot(floor);
+        }
+        let first =
+            list_seqs(dir, parse_segment_name)?.first().copied().unwrap_or(active_seq);
+        (first, 0)
+    } else if floor.is_some_and(|f| segment <= f) {
+        // Behind the compaction floor: those segments are gone; reset
+        // the replica from the snapshot that folded them.
+        return ship_snapshot(floor.unwrap());
+    } else {
+        (segment, offset)
+    };
+    loop {
+        if seg > active_seq {
+            // Ahead of the primary: diverged history. A snapshot resets
+            // the replica wholesale; without one there is nothing safe
+            // to ship.
+            return match floor {
+                Some(f) => ship_snapshot(f),
+                None => Err(KbError::Backend(format!(
+                    "sync position (segment {seg}) is ahead of the primary's active \
+                     segment {active_seq} and no snapshot exists to reset from"
+                ))),
+            };
+        }
+        let seg_len = if seg == active_seq {
+            active_len
+        } else {
+            std::fs::metadata(dir.join(segment_name(seg)))?.len()
+        };
+        if off > seg_len {
+            return match floor {
+                Some(f) => ship_snapshot(f),
+                None => Err(KbError::Backend(format!(
+                    "sync offset {off} is past segment {seg}'s {seg_len} bytes and no \
+                     snapshot exists to reset from"
+                ))),
+            };
+        }
+        if off == seg_len {
+            if seg < active_seq {
+                if (seg, off) == (segment, offset) {
+                    // The caller sits exactly at a sealed segment's end:
+                    // an empty chunk whose `next_segment` moves past it
+                    // tells the replica to rotate its own WAL before the
+                    // next pull. Shipping segment `seg + 1` bytes right
+                    // away would name a position the replica hasn't
+                    // reached yet and be refused as a mismatch.
+                    return Ok(Response::SyncChunk {
+                        segment: seg,
+                        offset: off,
+                        data: String::new(),
+                        next_segment: seg + 1,
+                        next_offset: 0,
+                        caught_up: false,
+                        applied_seq,
+                    });
+                }
+                seg += 1;
+                off = 0;
+                continue;
+            }
+            // At the frontier: an empty chunk that says "caught up".
+            return Ok(Response::SyncChunk {
+                segment: seg,
+                offset: off,
+                data: String::new(),
+                next_segment: seg,
+                next_offset: off,
+                caught_up: true,
+                applied_seq,
+            });
+        }
+        let path = dir.join(segment_name(seg));
+        let mut file = File::open(&path)?;
+        file.seek(SeekFrom::Start(off))?;
+        let mut bytes = vec![0u8; (seg_len - off) as usize];
+        file.read_exact(&mut bytes)?;
+        let take = frames_prefix(&bytes, SYNC_CHUNK_BYTES);
+        if take == 0 {
+            return Err(KbError::Backend(format!(
+                "segment {seg} holds no complete frame at offset {off}"
+            )));
+        }
+        bytes.truncate(take);
+        // Frames are a hex header plus JSON plus newline — always UTF-8.
+        let data = String::from_utf8(bytes).map_err(|e| KbError::Corrupt {
+            path: Some(path),
+            detail: format!("segment bytes are not UTF-8: {e}"),
+        })?;
+        let end = off + take as u64;
+        let (next_segment, next_offset) =
+            if end == seg_len && seg < active_seq { (seg + 1, 0) } else { (seg, end) };
+        let caught_up = seg == active_seq && end == active_len;
+        return Ok(Response::SyncChunk {
+            segment: seg,
+            offset: off,
+            data,
+            next_segment,
+            next_offset,
+            caught_up,
+            applied_seq,
+        });
     }
 }
 
@@ -99,6 +267,10 @@ pub trait ServeStore: Send + Sync + 'static {
     fn serve_wal(&self) -> (usize, u64);
     /// Fold into a snapshot and compact.
     fn serve_snapshot(&self) -> Result<u64, KbError>;
+    /// Total WAL records applied in this store's lineage.
+    fn serve_applied_seq(&self) -> u64;
+    /// Answer one replication `SYNC` pull from the store's directory.
+    fn serve_sync(&self, segment: u64, offset: u64) -> Result<Response, KbError>;
 }
 
 impl ServeStore for SharedKb<DurableKb> {
@@ -142,6 +314,19 @@ impl ServeStore for SharedKb<DurableKb> {
 
     fn serve_snapshot(&self) -> Result<u64, KbError> {
         self.write(|store| store.snapshot())
+    }
+
+    fn serve_applied_seq(&self) -> u64 {
+        self.read(|store| store.applied_seq())
+    }
+
+    fn serve_sync(&self, segment: u64, offset: u64) -> Result<Response, KbError> {
+        // The read lock excludes snapshot/compaction (which runs under
+        // the write lock), so the files we read cannot move underneath.
+        self.read(|store| {
+            let position = store.wal_position();
+            sync_from_dir(store.dir(), position, store.applied_seq(), segment, offset)
+        })
     }
 }
 
@@ -187,6 +372,18 @@ impl ServeStore for ShardedKb {
     fn serve_snapshot(&self) -> Result<u64, KbError> {
         self.snapshot()
     }
+
+    fn serve_applied_seq(&self) -> u64 {
+        self.applied_seq()
+    }
+
+    fn serve_sync(&self, segment: u64, offset: u64) -> Result<Response, KbError> {
+        // Holding the WAL mutex excludes both appends and snapshot
+        // compaction, which take it before touching segment files.
+        self.with_wal_position(|position| {
+            sync_from_dir(self.dir(), position, self.applied_seq(), segment, offset)
+        })
+    }
 }
 
 /// Serialises a response line (without the trailing newline).
@@ -202,10 +399,15 @@ pub(crate) fn encode_into(response: &Response, out: &mut String) {
 
 /// Executes one request line against a store. Returns the response and
 /// whether the server should stop.
+///
+/// A replica serves reads only: every mutating verb (and `SYNC`, which
+/// only a primary can answer authoritatively) is rejected with a typed
+/// [`Response::NotPrimary`] redirect naming the primary's address.
 pub(crate) fn dispatch<S: ServeStore>(
     line: &str,
     store: &S,
     recovery: &RecoveryReport,
+    role: &ServeRole,
 ) -> (Response, bool) {
     let request: Request = match serde_json::from_str(line.trim()) {
         Ok(r) => r,
@@ -213,6 +415,19 @@ pub(crate) fn dispatch<S: ServeStore>(
             return (Response::Error { message: format!("bad request: {e}") }, false);
         }
     };
+    if let ServeRole::Replica { primary } = role {
+        let rejected = matches!(
+            request,
+            Request::RecordRun { .. }
+                | Request::SetLandmarkers { .. }
+                | Request::Snapshot
+                | Request::Sync { .. }
+        );
+        if rejected {
+            REQ_NOT_PRIMARY.inc();
+            return (Response::NotPrimary { primary: primary.clone() }, false);
+        }
+    }
     let response = match request {
         Request::Recommend { meta_features, landmarkers, options } => {
             REQ_RECOMMEND.inc();
@@ -265,6 +480,7 @@ pub(crate) fn dispatch<S: ServeStore>(
                     snapshot_seq: recovery.snapshot_seq,
                     recovered_records: recovery.records_replayed,
                     recovered_torn_tail: recovery.truncated_tail,
+                    applied_seq: store.serve_applied_seq(),
                 },
             }
         }
@@ -275,9 +491,20 @@ pub(crate) fn dispatch<S: ServeStore>(
                 Err(e) => Response::Error { message: e.to_string() },
             }
         }
+        Request::Sync { segment, offset } => {
+            REQ_SYNC.inc();
+            match store.serve_sync(segment, offset) {
+                Ok(response) => response,
+                Err(e) => Response::Error { message: e.to_string() },
+            }
+        }
         Request::Metrics => {
             REQ_METRICS.inc();
-            Response::Metrics { metrics: collect_metrics() }
+            let lag = match role {
+                ServeRole::Primary => None,
+                ServeRole::Replica { .. } => Some(REPLICA_LAG.value().max(0) as u64),
+            };
+            Response::Metrics { metrics: collect_metrics(store.serve_applied_seq(), lag) }
         }
         Request::Ping => {
             REQ_PING.inc();

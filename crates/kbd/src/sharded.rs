@@ -37,10 +37,10 @@
 //! same segment rotation, same snapshot files. A directory written by a
 //! sharded server opens under [`crate::DurableKb`] and vice versa.
 
-use crate::durable::{recover_dir, DurableOptions, RecoveryReport};
+use crate::durable::{recover_dir, write_snapshot_meta, DurableOptions, RecoveryReport};
 use crate::wal::{
-    list_seqs, parse_segment_name, parse_snapshot_name, segment_name, snapshot_name, WalRecord,
-    WalWriter,
+    list_seqs, meta_name, parse_meta_name, parse_segment_name, parse_snapshot_name, scan_frames,
+    segment_name, snapshot_name, WalRecord, WalWriter,
 };
 use smartml_kb::{
     entry_distance, normalisation_stats_over, normalise, vote_ranked, AlgorithmRun, KbEntry,
@@ -117,6 +117,9 @@ pub struct ShardedKb {
     generation: AtomicU64,
     zcache: Mutex<Option<Arc<ZCache>>>,
     recovery: RecoveryReport,
+    /// Total WAL records applied in this directory's lineage — the
+    /// replication position (see [`RecoveryReport::applied_seq`]).
+    applied_seq: AtomicU64,
 }
 
 impl ShardedKb {
@@ -147,6 +150,7 @@ impl ShardedKb {
             .into_iter()
             .map(|(entries, seqs)| Shard { kb: KnowledgeBase::from_entries(entries), seqs })
             .collect();
+        let applied_seq = AtomicU64::new(recovery.applied_seq);
         Ok(ShardedKb {
             dir: dir.to_path_buf(),
             options,
@@ -156,6 +160,7 @@ impl ShardedKb {
             generation: AtomicU64::new(0),
             zcache: Mutex::new(None),
             recovery,
+            applied_seq,
         })
     }
 
@@ -198,9 +203,28 @@ impl ShardedKb {
         self.wal.lock().expect("wal poisoned").seq()
     }
 
+    /// Total WAL records applied in this directory's lineage (the
+    /// replication position).
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq.load(Ordering::Acquire)
+    }
+
     /// Number of WAL segment files currently on disk.
     pub fn n_segments(&self) -> Result<usize, KbError> {
         Ok(list_seqs(&self.dir, parse_segment_name)?.len())
+    }
+
+    /// Directory this store journals into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Runs `f` with the active WAL position `(segment seq, byte len)`
+    /// while holding the WAL mutex, so the position cannot move (and
+    /// compaction cannot run) for the duration of the call.
+    pub(crate) fn with_wal_position<T>(&self, f: impl FnOnce((u64, u64)) -> T) -> T {
+        let wal = self.wal.lock().expect("wal poisoned");
+        f((wal.seq(), wal.len()))
     }
 
     /// Logs then applies one run observation. WAL discipline: the
@@ -220,38 +244,8 @@ impl ShardedKb {
         };
         let mut wal = self.wal.lock().expect("wal poisoned");
         wal.append(&record)?;
-        let WalRecord::Run { run, .. } = record else { unreachable!() };
-        // Lock order: registry before shard (readers use the same order).
-        let mut reg = self.registry.write().expect("registry poisoned");
-        let slot = match reg.assign.get(dataset_id).copied() {
-            Some(slot) => {
-                // Existing dataset: meta-features are overwritten in
-                // place; the shard assignment is sticky.
-                reg.features[slot.seq as usize] = meta_features.values.clone();
-                slot
-            }
-            None => {
-                let slot = Slot {
-                    shard: shard_of(&meta_features.values, self.shards.len()),
-                    seq: reg.features.len() as u64,
-                };
-                reg.assign.insert(dataset_id.to_string(), slot);
-                reg.features.push(meta_features.values.clone());
-                slot
-            }
-        };
-        {
-            let mut shard = self.shards[slot.shard].write().expect("shard poisoned");
-            let was = shard.kb.len();
-            shard.kb.record_run(dataset_id, meta_features, run);
-            if shard.kb.len() > was {
-                shard.seqs.push(slot.seq);
-            }
-        }
-        // Publish while still holding the registry write lock, so a
-        // reader holding a registry read guard always sees a generation
-        // whose mutations are fully applied.
-        self.generation.fetch_add(1, Ordering::Release);
+        self.apply_record(&record);
+        self.applied_seq.fetch_add(1, Ordering::Release);
         Ok(())
     }
 
@@ -266,13 +260,8 @@ impl ShardedKb {
             WalRecord::Landmarkers { dataset_id: dataset_id.to_string(), landmarkers };
         let mut wal = self.wal.lock().expect("wal poisoned");
         wal.append(&record)?;
-        let reg = self.registry.write().expect("registry poisoned");
-        if let Some(slot) = reg.assign.get(dataset_id).copied() {
-            let mut shard = self.shards[slot.shard].write().expect("shard poisoned");
-            shard.kb.set_landmarkers(dataset_id, landmarkers);
-        }
-        self.generation.fetch_add(1, Ordering::Release);
-        drop(reg);
+        self.apply_record(&record);
+        self.applied_seq.fetch_add(1, Ordering::Release);
         drop(wal);
         Ok(())
     }
@@ -388,6 +377,7 @@ impl ShardedKb {
         let covered = wal.seq();
         let kb = self.to_monolithic();
         kb.save(&self.dir.join(snapshot_name(covered)))?;
+        write_snapshot_meta(&self.dir, covered, self.applied_seq())?;
         for seq in list_seqs(&self.dir, parse_segment_name)? {
             if seq <= covered {
                 std::fs::remove_file(self.dir.join(segment_name(seq)))?;
@@ -398,6 +388,11 @@ impl ShardedKb {
                 std::fs::remove_file(self.dir.join(snapshot_name(seq)))?;
             }
         }
+        for seq in list_seqs(&self.dir, parse_meta_name)? {
+            if seq < covered {
+                std::fs::remove_file(self.dir.join(meta_name(seq)))?;
+            }
+        }
         *wal = WalWriter::open(
             &self.dir,
             covered + 1,
@@ -405,6 +400,208 @@ impl ShardedKb {
             self.options.fsync_writes,
         )?;
         Ok(covered)
+    }
+
+    /// Applies one already-logged WAL record to the registry and shards,
+    /// bumping the write generation. Shared by the local write path and
+    /// the replication apply path so both produce identical state.
+    fn apply_record(&self, record: &WalRecord) {
+        match record {
+            WalRecord::Run { dataset_id, meta_features, run } => {
+                // Lock order: registry before shard (readers use the same
+                // order). The generation is published while the registry
+                // write lock is still held, so a reader holding a registry
+                // read guard always sees a fully applied generation.
+                let mut reg = self.registry.write().expect("registry poisoned");
+                let slot = match reg.assign.get(dataset_id).copied() {
+                    Some(slot) => {
+                        // Existing dataset: meta-features overwritten in
+                        // place; the shard assignment is sticky.
+                        reg.features[slot.seq as usize] = meta_features.values.clone();
+                        slot
+                    }
+                    None => {
+                        let slot = Slot {
+                            shard: shard_of(&meta_features.values, self.shards.len()),
+                            seq: reg.features.len() as u64,
+                        };
+                        reg.assign.insert(dataset_id.to_string(), slot);
+                        reg.features.push(meta_features.values.clone());
+                        slot
+                    }
+                };
+                {
+                    let mut shard = self.shards[slot.shard].write().expect("shard poisoned");
+                    let was = shard.kb.len();
+                    shard.kb.record_run(dataset_id, meta_features, run.clone());
+                    if shard.kb.len() > was {
+                        shard.seqs.push(slot.seq);
+                    }
+                }
+                self.generation.fetch_add(1, Ordering::Release);
+            }
+            WalRecord::Landmarkers { dataset_id, landmarkers } => {
+                let reg = self.registry.write().expect("registry poisoned");
+                if let Some(slot) = reg.assign.get(dataset_id).copied() {
+                    let mut shard = self.shards[slot.shard].write().expect("shard poisoned");
+                    shard.kb.set_landmarkers(dataset_id, *landmarkers);
+                }
+                self.generation.fetch_add(1, Ordering::Release);
+            }
+        }
+    }
+
+    /// Replication apply: mirrors `data` (whole WAL frames shipped by the
+    /// primary) onto the local active segment byte-for-byte, then applies
+    /// each record through the same path local writes use. The chunk must
+    /// start exactly at the local WAL frontier — anything else means this
+    /// replica diverged and must resync from a snapshot. Returns the new
+    /// local applied sequence.
+    pub fn apply_sync_chunk(
+        &self,
+        segment: u64,
+        offset: u64,
+        data: &str,
+    ) -> Result<u64, KbError> {
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        if wal.seq() != segment || wal.len() != offset {
+            return Err(KbError::Backend(format!(
+                "sync position mismatch: chunk is for segment {segment} offset {offset}, \
+                 local WAL is at segment {} offset {} — resync required",
+                wal.seq(),
+                wal.len()
+            )));
+        }
+        let bytes = data.as_bytes();
+        let scan = scan_frames(bytes, &self.dir.join(segment_name(segment)))?;
+        if scan.torn_at.is_some() {
+            return Err(KbError::Backend(
+                "sync chunk is not a whole number of frames — refusing a torn prefix".into(),
+            ));
+        }
+        // Disk before memory, exactly like a local write: after a crash
+        // here, recovery replays the mirrored frames.
+        wal.append_raw(bytes)?;
+        for record in &scan.records {
+            self.apply_record(record);
+        }
+        let n = scan.records.len() as u64;
+        Ok(self.applied_seq.fetch_add(n, Ordering::AcqRel) + n)
+    }
+
+    /// Replication segment advance: the primary sealed `current` and
+    /// moved on; mirror its rotation by opening segment `next` locally.
+    pub fn advance_segment(&self, next: u64) -> Result<(), KbError> {
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        if next <= wal.seq() {
+            return Err(KbError::Backend(format!(
+                "sync segment advance must move forward: at {}, asked for {next}",
+                wal.seq()
+            )));
+        }
+        *wal = WalWriter::open(
+            &self.dir,
+            next,
+            self.options.segment_bytes,
+            self.options.fsync_writes,
+        )?;
+        Ok(())
+    }
+
+    /// Replication reset: installs a full snapshot shipped by the
+    /// primary, replacing every local segment and snapshot. The replica's
+    /// directory afterwards is exactly what a primary compacted at
+    /// `snapshot_seq` would hold, so a restart recovers from it normally.
+    pub fn install_snapshot(
+        &self,
+        snapshot_seq: u64,
+        kb_json: &str,
+        applied_seq: u64,
+    ) -> Result<(), KbError> {
+        let kb: KnowledgeBase = serde_json::from_str(kb_json).map_err(|e| KbError::Corrupt {
+            path: None,
+            detail: format!("sync snapshot failed to parse: {e}"),
+        })?;
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        let mut reg = self.registry.write().expect("registry poisoned");
+        let mut guards: Vec<_> =
+            self.shards.iter().map(|s| s.write().expect("shard poisoned")).collect();
+        // Persist first (disk before memory): snapshot + sidecar, then
+        // drop every local segment (diverged or superseded history) and
+        // every other snapshot.
+        kb.save(&self.dir.join(snapshot_name(snapshot_seq)))?;
+        write_snapshot_meta(&self.dir, snapshot_seq, applied_seq)?;
+        for seq in list_seqs(&self.dir, parse_segment_name)? {
+            std::fs::remove_file(self.dir.join(segment_name(seq)))?;
+        }
+        for seq in list_seqs(&self.dir, parse_snapshot_name)? {
+            if seq != snapshot_seq {
+                std::fs::remove_file(self.dir.join(snapshot_name(seq)))?;
+            }
+        }
+        for seq in list_seqs(&self.dir, parse_meta_name)? {
+            if seq != snapshot_seq {
+                std::fs::remove_file(self.dir.join(meta_name(seq)))?;
+            }
+        }
+        // Rebuild the in-memory index from the snapshot, preserving the
+        // snapshot's entry order as the global insertion order — the same
+        // partitioning open_with performs.
+        *reg = Registry::default();
+        let n_shards = self.shards.len();
+        let mut partitions: Vec<(Vec<KbEntry>, Vec<u64>)> =
+            (0..n_shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (seq, entry) in kb.into_entries().into_iter().enumerate() {
+            let shard = shard_of(&entry.meta_features.values, n_shards);
+            reg.assign
+                .insert(entry.dataset_id.clone(), Slot { shard, seq: seq as u64 });
+            reg.features.push(entry.meta_features.values.clone());
+            partitions[shard].1.push(seq as u64);
+            partitions[shard].0.push(entry);
+        }
+        for (guard, (entries, seqs)) in guards.iter_mut().zip(partitions) {
+            guard.kb = KnowledgeBase::from_entries(entries);
+            guard.seqs = seqs;
+        }
+        self.applied_seq.store(applied_seq, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+        *wal = WalWriter::open(
+            &self.dir,
+            snapshot_seq + 1,
+            self.options.segment_bytes,
+            self.options.fsync_writes,
+        )?;
+        Ok(())
+    }
+
+    /// Replication reset without a snapshot: drops every local segment,
+    /// snapshot, and in-memory entry and reopens the WAL at segment 1.
+    /// A replica whose history diverged from a primary that never
+    /// compacted (so there is no snapshot to ship) falls back to this
+    /// before re-tailing the primary's retained segments from zero.
+    pub fn reset_for_resync(&self) -> Result<(), KbError> {
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        let mut reg = self.registry.write().expect("registry poisoned");
+        let mut guards: Vec<_> =
+            self.shards.iter().map(|s| s.write().expect("shard poisoned")).collect();
+        for seq in list_seqs(&self.dir, parse_segment_name)? {
+            std::fs::remove_file(self.dir.join(segment_name(seq)))?;
+        }
+        for seq in list_seqs(&self.dir, parse_snapshot_name)? {
+            std::fs::remove_file(self.dir.join(snapshot_name(seq)))?;
+        }
+        for seq in list_seqs(&self.dir, parse_meta_name)? {
+            std::fs::remove_file(self.dir.join(meta_name(seq)))?;
+        }
+        *reg = Registry::default();
+        for guard in guards.iter_mut() {
+            guard.kb = KnowledgeBase::from_entries(Vec::new());
+            guard.seqs = Vec::new();
+        }
+        self.applied_seq.store(0, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+        *wal = WalWriter::open(&self.dir, 1, self.options.segment_bytes, self.options.fsync_writes)?;
+        Ok(())
     }
 }
 

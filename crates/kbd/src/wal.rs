@@ -171,6 +171,13 @@ pub fn snapshot_name(seq: u64) -> String {
     format!("snapshot-{seq:06}.json")
 }
 
+/// Sidecar metadata file name for a snapshot. Holds recovery state the
+/// snapshot JSON itself cannot carry (today: the applied record count),
+/// written atomically next to its snapshot.
+pub fn meta_name(seq: u64) -> String {
+    format!("snapshot-{seq:06}.meta.json")
+}
+
 /// Parses `wal-NNNNNN.log` → `NNNNNN`.
 pub fn parse_segment_name(name: &str) -> Option<u64> {
     name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
@@ -179,6 +186,43 @@ pub fn parse_segment_name(name: &str) -> Option<u64> {
 /// Parses `snapshot-NNNNNN.json` → `NNNNNN`.
 pub fn parse_snapshot_name(name: &str) -> Option<u64> {
     name.strip_prefix("snapshot-")?.strip_suffix(".json")?.parse().ok()
+}
+
+/// Parses `snapshot-NNNNNN.meta.json` → `NNNNNN`.
+pub fn parse_meta_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?.strip_suffix(".meta.json")?.parse().ok()
+}
+
+/// Length of the longest prefix of `bytes` that is a whole number of
+/// syntactically complete frames and stays within `cap` bytes. A sync
+/// chunk must never split a frame, so when even the first frame exceeds
+/// `cap` it is returned whole. Anything that fails to parse as a frame
+/// header ends the walk — the caller decides whether a short prefix is a
+/// tear or simply "more bytes arriving later".
+pub fn frames_prefix(bytes: &[u8], cap: usize) -> usize {
+    let mut end = 0usize;
+    while end < bytes.len() {
+        let rest = &bytes[end..];
+        if rest.len() < HEADER_LEN {
+            break;
+        }
+        let len = std::str::from_utf8(&rest[..8])
+            .ok()
+            .and_then(|h| u32::from_str_radix(h, 16).ok());
+        let Some(len) = len else { break };
+        let frame_end = HEADER_LEN + len as usize + 1;
+        if rest.len() < frame_end || rest[frame_end - 1] != b'\n' {
+            break;
+        }
+        if end > 0 && end + frame_end > cap {
+            break;
+        }
+        end += frame_end;
+        if end >= cap {
+            break;
+        }
+    }
+    end
 }
 
 /// Sorted sequence numbers of all files in `dir` matching `parse`.
@@ -248,6 +292,20 @@ impl WalWriter {
         }
         self.len += frame.len() as u64;
         Ok(self.seq)
+    }
+
+    /// Appends pre-framed bytes verbatim, with no rotation: the
+    /// replication path, which must mirror the primary's segment
+    /// boundaries exactly rather than rotate on its own thresholds. The
+    /// caller guarantees `bytes` is a whole number of valid frames.
+    pub fn append_raw(&mut self, bytes: &[u8]) -> Result<(), KbError> {
+        self.file.write_all(bytes)?;
+        if self.fsync_writes {
+            self.file.sync_data()?;
+            WAL_FSYNCS.inc();
+        }
+        self.len += bytes.len() as u64;
+        Ok(())
     }
 
     /// Seals the active segment and opens the next one.
@@ -411,8 +469,29 @@ mod tests {
     fn name_parsing_roundtrip() {
         assert_eq!(parse_segment_name(&segment_name(42)), Some(42));
         assert_eq!(parse_snapshot_name(&snapshot_name(7)), Some(7));
+        assert_eq!(parse_meta_name(&meta_name(9)), Some(9));
         assert_eq!(parse_segment_name("snapshot-000001.json"), None);
         assert_eq!(parse_snapshot_name("wal-000001.log"), None);
         assert_eq!(parse_segment_name("wal-junk.log"), None);
+        // Sidecars must not be mistaken for snapshots (or vice versa).
+        assert_eq!(parse_snapshot_name(&meta_name(9)), None);
+        assert_eq!(parse_meta_name(&snapshot_name(9)), None);
+    }
+
+    #[test]
+    fn frames_prefix_cuts_only_at_frame_boundaries() {
+        let f1 = encode_frame(&rec(1));
+        let f2 = encode_frame(&rec(2));
+        let mut bytes = f1.clone();
+        bytes.extend_from_slice(&f2);
+        // Everything fits under the cap: both frames.
+        assert_eq!(frames_prefix(&bytes, usize::MAX), bytes.len());
+        // Cap between the frames: only the first ships.
+        assert_eq!(frames_prefix(&bytes, f1.len() + 1), f1.len());
+        // Cap smaller than even one frame: the first still ships whole.
+        assert_eq!(frames_prefix(&bytes, 4), f1.len());
+        // A torn tail ends the walk at the last complete frame.
+        assert_eq!(frames_prefix(&bytes[..bytes.len() - 3], usize::MAX), f1.len());
+        assert_eq!(frames_prefix(&[], usize::MAX), 0);
     }
 }

@@ -9,12 +9,15 @@ use smartml_classifiers::{Algorithm, ParamConfig};
 use smartml_data::synth::gaussian_blobs;
 use smartml_kb::{AlgorithmRun, QueryOptions};
 use smartml_kbd::{
-    BatchQuery, DurableOptions, EventServer, EventServerOptions, Request, Server, ServerOptions,
+    BatchQuery, DurableOptions, EventServer, EventServerOptions, KbClient, ReplicaHandle,
+    ReplicaOptions, ReplicaTailer, Request, Server, ServerOptions, ServeRole, ShardedKb,
 };
 use smartml_metafeatures::{extract, Landmarkers, MetaFeatures};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("smartml-kbd-eq-{}-{tag}", std::process::id()));
@@ -291,4 +294,181 @@ fn one_batch_answers_exactly_like_the_recommend_sequence() {
         assert_eq!(as_json, answers[i], "client batch answer {i} diverged");
     }
     shutdown(epoll);
+}
+
+/// A read replica: its own store tailed by a [`ReplicaTailer`], served
+/// read-only by the epoll backend.
+struct Replica {
+    backend: Backend,
+    store: Arc<ShardedKb>,
+    tailer: ReplicaHandle,
+}
+
+fn spawn_replica(tag: &str, primary_addr: &str) -> Replica {
+    let dir = temp_dir(tag);
+    let durable = DurableOptions { fsync_writes: false, ..Default::default() };
+    let store =
+        Arc::new(ShardedKb::open_with(&dir, durable.clone(), 2).expect("replica store opens"));
+    let tailer = ReplicaTailer::spawn(
+        ReplicaOptions {
+            primary: primary_addr.to_string(),
+            poll_interval: Duration::from_millis(5),
+            durable: durable.clone(),
+            ..ReplicaOptions::default()
+        },
+        Arc::clone(&store),
+    );
+    let server = EventServer::bind_with_store(
+        EventServerOptions {
+            dir: dir.clone(),
+            n_loops: 2,
+            durable,
+            role: ServeRole::Replica { primary: primary_addr.to_string() },
+            ..EventServerOptions::default()
+        },
+        Arc::clone(&store),
+    )
+    .expect("replica server binds");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("replica serve loop"));
+    Replica { backend: Backend { addr, handle, dir }, store, tailer }
+}
+
+fn wait_for_catch_up(store: &ShardedKb, target: u64) {
+    let start = Instant::now();
+    while store.applied_seq() != target {
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "replica stalled at applied_seq {} of {target}",
+            store.applied_seq()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Every read-only verb: the script a replica must answer exactly like
+/// its primary. No writes — those are the redirect test's business.
+fn read_only_script() -> Vec<String> {
+    let enc = |r: &Request| serde_json::to_string(r).expect("encode request");
+    let mut lines = vec![enc(&Request::Ping)];
+    let option_sets = [
+        QueryOptions::default(),
+        QueryOptions { n_neighbors: 3, top_n: 2, ..QueryOptions::default() },
+        QueryOptions { use_landmarkers: true, ..QueryOptions::default() },
+        QueryOptions { performance_weight: 2.0, n_neighbors: 50, ..QueryOptions::default() },
+    ];
+    for (i, options) in option_sets.iter().enumerate() {
+        lines.push(enc(&Request::Recommend {
+            meta_features: mf(700 + i as u64),
+            landmarkers: options.use_landmarkers.then(|| landmarkers(3)),
+            options: Some(options.clone()),
+        }));
+    }
+    lines.push(enc(&Request::RecommendBatch {
+        queries: (0..4u64)
+            .map(|i| BatchQuery {
+                meta_features: mf(800 + i),
+                landmarkers: (i % 2 == 0).then(|| landmarkers(i)),
+                options: Some(option_sets[i as usize % option_sets.len()].clone()),
+            })
+            .collect(),
+    }));
+    lines.push(enc(&Request::Stats));
+    lines
+}
+
+#[test]
+fn a_caught_up_replica_answers_reads_byte_identically_to_the_primary() {
+    let primary = spawn_epoll("repl-primary", 2);
+    let client = KbClient::connect(primary.addr.clone());
+    for i in 0..12u64 {
+        client.record_run(&format!("ds-{}", i % 7), &mf(i), run(i)).expect("seed");
+    }
+    client.set_landmarkers("ds-2", landmarkers(2)).expect("landmarkers");
+    let target = client.stats().expect("stats").applied_seq;
+
+    let replica = spawn_replica("repl-replica", &primary.addr);
+    wait_for_catch_up(&replica.store, target);
+
+    let lines = read_only_script();
+    let on_primary = play_sequential(&primary.addr, &lines);
+    let on_replica = play_sequential(&replica.backend.addr, &lines);
+    for (i, (want, got)) in on_primary.iter().zip(&on_replica).enumerate() {
+        assert_eq!(
+            want, got,
+            "response {i} diverged between primary and caught-up replica for: {}",
+            lines[i]
+        );
+    }
+
+    // Writes are not served — they answer a typed redirect to the primary.
+    let write = serde_json::to_string(&Request::Snapshot).expect("encode");
+    let redirect = play_sequential(&replica.backend.addr, std::slice::from_ref(&write));
+    assert!(
+        redirect[0].contains("not_primary") && redirect[0].contains(&primary.addr),
+        "a write to the replica must redirect to the primary: {}",
+        redirect[0]
+    );
+
+    replica.tailer.stop();
+    shutdown(replica.backend);
+    shutdown(primary);
+}
+
+/// Satellite of the chaos suite: with ~30% of replication pulls,
+/// chunk applies, and snapshot installs panicking via injected faults,
+/// the tailer still converges and the caught-up replica still answers
+/// byte-identically. Runs only with `--features fault-injection`.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn a_replica_catching_up_under_injected_faults_still_matches_the_primary() {
+    use smartml_runtime::faults::fail;
+
+    let primary = spawn_epoll("fault-primary", 2);
+    let client = KbClient::connect(primary.addr.clone());
+    for i in 0..10u64 {
+        client.record_run(&format!("ds-{}", i % 5), &mf(i), run(i)).expect("seed");
+    }
+    let rule = |site: &str| fail::SiteRule {
+        site: site.to_string(),
+        panic_rate: 0.3,
+        hang_rate: 0.0,
+        hang_for: Duration::ZERO,
+    };
+    fail::arm(fail::FaultPlan {
+        seed: 0xD15_EA5E,
+        rules: vec![
+            rule("replica.pull"),
+            rule("replica.apply_chunk"),
+            rule("replica.install_snapshot"),
+        ],
+    });
+    let replica = spawn_replica("fault-replica", &primary.addr);
+    // Keep writing while the tailer fights through the fault storm, so
+    // catch-up spans live tailing and segment rotations, not one chunk.
+    for i in 10..30u64 {
+        client.record_run(&format!("ds-{}", i % 5), &mf(i), run(i)).expect("write");
+    }
+    let target = client.stats().expect("stats").applied_seq;
+    wait_for_catch_up(&replica.store, target);
+    fail::disarm();
+    assert!(
+        fail::injected_panics() > 0,
+        "the fault plan must actually have fired for this test to mean anything"
+    );
+
+    let lines = read_only_script();
+    let on_primary = play_sequential(&primary.addr, &lines);
+    let on_replica = play_sequential(&replica.backend.addr, &lines);
+    for (i, (want, got)) in on_primary.iter().zip(&on_replica).enumerate() {
+        assert_eq!(
+            want, got,
+            "response {i} diverged after faulted catch-up for: {}",
+            lines[i]
+        );
+    }
+
+    replica.tailer.stop();
+    shutdown(replica.backend);
+    shutdown(primary);
 }

@@ -1,0 +1,420 @@
+//! Replication chaos suite: snapshot-shipping catch-up, torn-prefix
+//! refusal, mid-catch-up crash recovery, and read-only replica serving.
+//!
+//! The in-process analogue of the verify.sh kill -9 stages: every
+//! scenario here drives the same [`ReplicaTailer`] / `sync`-verb
+//! machinery the real two-process deployment uses, with the crashes
+//! simulated at the exact byte positions a SIGKILL would produce
+//! (truncated WAL tails, half-shipped chunks).
+
+use smartml_classifiers::{Algorithm, ParamConfig};
+use smartml_data::synth::gaussian_blobs;
+use smartml_kb::AlgorithmRun;
+use smartml_kbd::{
+    encode_frame, segment_name, DurableOptions, EventServer, EventServerOptions, KbClient,
+    ReplicaOptions, ReplicaTailer, RetryPolicy, ServeRole, ShardedKb, WalRecord,
+};
+use smartml_metafeatures::{extract, MetaFeatures};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("smartml-kbd-repl-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mf(seed: u64) -> MetaFeatures {
+    let d = gaussian_blobs("repl", 40 + (seed % 13) as usize, 3, 2, 0.85, seed);
+    extract(&d, &d.all_rows())
+}
+
+fn run(i: u64) -> AlgorithmRun {
+    let algorithm =
+        [Algorithm::RandomForest, Algorithm::Svm, Algorithm::Knn, Algorithm::NaiveBayes]
+            [i as usize % 4];
+    AlgorithmRun {
+        algorithm,
+        config: ParamConfig::default(),
+        accuracy: 0.5 + (i % 45) as f64 / 100.0,
+    }
+}
+
+fn durable() -> DurableOptions {
+    // Small segments so a handful of records exercises rotation, no
+    // fsync so the suite stays fast.
+    DurableOptions { fsync_writes: false, segment_bytes: 2048, ..Default::default() }
+}
+
+struct Primary {
+    addr: String,
+    handle: std::thread::JoinHandle<()>,
+    dir: PathBuf,
+}
+
+fn spawn_primary(tag: &str) -> Primary {
+    let dir = temp_dir(tag);
+    let server = EventServer::bind(EventServerOptions {
+        dir: dir.clone(),
+        n_loops: 2,
+        durable: durable(),
+        ..EventServerOptions::default()
+    })
+    .expect("primary binds");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = std::thread::spawn(move || server.run().expect("primary serve loop"));
+    Primary { addr, handle, dir }
+}
+
+fn stop_primary(primary: Primary) {
+    let client = KbClient::connect(primary.addr.clone());
+    let _ = client.shutdown();
+    primary.handle.join().expect("primary thread");
+    let _ = std::fs::remove_dir_all(&primary.dir);
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        ..RetryPolicy::default()
+    }
+}
+
+fn tail_options(primary: &str) -> ReplicaOptions {
+    ReplicaOptions {
+        primary: primary.to_string(),
+        poll_interval: Duration::from_millis(5),
+        round_deadline: Some(Duration::from_secs(10)),
+        timeout: Some(Duration::from_secs(5)),
+        retry: fast_retry(),
+        durable: durable(),
+    }
+}
+
+fn wait_until(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Catch-up from a live tail: every record the primary applies reaches
+/// the replica, the directories hold byte-identical WAL segments, and
+/// applied sequence numbers converge.
+#[test]
+fn replica_catches_up_and_mirrors_the_primary_byte_for_byte() {
+    let primary = spawn_primary("mirror");
+    let client = KbClient::connect(primary.addr.clone());
+    for i in 0..6u64 {
+        client.record_run(&format!("ds-{i}"), &mf(i), run(i)).expect("seed");
+    }
+
+    let replica_dir = temp_dir("mirror-replica");
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("replica opens"));
+    let tailer = ReplicaTailer::spawn(tail_options(&primary.addr), Arc::clone(&store));
+
+    // More writes while the tailer is already running: live tailing, not
+    // just a one-shot bootstrap. Enough volume to force rotations.
+    for i in 6..40u64 {
+        client.record_run(&format!("ds-{}", i % 11), &mf(i), run(i)).expect("write");
+    }
+    let primary_applied = client.stats().expect("stats").applied_seq;
+    assert_eq!(primary_applied, 40);
+    let t0 = Instant::now();
+    while store.applied_seq() != primary_applied {
+        if t0.elapsed() > Duration::from_secs(30) {
+            panic!(
+                "timed out: replica applied {} of {} (rounds {}, last error {:?})",
+                store.applied_seq(),
+                primary_applied,
+                tailer.rounds(),
+                tailer.last_error()
+            );
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    wait_until("tailer to report caught up", Duration::from_secs(30), || {
+        tailer.is_caught_up()
+    });
+
+    // Byte-identical directories: same segment files, same bytes.
+    let mut seg = 1u64;
+    let mut compared = 0;
+    loop {
+        let a = primary.dir.join(segment_name(seg));
+        let b = replica_dir.join(segment_name(seg));
+        match (std::fs::read(&a), std::fs::read(&b)) {
+            (Ok(pa), Ok(pb)) => {
+                assert_eq!(pa, pb, "segment {seg} diverged between primary and replica");
+                compared += 1;
+            }
+            (Err(_), Err(_)) => break,
+            (pa, pb) => panic!(
+                "segment {seg} exists on one side only (primary: {}, replica: {})",
+                pa.is_ok(),
+                pb.is_ok()
+            ),
+        }
+        seg += 1;
+    }
+    assert!(compared >= 2, "the workload must span several segments, saw {compared}");
+
+    tailer.stop();
+    stop_primary(primary);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+/// A replica killed mid-catch-up (its WAL tail torn mid-frame, exactly
+/// what SIGKILL during `apply_sync_chunk` leaves behind) re-spawns,
+/// truncates the tear, and resumes from the durable position — ending
+/// byte-identical to the primary.
+#[test]
+fn replica_killed_mid_catch_up_resumes_from_its_truncated_tail() {
+    let primary = spawn_primary("kill9");
+    let client = KbClient::connect(primary.addr.clone());
+    for i in 0..20u64 {
+        client.record_run(&format!("ds-{}", i % 7), &mf(i), run(i)).expect("seed");
+    }
+    let primary_applied = client.stats().expect("stats").applied_seq;
+
+    // Phase 1: catch up fully, then "kill" the replica and tear its
+    // active segment mid-frame.
+    let replica_dir = temp_dir("kill9-replica");
+    {
+        let store =
+            Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("replica opens"));
+        let tailer = ReplicaTailer::spawn(tail_options(&primary.addr), Arc::clone(&store));
+        wait_until("first catch-up", Duration::from_secs(30), || {
+            store.applied_seq() == primary_applied
+        });
+        tailer.stop();
+    }
+    let mut seqs: Vec<u64> = std::fs::read_dir(&replica_dir)
+        .expect("read replica dir")
+        .filter_map(|e| {
+            let name = e.expect("entry").file_name();
+            smartml_kbd::parse_segment_name(name.to_str()?)
+        })
+        .collect();
+    seqs.sort_unstable();
+    let last_seg = replica_dir.join(segment_name(*seqs.last().expect("segments exist")));
+    let len = std::fs::metadata(&last_seg).expect("meta").len();
+    assert!(len > 7, "active segment must hold data to tear");
+    let file = std::fs::OpenOptions::new().write(true).open(&last_seg).expect("open");
+    file.set_len(len - 7).expect("tear the tail mid-frame");
+    drop(file);
+
+    // Phase 2: more primary writes while the replica is down.
+    for i in 20..32u64 {
+        client.record_run(&format!("ds-{}", i % 7), &mf(i), run(i)).expect("write");
+    }
+    let primary_applied = client.stats().expect("stats").applied_seq;
+
+    // Phase 3: re-spawn from the torn directory. Recovery truncates the
+    // tear; the tailer resumes from that frame boundary and re-fetches
+    // only what was lost.
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("reopen after tear"));
+    assert!(store.applied_seq() < primary_applied, "the tear must have cost records");
+    let tailer = ReplicaTailer::spawn(tail_options(&primary.addr), Arc::clone(&store));
+    wait_until("resumed catch-up", Duration::from_secs(30), || {
+        store.applied_seq() == primary_applied
+    });
+    tailer.stop();
+
+    let mut seg = 1u64;
+    loop {
+        let a = primary.dir.join(segment_name(seg));
+        let b = replica_dir.join(segment_name(seg));
+        match (std::fs::read(&a), std::fs::read(&b)) {
+            (Ok(pa), Ok(pb)) => assert_eq!(pa, pb, "segment {seg} diverged after resume"),
+            (Err(_), Err(_)) => break,
+            _ => panic!("segment {seg} exists on one side only after resume"),
+        }
+        seg += 1;
+    }
+    stop_primary(primary);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+/// The primary dying mid-`sync` ships a prefix of a chunk. The store
+/// refuses to apply anything that is not a whole number of frames, so a
+/// torn prefix never enters the replica's WAL.
+#[test]
+fn torn_sync_prefix_is_refused_without_touching_the_wal() {
+    let dir = temp_dir("torn-prefix");
+    let store = ShardedKb::open_with(&dir, durable(), 2).expect("open");
+    // A well-formed frame followed by a torn one — the byte stream a
+    // primary killed mid-write would have produced.
+    let record = WalRecord::Run {
+        dataset_id: "ds-0".to_string(),
+        meta_features: mf(0),
+        run: run(0),
+    };
+    let whole = encode_frame(&record);
+    let torn = &whole[..whole.len() - 3];
+    let mut data = String::from_utf8(whole.clone()).expect("utf8");
+    data.push_str(std::str::from_utf8(torn).expect("utf8"));
+
+    let err = store
+        .apply_sync_chunk(1, 0, &data)
+        .expect_err("a torn prefix must be refused");
+    assert!(
+        err.to_string().contains("torn"),
+        "the refusal must name the tear: {err}"
+    );
+    // Nothing was applied and nothing was written: the WAL is still
+    // empty and a whole-frame chunk still applies at offset 0.
+    assert_eq!(store.applied_seq(), 0, "no record may apply from a refused chunk");
+    let applied = store
+        .apply_sync_chunk(1, 0, std::str::from_utf8(&whole).expect("utf8"))
+        .expect("whole frames apply after the refusal");
+    assert_eq!(applied, 1);
+    assert_eq!(
+        std::fs::read(dir.join(segment_name(1))).expect("segment"),
+        whole,
+        "the refused bytes must not have reached the segment file"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A chunk at the wrong position (replica restarted against a different
+/// primary history, or raced its own state) is refused with a resync
+/// error rather than silently appended out of order.
+#[test]
+fn out_of_position_chunks_demand_a_resync() {
+    let dir = temp_dir("position");
+    let store = ShardedKb::open_with(&dir, durable(), 2).expect("open");
+    let record = WalRecord::Run {
+        dataset_id: "ds-0".to_string(),
+        meta_features: mf(1),
+        run: run(1),
+    };
+    let frame = String::from_utf8(encode_frame(&record)).expect("utf8");
+    let err = store
+        .apply_sync_chunk(1, 999, &frame)
+        .expect_err("an offset gap must be refused");
+    assert!(err.to_string().contains("resync required"), "typed resync error: {err}");
+    let err = store
+        .apply_sync_chunk(4, 0, &frame)
+        .expect_err("a segment gap must be refused");
+    assert!(err.to_string().contains("resync required"), "typed resync error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Snapshot shipping: a replica bootstrapping against a primary whose
+/// history has been compacted receives the snapshot plus the live tail,
+/// and converges to the same applied sequence.
+#[test]
+fn bootstrap_through_a_snapshot_ship_converges() {
+    let primary = spawn_primary("snapship");
+    let client = KbClient::connect(primary.addr.clone());
+    for i in 0..15u64 {
+        client.record_run(&format!("ds-{}", i % 5), &mf(i), run(i)).expect("seed");
+    }
+    client.snapshot().expect("compact the primary");
+    for i in 15..22u64 {
+        client.record_run(&format!("ds-{}", i % 5), &mf(i), run(i)).expect("post-snapshot write");
+    }
+    let primary_applied = client.stats().expect("stats").applied_seq;
+    assert_eq!(primary_applied, 22);
+
+    let replica_dir = temp_dir("snapship-replica");
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("replica opens"));
+    let tailer = ReplicaTailer::spawn(tail_options(&primary.addr), Arc::clone(&store));
+    wait_until("snapshot bootstrap", Duration::from_secs(30), || {
+        store.applied_seq() == primary_applied
+    });
+    assert_eq!(store.len(), client.stats().expect("stats").datasets);
+    tailer.stop();
+    stop_primary(primary);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
+
+/// A replica-roled server answers reads and rejects every write with a
+/// typed redirect naming its primary.
+#[test]
+fn replica_server_serves_reads_and_redirects_writes() {
+    let primary = spawn_primary("redirect");
+    let client = KbClient::connect(primary.addr.clone());
+    for i in 0..8u64 {
+        client.record_run(&format!("ds-{i}"), &mf(i), run(i)).expect("seed");
+    }
+    let primary_applied = client.stats().expect("stats").applied_seq;
+
+    let replica_dir = temp_dir("redirect-replica");
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("replica opens"));
+    let tailer = ReplicaTailer::spawn(tail_options(&primary.addr), Arc::clone(&store));
+    let replica_server = EventServer::bind_with_store(
+        EventServerOptions {
+            dir: replica_dir.clone(),
+            n_loops: 2,
+            durable: durable(),
+            role: ServeRole::Replica { primary: primary.addr.clone() },
+            ..EventServerOptions::default()
+        },
+        Arc::clone(&store),
+    )
+    .expect("replica binds");
+    let replica_addr = replica_server.local_addr().expect("addr").to_string();
+    let replica_handle =
+        std::thread::spawn(move || replica_server.run().expect("replica serve loop"));
+
+    wait_until("replica catch-up", Duration::from_secs(30), || {
+        store.applied_seq() == primary_applied
+    });
+
+    let replica_client = KbClient::connect(replica_addr.clone());
+    // Reads work and match the primary byte-for-byte.
+    let on_replica = replica_client.recommend(&mf(500), None, &Default::default()).expect("read");
+    let on_primary = client.recommend(&mf(500), None, &Default::default()).expect("read");
+    assert_eq!(
+        serde_json::to_string(&on_replica).expect("json"),
+        serde_json::to_string(&on_primary).expect("json"),
+        "caught-up replica must answer recommendations byte-identically"
+    );
+    let stats = replica_client.stats().expect("stats");
+    assert_eq!(stats.applied_seq, primary_applied);
+    // The metrics verb reports zero lag once caught up. (The lag gauge
+    // is process-global, so another test's mid-catch-up tailer can
+    // flick it non-zero transiently — poll rather than assert once.)
+    wait_until("zero reported lag", Duration::from_secs(30), || {
+        replica_client.metrics().expect("metrics").replication_lag == Some(0)
+    });
+    assert!(
+        client.metrics().expect("metrics").replication_lag.is_none(),
+        "a primary reports no lag at all"
+    );
+
+    // Writes are redirected, not applied.
+    let err = replica_client
+        .record_run("ds-x", &mf(600), run(600))
+        .expect_err("a replica must reject writes");
+    assert!(
+        err.to_string().contains(&primary.addr),
+        "the redirect must name the primary: {err}"
+    );
+    let err = replica_client.snapshot().expect_err("snapshot is a write");
+    assert!(err.to_string().contains("primary"), "typed redirect: {err}");
+    assert_eq!(
+        replica_client.stats().expect("stats").applied_seq,
+        primary_applied,
+        "the rejected write must not have changed the replica"
+    );
+
+    // `shutdown` is an operator verb, not a KB write: a replica accepts
+    // it directly.
+    tailer.stop();
+    replica_client.shutdown().expect("replica shuts down");
+    replica_handle.join().expect("replica thread");
+    stop_primary(primary);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}

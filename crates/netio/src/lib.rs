@@ -29,5 +29,5 @@ pub mod timer;
 pub mod waker;
 
 pub use poller::{Event, Events, Interest, Poller, Token};
-pub use timer::{TimerId, TimerWheel};
+pub use timer::{CatchUpPacer, TimerId, TimerWheel};
 pub use waker::Waker;

@@ -139,12 +139,115 @@ impl TimerWheel {
     }
 }
 
+/// Paces a replication catch-up loop.
+///
+/// Two concerns, one clock: a hard per-round deadline (a replica that
+/// cannot catch up within it reports stale rather than spinning
+/// forever), and an idle-poll delay that grows geometrically from
+/// `min_poll` to `max_poll` while the primary is quiet, snapping back to
+/// `min_poll` the moment a pull makes progress. The caller drives it:
+/// [`CatchUpPacer::progressed`] after applying bytes,
+/// [`CatchUpPacer::idle_delay`] when a pull returned nothing new, and
+/// [`CatchUpPacer::expired`] before each pull.
+#[derive(Debug)]
+pub struct CatchUpPacer {
+    deadline: Option<Instant>,
+    min_poll: Duration,
+    max_poll: Duration,
+    current: Duration,
+}
+
+impl CatchUpPacer {
+    /// A pacer for one catch-up round starting `now`. `round` of `None`
+    /// never expires. `min_poll` must be non-zero; `max_poll` is clamped
+    /// up to at least `min_poll`.
+    pub fn new(
+        now: Instant,
+        round: Option<Duration>,
+        min_poll: Duration,
+        max_poll: Duration,
+    ) -> CatchUpPacer {
+        assert!(!min_poll.is_zero(), "catch-up pacer needs a non-zero minimum poll");
+        CatchUpPacer {
+            deadline: round.map(|r| now + r),
+            min_poll,
+            max_poll: max_poll.max(min_poll),
+            current: min_poll,
+        }
+    }
+
+    /// Has the round's deadline passed?
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|dl| now >= dl)
+    }
+
+    /// A pull applied new bytes: snap the idle delay back to the floor.
+    pub fn progressed(&mut self) {
+        self.current = self.min_poll;
+    }
+
+    /// A pull found nothing new: how long to sleep before the next one.
+    /// Returns the current delay (clipped so it never overshoots the
+    /// deadline), or `None` when the deadline leaves no room to sleep.
+    /// Each idle call doubles the next delay, up to `max_poll`.
+    pub fn idle_delay(&mut self, now: Instant) -> Option<Duration> {
+        let delay = self.current;
+        self.current = (self.current * 2).min(self.max_poll);
+        match self.deadline {
+            None => Some(delay),
+            Some(dl) => {
+                let room = dl.saturating_duration_since(now);
+                if room.is_zero() {
+                    None
+                } else {
+                    Some(delay.min(room))
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn wheel_ms() -> TimerWheel {
         TimerWheel::new(Duration::from_millis(1), 64)
+    }
+
+    #[test]
+    fn catch_up_pacer_backs_off_while_idle_and_snaps_back_on_progress() {
+        let start = Instant::now();
+        let mut pacer = CatchUpPacer::new(
+            start,
+            None,
+            Duration::from_millis(10),
+            Duration::from_millis(80),
+        );
+        assert_eq!(pacer.idle_delay(start), Some(Duration::from_millis(10)));
+        assert_eq!(pacer.idle_delay(start), Some(Duration::from_millis(20)));
+        assert_eq!(pacer.idle_delay(start), Some(Duration::from_millis(40)));
+        assert_eq!(pacer.idle_delay(start), Some(Duration::from_millis(80)));
+        assert_eq!(pacer.idle_delay(start), Some(Duration::from_millis(80)), "capped");
+        pacer.progressed();
+        assert_eq!(pacer.idle_delay(start), Some(Duration::from_millis(10)), "snap back");
+        assert!(!pacer.expired(start + Duration::from_secs(3600)), "no deadline, never expires");
+    }
+
+    #[test]
+    fn catch_up_pacer_deadline_bounds_the_round() {
+        let start = Instant::now();
+        let mut pacer = CatchUpPacer::new(
+            start,
+            Some(Duration::from_millis(100)),
+            Duration::from_millis(40),
+            Duration::from_millis(400),
+        );
+        assert!(!pacer.expired(start + Duration::from_millis(99)));
+        assert!(pacer.expired(start + Duration::from_millis(100)));
+        // Sleeps are clipped to the remaining room, then refused.
+        assert_eq!(pacer.idle_delay(start + Duration::from_millis(90)), Some(Duration::from_millis(10)));
+        assert_eq!(pacer.idle_delay(start + Duration::from_millis(100)), None);
     }
 
     #[test]

@@ -19,8 +19,10 @@ cargo test -q --offline -p smartml-integration --test asha_determinism
 
 SMOKE_DIR="$(mktemp -d)"
 SERVER_PID=""
+REPLICA_PID=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  [ -n "$REPLICA_PID" ] && kill -9 "$REPLICA_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -102,8 +104,84 @@ cargo test -q --offline --features fault-injection \
   -p smartml-integration --test fault_containment --test asha_determinism
 
 echo "==> kbd: epoll vs blocking byte-identical responses under the fault-injection harness"
+echo "    (includes replica catch-up byte-identity under 30% injected pull/apply panics)"
 cargo test -q --offline --features fault-injection \
-  -p smartml-kbd --test backend_equiv
+  -p smartml-kbd --test backend_equiv --test replication
+
+echo "==> replication chaos: primary + replica, kill -9 both sides, failover reads"
+start_server epoll "$SMOKE_DIR/repl-primary.log"
+PRIMARY_PID="$SERVER_PID"
+PADDR="$ADDR"
+"$CLI" kb record "$CSV" --kb "tcp:$PADDR" --algorithm KNN --accuracy 0.91 > /dev/null
+"$CLI" kb record "$CSV" --kb "tcp:$PADDR" --algorithm RandomForest --accuracy 0.88 > /dev/null
+PRIMARY_SEQ="$("$CLI" kb stats --kb "tcp:$PADDR" | sed -n 's/.*applied seq \([0-9]*\).*/\1/p')"
+[ -n "$PRIMARY_SEQ" ] && [ "$PRIMARY_SEQ" -ge 2 ] \
+  || { echo "primary stats missing applied seq"; "$CLI" kb stats --kb "tcp:$PADDR"; exit 1; }
+
+start_replica() {
+  local log="$1"
+  "$SMARTMLD" --dir "$SMOKE_DIR/kb-replica" --addr 127.0.0.1:0 --io epoll \
+    --replica-of "$PADDR" > "$log" 2>&1 &
+  REPLICA_PID=$!
+  RADDR=""
+  for _ in $(seq 1 100); do
+    RADDR="$(sed -n 's/^smartmld: listening on //p' "$log")"
+    [ -n "$RADDR" ] && return 0
+    sleep 0.1
+  done
+  echo "smartmld --replica-of failed to start:"; cat "$log"; exit 1
+}
+
+wait_replica_seq() {
+  local want="$1"
+  for _ in $(seq 1 100); do
+    SEQ="$("$CLI" kb stats --kb "tcp:$RADDR" 2>/dev/null \
+      | sed -n 's/.*applied seq \([0-9]*\).*/\1/p')"
+    [ "$SEQ" = "$want" ] && return 0
+    sleep 0.1
+  done
+  echo "replica stalled at applied seq ${SEQ:-unknown}, want $want"
+  "$CLI" kb stats --kb "tcp:$RADDR" || true
+  exit 1
+}
+
+# Spawn the replica and kill -9 it mid-catch-up; a re-spawn must resume
+# from its own WAL and converge with no operator reset.
+start_replica "$SMOKE_DIR/repl-replica1.log"
+kill -9 "$REPLICA_PID"
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+start_replica "$SMOKE_DIR/repl-replica2.log"
+grep "smartmld: read replica of $PADDR" "$SMOKE_DIR/repl-replica2.log" > /dev/null \
+  || { echo "replica did not announce its primary"; cat "$SMOKE_DIR/repl-replica2.log"; exit 1; }
+wait_replica_seq "$PRIMARY_SEQ"
+
+# Live tailing: a third record on the primary must reach the replica.
+"$CLI" kb record "$CSV" --kb "tcp:$PADDR" --algorithm NaiveBayes --accuracy 0.80 > /dev/null
+wait_replica_seq "$((PRIMARY_SEQ + 1))"
+
+# Lose the primary: the replica keeps serving reads, refuses writes with
+# a redirect, and the multi-endpoint client fails over transparently.
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+SERVER_PID=""
+"$CLI" kb query "$CSV" --kb "tcp:$RADDR" | grep "KNN" > /dev/null \
+  || { echo "replica lost reads after primary death"; exit 1; }
+if "$CLI" kb record "$CSV" --kb "tcp:$RADDR" --algorithm KNN --accuracy 0.5 \
+    > "$SMOKE_DIR/repl-write.log" 2>&1; then
+  echo "replica accepted a write"; exit 1
+fi
+grep -i "primary" "$SMOKE_DIR/repl-write.log" > /dev/null \
+  || { echo "replica write rejection missing redirect"; cat "$SMOKE_DIR/repl-write.log"; exit 1; }
+"$CLI" kb query "$CSV" --kb "tcp:$PADDR,$RADDR" | grep "KNN" > /dev/null \
+  || { echo "client failover query failed with the primary down"; exit 1; }
+kill -9 "$REPLICA_PID"
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+echo "    replication survives kill -9 on both sides; reads fail over, writes redirect"
+
+echo "==> perf smoke: replication catch-up + failover latency vs committed baseline"
+./target/release/kb_replication_bench --quick --check BENCH_kb_replication.json > /dev/null
 
 echo "==> perf smoke: kb_service bench vs committed baseline (gates epoll >= 4x blocking at 64 conns)"
 ./target/release/kb_bench --quick --check BENCH_kb_service.json > /dev/null

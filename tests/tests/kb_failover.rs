@@ -1,0 +1,140 @@
+//! End-to-end failover: a SmartML pipeline pointed at a replicated KB
+//! deployment (`tcp:primary,replica`) loses its primary mid-flight and
+//! still completes — reads fail over to the caught-up replica, the
+//! unreachable write is degraded into the report's warnings ledger
+//! rather than an error, and nothing is silently dropped.
+
+use smartml::{Budget, SmartML, SmartMlOptions};
+use smartml_data::synth::gaussian_blobs;
+use smartml_kbd::{
+    DurableOptions, EventServer, EventServerOptions, KbClient, ReplicaOptions, ReplicaTailer,
+    RetryPolicy, ServeRole, ShardedKb,
+};
+use smartml_preprocess::Op;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn quick_options() -> SmartMlOptions {
+    SmartMlOptions {
+        budget: Budget::Trials(6),
+        top_n_algorithms: 2,
+        cv_folds: 2,
+        preprocessing: vec![Op::Zv],
+        ..Default::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smartml-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(50),
+        ..RetryPolicy::default()
+    }
+}
+
+#[test]
+fn pipeline_survives_losing_the_primary_mid_flight() {
+    let durable = DurableOptions { fsync_writes: false, ..Default::default() };
+
+    // A primary with one pipeline run of experience in it.
+    let primary_dir = temp_dir("failover-primary");
+    let primary = EventServer::bind(EventServerOptions {
+        dir: primary_dir.clone(),
+        n_loops: 2,
+        durable: durable.clone(),
+        ..EventServerOptions::default()
+    })
+    .expect("primary binds");
+    let primary_addr = primary.local_addr().expect("addr").to_string();
+    let primary_handle = std::thread::spawn(move || primary.run().expect("primary serve loop"));
+    {
+        let client = KbClient::connect(primary_addr.clone());
+        let mut engine = SmartML::with_backend(client, quick_options());
+        let seed = gaussian_blobs("failover-seed", 150, 3, 2, 0.8, 41);
+        engine.run(&seed).expect("seeding run against the live primary");
+    }
+    let control = KbClient::connect(primary_addr.clone());
+    let target = control.stats().expect("stats").applied_seq;
+    assert!(target >= 2, "the seeding run must have recorded experience");
+
+    // A replica, caught up to that experience, serving reads.
+    let replica_dir = temp_dir("failover-replica");
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable.clone(), 2).expect("replica opens"));
+    let tailer = ReplicaTailer::spawn(
+        ReplicaOptions {
+            primary: primary_addr.clone(),
+            poll_interval: Duration::from_millis(5),
+            durable: durable.clone(),
+            ..ReplicaOptions::default()
+        },
+        Arc::clone(&store),
+    );
+    let replica = EventServer::bind_with_store(
+        EventServerOptions {
+            dir: replica_dir.clone(),
+            n_loops: 2,
+            durable,
+            role: ServeRole::Replica { primary: primary_addr.clone() },
+            ..EventServerOptions::default()
+        },
+        Arc::clone(&store),
+    )
+    .expect("replica binds");
+    let replica_addr = replica.local_addr().expect("addr").to_string();
+    let replica_handle = std::thread::spawn(move || replica.run().expect("replica serve loop"));
+    let start = Instant::now();
+    while store.applied_seq() != target {
+        assert!(start.elapsed() < Duration::from_secs(60), "replica never caught up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    tailer.stop();
+
+    // Lose the primary, then run the pipeline against the replica set.
+    control.shutdown().expect("kill the primary");
+    primary_handle.join().expect("primary thread");
+
+    let client =
+        KbClient::connect(format!("{primary_addr},{replica_addr}")).with_retry(fast_retry());
+    let mut engine = SmartML::with_backend(client, quick_options());
+    let d = gaussian_blobs("failover-run", 150, 3, 2, 0.8, 42);
+    let outcome = engine.run(&d).expect("the run must complete on replica reads");
+
+    // Reads were answered: the warm KB surfaced neighbours through the
+    // replica even though the primary was gone.
+    assert!(
+        !outcome.report.kb_neighbors.is_empty(),
+        "replica reads must have served the KB recommendation"
+    );
+    // The failures ledger is exact: the lost write is reported, and the
+    // read path's failover left its trace in the health warnings.
+    let warnings = outcome.report.failures.kb_warnings.join("\n");
+    assert!(
+        warnings.contains("KB update failed"),
+        "the unreachable primary write must be in the ledger: {warnings}"
+    );
+    assert!(
+        warnings.contains("failing over"),
+        "the read failover must be in the ledger: {warnings}"
+    );
+    // The replica itself was never written to.
+    let replica_control = KbClient::connect(replica_addr);
+    assert_eq!(
+        replica_control.stats().expect("stats").applied_seq,
+        target,
+        "no write may have reached the read-only replica"
+    );
+
+    replica_control.shutdown().expect("replica shuts down");
+    replica_handle.join().expect("replica thread");
+    let _ = std::fs::remove_dir_all(&primary_dir);
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}
