@@ -25,6 +25,7 @@ fn main() {
             breaker_threshold: None,
             optimizer: None,
             halving_eta: None,
+            trace_ring_capacity: None,
         },
     };
     println!("Figure 2: Configuring an experiment for a dataset");

@@ -83,10 +83,17 @@ pub struct ExperimentOptions {
     /// `hyperband` and `asha`.
     #[serde(default)]
     pub halving_eta: Option<usize>,
+    /// Span-ring capacity while tracing (absent = `SMARTML_TRACE_RING`
+    /// env, then the obs default).
+    #[serde(default)]
+    pub trace_ring_capacity: Option<usize>,
 }
 
 impl ExperimentOptions {
-    fn build(&self) -> Result<SmartMlOptions, String> {
+    /// Lowers the wire-level options into validated [`SmartMlOptions`].
+    /// Public so other front-ends (the job service) resolve a request
+    /// through exactly the same defaults as this API and the CLI.
+    pub fn build(&self) -> Result<SmartMlOptions, String> {
         let mut ops = Vec::new();
         for name in &self.preprocessing {
             match Op::parse(name) {
@@ -137,6 +144,12 @@ impl ExperimentOptions {
                 return Err(format!("halving_eta must be at least 2, got {eta}"));
             }
             options = options.with_halving_eta(eta);
+        }
+        if let Some(cap) = self.trace_ring_capacity {
+            if cap == 0 {
+                return Err("trace_ring_capacity must be non-zero".into());
+            }
+            options = options.with_trace_ring_capacity(Some(cap));
         }
         Ok(options)
     }

@@ -19,6 +19,7 @@
 //! smartml-cli kb query <data> --kb SPEC [--top-n N]
 //! smartml-cli kb query --batch FILE --kb SPEC [--top-n N]
 //! smartml-cli kb record <data> --kb SPEC --algorithm NAME --accuracy X
+//! smartml-cli synth <family> [--rows N] [--seed N] [--out FILE] [--spec JSON]
 //! ```
 //!
 //! `--trace-out FILE` records structured spans for the run, writes them
@@ -33,7 +34,8 @@
 use smartml::bootstrap::{bootstrap_kb, BootstrapProfile};
 use smartml::{api, Budget, KbSource, KnowledgeBase, Op, OptimizerChoice, SmartML, SmartMlOptions};
 use smartml_classifiers::{Algorithm, ParamConfig};
-use smartml_data::io::{parse_arff, parse_csv};
+use smartml_data::io::{parse_arff, parse_csv, write_csv};
+use smartml_data::synth::SynthSpec;
 use smartml_data::Dataset;
 use smartml_kb::{AlgorithmRun, KbBackend, QueryOptions};
 use smartml_kbd::{
@@ -54,9 +56,10 @@ fn main() -> ExitCode {
         Some("bootstrap") => cmd_bootstrap(&args[1..]),
         Some("api") => cmd_api(&args[1..]),
         Some("kb") => cmd_kb(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
         _ => {
             eprintln!(
-                "usage: smartml-cli <run|metafeatures|describe|algorithms|bootstrap|api|kb> ..."
+                "usage: smartml-cli <run|metafeatures|describe|algorithms|bootstrap|api|kb|synth> ..."
             );
             return ExitCode::from(2);
         }
@@ -288,7 +291,11 @@ fn cmd_kb(args: &[String]) -> Result<(), String> {
         Some("record") => kb_record(&args[1..]),
         Some("snapshot") => kb_snapshot(&args[1..]),
         Some("metrics") => kb_metrics(&args[1..]),
-        _ => Err("usage: smartml-cli kb <serve|stats|query|record|snapshot|metrics> ...".into()),
+        Some("promote") => kb_promote(&args[1..]),
+        _ => {
+            Err("usage: smartml-cli kb <serve|stats|query|record|snapshot|metrics|promote> ..."
+                .into())
+        }
     }
 }
 
@@ -594,6 +601,19 @@ fn kb_snapshot(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn kb_promote(args: &[String]) -> Result<(), String> {
+    let KbSource::Remote(addr) = parse_kb_spec(args)? else {
+        return Err("kb promote applies to tcp: knowledge bases (a live smartmld)".into());
+    };
+    let was_replica = KbClient::connect(&*addr).promote().map_err(|e| e.to_string())?;
+    if was_replica {
+        println!("promoted tcp:{addr} from replica to primary");
+    } else {
+        println!("tcp:{addr} was already a primary (no-op)");
+    }
+    Ok(())
+}
+
 fn cmd_api(args: &[String]) -> Result<(), String> {
     let mut request = String::new();
     std::io::stdin()
@@ -607,6 +627,75 @@ fn cmd_api(args: &[String]) -> Result<(), String> {
     println!("{}", api::handle_json(&mut kb, &request));
     if let Some(p) = kb_path {
         kb.save(&p).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Default parameter choices for `synth <family>` — the same generator
+/// space the KB bootstrap corpus draws from, at paper-scale defaults.
+/// `--rows` rescales any family up to the 10^5-row range.
+fn synth_family(family: &str) -> Option<SynthSpec> {
+    Some(match family {
+        "blobs" => SynthSpec::Blobs { n: 600, d: 8, k: 3, spread: 1.0 },
+        "xor_parity" => SynthSpec::XorParity { n: 600, informative: 3, noise: 12, flip: 0.02 },
+        "prototype_noise" => SynthSpec::PrototypeNoise { n: 600, d: 24, k: 4, snr: 1.0 },
+        "sparse_counts" => SynthSpec::SparseCounts { n: 600, d: 40, k: 3, doc_len: 60 },
+        "kinematics" => SynthSpec::Kinematics { n: 600, d: 8, noise: 0.05 },
+        "imbalanced_mixture" => {
+            SynthSpec::ImbalancedMixture { n: 600, d: 8, k: 4, overlap: 1.0 }
+        }
+        "sensor_drift" => SynthSpec::SensorDrift { n: 600, d: 6, drift: 0.3 },
+        "two_spirals" => SynthSpec::TwoSpirals { n: 600, noise: 0.05 },
+        "categorical_mixture" => {
+            SynthSpec::CategoricalMixture { n: 600, d_cat: 4, d_num: 4, k: 3, cardinality: 4 }
+        }
+        _ => return None,
+    })
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let spec = if let Some(json) = flag_value(args, "--spec") {
+        serde_json::from_str::<SynthSpec>(json).map_err(|e| format!("--spec: {e}"))?
+    } else {
+        let family = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .ok_or("synth: name a generator family or pass --spec JSON")?;
+        synth_family(family).ok_or_else(|| {
+            format!(
+                "synth: unknown family {family:?} (try blobs, xor_parity, prototype_noise, \
+                 sparse_counts, kinematics, imbalanced_mixture, sensor_drift, two_spirals, \
+                 categorical_mixture, or pass --spec JSON)"
+            )
+        })?
+    };
+    let spec = match flag_value(args, "--rows") {
+        Some(r) => {
+            let rows: usize = r.parse().map_err(|_| "--rows expects a number")?;
+            if rows == 0 {
+                return Err("--rows expects a positive number".into());
+            }
+            spec.with_rows(rows)
+        }
+        None => spec,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => s.parse().map_err(|_| "--seed expects a number")?,
+        None => 0,
+    };
+    let name = flag_value(args, "--name").unwrap_or("synth");
+    let data = spec.generate(name, seed);
+    let csv = write_csv(&data);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {} rows x {} features to {path}",
+                data.n_rows(),
+                data.n_features()
+            );
+        }
+        None => print!("{csv}"),
     }
     Ok(())
 }

@@ -73,6 +73,55 @@ pub fn apportion_secs(freed: f64, survivors: &[Algorithm]) -> Vec<(Algorithm, f6
         .collect()
 }
 
+/// Outcome of charging one job's requested budget against a tenant's
+/// remaining quota (the job service's admission-control path).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuotaCharge {
+    /// The full request fits; charge exactly what was asked.
+    Granted(Budget),
+    /// The request exceeds the remaining quota but the remainder is
+    /// still above the tuning floors: admit with the clamped budget and
+    /// drain the quota.
+    Clamped(Budget),
+    /// The remaining quota is below the floors a meaningful tuning
+    /// round needs (3 trials / 50 ms — the same floors
+    /// [`divide_budget`] guarantees per algorithm); admission must
+    /// reject with a typed `quota_exhausted`.
+    Exhausted,
+}
+
+/// Charges `requested` against a tenant's remaining quota. Trial budgets
+/// draw on `remaining_trials`, time budgets on `remaining_secs`; the
+/// other axis is untouched. Deterministic and side-effect free — the
+/// caller applies the charge it gets back.
+pub fn charge_quota(requested: &Budget, remaining_trials: usize, remaining_secs: f64) -> QuotaCharge {
+    const MIN_TRIALS: usize = 3;
+    const MIN_SECS: f64 = 0.05;
+    match *requested {
+        Budget::Trials(t) => {
+            if remaining_trials >= t {
+                QuotaCharge::Granted(Budget::Trials(t))
+            } else if remaining_trials >= MIN_TRIALS {
+                QuotaCharge::Clamped(Budget::Trials(remaining_trials))
+            } else {
+                QuotaCharge::Exhausted
+            }
+        }
+        Budget::Time(d) => {
+            let secs = d.as_secs_f64();
+            if remaining_secs >= secs {
+                QuotaCharge::Granted(Budget::Time(d))
+            } else if remaining_secs >= MIN_SECS {
+                QuotaCharge::Clamped(Budget::Time(std::time::Duration::from_secs_f64(
+                    remaining_secs,
+                )))
+            } else {
+                QuotaCharge::Exhausted
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +207,81 @@ mod tests {
         let a = apportion_trials(17, &algorithms);
         let b = apportion_trials(17, &algorithms);
         assert_eq!(a, b);
+    }
+
+    // ---- edge cases exposed by the job service's per-tenant quotas ----
+
+    #[test]
+    fn zero_survivor_reallocation_frees_without_panicking() {
+        // Every breaker tripped: the freed budget has nowhere to go. The
+        // apportioners must return an empty share list (not panic, not
+        // divide by a zero weight sum) for any freed amount.
+        for freed in [0usize, 1, 97] {
+            assert!(apportion_trials(freed, &[]).is_empty());
+        }
+        for freed in [0.0f64, 0.3, 1e6, f64::NAN, f64::INFINITY] {
+            assert!(apportion_secs(freed, &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_trial_budget_apportions_to_exactly_one_survivor() {
+        // One freed trial cannot be split: largest-remainder hands it to
+        // the heaviest-weighted algorithm, deterministically, and the
+        // total still sums exactly.
+        let shares = apportion_trials(1, &[Algorithm::Knn, Algorithm::Svm]);
+        let total: usize = shares.iter().map(|(_, t)| t).sum();
+        assert_eq!(total, 1);
+        assert_eq!(shares.iter().find(|(a, _)| *a == Algorithm::Svm).unwrap().1, 1);
+        assert_eq!(shares.iter().find(|(a, _)| *a == Algorithm::Knn).unwrap().1, 0);
+    }
+
+    #[test]
+    fn single_trial_total_budget_still_meets_the_floor() {
+        // A Trials(1) request divided across algorithms inflates to the
+        // 3-trial floor per algorithm rather than starving everyone —
+        // the documented floor semantics, pinned here because quota
+        // clamping can hand the pipeline degenerate totals.
+        let shares = divide_budget(Budget::Trials(1), &[Algorithm::Svm, Algorithm::Knn]);
+        for (_, b) in shares {
+            assert!(b.trials().unwrap() >= 3);
+        }
+    }
+
+    #[test]
+    fn quota_charges_grant_clamp_then_exhaust() {
+        // A tenant with a 10-trial quota submitting 6-trial jobs: the
+        // first is granted in full, the second is clamped to the 4
+        // remaining trials (still above the floor), the third is
+        // rejected outright.
+        let mut remaining = 10usize;
+        match charge_quota(&Budget::Trials(6), remaining, 0.0) {
+            QuotaCharge::Granted(Budget::Trials(6)) => remaining -= 6,
+            other => panic!("expected full grant, got {other:?}"),
+        }
+        match charge_quota(&Budget::Trials(6), remaining, 0.0) {
+            QuotaCharge::Clamped(Budget::Trials(4)) => remaining -= 4,
+            other => panic!("expected clamp to 4, got {other:?}"),
+        }
+        assert_eq!(charge_quota(&Budget::Trials(6), remaining, 0.0), QuotaCharge::Exhausted);
+    }
+
+    #[test]
+    fn quota_exhausted_mid_round_respects_the_floors() {
+        // 2 trials left is below the 3-trial floor: reject rather than
+        // admit a job whose tuning round cannot do anything useful.
+        assert_eq!(charge_quota(&Budget::Trials(5), 2, 1e9), QuotaCharge::Exhausted);
+        // Same for time budgets below the 50 ms floor.
+        assert_eq!(
+            charge_quota(&Budget::Time(std::time::Duration::from_secs(1)), 0, 0.01),
+            QuotaCharge::Exhausted
+        );
+        // Time budgets clamp on the seconds axis without touching trials.
+        match charge_quota(&Budget::Time(std::time::Duration::from_secs(2)), 0, 0.5) {
+            QuotaCharge::Clamped(Budget::Time(d)) => {
+                assert!((d.as_secs_f64() - 0.5).abs() < 1e-9);
+            }
+            other => panic!("expected time clamp, got {other:?}"),
+        }
     }
 }

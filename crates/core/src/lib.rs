@@ -43,7 +43,7 @@ mod options;
 mod pipeline;
 mod report;
 
-pub use budget::divide_budget;
+pub use budget::{charge_quota, divide_budget, QuotaCharge};
 pub use ensemble::WeightedEnsemble;
 pub use interpret::{
     explain_prediction, permutation_importance, permutation_importance_with, FeatureImportance,

@@ -233,6 +233,13 @@ pub struct SmartMlOptions {
     /// Hyperband, ASHA): each rung keeps the top `1/η` of its cohort.
     /// Must be ≥ 2; ignored by the other optimisers.
     pub halving_eta: usize,
+    /// Capacity of the span-ring trace buffer while `trace` is on.
+    /// `None` falls back to the `SMARTML_TRACE_RING` environment
+    /// variable, then to the obs default (262 144 spans). Long-running
+    /// resident sessions (the job service) raise this so a whole job's
+    /// spans fit; the overwrite-oldest + dropped-counter semantics are
+    /// unchanged at any capacity.
+    pub trace_ring_capacity: Option<usize>,
 }
 
 impl Default for SmartMlOptions {
@@ -256,6 +263,7 @@ impl Default for SmartMlOptions {
             trace: false,
             optimizer: OptimizerChoice::Smac,
             halving_eta: 2,
+            trace_ring_capacity: None,
         }
     }
 }
@@ -333,6 +341,22 @@ impl SmartMlOptions {
         self
     }
 
+    /// Sets the span-ring capacity used while tracing (`None` = env /
+    /// obs default).
+    pub fn with_trace_ring_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.trace_ring_capacity = capacity;
+        self
+    }
+
+    /// The span-ring capacity a run should trace with: the explicit
+    /// option wins, then a parseable `SMARTML_TRACE_RING` environment
+    /// variable, then `None` (the obs default).
+    pub fn resolved_trace_ring_capacity(&self) -> Option<usize> {
+        self.trace_ring_capacity.or_else(|| {
+            std::env::var("SMARTML_TRACE_RING").ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0)
+        })
+    }
+
     /// Checks the options for values that would make a run meaningless or
     /// crash mid-pipeline. Called by `SmartML::run` before any work, so a
     /// malformed request surfaces as an error instead of an abort.
@@ -367,6 +391,9 @@ impl SmartMlOptions {
                 self.halving_eta
             ));
         }
+        if self.trace_ring_capacity == Some(0) {
+            return Err("trace_ring_capacity must be non-zero when set".into());
+        }
         Ok(())
     }
 }
@@ -388,6 +415,27 @@ mod tests {
         assert_eq!(opts.top_n_algorithms, 5);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.n_threads, 2);
+    }
+
+    #[test]
+    fn trace_ring_capacity_resolution_order() {
+        // Explicit option wins over the environment.
+        std::env::set_var("SMARTML_TRACE_RING", "1024");
+        let explicit = SmartMlOptions::default().with_trace_ring_capacity(Some(64));
+        assert_eq!(explicit.resolved_trace_ring_capacity(), Some(64));
+        // Without the option the env value is used.
+        let from_env = SmartMlOptions::default();
+        assert_eq!(from_env.resolved_trace_ring_capacity(), Some(1024));
+        // Garbage and zero env values fall through to the obs default.
+        std::env::set_var("SMARTML_TRACE_RING", "not-a-number");
+        assert_eq!(from_env.resolved_trace_ring_capacity(), None);
+        std::env::set_var("SMARTML_TRACE_RING", "0");
+        assert_eq!(from_env.resolved_trace_ring_capacity(), None);
+        std::env::remove_var("SMARTML_TRACE_RING");
+        assert_eq!(from_env.resolved_trace_ring_capacity(), None);
+        // A zero capacity is rejected at validation, not at trace time.
+        let zero = SmartMlOptions::default().with_trace_ring_capacity(Some(0));
+        assert!(zero.validate().is_err());
     }
 
     #[test]

@@ -20,7 +20,7 @@ use smartml_smac::{
     Asha, ClassifierObjective, GridSearch, Hyperband, OptOptions, Optimizer, RandomSearch, Smac,
     SuccessiveHalving, Tpe,
 };
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Errors from a SmartML run.
@@ -85,23 +85,39 @@ pub struct RunOutcome {
     pub trace: Option<Trace>,
 }
 
+/// Serialises traced runs: the span ring is process-global, so two
+/// concurrent traced runs would interleave their spans and corrupt both
+/// timelines. Holding this mutex for the duration of a traced run makes
+/// `SmartML::run` re-entrant from any number of threads (the job
+/// service runs many pipelines at once): untraced runs never touch it,
+/// traced runs queue behind each other and each gets a private ring.
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
 /// Scopes global span recording to one `SmartML::run`: enables tracing on
 /// construction (when requested) and guarantees it is switched off again
 /// on every exit path, including errors — otherwise an early `NoModel`
 /// return would leave the process recording spans forever.
 struct TracingSession {
     active: bool,
+    /// Held while tracing so concurrent traced runs serialise instead of
+    /// mixing spans in the shared ring.
+    _gate: Option<MutexGuard<'static, ()>>,
 }
 
 impl TracingSession {
-    fn start(trace: bool) -> TracingSession {
+    fn start(trace: bool, ring_capacity: Option<usize>) -> TracingSession {
+        let gate = trace.then(|| {
+            // A run that panicked mid-trace poisons the gate; the lock
+            // itself is still a valid exclusion token.
+            TRACE_GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        });
         if trace {
             // Discard anything left in the ring by an earlier run that
             // errored out before draining.
             let _ = smartml_obs::drain_trace();
-            smartml_obs::enable_tracing(None);
+            smartml_obs::enable_tracing(ring_capacity);
         }
-        TracingSession { active: trace }
+        TracingSession { active: trace, _gate: gate }
     }
 
     /// Drains the recorded spans on the success path (tracing stays off
@@ -168,7 +184,7 @@ impl<B: KbBackend> SmartML<B> {
     pub fn run(&mut self, data: &Dataset) -> Result<RunOutcome, SmartMlError> {
         let opts = self.options.clone();
         opts.validate().map_err(SmartMlError::BadOptions)?;
-        let tracing = TracingSession::start(opts.trace);
+        let tracing = TracingSession::start(opts.trace, opts.resolved_trace_ring_capacity());
         let run_start = Instant::now();
         let mut phases: Vec<PhaseTrace> = Vec::new();
         let mut kb_warnings: Vec<String> = Vec::new();

@@ -17,7 +17,10 @@ use rand::{Rng, SeedableRng};
 ///
 /// This is the unit the KB bootstrap corpus and the benchmark suite are
 /// described in; [`SynthSpec::generate`] is deterministic given the seed.
-#[derive(Debug, Clone, PartialEq)]
+/// Serialisable so job-service submissions can carry an inline spec
+/// instead of shipping dataset bytes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
 pub enum SynthSpec {
     /// Gaussian class blobs; `spread` ≥ 1 means increasing overlap.
     Blobs { n: usize, d: usize, k: usize, spread: f64 },
@@ -63,6 +66,39 @@ impl SynthSpec {
         }
     }
 
+    /// Row count the spec will generate.
+    pub fn rows(&self) -> usize {
+        match *self {
+            SynthSpec::Blobs { n, .. }
+            | SynthSpec::XorParity { n, .. }
+            | SynthSpec::PrototypeNoise { n, .. }
+            | SynthSpec::SparseCounts { n, .. }
+            | SynthSpec::Kinematics { n, .. }
+            | SynthSpec::ImbalancedMixture { n, .. }
+            | SynthSpec::SensorDrift { n, .. }
+            | SynthSpec::TwoSpirals { n, .. }
+            | SynthSpec::CategoricalMixture { n, .. } => n,
+        }
+    }
+
+    /// The same spec with its row count replaced — the `--rows` knob the
+    /// CLI `synth` command and job-service submissions share, so corpus
+    /// specs scale to n≈10⁵ without restating their other parameters.
+    pub fn with_rows(mut self, rows: usize) -> SynthSpec {
+        match &mut self {
+            SynthSpec::Blobs { n, .. }
+            | SynthSpec::XorParity { n, .. }
+            | SynthSpec::PrototypeNoise { n, .. }
+            | SynthSpec::SparseCounts { n, .. }
+            | SynthSpec::Kinematics { n, .. }
+            | SynthSpec::ImbalancedMixture { n, .. }
+            | SynthSpec::SensorDrift { n, .. }
+            | SynthSpec::TwoSpirals { n, .. }
+            | SynthSpec::CategoricalMixture { n, .. } => *n = rows,
+        }
+        self
+    }
+
     /// Number of classes the generated dataset will have.
     pub fn n_classes(&self) -> usize {
         match *self {
@@ -99,15 +135,41 @@ fn build(name: &str, cols: Vec<Vec<f64>>, labels: Vec<u32>, k: usize) -> Dataset
         .expect("generator produced consistent columns")
 }
 
-/// Deterministically permutes the rows of a dataset. Generators emit rows in
-/// class round-robin order; shuffling makes any contiguous or strided subset
-/// class-mixed, like real data.
-fn shuffle_rows(data: Dataset, seed: u64) -> Dataset {
-    let mut perm: Vec<usize> = (0..data.n_rows()).collect();
+/// The deterministic row permutation every generator applies. Generators
+/// emit rows in class round-robin order; shuffling makes any contiguous
+/// or strided subset class-mixed, like real data. Drawn from its own
+/// seeded stream, independent of the value-generation RNG.
+fn shuffle_perm(n: usize, seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFE_5EED);
     use rand::seq::SliceRandom;
     perm.shuffle(&mut rng);
-    data.subset(&perm)
+    perm
+}
+
+/// Applies `perm` to one column in place (`v[i] <- v[perm[i]]`) through a
+/// caller-owned column-sized scratch buffer. At n≈10⁵+ rows this is what
+/// keeps generation at one resident matrix: the old path built the full
+/// dataset and then copied every column again via `Dataset::subset`,
+/// doubling peak memory at exactly the scale the job service feeds in.
+fn permute_in_place<T: Copy + Default>(v: &mut [T], perm: &[usize], scratch: &mut Vec<T>) {
+    scratch.clear();
+    scratch.extend(perm.iter().map(|&p| v[p]));
+    v.copy_from_slice(scratch);
+}
+
+/// Shuffles numeric columns + labels in place (byte-identical to the old
+/// build-then-`subset` path, which drew the same permutation) and builds
+/// the dataset without a second matrix-sized allocation.
+fn shuffled_build(name: &str, mut cols: Vec<Vec<f64>>, mut labels: Vec<u32>, k: usize, seed: u64) -> Dataset {
+    let perm = shuffle_perm(labels.len(), seed);
+    let mut scratch = Vec::with_capacity(labels.len());
+    for col in &mut cols {
+        permute_in_place(col, &perm, &mut scratch);
+    }
+    let mut lscratch = Vec::with_capacity(labels.len());
+    permute_in_place(&mut labels, &perm, &mut lscratch);
+    build(name, cols, labels, k)
 }
 
 /// Gaussian blobs: `k` class centroids on a scaled simplex, unit-variance
@@ -154,7 +216,7 @@ pub fn gaussian_blobs(name: &str, n: usize, d: usize, k: usize, spread: f64, see
             col.push(centers[c][j] + normal(&mut rng) * spread);
         }
     }
-    shuffle_rows(build(name, cols, labels, k), seed)
+    shuffled_build(name, cols, labels, k, seed)
 }
 
 /// XOR parity: the label is the parity of the signs of `informative`
@@ -191,7 +253,7 @@ pub fn xor_parity(
         let label = if rng.gen_bool(flip) { 1 - parity } else { parity };
         labels.push(label);
     }
-    shuffle_rows(build(name, cols, labels, 2), seed)
+    shuffled_build(name, cols, labels, 2, seed)
 }
 
 /// Prototype-plus-noise: each class has a fixed prototype vector; instances
@@ -212,7 +274,7 @@ pub fn prototype_noise(name: &str, n: usize, d: usize, k: usize, snr: f64, seed:
             col.push(prototypes[c][j] * snr + normal(&mut rng));
         }
     }
-    shuffle_rows(build(name, cols, labels, k), seed)
+    shuffled_build(name, cols, labels, k, seed)
 }
 
 /// Sparse multinomial counts: per-class topic distribution over `d` symbols,
@@ -237,10 +299,11 @@ pub fn sparse_counts(name: &str, n: usize, d: usize, k: usize, doc_len: usize, s
         .collect();
     let mut cols = vec![Vec::with_capacity(n); d];
     let mut labels = Vec::with_capacity(n);
+    let mut counts = vec![0.0; d];
     for i in 0..n {
         let c = i % k;
         labels.push(c as u32);
-        let mut counts = vec![0.0; d];
+        counts.fill(0.0);
         for _ in 0..doc_len {
             // Inverse-CDF multinomial draw.
             let mut u: f64 = rng.gen();
@@ -258,7 +321,7 @@ pub fn sparse_counts(name: &str, n: usize, d: usize, k: usize, doc_len: usize, s
             col.push(counts[j]);
         }
     }
-    shuffle_rows(build(name, cols, labels, k), seed)
+    shuffled_build(name, cols, labels, k, seed)
 }
 
 /// Kinematics analogue (kin8nm): label = whether a smooth trigonometric
@@ -268,10 +331,11 @@ pub fn kinematics(name: &str, n: usize, d: usize, noise: f64, seed: u64) -> Data
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cols = vec![Vec::with_capacity(n); d];
     let mut response = Vec::with_capacity(n);
+    let mut angles = vec![0.0f64; d];
     for _ in 0..n {
-        let angles: Vec<f64> = (0..d)
-            .map(|_| rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
-            .collect();
+        for a in angles.iter_mut() {
+            *a = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        }
         // Forward-kinematics-style chained sum of sines of cumulative angles.
         let mut cum = 0.0;
         let mut y = 0.0;
@@ -287,7 +351,7 @@ pub fn kinematics(name: &str, n: usize, d: usize, noise: f64, seed: u64) -> Data
     }
     let median = smartml_linalg::vecops::median(&response);
     let labels: Vec<u32> = response.iter().map(|&y| u32::from(y > median)).collect();
-    shuffle_rows(build(name, cols, labels, 2), seed)
+    shuffled_build(name, cols, labels, 2, seed)
 }
 
 /// Imbalanced overlapping Gaussian mixture: class `c` has relative size
@@ -328,7 +392,7 @@ pub fn imbalanced_mixture(name: &str, n: usize, d: usize, k: usize, overlap: f64
             col.push(centers[c][j] + normal(&mut rng));
         }
     }
-    shuffle_rows(build(name, cols, labels, k), seed)
+    shuffled_build(name, cols, labels, k, seed)
 }
 
 /// Occupancy analogue: `d` correlated sensor channels, two regimes that are
@@ -350,7 +414,7 @@ pub fn sensor_drift(name: &str, n: usize, d: usize, drift: f64, seed: u64) -> Da
             col.push(base * (1.0 - 0.1 * j as f64) + shared + drift_term + normal(&mut rng) * 0.4);
         }
     }
-    shuffle_rows(build(name, cols, labels, 2), seed)
+    shuffled_build(name, cols, labels, 2, seed)
 }
 
 /// Two interleaved spirals in 2-D with Gaussian jitter.
@@ -368,7 +432,7 @@ pub fn two_spirals(name: &str, n: usize, noise: f64, seed: u64) -> Dataset {
         y.push(r * angle.sin() + normal(&mut rng) * noise);
         labels.push(class as u32);
     }
-    shuffle_rows(build(name, vec![x, y], labels, 2), seed)
+    shuffled_build(name, vec![x, y], labels, 2, seed)
 }
 
 /// Mixed-type dataset: `d_cat` categorical columns whose level odds depend on
@@ -413,10 +477,17 @@ pub fn categorical_mixture(
             .collect();
         features.push(Feature::Numeric { name: format!("num{j}"), values });
     }
-    shuffle_rows(
-        Dataset::new(name, features, labels, class_names(k)).expect("consistent columns"),
-        seed,
-    )
+    let perm = shuffle_perm(labels.len(), seed);
+    let mut fscratch: Vec<f64> = Vec::with_capacity(labels.len());
+    let mut cscratch: Vec<u32> = Vec::with_capacity(labels.len());
+    for feature in &mut features {
+        match feature {
+            Feature::Numeric { values, .. } => permute_in_place(values, &perm, &mut fscratch),
+            Feature::Categorical { codes, .. } => permute_in_place(codes, &perm, &mut cscratch),
+        }
+    }
+    permute_in_place(&mut labels, &perm, &mut cscratch);
+    Dataset::new(name, features, labels, class_names(k)).expect("consistent columns")
 }
 
 // `Distribution` is pulled in so callers can plug rand distributions in
@@ -550,6 +621,35 @@ mod tests {
         assert_eq!(d.categorical_feature_indices().len(), 3);
         assert_eq!(d.numeric_feature_indices().len(), 2);
         assert_eq!(d.n_classes(), 4);
+    }
+
+    #[test]
+    fn generation_scales_to_1e5_rows() {
+        // The job-service workload scale: 10⁵ rows generate chunk-free
+        // (one resident matrix, column scratch only) and stay shaped,
+        // shuffled and deterministic.
+        let d1 = gaussian_blobs("big", 100_000, 8, 4, 0.8, 31);
+        assert_eq!(d1.n_rows(), 100_000);
+        assert_eq!(d1.n_features(), 8);
+        // Class round-robin order was shuffled away: the first 100 rows
+        // mix classes rather than cycling 0,1,2,3.
+        let head: Vec<u32> = (0..100).map(|r| d1.label(r)).collect();
+        assert!(head.windows(4).any(|w| w != [0, 1, 2, 3]));
+        let d2 = gaussian_blobs("big", 100_000, 8, 4, 0.8, 31);
+        match (d1.feature(3), d2.feature(3)) {
+            (Feature::Numeric { values: v1, .. }, Feature::Numeric { values: v2, .. }) => {
+                assert_eq!(v1, v2);
+            }
+            _ => panic!("expected numeric"),
+        }
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = SynthSpec::SparseCounts { n: 1000, d: 50, k: 3, doc_len: 40 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SynthSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
     }
 
     #[test]

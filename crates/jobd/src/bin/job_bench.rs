@@ -1,0 +1,218 @@
+//! Job-service throughput and responsiveness benchmark.
+//!
+//! ```text
+//! job_bench [--quick] [--out FILE] [--check FILE]
+//!   --quick   fewer jobs per width (CI smoke)
+//!   --out     write BENCH_jobs.json-shaped output to FILE
+//!   --check   regression gate against a committed file: jobs/hour at
+//!             each width within 5x of the committed number, and
+//!             submit-to-first-progress latency within 5x
+//! ```
+//!
+//! Spins an in-process [`JobServer`] at pool widths 1 and 8, submits a
+//! burst of small synthetic experiments from three tenants, and
+//! measures:
+//!
+//! - `submit_to_running_ms`: median latency from the `submit` call
+//!   returning to the `WATCH` stream reporting the job running — the
+//!   user-visible "my job started" delay under a full queue;
+//! - `jobs_per_hour`: completed-job throughput over the burst.
+
+use smartml::api::ExperimentOptions;
+use smartml_data::synth::SynthSpec;
+use smartml_jobd::{
+    JobClient, JobDataset, JobServer, JobServerOptions, JobState, JobdConfig, Submitted, WatchKind,
+};
+use std::time::Instant;
+
+fn percentile(sorted: &[u128], p: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[ix]
+}
+
+struct WidthResult {
+    width: usize,
+    jobs: usize,
+    secs: f64,
+    jobs_per_hour: f64,
+    submit_to_running_p50_ms: u128,
+    submit_to_running_p99_ms: u128,
+}
+
+fn run_width(width: usize, jobs: usize) -> WidthResult {
+    let dir = std::env::temp_dir().join(format!(
+        "job-bench-w{width}-{}-{}",
+        std::process::id(),
+        jobs
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = JobServer::bind(JobServerOptions {
+        config: JobdConfig {
+            dir: dir.clone(),
+            workers: width,
+            quota_trials: 1_000_000,
+            fsync: true,
+            ..JobdConfig::default()
+        },
+        ..JobServerOptions::default()
+    })
+    .expect("bind job server");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let tenants = ["alpha", "beta", "gamma"];
+    let spec = SynthSpec::Blobs { n: 60, d: 3, k: 2, spread: 0.5 };
+    let options = ExperimentOptions {
+        budget_trials: Some(4),
+        top_n_algorithms: Some(1),
+        seed: Some(11),
+        n_threads: Some(1),
+        ..ExperimentOptions::default()
+    };
+
+    let client = JobClient::connect(addr.clone());
+    let started = Instant::now();
+    // Submit, then immediately attach a concurrent watcher on its own
+    // connection: records when the stream first reports the job past
+    // `queued`, then waits for terminal.
+    let mut watchers: Vec<std::thread::JoinHandle<u128>> = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let tenant = tenants[i % tenants.len()];
+        let dataset = JobDataset::Synth { spec: spec.clone(), seed: i as u64, rows: None };
+        let at = Instant::now();
+        let id = match client
+            .submit(tenant, &format!("bench-{i}"), dataset, options.clone())
+            .expect("submit")
+        {
+            Submitted::Accepted { id, .. } => id,
+            Submitted::Rejected { reason, detail } => {
+                panic!("bench submission rejected: {reason}: {detail}")
+            }
+        };
+        let addr = addr.clone();
+        watchers.push(std::thread::spawn(move || {
+            let watcher = JobClient::connect(addr);
+            let mut running_at: Option<Instant> = None;
+            let state = watcher
+                .watch(id, |line| {
+                    if running_at.is_none() {
+                        if let smartml_jobd::JobResponse::Watch { kind, state, .. } = line {
+                            let past_queued = *state != JobState::Queued
+                                || matches!(kind, WatchKind::Progress);
+                            if past_queued {
+                                running_at = Some(Instant::now());
+                            }
+                        }
+                    }
+                })
+                .expect("watch");
+            assert_eq!(state, JobState::Done, "bench job {id} must finish");
+            running_at.unwrap_or_else(Instant::now).duration_since(at).as_millis()
+        }));
+    }
+    let mut latencies: Vec<u128> =
+        watchers.into_iter().map(|h| h.join().expect("watcher thread")).collect();
+    let secs = started.elapsed().as_secs_f64();
+    client.shutdown().expect("shutdown");
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_unstable();
+    WidthResult {
+        width,
+        jobs,
+        secs,
+        jobs_per_hour: jobs as f64 / secs * 3600.0,
+        submit_to_running_p50_ms: percentile(&latencies, 0.50),
+        submit_to_running_p99_ms: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+    };
+    let out_path = flag_value("--out");
+    let check_path = flag_value("--check");
+
+    let jobs = if quick { 6 } else { 24 };
+    let results: Vec<WidthResult> =
+        [1usize, 8].iter().map(|&w| run_width(w, jobs)).collect();
+
+    let widths_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"width\": {},\n      \"jobs\": {},\n      \"secs\": {:.3},\n      \"jobs_per_hour\": {:.1},\n      \"submit_to_running_p50_ms\": {},\n      \"submit_to_running_p99_ms\": {}\n    }}",
+                r.width, r.jobs, r.secs, r.jobs_per_hour,
+                r.submit_to_running_p50_ms, r.submit_to_running_p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"jobs\",\n  \"command\": \"{}\",\n  \"widths\": [\n{}\n  ]\n}}\n",
+        if quick { "job_bench --quick" } else { "job_bench" },
+        widths_json.join(",\n")
+    );
+    for r in &results {
+        println!(
+            "width {}: {} jobs in {:.2}s = {:.0} jobs/hour, submit→running p50 {}ms p99 {}ms",
+            r.width, r.jobs, r.secs, r.jobs_per_hour,
+            r.submit_to_running_p50_ms, r.submit_to_running_p99_ms
+        );
+    }
+    if let Some(path) = &out_path {
+        std::fs::write(path, &json).expect("write --out file");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let reference = std::fs::read_to_string(&path).expect("read --check file");
+        let reference: serde_json::Value =
+            serde_json::from_str(&reference).expect("parse --check file");
+        let mut failed = false;
+        let empty = Vec::new();
+        let ref_widths = reference["widths"].as_array().unwrap_or(&empty);
+        for r in &results {
+            let Some(committed) = ref_widths
+                .iter()
+                .find(|w| w["width"].as_u64() == Some(r.width as u64))
+            else {
+                eprintln!("check: no committed entry for width {} — skipping", r.width);
+                continue;
+            };
+            if let Some(committed_jph) = committed["jobs_per_hour"].as_f64() {
+                if r.jobs_per_hour < committed_jph / 5.0 {
+                    eprintln!(
+                        "check FAILED: width {} throughput {:.0} jobs/hour is >5x below \
+                         the committed {:.0}",
+                        r.width, r.jobs_per_hour, committed_jph
+                    );
+                    failed = true;
+                }
+            }
+            if let Some(committed_p50) = committed["submit_to_running_p50_ms"].as_u64() {
+                // Floor of 100 ms keeps the gate meaningful when the
+                // committed latency is near-zero.
+                let bound = (committed_p50 as u128 * 5).max(100);
+                if r.submit_to_running_p50_ms > bound {
+                    eprintln!(
+                        "check FAILED: width {} submit→running p50 {}ms is >5x above \
+                         the committed {}ms",
+                        r.width, r.submit_to_running_p50_ms, committed_p50
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check passed: {} widths within bounds", results.len());
+    }
+}

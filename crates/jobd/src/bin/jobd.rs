@@ -1,0 +1,247 @@
+//! `jobd` — the SmartML job-service daemon and its operator CLI.
+//!
+//! ```text
+//! jobd serve  --dir DIR [--addr HOST:PORT] [--workers N]
+//!             [--max-queued N] [--max-tenant-inflight N]
+//!             [--quota-trials N] [--quota-secs F]
+//!             [--weight TENANT=W]... [--no-fsync] [--progress-ms N]
+//! jobd submit --addr HOST:PORT --tenant T --name NAME
+//!             (--file DATA.csv [--target COL] | --synth SPEC_JSON [--seed S] [--rows N])
+//!             [--trials N] [--seconds F] [--options OPTIONS_JSON]
+//! jobd status --addr HOST:PORT ID
+//! jobd result --addr HOST:PORT ID [--render]
+//! jobd cancel --addr HOST:PORT ID
+//! jobd jobs   --addr HOST:PORT [--tenant T]
+//! jobd watch  --addr HOST:PORT ID
+//! jobd shutdown --addr HOST:PORT
+//! ```
+//!
+//! `serve` prints `jobd: listening on ADDR` once ready (scraped by
+//! scripts); `watch` relays the streamed JSON lines verbatim, one per
+//! line, and exits when the job goes terminal.
+
+use smartml::api::ExperimentOptions;
+use smartml_jobd::{
+    JobClient, JobDataset, JobServer, JobServerOptions, JobdConfig, Submitted,
+};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: jobd <serve|submit|status|result|cancel|jobs|watch|shutdown> [flags]\n\
+         run `jobd serve --dir DIR` to start a daemon; client verbs need --addr HOST:PORT"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(verb) = args.first().map(String::as_str) else { return usage() };
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let rest = &args[1..];
+    let outcome = match verb {
+        "serve" => serve(rest),
+        "submit" => submit(rest),
+        "status" => status(rest),
+        "result" => result(rest),
+        "cancel" => cancel(rest),
+        "jobs" => jobs(rest),
+        "watch" => watch(rest),
+        "shutdown" => shutdown(rest),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("jobd: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let dir = flag_value(args, "--dir").ok_or("--dir DIR is required")?;
+    let mut config = JobdConfig { dir: dir.into(), ..JobdConfig::default() };
+    if let Some(n) = flag_value(args, "--workers") {
+        config.workers = n.parse().map_err(|_| "--workers expects a number")?;
+    }
+    if let Some(n) = flag_value(args, "--max-queued") {
+        config.max_queued = n.parse().map_err(|_| "--max-queued expects a number")?;
+    }
+    if let Some(n) = flag_value(args, "--max-tenant-inflight") {
+        config.max_tenant_inflight =
+            n.parse().map_err(|_| "--max-tenant-inflight expects a number")?;
+    }
+    if let Some(n) = flag_value(args, "--quota-trials") {
+        config.quota_trials = n.parse().map_err(|_| "--quota-trials expects a number")?;
+    }
+    if let Some(n) = flag_value(args, "--quota-secs") {
+        config.quota_secs = n.parse().map_err(|_| "--quota-secs expects a number")?;
+    }
+    if args.iter().any(|a| a == "--no-fsync") {
+        config.fsync = false;
+    }
+    for (i, a) in args.iter().enumerate() {
+        if a == "--weight" {
+            let spec = args.get(i + 1).ok_or("--weight expects TENANT=W")?;
+            let (tenant, w) = spec.split_once('=').ok_or("--weight expects TENANT=W")?;
+            let w: u64 = w.parse().map_err(|_| "--weight expects TENANT=W with numeric W")?;
+            config.weights.push((tenant.to_string(), w));
+        }
+    }
+    let mut options = JobServerOptions {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_string(),
+        config,
+        ..JobServerOptions::default()
+    };
+    if let Some(ms) = flag_value(args, "--progress-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--progress-ms expects a number")?;
+        options.progress_interval = Duration::from_millis(ms.max(50));
+    }
+    let server = JobServer::bind(options).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let rec = server.recovery();
+    println!(
+        "jobd: recovered {} journal records ({} aborted, {} re-queued{})",
+        rec.replayed,
+        rec.aborted.len(),
+        rec.requeued.len(),
+        if rec.truncated_tail { ", torn tail truncated" } else { "" }
+    );
+    // Scraped by scripts/verify.sh and tests: keep the format stable.
+    println!("jobd: listening on {addr}");
+    server.run().map_err(|e| e.to_string())?;
+    println!("jobd: shut down cleanly");
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<JobClient, String> {
+    let addr = flag_value(args, "--addr").ok_or("--addr HOST:PORT is required")?;
+    Ok(JobClient::connect(addr))
+}
+
+fn id_arg(args: &[String]) -> Result<u64, String> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .find_map(|a| a.parse().ok())
+        .ok_or_else(|| "a numeric job ID is required".to_string())
+}
+
+fn parse_options(args: &[String]) -> Result<ExperimentOptions, String> {
+    let mut options: ExperimentOptions = match flag_value(args, "--options") {
+        Some(json) => serde_json::from_str(json).map_err(|e| format!("--options: {e}"))?,
+        None => ExperimentOptions::default(),
+    };
+    if let Some(n) = flag_value(args, "--trials") {
+        options.budget_trials = Some(n.parse().map_err(|_| "--trials expects a number")?);
+    }
+    if let Some(s) = flag_value(args, "--seconds") {
+        options.budget_seconds = Some(s.parse().map_err(|_| "--seconds expects a number")?);
+    }
+    if let Some(s) = flag_value(args, "--seed") {
+        options.seed = Some(s.parse().map_err(|_| "--seed expects a number")?);
+    }
+    Ok(options)
+}
+
+fn parse_dataset(args: &[String]) -> Result<JobDataset, String> {
+    if let Some(path) = flag_value(args, "--file") {
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let target = flag_value(args, "--target").map(str::to_string);
+        return Ok(if path.ends_with(".arff") {
+            JobDataset::Arff { content }
+        } else {
+            JobDataset::Csv { content, target }
+        });
+    }
+    if let Some(spec_json) = flag_value(args, "--synth") {
+        let spec = serde_json::from_str(spec_json).map_err(|e| format!("--synth: {e}"))?;
+        let seed = match flag_value(args, "--seed") {
+            Some(s) => s.parse().map_err(|_| "--seed expects a number")?,
+            None => 0,
+        };
+        let rows = match flag_value(args, "--rows") {
+            Some(r) => Some(r.parse().map_err(|_| "--rows expects a number")?),
+            None => None,
+        };
+        return Ok(JobDataset::Synth { spec, seed, rows });
+    }
+    Err("one of --file DATA or --synth SPEC_JSON is required".to_string())
+}
+
+fn submit(args: &[String]) -> Result<(), String> {
+    let client = client(args)?;
+    let tenant = flag_value(args, "--tenant").ok_or("--tenant is required")?;
+    let name = flag_value(args, "--name").ok_or("--name is required")?;
+    let dataset = parse_dataset(args)?;
+    let options = parse_options(args)?;
+    match client.submit(tenant, name, dataset, options)? {
+        Submitted::Accepted { id, clamped } => {
+            // Scraped by scripts: keep the format stable.
+            println!("jobd: submitted job {id}{}", if clamped { " (budget clamped)" } else { "" });
+            Ok(())
+        }
+        Submitted::Rejected { reason, detail } => Err(format!("rejected: {reason}: {detail}")),
+    }
+}
+
+fn status(args: &[String]) -> Result<(), String> {
+    let job = client(args)?.status(id_arg(args)?)?;
+    println!("{}", serde_json::to_string(&job).map_err(|e| e.to_string())?);
+    Ok(())
+}
+
+fn result(args: &[String]) -> Result<(), String> {
+    let report = client(args)?.result(id_arg(args)?)?;
+    if args.iter().any(|a| a == "--render") {
+        println!("{}", report.render());
+    } else {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+fn cancel(args: &[String]) -> Result<(), String> {
+    let id = id_arg(args)?;
+    client(args)?.cancel(id)?;
+    println!("jobd: cancelled job {id}");
+    Ok(())
+}
+
+fn jobs(args: &[String]) -> Result<(), String> {
+    let (jobs, tenants) = client(args)?.jobs(flag_value(args, "--tenant"))?;
+    for t in &tenants {
+        println!(
+            "tenant {}: {} queued, {} running, {} trials / {:.2}s quota left",
+            t.tenant, t.queued, t.running, t.remaining_trials, t.remaining_secs
+        );
+    }
+    for j in &jobs {
+        println!("{}", serde_json::to_string(j).map_err(|e| e.to_string())?);
+    }
+    Ok(())
+}
+
+fn watch(args: &[String]) -> Result<(), String> {
+    let state = client(args)?.watch(id_arg(args)?, |line| {
+        if let Ok(json) = serde_json::to_string(line) {
+            println!("{json}");
+        }
+    })?;
+    println!("jobd: job finished {state:?}");
+    Ok(())
+}
+
+fn shutdown(args: &[String]) -> Result<(), String> {
+    client(args)?.shutdown()?;
+    println!("jobd: shutdown requested");
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! A blocking JSON-lines client for the job service.
+//!
+//! One persistent connection per client; requests are strictly
+//! request/response except [`JobClient::watch`], which keeps reading
+//! streamed `watch` lines off the same connection until the job goes
+//! terminal (the server guarantees a terminal transition line ends
+//! every subscription).
+
+use crate::protocol::{JobDataset, JobRequest, JobResponse, JobState, JobView, TenantView};
+use smartml::api::ExperimentOptions;
+use smartml::RunReport;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Submission outcome: accepted with an id, or a typed rejection.
+#[derive(Debug, Clone)]
+pub enum Submitted {
+    Accepted { id: u64, clamped: bool },
+    Rejected { reason: String, detail: String },
+}
+
+/// Blocking client; `Sync` (one request at a time through the
+/// connection mutex).
+pub struct JobClient {
+    addr: String,
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+    read_timeout: Duration,
+}
+
+impl JobClient {
+    pub fn connect(addr: impl Into<String>) -> JobClient {
+        JobClient {
+            addr: addr.into(),
+            conn: Mutex::new(None),
+            read_timeout: Duration::from_secs(120),
+        }
+    }
+
+    fn with_conn<T>(
+        &self,
+        f: impl FnOnce(&mut BufReader<TcpStream>) -> Result<T, String>,
+    ) -> Result<T, String> {
+        let mut slot = self.conn.lock().expect("jobd client poisoned");
+        if slot.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            stream
+                .set_read_timeout(Some(self.read_timeout))
+                .map_err(|e| format!("set timeout: {e}"))?;
+            let _ = stream.set_nodelay(true);
+            *slot = Some(BufReader::new(stream));
+        }
+        let result = f(slot.as_mut().expect("just connected"));
+        if result.is_err() {
+            // Connection state is unknown after an error; reconnect next
+            // time.
+            *slot = None;
+        }
+        result
+    }
+
+    fn roundtrip(&self, request: &JobRequest) -> Result<JobResponse, String> {
+        let line = serde_json::to_string(request).map_err(|e| format!("encode: {e}"))?;
+        self.with_conn(|conn| {
+            send_line(conn, &line)?;
+            read_response(conn)
+        })
+    }
+
+    pub fn ping(&self) -> Result<(), String> {
+        match self.roundtrip(&JobRequest::Ping)? {
+            JobResponse::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    pub fn submit(
+        &self,
+        tenant: &str,
+        name: &str,
+        dataset: JobDataset,
+        options: ExperimentOptions,
+    ) -> Result<Submitted, String> {
+        let request = JobRequest::Submit {
+            tenant: tenant.to_string(),
+            name: name.to_string(),
+            dataset,
+            options,
+        };
+        match self.roundtrip(&request)? {
+            JobResponse::Submitted { id, clamped } => Ok(Submitted::Accepted { id, clamped }),
+            JobResponse::Rejected { reason, detail } => Ok(Submitted::Rejected { reason, detail }),
+            other => Err(unexpected("submitted/rejected", &other)),
+        }
+    }
+
+    pub fn status(&self, id: u64) -> Result<JobView, String> {
+        match self.roundtrip(&JobRequest::Status { id })? {
+            JobResponse::Job { job } => Ok(job),
+            JobResponse::Error { message } => Err(message),
+            other => Err(unexpected("job", &other)),
+        }
+    }
+
+    pub fn result(&self, id: u64) -> Result<RunReport, String> {
+        match self.roundtrip(&JobRequest::Result { id })? {
+            JobResponse::Result { report, .. } => Ok(*report),
+            JobResponse::Error { message } => Err(message),
+            other => Err(unexpected("result", &other)),
+        }
+    }
+
+    pub fn cancel(&self, id: u64) -> Result<(), String> {
+        match self.roundtrip(&JobRequest::Cancel { id })? {
+            JobResponse::Cancelled { .. } => Ok(()),
+            JobResponse::Error { message } => Err(message),
+            other => Err(unexpected("cancelled", &other)),
+        }
+    }
+
+    pub fn jobs(&self, tenant: Option<&str>) -> Result<(Vec<JobView>, Vec<TenantView>), String> {
+        let request = JobRequest::Jobs { tenant: tenant.map(str::to_string) };
+        match self.roundtrip(&request)? {
+            JobResponse::Jobs { jobs, tenants } => Ok((jobs, tenants)),
+            JobResponse::Error { message } => Err(message),
+            other => Err(unexpected("jobs", &other)),
+        }
+    }
+
+    /// Subscribes to `id` and blocks until the job is terminal, feeding
+    /// every streamed line (subscription ack, transitions, progress
+    /// heartbeats) to `on_line`. Returns the terminal state.
+    pub fn watch(
+        &self,
+        id: u64,
+        mut on_line: impl FnMut(&JobResponse),
+    ) -> Result<JobState, String> {
+        let line = serde_json::to_string(&JobRequest::Watch { id })
+            .map_err(|e| format!("encode: {e}"))?;
+        self.with_conn(|conn| {
+            send_line(conn, &line)?;
+            loop {
+                let response = read_response(conn)?;
+                match &response {
+                    JobResponse::Watch { state, .. } => {
+                        let state = *state;
+                        on_line(&response);
+                        if state.is_terminal() {
+                            return Ok(state);
+                        }
+                    }
+                    JobResponse::Error { message } => return Err(message.clone()),
+                    other => return Err(unexpected("watch", other)),
+                }
+            }
+        })
+    }
+
+    /// Convenience: watch until terminal, discarding the stream.
+    pub fn wait(&self, id: u64) -> Result<JobState, String> {
+        self.watch(id, |_| {})
+    }
+
+    pub fn shutdown(&self) -> Result<(), String> {
+        match self.roundtrip(&JobRequest::Shutdown)? {
+            JobResponse::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+fn send_line(conn: &mut BufReader<TcpStream>, line: &str) -> Result<(), String> {
+    let stream = conn.get_mut();
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("send: {e}"))
+}
+
+fn read_response(conn: &mut BufReader<TcpStream>) -> Result<JobResponse, String> {
+    let mut line = String::new();
+    let n = conn.read_line(&mut line).map_err(|e| format!("read: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection".to_string());
+    }
+    serde_json::from_str(line.trim_end()).map_err(|e| format!("bad response: {e} in {line:?}"))
+}
+
+fn unexpected(wanted: &str, got: &JobResponse) -> String {
+    format!("expected {wanted}, got {got:?}")
+}

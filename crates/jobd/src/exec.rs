@@ -1,0 +1,185 @@
+//! The worker pool: claims jobs from the scheduler and runs them
+//! through the one-shot experiment API.
+//!
+//! ## Byte-identity with the CLI
+//!
+//! A job runs [`smartml::api::handle`] with a *fresh* knowledge base —
+//! exactly what `smartml-cli run <file>` does — so a job's report is
+//! byte-identical (modulo wall-clock phase timings) to the equivalent
+//! one-shot run, at any pool width. No state is shared between jobs.
+//!
+//! ## Fault domains
+//!
+//! Inside a job, the engine's own per-trial fault machinery applies:
+//! watchdog deadlines, the per-algorithm circuit breaker, the failures
+//! ledger — all of it scoped to the job's run, because each job has its
+//! own engine instance. One tenant's faulting trials trip *that job's*
+//! breakers only. Around a job, `catch_unwind` converts a full-run
+//! panic into a `failed` terminal state: a poisoned job never takes a
+//! worker thread (or the daemon) down with it.
+
+use crate::protocol::JobDataset;
+use crate::state::{Job, JobdState};
+use smartml::api::{handle, DatasetPayload, Request, Response};
+use smartml::KnowledgeBase;
+use smartml_obs::Counter;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+static JOBS_DONE: Counter = Counter::new("jobd.jobs.done");
+static JOBS_FAILED: Counter = Counter::new("jobd.jobs.failed");
+
+/// Spawns `n` worker threads; they exit when the state shuts down.
+pub fn spawn_workers(state: &Arc<JobdState>, n: usize) -> Vec<JoinHandle<()>> {
+    (0..n.max(1))
+        .map(|i| {
+            let state = Arc::clone(state);
+            std::thread::Builder::new()
+                .name(format!("jobd-worker-{i}"))
+                .spawn(move || work_loop(&state))
+                .expect("spawn jobd worker")
+        })
+        .collect()
+}
+
+fn work_loop(state: &Arc<JobdState>) {
+    while let Some(job) = state.claim_next() {
+        let outcome = run_job(&job);
+        match &outcome {
+            Ok(_) => JOBS_DONE.inc(),
+            Err(_) => JOBS_FAILED.inc(),
+        }
+        if state.finish(job.id, outcome).is_err() {
+            // Journal/result-file I/O failure: nothing sane to do but
+            // keep serving other jobs; the job stays `running` in
+            // memory and recovery will abort it after a restart.
+            continue;
+        }
+    }
+}
+
+/// Materialises the dataset payload a job will parse. Synth specs are
+/// rendered to CSV text with the same writer the CLI `synth` command
+/// uses, so a synth job and a CLI run over the exported file see
+/// identical bytes.
+pub fn materialize(dataset: &JobDataset, name: &str) -> DatasetPayload {
+    match dataset {
+        JobDataset::Csv { content, target } => {
+            DatasetPayload::Csv { content: content.clone(), target: target.clone() }
+        }
+        JobDataset::Arff { content } => DatasetPayload::Arff { content: content.clone() },
+        JobDataset::Synth { spec, seed, rows } => {
+            let spec = match rows {
+                Some(r) => spec.clone().with_rows(*r),
+                None => spec.clone(),
+            };
+            let data = spec.generate(name, *seed);
+            DatasetPayload::Csv { content: smartml_data::io::write_csv(&data), target: None }
+        }
+    }
+}
+
+/// Runs one job to completion. `Ok` carries the pretty-printed report
+/// JSON (the bytes that become `result-<id>.json`).
+pub fn run_job(job: &Job) -> Result<String, String> {
+    let payload = materialize(&job.dataset, &job.name);
+    let name = job.name.clone();
+    let options = job.options.clone();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(move || {
+        let mut kb = KnowledgeBase::new();
+        handle(&mut kb, Request::RunExperiment { name, dataset: payload, options })
+    }));
+    match outcome {
+        Ok(Response::Experiment { report }) => serde_json::to_string_pretty(&*report)
+            .map_err(|e| format!("encode report: {e}")),
+        Ok(Response::Error { message }) => Err(message),
+        Ok(other) => Err(format!("unexpected engine response: {other:?}")),
+        Err(panic) => Err(format!("job panicked: {}", panic_message(&panic))),
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartml::api::ExperimentOptions;
+    use smartml_data::synth::SynthSpec;
+
+    #[test]
+    fn synth_materialises_like_the_cli_export() {
+        let spec = SynthSpec::Blobs { n: 40, d: 3, k: 2, spread: 0.5 };
+        let ds = JobDataset::Synth { spec: spec.clone(), seed: 9, rows: None };
+        let DatasetPayload::Csv { content, .. } = materialize(&ds, "blobby") else {
+            panic!("synth must materialise to csv");
+        };
+        // The CLI synth export path: generate + write_csv.
+        let direct = smartml_data::io::write_csv(&spec.generate("blobby", 9));
+        assert_eq!(content, direct);
+    }
+
+    #[test]
+    fn rows_override_rescales() {
+        let spec = SynthSpec::Blobs { n: 40, d: 3, k: 2, spread: 0.5 };
+        let ds = JobDataset::Synth { spec, seed: 9, rows: Some(100) };
+        let DatasetPayload::Csv { content, .. } = materialize(&ds, "blobby") else {
+            panic!("synth must materialise to csv");
+        };
+        assert_eq!(content.lines().count(), 101, "header + 100 rows");
+    }
+
+    #[test]
+    fn run_job_produces_report_json() {
+        let job = Job {
+            id: 1,
+            tenant: "t".into(),
+            name: "tiny".into(),
+            dataset: JobDataset::Synth {
+                spec: SynthSpec::Blobs { n: 40, d: 3, k: 2, spread: 0.5 },
+                seed: 4,
+                rows: None,
+            },
+            options: ExperimentOptions {
+                budget_trials: Some(4),
+                top_n_algorithms: Some(1),
+                seed: Some(7),
+                n_threads: Some(1),
+                ..ExperimentOptions::default()
+            },
+            state: crate::protocol::JobState::Running,
+            clamped: false,
+            cost: 4,
+            error: None,
+            started_at: None,
+        };
+        let json = run_job(&job).expect("tiny job runs");
+        let report: serde_json::Value = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(report["dataset"], serde_json::Value::String("tiny".into()));
+    }
+
+    #[test]
+    fn bad_dataset_fails_cleanly() {
+        let job = Job {
+            id: 2,
+            tenant: "t".into(),
+            name: "broken".into(),
+            dataset: JobDataset::Csv { content: "not,a\nvalid".into(), target: None },
+            options: ExperimentOptions::default(),
+            state: crate::protocol::JobState::Running,
+            clamped: false,
+            cost: 1,
+            error: None,
+            started_at: None,
+        };
+        assert!(run_job(&job).is_err());
+    }
+}

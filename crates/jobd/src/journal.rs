@@ -1,0 +1,226 @@
+//! The job journal: a single append-only WAL recording every lifecycle
+//! edge, so a `kill -9` loses at most the *work in flight*, never the
+//! queue.
+//!
+//! Framing is shared with the KB WAL — `smartml_kbd`'s
+//! [`encode_payload_frame`] / [`scan_payload_frames`] give every record
+//! a length + FNV-1a checksum header and one torn-tail discipline: a
+//! partial final frame (the crash landed mid-`write`) is detected and
+//! truncated away on open; checksummed garbage *before* the tail is
+//! corruption and refuses to open.
+//!
+//! What gets journaled, and when it is fsynced:
+//!
+//! | record | when | fsync |
+//! |--------|------|-------|
+//! | `submitted` | after admission, before the `submitted` response | yes — the admit promise must survive |
+//! | `started` | a worker claimed the job | no — recovery treats started-without-terminal as aborted either way |
+//! | `finished` | the report file is already durable | yes |
+//! | `cancelled` | a queued job was cancelled | yes |
+//! | `aborted` | recovery found `started` without a terminal record | yes (batched at open) |
+
+use crate::protocol::JobDataset;
+use serde::{Deserialize, Serialize};
+use smartml::api::ExperimentOptions;
+use smartml_kbd::{encode_payload_frame, scan_payload_frames};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal file name inside the jobd directory.
+pub const JOURNAL_FILE: &str = "jobs.wal";
+
+/// One journaled lifecycle edge.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum JournalRecord {
+    /// A job was admitted. Carries everything needed to re-run it.
+    Submitted {
+        id: u64,
+        tenant: String,
+        name: String,
+        dataset: JobDataset,
+        options: ExperimentOptions,
+        /// True when admission clamped the budget to remaining quota;
+        /// `options` already carries the clamped values.
+        clamped: bool,
+        /// Scheduler cost units charged to the tenant's fair share.
+        cost: u64,
+        /// Quota charged at admission (replayed on recovery).
+        charged_trials: usize,
+        charged_secs: f64,
+    },
+    /// A worker claimed the job.
+    Started { id: u64 },
+    /// The job reached `done` (`ok`) or `failed` (with `error`).
+    Finished {
+        id: u64,
+        ok: bool,
+        #[serde(default)]
+        error: Option<String>,
+    },
+    /// A queued job was cancelled.
+    Cancelled { id: u64 },
+    /// Recovery found the job running at crash time.
+    Aborted { id: u64 },
+}
+
+/// What [`Journal::open`] found on disk.
+pub struct JournalRecovery {
+    /// Every intact record, in write order.
+    pub records: Vec<JournalRecord>,
+    /// A torn final frame was truncated away.
+    pub truncated_tail: bool,
+}
+
+/// Append handle over `jobs.wal`.
+pub struct Journal {
+    file: File,
+    fsync: bool,
+}
+
+impl Journal {
+    /// Opens (creating if missing) the journal in `dir`, replays every
+    /// intact record and truncates a torn tail.
+    ///
+    /// Returns an error for checksummed-but-unparseable records — that
+    /// is corruption *before* the tail, which truncation must not paper
+    /// over.
+    pub fn open(dir: &Path, fsync: bool) -> io::Result<(Journal, JournalRecovery)> {
+        std::fs::create_dir_all(dir)?;
+        let path = journal_path(dir);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let scan = scan_payload_frames(&bytes).map_err(|c| {
+            io::Error::other(format!("{}: corrupt at byte {}: {}", path.display(), c.offset, c.detail))
+        })?;
+        let mut records = Vec::with_capacity(scan.payloads.len());
+        for (offset, payload) in &scan.payloads {
+            let record: JournalRecord = serde_json::from_str(payload).map_err(|e| {
+                io::Error::other(format!(
+                    "{}: checksummed frame at byte {offset} is not a job record: {e}",
+                    path.display()
+                ))
+            })?;
+            records.push(record);
+        }
+        let truncated_tail = scan.torn_at.is_some();
+        if let Some(keep) = scan.torn_at {
+            // Same discipline as the KB WAL: drop the torn tail so the
+            // next append starts on a frame boundary.
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(keep)?;
+            file.sync_all()?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((Journal { file, fsync }, JournalRecovery { records, truncated_tail }))
+    }
+
+    /// Appends one record; `sync` forces it to disk before returning.
+    pub fn append(&mut self, record: &JournalRecord, sync: bool) -> io::Result<()> {
+        let payload = serde_json::to_string(record)
+            .map_err(|e| io::Error::other(format!("encode job record: {e}")))?;
+        self.file.write_all(&encode_payload_frame(payload.as_bytes()))?;
+        if sync && self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join(JOURNAL_FILE)
+}
+
+/// Path of a finished job's durable report.
+pub fn result_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("result-{id}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "jobd-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn submitted(id: u64) -> JournalRecord {
+        JournalRecord::Submitted {
+            id,
+            tenant: "t".into(),
+            name: format!("job{id}"),
+            dataset: JobDataset::Csv { content: "a,y\n1,0\n2,1\n".into(), target: None },
+            options: ExperimentOptions::default(),
+            clamped: false,
+            cost: 6,
+            charged_trials: 6,
+            charged_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_replay() {
+        let dir = tmpdir("roundtrip");
+        {
+            let (mut j, rec) = Journal::open(&dir, true).unwrap();
+            assert!(rec.records.is_empty());
+            j.append(&submitted(1), true).unwrap();
+            j.append(&JournalRecord::Started { id: 1 }, false).unwrap();
+            j.append(&JournalRecord::Finished { id: 1, ok: true, error: None }, true).unwrap();
+        }
+        let (_, rec) = Journal::open(&dir, true).unwrap();
+        assert_eq!(rec.records.len(), 3);
+        assert!(!rec.truncated_tail);
+        assert!(matches!(rec.records[2], JournalRecord::Finished { id: 1, ok: true, .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_replay() {
+        let dir = tmpdir("torn");
+        {
+            let (mut j, _) = Journal::open(&dir, true).unwrap();
+            j.append(&submitted(1), true).unwrap();
+            j.append(&JournalRecord::Started { id: 1 }, true).unwrap();
+        }
+        // Simulate a kill -9 mid-append: chop bytes off the last frame.
+        let path = journal_path(&dir);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let (mut j, rec) = Journal::open(&dir, true).unwrap();
+        assert!(rec.truncated_tail);
+        assert_eq!(rec.records.len(), 1, "only the intact submitted frame survives");
+        // And the journal is appendable again on a clean boundary.
+        j.append(&JournalRecord::Aborted { id: 1 }, true).unwrap();
+        let (_, rec) = Journal::open(&dir, true).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checksummed_garbage_refuses_to_open() {
+        let dir = tmpdir("garbage");
+        {
+            let (mut j, _) = Journal::open(&dir, true).unwrap();
+            j.append(&submitted(1), true).unwrap();
+        }
+        let path = journal_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // A valid frame whose payload is not a job record: corruption,
+        // not a torn tail.
+        bytes.extend_from_slice(&encode_payload_frame(b"{\"kind\":\"nonsense\"}"));
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Journal::open(&dir, true).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

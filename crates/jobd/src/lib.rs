@@ -1,0 +1,53 @@
+//! `smartml-jobd`: the multi-tenant AutoML job service.
+//!
+//! The paper presents SmartML as a hosted web service: many users
+//! submit datasets, the framework runs selection + tuning for each and
+//! streams results back. The one-shot API (`smartml::api`) answers a
+//! single request synchronously; this crate is the *resident* tier that
+//! makes the hosted story real:
+//!
+//! | concern | mechanism |
+//! |---------|-----------|
+//! | admission | queue-depth and per-tenant in-flight caps with typed `rejected` responses |
+//! | quotas | per-tenant trial/second budgets via `smartml::charge_quota` — full grant, clamped grant, or `quota_exhausted` |
+//! | fairness | deterministic weighted-fair scheduling across tenants (integer virtual time), strict FIFO within a tenant |
+//! | durability | every lifecycle edge in a checksummed WAL (`jobs.wal`, same frame format as the KB WAL); `kill -9` recovery aborts running jobs, re-queues queued ones, replays quota charges |
+//! | isolation | each job runs a fresh engine: per-job breakers, watchdogs and failure ledgers; a panicking job fails alone |
+//! | streaming | `WATCH` pushes lifecycle transitions and progress heartbeats over the same JSON-lines connection |
+//!
+//! Results are byte-identical to the equivalent one-shot CLI run
+//! (modulo wall-clock phase timings) at any worker-pool width, because
+//! jobs share nothing: same entry point, same fresh knowledge base,
+//! same seeded determinism.
+//!
+//! ```no_run
+//! use smartml_jobd::{JobClient, JobDataset, JobServer, JobServerOptions, Submitted};
+//!
+//! let server = JobServer::bind(JobServerOptions::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! std::thread::spawn(move || server.run().unwrap());
+//!
+//! let client = JobClient::connect(addr.to_string());
+//! let dataset = JobDataset::Csv { content: "a,y\n1,0\n2,1\n".into(), target: None };
+//! match client.submit("acme", "tiny", dataset, Default::default()).unwrap() {
+//!     Submitted::Accepted { id, .. } => { client.wait(id).unwrap(); }
+//!     Submitted::Rejected { reason, .. } => eprintln!("rejected: {reason}"),
+//! }
+//! ```
+
+mod client;
+mod exec;
+mod journal;
+mod protocol;
+mod server;
+mod state;
+
+pub use client::{JobClient, Submitted};
+pub use exec::{materialize, run_job, spawn_workers};
+pub use journal::{result_path, Journal, JournalRecord, JournalRecovery, JOURNAL_FILE};
+pub use protocol::{
+    reject, JobDataset, JobRequest, JobResponse, JobState, JobView, TenantView, WatchKind,
+    MAX_FRAME_BYTES,
+};
+pub use server::{JobServer, JobServerOptions};
+pub use state::{Job, JobEvent, JobdConfig, JobdState, RecoveryInfo, Rejection};

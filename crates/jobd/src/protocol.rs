@@ -1,0 +1,252 @@
+//! The jobd wire protocol: JSON lines over TCP.
+//!
+//! Same transport discipline as `smartmld` (one request per line, one
+//! response per line, [`MAX_FRAME_BYTES`] cap), but a different verb
+//! set: jobs are *submitted* and run asynchronously on the daemon's
+//! worker pool, so every verb except `WATCH` answers immediately from
+//! queue state. `WATCH` is the one streaming verb — after the
+//! subscription acknowledgement the server keeps pushing lifecycle and
+//! progress lines until the job reaches a terminal state.
+
+use serde::{Deserialize, Serialize};
+use smartml::api::ExperimentOptions;
+use smartml::RunReport;
+use smartml_data::synth::SynthSpec;
+
+pub use smartml_kbd::MAX_FRAME_BYTES;
+
+/// Dataset forms a submission can carry.
+///
+/// `Csv`/`Arff` mirror the one-shot API's `DatasetPayload` byte for
+/// byte. `Synth` names a generator from the corpus instead of shipping
+/// rows; the daemon materialises it to CSV text with the *same* writer
+/// the CLI `synth` command uses, so a synth job and a CLI run over the
+/// exported file parse identical datasets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "format", rename_all = "snake_case")]
+pub enum JobDataset {
+    /// CSV text; last column (or `target`) is the label.
+    Csv {
+        content: String,
+        #[serde(default)]
+        target: Option<String>,
+    },
+    /// ARFF text; last attribute is the label.
+    Arff { content: String },
+    /// Inline synthetic spec: generated server-side, chunked, O(10^5)
+    /// rows capable.
+    Synth {
+        spec: SynthSpec,
+        #[serde(default)]
+        seed: u64,
+        #[serde(default)]
+        rows: Option<usize>,
+    },
+}
+
+/// Job lifecycle states (see `DESIGN.md` § Job service for the full
+/// transition diagram, including what crash recovery does to each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JobState {
+    /// Admitted, journaled, waiting for a worker.
+    Queued,
+    /// Claimed by a worker; the experiment is executing.
+    Running,
+    /// Finished successfully; the report is durable on disk.
+    Done,
+    /// The experiment itself failed (bad dataset, panicked trial domain,
+    /// invalid options). The error string says why.
+    Failed,
+    /// Cancelled while still queued. Running jobs cannot be cancelled.
+    Cancelled,
+    /// The daemon died while this job was running; recovery marked it.
+    Aborted,
+}
+
+impl JobState {
+    /// Terminal states never transition again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+/// Requests a client can send.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum JobRequest {
+    /// Submit an experiment. Answers `submitted` (with the assigned id)
+    /// or a typed `rejected`.
+    Submit {
+        /// Tenant identity; quotas, fairness weight and in-flight caps
+        /// are all keyed on this.
+        tenant: String,
+        /// Dataset name (becomes the report's dataset name).
+        name: String,
+        /// The dataset itself.
+        dataset: JobDataset,
+        /// Experiment options, identical semantics to the one-shot API.
+        #[serde(default)]
+        options: ExperimentOptions,
+    },
+    /// One job's current state.
+    Status { id: u64 },
+    /// A finished job's full report.
+    Result { id: u64 },
+    /// Cancel a *queued* job.
+    Cancel { id: u64 },
+    /// List jobs, optionally for one tenant.
+    Jobs {
+        #[serde(default)]
+        tenant: Option<String>,
+    },
+    /// Subscribe to one job's lifecycle; streams `watch` lines until
+    /// the job is terminal.
+    Watch { id: u64 },
+    /// Liveness probe.
+    Ping,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+/// One job as reported by `status` / `jobs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobView {
+    pub id: u64,
+    pub tenant: String,
+    pub name: String,
+    pub state: JobState,
+    /// True when admission clamped the requested budget to the tenant's
+    /// remaining quota.
+    pub clamped: bool,
+    /// Present for `failed` jobs.
+    #[serde(default)]
+    pub error: Option<String>,
+}
+
+/// A tenant's quota balance as reported by `jobs`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantView {
+    pub tenant: String,
+    pub remaining_trials: usize,
+    pub remaining_secs: f64,
+    pub queued: usize,
+    pub running: usize,
+}
+
+/// What kind of line a `WATCH` subscription pushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WatchKind {
+    /// First line: subscription accepted, here is the current state.
+    Subscribed,
+    /// The job moved to a new lifecycle state.
+    Transition,
+    /// Periodic heartbeat while the job runs.
+    Progress,
+}
+
+/// Responses (and streamed `watch` lines).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "status", rename_all = "snake_case")]
+pub enum JobResponse {
+    /// Admission succeeded.
+    Submitted { id: u64, clamped: bool },
+    /// Admission refused. `reason` is machine-readable and closed-set:
+    /// `queue_full`, `tenant_busy`, `quota_exhausted`, `bad_request`,
+    /// `shutting_down`.
+    Rejected { reason: String, detail: String },
+    /// `status` answer.
+    Job { job: JobView },
+    /// `jobs` answer.
+    Jobs { jobs: Vec<JobView>, tenants: Vec<TenantView> },
+    /// `result` answer for a `done` job.
+    Result { id: u64, report: Box<RunReport> },
+    /// `cancel` answer.
+    Cancelled { id: u64 },
+    /// One streamed `WATCH` line. The subscription ends when
+    /// `state.is_terminal()`.
+    Watch { id: u64, kind: WatchKind, state: JobState, detail: String },
+    /// `ping` answer.
+    Pong,
+    /// `shutdown` acknowledged; the daemon stops accepting work.
+    ShuttingDown,
+    /// Anything else that went wrong (unknown id, malformed frame, …).
+    Error { message: String },
+}
+
+/// Admission rejection reasons (the closed set `Rejected.reason` draws
+/// from). Kept as constants so tests and the client match on names, not
+/// retyped strings.
+pub mod reject {
+    pub const QUEUE_FULL: &str = "queue_full";
+    pub const TENANT_BUSY: &str = "tenant_busy";
+    pub const QUOTA_EXHAUSTED: &str = "quota_exhausted";
+    pub const BAD_REQUEST: &str = "bad_request";
+    pub const SHUTTING_DOWN: &str = "shutting_down";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_roundtrip() {
+        let line = r#"{"op":"submit","tenant":"acme","name":"iris","dataset":{"format":"csv","content":"a,b,y\n1,2,0\n"},"options":{"budget_trials":6,"seed":7}}"#;
+        let req: JobRequest = serde_json::from_str(line).expect("parses");
+        match &req {
+            JobRequest::Submit { tenant, name, dataset, options } => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(name, "iris");
+                assert!(matches!(dataset, JobDataset::Csv { .. }));
+                assert_eq!(options.budget_trials, Some(6));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let encoded = serde_json::to_string(&req).expect("encodes");
+        assert!(encoded.contains(r#""op":"submit""#));
+    }
+
+    #[test]
+    fn synth_dataset_defaults() {
+        let line =
+            r#"{"format":"synth","spec":{"blobs":{"n":120,"d":4,"k":3,"spread":0.5}}}"#;
+        let ds: JobDataset = serde_json::from_str(line).expect("parses");
+        match ds {
+            JobDataset::Synth { spec, seed, rows } => {
+                assert_eq!(spec.rows(), 120);
+                assert_eq!(seed, 0);
+                assert_eq!(rows, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_line_shape() {
+        let resp = JobResponse::Watch {
+            id: 3,
+            kind: WatchKind::Transition,
+            state: JobState::Done,
+            detail: String::new(),
+        };
+        let line = serde_json::to_string(&resp).expect("encodes");
+        assert!(line.contains(r#""status":"watch""#));
+        assert!(line.contains(r#""kind":"transition""#));
+        assert!(line.contains(r#""state":"done""#));
+        let back: JobResponse = serde_json::from_str(&line).expect("parses");
+        match back {
+            JobResponse::Watch { state, .. } => assert!(state.is_terminal()),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        for s in [JobState::Done, JobState::Failed, JobState::Cancelled, JobState::Aborted] {
+            assert!(s.is_terminal());
+        }
+    }
+}

@@ -1,0 +1,515 @@
+//! The jobd network front end: one epoll event loop on `smartml-netio`.
+//!
+//! The loop owns the listener, every client connection, a [`Waker`] the
+//! worker pool pokes when a job changes state, and a [`TimerWheel`]
+//! driving `WATCH` progress heartbeats. Workers never touch sockets;
+//! they push [`JobEvent`]s into the state's outbox and wake the loop,
+//! which fans each event out to the connections watching that job. One
+//! loop is plenty: requests are queue bookkeeping (the heavy lifting
+//! happens on worker threads), so the loop's job is demultiplexing, not
+//! compute.
+
+use crate::exec;
+use crate::protocol::{
+    JobDataset, JobRequest, JobResponse, JobState, WatchKind, MAX_FRAME_BYTES,
+};
+use crate::state::{JobdConfig, JobdState, RecoveryInfo};
+use smartml::api::ExperimentOptions;
+use smartml_netio::{Events, Interest, Poller, TimerWheel, Token, Waker};
+use smartml_obs::Counter;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const WAKER_TOKEN: Token = Token(0);
+const LISTENER_TOKEN: Token = Token(1);
+/// The recurring progress-heartbeat timer.
+const TICK_TOKEN: Token = Token(2);
+/// Connection tokens start here.
+const FIRST_CONN_TOKEN: u64 = 8;
+
+const READ_CHUNK: usize = 64 * 1024;
+/// Stop reading a connection whose peer won't drain responses.
+const HIGH_WATER: usize = 256 * 1024;
+
+static REQ_TOTAL: Counter = Counter::new("jobd.req.total");
+static REQ_REJECTED: Counter = Counter::new("jobd.req.rejected");
+static WATCH_LINES: Counter = Counter::new("jobd.watch.lines");
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct JobServerOptions {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Queue/quota/worker configuration.
+    pub config: JobdConfig,
+    /// `WATCH` progress-heartbeat interval.
+    pub progress_interval: Duration,
+}
+
+impl Default for JobServerOptions {
+    fn default() -> JobServerOptions {
+        JobServerOptions {
+            addr: "127.0.0.1:0".into(),
+            config: JobdConfig::default(),
+            progress_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: String,
+    wpos: usize,
+    interest: Interest,
+    /// Job id this connection's `WATCH` subscription follows.
+    watching: Option<u64>,
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn pending(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// The bound-but-not-yet-running server.
+pub struct JobServer {
+    listener: TcpListener,
+    state: Arc<JobdState>,
+    recovery: RecoveryInfo,
+    workers: Vec<JoinHandle<()>>,
+    progress_interval: Duration,
+}
+
+impl JobServer {
+    /// Opens (and recovers) the journal, starts the worker pool, binds
+    /// the listener.
+    pub fn bind(options: JobServerOptions) -> io::Result<JobServer> {
+        let workers_n = options.config.workers;
+        let (state, recovery) = JobdState::open(options.config)?;
+        let state = Arc::new(state);
+        let workers = exec::spawn_workers(&state, workers_n);
+        let listener = TcpListener::bind(&options.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(JobServer {
+            listener,
+            state,
+            recovery,
+            workers,
+            progress_interval: options.progress_interval,
+        })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    pub fn recovery(&self) -> &RecoveryInfo {
+        &self.recovery
+    }
+
+    pub fn state(&self) -> Arc<JobdState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Runs the event loop until a `shutdown` request lands, then joins
+    /// the worker pool (workers finish their in-flight jobs first).
+    pub fn run(self) -> io::Result<()> {
+        let JobServer { listener, state, recovery: _, workers, progress_interval } = self;
+        let poller = Poller::new()?;
+        poller.register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+        let waker = Arc::new(Waker::new(&poller, WAKER_TOKEN)?);
+        state.set_notifier(Arc::clone(&waker));
+        let mut timers = TimerWheel::new(Duration::from_millis(50), 128);
+        timers.schedule(Instant::now() + progress_interval, TICK_TOKEN);
+        let mut events = Events::with_capacity(128);
+        let mut fired: Vec<Token> = Vec::new();
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_token = FIRST_CONN_TOKEN;
+        let mut scratch = vec![0u8; READ_CHUNK];
+
+        loop {
+            let timeout = timers
+                .next_deadline()
+                .map(|dl| dl.saturating_duration_since(Instant::now()));
+            if poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            for ev in events.iter().collect::<Vec<_>>() {
+                if ev.token == WAKER_TOKEN {
+                    let _ = waker.drain();
+                } else if ev.token == LISTENER_TOKEN {
+                    accept_all(&listener, &poller, &mut conns, &mut next_token);
+                } else {
+                    handle_conn_event(
+                        &state,
+                        &poller,
+                        &mut conns,
+                        ev.token,
+                        ev.readable,
+                        ev.writable,
+                        ev.closed,
+                        &mut scratch,
+                    );
+                }
+            }
+
+            // Lifecycle edges from the worker pool → watchers.
+            deliver_events(&state, &poller, &mut conns);
+
+            // Progress heartbeats.
+            fired.clear();
+            timers.expire(Instant::now(), &mut fired);
+            if fired.iter().any(|&t| t == TICK_TOKEN) {
+                deliver_progress(&state, &poller, &mut conns);
+                timers.schedule(Instant::now() + progress_interval, TICK_TOKEN);
+            }
+
+            if state.is_shutting_down() {
+                // Best-effort final flush so the shutting_down line (and
+                // any queued watch lines) reach their peers.
+                for conn in conns.values_mut() {
+                    let _ = flush(conn);
+                }
+                break;
+            }
+        }
+        drop(conns);
+        state.shutdown();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+fn accept_all(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = Token(*next_token);
+                *next_token += 1;
+                if poller.register(&stream, token, Interest::READABLE).is_err() {
+                    continue;
+                }
+                conns.insert(
+                    token.0,
+                    Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: String::new(),
+                        wpos: 0,
+                        interest: Interest::READABLE,
+                        watching: None,
+                        close_after_flush: false,
+                    },
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_conn_event(
+    state: &Arc<JobdState>,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    token: Token,
+    readable: bool,
+    writable: bool,
+    closed: bool,
+    scratch: &mut [u8],
+) {
+    let Some(conn) = conns.get_mut(&token.0) else { return };
+    let mut dead = false;
+    if readable && !conn.close_after_flush {
+        dead = read_and_dispatch(state, conn, scratch);
+    }
+    if writable && !dead {
+        dead = flush(conn).is_err();
+    }
+    if !dead && closed {
+        conn.close_after_flush = true;
+        let _ = flush(conn);
+        dead = true;
+    }
+    if dead || (conn.close_after_flush && conn.pending() == 0) {
+        teardown(poller, conns, token.0);
+        return;
+    }
+    update_interest(poller, conn, token);
+}
+
+/// Drains the socket, dispatches every complete line. Returns true when
+/// the connection is dead.
+fn read_and_dispatch(state: &Arc<JobdState>, conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                dispatch_lines(state, conn);
+                conn.close_after_flush = true;
+                return flush(conn).is_err();
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                dispatch_lines(state, conn);
+                if conn.close_after_flush || conn.pending() >= HIGH_WATER {
+                    return flush(conn).is_err();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return flush(conn).is_err();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+}
+
+fn dispatch_lines(state: &Arc<JobdState>, conn: &mut Conn) {
+    let mut consumed = 0usize;
+    let rbuf = std::mem::take(&mut conn.rbuf);
+    loop {
+        let Some(rel) = rbuf[consumed..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let end = consumed + rel;
+        let frame = &rbuf[consumed..end];
+        consumed = end + 1;
+        if frame.len() > MAX_FRAME_BYTES {
+            push_line(
+                conn,
+                &JobResponse::Error {
+                    message: format!("frame exceeds {MAX_FRAME_BYTES} bytes"),
+                },
+            );
+            conn.close_after_flush = true;
+            break;
+        }
+        let line = String::from_utf8_lossy(frame);
+        if line.trim().is_empty() {
+            continue;
+        }
+        REQ_TOTAL.inc();
+        handle_request(state, conn, &line);
+        if conn.close_after_flush {
+            break;
+        }
+    }
+    let mut rbuf = rbuf;
+    if consumed > 0 {
+        rbuf.drain(..consumed);
+    }
+    if rbuf.len() > MAX_FRAME_BYTES {
+        push_line(
+            conn,
+            &JobResponse::Error { message: format!("frame exceeds {MAX_FRAME_BYTES} bytes") },
+        );
+        conn.close_after_flush = true;
+        rbuf.clear();
+    }
+    conn.rbuf = rbuf;
+}
+
+fn handle_request(state: &Arc<JobdState>, conn: &mut Conn, line: &str) {
+    let request: JobRequest = match serde_json::from_str(line) {
+        Ok(r) => r,
+        Err(e) => {
+            push_line(conn, &JobResponse::Error { message: format!("bad request: {e}") });
+            return;
+        }
+    };
+    let response = match request {
+        JobRequest::Submit { tenant, name, dataset, options } => {
+            submit_response(state, &tenant, &name, dataset, options)
+        }
+        JobRequest::Status { id } => match state.job_view(id) {
+            Some(job) => JobResponse::Job { job },
+            None => JobResponse::Error { message: format!("no such job: {id}") },
+        },
+        JobRequest::Result { id } => match state.result_json(id) {
+            Ok(json) => match serde_json::from_str(&json) {
+                Ok(report) => JobResponse::Result { id, report: Box::new(report) },
+                Err(e) => JobResponse::Error { message: format!("corrupt result file: {e}") },
+            },
+            Err(message) => JobResponse::Error { message },
+        },
+        JobRequest::Cancel { id } => match state.cancel(id) {
+            Ok(()) => JobResponse::Cancelled { id },
+            Err(message) => JobResponse::Error { message },
+        },
+        JobRequest::Jobs { tenant } => {
+            let (jobs, tenants) = state.list(tenant.as_deref());
+            JobResponse::Jobs { jobs, tenants }
+        }
+        JobRequest::Watch { id } => match state.job_view(id) {
+            Some(job) => {
+                // Subscribe; terminal jobs complete the subscription in
+                // the same breath (the client stops on is_terminal).
+                conn.watching = (!job.state.is_terminal()).then_some(id);
+                JobResponse::Watch {
+                    id,
+                    kind: WatchKind::Subscribed,
+                    state: job.state,
+                    detail: String::new(),
+                }
+            }
+            None => JobResponse::Error { message: format!("no such job: {id}") },
+        },
+        JobRequest::Ping => JobResponse::Pong,
+        JobRequest::Shutdown => {
+            state.shutdown();
+            JobResponse::ShuttingDown
+        }
+    };
+    if matches!(response, JobResponse::Rejected { .. }) {
+        REQ_REJECTED.inc();
+    }
+    push_line(conn, &response);
+}
+
+fn submit_response(
+    state: &Arc<JobdState>,
+    tenant: &str,
+    name: &str,
+    dataset: JobDataset,
+    options: ExperimentOptions,
+) -> JobResponse {
+    match state.submit(tenant, name, dataset, options) {
+        Ok((id, clamped)) => JobResponse::Submitted { id, clamped },
+        Err(r) => JobResponse::Rejected { reason: r.reason.to_string(), detail: r.detail },
+    }
+}
+
+/// Fans drained job events out to their watchers.
+fn deliver_events(state: &Arc<JobdState>, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+    let events = state.drain_events();
+    if events.is_empty() {
+        return;
+    }
+    let mut dead: Vec<u64> = Vec::new();
+    for (&token, conn) in conns.iter_mut() {
+        let Some(watched) = conn.watching else { continue };
+        for ev in events.iter().filter(|e| e.id == watched) {
+            WATCH_LINES.inc();
+            push_line(
+                conn,
+                &JobResponse::Watch {
+                    id: ev.id,
+                    kind: WatchKind::Transition,
+                    state: ev.state,
+                    detail: ev.detail.clone(),
+                },
+            );
+            if ev.state.is_terminal() {
+                conn.watching = None;
+            }
+        }
+        if flush(conn).is_err() {
+            dead.push(token);
+        } else {
+            update_interest(poller, conn, Token(token));
+        }
+    }
+    for token in dead {
+        teardown(poller, conns, token);
+    }
+}
+
+/// Heartbeats for running watched jobs.
+fn deliver_progress(state: &Arc<JobdState>, poller: &Poller, conns: &mut HashMap<u64, Conn>) {
+    if conns.values().all(|c| c.watching.is_none()) {
+        return;
+    }
+    let running = state.running_snapshot();
+    if running.is_empty() {
+        return;
+    }
+    let mut dead: Vec<u64> = Vec::new();
+    for (&token, conn) in conns.iter_mut() {
+        let Some(watched) = conn.watching else { continue };
+        let Some(&(id, elapsed_ms)) = running.iter().find(|&&(id, _)| id == watched) else {
+            continue;
+        };
+        WATCH_LINES.inc();
+        push_line(
+            conn,
+            &JobResponse::Watch {
+                id,
+                kind: WatchKind::Progress,
+                state: JobState::Running,
+                detail: format!("elapsed_ms={elapsed_ms}"),
+            },
+        );
+        if flush(conn).is_err() {
+            dead.push(token);
+        } else {
+            update_interest(poller, conn, Token(token));
+        }
+    }
+    for token in dead {
+        teardown(poller, conns, token);
+    }
+}
+
+fn push_line(conn: &mut Conn, response: &JobResponse) {
+    match serde_json::to_string(response) {
+        Ok(json) => {
+            conn.wbuf.push_str(&json);
+            conn.wbuf.push('\n');
+        }
+        Err(_) => {
+            conn.wbuf.push_str(r#"{"status":"error","message":"encode failed"}"#);
+            conn.wbuf.push('\n');
+        }
+    }
+    let _ = flush(conn);
+}
+
+fn update_interest(poller: &Poller, conn: &mut Conn, token: Token) {
+    let desired = Interest {
+        readable: !conn.close_after_flush && conn.pending() < HIGH_WATER,
+        writable: conn.pending() > 0,
+    };
+    if desired != conn.interest && poller.reregister(&conn.stream, token, desired).is_ok() {
+        conn.interest = desired;
+    }
+}
+
+fn teardown(poller: &Poller, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = poller.deregister(&conn.stream);
+    }
+}
+
+fn flush(conn: &mut Conn) -> Result<(), ()> {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf.as_bytes()[conn.wpos..]) {
+            Ok(0) => return Err(()),
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    Ok(())
+}

@@ -1,0 +1,856 @@
+//! The resident job queue: admission control, per-tenant quotas, the
+//! deterministic weighted-fair scheduler, and crash recovery.
+//!
+//! Everything lives under one mutex ([`Core`]) with a condvar for the
+//! worker pool. That is deliberate: the protected work is queue
+//! bookkeeping (microseconds), while the jobs themselves — seconds of
+//! AutoML — run outside any lock, so a single lock is never the
+//! bottleneck and gives the scheduler its determinism for free: the
+//! k-th claim is a pure function of the admission history and the
+//! previous k−1 claims, regardless of how many workers race or which
+//! thread wins the lock.
+//!
+//! ## Fairness
+//!
+//! Tenants are served by *virtual time*: each tenant accumulates
+//! `served` cost units (trials, or 100 ms slices for time budgets)
+//! normalised by its weight. The next claim goes to the nonempty tenant
+//! with the smallest `served / weight`, compared exactly in integers
+//! (`a.served * b.weight < b.served * a.weight` in u128 — no floats,
+//! no rounding drift), ties broken by tenant name. Within a tenant,
+//! jobs run strictly FIFO.
+
+use crate::journal::{result_path, Journal, JournalRecord, JournalRecovery};
+use crate::protocol::{reject, JobDataset, JobState, JobView, TenantView};
+use smartml::api::ExperimentOptions;
+use smartml::{charge_quota, Budget, QuotaCharge};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Daemon configuration (flags of the `jobd` binary).
+#[derive(Debug, Clone)]
+pub struct JobdConfig {
+    /// Journal + result directory.
+    pub dir: PathBuf,
+    /// Worker pool width.
+    pub workers: usize,
+    /// Global queued-job cap; admission rejects `queue_full` beyond it.
+    pub max_queued: usize,
+    /// Per-tenant queued+running cap; admission rejects `tenant_busy`.
+    pub max_tenant_inflight: usize,
+    /// Per-tenant lifetime trial quota.
+    pub quota_trials: usize,
+    /// Per-tenant lifetime time-budget quota in seconds.
+    pub quota_secs: f64,
+    /// Fairness weights (`tenant`, `weight ≥ 1`); unlisted tenants get 1.
+    pub weights: Vec<(String, u64)>,
+    /// Fsync journal appends (tests may disable for speed).
+    pub fsync: bool,
+}
+
+impl Default for JobdConfig {
+    fn default() -> JobdConfig {
+        JobdConfig {
+            dir: PathBuf::from("jobd-data"),
+            workers: 2,
+            max_queued: 256,
+            max_tenant_inflight: 64,
+            quota_trials: 10_000,
+            quota_secs: 3_600.0,
+            weights: Vec::new(),
+            fsync: true,
+        }
+    }
+}
+
+/// One job's resident record.
+#[derive(Debug, Clone)]
+pub struct Job {
+    pub id: u64,
+    pub tenant: String,
+    pub name: String,
+    pub dataset: JobDataset,
+    pub options: ExperimentOptions,
+    pub state: JobState,
+    pub clamped: bool,
+    pub cost: u64,
+    pub error: Option<String>,
+    /// Set while running (not journaled; progress ticks only).
+    pub started_at: Option<Instant>,
+}
+
+impl Job {
+    pub fn view(&self) -> JobView {
+        JobView {
+            id: self.id,
+            tenant: self.tenant.clone(),
+            name: self.name.clone(),
+            state: self.state,
+            clamped: self.clamped,
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// Per-tenant scheduler + quota state.
+#[derive(Debug)]
+struct Tenant {
+    weight: u64,
+    /// Cost units already claimed for execution (virtual time).
+    served: u64,
+    remaining_trials: usize,
+    remaining_secs: f64,
+    queue: VecDeque<u64>,
+    running: usize,
+}
+
+impl Tenant {
+    fn new(weight: u64, cfg: &JobdConfig) -> Tenant {
+        Tenant {
+            weight: weight.max(1),
+            served: 0,
+            remaining_trials: cfg.quota_trials,
+            remaining_secs: cfg.quota_secs,
+            queue: VecDeque::new(),
+            running: 0,
+        }
+    }
+
+    fn inflight(&self) -> usize {
+        self.queue.len() + self.running
+    }
+}
+
+/// A lifecycle edge for `WATCH` subscribers.
+#[derive(Debug, Clone)]
+pub struct JobEvent {
+    pub id: u64,
+    pub state: JobState,
+    pub detail: String,
+}
+
+/// Admission refusal with its closed-set reason.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    pub reason: &'static str,
+    pub detail: String,
+}
+
+/// What recovery found and did (printed at startup, asserted by tests).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryInfo {
+    pub replayed: usize,
+    pub truncated_tail: bool,
+    /// Jobs that were running at crash time, now `aborted`.
+    pub aborted: Vec<u64>,
+    /// Jobs that were queued at crash time, re-queued in id order.
+    pub requeued: Vec<u64>,
+}
+
+struct Core {
+    jobs: BTreeMap<u64, Job>,
+    tenants: BTreeMap<String, Tenant>,
+    next_id: u64,
+    queued_total: usize,
+    shutting_down: bool,
+    journal: Journal,
+    events: VecDeque<JobEvent>,
+}
+
+/// The shared service state: one mutex core, a condvar for workers, and
+/// an optional event-loop waker poked whenever a watchable event lands.
+pub struct JobdState {
+    cfg: JobdConfig,
+    core: Mutex<Core>,
+    workers_cv: Condvar,
+    notifier: Mutex<Option<std::sync::Arc<smartml_netio::Waker>>>,
+}
+
+impl JobdState {
+    /// Opens the journal, replays it, repairs crash damage and returns
+    /// the resident state.
+    pub fn open(cfg: JobdConfig) -> io::Result<(JobdState, RecoveryInfo)> {
+        let (journal, JournalRecovery { records, truncated_tail }) =
+            Journal::open(&cfg.dir, cfg.fsync)?;
+        let mut core = Core {
+            jobs: BTreeMap::new(),
+            tenants: BTreeMap::new(),
+            next_id: 1,
+            queued_total: 0,
+            shutting_down: false,
+            journal,
+            events: VecDeque::new(),
+        };
+        let mut info = RecoveryInfo {
+            replayed: records.len(),
+            truncated_tail,
+            ..RecoveryInfo::default()
+        };
+        for record in records {
+            match record {
+                JournalRecord::Submitted {
+                    id,
+                    tenant,
+                    name,
+                    dataset,
+                    options,
+                    clamped,
+                    cost,
+                    charged_trials,
+                    charged_secs,
+                } => {
+                    let t = ensure_tenant(&mut core.tenants, &tenant, &cfg);
+                    // Quota charges are made at admission and never
+                    // refunded; replaying every submit reconstructs the
+                    // balance exactly.
+                    t.remaining_trials = t.remaining_trials.saturating_sub(charged_trials);
+                    t.remaining_secs = (t.remaining_secs - charged_secs).max(0.0);
+                    core.next_id = core.next_id.max(id + 1);
+                    core.jobs.insert(
+                        id,
+                        Job {
+                            id,
+                            tenant,
+                            name,
+                            dataset,
+                            options,
+                            state: JobState::Queued,
+                            clamped,
+                            cost,
+                            error: None,
+                            started_at: None,
+                        },
+                    );
+                }
+                JournalRecord::Started { id } => {
+                    if let Some(job) = core.jobs.get_mut(&id) {
+                        job.state = JobState::Running;
+                        // Fairness continuity: work claimed before the
+                        // crash still counts against the tenant's share.
+                        let cost = job.cost;
+                        let tenant = job.tenant.clone();
+                        ensure_tenant(&mut core.tenants, &tenant, &cfg).served += cost;
+                    }
+                }
+                JournalRecord::Finished { id, ok, error } => {
+                    if let Some(job) = core.jobs.get_mut(&id) {
+                        job.state = if ok { JobState::Done } else { JobState::Failed };
+                        job.error = error;
+                    }
+                }
+                JournalRecord::Cancelled { id } => {
+                    if let Some(job) = core.jobs.get_mut(&id) {
+                        job.state = JobState::Cancelled;
+                    }
+                }
+                JournalRecord::Aborted { id } => {
+                    if let Some(job) = core.jobs.get_mut(&id) {
+                        job.state = JobState::Aborted;
+                    }
+                }
+            }
+        }
+        // Crash repair: running without a terminal record means the
+        // process died mid-experiment. The work is gone; say so.
+        let running: Vec<u64> = core
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| j.id)
+            .collect();
+        for id in running {
+            core.journal.append(&JournalRecord::Aborted { id }, true)?;
+            if let Some(job) = core.jobs.get_mut(&id) {
+                job.state = JobState::Aborted;
+            }
+            info.aborted.push(id);
+        }
+        // Queued jobs survive the crash: re-queue in id order (BTreeMap
+        // iteration order), which is exactly admission order.
+        let queued: Vec<(u64, String)> = core
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .map(|j| (j.id, j.tenant.clone()))
+            .collect();
+        for (id, tenant) in queued {
+            ensure_tenant(&mut core.tenants, &tenant, &cfg).queue.push_back(id);
+            core.queued_total += 1;
+            info.requeued.push(id);
+        }
+        Ok((
+            JobdState {
+                cfg,
+                core: Mutex::new(core),
+                workers_cv: Condvar::new(),
+                notifier: Mutex::new(None),
+            },
+            info,
+        ))
+    }
+
+    pub fn config(&self) -> &JobdConfig {
+        &self.cfg
+    }
+
+    /// Registers the event-loop waker that gets poked on every pushed
+    /// event (so `WATCH` lines stream without polling).
+    pub fn set_notifier(&self, waker: std::sync::Arc<smartml_netio::Waker>) {
+        *self.notifier.lock().expect("notifier poisoned") = Some(waker);
+    }
+
+    fn notify(&self) {
+        if let Some(w) = self.notifier.lock().expect("notifier poisoned").as_ref() {
+            let _ = w.wake();
+        }
+    }
+
+    /// Admission: caps → quota → journal → queue. The `submitted`
+    /// response must not be sent before this returns — the journal
+    /// append inside is what makes the admit promise crash-proof.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        name: &str,
+        dataset: JobDataset,
+        mut options: ExperimentOptions,
+    ) -> Result<(u64, bool), Rejection> {
+        // Validate before taking anything: a submission that cannot
+        // build options must not consume quota or a queue slot.
+        let built = options.build().map_err(|detail| Rejection {
+            reason: reject::BAD_REQUEST,
+            detail,
+        })?;
+        let requested = built.budget;
+        let mut core = self.core.lock().expect("jobd core poisoned");
+        if core.shutting_down {
+            return Err(Rejection {
+                reason: reject::SHUTTING_DOWN,
+                detail: "daemon is draining".into(),
+            });
+        }
+        if core.queued_total >= self.cfg.max_queued {
+            return Err(Rejection {
+                reason: reject::QUEUE_FULL,
+                detail: format!("{} jobs queued (cap {})", core.queued_total, self.cfg.max_queued),
+            });
+        }
+        let weight = tenant_weight(&self.cfg, tenant);
+        let t = ensure_tenant_weighted(&mut core.tenants, tenant, weight, &self.cfg);
+        if t.inflight() >= self.cfg.max_tenant_inflight {
+            return Err(Rejection {
+                reason: reject::TENANT_BUSY,
+                detail: format!(
+                    "tenant {tenant} has {} jobs in flight (cap {})",
+                    t.inflight(),
+                    self.cfg.max_tenant_inflight
+                ),
+            });
+        }
+        let (granted, clamped) = match charge_quota(&requested, t.remaining_trials, t.remaining_secs)
+        {
+            QuotaCharge::Granted(b) => (b, false),
+            QuotaCharge::Clamped(b) => (b, true),
+            QuotaCharge::Exhausted => {
+                return Err(Rejection {
+                    reason: reject::QUOTA_EXHAUSTED,
+                    detail: format!(
+                        "tenant {tenant} has {} trials / {:.2}s of quota left",
+                        t.remaining_trials, t.remaining_secs
+                    ),
+                });
+            }
+        };
+        // Drain the quota and rewrite the job's options to the granted
+        // budget, so the executed run and the journal both carry what
+        // was actually admitted.
+        let (charged_trials, charged_secs, cost) = match granted {
+            Budget::Trials(n) => {
+                options.budget_trials = Some(n);
+                options.budget_seconds = None;
+                (n, 0.0, n as u64)
+            }
+            Budget::Time(d) => {
+                options.budget_seconds = Some(d.as_secs_f64());
+                options.budget_trials = None;
+                // 100 ms slices, floor 1: keeps time-budget tenants
+                // comparable to trial-budget tenants in virtual time.
+                (0, d.as_secs_f64(), (d.as_millis() as u64 / 100).max(1))
+            }
+        };
+        t.remaining_trials = t.remaining_trials.saturating_sub(charged_trials);
+        t.remaining_secs = (t.remaining_secs - charged_secs).max(0.0);
+
+        let id = core.next_id;
+        core.next_id += 1;
+        let job = Job {
+            id,
+            tenant: tenant.to_string(),
+            name: name.to_string(),
+            dataset,
+            options,
+            state: JobState::Queued,
+            clamped,
+            cost,
+            error: None,
+            started_at: None,
+        };
+        let record = JournalRecord::Submitted {
+            id,
+            tenant: job.tenant.clone(),
+            name: job.name.clone(),
+            dataset: job.dataset.clone(),
+            options: job.options.clone(),
+            clamped,
+            cost,
+            charged_trials,
+            charged_secs,
+        };
+        core.journal.append(&record, true).map_err(|e| Rejection {
+            reason: reject::BAD_REQUEST,
+            detail: format!("journal write failed: {e}"),
+        })?;
+        core.jobs.insert(id, job);
+        core.tenants
+            .get_mut(tenant)
+            .expect("tenant just ensured")
+            .queue
+            .push_back(id);
+        core.queued_total += 1;
+        drop(core);
+        self.workers_cv.notify_one();
+        Ok((id, clamped))
+    }
+
+    /// Worker entry point: blocks until a job is claimable, claims it
+    /// under the scheduler's fairness order, returns a clone to run.
+    /// `None` means the daemon is shutting down.
+    pub fn claim_next(&self) -> Option<Job> {
+        let mut guard = self.core.lock().expect("jobd core poisoned");
+        loop {
+            if guard.shutting_down {
+                return None;
+            }
+            if let Some(tenant) = pick_tenant(&guard.tenants) {
+                // Reborrow the guard so `tenants` and `jobs` split as
+                // disjoint fields.
+                let core = &mut *guard;
+                let t = core.tenants.get_mut(&tenant).expect("picked tenant exists");
+                let id = t.queue.pop_front().expect("picked tenant has a queued job");
+                t.served += core.jobs[&id].cost;
+                t.running += 1;
+                core.queued_total -= 1;
+                let _ = core.journal.append(&JournalRecord::Started { id }, false);
+                let job = core.jobs.get_mut(&id).expect("queued job exists");
+                job.state = JobState::Running;
+                job.started_at = Some(Instant::now());
+                let claimed = job.clone();
+                core.events.push_back(JobEvent {
+                    id,
+                    state: JobState::Running,
+                    detail: format!("claimed for tenant {}", claimed.tenant),
+                });
+                drop(guard);
+                self.notify();
+                return Some(claimed);
+            }
+            guard = self.workers_cv.wait(guard).expect("jobd core poisoned");
+        }
+    }
+
+    /// Completion: make the report durable *first*, then journal the
+    /// terminal state, then publish it. A crash between the two leaves
+    /// `started`-without-terminal, which recovery turns into `aborted` —
+    /// never a `done` without its report file.
+    pub fn finish(&self, id: u64, outcome: Result<String, String>) -> io::Result<()> {
+        let (state, error, detail) = match outcome {
+            Ok(report_json) => {
+                let path = result_path(&self.cfg.dir, id);
+                let tmp = path.with_extension("json.tmp");
+                std::fs::write(&tmp, &report_json)?;
+                let f = std::fs::File::open(&tmp)?;
+                f.sync_all()?;
+                std::fs::rename(&tmp, &path)?;
+                (JobState::Done, None, String::from("report durable"))
+            }
+            Err(message) => (JobState::Failed, Some(message.clone()), message),
+        };
+        let mut guard = self.core.lock().expect("jobd core poisoned");
+        let core = &mut *guard;
+        core.journal.append(
+            &JournalRecord::Finished { id, ok: state == JobState::Done, error: error.clone() },
+            true,
+        )?;
+        if let Some(job) = core.jobs.get_mut(&id) {
+            job.state = state;
+            job.error = error;
+            job.started_at = None;
+            if let Some(t) = core.tenants.get_mut(&job.tenant) {
+                t.running = t.running.saturating_sub(1);
+            }
+        }
+        core.events.push_back(JobEvent { id, state, detail });
+        drop(guard);
+        self.notify();
+        Ok(())
+    }
+
+    /// Cancels a *queued* job. Running and terminal jobs refuse.
+    pub fn cancel(&self, id: u64) -> Result<(), String> {
+        let mut core = self.core.lock().expect("jobd core poisoned");
+        let Some(job) = core.jobs.get(&id) else {
+            return Err(format!("no such job: {id}"));
+        };
+        match job.state {
+            JobState::Queued => {}
+            JobState::Running => {
+                return Err(format!("job {id} is running; only queued jobs can be cancelled"))
+            }
+            s => return Err(format!("job {id} is already terminal ({s:?})")),
+        }
+        let tenant = job.tenant.clone();
+        core.journal
+            .append(&JournalRecord::Cancelled { id }, true)
+            .map_err(|e| format!("journal write failed: {e}"))?;
+        if let Some(t) = core.tenants.get_mut(&tenant) {
+            t.queue.retain(|&q| q != id);
+        }
+        core.queued_total -= 1;
+        if let Some(job) = core.jobs.get_mut(&id) {
+            job.state = JobState::Cancelled;
+        }
+        core.events.push_back(JobEvent {
+            id,
+            state: JobState::Cancelled,
+            detail: String::from("cancelled while queued"),
+        });
+        drop(core);
+        self.notify();
+        Ok(())
+    }
+
+    /// One job's view, if it exists.
+    pub fn job_view(&self, id: u64) -> Option<JobView> {
+        self.core.lock().expect("jobd core poisoned").jobs.get(&id).map(Job::view)
+    }
+
+    /// All jobs (optionally one tenant's), plus tenant quota balances.
+    pub fn list(&self, tenant: Option<&str>) -> (Vec<JobView>, Vec<TenantView>) {
+        let core = self.core.lock().expect("jobd core poisoned");
+        let jobs = core
+            .jobs
+            .values()
+            .filter(|j| tenant.is_none_or(|t| j.tenant == t))
+            .map(Job::view)
+            .collect();
+        let tenants = core
+            .tenants
+            .iter()
+            .filter(|(name, _)| tenant.is_none_or(|t| name.as_str() == t))
+            .map(|(name, t)| TenantView {
+                tenant: name.clone(),
+                remaining_trials: t.remaining_trials,
+                remaining_secs: t.remaining_secs,
+                queued: t.queue.len(),
+                running: t.running,
+            })
+            .collect();
+        (jobs, tenants)
+    }
+
+    /// Reads a finished job's durable report JSON.
+    pub fn result_json(&self, id: u64) -> Result<String, String> {
+        let state = self
+            .job_view(id)
+            .map(|v| v.state)
+            .ok_or_else(|| format!("no such job: {id}"))?;
+        if state != JobState::Done {
+            return Err(format!("job {id} is {state:?}, not done"));
+        }
+        std::fs::read_to_string(result_path(&self.cfg.dir, id))
+            .map_err(|e| format!("result file for job {id}: {e}"))
+    }
+
+    /// Currently-running jobs with elapsed time (progress ticks).
+    pub fn running_snapshot(&self) -> Vec<(u64, u128)> {
+        let core = self.core.lock().expect("jobd core poisoned");
+        core.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| (j.id, j.started_at.map(|s| s.elapsed().as_millis()).unwrap_or(0)))
+            .collect()
+    }
+
+    /// Drains pending watch events (event-loop side).
+    pub fn drain_events(&self) -> Vec<JobEvent> {
+        let mut core = self.core.lock().expect("jobd core poisoned");
+        core.events.drain(..).collect()
+    }
+
+    /// Starts draining: no new admissions, workers exit after their
+    /// current job. Queued jobs stay journaled and re-queue on restart.
+    pub fn shutdown(&self) {
+        let mut core = self.core.lock().expect("jobd core poisoned");
+        core.shutting_down = true;
+        drop(core);
+        self.workers_cv.notify_all();
+        self.notify();
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.core.lock().expect("jobd core poisoned").shutting_down
+    }
+}
+
+fn tenant_weight(cfg: &JobdConfig, tenant: &str) -> u64 {
+    cfg.weights
+        .iter()
+        .find(|(name, _)| name == tenant)
+        .map(|&(_, w)| w.max(1))
+        .unwrap_or(1)
+}
+
+fn ensure_tenant<'a>(
+    tenants: &'a mut BTreeMap<String, Tenant>,
+    name: &str,
+    cfg: &JobdConfig,
+) -> &'a mut Tenant {
+    let weight = tenant_weight(cfg, name);
+    ensure_tenant_weighted(tenants, name, weight, cfg)
+}
+
+fn ensure_tenant_weighted<'a>(
+    tenants: &'a mut BTreeMap<String, Tenant>,
+    name: &str,
+    weight: u64,
+    cfg: &JobdConfig,
+) -> &'a mut Tenant {
+    tenants.entry(name.to_string()).or_insert_with(|| Tenant::new(weight, cfg))
+}
+
+/// The weighted-fair pick: among tenants with queued jobs, the smallest
+/// virtual time `served / weight`, compared in exact integer arithmetic;
+/// ties go to the lexicographically smaller tenant name (BTreeMap
+/// iteration order makes that the first candidate seen).
+fn pick_tenant(tenants: &BTreeMap<String, Tenant>) -> Option<String> {
+    let mut best: Option<(&String, &Tenant)> = None;
+    for (name, t) in tenants {
+        if t.queue.is_empty() {
+            continue;
+        }
+        best = match best {
+            None => Some((name, t)),
+            Some((bname, bt)) => {
+                let candidate = (t.served as u128) * (bt.weight as u128);
+                let incumbent = (bt.served as u128) * (t.weight as u128);
+                if candidate < incumbent {
+                    Some((name, t))
+                } else {
+                    Some((bname, bt))
+                }
+            }
+        };
+    }
+    best.map(|(name, _)| name.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cfg(tag: &str) -> JobdConfig {
+        let dir = std::env::temp_dir().join(format!(
+            "jobd-state-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        JobdConfig { dir, fsync: false, ..JobdConfig::default() }
+    }
+
+    fn csv() -> JobDataset {
+        JobDataset::Csv { content: "a,y\n1,0\n2,1\n3,0\n4,1\n".into(), target: None }
+    }
+
+    fn trials(n: usize) -> ExperimentOptions {
+        ExperimentOptions { budget_trials: Some(n), ..ExperimentOptions::default() }
+    }
+
+    #[test]
+    fn fifo_within_tenant_weighted_fair_across() {
+        let cfg = tmp_cfg("fair");
+        let dir = cfg.dir.clone();
+        let cfg = JobdConfig { weights: vec![("heavy".into(), 2)], ..cfg };
+        let (state, _) = JobdState::open(cfg).unwrap();
+        // heavy: h1 h2 h3; light: l1 l2 l3 — all cost 10.
+        let mut ids = Vec::new();
+        for tenant in ["heavy", "light"] {
+            for i in 0..3 {
+                let (id, _) =
+                    state.submit(tenant, &format!("{tenant}{i}"), csv(), trials(10)).unwrap();
+                ids.push((tenant, id));
+            }
+        }
+        // Claim order: heavy (tie → name), light, heavy (10*1 < 10*2? no:
+        // heavy served 10 weight 2 vs light 10 weight 1 → heavy 10*1 <
+        // light 10*2 → heavy), light … weighted 2:1 interleave.
+        let order: Vec<String> = (0..6)
+            .map(|_| state.claim_next().unwrap().tenant)
+            .collect();
+        assert_eq!(order, ["heavy", "light", "heavy", "heavy", "light", "light"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claims_are_fifo_within_one_tenant() {
+        let cfg = tmp_cfg("fifo");
+        let dir = cfg.dir.clone();
+        let (state, _) = JobdState::open(cfg).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(state.submit("t", &format!("j{i}"), csv(), trials(5)).unwrap().0);
+        }
+        for want in ids {
+            assert_eq!(state.claim_next().unwrap().id, want);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_caps_reject_typed() {
+        let cfg = tmp_cfg("caps");
+        let dir = cfg.dir.clone();
+        let cfg = JobdConfig { max_queued: 2, max_tenant_inflight: 2, ..cfg };
+        let (state, _) = JobdState::open(cfg).unwrap();
+        state.submit("a", "j0", csv(), trials(5)).unwrap();
+        state.submit("a", "j1", csv(), trials(5)).unwrap();
+        let r = state.submit("b", "j2", csv(), trials(5)).unwrap_err();
+        assert_eq!(r.reason, reject::QUEUE_FULL);
+        // Drain one so the global cap clears; tenant a is still at its
+        // own inflight cap (1 queued + 1 running).
+        let claimed = state.claim_next().unwrap();
+        assert_eq!(claimed.tenant, "a");
+        let r = state.submit("a", "j3", csv(), trials(5)).unwrap_err();
+        assert_eq!(r.reason, reject::TENANT_BUSY);
+        // …but tenant b is free to enter.
+        assert!(state.submit("b", "j4", csv(), trials(5)).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quota_clamps_then_exhausts() {
+        let cfg = tmp_cfg("quota");
+        let dir = cfg.dir.clone();
+        let cfg = JobdConfig { quota_trials: 10, ..cfg };
+        let (state, _) = JobdState::open(cfg).unwrap();
+        let (_, clamped) = state.submit("q", "j0", csv(), trials(6)).unwrap();
+        assert!(!clamped);
+        // 4 trials left < 6 requested but ≥ floor → clamped admit.
+        let (id1, clamped) = state.submit("q", "j1", csv(), trials(6)).unwrap();
+        assert!(clamped);
+        // Clamp rewrote the job's options to the granted budget.
+        let j1 = {
+            let core = state.core.lock().unwrap();
+            core.jobs[&id1].options.clone()
+        };
+        assert_eq!(j1.budget_trials, Some(4));
+        // 0 trials left < floor → exhausted.
+        let r = state.submit("q", "j2", csv(), trials(6)).unwrap_err();
+        assert_eq!(r.reason, reject::QUOTA_EXHAUSTED);
+        // Other tenants are untouched.
+        assert!(state.submit("other", "j3", csv(), trials(6)).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_options_reject_without_consuming_anything() {
+        let cfg = tmp_cfg("bad");
+        let dir = cfg.dir.clone();
+        let (state, _) = JobdState::open(cfg).unwrap();
+        let opts = ExperimentOptions {
+            optimizer: Some("no-such-optimizer".into()),
+            ..ExperimentOptions::default()
+        };
+        let r = state.submit("t", "j", csv(), opts).unwrap_err();
+        assert_eq!(r.reason, reject::BAD_REQUEST);
+        let (_, tenants) = state.list(Some("t"));
+        // The tenant record may not even exist; if it does, it is full.
+        assert!(tenants.iter().all(|t| t.remaining_trials == JobdConfig::default().quota_trials));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_only_queued() {
+        let cfg = tmp_cfg("cancel");
+        let dir = cfg.dir.clone();
+        let (state, _) = JobdState::open(cfg).unwrap();
+        let (id0, _) = state.submit("t", "j0", csv(), trials(5)).unwrap();
+        let (id1, _) = state.submit("t", "j1", csv(), trials(5)).unwrap();
+        let claimed = state.claim_next().unwrap();
+        assert_eq!(claimed.id, id0);
+        assert!(state.cancel(id0).is_err(), "running jobs refuse");
+        state.cancel(id1).unwrap();
+        assert_eq!(state.job_view(id1).unwrap().state, JobState::Cancelled);
+        assert!(state.cancel(id1).is_err(), "terminal jobs refuse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_aborts_running_requeues_queued_replays_quota() {
+        let cfg = tmp_cfg("recover");
+        let dir = cfg.dir.clone();
+        let cfg = JobdConfig { quota_trials: 20, ..cfg };
+        let (id_running, id_queued);
+        {
+            let (state, _) = JobdState::open(cfg.clone()).unwrap();
+            let (a, _) = state.submit("t", "running", csv(), trials(6)).unwrap();
+            let (b, _) = state.submit("t", "queued", csv(), trials(6)).unwrap();
+            id_running = a;
+            id_queued = b;
+            assert_eq!(state.claim_next().unwrap().id, a);
+            // Drop without finishing: simulates kill -9 mid-job (the
+            // journal has submitted+submitted+started).
+        }
+        let (state, info) = JobdState::open(cfg).unwrap();
+        assert_eq!(info.aborted, vec![id_running]);
+        assert_eq!(info.requeued, vec![id_queued]);
+        assert_eq!(state.job_view(id_running).unwrap().state, JobState::Aborted);
+        assert_eq!(state.job_view(id_queued).unwrap().state, JobState::Queued);
+        // Quota replayed: 20 - 6 - 6 = 8 remaining.
+        let (_, tenants) = state.list(Some("t"));
+        assert_eq!(tenants[0].remaining_trials, 8);
+        // The queued job is claimable after restart.
+        assert_eq!(state.claim_next().unwrap().id, id_queued);
+        // A second restart: the first crash's aborted job stays terminal
+        // (its aborted record was journaled, not just computed), and the
+        // job we just claimed-then-crashed becomes the new abort.
+        drop(state);
+        let (state, info) = JobdState::open(JobdConfig {
+            dir: dir.clone(),
+            fsync: false,
+            quota_trials: 20,
+            ..JobdConfig::default()
+        })
+        .unwrap();
+        assert_eq!(info.aborted, vec![id_queued]);
+        assert_eq!(state.job_view(id_running).unwrap().state, JobState::Aborted);
+        assert_eq!(state.job_view(id_queued).unwrap().state, JobState::Aborted);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_stops_claims() {
+        let cfg = tmp_cfg("shutdown");
+        let dir = cfg.dir.clone();
+        let (state, _) = JobdState::open(cfg).unwrap();
+        state.submit("t", "j", csv(), trials(5)).unwrap();
+        state.shutdown();
+        assert!(state.claim_next().is_none(), "no claims while draining");
+        let r = state.submit("t", "late", csv(), trials(5)).unwrap_err();
+        assert_eq!(r.reason, reject::SHUTTING_DOWN);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -147,14 +147,14 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .map_err(|e| e.to_string())?,
             );
             let tailer = replica_of.as_ref().map(|primary| {
-                ReplicaTailer::spawn(
+                Arc::new(ReplicaTailer::spawn(
                     ReplicaOptions {
                         primary: primary.clone(),
                         durable: cfg.durable.clone(),
                         ..ReplicaOptions::default()
                     },
                     Arc::clone(&store),
-                )
+                ))
             });
             let server = EventServer::bind_with_store(
                 EventServerOptions {
@@ -170,6 +170,14 @@ fn serve(args: &[String]) -> Result<(), String> {
             )
             .map_err(|e| e.to_string())?;
             let addr = server.local_addr().map_err(|e| e.to_string())?;
+            if let Some(handle) = &tailer {
+                // A PROMOTE request flips the role cell and runs this
+                // hook: the tailer is told to stop (without the serving
+                // thread blocking on its current pull) and the server
+                // starts accepting writes on the next request.
+                let handle = Arc::clone(handle);
+                server.role_cell().set_promote_hook(move || handle.request_stop());
+            }
             let (datasets, runs) = (server.store().len(), server.store().n_runs());
             report_recovery(server.recovery(), datasets, runs);
             println!(
@@ -182,9 +190,10 @@ fn serve(args: &[String]) -> Result<(), String> {
             // Scraped by scripts/verify.sh and tests: keep the format stable.
             println!("smartmld: listening on {addr}");
             server.run().map_err(|e| e.to_string())?;
-            if let Some(tailer) = tailer {
-                tailer.stop();
-            }
+            // The role cell (and any clone the promote hook captured)
+            // died with the serve loops, so this is the final handle:
+            // dropping it stops and joins the tailer thread.
+            drop(tailer);
         }
         other => return Err(format!("--io expects `blocking` or `epoll`, got `{other}`")),
     }

@@ -261,12 +261,15 @@ impl KbClient {
     pub fn request(&self, request: &Request) -> Result<Response, KbError> {
         let line = serde_json::to_string(request)
             .map_err(|e| KbError::Backend(format!("request serialisation failed: {e}")))?;
+        // `promote` routes like a write: it must land on the addressed
+        // endpoint (the replica being promoted), never fail over.
         let write = matches!(
             request,
             Request::RecordRun { .. }
                 | Request::SetLandmarkers { .. }
                 | Request::Snapshot
                 | Request::Sync { .. }
+                | Request::Promote
                 | Request::Shutdown
         );
         if write {
@@ -484,6 +487,16 @@ impl KbClient {
         match self.request(&Request::Sync { segment, offset })? {
             r @ (Response::SyncChunk { .. } | Response::SyncSnapshot { .. }) => Ok(r),
             other => Err(unexpected("sync_chunk or sync_snapshot", &other)),
+        }
+    }
+
+    /// Promote the addressed server (the first endpoint) from replica
+    /// to primary. Returns whether it actually *was* a replica — false
+    /// means the call was an idempotent no-op on an existing primary.
+    pub fn promote(&self) -> Result<bool, KbError> {
+        match self.request(&Request::Promote)? {
+            Response::Promoted { was_replica } => Ok(was_replica),
+            other => Err(unexpected("promoted", &other)),
         }
     }
 

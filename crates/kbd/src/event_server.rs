@@ -41,7 +41,9 @@
 
 use crate::durable::{DurableOptions, RecoveryReport};
 use crate::protocol::{oversized_frame_message, Response, MAX_FRAME_BYTES};
-use crate::service::{self, ServeRole, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL};
+use crate::service::{
+    self, RoleCell, ServeRole, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL,
+};
 use crate::sharded::ShardedKb;
 use smartml_kb::KbError;
 use smartml_netio::{Events, Interest, Poller, TimerId, TimerWheel, Token, Waker};
@@ -123,6 +125,7 @@ pub struct EventServer {
     options: EventServerOptions,
     shutdown: Arc<AtomicBool>,
     stats: Arc<Vec<LoopStats>>,
+    role: Arc<RoleCell>,
 }
 
 impl EventServer {
@@ -154,6 +157,7 @@ impl EventServer {
         let recovery = store.recovery().clone();
         let listener = TcpListener::bind(&options.addr)?;
         let stats = Arc::new((0..n_loops).map(|_| LoopStats::default()).collect::<Vec<_>>());
+        let role = Arc::new(RoleCell::new(options.role.clone()));
         Ok(EventServer {
             listener,
             store,
@@ -161,6 +165,7 @@ impl EventServer {
             options,
             shutdown: Arc::new(AtomicBool::new(false)),
             stats,
+            role,
         })
     }
 
@@ -190,10 +195,16 @@ impl EventServer {
         Arc::clone(&self.stats)
     }
 
+    /// The live role cell (swapped by the `PROMOTE` verb); the process
+    /// hooks replica teardown — stopping its tailer — here.
+    pub fn role_cell(&self) -> Arc<RoleCell> {
+        Arc::clone(&self.role)
+    }
+
     /// Serves until a `shutdown` request arrives. Blocks the caller
     /// (which becomes the acceptor thread).
     pub fn run(self) -> Result<(), KbError> {
-        let EventServer { listener, store, recovery, options, shutdown, stats } = self;
+        let EventServer { listener, store, recovery, options, shutdown, stats, role } = self;
         let local = listener.local_addr()?;
         let cap = if options.max_connections == 0 { 1024 } else { options.max_connections };
         let active = Arc::new(AtomicUsize::new(0));
@@ -218,7 +229,7 @@ impl EventServer {
                 Arc::clone(&stats),
                 options.request_timeout,
                 local,
-                options.role.clone(),
+                Arc::clone(&role),
             );
             inboxes.push(inbox);
             wakers.push(waker);
@@ -308,7 +319,7 @@ struct EventLoop {
     stats: Arc<Vec<LoopStats>>,
     timeout: Option<Duration>,
     local: SocketAddr,
-    role: ServeRole,
+    role: Arc<RoleCell>,
     conns: HashMap<u64, Conn>,
     timers: TimerWheel,
     next_token: u64,
@@ -333,7 +344,7 @@ impl EventLoop {
         stats: Arc<Vec<LoopStats>>,
         timeout: Option<Duration>,
         local: SocketAddr,
-        role: ServeRole,
+        role: Arc<RoleCell>,
     ) -> EventLoop {
         EventLoop {
             ix,

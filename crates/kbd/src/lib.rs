@@ -48,10 +48,11 @@ pub use protocol::{
 };
 pub use replica::{ReplicaHandle, ReplicaOptions, ReplicaTailer};
 pub use server::{Server, ServerOptions};
-pub use service::{ServeRole, ServeStore};
+pub use service::{RoleCell, ServeRole, ServeStore};
 pub use sharded::ShardedKb;
 pub use shared::{LocalStore, SharedKb, SharedKbHandle};
 pub use wal::{
-    encode_frame, fnv1a, parse_segment_name, parse_snapshot_name, replay_segment, scan_frames,
-    segment_name, snapshot_name, SegmentScan, WalRecord, WalWriter,
+    encode_frame, encode_payload_frame, fnv1a, parse_segment_name, parse_snapshot_name,
+    replay_segment, scan_frames, scan_payload_frames, segment_name, snapshot_name,
+    FrameCorruption, PayloadScan, SegmentScan, WalRecord, WalWriter,
 };

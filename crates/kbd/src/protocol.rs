@@ -160,6 +160,11 @@ pub enum Request {
         /// Bytes of that segment the replica already holds.
         offset: u64,
     },
+    /// Operator verb: turn a `--replica-of` replica into a primary —
+    /// the tailer stops and writes are accepted from the next request
+    /// on. Idempotent; a server that is already a primary answers
+    /// `promoted` with `was_replica: false`.
+    Promote,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
 }
@@ -305,6 +310,12 @@ pub enum Response {
     NotPrimary {
         /// Address of the primary this replica tails.
         primary: String,
+    },
+    /// Answer to [`Request::Promote`]: this server now accepts writes.
+    Promoted {
+        /// True when the request actually flipped a replica; false when
+        /// the server was already a primary (the call was a no-op).
+        was_replica: bool,
     },
     /// Answer to [`Request::Shutdown`]; the server exits after sending it.
     ShuttingDown,
@@ -495,6 +506,21 @@ mod tests {
         assert!(matches!(
             serde_json::from_str::<Response>(&json).unwrap(),
             Response::NotPrimary { primary } if primary == "127.0.0.1:7001"
+        ));
+    }
+
+    #[test]
+    fn promote_roundtrip() {
+        // PROMOTE is a bare tag; its answer carries the was_replica flag.
+        assert!(matches!(
+            serde_json::from_str::<Request>("{\"op\":\"promote\"}").unwrap(),
+            Request::Promote
+        ));
+        let json = serde_json::to_string(&Response::Promoted { was_replica: true }).unwrap();
+        assert!(json.contains("\"status\":\"promoted\""));
+        assert!(matches!(
+            serde_json::from_str::<Response>(&json).unwrap(),
+            Response::Promoted { was_replica: true }
         ));
     }
 

@@ -131,6 +131,17 @@ impl ReplicaHandle {
         self.last_error.lock().expect("replica error slot poisoned").clone()
     }
 
+    /// Signals the tailer to stop without joining it — the promote
+    /// hook's path, which runs on a serving thread and must not block
+    /// behind the tailer's current pull round. The thread is joined
+    /// later when the handle is dropped (or [`ReplicaHandle::stop`]ed).
+    /// At most the in-flight pull still applies after this returns;
+    /// that apply and any post-promotion writes serialise through the
+    /// store's WAL lock, so the transition cannot tear a record.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
     /// Stops the tailer and joins its thread.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::Release);

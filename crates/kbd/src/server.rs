@@ -14,7 +14,7 @@ use crate::protocol::{
     oversized_frame_message, read_frame, FrameStatus, Response, MAX_FRAME_BYTES,
 };
 use crate::service::{
-    self, encode, ServeRole, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL,
+    self, encode, RoleCell, ServeRole, BYTES_IN, BYTES_OUT, REQUEST_US, REQ_ERRORS, REQ_TOTAL,
 };
 use crate::shared::SharedKb;
 use smartml_kb::KbError;
@@ -66,6 +66,7 @@ pub struct Server {
     recovery: RecoveryReport,
     options: ServerOptions,
     shutdown: Arc<AtomicBool>,
+    role: Arc<RoleCell>,
 }
 
 impl Server {
@@ -77,12 +78,14 @@ impl Server {
         let store = DurableKb::open_with(&options.dir, options.durable.clone())?;
         let recovery = store.recovery().clone();
         let listener = TcpListener::bind(&options.addr)?;
+        let role = Arc::new(RoleCell::new(options.role.clone()));
         Ok(Server {
             listener,
             shared: Arc::new(SharedKb::new(store)),
             recovery,
             options,
             shutdown: Arc::new(AtomicBool::new(false)),
+            role,
         })
     }
 
@@ -107,9 +110,15 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
+    /// The live role cell (swapped by the `PROMOTE` verb); the process
+    /// hooks replica teardown — stopping its tailer — here.
+    pub fn role_cell(&self) -> Arc<RoleCell> {
+        Arc::clone(&self.role)
+    }
+
     /// Serves until a `shutdown` request arrives. Blocks the caller.
     pub fn run(self) -> Result<(), KbError> {
-        let Server { listener, shared, recovery, options, shutdown } = self;
+        let Server { listener, shared, recovery, options, shutdown, role } = self;
         let local = listener.local_addr()?;
         let cap = if options.max_connections == 0 {
             available_parallelism() * 4
@@ -139,7 +148,7 @@ impl Server {
                 timeout: options.request_timeout,
                 shutdown: Arc::clone(&shutdown),
                 local,
-                role: options.role.clone(),
+                role: Arc::clone(&role),
             };
             active.fetch_add(1, Ordering::AcqRel);
             let active = Arc::clone(&active);
@@ -164,7 +173,7 @@ struct ConnCtx {
     timeout: Option<Duration>,
     shutdown: Arc<AtomicBool>,
     local: SocketAddr,
-    role: ServeRole,
+    role: Arc<RoleCell>,
 }
 
 fn handle_connection(stream: TcpStream, ctx: ConnCtx) -> std::io::Result<()> {

@@ -40,6 +40,7 @@ static REQ_METRICS: Counter = Counter::new("kbd.req.metrics");
 static REQ_PING: Counter = Counter::new("kbd.req.ping");
 static REQ_SHUTDOWN: Counter = Counter::new("kbd.req.shutdown");
 static REQ_SYNC: Counter = Counter::new("kbd.req.sync");
+static REQ_PROMOTE: Counter = Counter::new("kbd.req.promote");
 static REQ_NOT_PRIMARY: Counter = Counter::new("kbd.req.not_primary");
 
 /// Replication lag in records (primary applied sequence minus local
@@ -63,6 +64,72 @@ pub enum ServeRole {
     },
 }
 
+/// The server's *live* role: shared by every serving thread and
+/// swappable at runtime by the `PROMOTE` verb.
+///
+/// [`ServeRole`] in the options describes how the process *starts*;
+/// this cell is what dispatch consults per request, so a promotion —
+/// flipping a replica to primary — takes effect on the very next
+/// request without restarting or re-registering any connection. The
+/// flip is one-way (primary never demotes back) and idempotent.
+pub struct RoleCell {
+    /// True while the server is a read-only replica.
+    is_replica: std::sync::atomic::AtomicBool,
+    /// The primary this replica redirects writes to (unused once
+    /// promoted; kept for the redirect message only).
+    primary: std::sync::Mutex<String>,
+    /// Runs exactly once, on the promoting request's thread: the
+    /// process hooks its replica machinery teardown here (stopping the
+    /// WAL tailer so promotion also ends the pull loop).
+    on_promote: std::sync::Mutex<Option<Box<dyn FnOnce() + Send>>>,
+}
+
+impl RoleCell {
+    /// A cell starting in `role`.
+    pub fn new(role: ServeRole) -> RoleCell {
+        let (is_replica, primary) = match role {
+            ServeRole::Primary => (false, String::new()),
+            ServeRole::Replica { primary } => (true, primary),
+        };
+        RoleCell {
+            is_replica: std::sync::atomic::AtomicBool::new(is_replica),
+            primary: std::sync::Mutex::new(primary),
+            on_promote: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Is the server currently a read-only replica?
+    pub fn is_replica(&self) -> bool {
+        self.is_replica.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// The primary to redirect writes to — `Some` only while a replica.
+    pub fn replica_primary(&self) -> Option<String> {
+        self.is_replica()
+            .then(|| self.primary.lock().expect("role primary poisoned").clone())
+    }
+
+    /// Registers the teardown to run when (if) this server is promoted.
+    pub fn set_promote_hook(&self, hook: impl FnOnce() + Send + 'static) {
+        *self.on_promote.lock().expect("promote hook poisoned") = Some(Box::new(hook));
+    }
+
+    /// Promotes a replica to primary; returns whether the server *was*
+    /// a replica (false = it already accepted writes, nothing changed).
+    /// The registered hook runs on the winning caller's thread, once.
+    pub fn promote(&self) -> bool {
+        let was_replica = self
+            .is_replica
+            .swap(false, std::sync::atomic::Ordering::AcqRel);
+        if was_replica {
+            if let Some(hook) = self.on_promote.lock().expect("promote hook poisoned").take() {
+                hook();
+            }
+        }
+        was_replica
+    }
+}
+
 /// Builds the [`ServerMetrics`] wire struct from the live registry plus
 /// the store's replication position. `replication_lag` is `Some` only on
 /// replicas (the tailer keeps [`REPLICA_LAG`] current).
@@ -72,6 +139,7 @@ pub(crate) fn collect_metrics(applied_seq: u64, replication_lag: Option<u64>) ->
         ("metrics", &REQ_METRICS),
         ("not_primary", &REQ_NOT_PRIMARY),
         ("ping", &REQ_PING),
+        ("promote", &REQ_PROMOTE),
         ("recommend", &REQ_RECOMMEND),
         ("recommend_batch", &REQ_RECOMMEND_BATCH),
         ("record_run", &REQ_RECORD_RUN),
@@ -407,7 +475,7 @@ pub(crate) fn dispatch<S: ServeStore>(
     line: &str,
     store: &S,
     recovery: &RecoveryReport,
-    role: &ServeRole,
+    role: &RoleCell,
 ) -> (Response, bool) {
     let request: Request = match serde_json::from_str(line.trim()) {
         Ok(r) => r,
@@ -415,7 +483,9 @@ pub(crate) fn dispatch<S: ServeStore>(
             return (Response::Error { message: format!("bad request: {e}") }, false);
         }
     };
-    if let ServeRole::Replica { primary } = role {
+    // `PROMOTE` is deliberately absent from the replica reject list: it
+    // is *the* verb a replica must accept while read-only.
+    if let Some(primary) = role.replica_primary() {
         let rejected = matches!(
             request,
             Request::RecordRun { .. }
@@ -425,7 +495,7 @@ pub(crate) fn dispatch<S: ServeStore>(
         );
         if rejected {
             REQ_NOT_PRIMARY.inc();
-            return (Response::NotPrimary { primary: primary.clone() }, false);
+            return (Response::NotPrimary { primary }, false);
         }
     }
     let response = match request {
@@ -500,11 +570,12 @@ pub(crate) fn dispatch<S: ServeStore>(
         }
         Request::Metrics => {
             REQ_METRICS.inc();
-            let lag = match role {
-                ServeRole::Primary => None,
-                ServeRole::Replica { .. } => Some(REPLICA_LAG.value().max(0) as u64),
-            };
+            let lag = role.is_replica().then(|| REPLICA_LAG.value().max(0) as u64);
             Response::Metrics { metrics: collect_metrics(store.serve_applied_seq(), lag) }
+        }
+        Request::Promote => {
+            REQ_PROMOTE.inc();
+            Response::Promoted { was_replica: role.promote() }
         }
         Request::Ping => {
             REQ_PING.inc();

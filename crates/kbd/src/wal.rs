@@ -96,15 +96,85 @@ pub fn fnv1a(bytes: &[u8]) -> u32 {
     h
 }
 
-/// Encodes one record as a framed line.
-pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
-    let payload = serde_json::to_string(record).expect("WAL record serialisation cannot fail");
-    let payload = payload.as_bytes();
+/// Frames one raw payload (which must not contain `\n`; serde_json
+/// escapes them) as `<len:8 hex> <fnv1a:8 hex> <payload>\n`. The
+/// generic layer under [`encode_frame`]: the job service's journal
+/// logs its own record type through this exact format, so both logs
+/// share one torn-write discipline and one recovery scanner.
+pub fn encode_payload_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(!payload.contains(&b'\n'), "frame payloads must be newline-free");
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 1);
     out.extend_from_slice(format!("{:08x} {:08x} ", payload.len(), fnv1a(payload)).as_bytes());
     out.extend_from_slice(payload);
     out.push(b'\n');
     out
+}
+
+/// Encodes one record as a framed line.
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload = serde_json::to_string(record).expect("WAL record serialisation cannot fail");
+    encode_payload_frame(payload.as_bytes())
+}
+
+/// Outcome of scanning framed payloads (the record-agnostic layer under
+/// [`SegmentScan`]).
+#[derive(Debug)]
+pub struct PayloadScan {
+    /// `(byte offset, payload)` of every complete frame, in order.
+    pub payloads: Vec<(u64, String)>,
+    /// Byte offset of the first torn frame (`None` when clean).
+    pub torn_at: Option<u64>,
+}
+
+/// A checksummed frame whose payload is not valid UTF-8: real
+/// corruption, never produced by a torn write (the checksum would have
+/// failed first).
+#[derive(Debug)]
+pub struct FrameCorruption {
+    /// Byte offset of the corrupt frame.
+    pub offset: u64,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+/// Decodes all complete frames in `bytes` without interpreting their
+/// payloads. Stops at the first torn frame (short header, short
+/// payload, checksum mismatch, or missing trailing newline) and reports
+/// its offset.
+pub fn scan_payload_frames(bytes: &[u8]) -> Result<PayloadScan, FrameCorruption> {
+    let mut payloads = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < HEADER_LEN {
+            return Ok(PayloadScan { payloads, torn_at: Some(offset as u64) });
+        }
+        let header = &rest[..HEADER_LEN];
+        let parsed = std::str::from_utf8(header).ok().and_then(|h| {
+            let len = u32::from_str_radix(h.get(0..8)?, 16).ok()?;
+            let sum = u32::from_str_radix(h.get(9..17)?, 16).ok()?;
+            (h.as_bytes()[8] == b' ' && h.as_bytes()[17] == b' ').then_some((len, sum))
+        });
+        let Some((len, sum)) = parsed else {
+            return Ok(PayloadScan { payloads, torn_at: Some(offset as u64) });
+        };
+        let len = len as usize;
+        let frame_end = HEADER_LEN + len + 1; // + newline
+        if rest.len() < frame_end || rest[frame_end - 1] != b'\n' {
+            return Ok(PayloadScan { payloads, torn_at: Some(offset as u64) });
+        }
+        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+        if fnv1a(payload) != sum {
+            return Ok(PayloadScan { payloads, torn_at: Some(offset as u64) });
+        }
+        let text = std::str::from_utf8(payload).map_err(|e| FrameCorruption {
+            offset: offset as u64,
+            detail: format!("checksummed frame at byte {offset} is not UTF-8: {e}"),
+        })?;
+        payloads.push((offset as u64, text.to_string()));
+        offset += frame_end;
+    }
+    Ok(PayloadScan { payloads, torn_at: None })
 }
 
 /// Outcome of scanning one segment.
@@ -122,43 +192,19 @@ pub struct SegmentScan {
 /// newline) and reports its offset. A checksum-valid frame whose JSON
 /// does not parse is corruption, not tearing.
 pub fn scan_frames(bytes: &[u8], origin: &Path) -> Result<SegmentScan, KbError> {
-    let mut records = Vec::new();
-    let mut offset = 0usize;
-    while offset < bytes.len() {
-        let rest = &bytes[offset..];
-        if rest.len() < HEADER_LEN {
-            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
-        }
-        let header = &rest[..HEADER_LEN];
-        let parsed = std::str::from_utf8(header).ok().and_then(|h| {
-            let len = u32::from_str_radix(h.get(0..8)?, 16).ok()?;
-            let sum = u32::from_str_radix(h.get(9..17)?, 16).ok()?;
-            (h.as_bytes()[8] == b' ' && h.as_bytes()[17] == b' ').then_some((len, sum))
-        });
-        let Some((len, sum)) = parsed else {
-            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
-        };
-        let len = len as usize;
-        let frame_end = HEADER_LEN + len + 1; // + newline
-        if rest.len() < frame_end || rest[frame_end - 1] != b'\n' {
-            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
-        }
-        let payload = &rest[HEADER_LEN..HEADER_LEN + len];
-        if fnv1a(payload) != sum {
-            return Ok(SegmentScan { records, torn_at: Some(offset as u64) });
-        }
-        let text = std::str::from_utf8(payload).map_err(|e| KbError::Corrupt {
-            path: Some(origin.to_path_buf()),
-            detail: format!("checksummed frame at byte {offset} is not UTF-8: {e}"),
-        })?;
+    let scan = scan_payload_frames(bytes).map_err(|c| KbError::Corrupt {
+        path: Some(origin.to_path_buf()),
+        detail: c.detail,
+    })?;
+    let mut records = Vec::with_capacity(scan.payloads.len());
+    for (offset, text) in &scan.payloads {
         let record: WalRecord = serde_json::from_str(text).map_err(|e| KbError::Corrupt {
             path: Some(origin.to_path_buf()),
             detail: format!("checksummed frame at byte {offset} failed to parse: {e}"),
         })?;
         records.push(record);
-        offset += frame_end;
     }
-    Ok(SegmentScan { records, torn_at: None })
+    Ok(SegmentScan { records, torn_at: scan.torn_at })
 }
 
 /// Segment file name for a sequence number.

@@ -418,3 +418,86 @@ fn replica_server_serves_reads_and_redirects_writes() {
     stop_primary(primary);
     let _ = std::fs::remove_dir_all(&replica_dir);
 }
+
+/// The failover drill behind the `PROMOTE` verb: the primary dies, an
+/// operator promotes the caught-up replica, and writes land on it from
+/// the very next request — using exactly the role-cell + tailer-stop
+/// wiring the `smartmld` binary sets up.
+#[test]
+fn promote_turns_a_replica_into_a_writable_primary() {
+    let primary = spawn_primary("promote");
+    let client = KbClient::connect(primary.addr.clone());
+    for i in 0..4u64 {
+        client.record_run(&format!("ds-{i}"), &mf(i), run(i)).expect("seed");
+    }
+    let target = client.stats().expect("stats").applied_seq;
+
+    let replica_dir = temp_dir("promote-replica");
+    let store =
+        Arc::new(ShardedKb::open_with(&replica_dir, durable(), 2).expect("replica opens"));
+    let tailer =
+        Arc::new(ReplicaTailer::spawn(tail_options(&primary.addr), Arc::clone(&store)));
+    let server = EventServer::bind_with_store(
+        EventServerOptions {
+            dir: replica_dir.clone(),
+            n_loops: 2,
+            durable: durable(),
+            role: ServeRole::Replica { primary: primary.addr.clone() },
+            ..EventServerOptions::default()
+        },
+        Arc::clone(&store),
+    )
+    .expect("replica binds");
+    let replica_addr = server.local_addr().expect("addr").to_string();
+    {
+        let hook_handle = Arc::clone(&tailer);
+        server.role_cell().set_promote_hook(move || hook_handle.request_stop());
+    }
+    let serve = std::thread::spawn(move || server.run().expect("replica serve loop"));
+    wait_until("replica catch-up", Duration::from_secs(30), || store.applied_seq() == target);
+
+    // Chaos: the primary is gone.
+    stop_primary(primary);
+
+    // Still a replica: writes are refused with the typed redirect.
+    let replica_client = KbClient::connect(replica_addr.clone()).with_retry(fast_retry());
+    let err = replica_client
+        .record_run("post-failover", &mf(90), run(90))
+        .expect_err("a replica must refuse writes");
+    assert!(
+        err.to_string().contains("read replica"),
+        "refusal must be the typed not_primary redirect: {err}"
+    );
+    // ... and its metrics report a replication lag.
+    assert!(
+        replica_client.metrics().expect("metrics").replication_lag.is_some(),
+        "a replica must report its lag"
+    );
+
+    // Promote. The flip must be visible on the next request, on every
+    // serving loop, and the tailer must wind down.
+    assert!(replica_client.promote().expect("promote"), "first promote flips the role");
+    let (datasets, runs) =
+        replica_client.record_run("post-failover", &mf(90), run(90)).expect("write must land");
+    assert!(datasets >= 1 && runs >= 1);
+    assert_eq!(
+        replica_client.stats().expect("stats").applied_seq,
+        target + 1,
+        "the post-promotion write must be applied and durable"
+    );
+    assert_eq!(
+        replica_client.metrics().expect("metrics").replication_lag,
+        None,
+        "a promoted server reports no replication lag"
+    );
+    // Idempotent: a second promote is a no-op on a primary.
+    assert!(!replica_client.promote().expect("second promote"), "already a primary");
+
+    // The hook told the tailer to stop; dropping the last handle joins
+    // its thread — which only returns if the stop actually took.
+    drop(tailer);
+
+    replica_client.shutdown().expect("replica shuts down");
+    serve.join().expect("replica thread");
+    let _ = std::fs::remove_dir_all(&replica_dir);
+}

@@ -20,9 +20,11 @@ cargo test -q --offline -p smartml-integration --test asha_determinism
 SMOKE_DIR="$(mktemp -d)"
 SERVER_PID=""
 REPLICA_PID=""
+JOBD_PID=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
   [ -n "$REPLICA_PID" ] && kill -9 "$REPLICA_PID" 2>/dev/null || true
+  [ -n "$JOBD_PID" ] && kill -9 "$JOBD_PID" 2>/dev/null || true
   rm -rf "$SMOKE_DIR"
 }
 trap cleanup EXIT
@@ -175,10 +177,108 @@ grep -i "primary" "$SMOKE_DIR/repl-write.log" > /dev/null \
   || { echo "replica write rejection missing redirect"; cat "$SMOKE_DIR/repl-write.log"; exit 1; }
 "$CLI" kb query "$CSV" --kb "tcp:$PADDR,$RADDR" | grep "KNN" > /dev/null \
   || { echo "client failover query failed with the primary down"; exit 1; }
+
+# Promote the survivor with the primary still dead: it must flip to
+# primary in place and start accepting writes, with nothing lost.
+"$CLI" kb promote --kb "tcp:$RADDR" | grep "promoted" > /dev/null \
+  || { echo "kb promote did not flip the replica"; exit 1; }
+"$CLI" kb record "$CSV" --kb "tcp:$RADDR" --algorithm LDA --accuracy 0.70 > /dev/null \
+  || { echo "promoted replica refused a write"; exit 1; }
+"$CLI" kb query "$CSV" --kb "tcp:$RADDR" --top-n 20 | grep "KNN" > /dev/null \
+  || { echo "promoted replica lost pre-promotion records"; exit 1; }
+"$CLI" kb query "$CSV" --kb "tcp:$RADDR" --top-n 20 | grep "LDA" > /dev/null \
+  || { echo "post-promotion write did not land"; exit 1; }
 kill -9 "$REPLICA_PID"
 wait "$REPLICA_PID" 2>/dev/null || true
 REPLICA_PID=""
-echo "    replication survives kill -9 on both sides; reads fail over, writes redirect"
+echo "    replication survives kill -9 on both sides; reads fail over, promote restores writes"
+
+JOBD=./target/release/jobd
+start_jobd() {
+  local dir="$1" log="$2"; shift 2
+  "$JOBD" serve --dir "$dir" --addr 127.0.0.1:0 "$@" > "$log" 2>&1 &
+  JOBD_PID=$!
+  JADDR=""
+  for _ in $(seq 1 100); do
+    JADDR="$(sed -n 's/^jobd: listening on //p' "$log")"
+    [ -n "$JADDR" ] && return 0
+    sleep 0.1
+  done
+  echo "jobd failed to start:"; cat "$log"; exit 1
+}
+submit_id() { sed -n 's/^jobd: submitted job \([0-9]*\).*/\1/p'; }
+
+echo "==> jobd: 3 tenants concurrent, quota enforcement, result byte-identical to one-shot CLI"
+SPEC='{"blobs":{"n":60,"d":3,"k":2,"spread":0.5}}'
+start_jobd "$SMOKE_DIR/jobs" "$SMOKE_DIR/jobd1.log" --workers 2 --quota-trials 12 --no-fsync
+ID_A="$("$JOBD" submit --addr "$JADDR" --tenant alpha --name jobsmoke \
+  --synth "$SPEC" --seed 7 --trials 4 | submit_id)"
+ID_B="$("$JOBD" submit --addr "$JADDR" --tenant beta --name jobsmoke \
+  --synth "$SPEC" --seed 7 --trials 4 | submit_id)"
+ID_C="$("$JOBD" submit --addr "$JADDR" --tenant gamma --name jobsmoke \
+  --synth "$SPEC" --seed 7 --trials 4 | submit_id)"
+for id in "$ID_A" "$ID_B" "$ID_C"; do
+  "$JOBD" watch --addr "$JADDR" "$id" | grep "jobd: job finished Done" > /dev/null \
+    || { echo "job $id did not finish Done"; "$JOBD" jobs --addr "$JADDR"; exit 1; }
+done
+
+# Quota: alpha has 12 trials; 4 are spent, two more 4-trial jobs drain
+# it, the fourth submission must come back as a typed quota rejection.
+"$JOBD" submit --addr "$JADDR" --tenant alpha --name q2 --synth "$SPEC" --trials 4 > /dev/null
+"$JOBD" submit --addr "$JADDR" --tenant alpha --name q3 --synth "$SPEC" --trials 4 > /dev/null
+if "$JOBD" submit --addr "$JADDR" --tenant alpha --name q4 --synth "$SPEC" --trials 4 \
+    > "$SMOKE_DIR/jobd-reject.log" 2>&1; then
+  echo "submission beyond the tenant quota was admitted"; exit 1
+fi
+grep "quota_exhausted" "$SMOKE_DIR/jobd-reject.log" > /dev/null \
+  || { echo "quota rejection untyped:"; cat "$SMOKE_DIR/jobd-reject.log"; exit 1; }
+# Other tenants are untouched by alpha's exhaustion.
+"$JOBD" submit --addr "$JADDR" --tenant beta --name ok --synth "$SPEC" --trials 4 > /dev/null \
+  || { echo "quota exhaustion leaked across tenants"; exit 1; }
+
+# Byte-identity: the daemon's report equals the one-shot CLI run over
+# the same exported synthetic dataset, modulo wall-clock phase timings.
+"$CLI" synth --spec "$SPEC" --seed 7 --name jobsmoke --out "$SMOKE_DIR/jobsmoke.csv" 2> /dev/null
+NORM='.phases[].secs = 0 | .timeline = null'
+"$JOBD" result --addr "$JADDR" "$ID_A" | jq "$NORM" > "$SMOKE_DIR/job-report.json"
+"$CLI" run "$SMOKE_DIR/jobsmoke.csv" --budget 4 --seed 7 --json \
+  | sed '1d' | jq "$NORM" > "$SMOKE_DIR/cli-report.json"
+diff "$SMOKE_DIR/job-report.json" "$SMOKE_DIR/cli-report.json" > /dev/null \
+  || { echo "jobd report diverged from the one-shot CLI run"; \
+       diff "$SMOKE_DIR/job-report.json" "$SMOKE_DIR/cli-report.json" | head -20; exit 1; }
+"$JOBD" shutdown --addr "$JADDR" > /dev/null
+wait "$JOBD_PID" 2>/dev/null || true
+JOBD_PID=""
+echo "    3 tenants served, quotas enforced per tenant, report byte-identical to smartml-cli run"
+
+echo "==> jobd: kill -9 mid-job; recovery aborts the running job, re-queues and completes the queued one"
+start_jobd "$SMOKE_DIR/jobs-chaos" "$SMOKE_DIR/jobd-chaos1.log" --workers 1
+BIG='{"blobs":{"n":20000,"d":8,"k":3,"spread":1.0}}'
+ID_BIG="$("$JOBD" submit --addr "$JADDR" --tenant chaos --name big \
+  --synth "$BIG" --seed 3 --trials 10 | submit_id)"
+ID_SMALL="$("$JOBD" submit --addr "$JADDR" --tenant chaos --name small \
+  --synth "$SPEC" --seed 5 --trials 4 | submit_id)"
+for _ in $(seq 1 100); do
+  "$JOBD" status --addr "$JADDR" "$ID_BIG" | grep '"state":"running"' > /dev/null && break
+  sleep 0.1
+done
+kill -9 "$JOBD_PID"
+wait "$JOBD_PID" 2>/dev/null || true
+JOBD_PID=""
+start_jobd "$SMOKE_DIR/jobs-chaos" "$SMOKE_DIR/jobd-chaos2.log" --workers 1
+grep "jobd: recovered" "$SMOKE_DIR/jobd-chaos2.log" | grep "(1 aborted, 1 re-queued" > /dev/null \
+  || { echo "recovery line wrong:"; cat "$SMOKE_DIR/jobd-chaos2.log"; exit 1; }
+"$JOBD" status --addr "$JADDR" "$ID_BIG" | grep '"state":"aborted"' > /dev/null \
+  || { echo "running job not aborted after kill -9"; "$JOBD" jobs --addr "$JADDR"; exit 1; }
+"$JOBD" watch --addr "$JADDR" "$ID_SMALL" | grep "jobd: job finished Done" > /dev/null \
+  || { echo "re-queued job did not complete after recovery"; exit 1; }
+"$JOBD" shutdown --addr "$JADDR" > /dev/null
+wait "$JOBD_PID" 2>/dev/null || true
+JOBD_PID=""
+echo "    jobd survives kill -9: running job aborted, queued job re-queued and finished"
+
+echo "==> perf smoke: job service submit-to-running latency + jobs/hour vs committed baseline"
+./target/release/job_bench --quick --check BENCH_jobs.json > /dev/null
 
 echo "==> perf smoke: replication catch-up + failover latency vs committed baseline"
 ./target/release/kb_replication_bench --quick --check BENCH_kb_replication.json > /dev/null

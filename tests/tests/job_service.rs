@@ -1,0 +1,388 @@
+//! Job-service integration: the multi-tenant daemon must produce
+//! results byte-identical (modulo wall-clock timings) to the one-shot
+//! API at any worker-pool width, keep tenants' fault domains apart,
+//! survive a kill -9 mid-job, and stream WATCH lines end to end over
+//! the real TCP front end.
+
+use smartml::api::{handle, DatasetPayload, ExperimentOptions, Request, Response};
+use smartml::KnowledgeBase;
+use smartml_data::synth::SynthSpec;
+use smartml_jobd::{
+    materialize, spawn_workers, JobClient, JobDataset, JobServer, JobServerOptions, JobState,
+    JobdConfig, JobdState, Submitted, WatchKind, JOURNAL_FILE,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Experiments (daemon-side or one-shot) are serialised across this
+/// file's tests: the fault-injection registry is process-global, and a
+/// run in one test must never see a plan armed by another.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    EXCLUSIVE.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jobd-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(tag: &str, workers: usize) -> JobdConfig {
+    JobdConfig { dir: tmp_dir(tag), workers, fsync: false, ..JobdConfig::default() }
+}
+
+fn synth_job(spec: SynthSpec, seed: u64) -> JobDataset {
+    JobDataset::Synth { spec, seed, rows: None }
+}
+
+fn tiny_options(seed: u64) -> ExperimentOptions {
+    ExperimentOptions {
+        budget_trials: Some(4),
+        top_n_algorithms: Some(1),
+        seed: Some(seed),
+        n_threads: Some(1),
+        ..ExperimentOptions::default()
+    }
+}
+
+/// The job mix all the pool-width runs share: three tenants, two jobs
+/// each, distinct generator families and seeds.
+fn job_mix() -> Vec<(&'static str, &'static str, JobDataset, ExperimentOptions)> {
+    vec![
+        (
+            "alpha",
+            "a-blobs",
+            synth_job(SynthSpec::Blobs { n: 48, d: 3, k: 2, spread: 0.6 }, 3),
+            tiny_options(11),
+        ),
+        (
+            "alpha",
+            "a-spirals",
+            synth_job(SynthSpec::TwoSpirals { n: 40, noise: 0.05 }, 5),
+            tiny_options(12),
+        ),
+        (
+            "beta",
+            "b-kin",
+            synth_job(SynthSpec::Kinematics { n: 48, d: 4, noise: 0.05 }, 7),
+            tiny_options(13),
+        ),
+        (
+            "beta",
+            "b-blobs",
+            synth_job(SynthSpec::Blobs { n: 40, d: 4, k: 3, spread: 1.0 }, 9),
+            tiny_options(14),
+        ),
+        (
+            "gamma",
+            "g-drift",
+            synth_job(SynthSpec::SensorDrift { n: 48, d: 3, drift: 0.3 }, 2),
+            tiny_options(15),
+        ),
+        (
+            "gamma",
+            "g-proto",
+            synth_job(SynthSpec::PrototypeNoise { n: 40, d: 6, k: 2, snr: 1.5 }, 4),
+            tiny_options(16),
+        ),
+    ]
+}
+
+/// Strips wall-clock noise so reports compare byte-for-byte: phase
+/// timings and the (timing-only) timeline section.
+fn normalize(report_json: &str) -> serde_json::Value {
+    use serde_json::Value;
+    let mut v: Value = serde_json::from_str(report_json).expect("report parses");
+    let Value::Object(fields) = &mut v else { panic!("report is an object") };
+    for (key, val) in fields.iter_mut() {
+        match key.as_str() {
+            "phases" => {
+                let Value::Array(phases) = val else { continue };
+                for phase in phases {
+                    let Value::Object(pf) = phase else { continue };
+                    for (k, f) in pf.iter_mut() {
+                        if k == "secs" {
+                            *f = Value::Null;
+                        }
+                    }
+                }
+            }
+            "timeline" => *val = Value::Null,
+            _ => {}
+        }
+    }
+    v
+}
+
+/// The one-shot reference: the exact path `smartml-cli run` takes — a
+/// fresh knowledge base, the same materialised payload, `api::handle`.
+fn one_shot(name: &str, dataset: &JobDataset, options: &ExperimentOptions) -> serde_json::Value {
+    let payload: DatasetPayload = materialize(dataset, name);
+    let mut kb = KnowledgeBase::new();
+    let request = Request::RunExperiment {
+        name: name.to_string(),
+        dataset: payload,
+        options: options.clone(),
+    };
+    match handle(&mut kb, request) {
+        Response::Experiment { report } => {
+            normalize(&serde_json::to_string_pretty(&*report).expect("report encodes"))
+        }
+        other => panic!("one-shot run failed: {other:?}"),
+    }
+}
+
+fn wait_terminal(state: &JobdState, id: u64) -> JobState {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let s = state.job_view(id).expect("job exists").state;
+        if s.is_terminal() {
+            return s;
+        }
+        assert!(Instant::now() < deadline, "job {id} did not finish in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The headline guarantee: a job's report equals the one-shot run's,
+/// byte for byte after timing normalisation, at pool widths 1, 2 and 8.
+#[test]
+fn job_reports_match_one_shot_at_widths_1_2_8() {
+    let _guard = lock();
+    let mix = job_mix();
+    let expected: Vec<serde_json::Value> =
+        mix.iter().map(|(_, name, ds, opts)| one_shot(name, ds, opts)).collect();
+    for width in [1usize, 2, 8] {
+        let config = cfg(&format!("width{width}"), width);
+        let dir = config.dir.clone();
+        let (state, _) = JobdState::open(config).expect("state opens");
+        let state = Arc::new(state);
+        let workers = spawn_workers(&state, width);
+        let ids: Vec<u64> = mix
+            .iter()
+            .map(|(tenant, name, ds, opts)| {
+                state.submit(tenant, name, ds.clone(), opts.clone()).expect("admitted").0
+            })
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let terminal = wait_terminal(&state, id);
+            assert_eq!(terminal, JobState::Done, "job {} at width {width}", mix[i].1);
+            let got = normalize(&state.result_json(id).expect("result file"));
+            assert_eq!(
+                got, expected[i],
+                "job {} at width {width} diverged from the one-shot run",
+                mix[i].1
+            );
+        }
+        state.shutdown();
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// kill -9 mid-job: drop the state with a job running (journal says
+/// started, no terminal record) and another queued. On reopen the
+/// running job is aborted, the queued one is re-queued and — run by a
+/// fresh worker pool — still produces the one-shot answer.
+#[test]
+fn kill_minus_nine_recovery_completes_queued_work() {
+    let _guard = lock();
+    let config = cfg("kill9", 1);
+    let dir = config.dir.clone();
+    let mix = job_mix();
+    let (_, name, ds, opts) = &mix[0];
+    let expected = one_shot(name, ds, opts);
+    let (id_running, id_queued);
+    {
+        let (state, _) = JobdState::open(config.clone()).expect("state opens");
+        let (a, _) = state.submit("t", "doomed", ds.clone(), opts.clone()).expect("admitted");
+        let (b, _) = state.submit("t", name, ds.clone(), opts.clone()).expect("admitted");
+        id_running = a;
+        id_queued = b;
+        assert_eq!(state.claim_next().expect("claimable").id, a);
+        // Drop without finishing: the kill -9. No worker threads were
+        // spawned, so the claimed job dies exactly mid-flight.
+    }
+    let (state, info) = JobdState::open(config).expect("recovery opens");
+    assert_eq!(info.aborted, vec![id_running]);
+    assert_eq!(info.requeued, vec![id_queued]);
+    assert_eq!(state.job_view(id_running).expect("job").state, JobState::Aborted);
+    let state = Arc::new(state);
+    let workers = spawn_workers(&state, 1);
+    assert_eq!(wait_terminal(&state, id_queued), JobState::Done);
+    let got = normalize(&state.result_json(id_queued).expect("result file"));
+    assert_eq!(got, expected, "post-recovery run diverged from the one-shot run");
+    state.shutdown();
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn journal tail (partial final record, as a crash mid-append
+/// leaves behind) is truncated on open and every intact record replays.
+#[test]
+fn torn_journal_tail_is_truncated_on_recovery() {
+    let _guard = lock();
+    let config = cfg("torn", 1);
+    let dir = config.dir.clone();
+    let id = {
+        let (state, _) = JobdState::open(config.clone()).expect("state opens");
+        state
+            .submit("t", "survivor", job_mix()[0].2.clone(), tiny_options(1))
+            .expect("admitted")
+            .0
+    };
+    // Simulate a crash mid-append: garbage half-frame at the tail.
+    let wal = dir.join(JOURNAL_FILE);
+    let mut bytes = std::fs::read(&wal).expect("journal readable");
+    bytes.extend_from_slice(b"00000042 deadbeef {\"kind\":\"cut-off");
+    std::fs::write(&wal, &bytes).expect("journal writable");
+    let (state, info) = JobdState::open(config).expect("recovery opens");
+    assert!(info.truncated_tail, "the torn tail must be detected");
+    assert_eq!(info.requeued, vec![id], "intact records replay");
+    assert_eq!(state.job_view(id).expect("job").state, JobState::Queued);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// End to end over TCP: submit through the real server, watch the
+/// lifecycle stream (subscribed → running → done with progress lines in
+/// between), fetch the result, exercise admission rejection and
+/// shutdown drain.
+#[test]
+fn server_streams_watch_lines_end_to_end() {
+    let _guard = lock();
+    let config = JobdConfig { quota_trials: 9, ..cfg("e2e", 1) };
+    let dir = config.dir.clone();
+    let options = JobServerOptions {
+        config,
+        progress_interval: Duration::from_millis(60),
+        ..JobServerOptions::default()
+    };
+    let server = JobServer::bind(options).expect("server binds");
+    let addr = server.local_addr().expect("bound").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let client = JobClient::connect(&addr);
+    client.ping().expect("ping");
+    let (_, name, ds, opts) = &job_mix()[0];
+    let id = match client.submit("acme", name, ds.clone(), opts.clone()).expect("submit") {
+        Submitted::Accepted { id, clamped } => {
+            assert!(!clamped);
+            id
+        }
+        Submitted::Rejected { reason, detail } => panic!("rejected: {reason}: {detail}"),
+    };
+    let mut kinds: Vec<WatchKind> = Vec::new();
+    let terminal = client
+        .watch(id, |line| {
+            if let smartml_jobd::JobResponse::Watch { kind, .. } = line {
+                kinds.push(*kind);
+            }
+        })
+        .expect("watch");
+    assert_eq!(terminal, JobState::Done);
+    assert_eq!(kinds.first(), Some(&WatchKind::Subscribed));
+    assert!(
+        kinds.contains(&WatchKind::Transition),
+        "lifecycle transitions must stream: {kinds:?}"
+    );
+    let report = client.result(id).expect("result");
+    assert_eq!(report.dataset, *name);
+
+    // Quota: 9 trials granted 4 already, next 4 fits, then exhausted.
+    let second = client.submit("acme", name, ds.clone(), opts.clone()).expect("submit");
+    let Submitted::Accepted { id: id2, .. } = second else { panic!("second submit rejected") };
+    client.wait(id2).expect("second job");
+    match client.submit("acme", name, ds.clone(), opts.clone()).expect("submit") {
+        // 1 trial left < 3-trial floor → typed rejection.
+        Submitted::Rejected { reason, .. } => assert_eq!(reason, "quota_exhausted"),
+        Submitted::Accepted { .. } => panic!("quota must be exhausted"),
+    }
+    // Another tenant is untouched by acme's exhaustion.
+    let Submitted::Accepted { id: id3, .. } =
+        client.submit("other", name, ds.clone(), opts.clone()).expect("submit")
+    else {
+        panic!("other tenant must admit")
+    };
+    client.wait(id3).expect("other tenant job");
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server thread").expect("clean run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fault isolation across tenants: a tenant whose job is bombarded with
+/// injected trial panics (tripping that job's breakers, filling its
+/// failure ledger) must not perturb another tenant's results — the
+/// clean tenant's report stays byte-identical to the no-faults one-shot
+/// run, because every job owns a fresh engine.
+#[cfg(feature = "fault-injection")]
+#[test]
+fn faulty_tenant_never_perturbs_clean_tenant_results() {
+    use smartml_runtime::faults::fail::{self, FaultPlan, SiteRule};
+    let _guard = lock();
+    let config = cfg("faults", 1);
+    let dir = config.dir.clone();
+    let mix = job_mix();
+    let (_, clean_name, clean_ds, clean_opts) = &mix[2];
+    // Baseline computed with no plan armed.
+    let expected_clean = one_shot(clean_name, clean_ds, clean_opts);
+
+    let (state, _) = JobdState::open(config).expect("state opens");
+    let state = Arc::new(state);
+    let workers = spawn_workers(&state, 1);
+
+    // 30% combined fault rate into the mayhem tenant's job.
+    fail::arm(FaultPlan {
+        seed: 41,
+        rules: vec![SiteRule {
+            site: "smac::fold".into(),
+            panic_rate: 0.2,
+            hang_rate: 0.1,
+            hang_for: Duration::from_secs(60),
+        }],
+    });
+    let mayhem_opts = ExperimentOptions {
+        budget_trials: Some(12),
+        top_n_algorithms: Some(2),
+        trial_timeout_seconds: Some(2.0),
+        ..tiny_options(5)
+    };
+    let (mayhem_id, _) = state
+        .submit("mayhem", "m-blobs", mix[0].2.clone(), mayhem_opts)
+        .expect("admitted");
+    let mayhem_state = wait_terminal(&state, mayhem_id);
+    fail::disarm();
+    assert!(fail::injected_panics() + fail::injected_hangs() > 0, "faults must have fired");
+    if mayhem_state == JobState::Done {
+        // The engine absorbed the faults; its own ledger must say so.
+        let report = normalize(&state.result_json(mayhem_id).expect("result"));
+        let clean = report["failures"]["algorithms"]
+            .as_array()
+            .is_none_or(|a| a.iter().all(|s| s["counts"]["panicked"] == 0i64));
+        assert!(!clean, "injected panics must surface in the mayhem ledger");
+    }
+
+    // Now the clean tenant, after the mayhem: fresh engine, no faults
+    // armed, identical answer.
+    let (clean_id, _) = state
+        .submit("victim", clean_name, clean_ds.clone(), clean_opts.clone())
+        .expect("admitted");
+    assert_eq!(wait_terminal(&state, clean_id), JobState::Done);
+    let got = normalize(&state.result_json(clean_id).expect("result"));
+    assert_eq!(
+        got, expected_clean,
+        "the clean tenant's report changed because another tenant faulted"
+    );
+    state.shutdown();
+    for w in workers {
+        let _ = w.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
